@@ -1,0 +1,42 @@
+package fairco2
+
+import (
+	"fairco2/internal/billing"
+	"fairco2/internal/grid"
+	"fairco2/internal/timeseries"
+)
+
+// Billing-period aliases: the operator-facing workflow (register tenants,
+// record telemetry, close the period into carbon statements).
+type (
+	// Accountant accumulates tenant telemetry for one billing period.
+	Accountant = billing.Accountant
+	// BillingConfig parameterizes a billing period.
+	BillingConfig = billing.Config
+	// Statement is one tenant's carbon bill.
+	Statement = billing.Statement
+	// GridSignal provides grid carbon intensity over time.
+	GridSignal = grid.Signal
+)
+
+// Grid signal constructors.
+var (
+	// GridSweden is a constant low-carbon grid (25 gCO2e/kWh).
+	GridSweden GridSignal = grid.Sweden
+	// GridCalifornia is the CAISO annual average (230 gCO2e/kWh).
+	GridCalifornia GridSignal = grid.California
+)
+
+// ConstantGrid returns a fixed-intensity grid signal.
+func ConstantGrid(ci CarbonIntensity) GridSignal { return grid.Constant(ci) }
+
+// TraceGrid returns a grid signal backed by an intensity time series.
+func TraceGrid(series *timeseries.Series) GridSignal { return grid.Trace{Series: series} }
+
+// NewAccountant opens a billing period over the configured fleet.
+func NewAccountant(cfg BillingConfig) (*Accountant, error) { return billing.NewAccountant(cfg) }
+
+// FormatStatements renders statements as a table.
+func FormatStatements(statements []Statement, total Statement) string {
+	return billing.FormatStatements(statements, total)
+}

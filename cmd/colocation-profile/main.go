@@ -1,0 +1,44 @@
+// Command colocation-profile reproduces the paper's Figure 2: the pairwise
+// colocation characterization of the 15-workload suite — percent runtime
+// increase and percent dynamic-energy increase of every victim/aggressor
+// pair versus isolated execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fairco2/internal/interference"
+	"fairco2/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("colocation-profile: ")
+	profiles := flag.Bool("profiles", false, "also print per-workload alpha/beta interference profiles")
+	flag.Parse()
+
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 2(a): runtime increase under pairwise colocation")
+	fmt.Print(workload.FormatMatrix(char.Profiles, char.RuntimeFactor, "Runtime"))
+	fmt.Println()
+	fmt.Println("Figure 2(b): dynamic-energy increase under pairwise colocation")
+	fmt.Print(workload.FormatMatrix(char.Profiles, char.DynEnergyFactor, "Dynamic energy"))
+
+	if *profiles {
+		fmt.Println()
+		fmt.Println("Interference profiles (alpha = mean factor suffered, beta = mean factor inflicted)")
+		fmt.Printf("%-8s %8s %8s %8s %8s\n", "workload", "alphaT", "betaT", "alphaP", "betaP")
+		all, err := interference.EstimateAll(char)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range all {
+			fmt.Printf("%-8s %8.3f %8.3f %8.3f %8.3f\n", char.Profiles[i].Name, p.AlphaT, p.BetaT, p.AlphaP, p.BetaP)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Command fairco2 attributes the embodied carbon of a dynamic-demand
+// schedule to its workloads, comparing any of the four attribution
+// methods, and prints the paper's Table 1 component data.
+//
+// Usage:
+//
+//	fairco2 -table1
+//	fairco2 -schedule sched.csv -budget 1e6 [-method all|ground-truth|rup|demand-proportional|fair-co2]
+//	fairco2 -demo
+//
+// The schedule CSV format is one "#slice_duration_seconds,<v>" row, a
+// header row "id,cores,start,duration", then one row per workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"fairco2"
+	"fairco2/internal/attribution"
+	"fairco2/internal/axioms"
+	"fairco2/internal/carbon"
+	"fairco2/internal/schedule"
+	"fairco2/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairco2: ")
+
+	var (
+		table1   = flag.Bool("table1", false, "print the paper's Table 1 (TDP vs embodied carbon)")
+		demo     = flag.Bool("demo", false, "attribute a built-in demo schedule")
+		schedCSV = flag.String("schedule", "", "schedule CSV file to attribute")
+		budget   = flag.Float64("budget", 1e6, "embodied carbon budget in gCO2e")
+		method   = flag.String("method", "all", "attribution method (all, ground-truth, rup, demand-proportional, fair-co2)")
+		colocate = flag.String("colocate", "", "comma-separated workload names to attribute as a colocation scenario (e.g. NBODY,CH,SA,PG-10)")
+		gridCI   = flag.Float64("grid-ci", 250, "grid carbon intensity for -colocate (gCO2e/kWh)")
+		suite    = flag.Bool("suite", false, "print the benchmark workload suite")
+		axiomsF  = flag.Bool("axioms", false, "check the four Shapley fairness axioms against every method")
+	)
+	flag.Parse()
+
+	if *axiomsF {
+		runAxioms()
+		return
+	}
+
+	if *table1 {
+		fmt.Print(carbon.FormatTable1(carbon.Table1()))
+		return
+	}
+	if *suite {
+		fmt.Printf("%-8s %7s %7s %12s %10s\n", "name", "cores", "mem", "runtime", "dyn power")
+		for _, p := range fairco2.WorkloadSuite() {
+			fmt.Printf("%-8s %7d %5.0fGB %12s %10s\n",
+				p.Name, p.Cores, float64(p.MemoryGB), p.IsolatedRuntime, p.IsolatedDynPower)
+		}
+		return
+	}
+	if *colocate != "" {
+		runColocation(*colocate, *gridCI)
+		return
+	}
+
+	var sched *fairco2.Schedule
+	switch {
+	case *demo:
+		sched = demoSchedule()
+	case *schedCSV != "":
+		f, err := os.Open(*schedCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		s, err := schedule.ReadCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = s
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	methods := []string{fairco2.MethodGroundTruth, fairco2.MethodRUP, fairco2.MethodDemandProportional, fairco2.MethodFairCO2}
+	if *method != "all" {
+		methods = []string{*method}
+	}
+
+	fmt.Printf("schedule: %d slices x %v, %d workloads, peak demand %.0f cores\n\n",
+		sched.Slices, sched.SliceDuration, len(sched.Workloads), sched.Peak())
+	fmt.Printf("%-10s", "workload")
+	for _, m := range methods {
+		fmt.Printf(" %22s", m)
+	}
+	fmt.Println()
+
+	results := make(map[string][]float64, len(methods))
+	for _, m := range methods {
+		attr, err := fairco2.AttributeSchedule(m, sched, fairco2.GramsCO2e(*budget))
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		results[m] = attr
+	}
+	for i := range sched.Workloads {
+		fmt.Printf("w%-9d", i)
+		for _, m := range methods {
+			fmt.Printf(" %15.1f gCO2e", results[m][i])
+		}
+		fmt.Println()
+	}
+}
+
+func runAxioms() {
+	cfg := axioms.DefaultConfig()
+	methods := []attribution.Method{
+		attribution.GroundTruth{},
+		attribution.RUPBaseline{},
+		attribution.DemandProportional{},
+		attribution.TemporalShapley{},
+	}
+	fmt.Println("Shapley fairness axioms (§4) checked on randomized schedules:")
+	fmt.Printf("%-28s %12s %10s %12s %10s\n", "method", "efficiency", "symmetry", "null-player", "linearity")
+	for _, m := range methods {
+		report := axioms.CheckAll(m, cfg)
+		counts := report.ByAxiom()
+		mark := func(axiom string) string {
+			if counts[axiom] == 0 {
+				return "ok"
+			}
+			return fmt.Sprintf("%d violations", counts[axiom])
+		}
+		fmt.Printf("%-28s %12s %10s %12s %10s\n", m.Name(),
+			mark("efficiency"), mark("symmetry"), mark("null-player"), mark("linearity"))
+	}
+	fmt.Println("\nnull-player: the long-running off-peak idler test — resource-time")
+	fmt.Println("that never drives peak capacity must not be billed (§3.1's gap).")
+}
+
+func runColocation(spec string, gridCI float64) {
+	var names []workload.Name
+	for _, part := range strings.Split(spec, ",") {
+		names = append(names, workload.Name(strings.TrimSpace(part)))
+	}
+	methods := []string{fairco2.MethodGroundTruth, fairco2.MethodRUP, fairco2.MethodFairCO2}
+	results := make(map[string][]fairco2.ColocationAttribution, len(methods))
+	for _, m := range methods {
+		attr, err := fairco2.AttributeColocation(m, names, fairco2.CarbonIntensity(gridCI), 1)
+		if err != nil {
+			log.Fatalf("%s: %v", m, err)
+		}
+		results[m] = attr
+	}
+	fmt.Printf("colocation scenario (%d workloads, pairwise nodes, grid %.0f gCO2e/kWh)\n\n", len(names), gridCI)
+	fmt.Printf("%-10s", "workload")
+	for _, m := range methods {
+		fmt.Printf(" %16s", m)
+	}
+	fmt.Println()
+	for i, n := range names {
+		fmt.Printf("%-10s", n)
+		for _, m := range methods {
+			fmt.Printf(" %14.2f g", float64(results[m][i].Carbon))
+		}
+		fmt.Println()
+	}
+}
+
+func demoSchedule() *fairco2.Schedule {
+	return &fairco2.Schedule{
+		Slices:        4,
+		SliceDuration: 3600,
+		Workloads: []fairco2.ScheduledWorkload{
+			{ID: 0, Cores: 16, Start: 0, Duration: 3},
+			{ID: 1, Cores: 48, Start: 1, Duration: 1},
+			{ID: 2, Cores: 32, Start: 1, Duration: 2},
+			{ID: 3, Cores: 8, Start: 3, Duration: 1},
+		},
+	}
+}

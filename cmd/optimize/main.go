@@ -1,0 +1,186 @@
+// Command optimize runs the paper's §8 workload carbon-optimization case
+// study:
+//
+//	optimize -summary   Figure 10: carbon-optimal configuration vs grid CI
+//	                    for the PBBS/Spark batch workloads
+//	optimize -pareto    Figure 12: FAISS latency-carbon Pareto fronts at a
+//	                    low-carbon (Sweden) and a high-carbon grid
+//	optimize -dynamic   Figure 13: one week of dynamic FAISS
+//	                    reconfiguration against live grid and embodied
+//	                    carbon intensity signals under a 2 s SLO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/optimize"
+	"fairco2/internal/temporal"
+	"fairco2/internal/textplot"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimize: ")
+
+	var (
+		summary = flag.Bool("summary", false, "print the Figure 10 batch-workload summary")
+		pareto  = flag.Bool("pareto", false, "print the Figure 12 FAISS Pareto fronts")
+		dynamic = flag.Bool("dynamic", false, "run the Figure 13 dynamic week")
+		slo     = flag.Float64("slo", 2, "tail-latency SLO in seconds for -dynamic")
+	)
+	flag.Parse()
+	if !*summary && !*pareto && !*dynamic {
+		*summary, *pareto, *dynamic = true, true, true
+	}
+
+	cost, err := optimize.NewCostModel(carbon.NewReferenceServer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *summary {
+		printFigure10(cost)
+	}
+	if *pareto {
+		printFigure12(cost)
+	}
+	if *dynamic {
+		printFigure13(cost, units.Seconds(*slo))
+	}
+}
+
+func printFigure10(cost *optimize.CostModel) {
+	fmt.Println("Figure 10 — carbon-optimal configuration vs grid carbon intensity")
+	fmt.Printf("%-8s %28s %28s %28s %10s\n", "workload",
+		"optimal @ 50 gCO2e/kWh", "optimal @ 300 gCO2e/kWh", "optimal @ 800 gCO2e/kWh", "max saving")
+	cis := optimize.DefaultCISweep()
+	for _, m := range optimize.BatchModels() {
+		rows, err := optimize.Figure10(m, cost, cis)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pick := func(target float64) optimize.Figure10Row {
+			for _, r := range rows {
+				if float64(r.GridCI) >= target {
+					return r
+				}
+			}
+			return rows[len(rows)-1]
+		}
+		fmtRow := func(r optimize.Figure10Row) string {
+			return fmt.Sprintf("%2dc/%3.0fGB (%.2fx perf-opt)", r.CarbonOpt.Cores, r.CarbonOpt.MemoryGB, r.NormCarbonOpt)
+		}
+		fmt.Printf("%-8s %28s %28s %28s %9.1f%%\n", m.Name,
+			fmtRow(pick(50)), fmtRow(pick(300)), fmtRow(pick(800)), optimize.MaxSavings(rows)*100)
+	}
+	fmt.Println()
+
+	// Figure 10's shaded regions for one representative workload.
+	spark := optimize.BatchModels()[len(optimize.BatchModels())-1]
+	rows, err := optimize.Figure10(spark, cost, cis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("carbon-optimal configuration regions for %s:\n", spark.Name)
+	for _, r := range optimize.Regions(rows) {
+		fmt.Printf("  %4.0f - %4.0f gCO2e/kWh: %2d cores / %3.0f GB\n",
+			float64(r.FromCI), float64(r.ToCI), r.Config.Cores, r.Config.MemoryGB)
+	}
+	fmt.Println()
+}
+
+func printFigure12(cost *optimize.CostModel) {
+	fmt.Println("Figure 12 — FAISS latency-carbon Pareto fronts")
+	for _, scenario := range []struct {
+		name string
+		ci   units.CarbonIntensity
+	}{
+		{"Sweden (25 gCO2e/kWh)", 25},
+		{"California mean (230 gCO2e/kWh)", 230},
+	} {
+		points, err := optimize.SweepServing(optimize.ServingModels(), optimize.ServingSweepSpace(), cost, scenario.ci, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		front := optimize.Pareto(points)
+		fmt.Printf("\n[%s] %d Pareto-optimal configurations:\n", scenario.name, len(front))
+		fmt.Printf("  %-6s %6s %6s %14s %18s\n", "algo", "cores", "batch", "tail latency", "carbon per query")
+		for _, p := range front {
+			fmt.Printf("  %-6s %6d %6d %11.3f s  %15.4g g\n",
+				p.Algorithm, p.Cores, p.Batch, float64(p.TailLatency), float64(p.CarbonPerQuery))
+		}
+	}
+	cross, err := optimize.AlgorithmCrossover(optimize.ServingModels(), optimize.ServingSweepSpace(), cost, 2, 0, 400, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncarbon-optimal algorithm under a 2 s SLO switches IVF -> HNSW at ~%.0f gCO2e/kWh (paper: ~90)\n\n", float64(cross))
+}
+
+func printFigure13(cost *optimize.CostModel, slo units.Seconds) {
+	demand, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := temporal.IntensitySignal(demand, 1e7, temporal.Config{SplitRatios: temporal.PaperSplits()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shape, err := optimize.NormalizedEmbodiedShape(sig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ciTrace, err := grid.NewSyntheticCAISO(grid.DefaultCAISOConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := optimize.DefaultDynamicConfig()
+	cfg.SLO = slo
+	res, err := optimize.DynamicWeek(cost, grid.Trace{Series: ciTrace}, shape, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 13 — one week of dynamic FAISS reconfiguration (SLO %.1f s)\n", float64(slo))
+	fmt.Printf("  static performance-optimal carbon/query: %.4g g\n", float64(res.StaticCarbonPerQuery))
+	fmt.Printf("  dynamically optimized carbon/query:       %.4g g\n", float64(res.OptimizedCarbonPerQuery))
+	fmt.Printf("  savings: %.1f%%   (paper: 38.4%%)\n", res.Savings*100)
+	fmt.Printf("  algorithm switches over the week: %d\n", res.AlgorithmSwitches)
+
+	gridVals := make([]float64, len(res.Steps))
+	carbonVals := make([]float64, len(res.Steps))
+	for i, s := range res.Steps {
+		gridVals[i] = float64(s.GridCI)
+		carbonVals[i] = float64(s.Chosen.CarbonPerQuery)
+	}
+	fmt.Println("\n  grid carbon intensity over the week:")
+	fmt.Printf("  %s\n", textplot.Sparkline(gridVals, 90))
+	fmt.Println("  optimized carbon per query over the week:")
+	fmt.Printf("  %s\n", textplot.Sparkline(carbonVals, 90))
+
+	// Daily timeline: dominant algorithm and mean grid CI per day.
+	fmt.Println("  day  dominant-algo  mean-grid-ci  mean-embodied-scale")
+	steps := len(res.Steps)
+	perDay := steps / 7
+	for d := 0; d < 7; d++ {
+		ivf := 0
+		var ciSum, scaleSum float64
+		for i := d * perDay; i < (d+1)*perDay; i++ {
+			s := res.Steps[i]
+			if s.Chosen.Algorithm == "IVF" {
+				ivf++
+			}
+			ciSum += float64(s.GridCI)
+			scaleSum += s.EmbodiedScale
+		}
+		algo := "HNSW"
+		if ivf > perDay/2 {
+			algo = "IVF"
+		}
+		fmt.Printf("  %3d  %13s  %12.0f  %19.2f\n", d+1, algo, ciSum/float64(perDay), scaleSum/float64(perDay))
+	}
+}

@@ -1,0 +1,68 @@
+// Command signal-server serves Fair-CO2's live embodied carbon-intensity
+// signal over HTTP (§5.3 as a service). It fits the forecaster on a
+// demand history (a CSV trace or the synthetic Azure-like default),
+// projects the configured horizon, and exposes:
+//
+//	GET /healthz
+//	GET /v1/intensity/current
+//	GET /v1/intensity/window?hours=N
+//	GET /v1/intensity/series
+//
+// Tenants poll the window endpoint to place deferrable work where the
+// projected embodied intensity is lowest (see examples/batchshift).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"fairco2/internal/signalserver"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("signal-server: ")
+
+	var (
+		addr     = flag.String("addr", ":8585", "listen address")
+		traceCSV = flag.String("trace", "", "demand history CSV (default: synthetic 21-day Azure-like trace)")
+		horizon  = flag.Int("horizon-hours", 48, "forecast horizon in hours")
+		budget   = flag.Float64("budget", 1e7, "embodied carbon budget over history+horizon (gCO2e)")
+	)
+	flag.Parse()
+
+	history, err := loadHistory(*traceCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := signalserver.DefaultConfig()
+	cfg.HorizonSamples = int(float64(*horizon) * units.SecondsPerHour / float64(history.Step))
+	cfg.Budget = units.GramsCO2e(*budget)
+	srv, err := signalserver.New(history, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving live embodied carbon intensity on %s (history %d samples, horizon %d)\n",
+		*addr, history.Len(), cfg.HorizonSamples)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func loadHistory(path string) (*timeseries.Series, error) {
+	if path == "" {
+		cfg := trace.DefaultAzureLikeConfig()
+		cfg.Days = 21
+		return trace.GenerateAzureLike(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return timeseries.ReadCSV(f)
+}

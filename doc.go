@@ -1,0 +1,29 @@
+// Package fairco2 is a from-scratch Go implementation of Fair-CO2 (Han,
+// Kakadia, Lee, Gupta — ISCA 2025): fair attribution of cloud datacenter
+// operational and embodied carbon emissions to user workloads, using the
+// Shapley value as the fairness ground truth.
+//
+// The library provides:
+//
+//   - Ground-truth Shapley attribution for dynamic-demand schedules
+//     (workloads as players, peak demand as the characteristic function)
+//     and for colocation scenarios (arrival-order games over paired
+//     tenants), plus the industry baselines it is compared against.
+//   - Temporal Shapley: Fair-CO2's scalable demand-aware attribution of
+//     embodied and static-operational carbon, computed hierarchically with
+//     the closed-form peak-game solution, emitting a dynamic carbon
+//     intensity signal (gCO2e per resource-second).
+//   - Interference-aware attribution from historical colocation profiles
+//     (alpha = slowdown suffered, beta = slowdown inflicted).
+//   - Every substrate the paper's evaluation needs: architectural carbon
+//     models (ACT-style components, Dell R740 platform overheads), a
+//     15-workload suite with a Bubble-Up-style interference model, an
+//     Azure-2017-like demand trace generator, a Prophet-style demand
+//     forecaster, synthetic grid carbon-intensity signals, Monte Carlo
+//     evaluation harnesses, and the workload carbon-optimization case
+//     study (configuration sweeps, Pareto fronts, dynamic reconfiguration).
+//
+// The root package is a facade over the internal packages; it exposes the
+// operations a datacenter operator or tenant would call. Experiment
+// harnesses live in cmd/ and the per-figure benchmarks in bench_test.go.
+package fairco2

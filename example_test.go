@@ -1,0 +1,94 @@
+package fairco2_test
+
+// Runnable documentation examples for the public API (shown by go doc and
+// verified by go test).
+
+import (
+	"fmt"
+
+	"fairco2"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/workload"
+)
+
+// ExampleAttributeSchedule prices a two-workload schedule: both use the
+// same core-hours, but one runs at the peak and the Shapley-based methods
+// charge it more.
+func ExampleAttributeSchedule() {
+	sched := &fairco2.Schedule{
+		Slices:        2,
+		SliceDuration: 3600,
+		Workloads: []fairco2.ScheduledWorkload{
+			{ID: 0, Cores: 32, Start: 0, Duration: 1}, // peak hour (shares it with w2)
+			{ID: 1, Cores: 32, Start: 1, Duration: 1}, // off-peak hour
+			{ID: 2, Cores: 64, Start: 0, Duration: 1},
+		},
+	}
+	attr, err := fairco2.AttributeSchedule(fairco2.MethodGroundTruth, sched, 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("peak workload: %.0f g, off-peak workload: %.0f g\n", attr[0], attr[1])
+	// Output:
+	// peak workload: 278 g, off-peak workload: 111 g
+}
+
+// ExampleEmbodiedIntensitySignal derives the Temporal Shapley carbon
+// intensity signal for a demand curve: the peak sample carries the highest
+// price per core-second.
+func ExampleEmbodiedIntensitySignal() {
+	demand := timeseries.New(0, 3600, []float64{10, 40, 10, 10})
+	signal, err := fairco2.EmbodiedIntensitySignal(demand, 700, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, v := range signal.Values {
+		fmt.Printf("hour %d: %.5f g per core-second\n", i, v)
+	}
+	// Output:
+	// hour 0: 0.00035 g per core-second
+	// hour 1: 0.00460 g per core-second
+	// hour 2: 0.00035 g per core-second
+	// hour 3: 0.00035 g per core-second
+}
+
+// ExampleAttributeColocation compares the baseline and Fair-CO2 bills of
+// the paper's motivating pair: NBODY suffers next to CH, and the
+// resource-proportional baseline makes the victim pay for it.
+func ExampleAttributeColocation() {
+	pair := []workload.Name{workload.NBODY, workload.CH}
+	for _, method := range []string{fairco2.MethodRUP, fairco2.MethodFairCO2} {
+		attr, err := fairco2.AttributeColocation(method, pair, 250, 1)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		ratio := float64(attr[0].Carbon) / float64(attr[1].Carbon)
+		fmt.Printf("%s: NBODY pays %.2fx CH's bill\n", method, ratio)
+	}
+	// Output:
+	// rup: NBODY pays 1.48x CH's bill
+	// fair-co2: NBODY pays 1.09x CH's bill
+}
+
+// ExampleSCI computes the Software Carbon Intensity baseline score.
+func ExampleSCI() {
+	report, err := fairco2.SCI(fairco2.SCIInput{
+		Energy:          3.6e6, // one kWh in joules
+		Intensity:       500,
+		Server:          fairco2.ReferenceServer(),
+		ReservedCores:   96,
+		Reserved:        3600,
+		FunctionalUnits: 1000,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("operational: %.0f g, SCI: %.3f g per request\n",
+		float64(report.OperationalCarbon), report.SCI)
+	// Output:
+	// operational: 500 g, SCI: 0.513 g per request
+}

@@ -1,0 +1,100 @@
+// Peakshave: the §3 peak-pricing insight turned into an operator policy.
+// A fleet's embodied carbon scales with the capacity its demand peak
+// forces it to buy. Deferring flexible batch VMs with the carbon-aware
+// scheduler flattens the peak, shrinks provisioning, and — because
+// Temporal Shapley prices peak-time usage highest — cuts the bills of the
+// very workloads that moved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/cluster"
+	"fairco2/internal/temporal"
+	"fairco2/internal/textplot"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A day-long fleet of hour-scale VMs (no week-long tail — those
+	// cannot be deferred meaningfully) where half are deferrable batch
+	// jobs. Arrivals peak mid-window, so the unshifted demand spikes.
+	cfg := cluster.DefaultFleetConfig()
+	cfg.VMs = 250
+	cfg.Lifetimes = trace.LifetimeConfig{
+		ShortFraction: 1.0,
+		ShortMean:     2 * units.SecondsPerHour,
+		LongMean:      4 * units.SecondsPerHour,
+	}
+	fleet, err := cluster.RandomFleet(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deferrable := map[int]bool{}
+	for _, vm := range fleet {
+		if vm.ID%2 == 0 {
+			deferrable[vm.ID] = true
+		}
+	}
+
+	before, err := cluster.Simulate(fleet, cluster.DefaultNodeSpec(), 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shift, err := cluster.ShiftDeferrable(fleet, deferrable, cluster.DefaultDeferralPolicy(), 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := cluster.Simulate(shift.VMs, cluster.DefaultNodeSpec(), 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("deferred %d of %d VMs (up to 12 h of slack)\n", shift.Deferred, len(fleet))
+	fmt.Printf("demand peak:      %6.0f -> %6.0f cores (-%.0f%%)\n",
+		shift.PeakBefore, shift.PeakAfter, (1-shift.PeakAfter/shift.PeakBefore)*100)
+	fmt.Printf("nodes provisioned: %5d -> %6d\n\n", before.NodesProvisioned, after.NodesProvisioned)
+
+	fmt.Println("demand before:")
+	fmt.Printf("  %s\n", textplot.Sparkline(before.Demand.Values, 90))
+	fmt.Println("demand after deferral:")
+	fmt.Printf("  %s\n\n", textplot.Sparkline(after.Demand.Values, 90))
+
+	// Fleet embodied carbon scales with provisioned nodes; the whole
+	// fleet's bill shrinks proportionally.
+	srv := carbon.NewReferenceServer()
+	billFor := func(res *cluster.Result) float64 {
+		window := res.Demand.Duration()
+		budget := units.GramsCO2e(float64(res.NodesProvisioned) * srv.EmbodiedRate() * float64(window))
+		sig, err := temporal.IntensitySignal(res.Demand, budget,
+			temporal.Config{SplitRatios: []int{res.Demand.Len()}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0.0
+		for _, vm := range res.VMs {
+			usage, err := res.UsageOf(vm.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := temporal.AttributeUsage(sig, usage)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += float64(c)
+		}
+		return total
+	}
+	b0, b1 := billFor(before), billFor(after)
+	fmt.Printf("fleet embodied carbon: %.1f g -> %.1f g (-%.1f%%)\n",
+		b0, b1, (1-b1/b0)*100)
+	fmt.Println("\nbatch workloads that accepted deferral flattened the peak the")
+	fmt.Println("operator must provision for — the embodied saving the paper's")
+	fmt.Println("introduction promises for temporally flexible workloads.")
+}

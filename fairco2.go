@@ -1,0 +1,186 @@
+package fairco2
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/carbon"
+	"fairco2/internal/colocation"
+	"fairco2/internal/forecast"
+	"fairco2/internal/schedule"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// Type aliases surface the library's core vocabulary at the root so users
+// interact with one import path.
+type (
+	// GramsCO2e is a mass of CO2-equivalent emissions in grams.
+	GramsCO2e = units.GramsCO2e
+	// CarbonIntensity is grid carbon intensity in gCO2e/kWh.
+	CarbonIntensity = units.CarbonIntensity
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// Series is a uniformly-sampled time series.
+	Series = timeseries.Series
+	// Schedule is a dynamic-demand workload schedule.
+	Schedule = schedule.Schedule
+	// ScheduledWorkload is one entry of a Schedule.
+	ScheduledWorkload = schedule.Workload
+	// Server is the hardware carbon model of one node.
+	Server = carbon.Server
+	// WorkloadProfile describes one benchmark workload.
+	WorkloadProfile = workload.Profile
+)
+
+// Method names accepted by AttributeSchedule.
+const (
+	// MethodGroundTruth is the exact Shapley value (exponential cost;
+	// schedules are limited to 24 workloads).
+	MethodGroundTruth = "ground-truth"
+	// MethodRUP is the resource-utilization-proportional baseline
+	// (Google operational accounting + SCI embodied accounting).
+	MethodRUP = "rup"
+	// MethodDemandProportional attributes proportional to instantaneous
+	// demand.
+	MethodDemandProportional = "demand-proportional"
+	// MethodFairCO2 is Fair-CO2's Temporal Shapley attribution.
+	MethodFairCO2 = "fair-co2"
+)
+
+// ReferenceServer returns the paper's evaluation server model (2x Xeon
+// Gold 6240R, 192 GB DDR4, 480 GB SSD).
+func ReferenceServer() *Server { return carbon.NewReferenceServer() }
+
+// WorkloadSuite returns the paper's 15-workload benchmark suite.
+func WorkloadSuite() []*WorkloadProfile { return workload.Suite() }
+
+// AttributeSchedule divides an embodied-carbon budget across the workloads
+// of a dynamic-demand schedule using the named method. The returned slice
+// is indexed by workload ID and always sums to the budget.
+func AttributeSchedule(method string, s *Schedule, budget GramsCO2e) ([]float64, error) {
+	var m attribution.Method
+	switch method {
+	case MethodGroundTruth:
+		m = attribution.GroundTruth{}
+	case MethodRUP:
+		m = attribution.RUPBaseline{}
+	case MethodDemandProportional:
+		m = attribution.DemandProportional{}
+	case MethodFairCO2:
+		m = attribution.TemporalShapley{}
+	default:
+		return nil, fmt.Errorf("fairco2: unknown attribution method %q", method)
+	}
+	return m.Attribute(s, budget)
+}
+
+// EmbodiedIntensitySignal runs Temporal Shapley over a resource-demand
+// series, attributing the carbon budget across time and returning the
+// dynamic intensity signal in gCO2e per resource-second. splits is the
+// hierarchical schedule (its product must equal the sample count); pass
+// nil for a single level.
+func EmbodiedIntensitySignal(demand *Series, budget GramsCO2e, splits []int) (*Series, error) {
+	if demand == nil {
+		return nil, errors.New("fairco2: nil demand series")
+	}
+	if len(splits) == 0 {
+		splits = []int{demand.Len()}
+	}
+	return temporal.IntensitySignal(demand, budget, temporal.Config{SplitRatios: splits})
+}
+
+// AttributeUsage prices a workload's resource usage under an intensity
+// signal: the integral of usage x intensity.
+func AttributeUsage(intensity, usage *Series) (GramsCO2e, error) {
+	return temporal.AttributeUsage(intensity, usage)
+}
+
+// LiveIntensitySignal extends a demand history with a forecast and returns
+// the Temporal Shapley intensity signal over history plus horizon — the
+// live signal of §5.3 that lets tenants optimize placement against
+// projected embodied carbon. horizonSamples continues the history's grid;
+// the budget covers the whole (history + horizon) window; splits must
+// multiply to history.Len() + horizonSamples.
+func LiveIntensitySignal(history *Series, horizonSamples int, budget GramsCO2e, splits []int) (*Series, error) {
+	if history == nil {
+		return nil, errors.New("fairco2: nil history")
+	}
+	model, err := forecast.Fit(history, forecast.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := model.Forecast(horizonSamples)
+	if err != nil {
+		return nil, err
+	}
+	values := append(append([]float64(nil), history.Values...), predicted.Values...)
+	stitched := timeseries.New(history.Start, history.Step, values)
+	if len(splits) == 0 {
+		splits = []int{stitched.Len()}
+	}
+	return temporal.IntensitySignal(stitched, budget, temporal.Config{SplitRatios: splits})
+}
+
+// ColocationAttribution is the per-workload result of a colocation
+// scenario attribution.
+type ColocationAttribution struct {
+	// Workload is the suite workload name.
+	Workload workload.Name
+	// Carbon is the attributed footprint in gCO2e.
+	Carbon GramsCO2e
+}
+
+// AttributeColocation attributes the full carbon (embodied + static +
+// dynamic) of pairwise-colocated workloads. names lists the scenario
+// members in pairing order ((0,1), (2,3), ...; an odd tail runs alone);
+// method is MethodGroundTruth, MethodRUP or MethodFairCO2. seed drives the
+// permutation sampling that ground truth needs beyond 7 workloads.
+func AttributeColocation(method string, names []workload.Name, gridCI CarbonIntensity, seed int64) ([]ColocationAttribution, error) {
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		return nil, err
+	}
+	env, err := colocation.NewEnvironment(gridCI, char)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]int, len(names))
+	for i, n := range names {
+		idx, err := char.Index(n)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = idx
+	}
+	scen := &colocation.Scenario{Env: env, Members: members}
+
+	var attr []float64
+	switch method {
+	case MethodGroundTruth:
+		rng := rand.New(rand.NewSource(seed))
+		attr, err = colocation.GroundTruth(scen, colocation.DefaultGroundTruthConfig(rng))
+	case MethodRUP:
+		attr, err = colocation.RUP(scen)
+	case MethodFairCO2:
+		var factors []colocation.Factor
+		factors, err = colocation.FullHistoryFactors(scen)
+		if err == nil {
+			attr, err = colocation.FairCO2(scen, factors)
+		}
+	default:
+		return nil, fmt.Errorf("fairco2: unknown colocation method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColocationAttribution, len(attr))
+	for i, v := range attr {
+		out[i] = ColocationAttribution{Workload: names[i], Carbon: GramsCO2e(v)}
+	}
+	return out, nil
+}

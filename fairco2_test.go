@@ -1,0 +1,183 @@
+package fairco2
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/workload"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func demoSchedule() *Schedule {
+	return &Schedule{
+		Slices:        3,
+		SliceDuration: 3600,
+		Workloads: []ScheduledWorkload{
+			{ID: 0, Cores: 16, Start: 0, Duration: 2},
+			{ID: 1, Cores: 48, Start: 1, Duration: 1},
+			{ID: 2, Cores: 32, Start: 2, Duration: 1},
+		},
+	}
+}
+
+func TestReferenceServerAndSuite(t *testing.T) {
+	srv := ReferenceServer()
+	if srv.Cores != 48 {
+		t.Errorf("reference server cores = %d", srv.Cores)
+	}
+	if len(WorkloadSuite()) != 15 {
+		t.Error("suite should have 15 workloads")
+	}
+}
+
+func TestAttributeScheduleAllMethods(t *testing.T) {
+	s := demoSchedule()
+	const budget = 1000.0
+	for _, method := range []string{MethodGroundTruth, MethodRUP, MethodDemandProportional, MethodFairCO2} {
+		attr, err := AttributeSchedule(method, s, GramsCO2e(budget))
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		sum := 0.0
+		for _, v := range attr {
+			sum += v
+		}
+		approx(t, sum, budget, 1e-6, method+" conserves budget")
+	}
+	if _, err := AttributeSchedule("nope", s, 1); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestEmbodiedIntensitySignal(t *testing.T) {
+	demand := timeseries.New(0, 300, []float64{10, 20, 40, 20, 10, 10})
+	sig, err := EmbodiedIntensitySignal(demand, 600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := range sig.Values {
+		total += sig.Values[i] * demand.Values[i] * 300
+	}
+	approx(t, total, 600, 1e-6, "signal conserves budget")
+	// The peak sample carries the highest intensity.
+	peakIdx := 2
+	for i, v := range sig.Values {
+		if i != peakIdx && v > sig.Values[peakIdx] {
+			t.Errorf("sample %d intensity exceeds the peak's", i)
+		}
+	}
+	// Splits that do not multiply to the length must error.
+	if _, err := EmbodiedIntensitySignal(demand, 600, []int{4}); err == nil {
+		t.Error("bad splits should error")
+	}
+	if _, err := EmbodiedIntensitySignal(nil, 600, nil); err == nil {
+		t.Error("nil demand should error")
+	}
+}
+
+func TestAttributeUsageFacade(t *testing.T) {
+	demand := timeseries.New(0, 300, []float64{10, 30})
+	sig, err := EmbodiedIntensitySignal(demand, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AttributeUsage(sig, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 100, 1e-9, "full usage gets full budget")
+}
+
+func TestLiveIntensitySignal(t *testing.T) {
+	// Two weeks of hourly history with a daily cycle.
+	n := 14 * 24
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 100 + 30*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	history := timeseries.New(0, 3600, values)
+	horizon := 2 * 24
+	sig, err := LiveIntensitySignal(history, horizon, 1e5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Len() != n+horizon {
+		t.Fatalf("signal covers %d samples, want %d", sig.Len(), n+horizon)
+	}
+	for i, v := range sig.Values {
+		if v <= 0 {
+			t.Fatalf("non-positive intensity at %d", i)
+		}
+	}
+	if _, err := LiveIntensitySignal(nil, 1, 1, nil); err == nil {
+		t.Error("nil history should error")
+	}
+	if _, err := LiveIntensitySignal(history, 0, 1, nil); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := LiveIntensitySignal(history, horizon, 1, []int{7}); err == nil {
+		t.Error("bad splits should error")
+	}
+}
+
+func TestAttributeColocationMethods(t *testing.T) {
+	names := []workload.Name{workload.NBODY, workload.CH, workload.PG50, workload.LLAMA}
+	var totals []float64
+	for _, method := range []string{MethodGroundTruth, MethodRUP, MethodFairCO2} {
+		attr, err := AttributeColocation(method, names, 250, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(attr) != len(names) {
+			t.Fatalf("%s: %d attributions", method, len(attr))
+		}
+		sum := 0.0
+		for i, a := range attr {
+			if a.Workload != names[i] {
+				t.Errorf("%s: attribution %d for %s, want %s", method, i, a.Workload, names[i])
+			}
+			if a.Carbon <= 0 {
+				t.Errorf("%s: non-positive carbon for %s", method, a.Workload)
+			}
+			sum += float64(a.Carbon)
+		}
+		totals = append(totals, sum)
+	}
+	// Every method attributes the same scenario total.
+	approx(t, totals[1], totals[0], 1e-6*totals[0], "RUP total")
+	approx(t, totals[2], totals[0], 1e-6*totals[0], "FairCO2 total")
+
+	if _, err := AttributeColocation("nope", names, 250, 1); err == nil {
+		t.Error("unknown method should error")
+	}
+	if _, err := AttributeColocation(MethodRUP, []workload.Name{"bogus", workload.CH}, 250, 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, err := AttributeColocation(MethodRUP, names, -5, 1); err == nil {
+		t.Error("negative CI should error")
+	}
+}
+
+func TestColocationGroundTruthLargeScenarioSampled(t *testing.T) {
+	// More than 7 workloads exercises the sampled path.
+	names := []workload.Name{
+		workload.DDUP, workload.BFS, workload.MSF, workload.WC,
+		workload.SA, workload.CH, workload.NN, workload.NBODY,
+		workload.SPARK, workload.FAISS,
+	}
+	attr, err := AttributeColocation(MethodGroundTruth, names, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attr) != 10 {
+		t.Fatalf("got %d attributions", len(attr))
+	}
+}

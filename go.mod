@@ -1,0 +1,3 @@
+module fairco2
+
+go 1.22

@@ -1,0 +1,184 @@
+package fairco2
+
+// Integration tests: end-to-end flows a library consumer would run,
+// crossing package boundaries (cluster simulation -> telemetry -> billing;
+// forecast -> live signal -> workload pricing).
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fairco2/internal/cluster"
+	"fairco2/internal/grid"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+)
+
+func TestBillingFacadeEndToEnd(t *testing.T) {
+	cfg := BillingConfig{
+		Server:      ReferenceServer(),
+		Grid:        GridCalifornia,
+		PeriodStart: 0,
+		Step:        3600,
+		Samples:     24,
+	}
+	acct, err := NewAccountant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vals map[int]float64) *timeseries.Series {
+		s := timeseries.Zeros(0, 3600, 24)
+		for i, v := range vals {
+			s.Values[i] = v
+		}
+		return s
+	}
+	if err := acct.RecordUsage("web", mk(map[int]float64{8: 32, 9: 32, 10: 48, 11: 48}), mk(map[int]float64{8: 90, 9: 90, 10: 130, 11: 130})); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.RecordUsage("batch", mk(map[int]float64{2: 64, 3: 64}), mk(map[int]float64{2: 180, 3: 180})); err != nil {
+		t.Fatal(err)
+	}
+	statements, total, err := acct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statements) != 2 {
+		t.Fatalf("got %d statements", len(statements))
+	}
+	sum := GramsCO2e(0)
+	for _, s := range statements {
+		sum += s.Total()
+	}
+	if math.Abs(float64(sum-total.Total())) > 1e-6*float64(total.Total()) {
+		t.Errorf("statements %v != total %v", sum, total.Total())
+	}
+	out := FormatStatements(statements, total)
+	if !strings.Contains(out, "web") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("formatted output:\n%s", out)
+	}
+}
+
+func TestClusterToBillingPipeline(t *testing.T) {
+	// Simulate a fleet, feed the per-VM telemetry into the Accountant,
+	// and confirm the statements reassemble the period totals.
+	rng := rand.New(rand.NewSource(21))
+	fleetCfg := cluster.DefaultFleetConfig()
+	fleetCfg.VMs = 40
+	fleet, err := cluster.RandomFleet(fleetCfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Simulate(fleet, cluster.DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := NewAccountant(BillingConfig{
+		Server:      ReferenceServer(),
+		Grid:        GridSweden,
+		PeriodStart: 0,
+		Step:        300,
+		Samples:     res.Demand.Len(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range fleet {
+		usage, err := res.UsageOf(vm.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenant := "tenant-" + string(rune('A'+vm.ID%5))
+		if err := acct.RecordUsage(tenant, usage, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statements, total, err := acct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statements) != 5 {
+		t.Fatalf("got %d tenants, want 5", len(statements))
+	}
+	if total.Embodied <= 0 || total.Static <= 0 {
+		t.Errorf("fixed components must be positive: %+v", total)
+	}
+	if total.Dynamic != 0 {
+		t.Error("no power telemetry recorded, dynamic must be zero")
+	}
+}
+
+func TestLiveSignalGuidesShifting(t *testing.T) {
+	// A deferrable job priced at the cheapest vs the most expensive hour
+	// of the live signal must differ substantially — the premise of the
+	// batchshift example and the paper's §5.3 optimization loop.
+	cfg := trace.DefaultAzureLikeConfig()
+	cfg.Days = 22
+	full, err := trace.GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := 288
+	history, err := full.Head(21 * perDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := LiveIntensitySignal(history, perDay, 1e7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := sig.Tail(perDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tail.Values[0], tail.Values[0]
+	for _, v := range tail.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < 1.5*lo {
+		t.Errorf("live signal should vary enough to guide shifting: lo %v hi %v", lo, hi)
+	}
+}
+
+func TestRequestLedgerFacade(t *testing.T) {
+	ledger, err := NewRequestLedger("IVF", 48, GridCalifornia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, 50)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, Arrival: Seconds(float64(i) * 0.01)}
+	}
+	attrs, total, err := ledger.PriceAll(reqs, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 50 || total <= 0 {
+		t.Fatalf("attrs %d total %v", len(attrs), total)
+	}
+	if _, err := NewRequestLedger("ANN", 48, GridCalifornia); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	batches, err := BatchRequests(reqs, 16, 1)
+	if err != nil || len(batches) == 0 {
+		t.Fatalf("BatchRequests: %v", err)
+	}
+}
+
+func TestConstantAndTraceGrid(t *testing.T) {
+	if ConstantGrid(42).At(123) != 42 {
+		t.Error("ConstantGrid")
+	}
+	tr := TraceGrid(timeseries.New(0, 10, []float64{1, 2}))
+	if tr.At(15) != 2 {
+		t.Error("TraceGrid")
+	}
+	var _ GridSignal = grid.Sweden
+}

@@ -1,0 +1,267 @@
+package attribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/schedule"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func allMethods() []Method {
+	return []Method{GroundTruth{}, RUPBaseline{}, DemandProportional{}, TemporalShapley{}}
+}
+
+func randomSchedule(t *testing.T, rng *rand.Rand) *schedule.Schedule {
+	t.Helper()
+	cfg := schedule.DefaultGeneratorConfig()
+	cfg.MaxWorkloads = 10
+	s, err := schedule.Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllMethodsConserveBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const budget = 1e6
+	for trial := 0; trial < 20; trial++ {
+		s := randomSchedule(t, rng)
+		for _, m := range allMethods() {
+			attr, err := m.Attribute(s, budget)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			if len(attr) != len(s.Workloads) {
+				t.Fatalf("%s: %d attributions for %d workloads", m.Name(), len(attr), len(s.Workloads))
+			}
+			approx(t, sum(attr), budget, 1e-3, m.Name()+" conserves budget")
+			for i, v := range attr {
+				if v < -1e-9 {
+					t.Fatalf("%s: negative attribution %v for workload %d", m.Name(), v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allMethods() {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Errorf("method name %q empty or duplicated", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+// singleSliceSchedule has every workload in one slice: all methods must
+// agree (attribution proportional to cores).
+func TestAllMethodsAgreeOnSingleSlice(t *testing.T) {
+	s := &schedule.Schedule{
+		Slices:        1,
+		SliceDuration: 3600,
+		Workloads: []schedule.Workload{
+			{ID: 0, Cores: 8, Start: 0, Duration: 1},
+			{ID: 1, Cores: 24, Start: 0, Duration: 1},
+		},
+	}
+	const budget = 3200
+	for _, m := range allMethods() {
+		attr, err := m.Attribute(s, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		approx(t, attr[0], 800, 1e-6, m.Name()+" workload 0")
+		approx(t, attr[1], 2400, 1e-6, m.Name()+" workload 1")
+	}
+}
+
+func TestGroundTruthPeakSensitivity(t *testing.T) {
+	// Two workloads with equal core-seconds: w0 runs during the peak
+	// (alongside w2), w1 runs alone off-peak. Ground truth must charge w0
+	// more; RUP charges them identically.
+	s := &schedule.Schedule{
+		Slices:        2,
+		SliceDuration: 1,
+		Workloads: []schedule.Workload{
+			{ID: 0, Cores: 32, Start: 0, Duration: 1},
+			{ID: 1, Cores: 32, Start: 1, Duration: 1},
+			{ID: 2, Cores: 64, Start: 0, Duration: 1},
+		},
+	}
+	gt, err := GroundTruth{}.Attribute(s, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt[0] <= gt[1] {
+		t.Errorf("peak-time workload should pay more: %v vs %v", gt[0], gt[1])
+	}
+	rup, err := RUPBaseline{}.Attribute(s, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rup[0], rup[1], 1e-9, "RUP ignores timing")
+}
+
+func TestGroundTruthKnownValue(t *testing.T) {
+	// Two disjoint workloads: v({0}) = 8, v({1}) = 16, v({0,1}) = 16
+	// (disjoint in time, peak = max). Peak game: phi = (4, 12).
+	s := &schedule.Schedule{
+		Slices:        2,
+		SliceDuration: 1,
+		Workloads: []schedule.Workload{
+			{ID: 0, Cores: 8, Start: 0, Duration: 1},
+			{ID: 1, Cores: 16, Start: 1, Duration: 1},
+		},
+	}
+	gt, err := GroundTruth{}.Attribute(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, gt[0], 4, 1e-9, "phi0 scaled")
+	approx(t, gt[1], 12, 1e-9, "phi1 scaled")
+}
+
+func TestFairCO2BeatsBaselinesOnAverage(t *testing.T) {
+	// Figure 7's ordering: ground truth deviation of Temporal Shapley <
+	// demand proportional < RUP.
+	rng := rand.New(rand.NewSource(2))
+	devSums := map[string]float64{}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		s := randomSchedule(t, rng)
+		gt, err := GroundTruth{}.Attribute(s, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []Method{RUPBaseline{}, DemandProportional{}, TemporalShapley{}} {
+			attr, err := m.Attribute(s, 1e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := MeanDeviation(gt, attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			devSums[m.Name()] += dev
+		}
+	}
+	rup := devSums[RUPBaseline{}.Name()] / trials
+	dp := devSums[DemandProportional{}.Name()] / trials
+	ts := devSums[TemporalShapley{}.Name()] / trials
+	t.Logf("mean deviations: RUP %.1f%%, demand-prop %.1f%%, temporal-shapley %.1f%%", rup*100, dp*100, ts*100)
+	if !(ts < dp && dp < rup) {
+		t.Errorf("expected temporal (%v) < demand-prop (%v) < RUP (%v)", ts, dp, rup)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	good := &schedule.Schedule{
+		Slices:        1,
+		SliceDuration: 1,
+		Workloads:     []schedule.Workload{{ID: 0, Cores: 1, Start: 0, Duration: 1}},
+	}
+	for _, m := range allMethods() {
+		if _, err := m.Attribute(nil, 1); err == nil {
+			t.Errorf("%s: nil schedule should error", m.Name())
+		}
+		if _, err := m.Attribute(good, -1); err == nil {
+			t.Errorf("%s: negative budget should error", m.Name())
+		}
+		bad := &schedule.Schedule{Slices: 0}
+		if _, err := m.Attribute(bad, 1); err == nil {
+			t.Errorf("%s: invalid schedule should error", m.Name())
+		}
+	}
+}
+
+func TestTemporalShapleyCustomSplits(t *testing.T) {
+	s := &schedule.Schedule{
+		Slices:        6,
+		SliceDuration: 1,
+		Workloads: []schedule.Workload{
+			{ID: 0, Cores: 8, Start: 0, Duration: 3},
+			{ID: 1, Cores: 16, Start: 3, Duration: 3},
+		},
+	}
+	attr, err := TemporalShapley{Splits: []int{2, 3}}.Attribute(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum(attr), 100, 1e-9, "custom splits conserve budget")
+	if _, err := (TemporalShapley{Splits: []int{4}}).Attribute(s, 100); err == nil {
+		t.Error("mismatched splits should error")
+	}
+}
+
+func TestDeviationHelpers(t *testing.T) {
+	gt := []float64{100, 200, 0, 0}
+	attr := []float64{110, 150, 0, 5}
+	devs, err := Deviations(gt, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, devs[0], 0.1, 1e-12, "dev0")
+	approx(t, devs[1], 0.25, 1e-12, "dev1")
+	approx(t, devs[2], 0, 0, "zero vs zero")
+	if !math.IsInf(devs[3], 1) {
+		t.Error("nonzero attribution against zero truth should be +Inf")
+	}
+
+	mean, err := MeanDeviation(gt[:2], attr[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, mean, 0.175, 1e-12, "mean deviation")
+
+	worst, err := WorstDeviation(gt[:2], attr[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, worst, 0.25, 1e-12, "worst deviation")
+
+	if _, err := Deviations([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := MeanDeviation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mean length mismatch should error")
+	}
+	if _, err := WorstDeviation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("worst length mismatch should error")
+	}
+}
+
+func TestGroundTruthSymmetryAxiom(t *testing.T) {
+	// Two identical workloads must receive equal attributions.
+	s := &schedule.Schedule{
+		Slices:        3,
+		SliceDuration: 1,
+		Workloads: []schedule.Workload{
+			{ID: 0, Cores: 16, Start: 0, Duration: 2},
+			{ID: 1, Cores: 16, Start: 0, Duration: 2},
+			{ID: 2, Cores: 48, Start: 2, Duration: 1},
+		},
+	}
+	gt, err := GroundTruth{}.Attribute(s, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, gt[0], gt[1], 1e-9, "symmetric workloads")
+}

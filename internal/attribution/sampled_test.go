@@ -1,0 +1,75 @@
+package attribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampledShapleyConvergesToGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		s := randomSchedule(t, rng)
+		gt, err := GroundTruth{}.Attribute(s, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := SampledShapley{Samples: 20000, Seed: int64(trial)}.Attribute(s, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt {
+			if gt[i] == 0 {
+				continue
+			}
+			if rel := math.Abs(est[i]-gt[i]) / (gt[i] + 1e4); rel > 0.08 {
+				t.Errorf("trial %d workload %d: sampled %v vs exact %v", trial, i, est[i], gt[i])
+			}
+		}
+	}
+}
+
+func TestSampledShapleyConservesBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := randomSchedule(t, rng)
+	attr, err := SampledShapley{Samples: 50, Seed: 1}.Attribute(s, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum(attr), 777, 1e-6, "budget conservation")
+}
+
+func TestSampledShapleyDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randomSchedule(t, rng)
+	a, err := SampledShapley{Samples: 100, Seed: 5}.Attribute(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledShapley{Samples: 100, Seed: 5}.Attribute(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the estimate")
+		}
+	}
+}
+
+func TestSampledShapleyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	s := randomSchedule(t, rng)
+	if _, err := (SampledShapley{Samples: 0}).Attribute(s, 1); err == nil {
+		t.Error("zero samples")
+	}
+	if _, err := (SampledShapley{Samples: 10}).Attribute(nil, 1); err == nil {
+		t.Error("nil schedule")
+	}
+	if _, err := (SampledShapley{Samples: 10}).Attribute(s, -1); err == nil {
+		t.Error("negative budget")
+	}
+	if (SampledShapley{}).Name() != "sampled-shapley" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,351 @@
+// Package billing turns Fair-CO2's attribution machinery into the
+// operator-facing workflow the paper motivates: tenants register, usage
+// telemetry accumulates over a billing period, and at period close every
+// tenant receives a carbon statement that separates embodied carbon
+// (priced by the Temporal Shapley intensity signal), static-energy carbon
+// (same signal family: fixed cost scaled by provisioned capacity), and
+// dynamic-energy carbon (metered energy at the grid intensity of the
+// moment it was consumed).
+package billing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Accountant accumulates tenant telemetry for one billing period.
+type Accountant struct {
+	server *carbon.Server
+	grid   grid.Signal
+	// start/step/samples fix the period's telemetry grid.
+	start, step units.Seconds
+	samples     int
+	// splits is the Temporal Shapley schedule over the period.
+	splits []int
+
+	coreUsage map[string]*timeseries.Series
+	memUsage  map[string]*timeseries.Series
+	dynPower  map[string]*timeseries.Series
+	order     []string
+	hasMemory bool
+}
+
+// Config parameterizes an Accountant.
+type Config struct {
+	// Server is the hardware model of the fleet's nodes.
+	Server *carbon.Server
+	// Grid is the operational carbon-intensity signal.
+	Grid grid.Signal
+	// PeriodStart and Step fix the telemetry grid.
+	PeriodStart units.Seconds
+	Step        units.Seconds
+	// Samples is the number of telemetry samples in the period.
+	Samples int
+	// Splits optionally sets the Temporal Shapley hierarchy (product
+	// must equal Samples); nil uses a single level.
+	Splits []int
+}
+
+// NewAccountant opens a billing period.
+func NewAccountant(cfg Config) (*Accountant, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("billing: nil server model")
+	}
+	if err := cfg.Server.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Grid == nil {
+		return nil, errors.New("billing: nil grid signal")
+	}
+	if cfg.Step <= 0 || cfg.Samples < 1 {
+		return nil, fmt.Errorf("billing: invalid grid (step %v, samples %d)", cfg.Step, cfg.Samples)
+	}
+	splits := cfg.Splits
+	if len(splits) == 0 {
+		// Hierarchical coarse-to-fine attribution by default, as in the
+		// paper's Figure 4 cascade.
+		var err error
+		splits, err = temporal.AutoSplits(cfg.Samples, 16)
+		if err != nil {
+			return nil, err
+		}
+	}
+	product := 1
+	for _, m := range splits {
+		product *= m
+	}
+	if product != cfg.Samples {
+		return nil, fmt.Errorf("billing: splits multiply to %d, want %d samples", product, cfg.Samples)
+	}
+	return &Accountant{
+		server:    cfg.Server,
+		grid:      cfg.Grid,
+		start:     cfg.PeriodStart,
+		step:      cfg.Step,
+		samples:   cfg.Samples,
+		splits:    splits,
+		coreUsage: map[string]*timeseries.Series{},
+		memUsage:  map[string]*timeseries.Series{},
+		dynPower:  map[string]*timeseries.Series{},
+	}, nil
+}
+
+// RecordUsage adds a tenant's core-allocation and dynamic-power telemetry
+// for the period. Repeated calls for the same tenant accumulate. Both
+// series must be on the period grid; dynPower may be nil for idle tenants.
+func (a *Accountant) RecordUsage(tenant string, cores, dynPower *timeseries.Series) error {
+	if tenant == "" {
+		return errors.New("billing: empty tenant name")
+	}
+	if cores == nil {
+		return errors.New("billing: nil core-usage series")
+	}
+	if err := a.checkGrid(cores); err != nil {
+		return fmt.Errorf("billing: tenant %s cores: %w", tenant, err)
+	}
+	for i, v := range cores.Values {
+		if v < 0 {
+			return fmt.Errorf("billing: tenant %s has negative core usage at sample %d", tenant, i)
+		}
+	}
+	if dynPower != nil {
+		if err := a.checkGrid(dynPower); err != nil {
+			return fmt.Errorf("billing: tenant %s power: %w", tenant, err)
+		}
+		for i, v := range dynPower.Values {
+			if v < 0 {
+				return fmt.Errorf("billing: tenant %s has negative power at sample %d", tenant, i)
+			}
+		}
+	}
+	a.register(tenant)
+	for i, v := range cores.Values {
+		a.coreUsage[tenant].Values[i] += v
+	}
+	if dynPower != nil {
+		for i, v := range dynPower.Values {
+			a.dynPower[tenant].Values[i] += v
+		}
+	}
+	return nil
+}
+
+// RecordMemory adds a tenant's DRAM-allocation telemetry (GB over time).
+// When any tenant records memory, the period's DRAM embodied carbon is
+// attributed through its own Temporal Shapley signal over the memory
+// demand — the paper's per-resource accounting; otherwise all embodied
+// carbon rides the core-demand signal.
+func (a *Accountant) RecordMemory(tenant string, memGB *timeseries.Series) error {
+	if tenant == "" {
+		return errors.New("billing: empty tenant name")
+	}
+	if memGB == nil {
+		return errors.New("billing: nil memory series")
+	}
+	if err := a.checkGrid(memGB); err != nil {
+		return fmt.Errorf("billing: tenant %s memory: %w", tenant, err)
+	}
+	for i, v := range memGB.Values {
+		if v < 0 {
+			return fmt.Errorf("billing: tenant %s has negative memory usage at sample %d", tenant, i)
+		}
+	}
+	a.register(tenant)
+	for i, v := range memGB.Values {
+		a.memUsage[tenant].Values[i] += v
+	}
+	a.hasMemory = true
+	return nil
+}
+
+func (a *Accountant) register(tenant string) {
+	if _, ok := a.coreUsage[tenant]; ok {
+		return
+	}
+	a.coreUsage[tenant] = timeseries.Zeros(a.start, a.step, a.samples)
+	a.memUsage[tenant] = timeseries.Zeros(a.start, a.step, a.samples)
+	a.dynPower[tenant] = timeseries.Zeros(a.start, a.step, a.samples)
+	a.order = append(a.order, tenant)
+}
+
+// Statement is one tenant's carbon bill for the period.
+type Statement struct {
+	Tenant string
+	// Embodied is the Temporal Shapley share of amortized manufacturing
+	// carbon (EmbodiedCPU + EmbodiedDRAM).
+	Embodied units.GramsCO2e
+	// EmbodiedCPU is the share attributed through the core-demand signal
+	// (CPU, SSD and platform overheads).
+	EmbodiedCPU units.GramsCO2e
+	// EmbodiedDRAM is the share attributed through the memory-demand
+	// signal; zero when no tenant recorded memory telemetry.
+	EmbodiedDRAM units.GramsCO2e
+	// Static is the Temporal Shapley share of static-energy carbon.
+	Static units.GramsCO2e
+	// Dynamic is metered dynamic energy priced at the instantaneous grid
+	// intensity.
+	Dynamic units.GramsCO2e
+	// CoreSeconds is the tenant's total resource-time (for rate display).
+	CoreSeconds units.CoreSeconds
+}
+
+// Total returns the statement's full footprint.
+func (s Statement) Total() units.GramsCO2e { return s.Embodied + s.Static + s.Dynamic }
+
+// Close prices the period and returns one statement per tenant (sorted by
+// registration order) plus the period totals. The provisioned capacity is
+// the peak aggregate demand rounded up to whole nodes, which sets both the
+// embodied budget and the static-energy budget (§3's insight: peak demand
+// is the minimum capacity that must exist).
+func (a *Accountant) Close() ([]Statement, Statement, error) {
+	if len(a.order) == 0 {
+		return nil, Statement{}, errors.New("billing: no tenants recorded")
+	}
+	coreDemand := timeseries.Zeros(a.start, a.step, a.samples)
+	memDemand := timeseries.Zeros(a.start, a.step, a.samples)
+	for _, tenant := range a.order {
+		for i, v := range a.coreUsage[tenant].Values {
+			coreDemand.Values[i] += v
+		}
+		for i, v := range a.memUsage[tenant].Values {
+			memDemand.Values[i] += v
+		}
+	}
+	if coreDemand.Integral() <= 0 {
+		return nil, Statement{}, errors.New("billing: period has zero usage")
+	}
+
+	// Provisioned capacity: peak demand in whole nodes, over whichever
+	// resource binds.
+	logicalCores := a.server.Cores * 2 // SMT-2
+	nodes := ceilDiv(coreDemand.Peak(), float64(logicalCores))
+	if a.hasMemory {
+		if memNodes := ceilDiv(memDemand.Peak(), float64(a.server.MemoryGB)); memNodes > nodes {
+			nodes = memNodes
+		}
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	window := float64(a.step) * float64(a.samples)
+	embodiedBudget := float64(nodes) * a.server.EmbodiedRate() * window
+	staticEnergy := units.Energy(units.Watts(float64(nodes)*float64(a.server.StaticPower)), units.Seconds(window))
+	staticBudget := float64(a.emissionsOverPeriod(staticEnergy))
+
+	// Per-resource split (§3's per-resource embodied accounting): the
+	// DRAM fraction of the node footprint rides the memory-demand signal
+	// when memory telemetry exists.
+	dramFrac := 0.0
+	if a.hasMemory && memDemand.Integral() > 0 {
+		shares, err := a.server.ResourceShares()
+		if err != nil {
+			return nil, Statement{}, err
+		}
+		dramFrac = float64(shares.DRAMPerGB) * float64(a.server.MemoryGB) / float64(a.server.TotalEmbodied())
+	}
+	cpuFixedBudget := embodiedBudget*(1-dramFrac) + staticBudget
+	dramBudget := embodiedBudget * dramFrac
+
+	coreSignal, err := temporal.IntensitySignal(coreDemand, units.GramsCO2e(cpuFixedBudget), temporal.Config{SplitRatios: a.splits})
+	if err != nil {
+		return nil, Statement{}, err
+	}
+	var memSignal *timeseries.Series
+	if dramBudget > 0 {
+		memSignal, err = temporal.IntensitySignal(memDemand, units.GramsCO2e(dramBudget), temporal.Config{SplitRatios: a.splits})
+		if err != nil {
+			return nil, Statement{}, err
+		}
+	}
+	embodiedFracOfCore := embodiedBudget * (1 - dramFrac) / cpuFixedBudget
+
+	statements := make([]Statement, 0, len(a.order))
+	var total Statement
+	total.Tenant = "TOTAL"
+	for _, tenant := range a.order {
+		coreFixed, err := temporal.AttributeUsage(coreSignal, a.coreUsage[tenant])
+		if err != nil {
+			return nil, Statement{}, err
+		}
+		st := Statement{
+			Tenant:      tenant,
+			EmbodiedCPU: units.GramsCO2e(float64(coreFixed) * embodiedFracOfCore),
+			Static:      units.GramsCO2e(float64(coreFixed) * (1 - embodiedFracOfCore)),
+			CoreSeconds: units.CoreSeconds(a.coreUsage[tenant].Integral()),
+		}
+		if memSignal != nil {
+			dram, err := temporal.AttributeUsage(memSignal, a.memUsage[tenant])
+			if err != nil {
+				return nil, Statement{}, err
+			}
+			st.EmbodiedDRAM = dram
+		}
+		st.Embodied = st.EmbodiedCPU + st.EmbodiedDRAM
+		// Dynamic energy: integrate power x instantaneous grid CI.
+		dyn := 0.0
+		for i, p := range a.dynPower[tenant].Values {
+			t := a.start + units.Seconds(float64(a.step)*(float64(i)+0.5))
+			dyn += float64(units.Emissions(units.Energy(units.Watts(p), a.step), a.grid.At(t)))
+		}
+		st.Dynamic = units.GramsCO2e(dyn)
+		statements = append(statements, st)
+		total.Embodied += st.Embodied
+		total.EmbodiedCPU += st.EmbodiedCPU
+		total.EmbodiedDRAM += st.EmbodiedDRAM
+		total.Static += st.Static
+		total.Dynamic += st.Dynamic
+		total.CoreSeconds += st.CoreSeconds
+	}
+	return statements, total, nil
+}
+
+func ceilDiv(x, unit float64) int {
+	return int(math.Ceil(x / unit))
+}
+
+// emissionsOverPeriod prices an energy quantity at the period's
+// time-averaged grid intensity.
+func (a *Accountant) emissionsOverPeriod(e units.Joules) units.GramsCO2e {
+	sum := 0.0
+	for i := 0; i < a.samples; i++ {
+		t := a.start + units.Seconds(float64(a.step)*(float64(i)+0.5))
+		sum += float64(a.grid.At(t))
+	}
+	avg := units.CarbonIntensity(sum / float64(a.samples))
+	return units.Emissions(e, avg)
+}
+
+func (a *Accountant) checkGrid(s *timeseries.Series) error {
+	if s.Start != a.start || s.Step != a.step || s.Len() != a.samples {
+		return fmt.Errorf("series grid (start %v, step %v, len %d) does not match period grid (start %v, step %v, len %d)",
+			s.Start, s.Step, s.Len(), a.start, a.step, a.samples)
+	}
+	return nil
+}
+
+// Tenants returns the registered tenants in registration order.
+func (a *Accountant) Tenants() []string { return append([]string(nil), a.order...) }
+
+// FormatStatements renders statements as a table.
+func FormatStatements(statements []Statement, total Statement) string {
+	out := fmt.Sprintf("%-12s %12s %12s %12s %12s\n", "tenant", "embodied", "static", "dynamic", "total")
+	rows := append(append([]Statement(nil), statements...), total)
+	for _, s := range rows {
+		out += fmt.Sprintf("%-12s %10.2f g %10.2f g %10.2f g %10.2f g\n",
+			s.Tenant, float64(s.Embodied), float64(s.Static), float64(s.Dynamic), float64(s.Total()))
+	}
+	return out
+}
+
+// SortBySize orders statements by descending total footprint.
+func SortBySize(statements []Statement) {
+	sort.Slice(statements, func(i, j int) bool { return statements[i].Total() > statements[j].Total() })
+}

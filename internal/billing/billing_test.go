@@ -1,0 +1,274 @@
+package billing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Server:      carbon.NewReferenceServer(),
+		Grid:        grid.California,
+		PeriodStart: 0,
+		Step:        3600,
+		Samples:     24,
+	}
+}
+
+func series(vals ...float64) *timeseries.Series {
+	full := make([]float64, 24)
+	copy(full, vals)
+	return timeseries.New(0, 3600, full)
+}
+
+func TestAccountantBasicPeriod(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant A: steady 8 cores all day. Tenant B: 64 cores during one
+	// peak hour (hour 12).
+	steady := timeseries.Zeros(0, 3600, 24)
+	for i := range steady.Values {
+		steady.Values[i] = 8
+	}
+	power := timeseries.Zeros(0, 3600, 24)
+	for i := range power.Values {
+		power.Values[i] = 40
+	}
+	if err := a.RecordUsage("steady", steady, power); err != nil {
+		t.Fatal(err)
+	}
+	burst := timeseries.Zeros(0, 3600, 24)
+	burst.Values[12] = 64
+	burstPower := timeseries.Zeros(0, 3600, 24)
+	burstPower.Values[12] = 200
+	if err := a.RecordUsage("burst", burst, burstPower); err != nil {
+		t.Fatal(err)
+	}
+
+	statements, total, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statements) != 2 {
+		t.Fatalf("got %d statements", len(statements))
+	}
+	// Conservation: per-tenant shares reassemble the totals.
+	var emb, sta, dyn float64
+	for _, s := range statements {
+		emb += float64(s.Embodied)
+		sta += float64(s.Static)
+		dyn += float64(s.Dynamic)
+		if s.Embodied < 0 || s.Static < 0 || s.Dynamic < 0 {
+			t.Fatalf("negative component in %+v", s)
+		}
+	}
+	approx(t, emb, float64(total.Embodied), 1e-9, "embodied conservation")
+	approx(t, sta, float64(total.Static), 1e-9, "static conservation")
+	approx(t, dyn, float64(total.Dynamic), 1e-9, "dynamic conservation")
+
+	// The burst tenant used 1/3 the core-seconds of the steady tenant
+	// (64 vs 192) but ran entirely at the peak, so its fixed-cost rate
+	// per core-second must be much higher.
+	bySize := map[string]Statement{}
+	for _, s := range statements {
+		bySize[s.Tenant] = s
+	}
+	steadyRate := float64(bySize["steady"].Embodied) / float64(bySize["steady"].CoreSeconds)
+	burstRate := float64(bySize["burst"].Embodied) / float64(bySize["burst"].CoreSeconds)
+	if burstRate <= steadyRate {
+		t.Errorf("peak-hour tenant rate %v should exceed steady rate %v", burstRate, steadyRate)
+	}
+
+	// Dynamic carbon: metered energy at 230 gCO2e/kWh.
+	wantSteadyDyn := float64(units.Emissions(units.Energy(40, 24*3600), 230))
+	approx(t, float64(bySize["steady"].Dynamic), wantSteadyDyn, 1e-6, "metered dynamic carbon")
+}
+
+func TestAccumulatingRecords(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("x", series(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("x", series(6), nil); err != nil {
+		t.Fatal(err)
+	}
+	statements, _, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(statements[0].CoreSeconds), 10*3600, 1e-9, "accumulated usage")
+	if got := a.Tenants(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Tenants = %v", got)
+	}
+}
+
+func TestStatementTotalAndFormat(t *testing.T) {
+	s := Statement{Tenant: "a", Embodied: 1, Static: 2, Dynamic: 3}
+	if s.Total() != 6 {
+		t.Error("total")
+	}
+	out := FormatStatements([]Statement{s}, Statement{Tenant: "TOTAL", Embodied: 1, Static: 2, Dynamic: 3})
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "tenant") {
+		t.Errorf("format output:\n%s", out)
+	}
+	list := []Statement{{Tenant: "small", Dynamic: 1}, {Tenant: "big", Dynamic: 9}}
+	SortBySize(list)
+	if list[0].Tenant != "big" {
+		t.Error("SortBySize")
+	}
+}
+
+func TestNewAccountantErrors(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Server = nil },
+		func(c *Config) { c.Server = &carbon.Server{} },
+		func(c *Config) { c.Grid = nil },
+		func(c *Config) { c.Step = 0 },
+		func(c *Config) { c.Samples = 0 },
+		func(c *Config) { c.Splits = []int{7} },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := NewAccountant(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRecordUsageErrors(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("", series(1), nil); err == nil {
+		t.Error("empty tenant")
+	}
+	if err := a.RecordUsage("x", nil, nil); err == nil {
+		t.Error("nil usage")
+	}
+	wrongGrid := timeseries.New(0, 60, make([]float64, 24))
+	if err := a.RecordUsage("x", wrongGrid, nil); err == nil {
+		t.Error("grid mismatch")
+	}
+	neg := series(1)
+	neg.Values[3] = -1
+	if err := a.RecordUsage("x", neg, nil); err == nil {
+		t.Error("negative usage")
+	}
+	negP := series(0)
+	negP.Values[2] = -5
+	if err := a.RecordUsage("x", series(1), negP); err == nil {
+		t.Error("negative power")
+	}
+	if err := a.RecordUsage("x", series(1), wrongGrid); err == nil {
+		t.Error("power grid mismatch")
+	}
+}
+
+func TestCloseErrors(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Close(); err == nil {
+		t.Error("no tenants")
+	}
+	if err := a.RecordUsage("idle", series(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Close(); err == nil {
+		t.Error("zero usage")
+	}
+}
+
+func TestMultiNodeProvisioning(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak demand 200 cores -> 3 nodes of 96 logical cores.
+	big := series(200)
+	if err := a.RecordUsage("big", big, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, totalBig, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against a single-node period: 3x capacity means 3x fixed
+	// budget for identical usage shape.
+	b, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordUsage("small", series(60), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, totalSmall, err := b.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(totalBig.Embodied) / float64(totalSmall.Embodied)
+	approx(t, ratio, 3, 1e-9, "fixed budget scales with provisioned nodes")
+}
+
+func TestTimeVaryingGridPricesDynamicEnergy(t *testing.T) {
+	cfg := testConfig()
+	// First half of the day clean, second half dirty.
+	ciValues := make([]float64, 24)
+	for i := range ciValues {
+		if i < 12 {
+			ciValues[i] = 50
+		} else {
+			ciValues[i] = 500
+		}
+	}
+	cfg.Grid = grid.Trace{Series: timeseries.New(0, 3600, ciValues)}
+	a, err := NewAccountant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := timeseries.Zeros(0, 3600, 24)
+	dirty := timeseries.Zeros(0, 3600, 24)
+	cleanP := timeseries.Zeros(0, 3600, 24)
+	dirtyP := timeseries.Zeros(0, 3600, 24)
+	clean.Values[3], cleanP.Values[3] = 8, 100
+	dirty.Values[20], dirtyP.Values[20] = 8, 100
+	if err := a.RecordUsage("clean", clean, cleanP); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("dirty", dirty, dirtyP); err != nil {
+		t.Fatal(err)
+	}
+	statements, _, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Statement{}
+	for _, s := range statements {
+		byName[s.Tenant] = s
+	}
+	if float64(byName["dirty"].Dynamic) < 9*float64(byName["clean"].Dynamic) {
+		t.Errorf("identical energy on a 10x dirtier grid should cost ~10x: clean %v, dirty %v",
+			byName["clean"].Dynamic, byName["dirty"].Dynamic)
+	}
+}

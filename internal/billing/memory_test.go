@@ -1,0 +1,125 @@
+package billing
+
+import (
+	"testing"
+
+	"fairco2/internal/timeseries"
+)
+
+func TestRecordMemoryPerResourceAttribution(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tenants with identical core usage; one also hoards memory.
+	cores := series(16, 16, 16, 16)
+	if err := a.RecordUsage("lean", cores, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("hungry", cores, nil); err != nil {
+		t.Fatal(err)
+	}
+	mem := timeseries.Zeros(0, 3600, 24)
+	for i := 0; i < 4; i++ {
+		mem.Values[i] = 150
+	}
+	if err := a.RecordMemory("hungry", mem); err != nil {
+		t.Fatal(err)
+	}
+	statements, total, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Statement{}
+	for _, s := range statements {
+		byName[s.Tenant] = s
+	}
+	if byName["lean"].EmbodiedDRAM != 0 {
+		t.Errorf("lean tenant recorded no memory but got DRAM share %v", byName["lean"].EmbodiedDRAM)
+	}
+	if byName["hungry"].EmbodiedDRAM <= 0 {
+		t.Error("hungry tenant should carry the DRAM embodied carbon")
+	}
+	// Identical core usage: equal CPU-side shares.
+	approx(t, float64(byName["lean"].EmbodiedCPU), float64(byName["hungry"].EmbodiedCPU), 1e-9, "equal CPU shares")
+	// Component bookkeeping.
+	for _, s := range statements {
+		approx(t, float64(s.Embodied), float64(s.EmbodiedCPU+s.EmbodiedDRAM), 1e-12, "embodied split")
+	}
+	approx(t, float64(total.Embodied), float64(total.EmbodiedCPU+total.EmbodiedDRAM), 1e-9, "total embodied split")
+	// DRAM is a large fraction of the reference server's footprint
+	// (146.87 kg of ~453 kg), so the DRAM budget must be substantial.
+	if float64(total.EmbodiedDRAM) < 0.2*float64(total.Embodied) {
+		t.Errorf("DRAM share %v of %v implausibly small", total.EmbodiedDRAM, total.Embodied)
+	}
+}
+
+func TestRecordMemoryDrivesProvisioning(t *testing.T) {
+	// Memory can be the binding resource: 150 GB peak on a 192 GB node
+	// is one node, 400 GB is three.
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordUsage("x", series(8), nil); err != nil {
+		t.Fatal(err)
+	}
+	bigMem := timeseries.Zeros(0, 3600, 24)
+	bigMem.Values[0] = 400
+	if err := a.RecordMemory("x", bigMem); err != nil {
+		t.Fatal(err)
+	}
+	_, totalBig, err := a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordUsage("x", series(8), nil); err != nil {
+		t.Fatal(err)
+	}
+	smallMem := timeseries.Zeros(0, 3600, 24)
+	smallMem.Values[0] = 150
+	if err := b.RecordMemory("x", smallMem); err != nil {
+		t.Fatal(err)
+	}
+	_, totalSmall, err := b.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(totalBig.Embodied)/float64(totalSmall.Embodied), 3, 1e-9,
+		"memory-bound provisioning scales the embodied budget")
+}
+
+func TestRecordMemoryErrors(t *testing.T) {
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordMemory("", series(1)); err == nil {
+		t.Error("empty tenant")
+	}
+	if err := a.RecordMemory("x", nil); err == nil {
+		t.Error("nil series")
+	}
+	wrong := timeseries.New(0, 60, make([]float64, 24))
+	if err := a.RecordMemory("x", wrong); err == nil {
+		t.Error("grid mismatch")
+	}
+	neg := series(0)
+	neg.Values[1] = -3
+	if err := a.RecordMemory("x", neg); err == nil {
+		t.Error("negative memory")
+	}
+	// Memory-only tenants are registered but a period with zero core
+	// usage cannot close.
+	if err := a.RecordMemory("memonly", series(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Close(); err == nil {
+		t.Error("zero core usage should error")
+	}
+}

@@ -1,0 +1,171 @@
+package billing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/timeseries"
+)
+
+// Property-based invariants of the billing period over randomized tenant
+// populations: conservation of every component, monotonicity in usage,
+// and invariance to how telemetry is split across RecordUsage calls.
+
+func randomAccountant(t *testing.T, seed int64, tenants int) (*Accountant, *rand.Rand) {
+	t.Helper()
+	a, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < tenants; k++ {
+		cores := timeseries.Zeros(0, 3600, 24)
+		power := timeseries.Zeros(0, 3600, 24)
+		for i := range cores.Values {
+			if rng.Float64() < 0.7 {
+				cores.Values[i] = float64(1 + rng.Intn(64))
+				power.Values[i] = cores.Values[i] * (1 + 3*rng.Float64())
+			}
+		}
+		name := fmt.Sprintf("t%d", k)
+		if err := a.RecordUsage(name, cores, power); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Float64() < 0.5 {
+			mem := timeseries.Zeros(0, 3600, 24)
+			for i := range mem.Values {
+				mem.Values[i] = rng.Float64() * 150
+			}
+			if err := a.RecordMemory(name, mem); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a, rng
+}
+
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, rawTenants uint8) bool {
+		tenants := 1 + int(rawTenants)%10
+		a, _ := randomAccountant(t, seed, tenants)
+		statements, total, err := a.Close()
+		if err != nil {
+			// Zero-usage draws are legitimately rejected.
+			return true
+		}
+		var emb, sta, dyn float64
+		for _, s := range statements {
+			if s.Embodied < 0 || s.Static < 0 || s.Dynamic < 0 {
+				return false
+			}
+			emb += float64(s.Embodied)
+			sta += float64(s.Static)
+			dyn += float64(s.Dynamic)
+		}
+		ok := func(got, want float64) bool {
+			return math.Abs(got-want) <= 1e-6*(1+want)
+		}
+		return ok(emb, float64(total.Embodied)) &&
+			ok(sta, float64(total.Static)) &&
+			ok(dyn, float64(total.Dynamic))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySplitRecordingInvariance(t *testing.T) {
+	// Recording the same telemetry in one call or split across two calls
+	// must produce identical statements.
+	mkSeries := func(scale float64) *timeseries.Series {
+		s := timeseries.Zeros(0, 3600, 24)
+		for i := range s.Values {
+			s.Values[i] = scale * float64(i%7)
+		}
+		return s
+	}
+	one, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := one.RecordUsage("x", mkSeries(10), mkSeries(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := one.RecordUsage("anchor", mkSeries(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := two.RecordUsage("x", mkSeries(4), mkSeries(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.RecordUsage("x", mkSeries(6), mkSeries(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.RecordUsage("anchor", mkSeries(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	s1, t1, err := one.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, t2, err := two.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(t1.Total()-t2.Total())) > 1e-9 {
+		t.Errorf("totals differ: %v vs %v", t1.Total(), t2.Total())
+	}
+	for i := range s1 {
+		if math.Abs(float64(s1[i].Total()-s2[i].Total())) > 1e-9 {
+			t.Errorf("tenant %s differs: %v vs %v", s1[i].Tenant, s1[i].Total(), s2[i].Total())
+		}
+	}
+}
+
+func TestPropertyMoreUsageNeverCheaperFixed(t *testing.T) {
+	// Scaling one tenant's usage up (holding others fixed, same peak
+	// structure) must not lower its fixed-cost share.
+	base, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := series(8, 8, 8, 8)
+	other := series(32, 16, 8, 4)
+	if err := base.RecordUsage("a", usage, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.RecordUsage("b", other, nil); err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := base.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigger.RecordUsage("a", series(16, 16, 16, 16), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bigger.RecordUsage("b", other, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := bigger.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2[0].Embodied < s1[0].Embodied {
+		t.Errorf("doubling usage lowered the bill: %v -> %v", s1[0].Embodied, s2[0].Embodied)
+	}
+	_ = grid.Sweden
+	_ = carbon.DefaultLifetime
+}

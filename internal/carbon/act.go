@@ -1,0 +1,209 @@
+package carbon
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/units"
+)
+
+// This file implements an ACT-style architectural embodied-carbon
+// calculator (Gupta et al., ISCA'22 — the model the paper uses for its IC
+// footprints, §6.1). It lets users model servers other than the built-in
+// reference machine from first principles:
+//
+//	logic:  C = area * (CI_fab * EPA + GPA + MPA) / yield
+//
+// where CI_fab is the fab's energy carbon intensity, EPA the energy per
+// die area, GPA the direct fluorinated-gas emissions per area, MPA the
+// material footprint per area, and yield the fraction of good dies.
+// Memory and storage use capacity-proportional factors (kgCO2e per GB) by
+// technology generation.
+
+// ProcessNode identifies a logic fabrication technology.
+type ProcessNode string
+
+// Supported logic nodes with ACT-reported per-area parameters.
+const (
+	Node28nm ProcessNode = "28nm"
+	Node20nm ProcessNode = "20nm"
+	Node14nm ProcessNode = "14nm"
+	Node10nm ProcessNode = "10nm"
+	Node7nm  ProcessNode = "7nm"
+	Node5nm  ProcessNode = "5nm"
+	Node3nm  ProcessNode = "3nm"
+)
+
+// logicParams holds per-cm2 fabrication parameters for one node.
+type logicParams struct {
+	// EPAKWhPerCm2 is fab energy per die area.
+	EPAKWhPerCm2 float64
+	// GPAKgPerCm2 is direct gas emissions per die area.
+	GPAKgPerCm2 float64
+	// MPAKgPerCm2 is material footprint per die area.
+	MPAKgPerCm2 float64
+	// Yield is the good-die fraction.
+	Yield float64
+}
+
+// logicTable approximates the ACT paper's per-node trends: fab energy per
+// area roughly doubles from 28 nm to 3 nm while yields dip for leading
+// nodes.
+var logicTable = map[ProcessNode]logicParams{
+	Node28nm: {EPAKWhPerCm2: 0.9, GPAKgPerCm2: 0.1, MPAKgPerCm2: 0.5, Yield: 0.95},
+	Node20nm: {EPAKWhPerCm2: 1.0, GPAKgPerCm2: 0.12, MPAKgPerCm2: 0.5, Yield: 0.94},
+	Node14nm: {EPAKWhPerCm2: 1.2, GPAKgPerCm2: 0.13, MPAKgPerCm2: 0.5, Yield: 0.93},
+	Node10nm: {EPAKWhPerCm2: 1.475, GPAKgPerCm2: 0.15, MPAKgPerCm2: 0.5, Yield: 0.92},
+	Node7nm:  {EPAKWhPerCm2: 1.52, GPAKgPerCm2: 0.18, MPAKgPerCm2: 0.5, Yield: 0.90},
+	Node5nm:  {EPAKWhPerCm2: 1.71, GPAKgPerCm2: 0.2, MPAKgPerCm2: 0.5, Yield: 0.875},
+	Node3nm:  {EPAKWhPerCm2: 2.0, GPAKgPerCm2: 0.25, MPAKgPerCm2: 0.5, Yield: 0.85},
+}
+
+// FabLocation selects the fab's electricity carbon intensity.
+type FabLocation string
+
+// Representative fab grids (ACT's sensitivity axis).
+const (
+	FabTaiwan    FabLocation = "taiwan"    // ~509 gCO2e/kWh
+	FabKorea     FabLocation = "korea"     // ~437 gCO2e/kWh
+	FabUSA       FabLocation = "usa"       // ~380 gCO2e/kWh
+	FabEurope    FabLocation = "europe"    // ~277 gCO2e/kWh
+	FabRenewable FabLocation = "renewable" // ~50 gCO2e/kWh (abated)
+)
+
+var fabIntensity = map[FabLocation]units.CarbonIntensity{
+	FabTaiwan:    509,
+	FabKorea:     437,
+	FabUSA:       380,
+	FabEurope:    277,
+	FabRenewable: 50,
+}
+
+// LogicEmbodied computes the embodied carbon of a logic die of the given
+// area (cm2) fabricated at the given node and location.
+func LogicEmbodied(areaCm2 float64, node ProcessNode, fab FabLocation) (units.KgCO2e, error) {
+	if areaCm2 <= 0 {
+		return 0, fmt.Errorf("carbon: die area must be positive, got %v", areaCm2)
+	}
+	p, ok := logicTable[node]
+	if !ok {
+		return 0, fmt.Errorf("carbon: unknown process node %q", node)
+	}
+	ci, ok := fabIntensity[fab]
+	if !ok {
+		return 0, fmt.Errorf("carbon: unknown fab location %q", fab)
+	}
+	// Energy term in kg: kWh/cm2 * gCO2e/kWh / 1000.
+	energyKg := p.EPAKWhPerCm2 * float64(ci) / 1000
+	perArea := (energyKg + p.GPAKgPerCm2 + p.MPAKgPerCm2) / p.Yield
+	return units.KgCO2e(areaCm2 * perArea), nil
+}
+
+// MemoryTech identifies a DRAM generation.
+type MemoryTech string
+
+// DRAM generations with per-GB embodied factors (ACT's DRAM trendline).
+const (
+	DDR3 MemoryTech = "ddr3"
+	DDR4 MemoryTech = "ddr4"
+	DDR5 MemoryTech = "ddr5"
+)
+
+var dramKgPerGB = map[MemoryTech]float64{
+	DDR3: 1.1,
+	DDR4: 0.765, // matches Table 1: 146.87 kg for 192 GB
+	DDR5: 0.55,
+}
+
+// DRAMEmbodied computes the embodied carbon of a DRAM complement.
+func DRAMEmbodied(capacityGB float64, tech MemoryTech) (units.KgCO2e, error) {
+	if capacityGB <= 0 {
+		return 0, fmt.Errorf("carbon: capacity must be positive, got %v", capacityGB)
+	}
+	f, ok := dramKgPerGB[tech]
+	if !ok {
+		return 0, fmt.Errorf("carbon: unknown memory technology %q", tech)
+	}
+	return units.KgCO2e(capacityGB * f), nil
+}
+
+// SSDEmbodied computes the embodied carbon of NAND storage at the paper's
+// 0.16 kgCO2e/GB rate (Tannu & Nair).
+func SSDEmbodied(capacityGB float64) (units.KgCO2e, error) {
+	if capacityGB <= 0 {
+		return 0, fmt.Errorf("carbon: capacity must be positive, got %v", capacityGB)
+	}
+	return units.KgCO2e(capacityGB * SSDEmbodiedPerGB), nil
+}
+
+// ServerSpec describes a server for the ACT-style builder.
+type ServerSpec struct {
+	// Sockets and DieAreaCm2 describe the CPUs.
+	Sockets    int
+	DieAreaCm2 float64
+	Node       ProcessNode
+	Fab        FabLocation
+	// CoresPerSocket is the physical core count per package.
+	CoresPerSocket int
+	// MemoryGB and MemoryTech describe DRAM.
+	MemoryGB   float64
+	MemoryTech MemoryTech
+	// StorageGB is SSD capacity.
+	StorageGB float64
+	// CPUTDP is per-socket TDP (drives the platform overhead scaling and
+	// the power model).
+	CPUTDP units.Watts
+	// StaticPower and MaxDynamicPower parameterize the power model.
+	StaticPower, MaxDynamicPower units.Watts
+	// Lifetime is the amortization horizon (0 uses DefaultLifetime).
+	Lifetime units.Seconds
+}
+
+// BuildServer assembles a Server from an ACT-style specification, applying
+// the same Dell R740-derived platform overheads as the reference machine.
+func BuildServer(spec ServerSpec) (*Server, error) {
+	switch {
+	case spec.Sockets < 1:
+		return nil, errors.New("carbon: need at least one socket")
+	case spec.CoresPerSocket < 1:
+		return nil, errors.New("carbon: need at least one core per socket")
+	case spec.StorageGB < 0:
+		return nil, errors.New("carbon: storage capacity must be non-negative")
+	}
+	cpuEach, err := LogicEmbodied(spec.DieAreaCm2, spec.Node, spec.Fab)
+	if err != nil {
+		return nil, err
+	}
+	dram, err := DRAMEmbodied(spec.MemoryGB, spec.MemoryTech)
+	if err != nil {
+		return nil, err
+	}
+	var ssd units.KgCO2e
+	if spec.StorageGB > 0 {
+		ssd, err = SSDEmbodied(spec.StorageGB)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lifetime := spec.Lifetime
+	if lifetime == 0 {
+		lifetime = DefaultLifetime
+	}
+	systemTDP := float64(spec.Sockets) * float64(spec.CPUTDP)
+	srv := &Server{
+		Cores:            spec.Sockets * spec.CoresPerSocket,
+		MemoryGB:         units.Gigabytes(spec.MemoryGB),
+		StorageGB:        units.Gigabytes(spec.StorageGB),
+		CPUEmbodied:      units.KgCO2e(float64(spec.Sockets)) * cpuEach,
+		DRAMEmbodied:     dram,
+		SSDEmbodied:      ssd,
+		PlatformEmbodied: r740MainboardEmbodied + r740ChassisEmbodied + units.KgCO2e(r740PowerCoolingPerW*systemTDP),
+		Lifetime:         lifetime,
+		StaticPower:      spec.StaticPower,
+		MaxDynamicPower:  spec.MaxDynamicPower,
+	}
+	if err := srv.Validate(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}

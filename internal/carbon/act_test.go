@@ -1,0 +1,164 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogicEmbodiedTrends(t *testing.T) {
+	// Leading-edge nodes cost more per area: energy per area rises and
+	// yield falls.
+	area := 5.0
+	var prev float64
+	for _, node := range []ProcessNode{Node28nm, Node14nm, Node7nm, Node3nm} {
+		kg, err := LogicEmbodied(area, node, FabTaiwan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(kg) <= prev {
+			t.Errorf("%s should cost more than the previous node (%v vs %v)", node, kg, prev)
+		}
+		prev = float64(kg)
+	}
+	// Cleaner fabs cut the footprint.
+	dirty, err := LogicEmbodied(area, Node7nm, FabTaiwan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := LogicEmbodied(area, Node7nm, FabRenewable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean >= dirty {
+		t.Error("renewable fab should cut logic embodied carbon")
+	}
+}
+
+func TestLogicEmbodiedErrors(t *testing.T) {
+	if _, err := LogicEmbodied(0, Node7nm, FabTaiwan); err == nil {
+		t.Error("zero area")
+	}
+	if _, err := LogicEmbodied(1, "1nm", FabTaiwan); err == nil {
+		t.Error("unknown node")
+	}
+	if _, err := LogicEmbodied(1, Node7nm, "mars"); err == nil {
+		t.Error("unknown fab")
+	}
+}
+
+func TestDRAMEmbodiedMatchesTable1(t *testing.T) {
+	// 192 GB of DDR4 must reproduce the Table 1 value.
+	kg, err := DRAMEmbodied(192, DDR4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(kg)-float64(DDR4EmbodiedPer192GB)) > 0.2 {
+		t.Errorf("192 GB DDR4 = %v, want ~%v", kg, DDR4EmbodiedPer192GB)
+	}
+	// Newer generations are denser per GB of carbon.
+	d3, _ := DRAMEmbodied(100, DDR3)
+	d5, _ := DRAMEmbodied(100, DDR5)
+	if d5 >= d3 {
+		t.Error("DDR5 should embody less carbon per GB than DDR3")
+	}
+	if _, err := DRAMEmbodied(0, DDR4); err == nil {
+		t.Error("zero capacity")
+	}
+	if _, err := DRAMEmbodied(1, "hbm9"); err == nil {
+		t.Error("unknown tech")
+	}
+}
+
+func TestSSDEmbodied(t *testing.T) {
+	kg, err := SSDEmbodied(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(kg)-76.8) > 1e-9 {
+		t.Errorf("480 GB SSD = %v, want 76.8 kg", kg)
+	}
+	if _, err := SSDEmbodied(-1); err == nil {
+		t.Error("negative capacity")
+	}
+}
+
+func TestBuildServerApproximatesReference(t *testing.T) {
+	// An ACT-style build of the evaluation machine should land near the
+	// reference model (the reference uses the paper's measured CPU
+	// value; the ACT build derives it from die area).
+	spec := ServerSpec{
+		Sockets:         2,
+		DieAreaCm2:      7.0, // Cascade Lake HCC-class die
+		Node:            Node14nm,
+		Fab:             FabUSA,
+		CoresPerSocket:  24,
+		MemoryGB:        192,
+		MemoryTech:      DDR4,
+		StorageGB:       480,
+		CPUTDP:          XeonGold6240RTDP,
+		StaticPower:     250,
+		MaxDynamicPower: 330,
+	}
+	srv, err := BuildServer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferenceServer()
+	if srv.Cores != ref.Cores || srv.MemoryGB != ref.MemoryGB {
+		t.Error("shape mismatch")
+	}
+	ratio := float64(srv.TotalEmbodied()) / float64(ref.TotalEmbodied())
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("ACT build total %v vs reference %v (ratio %.2f) too far apart",
+			srv.TotalEmbodied(), ref.TotalEmbodied(), ratio)
+	}
+	// The built server works end to end.
+	if _, err := srv.ResourceShares(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.EmbodiedRate() <= 0 {
+		t.Error("non-positive embodied rate")
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	good := ServerSpec{
+		Sockets: 1, DieAreaCm2: 5, Node: Node7nm, Fab: FabTaiwan,
+		CoresPerSocket: 16, MemoryGB: 64, MemoryTech: DDR4, CPUTDP: 150,
+		StaticPower: 100, MaxDynamicPower: 200,
+	}
+	if _, err := BuildServer(good); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	cases := []func(*ServerSpec){
+		func(s *ServerSpec) { s.Sockets = 0 },
+		func(s *ServerSpec) { s.CoresPerSocket = 0 },
+		func(s *ServerSpec) { s.DieAreaCm2 = 0 },
+		func(s *ServerSpec) { s.Node = "1nm" },
+		func(s *ServerSpec) { s.MemoryGB = 0 },
+		func(s *ServerSpec) { s.MemoryTech = "hbm9" },
+		func(s *ServerSpec) { s.StorageGB = -5 },
+	}
+	for i, mutate := range cases {
+		spec := good
+		mutate(&spec)
+		if _, err := BuildServer(spec); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBuildServerNoStorage(t *testing.T) {
+	spec := ServerSpec{
+		Sockets: 1, DieAreaCm2: 5, Node: Node7nm, Fab: FabTaiwan,
+		CoresPerSocket: 16, MemoryGB: 64, MemoryTech: DDR4, CPUTDP: 150,
+		StaticPower: 100, MaxDynamicPower: 200,
+	}
+	srv, err := BuildServer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.SSDEmbodied != 0 {
+		t.Error("no storage, no SSD footprint")
+	}
+}

@@ -1,0 +1,74 @@
+package carbon
+
+import (
+	"errors"
+	"math"
+
+	"fairco2/internal/units"
+)
+
+// AmortizationScheme maps a total embodied footprint and a lifetime to a
+// carbon budget for a window within that lifetime. Fair-CO2 uses uniform
+// amortization by default (§5.1, citing Ji et al.); alternative schemes can
+// front-load depreciation.
+type AmortizationScheme interface {
+	// Budget returns the gCO2e assigned to the window [from, to) of a
+	// lifetime running over [0, lifetime).
+	Budget(total units.GramsCO2e, lifetime, from, to units.Seconds) (units.GramsCO2e, error)
+	// Name identifies the scheme.
+	Name() string
+}
+
+// Uniform amortizes embodied carbon at a constant rate over the lifetime.
+type Uniform struct{}
+
+// Name implements AmortizationScheme.
+func (Uniform) Name() string { return "uniform" }
+
+// Budget implements AmortizationScheme.
+func (Uniform) Budget(total units.GramsCO2e, lifetime, from, to units.Seconds) (units.GramsCO2e, error) {
+	if err := checkWindow(lifetime, from, to); err != nil {
+		return 0, err
+	}
+	return units.GramsCO2e(float64(total) * float64(to-from) / float64(lifetime)), nil
+}
+
+// DecliningBalance front-loads amortization with an exponential decay: the
+// instantaneous rate at time t is proportional to exp(-k t / lifetime),
+// normalized so the whole footprint is assigned over the lifetime. It models
+// accelerated depreciation schedules where newer hardware carries more of
+// its manufacturing debt.
+type DecliningBalance struct {
+	// K is the decay constant; K -> 0 approaches uniform amortization.
+	K float64
+}
+
+// Name implements AmortizationScheme.
+func (d DecliningBalance) Name() string { return "declining-balance" }
+
+// Budget implements AmortizationScheme.
+func (d DecliningBalance) Budget(total units.GramsCO2e, lifetime, from, to units.Seconds) (units.GramsCO2e, error) {
+	if err := checkWindow(lifetime, from, to); err != nil {
+		return 0, err
+	}
+	if d.K <= 0 {
+		return Uniform{}.Budget(total, lifetime, from, to)
+	}
+	// Integral of exp(-k x) over [a, b] with x = t/lifetime, normalized by
+	// the integral over [0, 1]: (exp(-k a) - exp(-k b)) / (1 - exp(-k)).
+	a := float64(from) / float64(lifetime)
+	b := float64(to) / float64(lifetime)
+	num := math.Exp(-d.K*a) - math.Exp(-d.K*b)
+	den := 1 - math.Exp(-d.K)
+	return units.GramsCO2e(float64(total) * num / den), nil
+}
+
+func checkWindow(lifetime, from, to units.Seconds) error {
+	switch {
+	case lifetime <= 0:
+		return errors.New("carbon: lifetime must be positive")
+	case from < 0 || to > lifetime || from > to:
+		return errors.New("carbon: amortization window outside lifetime")
+	}
+	return nil
+}

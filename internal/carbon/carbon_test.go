@@ -1,0 +1,269 @@
+package carbon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("Table1 has %d rows, want 2", len(rows))
+	}
+	dram, cpu := rows[0], rows[1]
+	if dram.Component != "DRAM" || cpu.Component != "CPU" {
+		t.Fatalf("unexpected row order: %v, %v", dram.Component, cpu.Component)
+	}
+	// Paper Table 1: DRAM 1 W : 9.7943 kg, CPU 1 W : 0.0622 kg.
+	approx(t, dram.RatioKgPerWatt, 9.7943, 5e-4, "DRAM ratio")
+	approx(t, cpu.RatioKgPerWatt, 0.0622, 5e-4, "CPU ratio")
+	// The gap between the ratios is the paper's argument that power is a
+	// poor embodied-carbon proxy: over two orders of magnitude.
+	if dram.RatioKgPerWatt/cpu.RatioKgPerWatt < 100 {
+		t.Errorf("ratio gap %.1fx, want > 100x", dram.RatioKgPerWatt/cpu.RatioKgPerWatt)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	out := FormatTable1(Table1())
+	for _, want := range []string{"DRAM", "CPU", "165", "146.87", "10.27"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComponentRatioZeroTDP(t *testing.T) {
+	c := Component{Name: "chassis", TDP: 0, Embodied: 35}
+	if c.Ratio() != 0 {
+		t.Error("zero-TDP component should report ratio 0")
+	}
+}
+
+func TestReferenceServer(t *testing.T) {
+	s := NewReferenceServer()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cores != 48 || s.MemoryGB != 192 || s.StorageGB != 480 {
+		t.Errorf("unexpected shape: %v", s)
+	}
+	// 2 x 10.27 + 146.87 + 480*0.16 = 244.21 kg before platform overhead.
+	direct := float64(s.CPUEmbodied + s.DRAMEmbodied + s.SSDEmbodied)
+	approx(t, direct, 2*10.27+146.87+76.8, 1e-9, "direct embodied")
+	if s.PlatformEmbodied <= 0 {
+		t.Error("platform overhead should be positive")
+	}
+	if got := s.TotalEmbodied(); float64(got) <= direct {
+		t.Errorf("TotalEmbodied %v should exceed direct %v", got, direct)
+	}
+}
+
+func TestEmbodiedRate(t *testing.T) {
+	s := NewReferenceServer()
+	rate := s.EmbodiedRate()
+	// Rate x lifetime must return the full footprint (uniform amortization).
+	approx(t, rate*float64(s.Lifetime), float64(s.TotalEmbodied().Grams()), 1e-6, "rate x lifetime")
+}
+
+func TestResourceSharesSumToTotal(t *testing.T) {
+	s := NewReferenceServer()
+	shares, err := s.ResourceShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(shares.CPUPerCore)*float64(s.Cores) +
+		float64(shares.DRAMPerGB)*float64(s.MemoryGB) +
+		float64(shares.SSDPerGB)*float64(s.StorageGB)
+	approx(t, total, float64(s.TotalEmbodied()), 1e-9, "shares reassemble total")
+	// DRAM per GB should exceed CPU per... no direct relation, but both positive.
+	if shares.CPUPerCore <= 0 || shares.DRAMPerGB <= 0 || shares.SSDPerGB <= 0 {
+		t.Errorf("non-positive share: %+v", shares)
+	}
+}
+
+func TestResourceSharesNoStorage(t *testing.T) {
+	s := NewReferenceServer()
+	s.StorageGB = 0
+	s.SSDEmbodied = 0
+	shares, err := s.ResourceShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares.SSDPerGB != 0 {
+		t.Error("SSD share should be zero without storage")
+	}
+	total := float64(shares.CPUPerCore)*float64(s.Cores) + float64(shares.DRAMPerGB)*float64(s.MemoryGB)
+	approx(t, total, float64(s.TotalEmbodied()), 1e-9, "shares reassemble total without SSD")
+}
+
+func TestPerResourceRates(t *testing.T) {
+	s := NewReferenceServer()
+	core, err := s.EmbodiedRatePerCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := s.EmbodiedRatePerGB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core <= 0 || gb <= 0 {
+		t.Fatalf("rates must be positive: core %v, gb %v", core, gb)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := NewReferenceServer()
+	mutations := map[string]func(*Server){
+		"no cores":          func(s *Server) { s.Cores = 0 },
+		"no memory":         func(s *Server) { s.MemoryGB = 0 },
+		"no lifetime":       func(s *Server) { s.Lifetime = 0 },
+		"negative power":    func(s *Server) { s.StaticPower = -1 },
+		"negative embodied": func(s *Server) { s.DRAMEmbodied = -1 },
+	}
+	for name, mutate := range mutations {
+		s := *base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+		if _, err := s.ResourceShares(); err == nil {
+			t.Errorf("%s: ResourceShares should propagate validation error", name)
+		}
+	}
+	zero := *base
+	zero.CPUEmbodied, zero.DRAMEmbodied, zero.SSDEmbodied = 0, 0, 0
+	if _, err := zero.ResourceShares(); err == nil {
+		t.Error("expected error when no direct footprints exist")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	s := NewReferenceServer()
+	if got := s.DynamicPower(0); got != 0 {
+		t.Errorf("DynamicPower(0) = %v", got)
+	}
+	if got := s.DynamicPower(1); got != s.MaxDynamicPower {
+		t.Errorf("DynamicPower(1) = %v", got)
+	}
+	if got := s.DynamicPower(0.5); got != s.MaxDynamicPower/2 {
+		t.Errorf("DynamicPower(0.5) = %v", got)
+	}
+	// Clamping.
+	if got := s.DynamicPower(-3); got != 0 {
+		t.Errorf("DynamicPower(-3) = %v", got)
+	}
+	if got := s.DynamicPower(7); got != s.MaxDynamicPower {
+		t.Errorf("DynamicPower(7) = %v", got)
+	}
+	if got := s.TotalPower(0.5); got != s.StaticPower+s.MaxDynamicPower/2 {
+		t.Errorf("TotalPower(0.5) = %v", got)
+	}
+	// Static share at full load should be near the 60/40 split the paper
+	// cites for Google datacenters (not exact; it depends on utilization).
+	frac := float64(s.StaticPower) / float64(s.TotalPower(0.7))
+	if frac < 0.4 || frac < 0.5 && s.MaxDynamicPower > s.StaticPower*2 {
+		t.Errorf("static fraction at 70%% load = %.2f, model badly skewed", frac)
+	}
+}
+
+func TestServerString(t *testing.T) {
+	if s := NewReferenceServer().String(); !strings.Contains(s, "48 cores") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestUniformAmortization(t *testing.T) {
+	u := Uniform{}
+	if u.Name() != "uniform" {
+		t.Error("name")
+	}
+	total := units.GramsCO2e(1000)
+	got, err := u.Budget(total, 100, 25, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 500, 1e-12, "uniform window")
+	full, err := u.Budget(total, 100, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(full), 1000, 1e-12, "uniform full lifetime")
+}
+
+func TestAmortizationWindowErrors(t *testing.T) {
+	u := Uniform{}
+	cases := []struct{ lifetime, from, to units.Seconds }{
+		{0, 0, 0},
+		{100, -1, 50},
+		{100, 0, 101},
+		{100, 60, 50},
+	}
+	for _, c := range cases {
+		if _, err := u.Budget(1, c.lifetime, c.from, c.to); err == nil {
+			t.Errorf("expected error for window %+v", c)
+		}
+	}
+}
+
+func TestDecliningBalance(t *testing.T) {
+	d := DecliningBalance{K: 2}
+	if d.Name() != "declining-balance" {
+		t.Error("name")
+	}
+	total := units.GramsCO2e(1000)
+	early, err := d.Budget(total, 100, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := d.Budget(total, 100, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early <= late {
+		t.Errorf("declining balance should front-load: early %v <= late %v", early, late)
+	}
+	approx(t, float64(early+late), 1000, 1e-9, "budget conservation")
+
+	// K <= 0 degrades to uniform.
+	flat := DecliningBalance{K: 0}
+	got, err := flat.Budget(total, 100, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 500, 1e-12, "K=0 is uniform")
+}
+
+func TestAmortizationConservationProperty(t *testing.T) {
+	// Splitting a lifetime at any point conserves the total budget for
+	// both schemes.
+	schemes := []AmortizationScheme{Uniform{}, DecliningBalance{K: 3.5}}
+	f := func(rawSplit float64) bool {
+		split := units.Seconds(math.Mod(math.Abs(rawSplit), 99) + 0.5)
+		for _, s := range schemes {
+			a, err1 := s.Budget(1234, 100, 0, split)
+			b, err2 := s.Budget(1234, 100, split, 100)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if math.Abs(float64(a+b)-1234) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

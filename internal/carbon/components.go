@@ -1,0 +1,85 @@
+// Package carbon implements the embodied- and operational-carbon models of
+// Fair-CO2 (paper §2, §6.1, Table 1). Component footprints follow the
+// architectural carbon models the paper builds on (ACT for logic and DRAM,
+// the SSD rate from Tannu & Nair, and the Dell R740 LCA for platform
+// overheads), with the paper's exact Table 1 values as defaults.
+package carbon
+
+import (
+	"fmt"
+
+	"fairco2/internal/units"
+)
+
+// Component is a hardware component with a manufacturing (embodied) carbon
+// footprint and a thermal design power.
+type Component struct {
+	Name     string
+	TDP      units.Watts
+	Embodied units.KgCO2e
+}
+
+// Ratio returns the embodied carbon per watt of TDP in kgCO2e/W — the
+// quantity Table 1 uses to show power is a poor proxy for embodied carbon.
+func (c Component) Ratio() float64 {
+	if c.TDP == 0 {
+		return 0
+	}
+	return float64(c.Embodied) / float64(c.TDP)
+}
+
+// Paper Table 1 / §6.1 reference values for the evaluation server (two
+// Intel Xeon Gold 6240R, 192 GB DDR4, 480 GB SSD).
+const (
+	// XeonGold6240RTDP is the TDP of one Xeon Gold 6240R package.
+	XeonGold6240RTDP units.Watts = 165
+	// XeonGold6240REmbodied is the ACT-modeled embodied carbon of one
+	// Xeon Gold 6240R package (Table 1).
+	XeonGold6240REmbodied units.KgCO2e = 10.27
+	// DDR4TDPPer192GB is the TDP of the server's 192 GB DDR4 complement.
+	DDR4TDPPer192GB units.Watts = 25
+	// DDR4EmbodiedPer192GB is the embodied carbon of 192 GB DDR4 (Table 1).
+	DDR4EmbodiedPer192GB units.KgCO2e = 146.87
+	// SSDEmbodiedPerGB is the SSD embodied-carbon rate (0.16 kgCO2e/GB).
+	SSDEmbodiedPerGB = 0.16
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Component string
+	TDP       units.Watts
+	Embodied  units.KgCO2e
+	// RatioKgPerWatt is embodied carbon per watt of TDP.
+	RatioKgPerWatt float64
+}
+
+// DDR4RatioPaper is the DRAM ratio exactly as printed in Table 1
+// (1 W : 9.7943 kgCO2e). Note the printed row is internally inconsistent:
+// 146.87 kg / 25 W = 5.8748 kg/W, so the authors' ratio implies an
+// effective DRAM power basis of ~15 W. We reproduce the printed figure and
+// keep Component.Ratio for consistent computed ratios.
+const DDR4RatioPaper = 9.7943
+
+// Table1 returns the paper's Table 1: the TDP-to-embodied-carbon ratios of
+// DRAM and CPU, demonstrating that energy is a poor proxy for embodied
+// carbon (the ratios differ by more than two orders of magnitude). Ratios
+// are the paper's printed values; see DDR4RatioPaper for the discrepancy in
+// the DRAM row.
+func Table1() []Table1Row {
+	dram := Component{Name: "DRAM", TDP: DDR4TDPPer192GB, Embodied: DDR4EmbodiedPer192GB}
+	cpu := Component{Name: "CPU", TDP: XeonGold6240RTDP, Embodied: XeonGold6240REmbodied}
+	return []Table1Row{
+		{Component: dram.Name, TDP: dram.TDP, Embodied: dram.Embodied, RatioKgPerWatt: DDR4RatioPaper},
+		{Component: cpu.Name, TDP: cpu.TDP, Embodied: cpu.Embodied, RatioKgPerWatt: cpu.Ratio()},
+	}
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	s := fmt.Sprintf("%-10s %8s %18s %24s\n", "Component", "TDP", "Embodied Carbon", "Ratio")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10s %6.0f W %15.2f kg %14.4f kg/W\n",
+			r.Component, float64(r.TDP), float64(r.Embodied), r.RatioKgPerWatt)
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package carbon
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/units"
+)
+
+// Server models the embodied and operational characteristics of one server.
+// The default (NewReferenceServer) reproduces the paper's evaluation
+// machine: two Xeon Gold 6240R (48 physical cores), 192 GB DDR4, 480 GB
+// SSD, with mainboard/chassis/cooling overheads scaled from the Dell R740
+// life-cycle assessment.
+type Server struct {
+	// Cores is the number of physical CPU cores.
+	Cores int
+	// MemoryGB is the installed DRAM capacity.
+	MemoryGB units.Gigabytes
+	// StorageGB is the installed SSD capacity.
+	StorageGB units.Gigabytes
+
+	// CPUEmbodied is the embodied carbon of all CPU packages.
+	CPUEmbodied units.KgCO2e
+	// DRAMEmbodied is the embodied carbon of all DRAM.
+	DRAMEmbodied units.KgCO2e
+	// SSDEmbodied is the embodied carbon of all SSDs.
+	SSDEmbodied units.KgCO2e
+	// PlatformEmbodied covers mainboard, chassis, power delivery and
+	// cooling (Dell R740 LCA reference values scaled by system TDP).
+	PlatformEmbodied units.KgCO2e
+
+	// Lifetime is the amortization horizon for embodied carbon.
+	Lifetime units.Seconds
+
+	// StaticPower is the load-independent power draw of a provisioned
+	// server (idle packages, DRAM refresh, fans, VRM losses). Per the
+	// Google characterization the paper cites, static energy is ~60% of
+	// server energy.
+	StaticPower units.Watts
+	// MaxDynamicPower is the additional draw at full utilization.
+	MaxDynamicPower units.Watts
+}
+
+// Dell R740 LCA-derived platform overhead, scaled to the evaluation
+// server's TDP as described in §6.1. These are manufacturing-phase
+// estimates; the substitution is documented in DESIGN.md.
+const (
+	r740MainboardEmbodied units.KgCO2e = 110
+	r740ChassisEmbodied   units.KgCO2e = 35
+	r740PowerCoolingPerW  float64      = 0.18 // kgCO2e per watt of system TDP
+)
+
+// DefaultLifetime is the uniform amortization horizon: 4 years, a common
+// hyperscaler depreciation schedule.
+const DefaultLifetime units.Seconds = 4 * 365 * units.SecondsPerDay
+
+// NewReferenceServer builds the paper's evaluation server model.
+func NewReferenceServer() *Server {
+	const (
+		sockets   = 2
+		cores     = 48
+		memoryGB  = 192
+		storageGB = 480
+	)
+	systemTDP := float64(sockets)*float64(XeonGold6240RTDP) + float64(DDR4TDPPer192GB)
+	return &Server{
+		Cores:            cores,
+		MemoryGB:         memoryGB,
+		StorageGB:        storageGB,
+		CPUEmbodied:      units.KgCO2e(sockets) * XeonGold6240REmbodied,
+		DRAMEmbodied:     DDR4EmbodiedPer192GB,
+		SSDEmbodied:      units.KgCO2e(storageGB * SSDEmbodiedPerGB),
+		PlatformEmbodied: r740MainboardEmbodied + r740ChassisEmbodied + units.KgCO2e(r740PowerCoolingPerW*systemTDP),
+		Lifetime:         DefaultLifetime,
+		StaticPower:      250,
+		MaxDynamicPower:  330,
+	}
+}
+
+// Validate reports whether the server model is internally consistent.
+func (s *Server) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return errors.New("carbon: server needs at least one core")
+	case s.MemoryGB <= 0:
+		return errors.New("carbon: server needs positive memory capacity")
+	case s.Lifetime <= 0:
+		return errors.New("carbon: server lifetime must be positive")
+	case s.StaticPower < 0 || s.MaxDynamicPower < 0:
+		return errors.New("carbon: power draws must be non-negative")
+	case s.CPUEmbodied < 0 || s.DRAMEmbodied < 0 || s.SSDEmbodied < 0 || s.PlatformEmbodied < 0:
+		return errors.New("carbon: embodied footprints must be non-negative")
+	}
+	return nil
+}
+
+// TotalEmbodied returns the full manufacturing footprint of the server.
+func (s *Server) TotalEmbodied() units.KgCO2e {
+	return s.CPUEmbodied + s.DRAMEmbodied + s.SSDEmbodied + s.PlatformEmbodied
+}
+
+// EmbodiedRate returns the uniformly-amortized embodied carbon emission
+// rate of the whole server in gCO2e per second (§5.1: the fleet footprint
+// is first amortized uniformly over the hardware lifetime, then Temporal
+// Shapley divides each amortized share across time periods).
+func (s *Server) EmbodiedRate() float64 {
+	return float64(s.TotalEmbodied().Grams()) / float64(s.Lifetime)
+}
+
+// ResourceShare splits the platform overhead across the directly-attributable
+// components in proportion to their embodied footprints, and returns the
+// embodied carbon assigned to each schedulable resource.
+type ResourceShare struct {
+	// CPUPerCore is embodied carbon per physical core, including the
+	// CPU's share of platform overhead.
+	CPUPerCore units.KgCO2e
+	// DRAMPerGB is embodied carbon per GB of DRAM, including overhead share.
+	DRAMPerGB units.KgCO2e
+	// SSDPerGB is embodied carbon per GB of SSD, including overhead share.
+	SSDPerGB units.KgCO2e
+}
+
+// ResourceShares computes per-resource embodied carbon. Platform overhead
+// is distributed across CPU, DRAM and SSD proportional to their direct
+// embodied footprints, following the resource-proportional convention that
+// both the SCI baseline and Fair-CO2 use for per-resource accounting.
+func (s *Server) ResourceShares() (ResourceShare, error) {
+	if err := s.Validate(); err != nil {
+		return ResourceShare{}, err
+	}
+	direct := s.CPUEmbodied + s.DRAMEmbodied + s.SSDEmbodied
+	if direct <= 0 {
+		return ResourceShare{}, errors.New("carbon: no direct component footprints to scale overhead by")
+	}
+	scale := 1 + float64(s.PlatformEmbodied)/float64(direct)
+	share := ResourceShare{
+		CPUPerCore: units.KgCO2e(float64(s.CPUEmbodied) * scale / float64(s.Cores)),
+		DRAMPerGB:  units.KgCO2e(float64(s.DRAMEmbodied) * scale / float64(s.MemoryGB)),
+	}
+	if s.StorageGB > 0 {
+		share.SSDPerGB = units.KgCO2e(float64(s.SSDEmbodied) * scale / float64(s.StorageGB))
+	}
+	return share, nil
+}
+
+// EmbodiedRatePerCore returns the amortized embodied emission rate of one
+// core in gCO2e per core-second.
+func (s *Server) EmbodiedRatePerCore() (float64, error) {
+	shares, err := s.ResourceShares()
+	if err != nil {
+		return 0, err
+	}
+	return float64(shares.CPUPerCore.Grams()) / float64(s.Lifetime), nil
+}
+
+// EmbodiedRatePerGB returns the amortized embodied emission rate of one GB
+// of DRAM in gCO2e per GB-second.
+func (s *Server) EmbodiedRatePerGB() (float64, error) {
+	shares, err := s.ResourceShares()
+	if err != nil {
+		return 0, err
+	}
+	return float64(shares.DRAMPerGB.Grams()) / float64(s.Lifetime), nil
+}
+
+// DynamicPower returns the dynamic power draw at CPU utilization
+// util in [0, 1], linear in utilization as in the RUP baseline's
+// utilization-proportional energy model.
+func (s *Server) DynamicPower(util float64) units.Watts {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return units.Watts(util * float64(s.MaxDynamicPower))
+}
+
+// TotalPower returns static plus dynamic power at the given utilization.
+func (s *Server) TotalPower(util float64) units.Watts {
+	return s.StaticPower + s.DynamicPower(util)
+}
+
+// String summarizes the server model.
+func (s *Server) String() string {
+	return fmt.Sprintf("server{%d cores, %.0f GB DRAM, %.0f GB SSD, embodied %s, static %s}",
+		s.Cores, float64(s.MemoryGB), float64(s.StorageGB), s.TotalEmbodied(), s.StaticPower)
+}

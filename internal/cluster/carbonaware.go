@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairco2/internal/units"
+)
+
+// DeferralPolicy configures carbon-aware admission: deferrable VMs may be
+// delayed up to their slack to flatten the demand peak — which directly
+// shrinks the minimum capacity the operator must provision and therefore
+// the fleet's embodied carbon (§3's peak-pricing insight turned into a
+// scheduler).
+type DeferralPolicy struct {
+	// MaxDelay is the furthest a deferrable VM may be pushed past its
+	// requested arrival.
+	MaxDelay units.Seconds
+	// Slots is the number of candidate start offsets evaluated per VM
+	// (evenly spaced over [0, MaxDelay]).
+	Slots int
+}
+
+// DefaultDeferralPolicy allows up to 12 hours of delay over 16 slots.
+func DefaultDeferralPolicy() DeferralPolicy {
+	return DeferralPolicy{MaxDelay: 12 * units.SecondsPerHour, Slots: 16}
+}
+
+// ShiftResult reports the effect of carbon-aware deferral.
+type ShiftResult struct {
+	// VMs carries the shifted arrivals (same IDs, possibly later starts).
+	VMs []VM
+	// PeakBefore and PeakAfter are the aggregate demand peaks (cores).
+	PeakBefore, PeakAfter float64
+	// Deferred counts the VMs whose start moved.
+	Deferred int
+}
+
+// ShiftDeferrable greedily re-times the deferrable VMs (ids in deferrable)
+// to minimize the aggregate demand peak: VMs are processed in descending
+// core order, and each is placed at the candidate offset minimizing the
+// running peak. Non-deferrable VMs keep their arrivals. The greedy
+// heuristic mirrors how batch schedulers exploit temporal flexibility to
+// smooth peaks (§1: "batch workloads that allow temporal flexibility to
+// smooth peak resource demand should be attributed less embodied carbon").
+func ShiftDeferrable(vms []VM, deferrable map[int]bool, policy DeferralPolicy, step units.Seconds) (*ShiftResult, error) {
+	if len(vms) == 0 {
+		return nil, errors.New("cluster: no VMs")
+	}
+	if policy.MaxDelay < 0 {
+		return nil, errors.New("cluster: negative max delay")
+	}
+	if policy.Slots < 1 {
+		return nil, errors.New("cluster: need at least one candidate slot")
+	}
+	if step <= 0 {
+		return nil, errors.New("cluster: step must be positive")
+	}
+
+	// Demand accumulator over the horizon (arrival window + max delay +
+	// longest lifetime).
+	horizon := units.Seconds(0)
+	for _, vm := range vms {
+		if end := vm.End() + policy.MaxDelay; end > horizon {
+			horizon = end
+		}
+	}
+	samples := int(float64(horizon)/float64(step)) + 1
+	demand := make([]float64, samples)
+
+	add := func(vm VM, start units.Seconds, sign float64) {
+		lo := int(float64(start) / float64(step))
+		hi := int(float64(start+vm.Lifetime) / float64(step))
+		if hi >= samples {
+			hi = samples - 1
+		}
+		for i := lo; i <= hi; i++ {
+			demand[i] += sign * float64(vm.Cores)
+		}
+	}
+	peakOver := func(lo, hi int) float64 {
+		p := 0.0
+		for i := lo; i <= hi && i < samples; i++ {
+			if demand[i] > p {
+				p = demand[i]
+			}
+		}
+		return p
+	}
+
+	// Fixed VMs first.
+	ordered := append([]VM(nil), vms...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Cores > ordered[j].Cores })
+	for _, vm := range ordered {
+		if !deferrable[vm.ID] {
+			add(vm, vm.Arrival, 1)
+		}
+	}
+	peakBefore := func() float64 {
+		// Peak of the original (unshifted) schedule.
+		orig := make([]float64, samples)
+		for _, vm := range vms {
+			lo := int(float64(vm.Arrival) / float64(step))
+			hi := int(float64(vm.End()) / float64(step))
+			if hi >= samples {
+				hi = samples - 1
+			}
+			for i := lo; i <= hi; i++ {
+				orig[i] += float64(vm.Cores)
+			}
+		}
+		p := 0.0
+		for _, v := range orig {
+			if v > p {
+				p = v
+			}
+		}
+		return p
+	}()
+
+	shifted := make(map[int]units.Seconds, len(vms))
+	deferred := 0
+	for _, vm := range ordered {
+		if !deferrable[vm.ID] {
+			shifted[vm.ID] = vm.Arrival
+			continue
+		}
+		bestStart := vm.Arrival
+		bestPeak := -1.0
+		for s := 0; s < policy.Slots; s++ {
+			offset := units.Seconds(float64(policy.MaxDelay) * float64(s) / float64(max(policy.Slots-1, 1)))
+			start := vm.Arrival + offset
+			add(vm, start, 1)
+			lo := int(float64(start) / float64(step))
+			hi := int(float64(start+vm.Lifetime) / float64(step))
+			p := peakOver(lo, hi)
+			add(vm, start, -1)
+			if bestPeak < 0 || p < bestPeak {
+				bestPeak, bestStart = p, start
+			}
+		}
+		add(vm, bestStart, 1)
+		shifted[vm.ID] = bestStart
+		if bestStart != vm.Arrival {
+			deferred++
+		}
+	}
+
+	out := make([]VM, len(vms))
+	for i, vm := range vms {
+		moved := vm
+		start, ok := shifted[vm.ID]
+		if !ok {
+			return nil, fmt.Errorf("cluster: VM %d lost during shifting", vm.ID)
+		}
+		moved.Arrival = start
+		out[i] = moved
+	}
+	peakAfter := 0.0
+	for _, v := range demand {
+		if v > peakAfter {
+			peakAfter = v
+		}
+	}
+	return &ShiftResult{
+		VMs:        out,
+		PeakBefore: peakBefore,
+		PeakAfter:  peakAfter,
+		Deferred:   deferred,
+	}, nil
+}

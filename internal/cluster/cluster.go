@@ -1,0 +1,291 @@
+// Package cluster simulates a datacenter cluster at VM granularity: VMs
+// arrive over time, a first-fit scheduler places them onto nodes, and the
+// simulator emits the telemetry Fair-CO2 consumes — the aggregate demand
+// series (for Temporal Shapley), per-VM usage series (for attribution),
+// and the provisioned-capacity peak that drives embodied carbon. It is the
+// production-shaped substrate behind the paper's premise that VM-level
+// telemetry "is already tracked in production datacenters" (§10).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+// VM is one virtual machine request.
+type VM struct {
+	ID       int
+	Cores    int
+	MemoryGB float64
+	Arrival  units.Seconds
+	Lifetime units.Seconds
+}
+
+// End returns the VM's departure time.
+func (v VM) End() units.Seconds { return v.Arrival + v.Lifetime }
+
+// NodeSpec is the capacity of one node.
+type NodeSpec struct {
+	Cores    int
+	MemoryGB float64
+}
+
+// DefaultNodeSpec matches the reference server: 96 logical cores, 192 GB.
+func DefaultNodeSpec() NodeSpec { return NodeSpec{Cores: 96, MemoryGB: 192} }
+
+// Placement records where and when a VM ran.
+type Placement struct {
+	VM   int
+	Node int
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	// VMs are the simulated requests, sorted by arrival.
+	VMs []VM
+	// Placements[i] is the placement of VMs[i].
+	Placements []Placement
+	// NodesProvisioned is the total number of distinct nodes ever used —
+	// the capacity the operator had to buy (embodied carbon driver).
+	NodesProvisioned int
+	// PeakConcurrentNodes is the maximum number of simultaneously busy
+	// nodes.
+	PeakConcurrentNodes int
+	// Demand is the cluster's allocated-core series on the telemetry
+	// grid.
+	Demand *timeseries.Series
+	step   units.Seconds
+	end    units.Seconds
+}
+
+// Simulate places the VMs with an event-driven first-fit scheduler and
+// samples telemetry every step seconds. VMs must have positive cores,
+// memory within the node spec, non-negative arrival and positive lifetime.
+func Simulate(vms []VM, spec NodeSpec, step units.Seconds) (*Result, error) {
+	if len(vms) == 0 {
+		return nil, errors.New("cluster: no VMs to simulate")
+	}
+	if spec.Cores < 1 || spec.MemoryGB <= 0 {
+		return nil, fmt.Errorf("cluster: invalid node spec %+v", spec)
+	}
+	if step <= 0 {
+		return nil, errors.New("cluster: telemetry step must be positive")
+	}
+	ordered := append([]VM(nil), vms...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Arrival != ordered[j].Arrival {
+			return ordered[i].Arrival < ordered[j].Arrival
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for i, vm := range ordered {
+		switch {
+		case vm.Cores < 1 || vm.Cores > spec.Cores:
+			return nil, fmt.Errorf("cluster: VM %d requests %d cores (node has %d)", vm.ID, vm.Cores, spec.Cores)
+		case vm.MemoryGB <= 0 || vm.MemoryGB > spec.MemoryGB:
+			return nil, fmt.Errorf("cluster: VM %d requests %v GB (node has %v)", vm.ID, vm.MemoryGB, spec.MemoryGB)
+		case vm.Arrival < 0:
+			return nil, fmt.Errorf("cluster: VM %d has negative arrival", vm.ID)
+		case vm.Lifetime <= 0:
+			return nil, fmt.Errorf("cluster: VM %d has non-positive lifetime", vm.ID)
+		}
+		_ = i
+	}
+
+	type node struct {
+		freeCores int
+		freeMemGB float64
+		busy      int // resident VM count
+	}
+	var nodes []node
+
+	// Event-driven placement: process arrivals in order, releasing any
+	// departures that happen first.
+	type departure struct {
+		at   units.Seconds
+		node int
+		vm   VM
+	}
+	var pending []departure // kept sorted by time (heap-free: small sims)
+	release := func(until units.Seconds) {
+		kept := pending[:0]
+		for _, d := range pending {
+			if d.at <= until {
+				nodes[d.node].freeCores += d.vm.Cores
+				nodes[d.node].freeMemGB += d.vm.MemoryGB
+				nodes[d.node].busy--
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		pending = kept
+	}
+
+	placements := make([]Placement, len(ordered))
+	end := units.Seconds(0)
+	peakConcurrent := 0
+	for i, vm := range ordered {
+		release(vm.Arrival)
+		target := -1
+		for n := range nodes {
+			if nodes[n].freeCores >= vm.Cores && nodes[n].freeMemGB >= vm.MemoryGB {
+				target = n
+				break
+			}
+		}
+		if target < 0 {
+			nodes = append(nodes, node{freeCores: spec.Cores, freeMemGB: spec.MemoryGB})
+			target = len(nodes) - 1
+		}
+		nodes[target].freeCores -= vm.Cores
+		nodes[target].freeMemGB -= vm.MemoryGB
+		nodes[target].busy++
+		placements[i] = Placement{VM: vm.ID, Node: target}
+		pending = append(pending, departure{at: vm.End(), node: target, vm: vm})
+		if vm.End() > end {
+			end = vm.End()
+		}
+		busyNodes := 0
+		for _, n := range nodes {
+			if n.busy > 0 {
+				busyNodes++
+			}
+		}
+		if busyNodes > peakConcurrent {
+			peakConcurrent = busyNodes
+		}
+	}
+
+	res := &Result{
+		VMs:                 ordered,
+		Placements:          placements,
+		NodesProvisioned:    len(nodes),
+		PeakConcurrentNodes: peakConcurrent,
+		step:                step,
+		end:                 end,
+	}
+	res.Demand = res.sumUsage()
+	return res, nil
+}
+
+// samples returns the telemetry grid length covering [0, end).
+func (r *Result) samples() int {
+	return int(math.Ceil(float64(r.end) / float64(r.step)))
+}
+
+// UsageOf returns VM id's allocated-core series on the telemetry grid.
+// Partial overlap of grid cells is accounted fractionally, so integrals
+// are exact.
+func (r *Result) UsageOf(id int) (*timeseries.Series, error) {
+	for _, vm := range r.VMs {
+		if vm.ID != id {
+			continue
+		}
+		s := timeseries.Zeros(0, r.step, r.samples())
+		for i := range s.Values {
+			cellStart := float64(r.step) * float64(i)
+			cellEnd := cellStart + float64(r.step)
+			lo := math.Max(cellStart, float64(vm.Arrival))
+			hi := math.Min(cellEnd, float64(vm.End()))
+			if hi > lo {
+				s.Values[i] = float64(vm.Cores) * (hi - lo) / float64(r.step)
+			}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown VM id %d", id)
+}
+
+// sumUsage builds the aggregate demand series.
+func (r *Result) sumUsage() *timeseries.Series {
+	s := timeseries.Zeros(0, r.step, r.samples())
+	for _, vm := range r.VMs {
+		for i := range s.Values {
+			cellStart := float64(r.step) * float64(i)
+			cellEnd := cellStart + float64(r.step)
+			lo := math.Max(cellStart, float64(vm.Arrival))
+			hi := math.Min(cellEnd, float64(vm.End()))
+			if hi > lo {
+				s.Values[i] += float64(vm.Cores) * (hi - lo) / float64(r.step)
+			}
+		}
+	}
+	return s
+}
+
+// FleetConfig parameterizes random VM fleet generation.
+type FleetConfig struct {
+	// VMs is the fleet size.
+	VMs int
+	// Window is the arrival window; arrivals follow a diurnal rate.
+	Window units.Seconds
+	// CoreChoices are the allowed VM sizes.
+	CoreChoices []int
+	// MemPerCoreGB sizes memory from cores.
+	MemPerCoreGB float64
+	// Lifetimes samples VM durations.
+	Lifetimes trace.LifetimeConfig
+}
+
+// DefaultFleetConfig returns a day-long fleet of mixed VM sizes.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		VMs:          200,
+		Window:       units.SecondsPerDay,
+		CoreChoices:  []int{2, 4, 8, 16, 32},
+		MemPerCoreGB: 2,
+		Lifetimes:    trace.DefaultLifetimeConfig(),
+	}
+}
+
+// RandomFleet draws a fleet with diurnal arrivals (rate peaks mid-window).
+func RandomFleet(cfg FleetConfig, rng *rand.Rand) ([]VM, error) {
+	if cfg.VMs < 1 {
+		return nil, errors.New("cluster: fleet needs at least one VM")
+	}
+	if cfg.Window <= 0 {
+		return nil, errors.New("cluster: fleet window must be positive")
+	}
+	if len(cfg.CoreChoices) == 0 {
+		return nil, errors.New("cluster: fleet needs core choices")
+	}
+	if cfg.MemPerCoreGB <= 0 {
+		return nil, errors.New("cluster: memory per core must be positive")
+	}
+	if rng == nil {
+		return nil, errors.New("cluster: nil rng")
+	}
+	lifetimes, err := trace.SampleLifetimes(cfg.Lifetimes, cfg.VMs, rng)
+	if err != nil {
+		return nil, err
+	}
+	vms := make([]VM, cfg.VMs)
+	for i := range vms {
+		// Diurnal arrival density via rejection sampling on
+		// 1 + sin(2 pi t / window) shifted to peak mid-window.
+		var at float64
+		for {
+			at = rng.Float64() * float64(cfg.Window)
+			density := 0.5 + 0.5*math.Sin(2*math.Pi*at/float64(cfg.Window)-math.Pi/2)
+			if rng.Float64() < 0.2+0.8*density {
+				break
+			}
+		}
+		cores := cfg.CoreChoices[rng.Intn(len(cfg.CoreChoices))]
+		vms[i] = VM{
+			ID:       i,
+			Cores:    cores,
+			MemoryGB: float64(cores) * cfg.MemPerCoreGB,
+			Arrival:  units.Seconds(at),
+			Lifetime: lifetimes[i] + 60, // at least a minute
+		}
+	}
+	return vms, nil
+}

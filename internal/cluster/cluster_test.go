@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/temporal"
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestSimulatePacksOntoOneNode(t *testing.T) {
+	vms := []VM{
+		{ID: 0, Cores: 32, MemoryGB: 64, Arrival: 0, Lifetime: 100},
+		{ID: 1, Cores: 32, MemoryGB: 64, Arrival: 10, Lifetime: 100},
+		{ID: 2, Cores: 32, MemoryGB: 64, Arrival: 20, Lifetime: 100},
+	}
+	res, err := Simulate(vms, DefaultNodeSpec(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesProvisioned != 1 {
+		t.Errorf("NodesProvisioned = %d, want 1 (3 x 32 cores fit)", res.NodesProvisioned)
+	}
+	if res.PeakConcurrentNodes != 1 {
+		t.Errorf("PeakConcurrentNodes = %d", res.PeakConcurrentNodes)
+	}
+}
+
+func TestSimulateOpensSecondNodeWhenFull(t *testing.T) {
+	vms := []VM{
+		{ID: 0, Cores: 96, MemoryGB: 100, Arrival: 0, Lifetime: 100},
+		{ID: 1, Cores: 8, MemoryGB: 16, Arrival: 10, Lifetime: 50},
+	}
+	res, err := Simulate(vms, DefaultNodeSpec(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesProvisioned != 2 {
+		t.Errorf("NodesProvisioned = %d, want 2", res.NodesProvisioned)
+	}
+	if res.Placements[0].Node == res.Placements[1].Node {
+		t.Error("second VM cannot share the saturated node")
+	}
+}
+
+func TestSimulateReusesFreedCapacity(t *testing.T) {
+	vms := []VM{
+		{ID: 0, Cores: 96, MemoryGB: 100, Arrival: 0, Lifetime: 50},
+		{ID: 1, Cores: 96, MemoryGB: 100, Arrival: 100, Lifetime: 50},
+	}
+	res, err := Simulate(vms, DefaultNodeSpec(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesProvisioned != 1 {
+		t.Errorf("NodesProvisioned = %d, want 1 (second VM arrives after first departs)", res.NodesProvisioned)
+	}
+}
+
+func TestDemandEqualsSumOfUsage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultFleetConfig()
+	cfg.VMs = 60
+	vms, err := RandomFleet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(vms, DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]float64, res.Demand.Len())
+	for _, vm := range vms {
+		u, err := res.UsageOf(vm.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Len() != len(sum) {
+			t.Fatal("usage grid mismatch")
+		}
+		for i, v := range u.Values {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		approx(t, res.Demand.Values[i], sum[i], 1e-9, "demand decomposition")
+	}
+}
+
+func TestUsageIntegralMatchesCoreSeconds(t *testing.T) {
+	vms := []VM{{ID: 7, Cores: 10, MemoryGB: 20, Arrival: 130, Lifetime: 1234}}
+	res, err := Simulate(vms, DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := res.UsageOf(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, u.Integral(), 10*1234, 1e-6, "core-seconds via partial cells")
+	if _, err := res.UsageOf(99); err == nil {
+		t.Error("unknown VM should error")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	good := []VM{{ID: 0, Cores: 8, MemoryGB: 16, Arrival: 0, Lifetime: 10}}
+	if _, err := Simulate(nil, DefaultNodeSpec(), 1); err == nil {
+		t.Error("no VMs")
+	}
+	if _, err := Simulate(good, NodeSpec{}, 1); err == nil {
+		t.Error("bad spec")
+	}
+	if _, err := Simulate(good, DefaultNodeSpec(), 0); err == nil {
+		t.Error("bad step")
+	}
+	bad := []VM{{ID: 0, Cores: 200, MemoryGB: 16, Arrival: 0, Lifetime: 10}}
+	if _, err := Simulate(bad, DefaultNodeSpec(), 1); err == nil {
+		t.Error("oversize cores")
+	}
+	bad = []VM{{ID: 0, Cores: 8, MemoryGB: 999, Arrival: 0, Lifetime: 10}}
+	if _, err := Simulate(bad, DefaultNodeSpec(), 1); err == nil {
+		t.Error("oversize memory")
+	}
+	bad = []VM{{ID: 0, Cores: 8, MemoryGB: 16, Arrival: -1, Lifetime: 10}}
+	if _, err := Simulate(bad, DefaultNodeSpec(), 1); err == nil {
+		t.Error("negative arrival")
+	}
+	bad = []VM{{ID: 0, Cores: 8, MemoryGB: 16, Arrival: 0, Lifetime: 0}}
+	if _, err := Simulate(bad, DefaultNodeSpec(), 1); err == nil {
+		t.Error("zero lifetime")
+	}
+}
+
+func TestRandomFleetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultFleetConfig()
+	vms, err := RandomFleet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != cfg.VMs {
+		t.Fatalf("fleet size %d", len(vms))
+	}
+	coreSet := map[int]bool{}
+	for _, c := range cfg.CoreChoices {
+		coreSet[c] = true
+	}
+	for _, vm := range vms {
+		if !coreSet[vm.Cores] {
+			t.Fatalf("VM cores %d not in choices", vm.Cores)
+		}
+		if vm.Arrival < 0 || vm.Arrival > cfg.Window {
+			t.Fatalf("arrival %v outside window", vm.Arrival)
+		}
+		if vm.Lifetime < 60 {
+			t.Fatalf("lifetime %v below floor", vm.Lifetime)
+		}
+		approx(t, vm.MemoryGB, float64(vm.Cores)*cfg.MemPerCoreGB, 1e-12, "memory sizing")
+	}
+}
+
+func TestRandomFleetErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []func(*FleetConfig){
+		func(c *FleetConfig) { c.VMs = 0 },
+		func(c *FleetConfig) { c.Window = 0 },
+		func(c *FleetConfig) { c.CoreChoices = nil },
+		func(c *FleetConfig) { c.MemPerCoreGB = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultFleetConfig()
+		mutate(&cfg)
+		if _, err := RandomFleet(cfg, rng); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := RandomFleet(DefaultFleetConfig(), nil); err == nil {
+		t.Error("nil rng")
+	}
+}
+
+func TestEndToEndTemporalAttribution(t *testing.T) {
+	// The full pipeline the library exists for: simulate a fleet, derive
+	// the cluster demand, attribute a day's embodied carbon with Temporal
+	// Shapley, and price every VM — total must reassemble the budget.
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultFleetConfig()
+	cfg.VMs = 80
+	vms, err := RandomFleet(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(vms, DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000.0
+	sig, err := temporal.IntensitySignal(res.Demand, budget, temporal.Config{SplitRatios: []int{res.Demand.Len()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, vm := range vms {
+		u, err := res.UsageOf(vm.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := temporal.AttributeUsage(sig, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0 {
+			t.Fatalf("negative attribution for VM %d", vm.ID)
+		}
+		total += float64(c)
+	}
+	approx(t, total, budget, 1e-6*budget, "fleet attribution reassembles budget")
+	_ = units.Seconds(0)
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(4))
+	rng2 := rand.New(rand.NewSource(4))
+	cfg := DefaultFleetConfig()
+	cfg.VMs = 30
+	a, err := RandomFleet(cfg, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomFleet(cfg, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Simulate(a, DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(b, DefaultNodeSpec(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.NodesProvisioned != rb.NodesProvisioned {
+		t.Error("simulation not deterministic")
+	}
+	for i := range ra.Placements {
+		if ra.Placements[i] != rb.Placements[i] {
+			t.Fatal("placements differ")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package colocation implements the paper's colocation attribution problem
+// (§6.3, Figures 8-9): sets of workloads run pairwise on identical
+// servers, interference couples their runtimes and energies, and each
+// attribution method divides every node's embodied carbon, static-energy
+// carbon, and dynamic-energy carbon between the two tenants.
+//
+// Three methods are provided:
+//
+//   - GroundTruth: the Shapley value of the ordered arrival game. Across a
+//     permutation, an arriving workload either opens a node (paying its
+//     solo cost) or joins the open node (paying the pair cost minus the
+//     partner's solo cost, i.e. its own colocated cost plus the
+//     interference it inflicts). Averaging marginals over permutations
+//     explores all counterfactual pairings, which is exactly the paper's
+//     ground truth. Attributions are normalized to the actual scenario
+//     total so all methods divide the same quantity.
+//   - RUP: the Resource Utilization Proportional baseline (§3) — fixed
+//     costs proportional to allocation-time, dynamic energy by own
+//     metered (colocated) consumption.
+//   - FairCO2: the interference-aware adjustment (§5.2) using historical
+//     alpha/beta profiles.
+package colocation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// Environment fixes the hardware and grid context of a scenario.
+type Environment struct {
+	// Server is the node model; every workload occupies half a node.
+	Server *carbon.Server
+	// GridCI converts energy to operational carbon.
+	GridCI units.CarbonIntensity
+	// Char is the pairwise characterization of the workload suite.
+	Char *workload.Characterization
+}
+
+// NewEnvironment builds an environment over the reference server.
+func NewEnvironment(ci units.CarbonIntensity, char *workload.Characterization) (*Environment, error) {
+	if char == nil {
+		return nil, errors.New("colocation: nil characterization")
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("colocation: negative grid carbon intensity %v", ci)
+	}
+	srv := carbon.NewReferenceServer()
+	if err := srv.Validate(); err != nil {
+		return nil, err
+	}
+	return &Environment{Server: srv, GridCI: ci, Char: char}, nil
+}
+
+// FixedRate returns the fixed carbon cost of keeping one node provisioned,
+// in gCO2e per second: amortized embodied carbon plus static-power
+// operational carbon.
+func (e *Environment) FixedRate() float64 {
+	staticPerSecond := units.Emissions(units.Energy(e.Server.StaticPower, 1), e.GridCI)
+	return e.Server.EmbodiedRate() + float64(staticPerSecond)
+}
+
+// SoloCost returns the carbon of suite workload w running alone on a node.
+func (e *Environment) SoloCost(w int) float64 {
+	p := e.Char.Profiles[w]
+	fixed := e.FixedRate() * float64(p.IsolatedRuntime)
+	dyn := float64(units.Emissions(p.IsolatedDynEnergy(), e.GridCI))
+	return fixed + dyn
+}
+
+// PairCost returns the carbon of a node hosting suite workloads a and b:
+// the node stays provisioned until the slower (interference-inflated)
+// tenant finishes, and both tenants' colocated dynamic energies count.
+func (e *Environment) PairCost(a, b int) float64 {
+	ta := float64(e.Char.ColocatedRuntimeOf(a, b))
+	tb := float64(e.Char.ColocatedRuntimeOf(b, a))
+	occupancy := math.Max(ta, tb)
+	fixed := e.FixedRate() * occupancy
+	dyn := float64(units.Emissions(e.Char.ColocatedDynEnergyOf(a, b)+e.Char.ColocatedDynEnergyOf(b, a), e.GridCI))
+	return fixed + dyn
+}
+
+// Scenario is one colocation instance: a multiset of suite workloads and
+// the actual pairing they ran under. With an odd count, the last member
+// runs alone.
+type Scenario struct {
+	Env *Environment
+	// Members[k] is the suite index of scenario workload k. The actual
+	// pairing is consecutive: (0,1), (2,3), ...
+	Members []int
+}
+
+// NewRandomScenario draws n workloads uniformly from the suite. Because
+// members are drawn independently, consecutive pairing is a uniform random
+// pairing.
+func NewRandomScenario(env *Environment, n int, rng *rand.Rand) (*Scenario, error) {
+	if env == nil {
+		return nil, errors.New("colocation: nil environment")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("colocation: scenario needs at least 2 workloads, got %d", n)
+	}
+	if rng == nil {
+		return nil, errors.New("colocation: nil rng")
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = rng.Intn(len(env.Char.Profiles))
+	}
+	return &Scenario{Env: env, Members: members}, nil
+}
+
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if s.Env == nil {
+		return errors.New("colocation: scenario without environment")
+	}
+	if len(s.Members) < 2 {
+		return errors.New("colocation: scenario needs at least 2 workloads")
+	}
+	for k, w := range s.Members {
+		if w < 0 || w >= len(s.Env.Char.Profiles) {
+			return fmt.Errorf("colocation: member %d has suite index %d out of range", k, w)
+		}
+	}
+	return nil
+}
+
+// N returns the number of workloads in the scenario.
+func (s *Scenario) N() int { return len(s.Members) }
+
+// PartnerOf returns the scenario position paired with position k under the
+// actual pairing, or -1 when k runs alone (odd tail).
+func (s *Scenario) PartnerOf(k int) int {
+	if k%2 == 0 {
+		if k+1 < len(s.Members) {
+			return k + 1
+		}
+		return -1
+	}
+	return k - 1
+}
+
+// TotalCarbon returns the carbon of the scenario under the actual pairing.
+func (s *Scenario) TotalCarbon() float64 {
+	total := 0.0
+	for k := 0; k < len(s.Members); k += 2 {
+		if k+1 < len(s.Members) {
+			total += s.Env.PairCost(s.Members[k], s.Members[k+1])
+		} else {
+			total += s.Env.SoloCost(s.Members[k])
+		}
+	}
+	return total
+}

@@ -1,0 +1,400 @@
+package colocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+func testEnv(t *testing.T, ci float64) *Environment {
+	t.Helper()
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvironment(units.CarbonIntensity(ci), char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestNewEnvironmentErrors(t *testing.T) {
+	if _, err := NewEnvironment(100, nil); err == nil {
+		t.Error("nil characterization")
+	}
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEnvironment(-1, char); err == nil {
+		t.Error("negative CI")
+	}
+}
+
+func TestFixedRatePositiveAndCIMonotone(t *testing.T) {
+	lo := testEnv(t, 0)
+	hi := testEnv(t, 500)
+	if lo.FixedRate() <= 0 {
+		t.Error("fixed rate must be positive even at zero CI (embodied)")
+	}
+	if hi.FixedRate() <= lo.FixedRate() {
+		t.Error("fixed rate should grow with grid CI (static energy)")
+	}
+}
+
+func TestSoloAndPairCost(t *testing.T) {
+	env := testEnv(t, 300)
+	a, err := env.Char.Index(workload.NBODY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Char.Index(workload.CH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := env.SoloCost(a)
+	if solo <= 0 {
+		t.Fatal("solo cost must be positive")
+	}
+	pair := env.PairCost(a, b)
+	if pair <= solo {
+		t.Error("pair cost should exceed one solo cost")
+	}
+	// Colocation amortizes fixed costs for mild pairs (extreme
+	// interference like NBODY+CH can erase the benefit, which is the
+	// point of Figure 2).
+	wc, err := env.Char.Index(workload.WC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := env.Char.Index(workload.PG10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.PairCost(wc, pg) >= env.SoloCost(wc)+env.SoloCost(pg) {
+		t.Error("mild colocation should be cheaper than two isolated nodes")
+	}
+	// Symmetry of the pair cost.
+	approx(t, env.PairCost(a, b), env.PairCost(b, a), 1e-9, "pair cost symmetric")
+}
+
+func TestScenarioBasics(t *testing.T) {
+	env := testEnv(t, 200)
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewRandomScenario(env, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 6 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.PartnerOf(0) != 1 || s.PartnerOf(1) != 0 || s.PartnerOf(4) != 5 {
+		t.Error("pairing layout wrong")
+	}
+	if s.TotalCarbon() <= 0 {
+		t.Error("total carbon must be positive")
+	}
+}
+
+func TestScenarioOddTail(t *testing.T) {
+	env := testEnv(t, 200)
+	s := &Scenario{Env: env, Members: []int{0, 1, 2}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PartnerOf(2) != -1 {
+		t.Error("odd tail should be solo")
+	}
+	want := env.PairCost(0, 1) + env.SoloCost(2)
+	approx(t, s.TotalCarbon(), want, 1e-9, "odd-tail total")
+}
+
+func TestScenarioErrors(t *testing.T) {
+	env := testEnv(t, 200)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandomScenario(nil, 4, rng); err == nil {
+		t.Error("nil env")
+	}
+	if _, err := NewRandomScenario(env, 1, rng); err == nil {
+		t.Error("too few workloads")
+	}
+	if _, err := NewRandomScenario(env, 4, nil); err == nil {
+		t.Error("nil rng")
+	}
+	bad := &Scenario{Env: env, Members: []int{0, 99}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range member")
+	}
+	if err := (&Scenario{Env: nil, Members: []int{0, 1}}).Validate(); err == nil {
+		t.Error("nil env in scenario")
+	}
+	if err := (&Scenario{Env: env, Members: []int{0}}).Validate(); err == nil {
+		t.Error("single member")
+	}
+}
+
+func TestGroundTruthEfficiency(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		s, err := NewRandomScenario(env, 4+2*rng.Intn(2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := GroundTruth(s, DefaultGroundTruthConfig(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, sum(gt), s.TotalCarbon(), 1e-6*s.TotalCarbon(), "ground truth sums to total")
+		for i, v := range gt {
+			if v <= 0 {
+				t.Errorf("trial %d: non-positive attribution %v for workload %d", trial, v, i)
+			}
+		}
+	}
+}
+
+func TestGroundTruthSampledMatchesExact(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewRandomScenario(env, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 0, Samples: 30000, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if rel := math.Abs(sampled[i]-exact[i]) / exact[i]; rel > 0.05 {
+			t.Errorf("workload %d: sampled %v vs exact %v (rel %v)", i, sampled[i], exact[i], rel)
+		}
+	}
+}
+
+func TestGroundTruthSymmetry(t *testing.T) {
+	// Two identical workloads paired together must receive identical
+	// attributions.
+	env := testEnv(t, 250)
+	s := &Scenario{Env: env, Members: []int{3, 3, 5, 5}}
+	gt, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, gt[0], gt[1], 1e-9, "identical pair members")
+	approx(t, gt[2], gt[3], 1e-9, "identical pair members")
+}
+
+func TestGroundTruthErrors(t *testing.T) {
+	env := testEnv(t, 250)
+	s := &Scenario{Env: env, Members: []int{0, 1, 2, 3, 4, 5, 6, 7, 8}}
+	if _, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7, Samples: 0}); err == nil {
+		t.Error("sampling needed but samples=0")
+	}
+	if _, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7, Samples: 10, Rng: nil}); err == nil {
+		t.Error("sampling needed but rng nil")
+	}
+	bad := &Scenario{Env: env, Members: []int{0}}
+	if _, err := GroundTruth(bad, DefaultGroundTruthConfig(nil)); err == nil {
+		t.Error("invalid scenario")
+	}
+}
+
+func TestRUPEfficiency(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		s, err := NewRandomScenario(env, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := RUP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RUP fully attributes dynamic energy but spreads fixed carbon by
+		// allocation-time across the cluster, so its total matches the
+		// scenario total.
+		approx(t, sum(attr), s.TotalCarbon(), 1e-6*s.TotalCarbon(), "RUP sums to total")
+	}
+}
+
+func TestRUPChargesVictims(t *testing.T) {
+	// NBODY paired with CH is slowed 87%; RUP charges NBODY for that
+	// extra occupancy, so NBODY's attribution with CH must exceed its
+	// attribution when paired with a gentle partner (PG-10).
+	env := testEnv(t, 250)
+	char := env.Char
+	nbody, _ := char.Index(workload.NBODY)
+	ch, _ := char.Index(workload.CH)
+	pg10, _ := char.Index(workload.PG10)
+
+	withCH := &Scenario{Env: env, Members: []int{nbody, ch}}
+	withPG := &Scenario{Env: env, Members: []int{nbody, pg10}}
+	a, err := RUP(withCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RUP(withPG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] <= b[0] {
+		t.Errorf("RUP should charge NBODY more next to CH (%v) than next to PG-10 (%v)", a[0], b[0])
+	}
+}
+
+func TestFairCO2Efficiency(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		s, err := NewRandomScenario(env, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors, err := FullHistoryFactors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := FairCO2(s, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, sum(attr), s.TotalCarbon(), 1e-6*s.TotalCarbon(), "FairCO2 sums to total")
+	}
+}
+
+func TestFairCO2CloserToGroundTruthThanRUP(t *testing.T) {
+	// The paper's headline colocation result (Figure 8a): Fair-CO2's mean
+	// deviation from the ground truth is far below RUP's.
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(6))
+	var rupDev, fairDev float64
+	var count int
+	for trial := 0; trial < 30; trial++ {
+		s, err := NewRandomScenario(env, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := GroundTruth(s, DefaultGroundTruthConfig(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rup, err := RUP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors, err := FullHistoryFactors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair, err := FairCO2(s, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gt {
+			rupDev += math.Abs(rup[i]-gt[i]) / gt[i]
+			fairDev += math.Abs(fair[i]-gt[i]) / gt[i]
+			count++
+		}
+	}
+	rupDev /= float64(count)
+	fairDev /= float64(count)
+	if fairDev >= rupDev {
+		t.Errorf("FairCO2 mean deviation %.4f should be below RUP %.4f", fairDev, rupDev)
+	}
+	t.Logf("mean deviation: RUP %.2f%%, FairCO2 %.2f%%", rupDev*100, fairDev*100)
+}
+
+func TestFairCO2Errors(t *testing.T) {
+	env := testEnv(t, 250)
+	s := &Scenario{Env: env, Members: []int{0, 1}}
+	if _, err := FairCO2(s, nil); err == nil {
+		t.Error("profile count mismatch")
+	}
+	bad := &Scenario{Env: env, Members: []int{0}}
+	if _, err := FairCO2(bad, nil); err == nil {
+		t.Error("invalid scenario")
+	}
+	if _, err := RUP(bad); err == nil {
+		t.Error("RUP invalid scenario")
+	}
+	if _, err := FullHistoryFactors(bad); err == nil {
+		t.Error("FullHistoryFactors invalid scenario")
+	}
+}
+
+func TestSampledHistoryFactors(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(7))
+	s, err := NewRandomScenario(env, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors, err := SampledHistoryFactors(s, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(factors) != 6 {
+		t.Fatalf("got %d factors", len(factors))
+	}
+	for _, f := range factors {
+		if f.Samples != 3 {
+			t.Errorf("factor used %d samples, want 3", f.Samples)
+		}
+	}
+	// Attribution with sampled profiles still conserves the total.
+	attr, err := FairCO2(s, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum(attr), s.TotalCarbon(), 1e-6*s.TotalCarbon(), "sampled-profile conservation")
+
+	if _, err := SampledHistoryFactors(s, 0, rng); err == nil {
+		t.Error("k=0 should error")
+	}
+	bad := &Scenario{Env: env, Members: []int{0}}
+	if _, err := SampledHistoryFactors(bad, 1, rng); err == nil {
+		t.Error("invalid scenario should error")
+	}
+}
+
+func TestFairCO2OddTail(t *testing.T) {
+	env := testEnv(t, 250)
+	s := &Scenario{Env: env, Members: []int{2, 4, 6}}
+	factors, err := FullHistoryFactors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err := FairCO2(s, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum(attr), s.TotalCarbon(), 1e-6*s.TotalCarbon(), "odd-tail conservation")
+}

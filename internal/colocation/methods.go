@@ -1,0 +1,252 @@
+package colocation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairco2/internal/interference"
+	"fairco2/internal/shapley"
+	"fairco2/internal/units"
+)
+
+// GroundTruthConfig controls the ordered-game Shapley computation.
+type GroundTruthConfig struct {
+	// ExactThreshold is the largest scenario for which all n!
+	// permutations are enumerated; larger scenarios are sampled.
+	ExactThreshold int
+	// Samples is the permutation sample count above the threshold.
+	Samples int
+	// Rng drives permutation sampling; required when sampling occurs.
+	Rng *rand.Rand
+}
+
+// DefaultGroundTruthConfig enumerates scenarios up to 7 workloads exactly
+// and samples 2000 permutations beyond that.
+func DefaultGroundTruthConfig(rng *rand.Rand) GroundTruthConfig {
+	return GroundTruthConfig{ExactThreshold: 7, Samples: 2000, Rng: rng}
+}
+
+// GroundTruth computes the ground-truth Shapley attribution of the
+// scenario's carbon. Marginal contributions follow the arrival game
+// described in the package comment; the result is normalized so it sums to
+// the actual scenario total (all methods divide the same footprint).
+func GroundTruth(s *Scenario, cfg GroundTruthConfig) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	marginals := func(perm []int, out []float64) {
+		open := -1
+		for _, pos := range perm {
+			if open < 0 {
+				out[pos] = s.Env.SoloCost(s.Members[pos])
+				open = pos
+			} else {
+				out[pos] = s.Env.PairCost(s.Members[open], s.Members[pos]) - s.Env.SoloCost(s.Members[open])
+				open = -1
+			}
+		}
+	}
+	var phi []float64
+	var err error
+	if n <= cfg.ExactThreshold && n <= shapley.MaxExactOrderedPlayers {
+		phi, err = shapley.ExactOrdered(n, marginals)
+	} else {
+		if cfg.Samples < 1 {
+			return nil, fmt.Errorf("colocation: scenario of %d workloads needs sampling, but Samples = %d", n, cfg.Samples)
+		}
+		if cfg.Rng == nil {
+			return nil, errors.New("colocation: sampling ground truth requires an rng")
+		}
+		phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Normalize to the actual pairing's total. The raw Shapley total is
+	// the permutation-averaged footprint, which differs from the realized
+	// pairing's footprint; rescaling keeps every method attributing the
+	// same quantity so deviations measure distribution, not totals.
+	sum := 0.0
+	for _, v := range phi {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, errors.New("colocation: ground truth attributed non-positive total")
+	}
+	scale := s.TotalCarbon() / sum
+	for i := range phi {
+		phi[i] *= scale
+	}
+	return phi, nil
+}
+
+// RUP computes the Resource Utilization Proportional baseline (§3): the
+// cluster's fixed carbon (embodied + static energy) is attributed
+// proportional to each workload's allocation-time — its colocated runtime,
+// since all workloads hold identical half-node allocations — and each
+// workload is attributed its own metered dynamic energy. A workload slowed
+// by its neighbour therefore inherits extra fixed carbon and extra energy,
+// which is precisely the unfairness Figure 2 demonstrates.
+func RUP(s *Scenario) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	runtimes := make([]float64, n)
+	totalFixed := 0.0
+	sumRuntime := 0.0
+	for k := 0; k < n; k += 2 {
+		if k+1 < n {
+			a, b := s.Members[k], s.Members[k+1]
+			runtimes[k] = float64(s.Env.Char.ColocatedRuntimeOf(a, b))
+			runtimes[k+1] = float64(s.Env.Char.ColocatedRuntimeOf(b, a))
+			totalFixed += s.Env.FixedRate() * math.Max(runtimes[k], runtimes[k+1])
+		} else {
+			runtimes[k] = float64(s.Env.Char.Profiles[s.Members[k]].IsolatedRuntime)
+			totalFixed += s.Env.FixedRate() * runtimes[k]
+		}
+	}
+	for _, t := range runtimes {
+		sumRuntime += t
+	}
+	if sumRuntime <= 0 {
+		return nil, errors.New("colocation: zero total runtime")
+	}
+	attr := make([]float64, n)
+	for k := 0; k < n; k++ {
+		attr[k] = totalFixed * runtimes[k] / sumRuntime
+		attr[k] += float64(units.Emissions(s.dynEnergyOf(k), s.Env.GridCI))
+	}
+	return attr, nil
+}
+
+// dynEnergyOf returns scenario workload k's metered dynamic energy under
+// the actual pairing.
+func (s *Scenario) dynEnergyOf(k int) units.Joules {
+	partner := s.PartnerOf(k)
+	if partner < 0 {
+		return s.Env.Char.Profiles[s.Members[k]].IsolatedDynEnergy()
+	}
+	return s.Env.Char.ColocatedDynEnergyOf(s.Members[k], s.Members[partner])
+}
+
+// Factor is a workload's Fair-CO2 attribution factor, the §5.2 historical
+// summary of its expected marginal carbon: when a workload enters a node,
+// its marginal contribution is its own (interference-inflated) cost plus
+// the change it induces in its partner. Fair-CO2 estimates that marginal
+// from historical colocations instead of the actual partner, which removes
+// partner luck from the attribution:
+//
+//	factor = 1/2 solo + 1/2 mean over historical partners j of
+//	         (PairCost(j, w) - SoloCost(j))
+//
+// — a workload is an opener (paying its solo cost) in half of all arrival
+// orders and a joiner (paying its historical joiner marginal) in the other
+// half. Within a node, the actual node carbon is split proportional to the
+// tenants' factors, so every node's footprint is fully attributed.
+type Factor struct {
+	// Value is the expected marginal carbon in gCO2e.
+	Value float64
+	// Samples is the number of historical partners behind the estimate.
+	Samples int
+}
+
+// HistoricalFactor computes suite workload w's factor from the given
+// historical partners (suite indices).
+func (e *Environment) HistoricalFactor(w int, partners []int) (Factor, error) {
+	if w < 0 || w >= len(e.Char.Profiles) {
+		return Factor{}, fmt.Errorf("colocation: workload index %d out of range", w)
+	}
+	if len(partners) == 0 {
+		return Factor{}, errors.New("colocation: need at least one historical partner")
+	}
+	joiner := 0.0
+	for _, j := range partners {
+		if j < 0 || j >= len(e.Char.Profiles) {
+			return Factor{}, fmt.Errorf("colocation: partner index %d out of range", j)
+		}
+		joiner += e.PairCost(j, w) - e.SoloCost(j)
+	}
+	joiner /= float64(len(partners))
+	return Factor{
+		Value:   0.5*e.SoloCost(w) + 0.5*joiner,
+		Samples: len(partners),
+	}, nil
+}
+
+// FairCO2 computes the interference-aware attribution (§5.2): every
+// workload is attributed its historical factor, rescaled so the cluster's
+// realized carbon is fully attributed (the efficiency property holds at
+// cluster level). Normalizing across the cluster rather than per node is
+// what "virtually eliminates the effects of different workloads on their
+// partner workloads" (Figure 9): a workload's share depends on its own
+// history, not on which neighbour it happened to draw — partner luck only
+// enters through the cluster total, a 1/n effect. factors[k] belongs to
+// scenario workload k.
+func FairCO2(s *Scenario, factors []Factor) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	if len(factors) != n {
+		return nil, fmt.Errorf("colocation: %d factors for %d workloads", len(factors), n)
+	}
+	sum := 0.0
+	for k, f := range factors {
+		if f.Value <= 0 {
+			return nil, fmt.Errorf("colocation: non-positive factor for workload %d", k)
+		}
+		sum += f.Value
+	}
+	scale := s.TotalCarbon() / sum
+	attr := make([]float64, n)
+	for k, f := range factors {
+		attr[k] = f.Value * scale
+	}
+	return attr, nil
+}
+
+// FullHistoryFactors computes every scenario workload's factor from the
+// complete characterization (100% sampling rate).
+func FullHistoryFactors(s *Scenario) ([]Factor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	all := make([]int, len(s.Env.Char.Profiles))
+	for j := range all {
+		all[j] = j
+	}
+	factors := make([]Factor, s.N())
+	for k, w := range s.Members {
+		f, err := s.Env.HistoricalFactor(w, all)
+		if err != nil {
+			return nil, err
+		}
+		factors[k] = f
+	}
+	return factors, nil
+}
+
+// SampledHistoryFactors computes each scenario workload's factor from k
+// randomly drawn historical partners (the Figure 8b/f sampling-rate axis).
+func SampledHistoryFactors(s *Scenario, k int, rng *rand.Rand) ([]Factor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	factors := make([]Factor, s.N())
+	for pos, w := range s.Members {
+		partners, err := interference.HistoricalSample(s.Env.Char, w, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		f, err := s.Env.HistoricalFactor(w, partners)
+		if err != nil {
+			return nil, err
+		}
+		factors[pos] = f
+	}
+	return factors, nil
+}

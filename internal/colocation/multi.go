@@ -1,0 +1,174 @@
+package colocation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairco2/internal/shapley"
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// k-way colocation: nodes host up to `capacity` tenants, interference sums
+// across co-tenants (workload.SlowdownMulti). capacity=2 reproduces the
+// paper's pairwise setting exactly. This extends the evaluation to the
+// denser packing production schedulers actually use.
+
+// GroupCost returns the carbon of one node hosting the given suite
+// workloads simultaneously: fixed costs until the slowest
+// (interference-inflated) tenant finishes, plus every tenant's colocated
+// dynamic energy.
+func (e *Environment) GroupCost(members []int) (float64, error) {
+	if len(members) == 0 {
+		return 0, fmt.Errorf("colocation: empty group")
+	}
+	profiles := make([]*workload.Profile, len(members))
+	for i, w := range members {
+		if w < 0 || w >= len(e.Char.Profiles) {
+			return 0, fmt.Errorf("colocation: suite index %d out of range", w)
+		}
+		profiles[i] = e.Char.Profiles[w]
+	}
+	occupancy := 0.0
+	dynEnergy := units.Joules(0)
+	for i, victim := range profiles {
+		aggressors := make([]*workload.Profile, 0, len(profiles)-1)
+		for j, a := range profiles {
+			if j != i {
+				aggressors = append(aggressors, a)
+			}
+		}
+		rt := float64(workload.ColocatedRuntimeMulti(victim, aggressors))
+		if rt > occupancy {
+			occupancy = rt
+		}
+		dynEnergy += workload.ColocatedDynEnergyMulti(victim, aggressors)
+	}
+	fixed := e.FixedRate() * occupancy
+	return fixed + float64(units.Emissions(dynEnergy, e.GridCI)), nil
+}
+
+// TotalCarbonGrouped returns the scenario's carbon when members are packed
+// consecutively into nodes of the given capacity.
+func (s *Scenario) TotalCarbonGrouped(capacity int) (float64, error) {
+	if capacity < 1 {
+		return 0, fmt.Errorf("colocation: capacity must be positive, got %d", capacity)
+	}
+	total := 0.0
+	for lo := 0; lo < len(s.Members); lo += capacity {
+		hi := lo + capacity
+		if hi > len(s.Members) {
+			hi = len(s.Members)
+		}
+		cost, err := s.Env.GroupCost(s.Members[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		total += cost
+	}
+	return total, nil
+}
+
+// GroundTruthGrouped computes the arrival-game Shapley attribution with
+// nodes of the given capacity: an arriving workload joins the open node
+// until it is full, contributing the group-cost delta; attributions are
+// normalized to the actual consecutive packing's total.
+func GroundTruthGrouped(s *Scenario, capacity int, cfg GroundTruthConfig) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("colocation: capacity must be positive, got %d", capacity)
+	}
+	n := s.N()
+	marginals := func(perm []int, out []float64) {
+		var open []int // suite indices of the open node's tenants
+		prevCost := 0.0
+		for _, pos := range perm {
+			open = append(open, s.Members[pos])
+			cost, err := s.Env.GroupCost(open)
+			if err != nil {
+				// Member indices were validated; GroupCost cannot fail here.
+				panic(err)
+			}
+			out[pos] = cost - prevCost
+			if len(open) == capacity {
+				open = open[:0]
+				prevCost = 0
+			} else {
+				prevCost = cost
+			}
+		}
+	}
+	var phi []float64
+	var err error
+	if n <= cfg.ExactThreshold && n <= shapley.MaxExactOrderedPlayers {
+		phi, err = shapley.ExactOrdered(n, marginals)
+	} else {
+		if cfg.Samples < 1 || cfg.Rng == nil {
+			return nil, fmt.Errorf("colocation: scenario of %d workloads needs sampling configuration", n)
+		}
+		phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	total, err := s.TotalCarbonGrouped(capacity)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, v := range phi {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("colocation: grouped ground truth attributed non-positive total")
+	}
+	scale := total / sum
+	for i := range phi {
+		phi[i] *= scale
+	}
+	return phi, nil
+}
+
+// HistoricalFactorGrouped estimates a workload's Fair-CO2 factor for
+// capacity-k nodes: the average marginal over arrival positions 1..k,
+// estimated from historical partners drawn with the given rng.
+func (e *Environment) HistoricalFactorGrouped(w, capacity, draws int, rng *rand.Rand) (Factor, error) {
+	if w < 0 || w >= len(e.Char.Profiles) {
+		return Factor{}, fmt.Errorf("colocation: workload index %d out of range", w)
+	}
+	if capacity < 1 {
+		return Factor{}, fmt.Errorf("colocation: capacity must be positive")
+	}
+	if draws < 1 {
+		return Factor{}, fmt.Errorf("colocation: need at least one draw")
+	}
+	if rng == nil {
+		return Factor{}, fmt.Errorf("colocation: nil rng")
+	}
+	nSuite := len(e.Char.Profiles)
+	total := 0.0
+	for d := 0; d < draws; d++ {
+		// Uniform arrival position within a node.
+		pos := rng.Intn(capacity)
+		group := make([]int, 0, pos+1)
+		for i := 0; i < pos; i++ {
+			group = append(group, rng.Intn(nSuite))
+		}
+		before := 0.0
+		if len(group) > 0 {
+			var err error
+			before, err = e.GroupCost(group)
+			if err != nil {
+				return Factor{}, err
+			}
+		}
+		after, err := e.GroupCost(append(group, w))
+		if err != nil {
+			return Factor{}, err
+		}
+		total += after - before
+	}
+	return Factor{Value: total / float64(draws), Samples: draws}, nil
+}

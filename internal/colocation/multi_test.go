@@ -1,0 +1,176 @@
+package colocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGroupCostReducesToPairAndSolo(t *testing.T) {
+	env := testEnv(t, 250)
+	solo, err := env.GroupCost([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, solo, env.SoloCost(3), 1e-9, "singleton group = solo cost")
+	pair, err := env.GroupCost([]int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pair, env.PairCost(3, 7), 1e-9, "two-member group = pair cost")
+}
+
+func TestGroupCostErrors(t *testing.T) {
+	env := testEnv(t, 250)
+	if _, err := env.GroupCost(nil); err == nil {
+		t.Error("empty group")
+	}
+	if _, err := env.GroupCost([]int{99}); err == nil {
+		t.Error("out of range")
+	}
+}
+
+func TestTotalCarbonGroupedCapacityTwoMatchesPairwise(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(31))
+	s, err := NewRandomScenario(env, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := s.TotalCarbonGrouped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, grouped, s.TotalCarbon(), 1e-9, "capacity 2 = pairwise total")
+	if _, err := s.TotalCarbonGrouped(0); err == nil {
+		t.Error("capacity 0")
+	}
+}
+
+func TestGroundTruthGroupedCapacityTwoMatchesPairwise(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(32))
+	s, err := NewRandomScenario(env, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairwise, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := GroundTruthGrouped(s, 2, GroundTruthConfig{ExactThreshold: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairwise {
+		approx(t, grouped[i], pairwise[i], 1e-6*pairwise[i], "capacity-2 grouped matches pairwise GT")
+	}
+}
+
+func TestGroundTruthGroupedEfficiencyAtHigherCapacity(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(33))
+	s, err := NewRandomScenario(env, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capacity := range []int{3, 4, 6} {
+		gt, err := GroundTruthGrouped(s, capacity, GroundTruthConfig{ExactThreshold: 7})
+		if err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		total, err := s.TotalCarbonGrouped(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range gt {
+			if v <= 0 {
+				t.Fatalf("capacity %d: non-positive attribution", capacity)
+			}
+			sum += v
+		}
+		approx(t, sum, total, 1e-6*total, "grouped efficiency")
+	}
+}
+
+func TestGroundTruthGroupedSampledPath(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(34))
+	s, err := NewRandomScenario(env, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := GroundTruthGrouped(s, 3, GroundTruthConfig{ExactThreshold: 7, Samples: 1500, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 12 {
+		t.Fatalf("got %d attributions", len(gt))
+	}
+	if _, err := GroundTruthGrouped(s, 3, GroundTruthConfig{ExactThreshold: 7}); err == nil {
+		t.Error("sampling needed without rng should error")
+	}
+	if _, err := GroundTruthGrouped(s, 0, GroundTruthConfig{ExactThreshold: 7}); err == nil {
+		t.Error("capacity 0")
+	}
+	bad := &Scenario{Env: env, Members: []int{0}}
+	if _, err := GroundTruthGrouped(bad, 2, GroundTruthConfig{ExactThreshold: 7}); err == nil {
+		t.Error("invalid scenario")
+	}
+}
+
+func TestDenserPackingAmortizesFixedCosts(t *testing.T) {
+	// For mild workloads, packing 4 per node must cost less carbon than
+	// 2 per node: fixed costs amortize over more tenants.
+	env := testEnv(t, 250)
+	pg10, err := env.Char.Index("PG-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []int{pg10, pg10, pg10, pg10, pg10, pg10, pg10, pg10}
+	s := &Scenario{Env: env, Members: members}
+	two, err := s.TotalCarbonGrouped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := s.TotalCarbonGrouped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four >= two {
+		t.Errorf("denser packing of mild tenants should save carbon: cap4 %v vs cap2 %v", four, two)
+	}
+}
+
+func TestHistoricalFactorGrouped(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(35))
+	f, err := env.HistoricalFactorGrouped(2, 4, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Value <= 0 || f.Samples != 500 {
+		t.Errorf("factor %+v", f)
+	}
+	// At capacity 1 every arrival opens a node: factor = solo cost.
+	solo, err := env.HistoricalFactorGrouped(2, 1, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(solo.Value-env.SoloCost(2)) > 1e-9 {
+		t.Errorf("capacity-1 factor %v should equal solo cost %v", solo.Value, env.SoloCost(2))
+	}
+	if _, err := env.HistoricalFactorGrouped(-1, 2, 10, rng); err == nil {
+		t.Error("bad workload")
+	}
+	if _, err := env.HistoricalFactorGrouped(2, 0, 10, rng); err == nil {
+		t.Error("bad capacity")
+	}
+	if _, err := env.HistoricalFactorGrouped(2, 2, 0, rng); err == nil {
+		t.Error("bad draws")
+	}
+	if _, err := env.HistoricalFactorGrouped(2, 2, 10, nil); err == nil {
+		t.Error("nil rng")
+	}
+}

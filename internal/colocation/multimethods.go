@@ -1,0 +1,136 @@
+package colocation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// Attribution methods generalized to capacity-k nodes. Capacity 2
+// reproduces the paper's pairwise methods; higher capacities extend the
+// evaluation to denser packing.
+
+// groupOf returns the suite indices of scenario position k's node under
+// consecutive packing, and k's offset within it.
+func (s *Scenario) groupOf(pos, capacity int) ([]int, int) {
+	lo := (pos / capacity) * capacity
+	hi := lo + capacity
+	if hi > len(s.Members) {
+		hi = len(s.Members)
+	}
+	return s.Members[lo:hi], pos - lo
+}
+
+// memberRuntimeAndEnergy returns scenario position pos's k-way colocated
+// runtime and dynamic energy under the actual grouping.
+func (s *Scenario) memberRuntimeAndEnergy(pos, capacity int) (float64, units.Joules) {
+	group, offset := s.groupOf(pos, capacity)
+	victim := s.Env.Char.Profiles[group[offset]]
+	aggressors := make([]*workload.Profile, 0, len(group)-1)
+	for i, w := range group {
+		if i != offset {
+			aggressors = append(aggressors, s.Env.Char.Profiles[w])
+		}
+	}
+	rt := float64(workload.ColocatedRuntimeMulti(victim, aggressors))
+	energy := workload.ColocatedDynEnergyMulti(victim, aggressors)
+	return rt, energy
+}
+
+// RUPGrouped is the RUP baseline on capacity-k nodes: cluster fixed carbon
+// attributed by allocation-time (k-way colocated runtime), dynamic energy
+// by own metered consumption.
+func RUPGrouped(s *Scenario, capacity int) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("colocation: capacity must be positive, got %d", capacity)
+	}
+	n := s.N()
+	runtimes := make([]float64, n)
+	energies := make([]units.Joules, n)
+	sumRuntime := 0.0
+	for pos := 0; pos < n; pos++ {
+		rt, e := s.memberRuntimeAndEnergy(pos, capacity)
+		runtimes[pos], energies[pos] = rt, e
+		sumRuntime += rt
+	}
+	totalFixed := 0.0
+	for lo := 0; lo < n; lo += capacity {
+		hi := lo + capacity
+		if hi > n {
+			hi = n
+		}
+		occupancy := 0.0
+		for pos := lo; pos < hi; pos++ {
+			occupancy = math.Max(occupancy, runtimes[pos])
+		}
+		totalFixed += s.Env.FixedRate() * occupancy
+	}
+	if sumRuntime <= 0 {
+		return nil, fmt.Errorf("colocation: zero total runtime")
+	}
+	attr := make([]float64, n)
+	for pos := 0; pos < n; pos++ {
+		attr[pos] = totalFixed*runtimes[pos]/sumRuntime +
+			float64(units.Emissions(energies[pos], s.Env.GridCI))
+	}
+	return attr, nil
+}
+
+// FairCO2Grouped is the interference-aware attribution on capacity-k
+// nodes: historical capacity-aware factors normalized to the actual
+// grouped total.
+func FairCO2Grouped(s *Scenario, capacity int, factors []Factor) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(factors) != s.N() {
+		return nil, fmt.Errorf("colocation: %d factors for %d workloads", len(factors), s.N())
+	}
+	total, err := s.TotalCarbonGrouped(capacity)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for pos, f := range factors {
+		if f.Value <= 0 {
+			return nil, fmt.Errorf("colocation: non-positive factor for workload %d", pos)
+		}
+		sum += f.Value
+	}
+	attr := make([]float64, s.N())
+	scale := total / sum
+	for pos, f := range factors {
+		attr[pos] = f.Value * scale
+	}
+	return attr, nil
+}
+
+// GroupedFactors estimates capacity-aware factors for every scenario
+// member from random historical colocations.
+func GroupedFactors(s *Scenario, capacity, draws int, rng *rand.Rand) ([]Factor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Cache per suite workload: scenarios repeat members.
+	cache := map[int]Factor{}
+	factors := make([]Factor, s.N())
+	for pos, w := range s.Members {
+		f, ok := cache[w]
+		if !ok {
+			var err error
+			f, err = s.Env.HistoricalFactorGrouped(w, capacity, draws, rng)
+			if err != nil {
+				return nil, err
+			}
+			cache[w] = f
+		}
+		factors[pos] = f
+	}
+	return factors, nil
+}

@@ -1,0 +1,117 @@
+package colocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRUPGroupedCapacityTwoMatchesRUP(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(41))
+	s, err := NewRandomScenario(env, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairwise, err := RUP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := RUPGrouped(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairwise {
+		approx(t, grouped[i], pairwise[i], 1e-9*pairwise[i], "capacity-2 RUP matches pairwise")
+	}
+}
+
+func TestRUPGroupedConservation(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(42))
+	for _, capacity := range []int{2, 3, 4} {
+		s, err := NewRandomScenario(env, 9, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := RUPGrouped(s, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := s.TotalCarbonGrouped(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, sum(attr), total, 1e-6*total, "grouped RUP conservation")
+	}
+}
+
+func TestFairCO2GroupedConservationAndFairness(t *testing.T) {
+	env := testEnv(t, 250)
+	rng := rand.New(rand.NewSource(43))
+	const capacity = 3
+	var rupDev, fairDev float64
+	var count int
+	for trial := 0; trial < 8; trial++ {
+		s, err := NewRandomScenario(env, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := GroundTruthGrouped(s, capacity, GroundTruthConfig{ExactThreshold: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rup, err := RUPGrouped(s, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors, err := GroupedFactors(s, capacity, 800, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair, err := FairCO2Grouped(s, capacity, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := s.TotalCarbonGrouped(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, sum(fair), total, 1e-6*total, "grouped FairCO2 conservation")
+		for i := range gt {
+			rupDev += math.Abs(rup[i]-gt[i]) / gt[i]
+			fairDev += math.Abs(fair[i]-gt[i]) / gt[i]
+			count++
+		}
+	}
+	rupDev /= float64(count)
+	fairDev /= float64(count)
+	t.Logf("capacity-3 mean deviation: RUP %.2f%%, FairCO2 %.2f%%", rupDev*100, fairDev*100)
+	if fairDev >= rupDev {
+		t.Errorf("FairCO2 should stay fairer under denser packing: %v vs %v", fairDev, rupDev)
+	}
+}
+
+func TestGroupedMethodErrors(t *testing.T) {
+	env := testEnv(t, 250)
+	s := &Scenario{Env: env, Members: []int{0, 1, 2, 3}}
+	if _, err := RUPGrouped(s, 0); err == nil {
+		t.Error("capacity 0")
+	}
+	bad := &Scenario{Env: env, Members: []int{0}}
+	if _, err := RUPGrouped(bad, 2); err == nil {
+		t.Error("invalid scenario")
+	}
+	if _, err := FairCO2Grouped(s, 2, nil); err == nil {
+		t.Error("factor count mismatch")
+	}
+	if _, err := FairCO2Grouped(s, 2, make([]Factor, 4)); err == nil {
+		t.Error("zero factors")
+	}
+	if _, err := GroupedFactors(bad, 2, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid scenario for factors")
+	}
+	if _, err := GroupedFactors(s, 2, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad draws")
+	}
+}

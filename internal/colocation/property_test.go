@@ -1,0 +1,151 @@
+package colocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// Property-based tests on the colocation game's invariants, run over
+// randomized scenarios, grid intensities, and sampling rates.
+
+func TestPropertyAllMethodsConserveTotal(t *testing.T) {
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, rawCI float64, rawN uint8) bool {
+		ci := math.Mod(math.Abs(rawCI), 1000)
+		n := 4 + int(rawN)%12
+		if n%2 != 0 {
+			n++
+		}
+		env, err := NewEnvironment(units.CarbonIntensity(ci), char)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewRandomScenario(env, n, rng)
+		if err != nil {
+			return false
+		}
+		total := s.TotalCarbon()
+		gt, err := GroundTruth(s, DefaultGroundTruthConfig(rng))
+		if err != nil {
+			return false
+		}
+		rup, err := RUP(s)
+		if err != nil {
+			return false
+		}
+		factors, err := FullHistoryFactors(s)
+		if err != nil {
+			return false
+		}
+		fair, err := FairCO2(s, factors)
+		if err != nil {
+			return false
+		}
+		for _, attr := range [][]float64{gt, rup, fair} {
+			sum := 0.0
+			for _, v := range attr {
+				if v < 0 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-total) > 1e-6*total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFairCO2PartnerInvariance(t *testing.T) {
+	// Fair-CO2's defining property (Figure 9): a workload's attribution
+	// rate does not depend on which partner it drew, only on the
+	// scenario total. Build two scenarios identical except for one
+	// workload's partner and compare the target's share of the total.
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvironment(250, char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbody, _ := char.Index(workload.NBODY)
+	ch, _ := char.Index(workload.CH)
+	pg10, _ := char.Index(workload.PG10)
+	sa, _ := char.Index(workload.SA)
+	wc, _ := char.Index(workload.WC)
+
+	withCH := &Scenario{Env: env, Members: []int{nbody, ch, sa, wc}}
+	withPG := &Scenario{Env: env, Members: []int{nbody, pg10, sa, wc}}
+
+	share := func(s *Scenario) float64 {
+		factors, err := FullHistoryFactors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, err := FairCO2(s, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return attr[0] / s.TotalCarbon()
+	}
+	rupShare := func(s *Scenario) float64 {
+		attr, err := RUP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return attr[0] / s.TotalCarbon()
+	}
+	fairDelta := math.Abs(share(withCH) - share(withPG))
+	rupDelta := math.Abs(rupShare(withCH) - rupShare(withPG))
+	t.Logf("NBODY share shift when partner changes CH->PG-10: FairCO2 %.4f, RUP %.4f", fairDelta, rupDelta)
+	// Fair-CO2's share shift comes only from the different denominator;
+	// RUP additionally charges NBODY its partner-inflated runtime.
+	if fairDelta >= rupDelta {
+		t.Errorf("FairCO2 partner sensitivity %v should be far below RUP %v", fairDelta, rupDelta)
+	}
+}
+
+func TestPropertyGroundTruthSymmetricScenarios(t *testing.T) {
+	// A scenario of identical workloads must attribute identically to
+	// every member, for any suite workload and grid intensity.
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawW uint8, rawCI float64) bool {
+		w := int(rawW) % len(char.Profiles)
+		ci := math.Mod(math.Abs(rawCI), 1000)
+		env, err := NewEnvironment(units.CarbonIntensity(ci), char)
+		if err != nil {
+			return false
+		}
+		s := &Scenario{Env: env, Members: []int{w, w, w, w}}
+		gt, err := GroundTruth(s, GroundTruthConfig{ExactThreshold: 7})
+		if err != nil {
+			return false
+		}
+		for _, v := range gt[1:] {
+			if math.Abs(v-gt[0]) > 1e-9*gt[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package forecast implements the demand-forecasting substrate of §5.3.
+// The paper uses Meta's Prophet; this package provides the subset Prophet
+// contributes there — an additive model with a linear trend and daily plus
+// weekly Fourier seasonalities, fit by ordinary least squares — which is
+// sufficient because datacenter demand is dominated by periodic structure
+// (Figure 5). Forecasts feed Temporal Shapley to produce live embodied
+// carbon intensity signals (Figure 11).
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fairco2/internal/stats"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Config selects the model structure.
+type Config struct {
+	// DailyHarmonics is the number of Fourier pairs on the 24 h period.
+	DailyHarmonics int
+	// WeeklyHarmonics is the number of Fourier pairs on the 7-day period.
+	WeeklyHarmonics int
+}
+
+// DefaultConfig matches the structure Prophet fits on the Azure trace:
+// a handful of daily and weekly harmonics over a linear trend.
+func DefaultConfig() Config {
+	return Config{DailyHarmonics: 4, WeeklyHarmonics: 3}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.DailyHarmonics < 0 || c.WeeklyHarmonics < 0 {
+		return errors.New("forecast: harmonic counts must be non-negative")
+	}
+	if c.DailyHarmonics == 0 && c.WeeklyHarmonics == 0 {
+		return errors.New("forecast: need at least one seasonal component")
+	}
+	return nil
+}
+
+// Model is a fitted trend + seasonality model.
+type Model struct {
+	cfg   Config
+	coefs []float64
+	// start and step reproduce the history's sampling grid so Forecast
+	// can continue it seamlessly.
+	start, step units.Seconds
+	historyLen  int
+}
+
+// numFeatures returns the design-matrix width.
+func (c Config) numFeatures() int { return 2 + 2*c.DailyHarmonics + 2*c.WeeklyHarmonics }
+
+// features fills row with the regression features at absolute time t.
+func (c Config) features(t float64, row []float64) {
+	row[0] = 1
+	row[1] = t / units.SecondsPerDay // trend in days keeps the system well scaled
+	k := 2
+	for h := 1; h <= c.DailyHarmonics; h++ {
+		w := 2 * math.Pi * float64(h) * t / units.SecondsPerDay
+		row[k] = math.Sin(w)
+		row[k+1] = math.Cos(w)
+		k += 2
+	}
+	for h := 1; h <= c.WeeklyHarmonics; h++ {
+		w := 2 * math.Pi * float64(h) * t / (7 * units.SecondsPerDay)
+		row[k] = math.Sin(w)
+		row[k+1] = math.Cos(w)
+		k += 2
+	}
+}
+
+// Fit estimates the model on a demand history.
+func Fit(history *timeseries.Series, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if history == nil {
+		return nil, errors.New("forecast: nil history")
+	}
+	p := cfg.numFeatures()
+	if history.Len() < 2*p {
+		return nil, fmt.Errorf("forecast: history of %d samples too short for %d features", history.Len(), p)
+	}
+	x := make([][]float64, history.Len())
+	for i := range x {
+		row := make([]float64, p)
+		cfg.features(float64(history.TimeAt(i)), row)
+		x[i] = row
+	}
+	coefs, err := stats.OLS(x, history.Values)
+	if err != nil {
+		return nil, fmt.Errorf("forecast: fitting: %w", err)
+	}
+	return &Model{
+		cfg:        cfg,
+		coefs:      coefs,
+		start:      history.Start,
+		step:       history.Step,
+		historyLen: history.Len(),
+	}, nil
+}
+
+// Predict evaluates the model at absolute time t.
+func (m *Model) Predict(t units.Seconds) float64 {
+	row := make([]float64, m.cfg.numFeatures())
+	m.cfg.features(float64(t), row)
+	v := 0.0
+	for i, c := range m.coefs {
+		v += c * row[i]
+	}
+	return v
+}
+
+// Forecast continues the history grid for n further samples. Forecasts are
+// clamped at zero — demand cannot be negative.
+func (m *Model) Forecast(n int) (*timeseries.Series, error) {
+	if n < 1 {
+		return nil, errors.New("forecast: need at least one step")
+	}
+	first := m.start + units.Seconds(float64(m.step)*float64(m.historyLen))
+	values := make([]float64, n)
+	for i := range values {
+		t := first + units.Seconds(float64(m.step)*float64(i))
+		v := m.Predict(t)
+		if v < 0 {
+			v = 0
+		}
+		values[i] = v
+	}
+	return timeseries.New(first, m.step, values), nil
+}
+
+// Evaluation reports forecast accuracy against ground truth.
+type Evaluation struct {
+	// MAPE is the mean absolute percentage error.
+	MAPE float64
+	// WorstAPE is the maximum absolute percentage error.
+	WorstAPE float64
+}
+
+// Evaluate compares a forecast against the realized series over the same
+// window.
+func Evaluate(actual, predicted *timeseries.Series) (Evaluation, error) {
+	if actual == nil || predicted == nil {
+		return Evaluation{}, errors.New("forecast: nil series")
+	}
+	if actual.Start != predicted.Start || actual.Step != predicted.Step || actual.Len() != predicted.Len() {
+		return Evaluation{}, errors.New("forecast: series not aligned")
+	}
+	mape, err := stats.MAPE(actual.Values, predicted.Values)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	worst, err := stats.MaxAPE(actual.Values, predicted.Values)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{MAPE: mape, WorstAPE: worst}, nil
+}
+
+// Backtest fits on the first fitDays of the series, forecasts the
+// remainder, and returns the stitched series (history + forecast) along
+// with the accuracy of the forecast window — the paper's Figure 5 protocol
+// (21 days of history, 9 days of forecast).
+func Backtest(full *timeseries.Series, fitDays int, cfg Config) (stitched *timeseries.Series, eval Evaluation, err error) {
+	if full == nil {
+		return nil, Evaluation{}, errors.New("forecast: nil series")
+	}
+	perDay := int(units.SecondsPerDay / float64(full.Step))
+	fitLen := fitDays * perDay
+	if fitLen <= 0 || fitLen >= full.Len() {
+		return nil, Evaluation{}, fmt.Errorf("forecast: fit window of %d days invalid for %d samples", fitDays, full.Len())
+	}
+	history, err := full.Head(fitLen)
+	if err != nil {
+		return nil, Evaluation{}, err
+	}
+	model, err := Fit(history, cfg)
+	if err != nil {
+		return nil, Evaluation{}, err
+	}
+	horizon := full.Len() - fitLen
+	predicted, err := model.Forecast(horizon)
+	if err != nil {
+		return nil, Evaluation{}, err
+	}
+	actual, err := full.Tail(horizon)
+	if err != nil {
+		return nil, Evaluation{}, err
+	}
+	eval, err = Evaluate(actual, predicted)
+	if err != nil {
+		return nil, Evaluation{}, err
+	}
+	values := append(append([]float64(nil), history.Values...), predicted.Values...)
+	return timeseries.New(full.Start, full.Step, values), eval, nil
+}

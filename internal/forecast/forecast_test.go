@@ -1,0 +1,195 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+// syntheticSeries builds a noiseless daily+weekly series the model family
+// can represent exactly.
+func syntheticSeries(days int) *timeseries.Series {
+	step := units.Seconds(3600)
+	n := days * 24
+	values := make([]float64, n)
+	for i := range values {
+		t := float64(step) * float64(i)
+		values[i] = 1000 +
+			0.5*t/units.SecondsPerDay +
+			120*math.Sin(2*math.Pi*t/units.SecondsPerDay) +
+			40*math.Cos(2*math.Pi*t/(7*units.SecondsPerDay))
+	}
+	return timeseries.New(0, step, values)
+}
+
+func TestFitRecoversRepresentableSignal(t *testing.T) {
+	s := syntheticSeries(21)
+	m, err := Fit(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-sample predictions should be near exact.
+	for i := 0; i < s.Len(); i += 37 {
+		got := m.Predict(s.TimeAt(i))
+		if math.Abs(got-s.Values[i]) > 1e-3*s.Values[i] {
+			t.Fatalf("sample %d: predicted %v, want %v", i, got, s.Values[i])
+		}
+	}
+}
+
+func TestForecastContinuesGrid(t *testing.T) {
+	s := syntheticSeries(21)
+	m, err := Fit(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(9 * 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Start != s.End() || f.Step != s.Step || f.Len() != 9*24 {
+		t.Fatalf("forecast grid wrong: start %v step %v len %d", f.Start, f.Step, f.Len())
+	}
+	// Out-of-sample accuracy on the representable signal is near exact.
+	truth := syntheticSeries(30)
+	actual, err := truth.Tail(9 * 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := Evaluate(actual, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.MAPE > 0.1 {
+		t.Errorf("MAPE %v%% too high for a representable signal", eval.MAPE)
+	}
+}
+
+func TestBacktestOnAzureLikeTrace(t *testing.T) {
+	// The paper's Figure 5 protocol: 21 days of history forecast the
+	// remaining 9 days with single-digit MAPE.
+	full, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stitched, eval, err := Backtest(full, 21, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stitched.Len() != full.Len() {
+		t.Fatalf("stitched length %d, want %d", stitched.Len(), full.Len())
+	}
+	// History half is passed through verbatim.
+	for i := 0; i < 21*288; i += 101 {
+		if stitched.Values[i] != full.Values[i] {
+			t.Fatal("history window should be verbatim")
+		}
+	}
+	t.Logf("9-day demand forecast: MAPE %.2f%%, worst APE %.2f%%", eval.MAPE, eval.WorstAPE)
+	if eval.MAPE > 10 {
+		t.Errorf("MAPE %.2f%% too high; periodic structure should be learnable", eval.MAPE)
+	}
+	if eval.WorstAPE < eval.MAPE {
+		t.Error("worst APE cannot undercut MAPE")
+	}
+}
+
+func TestForecastClampsNegative(t *testing.T) {
+	// A steeply decaying trend would go negative; forecasts must clamp.
+	step := units.Seconds(3600)
+	n := 21 * 24
+	values := make([]float64, n)
+	for i := range values {
+		t := float64(step) * float64(i)
+		values[i] = 1000 - 3*t/3600 + 10*math.Sin(2*math.Pi*t/units.SecondsPerDay)
+		if values[i] < 1 {
+			values[i] = 1
+		}
+	}
+	m, err := Fit(timeseries.New(0, step, values), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(60 * 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Values {
+		if v < 0 {
+			t.Fatal("forecast must clamp at zero")
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{DailyHarmonics: -1}).Validate(); err == nil {
+		t.Error("negative harmonics")
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("no seasonality")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, DefaultConfig()); err == nil {
+		t.Error("nil history")
+	}
+	short := timeseries.New(0, 1, make([]float64, 5))
+	if _, err := Fit(short, DefaultConfig()); err == nil {
+		t.Error("short history")
+	}
+	s := syntheticSeries(10)
+	if _, err := Fit(s, Config{}); err == nil {
+		t.Error("invalid config")
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	m, err := Fit(syntheticSeries(14), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); err == nil {
+		t.Error("zero horizon")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	a := timeseries.New(0, 1, []float64{1, 2})
+	b := timeseries.New(1, 1, []float64{1, 2})
+	if _, err := Evaluate(nil, a); err == nil {
+		t.Error("nil actual")
+	}
+	if _, err := Evaluate(a, nil); err == nil {
+		t.Error("nil predicted")
+	}
+	if _, err := Evaluate(a, b); err == nil {
+		t.Error("misaligned")
+	}
+	zeros := timeseries.New(0, 1, []float64{0, 0})
+	if _, err := Evaluate(zeros, zeros); err == nil {
+		t.Error("all-zero actuals")
+	}
+}
+
+func TestBacktestErrors(t *testing.T) {
+	full := syntheticSeries(30)
+	if _, _, err := Backtest(nil, 21, DefaultConfig()); err == nil {
+		t.Error("nil series")
+	}
+	if _, _, err := Backtest(full, 0, DefaultConfig()); err == nil {
+		t.Error("zero fit window")
+	}
+	if _, _, err := Backtest(full, 30, DefaultConfig()); err == nil {
+		t.Error("fit window covers everything")
+	}
+	if _, _, err := Backtest(full, 21, Config{}); err == nil {
+		t.Error("bad config")
+	}
+}

@@ -1,0 +1,134 @@
+// Package grid models power-grid carbon intensity signals. The paper's case
+// study (§8) consumes real CAISO hourly data from Electricity Maps; offline,
+// we provide a synthetic duck-curve generator with the same structure
+// (midday solar trough, evening ramp, weekly modulation) plus constant and
+// trace-backed signals, behind a common Signal interface.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Signal provides the grid carbon intensity at a point in time.
+type Signal interface {
+	// At returns the carbon intensity at time t.
+	At(t units.Seconds) units.CarbonIntensity
+}
+
+// Constant is a fixed-intensity signal (e.g. a hydro-dominated grid).
+type Constant units.CarbonIntensity
+
+// At implements Signal.
+func (c Constant) At(units.Seconds) units.CarbonIntensity { return units.CarbonIntensity(c) }
+
+// Region presets used in the paper's figures. Values are representative
+// 2023 annual levels from Electricity Maps.
+const (
+	// Sweden is a low-carbon (hydro/nuclear) grid.
+	Sweden Constant = 25
+	// California is the CAISO average; the instantaneous signal swings
+	// widely around it (see NewSyntheticCAISO).
+	California Constant = 230
+	// USMidwest is a representative coal-heavy grid.
+	USMidwest Constant = 600
+)
+
+// Trace is a Signal backed by a time series of intensities, clamping
+// outside the covered window to the nearest sample.
+type Trace struct {
+	Series *timeseries.Series
+}
+
+// At implements Signal.
+func (tr Trace) At(t units.Seconds) units.CarbonIntensity {
+	return units.CarbonIntensity(tr.Series.At(t))
+}
+
+// SyntheticCAISOConfig parameterizes the duck-curve generator.
+type SyntheticCAISOConfig struct {
+	// Mean is the average intensity in gCO2e/kWh.
+	Mean float64
+	// SolarDepth is the fractional midday dip (0.5 halves intensity at
+	// the solar peak).
+	SolarDepth float64
+	// EveningRampHeight is the fractional evening-peak rise.
+	EveningRampHeight float64
+	// WeekendScale multiplies weekend intensity (demand is lower, so the
+	// renewable share is higher and intensity drops).
+	WeekendScale float64
+	// Step is the sampling interval.
+	Step units.Seconds
+	// Days is the length of the generated trace.
+	Days int
+}
+
+// DefaultCAISOConfig mimics California's 2023 hourly profile: ~230
+// gCO2e/kWh mean, deep midday solar trough, evening gas ramp.
+func DefaultCAISOConfig() SyntheticCAISOConfig {
+	return SyntheticCAISOConfig{
+		Mean: 230,
+		// Real CAISO hourly intensity dips to ~70-90 gCO2e/kWh at the
+		// solar peak — below the IVF/HNSW carbon crossover (§8).
+		SolarDepth:        0.75,
+		EveningRampHeight: 0.35,
+		WeekendScale:      0.92,
+		Step:              units.SecondsPerHour,
+		Days:              7,
+	}
+}
+
+// NewSyntheticCAISO generates a duck-curve intensity trace.
+func NewSyntheticCAISO(cfg SyntheticCAISOConfig) (*timeseries.Series, error) {
+	if cfg.Days < 1 {
+		return nil, fmt.Errorf("grid: need at least one day, got %d", cfg.Days)
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("grid: step must be positive, got %v", cfg.Step)
+	}
+	if cfg.Mean <= 0 {
+		return nil, fmt.Errorf("grid: mean intensity must be positive, got %v", cfg.Mean)
+	}
+	n := int(float64(cfg.Days) * units.SecondsPerDay / float64(cfg.Step))
+	values := make([]float64, n)
+	sum := 0.0
+	for i := range values {
+		t := float64(cfg.Step) * float64(i)
+		values[i] = shapeAt(cfg, t)
+		sum += values[i]
+	}
+	// Normalize so the trace's time-average equals the configured mean.
+	scale := cfg.Mean * float64(n) / sum
+	for i := range values {
+		values[i] *= scale
+	}
+	return timeseries.New(0, cfg.Step, values), nil
+}
+
+// shapeAt returns the multiplicative duck-curve shape at t seconds.
+func shapeAt(cfg SyntheticCAISOConfig, t float64) float64 {
+	hour := math.Mod(t/units.SecondsPerHour, 24)
+	day := int(t / units.SecondsPerDay)
+
+	shape := 1.0
+	// Solar trough: a Gaussian dip centered at 13:00 with ~3.5 h width.
+	solar := math.Exp(-sq(hour-13) / (2 * sq(3.5)))
+	shape -= cfg.SolarDepth * solar
+	// Evening ramp: gas peakers covering the post-sunset demand peak,
+	// centered at 19:30.
+	ramp := math.Exp(-sq(hour-19.5) / (2 * sq(2)))
+	shape += cfg.EveningRampHeight * ramp
+	// Mild overnight elevation (no solar at all).
+	night := math.Exp(-sq(math.Mod(hour+12, 24)-12) / (2 * sq(4)))
+	shape += 0.08 * night
+
+	if dayOfWeek := day % 7; dayOfWeek >= 5 {
+		shape *= cfg.WeekendScale
+	}
+	return shape
+}
+
+func sq(x float64) float64 { return x * x }

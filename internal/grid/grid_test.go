@@ -1,0 +1,121 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func TestConstantSignal(t *testing.T) {
+	if Sweden.At(0) != 25 || Sweden.At(1e9) != 25 {
+		t.Error("constant signal should be time-invariant")
+	}
+	if California.At(0) != 230 {
+		t.Error("California preset")
+	}
+	if USMidwest.At(0) != 600 {
+		t.Error("USMidwest preset")
+	}
+}
+
+func TestTraceSignal(t *testing.T) {
+	s := timeseries.New(0, 3600, []float64{100, 300, 200})
+	tr := Trace{Series: s}
+	if got := tr.At(1800); got != 100 {
+		t.Errorf("At(1800) = %v", got)
+	}
+	if got := tr.At(4000); got != 300 {
+		t.Errorf("At(4000) = %v", got)
+	}
+	// Clamping.
+	if got := tr.At(-5); got != 100 {
+		t.Errorf("At(-5) = %v", got)
+	}
+	if got := tr.At(1e9); got != 200 {
+		t.Errorf("At(big) = %v", got)
+	}
+}
+
+func TestSyntheticCAISOShape(t *testing.T) {
+	cfg := DefaultCAISOConfig()
+	s, err := NewSyntheticCAISO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 7*24 {
+		t.Fatalf("Len = %d, want 168 hourly samples", s.Len())
+	}
+	// Mean should be near the configured mean (shape averages near 1).
+	if mean := s.Mean(); math.Abs(mean-cfg.Mean)/cfg.Mean > 0.15 {
+		t.Errorf("mean intensity %v far from configured %v", mean, cfg.Mean)
+	}
+	// The 13:00 solar trough must be the daily minimum region and the
+	// evening ramp the maximum.
+	midday := s.Values[13]
+	evening := s.Values[19]
+	night := s.Values[3]
+	if !(midday < night && night < evening) {
+		t.Errorf("duck curve ordering violated: midday %v, night %v, evening %v", midday, night, evening)
+	}
+	// Deep trough: midday should be well below the mean.
+	if midday > 0.7*cfg.Mean {
+		t.Errorf("solar trough too shallow: %v vs mean %v", midday, cfg.Mean)
+	}
+	// All intensities positive.
+	for i, v := range s.Values {
+		if v <= 0 {
+			t.Fatalf("non-positive intensity %v at sample %d", v, i)
+		}
+	}
+}
+
+func TestSyntheticCAISOWeekendDip(t *testing.T) {
+	cfg := DefaultCAISOConfig()
+	s, err := NewSyntheticCAISO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the same hour on a weekday (day 0) and weekend (day 5).
+	weekday := s.Values[10]
+	weekend := s.Values[5*24+10]
+	if weekend >= weekday {
+		t.Errorf("weekend intensity %v should be below weekday %v", weekend, weekday)
+	}
+}
+
+func TestSyntheticCAISOErrors(t *testing.T) {
+	bad := []SyntheticCAISOConfig{
+		{Mean: 230, Step: 3600, Days: 0},
+		{Mean: 230, Step: 0, Days: 7},
+		{Mean: 0, Step: 3600, Days: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSyntheticCAISO(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestSyntheticCAISODeterministic(t *testing.T) {
+	a, err := NewSyntheticCAISO(DefaultCAISOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSyntheticCAISO(DefaultCAISOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("generator must be deterministic")
+		}
+	}
+}
+
+func TestSignalInterfaceSatisfied(t *testing.T) {
+	var _ Signal = Constant(0)
+	var _ Signal = Trace{}
+	_ = units.CarbonIntensity(0)
+}

@@ -1,0 +1,135 @@
+// Package interference implements Fair-CO2's interference-aware adjustment
+// (paper §5.2). From historical colocation data — the pairwise
+// characterization matrix of package workload — it estimates, per workload:
+//
+//   - alpha_T: the average slowdown the workload suffers under colocation,
+//   - beta_T:  the average slowdown it inflicts on partners,
+//   - alpha_P / beta_P: the same two quantities for dynamic energy,
+//
+// and combines them into attribution factors (Eq. 8 and Eq. 10):
+//
+//	f_Q = (alpha_T + beta_T) * Q       (embodied / fixed costs)
+//	f_P = (alpha_P + beta_P) * P_iso   (dynamic energy)
+//
+// Within a node or time slice, fixed carbon and dynamic energy are then
+// attributed proportional to these factors. The paper evaluates robustness
+// to sparse history (Figure 8b/f) by conditioning each estimate on a random
+// subset of partners; HistoricalSample models that sampling.
+package interference
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// Profile is a workload's interference profile estimated from historical
+// colocation observations.
+type Profile struct {
+	// AlphaT is the mean runtime slowdown suffered under colocation.
+	AlphaT float64
+	// BetaT is the mean runtime slowdown inflicted on partners.
+	BetaT float64
+	// AlphaP is the mean dynamic-energy factor suffered under colocation.
+	AlphaP float64
+	// BetaP is the mean dynamic-energy factor inflicted on partners.
+	BetaP float64
+	// Samples is the number of historical partners the estimate used.
+	Samples int
+}
+
+// FixedCostFactor returns f_Q (Eq. 8) for a resource allocation q.
+func (p Profile) FixedCostFactor(q float64) float64 {
+	return (p.AlphaT + p.BetaT) * q
+}
+
+// DynamicEnergyFactor returns f_P (Eq. 10) for isolated power pIso.
+func (p Profile) DynamicEnergyFactor(pIso units.Watts) float64 {
+	return (p.AlphaP + p.BetaP) * float64(pIso)
+}
+
+// Estimate computes workload i's profile from the full characterization —
+// the 100%-sampling-rate case.
+func Estimate(c *workload.Characterization, i int) (Profile, error) {
+	if c == nil {
+		return Profile{}, errors.New("interference: nil characterization")
+	}
+	if i < 0 || i >= len(c.Profiles) {
+		return Profile{}, fmt.Errorf("interference: workload index %d out of range", i)
+	}
+	all := make([]int, len(c.Profiles))
+	for j := range all {
+		all[j] = j
+	}
+	return EstimateFromPartners(c, i, all)
+}
+
+// EstimateFromPartners computes workload i's profile using only the listed
+// historical partners, modeling sparse history.
+func EstimateFromPartners(c *workload.Characterization, i int, partners []int) (Profile, error) {
+	if c == nil {
+		return Profile{}, errors.New("interference: nil characterization")
+	}
+	if i < 0 || i >= len(c.Profiles) {
+		return Profile{}, fmt.Errorf("interference: workload index %d out of range", i)
+	}
+	if len(partners) == 0 {
+		return Profile{}, errors.New("interference: need at least one historical partner")
+	}
+	var p Profile
+	for _, j := range partners {
+		if j < 0 || j >= len(c.Profiles) {
+			return Profile{}, fmt.Errorf("interference: partner index %d out of range", j)
+		}
+		p.AlphaT += c.RuntimeFactor[i][j]
+		p.BetaT += c.RuntimeFactor[j][i]
+		p.AlphaP += c.DynEnergyFactor[i][j]
+		p.BetaP += c.DynEnergyFactor[j][i]
+	}
+	n := float64(len(partners))
+	p.AlphaT /= n
+	p.BetaT /= n
+	p.AlphaP /= n
+	p.BetaP /= n
+	p.Samples = len(partners)
+	return p, nil
+}
+
+// HistoricalSample draws a uniform random subset of k distinct partners for
+// workload i (the Figure 8b/f sampling-rate experiment: k from 1 to the
+// full suite). The workload itself may appear as a partner — self-
+// colocation is a valid historical observation.
+func HistoricalSample(c *workload.Characterization, i, k int, rng *rand.Rand) ([]int, error) {
+	if c == nil {
+		return nil, errors.New("interference: nil characterization")
+	}
+	if rng == nil {
+		return nil, errors.New("interference: nil rng")
+	}
+	n := len(c.Profiles)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("interference: sample size %d outside [1, %d]", k, n)
+	}
+	perm := rng.Perm(n)
+	return perm[:k], nil
+}
+
+// EstimateAll computes full-history profiles for every workload in the
+// characterization.
+func EstimateAll(c *workload.Characterization) ([]Profile, error) {
+	if c == nil {
+		return nil, errors.New("interference: nil characterization")
+	}
+	out := make([]Profile, len(c.Profiles))
+	for i := range c.Profiles {
+		p, err := Estimate(c, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

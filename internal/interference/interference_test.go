@@ -1,0 +1,205 @@
+package interference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/workload"
+)
+
+func characterize(t *testing.T) *workload.Characterization {
+	t.Helper()
+	c, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEstimateMatchesCharacterizationMeans(t *testing.T) {
+	c := characterize(t)
+	for i := range c.Profiles {
+		p, err := Estimate(c, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.AlphaT-c.MeanSlowdownSuffered(i)) > 1e-12 {
+			t.Errorf("workload %d: AlphaT %v != mean suffered %v", i, p.AlphaT, c.MeanSlowdownSuffered(i))
+		}
+		if math.Abs(p.BetaT-c.MeanSlowdownInflicted(i)) > 1e-12 {
+			t.Errorf("workload %d: BetaT %v != mean inflicted %v", i, p.BetaT, c.MeanSlowdownInflicted(i))
+		}
+		if math.Abs(p.AlphaP-c.MeanEnergyFactorSuffered(i)) > 1e-12 {
+			t.Errorf("workload %d: AlphaP mismatch", i)
+		}
+		if math.Abs(p.BetaP-c.MeanEnergyFactorInflicted(i)) > 1e-12 {
+			t.Errorf("workload %d: BetaP mismatch", i)
+		}
+		if p.Samples != len(c.Profiles) {
+			t.Errorf("workload %d: Samples = %d", i, p.Samples)
+		}
+	}
+}
+
+func TestCHProfileReflectsAggressorRole(t *testing.T) {
+	c := characterize(t)
+	chIdx, err := c.Index(workload.CH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbodyIdx, err := c.Index(workload.NBODY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Estimate(c, chIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbody, err := Estimate(c, nbodyIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CH inflicts more than NBODY; NBODY suffers more than CH.
+	if ch.BetaT <= nbody.BetaT {
+		t.Errorf("CH BetaT %v should exceed NBODY BetaT %v", ch.BetaT, nbody.BetaT)
+	}
+	if nbody.AlphaT <= ch.AlphaT {
+		t.Errorf("NBODY AlphaT %v should exceed CH AlphaT %v", nbody.AlphaT, ch.AlphaT)
+	}
+}
+
+func TestEstimateFromPartnersSubset(t *testing.T) {
+	c := characterize(t)
+	p, err := EstimateFromPartners(c, 0, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlpha := (c.RuntimeFactor[0][1] + c.RuntimeFactor[0][2]) / 2
+	if math.Abs(p.AlphaT-wantAlpha) > 1e-12 {
+		t.Errorf("AlphaT = %v, want %v", p.AlphaT, wantAlpha)
+	}
+	if p.Samples != 2 {
+		t.Errorf("Samples = %d", p.Samples)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	c := characterize(t)
+	if _, err := Estimate(nil, 0); err == nil {
+		t.Error("nil characterization")
+	}
+	if _, err := Estimate(c, -1); err == nil {
+		t.Error("negative index")
+	}
+	if _, err := Estimate(c, len(c.Profiles)); err == nil {
+		t.Error("index out of range")
+	}
+	if _, err := EstimateFromPartners(c, 0, nil); err == nil {
+		t.Error("no partners")
+	}
+	if _, err := EstimateFromPartners(c, 0, []int{99}); err == nil {
+		t.Error("partner out of range")
+	}
+	if _, err := EstimateFromPartners(nil, 0, []int{0}); err == nil {
+		t.Error("nil characterization for partners")
+	}
+}
+
+func TestHistoricalSample(t *testing.T) {
+	c := characterize(t)
+	rng := rand.New(rand.NewSource(1))
+	for k := 1; k <= len(c.Profiles); k++ {
+		partners, err := HistoricalSample(c, 0, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partners) != k {
+			t.Fatalf("k=%d: got %d partners", k, len(partners))
+		}
+		seen := map[int]bool{}
+		for _, j := range partners {
+			if j < 0 || j >= len(c.Profiles) {
+				t.Fatalf("partner %d out of range", j)
+			}
+			if seen[j] {
+				t.Fatalf("duplicate partner %d", j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestHistoricalSampleErrors(t *testing.T) {
+	c := characterize(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := HistoricalSample(nil, 0, 1, rng); err == nil {
+		t.Error("nil characterization")
+	}
+	if _, err := HistoricalSample(c, 0, 0, rng); err == nil {
+		t.Error("k=0")
+	}
+	if _, err := HistoricalSample(c, 0, len(c.Profiles)+1, rng); err == nil {
+		t.Error("k too large")
+	}
+	if _, err := HistoricalSample(c, 0, 1, nil); err == nil {
+		t.Error("nil rng")
+	}
+}
+
+func TestSparseEstimateApproachesFull(t *testing.T) {
+	// Averaging sparse estimates over many draws converges to the
+	// full-history estimate — the mechanism behind Figure 8b's result
+	// that even one sample helps.
+	c := characterize(t)
+	full, err := Estimate(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const draws = 2000
+	sumAlpha := 0.0
+	for d := 0; d < draws; d++ {
+		partners, err := HistoricalSample(c, 3, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := EstimateFromPartners(c, 3, partners)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAlpha += p.AlphaT
+	}
+	if got := sumAlpha / draws; math.Abs(got-full.AlphaT) > 0.02 {
+		t.Errorf("mean sparse AlphaT %v far from full %v", got, full.AlphaT)
+	}
+}
+
+func TestFactors(t *testing.T) {
+	p := Profile{AlphaT: 1.2, BetaT: 1.3, AlphaP: 1.1, BetaP: 1.15}
+	if got := p.FixedCostFactor(48); math.Abs(got-2.5*48) > 1e-12 {
+		t.Errorf("FixedCostFactor = %v", got)
+	}
+	if got := p.DynamicEnergyFactor(100); math.Abs(got-2.25*100) > 1e-12 {
+		t.Errorf("DynamicEnergyFactor = %v", got)
+	}
+}
+
+func TestEstimateAll(t *testing.T) {
+	c := characterize(t)
+	all, err := EstimateAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(c.Profiles) {
+		t.Fatalf("got %d profiles", len(all))
+	}
+	for i, p := range all {
+		if p.AlphaT < 1 || p.BetaT < 1 {
+			t.Errorf("workload %d: implausible profile %+v", i, p)
+		}
+	}
+	if _, err := EstimateAll(nil); err == nil {
+		t.Error("nil characterization")
+	}
+}

@@ -1,0 +1,101 @@
+// Package livesignal evaluates Fair-CO2's live embodied carbon intensity
+// signal under demand-forecast error (paper §5.3 and §7.3, Figures 5 and
+// 11): a demand forecaster extends limited history, Temporal Shapley turns
+// both the true and the forecast-extended demand into intensity signals,
+// and the two signals are compared over the forecast horizon.
+package livesignal
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/forecast"
+	"fairco2/internal/stats"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Config parameterizes the evaluation.
+type Config struct {
+	// FitDays is the history window (paper: 21 of 30 days).
+	FitDays int
+	// Budget is the embodied carbon attributed over the full window.
+	Budget units.GramsCO2e
+	// Splits is the Temporal Shapley split schedule over the full trace.
+	Splits []int
+	// Forecast selects the forecaster structure.
+	Forecast forecast.Config
+}
+
+// DefaultConfig reproduces the paper's protocol on a 30-day, 5-minute
+// trace: 21 days of history, 9 days of forecast, splits 10*9*8*12.
+func DefaultConfig() Config {
+	return Config{
+		FitDays:  21,
+		Budget:   1e7,
+		Splits:   temporal.PaperSplits(),
+		Forecast: forecast.DefaultConfig(),
+	}
+}
+
+// Result reports the Figure 11 quantities.
+type Result struct {
+	// TrueIntensity is the signal from the full real trace.
+	TrueIntensity *timeseries.Series
+	// LiveIntensity is the signal from history + forecast.
+	LiveIntensity *timeseries.Series
+	// Demand is the accuracy of the raw demand forecast (Figure 5).
+	Demand forecast.Evaluation
+	// IntensityMAPE is the mean absolute percentage error of the live
+	// intensity signal over the forecast window (paper: 2.30%).
+	IntensityMAPE float64
+	// IntensityWorstAPE is the worst-case intensity error (paper: 15.72%).
+	IntensityWorstAPE float64
+}
+
+// Evaluate runs the full protocol on a demand trace.
+func Evaluate(demand *timeseries.Series, cfg Config) (*Result, error) {
+	if demand == nil {
+		return nil, errors.New("livesignal: nil demand trace")
+	}
+	stitched, demandEval, err := forecast.Backtest(demand, cfg.FitDays, cfg.Forecast)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := temporal.Config{SplitRatios: cfg.Splits}
+	trueSig, err := temporal.IntensitySignal(demand, cfg.Budget, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("livesignal: true signal: %w", err)
+	}
+	liveSig, err := temporal.IntensitySignal(stitched, cfg.Budget, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("livesignal: live signal: %w", err)
+	}
+
+	perDay := int(units.SecondsPerDay / float64(demand.Step))
+	horizon := demand.Len() - cfg.FitDays*perDay
+	trueTail, err := trueSig.Tail(horizon)
+	if err != nil {
+		return nil, err
+	}
+	liveTail, err := liveSig.Tail(horizon)
+	if err != nil {
+		return nil, err
+	}
+	mape, err := stats.MAPE(trueTail.Values, liveTail.Values)
+	if err != nil {
+		return nil, err
+	}
+	worst, err := stats.MaxAPE(trueTail.Values, liveTail.Values)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		TrueIntensity:     trueSig,
+		LiveIntensity:     liveSig,
+		Demand:            demandEval,
+		IntensityMAPE:     mape,
+		IntensityWorstAPE: worst,
+	}, nil
+}

@@ -1,0 +1,67 @@
+package livesignal
+
+import (
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+)
+
+func TestEvaluateReproducesFigure11(t *testing.T) {
+	demand, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(demand, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("demand forecast MAPE %.2f%%; intensity MAPE %.2f%%, worst %.2f%%",
+		res.Demand.MAPE, res.IntensityMAPE, res.IntensityWorstAPE)
+	// Paper: intensity MAPE 2.30%, worst-case 15.72%. Shape check: the
+	// live signal is accurate on average with a bounded worst case.
+	if res.IntensityMAPE > 10 {
+		t.Errorf("intensity MAPE %.2f%% too high", res.IntensityMAPE)
+	}
+	if res.IntensityWorstAPE > 60 {
+		t.Errorf("worst intensity APE %.2f%% too high", res.IntensityWorstAPE)
+	}
+	if res.IntensityWorstAPE < res.IntensityMAPE {
+		t.Error("worst error cannot undercut the mean")
+	}
+	if res.TrueIntensity.Len() != demand.Len() || res.LiveIntensity.Len() != demand.Len() {
+		t.Error("signals should cover the full trace")
+	}
+	// Both signals attribute the same budget over their own demand; the
+	// history window is shared, so early samples should agree closely.
+	for i := 0; i < 10; i++ {
+		a, b := res.TrueIntensity.Values[i], res.LiveIntensity.Values[i]
+		if a <= 0 || b <= 0 {
+			t.Fatalf("non-positive intensity at %d", i)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, DefaultConfig()); err == nil {
+		t.Error("nil demand")
+	}
+	demand, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.FitDays = 0
+	if _, err := Evaluate(demand, cfg); err == nil {
+		t.Error("bad fit window")
+	}
+	cfg = DefaultConfig()
+	cfg.Splits = []int{7}
+	if _, err := Evaluate(demand, cfg); err == nil {
+		t.Error("bad splits")
+	}
+	short := timeseries.New(0, 300, make([]float64, 10))
+	if _, err := Evaluate(short, DefaultConfig()); err == nil {
+		t.Error("short trace")
+	}
+}

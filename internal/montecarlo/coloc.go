@@ -1,0 +1,360 @@
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/colocation"
+	"fairco2/internal/stats"
+	"fairco2/internal/units"
+	"fairco2/internal/workload"
+)
+
+// ColocationConfig parameterizes the colocation-scenario experiment
+// (paper: 10,000 scenarios of 4-100 workloads, grid CI 0-1000 gCO2e/kWh,
+// historical sampling 1-15 partners).
+type ColocationConfig struct {
+	// Trials is the number of random scenarios.
+	Trials int
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// MinWorkloads and MaxWorkloads bound scenario sizes; sizes are drawn
+	// uniformly and rounded down to even so every workload is paired.
+	MinWorkloads, MaxWorkloads int
+	// MinGridCI and MaxGridCI bound the per-scenario grid carbon
+	// intensity in gCO2e/kWh.
+	MinGridCI, MaxGridCI float64
+	// MinSamples and MaxSamples bound the per-scenario historical
+	// sampling rate (number of partners conditioning each profile).
+	MinSamples, MaxSamples int
+	// GroundTruthSamples is the permutation sample count for scenarios
+	// too large for exact enumeration.
+	GroundTruthSamples int
+	// CollectPerWorkload retains per-workload deviations and partner
+	// identities for the Figure 9 distributions (costs memory).
+	CollectPerWorkload bool
+	// NodeCapacity is the number of tenants per node; 0 or 2 gives the
+	// paper's pairwise setting, higher values use the k-way extension
+	// (historical factors then come from GroupedFactors with
+	// FactorDraws random colocations per workload).
+	NodeCapacity int
+	// FactorDraws is the history size for k-way factors (capacity > 2).
+	FactorDraws int
+}
+
+// DefaultColocationConfig returns a laptop-scale configuration (500
+// scenarios, up to 40 workloads); raise Trials/MaxWorkloads for paper
+// scale.
+func DefaultColocationConfig() ColocationConfig {
+	return ColocationConfig{
+		Trials:             500,
+		Seed:               1,
+		MinWorkloads:       4,
+		MaxWorkloads:       40,
+		MinGridCI:          0,
+		MaxGridCI:          1000,
+		MinSamples:         1,
+		MaxSamples:         15,
+		GroundTruthSamples: 1500,
+	}
+}
+
+// Validate checks the configuration.
+func (c ColocationConfig) Validate() error {
+	switch {
+	case c.Trials < 1:
+		return errors.New("montecarlo: need at least one trial")
+	case c.MinWorkloads < 2 || c.MaxWorkloads < c.MinWorkloads:
+		return errors.New("montecarlo: invalid workload bounds")
+	case c.MinGridCI < 0 || c.MaxGridCI < c.MinGridCI:
+		return errors.New("montecarlo: invalid grid CI bounds")
+	case c.MinSamples < 1 || c.MaxSamples < c.MinSamples:
+		return errors.New("montecarlo: invalid sampling bounds")
+	case c.GroundTruthSamples < 1:
+		return errors.New("montecarlo: ground-truth samples must be positive")
+	case c.NodeCapacity < 0 || c.NodeCapacity == 1:
+		return errors.New("montecarlo: node capacity must be 0 (pairwise) or >= 2")
+	case c.NodeCapacity > 2 && c.FactorDraws < 1:
+		return errors.New("montecarlo: k-way capacity needs positive factor draws")
+	}
+	return nil
+}
+
+// WorkloadOutcome records one workload's deviation in one scenario, for the
+// Figure 9 per-workload and per-partner distributions.
+type WorkloadOutcome struct {
+	// Workload and Partner are suite workload names; Partner is empty for
+	// an unpaired (odd tail) workload.
+	Workload workload.Name
+	Partner  workload.Name
+	// Dev maps method name to this workload's relative deviation.
+	Dev map[string]float64
+}
+
+// ColocationTrial is the outcome of one random scenario.
+type ColocationTrial struct {
+	N       int
+	GridCI  float64
+	Samples int
+	// MeanDev and WorstDev map method name to scenario-level deviations.
+	MeanDev  map[string]float64
+	WorstDev map[string]float64
+	// PerWorkload is populated when CollectPerWorkload is set.
+	PerWorkload []WorkloadOutcome
+}
+
+// ColocationResult aggregates all trials.
+type ColocationResult struct {
+	Config ColocationConfig
+	Trials []ColocationTrial
+}
+
+// ColocationMethods lists the method names present in colocation results.
+func ColocationMethods() []string { return []string{MethodRUP, MethodFairCO2} }
+
+// RunColocation executes the colocation Monte Carlo experiment.
+func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxSamples > len(char.Profiles) {
+		return nil, fmt.Errorf("montecarlo: max samples %d exceeds suite size %d", cfg.MaxSamples, len(char.Profiles))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	trials := make([]ColocationTrial, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				trials[idx], errs[idx] = runColocationTrial(cfg, char, idx)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ColocationResult{Config: cfg, Trials: trials}, nil
+}
+
+func runColocationTrial(cfg ColocationConfig, char *workload.Characterization, idx int) (ColocationTrial, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*1_000_003))
+	n := cfg.MinWorkloads + rng.Intn(cfg.MaxWorkloads-cfg.MinWorkloads+1)
+	if n%2 != 0 {
+		n++ // keep every workload paired, as in the paper's pair scenarios
+	}
+	ci := cfg.MinGridCI + rng.Float64()*(cfg.MaxGridCI-cfg.MinGridCI)
+	samples := cfg.MinSamples + rng.Intn(cfg.MaxSamples-cfg.MinSamples+1)
+
+	env, err := colocation.NewEnvironment(units.CarbonIntensity(ci), char)
+	if err != nil {
+		return ColocationTrial{}, err
+	}
+	scen, err := colocation.NewRandomScenario(env, n, rng)
+	if err != nil {
+		return ColocationTrial{}, err
+	}
+	gtCfg := colocation.DefaultGroundTruthConfig(rng)
+	gtCfg.Samples = cfg.GroundTruthSamples
+
+	var gt, rup, fair []float64
+	if cfg.NodeCapacity > 2 {
+		// In k-way mode the pairwise sampling-rate axis is replaced by
+		// FactorDraws (random historical colocations per factor); the
+		// trial's Samples field still records the drawn rate for
+		// bucketing but does not alter the factors.
+		gt, err = colocation.GroundTruthGrouped(scen, cfg.NodeCapacity, gtCfg)
+		if err != nil {
+			return ColocationTrial{}, fmt.Errorf("montecarlo: trial %d grouped ground truth: %w", idx, err)
+		}
+		rup, err = colocation.RUPGrouped(scen, cfg.NodeCapacity)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		var factors []colocation.Factor
+		factors, err = colocation.GroupedFactors(scen, cfg.NodeCapacity, cfg.FactorDraws, rng)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		fair, err = colocation.FairCO2Grouped(scen, cfg.NodeCapacity, factors)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+	} else {
+		gt, err = colocation.GroundTruth(scen, gtCfg)
+		if err != nil {
+			return ColocationTrial{}, fmt.Errorf("montecarlo: trial %d ground truth: %w", idx, err)
+		}
+		rup, err = colocation.RUP(scen)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		var factors []colocation.Factor
+		factors, err = colocation.SampledHistoryFactors(scen, samples, rng)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		fair, err = colocation.FairCO2(scen, factors)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+	}
+
+	trial := ColocationTrial{
+		N:       n,
+		GridCI:  ci,
+		Samples: samples,
+		MeanDev: map[string]float64{}, WorstDev: map[string]float64{},
+	}
+	attrs := map[string][]float64{MethodRUP: rup, MethodFairCO2: fair}
+	for name, attr := range attrs {
+		mean, err := attribution.MeanDeviation(gt, attr)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		worst, err := attribution.WorstDeviation(gt, attr)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		trial.MeanDev[name] = mean
+		trial.WorstDev[name] = worst
+	}
+	if cfg.CollectPerWorkload {
+		rupDevs, err := attribution.Deviations(gt, rup)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		fairDevs, err := attribution.Deviations(gt, fair)
+		if err != nil {
+			return ColocationTrial{}, err
+		}
+		trial.PerWorkload = make([]WorkloadOutcome, n)
+		for k := 0; k < n; k++ {
+			out := WorkloadOutcome{
+				Workload: char.Profiles[scen.Members[k]].Name,
+				Dev: map[string]float64{
+					MethodRUP:     rupDevs[k],
+					MethodFairCO2: fairDevs[k],
+				},
+			}
+			if p := scen.PartnerOf(k); p >= 0 {
+				out.Partner = char.Profiles[scen.Members[p]].Name
+			}
+			trial.PerWorkload[k] = out
+		}
+	}
+	return trial, nil
+}
+
+// Values returns a method's raw per-scenario deviations (mean or worst).
+func (r *ColocationResult) Values(method string, worst bool) []float64 {
+	return r.collect(method, worst, nil)
+}
+
+// Overall summarizes a method's scenario-mean deviations (Figure 8a).
+func (r *ColocationResult) Overall(method string) stats.Summary {
+	return stats.Summarize(r.collect(method, false, nil))
+}
+
+// OverallWorst summarizes a method's scenario-worst deviations (Figure 8e).
+func (r *ColocationResult) OverallWorst(method string) stats.Summary {
+	return stats.Summarize(r.collect(method, true, nil))
+}
+
+// BySamples buckets deviations by historical sampling rate (Figure 8b/f).
+func (r *ColocationResult) BySamples(method string, worst bool) map[int]stats.Summary {
+	return r.bucket(method, worst, func(t ColocationTrial) int { return t.Samples })
+}
+
+// ByWorkloads buckets deviations by scenario size (Figure 8c/g), grouping
+// sizes into buckets of width 10 to keep panels readable.
+func (r *ColocationResult) ByWorkloads(method string, worst bool) map[int]stats.Summary {
+	return r.bucket(method, worst, func(t ColocationTrial) int { return (t.N / 10) * 10 })
+}
+
+// ByGridCI buckets deviations by grid carbon intensity in 200-gCO2e/kWh
+// bands (Figure 8d/h).
+func (r *ColocationResult) ByGridCI(method string, worst bool) map[int]stats.Summary {
+	return r.bucket(method, worst, func(t ColocationTrial) int { return int(t.GridCI/200) * 200 })
+}
+
+// PerWorkloadDeviations collects every per-workload deviation of a method,
+// grouped by the workload's own name (Figure 9 top row).
+func (r *ColocationResult) PerWorkloadDeviations(method string) map[workload.Name][]float64 {
+	out := map[workload.Name][]float64{}
+	for _, t := range r.Trials {
+		for _, o := range t.PerWorkload {
+			out[o.Workload] = append(out[o.Workload], o.Dev[method])
+		}
+	}
+	return out
+}
+
+// PerPartnerDeviations collects every per-workload deviation of a method,
+// grouped by the partner's name (Figure 9 bottom row).
+func (r *ColocationResult) PerPartnerDeviations(method string) map[workload.Name][]float64 {
+	out := map[workload.Name][]float64{}
+	for _, t := range r.Trials {
+		for _, o := range t.PerWorkload {
+			if o.Partner == "" {
+				continue
+			}
+			out[o.Partner] = append(out[o.Partner], o.Dev[method])
+		}
+	}
+	return out
+}
+
+func (r *ColocationResult) collect(method string, worst bool, keep func(ColocationTrial) bool) []float64 {
+	var out []float64
+	for _, t := range r.Trials {
+		if keep != nil && !keep(t) {
+			continue
+		}
+		if worst {
+			out = append(out, t.WorstDev[method])
+		} else {
+			out = append(out, t.MeanDev[method])
+		}
+	}
+	return out
+}
+
+func (r *ColocationResult) bucket(method string, worst bool, key func(ColocationTrial) int) map[int]stats.Summary {
+	groups := map[int][]float64{}
+	for _, t := range r.Trials {
+		v := t.MeanDev[method]
+		if worst {
+			v = t.WorstDev[method]
+		}
+		groups[key(t)] = append(groups[key(t)], v)
+	}
+	out := make(map[int]stats.Summary, len(groups))
+	for k, vs := range groups {
+		out[k] = stats.Summarize(vs)
+	}
+	return out
+}

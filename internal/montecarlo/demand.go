@@ -1,0 +1,226 @@
+// Package montecarlo implements the paper's two Monte Carlo evaluation
+// harnesses (§6.3): randomized dynamic-demand schedules (Figure 7) and
+// randomized colocation scenarios (Figures 8 and 9). Trials run on a
+// worker pool; every trial derives its RNG from the experiment seed and
+// the trial index, so results are reproducible regardless of scheduling.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/schedule"
+	"fairco2/internal/stats"
+	"fairco2/internal/units"
+)
+
+// Method names used in result maps.
+const (
+	MethodRUP     = "rup-baseline"
+	MethodDemand  = "demand-proportional"
+	MethodFairCO2 = "fair-co2"
+)
+
+// DemandConfig parameterizes the dynamic-demand experiment.
+type DemandConfig struct {
+	// Trials is the number of random schedules (paper: 10,000).
+	Trials int
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// Generator configures random schedules.
+	Generator schedule.GeneratorConfig
+	// Budget is the embodied carbon attributed per schedule; only the
+	// relative deviations matter, so any positive value works.
+	Budget units.GramsCO2e
+}
+
+// DefaultDemandConfig returns a laptop-scale configuration (500 trials,
+// up to 14 workloads); raise Trials and Generator.MaxWorkloads for paper
+// scale.
+func DefaultDemandConfig() DemandConfig {
+	return DemandConfig{
+		Trials:    500,
+		Seed:      1,
+		Generator: schedule.DefaultGeneratorConfig(),
+		Budget:    1e6,
+	}
+}
+
+// DemandTrial is the outcome of one random schedule.
+type DemandTrial struct {
+	// Slices and Workloads describe the generated schedule.
+	Slices    int
+	Workloads int
+	// MeanDev and WorstDev map method name to that scenario's average and
+	// maximum per-workload deviation from the ground truth.
+	MeanDev  map[string]float64
+	WorstDev map[string]float64
+}
+
+// DemandResult aggregates all trials.
+type DemandResult struct {
+	Config DemandConfig
+	Trials []DemandTrial
+}
+
+// RunDemand executes the dynamic-demand Monte Carlo experiment.
+func RunDemand(cfg DemandConfig) (*DemandResult, error) {
+	if cfg.Trials < 1 {
+		return nil, errors.New("montecarlo: need at least one trial")
+	}
+	if err := cfg.Generator.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Budget <= 0 {
+		return nil, errors.New("montecarlo: budget must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	trials := make([]DemandTrial, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				trials[idx], errs[idx] = runDemandTrial(cfg, idx)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &DemandResult{Config: cfg, Trials: trials}, nil
+}
+
+func runDemandTrial(cfg DemandConfig, idx int) (DemandTrial, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*1_000_003))
+	s, err := schedule.Generate(cfg.Generator, rng)
+	if err != nil {
+		return DemandTrial{}, fmt.Errorf("montecarlo: trial %d: %w", idx, err)
+	}
+	gt, err := attribution.GroundTruth{}.Attribute(s, cfg.Budget)
+	if err != nil {
+		return DemandTrial{}, fmt.Errorf("montecarlo: trial %d ground truth: %w", idx, err)
+	}
+	methods := map[string]attribution.Method{
+		MethodRUP:     attribution.RUPBaseline{},
+		MethodDemand:  attribution.DemandProportional{},
+		MethodFairCO2: attribution.TemporalShapley{},
+	}
+	trial := DemandTrial{
+		Slices:    s.Slices,
+		Workloads: len(s.Workloads),
+		MeanDev:   make(map[string]float64, len(methods)),
+		WorstDev:  make(map[string]float64, len(methods)),
+	}
+	for name, m := range methods {
+		attr, err := m.Attribute(s, cfg.Budget)
+		if err != nil {
+			return DemandTrial{}, fmt.Errorf("montecarlo: trial %d %s: %w", idx, name, err)
+		}
+		mean, err := attribution.MeanDeviation(gt, attr)
+		if err != nil {
+			return DemandTrial{}, err
+		}
+		worst, err := attribution.WorstDeviation(gt, attr)
+		if err != nil {
+			return DemandTrial{}, err
+		}
+		trial.MeanDev[name] = mean
+		trial.WorstDev[name] = worst
+	}
+	return trial, nil
+}
+
+// DemandMethods lists the method names present in demand results, in
+// presentation order.
+func DemandMethods() []string { return []string{MethodRUP, MethodDemand, MethodFairCO2} }
+
+// Values returns a method's raw per-scenario deviations (mean or worst),
+// for custom statistics such as bootstrap confidence intervals.
+func (r *DemandResult) Values(method string, worst bool) []float64 {
+	return r.collect(method, worst, func(DemandTrial) bool { return true })
+}
+
+// Overall summarizes a method's per-scenario mean deviations (Figure 7a).
+func (r *DemandResult) Overall(method string) stats.Summary {
+	return stats.Summarize(r.collect(method, false, func(DemandTrial) bool { return true }))
+}
+
+// OverallWorst summarizes a method's per-scenario worst-case deviations
+// (Figure 7e).
+func (r *DemandResult) OverallWorst(method string) stats.Summary {
+	return stats.Summarize(r.collect(method, true, func(DemandTrial) bool { return true }))
+}
+
+// BySlices buckets a method's deviations by schedule length (Figure 7b/f).
+func (r *DemandResult) BySlices(method string, worst bool) map[int]stats.Summary {
+	return r.bucket(method, worst, func(t DemandTrial) int { return t.Slices })
+}
+
+// ByWorkloads buckets a method's deviations by workload count (Figure 7d/h).
+func (r *DemandResult) ByWorkloads(method string, worst bool) map[int]stats.Summary {
+	return r.bucket(method, worst, func(t DemandTrial) int { return t.Workloads })
+}
+
+func (r *DemandResult) collect(method string, worst bool, keep func(DemandTrial) bool) []float64 {
+	var out []float64
+	for _, t := range r.Trials {
+		if !keep(t) {
+			continue
+		}
+		if worst {
+			out = append(out, t.WorstDev[method])
+		} else {
+			out = append(out, t.MeanDev[method])
+		}
+	}
+	return out
+}
+
+func (r *DemandResult) bucket(method string, worst bool, key func(DemandTrial) int) map[int]stats.Summary {
+	groups := map[int][]float64{}
+	for _, t := range r.Trials {
+		v := t.MeanDev[method]
+		if worst {
+			v = t.WorstDev[method]
+		}
+		k := key(t)
+		groups[k] = append(groups[k], v)
+	}
+	out := make(map[int]stats.Summary, len(groups))
+	for k, vs := range groups {
+		out[k] = stats.Summarize(vs)
+	}
+	return out
+}
+
+// SortedKeys returns the bucket keys of a summary map in ascending order.
+func SortedKeys(m map[int]stats.Summary) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

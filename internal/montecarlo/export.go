@@ -1,0 +1,106 @@
+package montecarlo
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteDemandCSV exports one row per trial of the dynamic-demand
+// experiment — the analogue of the paper artifact's stored simulation
+// results, for external plotting.
+func (r *DemandResult) WriteDemandCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"trial", "slices", "workloads"}
+	for _, m := range DemandMethods() {
+		header = append(header, m+"_mean_dev", m+"_worst_dev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, trial := range r.Trials {
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(trial.Slices),
+			strconv.Itoa(trial.Workloads),
+		}
+		for _, m := range DemandMethods() {
+			rec = append(rec,
+				formatFloat(trial.MeanDev[m]),
+				formatFloat(trial.WorstDev[m]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteColocationCSV exports one row per trial of the colocation
+// experiment.
+func (r *ColocationResult) WriteColocationCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"trial", "workloads", "grid_ci", "samples"}
+	for _, m := range ColocationMethods() {
+		header = append(header, m+"_mean_dev", m+"_worst_dev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, trial := range r.Trials {
+		rec := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(trial.N),
+			formatFloat(trial.GridCI),
+			strconv.Itoa(trial.Samples),
+		}
+		for _, m := range ColocationMethods() {
+			rec = append(rec,
+				formatFloat(trial.MeanDev[m]),
+				formatFloat(trial.WorstDev[m]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePerWorkloadCSV exports the Figure 9 per-workload records (requires
+// CollectPerWorkload).
+func (r *ColocationResult) WritePerWorkloadCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"trial", "workload", "partner"}
+	for _, m := range ColocationMethods() {
+		header = append(header, m+"_dev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	wrote := false
+	for i, trial := range r.Trials {
+		for _, o := range trial.PerWorkload {
+			rec := []string{strconv.Itoa(i), string(o.Workload), string(o.Partner)}
+			for _, m := range ColocationMethods() {
+				rec = append(rec, formatFloat(o.Dev[m]))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+			wrote = true
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if !wrote {
+		return fmt.Errorf("montecarlo: no per-workload records (run with CollectPerWorkload)")
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

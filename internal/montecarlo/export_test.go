@@ -1,0 +1,87 @@
+package montecarlo
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestWriteDemandCSV(t *testing.T) {
+	r, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteDemandCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(r.Trials)+1 {
+		t.Fatalf("%d rows for %d trials", len(records), len(r.Trials))
+	}
+	if records[0][0] != "trial" || len(records[0]) != 3+2*len(DemandMethods()) {
+		t.Fatalf("header %v", records[0])
+	}
+	// Spot-check one value round-trips.
+	v, err := strconv.ParseFloat(records[1][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != r.Trials[0].MeanDev[DemandMethods()[0]] {
+		t.Errorf("value %v != %v", v, r.Trials[0].MeanDev[DemandMethods()[0]])
+	}
+}
+
+func TestWriteColocationCSV(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.Trials = 20
+	cfg.CollectPerWorkload = true
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteColocationCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 21 {
+		t.Fatalf("%d rows", len(records))
+	}
+
+	var per bytes.Buffer
+	if err := r.WritePerWorkloadCSV(&per); err != nil {
+		t.Fatal(err)
+	}
+	perRecords, err := csv.NewReader(&per).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1
+	for _, trial := range r.Trials {
+		wantRows += len(trial.PerWorkload)
+	}
+	if len(perRecords) != wantRows {
+		t.Fatalf("per-workload rows %d, want %d", len(perRecords), wantRows)
+	}
+}
+
+func TestWritePerWorkloadCSVWithoutCollection(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.Trials = 5
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePerWorkloadCSV(&buf); err == nil {
+		t.Error("expected error without CollectPerWorkload")
+	}
+}

@@ -1,0 +1,298 @@
+package montecarlo
+
+import (
+	"strings"
+	"testing"
+
+	"fairco2/internal/schedule"
+)
+
+func smallDemandConfig() DemandConfig {
+	cfg := DefaultDemandConfig()
+	cfg.Trials = 60
+	cfg.Generator.MaxWorkloads = 10
+	return cfg
+}
+
+func smallColocationConfig() ColocationConfig {
+	cfg := DefaultColocationConfig()
+	cfg.Trials = 60
+	cfg.MaxWorkloads = 20
+	cfg.GroundTruthSamples = 400
+	return cfg
+}
+
+func TestRunDemandReproducesFigure7Ordering(t *testing.T) {
+	r, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trials) != 60 {
+		t.Fatalf("got %d trials", len(r.Trials))
+	}
+	rup := r.Overall(MethodRUP).Mean
+	dp := r.Overall(MethodDemand).Mean
+	fair := r.Overall(MethodFairCO2).Mean
+	t.Logf("Figure 7a: RUP %.1f%%, demand-prop %.1f%%, Fair-CO2 %.1f%%", rup*100, dp*100, fair*100)
+	if !(fair < dp && dp < rup) {
+		t.Errorf("method ordering violated: fair %v, demand %v, rup %v", fair, dp, rup)
+	}
+	// Worst-case ordering too (Figure 7e).
+	if !(r.OverallWorst(MethodFairCO2).Mean < r.OverallWorst(MethodRUP).Mean) {
+		t.Error("worst-case ordering violated")
+	}
+}
+
+func TestRunDemandDeterministic(t *testing.T) {
+	a, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trials {
+		for _, m := range DemandMethods() {
+			if a.Trials[i].MeanDev[m] != b.Trials[i].MeanDev[m] {
+				t.Fatalf("trial %d method %s not reproducible", i, m)
+			}
+		}
+	}
+}
+
+func TestRunDemandBuckets(t *testing.T) {
+	r, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySlices := r.BySlices(MethodRUP, false)
+	gen := r.Config.Generator
+	total := 0
+	for k, s := range bySlices {
+		if k < gen.MinSlices || k > gen.MaxSlices {
+			t.Errorf("slice bucket %d outside generator bounds", k)
+		}
+		total += s.N
+	}
+	if total != len(r.Trials) {
+		t.Errorf("slice buckets cover %d trials, want %d", total, len(r.Trials))
+	}
+	byW := r.ByWorkloads(MethodFairCO2, true)
+	if len(byW) == 0 {
+		t.Error("no workload buckets")
+	}
+	keys := SortedKeys(byW)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Error("SortedKeys not ascending")
+		}
+	}
+}
+
+func TestRunDemandErrors(t *testing.T) {
+	cfg := smallDemandConfig()
+	cfg.Trials = 0
+	if _, err := RunDemand(cfg); err == nil {
+		t.Error("zero trials should error")
+	}
+	cfg = smallDemandConfig()
+	cfg.Budget = 0
+	if _, err := RunDemand(cfg); err == nil {
+		t.Error("zero budget should error")
+	}
+	cfg = smallDemandConfig()
+	cfg.Generator = schedule.GeneratorConfig{}
+	if _, err := RunDemand(cfg); err == nil {
+		t.Error("invalid generator should error")
+	}
+}
+
+func TestRunColocationReproducesFigure8(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.CollectPerWorkload = true
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rup := r.Overall(MethodRUP).Mean
+	fair := r.Overall(MethodFairCO2).Mean
+	t.Logf("Figure 8a: RUP %.2f%%, Fair-CO2 %.2f%%", rup*100, fair*100)
+	if fair >= rup {
+		t.Errorf("Fair-CO2 %v should beat RUP %v", fair, rup)
+	}
+	rupWorst := r.OverallWorst(MethodRUP).Mean
+	fairWorst := r.OverallWorst(MethodFairCO2).Mean
+	t.Logf("Figure 8e: worst RUP %.2f%%, Fair-CO2 %.2f%%", rupWorst*100, fairWorst*100)
+	if fairWorst >= rupWorst {
+		t.Error("worst-case ordering violated")
+	}
+	// Paper shape: Fair-CO2's advantage should be a multiple, not marginal.
+	if rup/fair < 2 {
+		t.Errorf("expected Fair-CO2 to be at least 2x fairer; got RUP %v vs Fair %v", rup, fair)
+	}
+}
+
+func TestColocationScenarioShapes(t *testing.T) {
+	cfg := smallColocationConfig()
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, trial := range r.Trials {
+		if trial.N%2 != 0 {
+			t.Fatalf("trial %d has odd size %d", i, trial.N)
+		}
+		if trial.N < cfg.MinWorkloads || trial.N > cfg.MaxWorkloads+1 {
+			t.Fatalf("trial %d size %d outside bounds", i, trial.N)
+		}
+		if trial.GridCI < cfg.MinGridCI || trial.GridCI > cfg.MaxGridCI {
+			t.Fatalf("trial %d grid CI %v outside bounds", i, trial.GridCI)
+		}
+		if trial.Samples < cfg.MinSamples || trial.Samples > cfg.MaxSamples {
+			t.Fatalf("trial %d samples %d outside bounds", i, trial.Samples)
+		}
+	}
+}
+
+func TestColocationBucketsAndFigure9(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.CollectPerWorkload = true
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySamples := r.BySamples(MethodFairCO2, false)
+	if len(bySamples) < 3 {
+		t.Errorf("expected several sampling buckets, got %d", len(bySamples))
+	}
+	byCI := r.ByGridCI(MethodRUP, true)
+	if len(byCI) == 0 {
+		t.Error("no grid CI buckets")
+	}
+	perW := r.PerWorkloadDeviations(MethodFairCO2)
+	if len(perW) < 5 {
+		t.Errorf("expected many workloads in Figure 9 data, got %d", len(perW))
+	}
+	perP := r.PerPartnerDeviations(MethodRUP)
+	if len(perP) < 5 {
+		t.Errorf("expected many partners in Figure 9 data, got %d", len(perP))
+	}
+	// Without collection the maps are empty.
+	r2, err := RunColocation(smallColocationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.PerWorkloadDeviations(MethodRUP)) != 0 {
+		t.Error("per-workload data should be absent without CollectPerWorkload")
+	}
+}
+
+func TestColocationConfigValidate(t *testing.T) {
+	bad := []func(*ColocationConfig){
+		func(c *ColocationConfig) { c.Trials = 0 },
+		func(c *ColocationConfig) { c.MinWorkloads = 1 },
+		func(c *ColocationConfig) { c.MaxWorkloads = 2; c.MinWorkloads = 4 },
+		func(c *ColocationConfig) { c.MinGridCI = -1 },
+		func(c *ColocationConfig) { c.MaxGridCI = 0; c.MinGridCI = 10 },
+		func(c *ColocationConfig) { c.MinSamples = 0 },
+		func(c *ColocationConfig) { c.MaxSamples = 0 },
+		func(c *ColocationConfig) { c.GroundTruthSamples = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultColocationConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	cfg := DefaultColocationConfig()
+	cfg.MaxSamples = 99
+	if _, err := RunColocation(cfg); err == nil {
+		t.Error("max samples above suite size should error")
+	}
+}
+
+func TestRunColocationKWayCapacity(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.Trials = 30
+	cfg.MaxWorkloads = 12
+	cfg.NodeCapacity = 3
+	cfg.FactorDraws = 300
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rup := r.Overall(MethodRUP).Mean
+	fair := r.Overall(MethodFairCO2).Mean
+	t.Logf("capacity-3 MC: RUP %.2f%%, Fair-CO2 %.2f%%", rup*100, fair*100)
+	if fair >= rup {
+		t.Errorf("Fair-CO2 %v should beat RUP %v at capacity 3", fair, rup)
+	}
+}
+
+func TestColocationConfigCapacityValidation(t *testing.T) {
+	cfg := DefaultColocationConfig()
+	cfg.NodeCapacity = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("capacity 1 should be rejected")
+	}
+	cfg = DefaultColocationConfig()
+	cfg.NodeCapacity = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative capacity should be rejected")
+	}
+	cfg = DefaultColocationConfig()
+	cfg.NodeCapacity = 3
+	cfg.FactorDraws = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("k-way without factor draws should be rejected")
+	}
+}
+
+func TestRunDemandPropagatesTrialErrors(t *testing.T) {
+	// Schedules beyond the exact Shapley player limit must surface as an
+	// error from the harness, not a hang or a silent skip.
+	cfg := smallDemandConfig()
+	cfg.Trials = 40
+	cfg.Generator.MaxWorkloads = 40
+	cfg.Generator.MinSlices, cfg.Generator.MaxSlices = 9, 9
+	cfg.Generator.MaxConcurrent = 5
+	cfg.Generator.MinConcurrent = 5
+	cfg.Generator.MinDuration, cfg.Generator.MaxDuration = 1, 1
+	if _, err := RunDemand(cfg); err == nil {
+		t.Error("expected ground-truth player-limit error to propagate")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	dr, err := RunDemand(smallDemandConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7 := FormatFigure7(dr)
+	for _, want := range []string{"Figure 7", "(a)", "(e)", "rup-baseline", "fair-co2", "slices"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("Figure 7 report missing %q", want)
+		}
+	}
+	cfg := smallColocationConfig()
+	cfg.Trials = 30
+	cfg.CollectPerWorkload = true
+	cr, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8 := FormatFigure8(cr)
+	for _, want := range []string{"Figure 8", "sampling rate", "grid carbon intensity"} {
+		if !strings.Contains(f8, want) {
+			t.Errorf("Figure 8 report missing %q", want)
+		}
+	}
+	f9 := FormatFigure9(cr)
+	for _, want := range []string{"Figure 9", "by partner", "NBODY"} {
+		if !strings.Contains(f9, want) {
+			t.Errorf("Figure 9 report missing %q", want)
+		}
+	}
+}

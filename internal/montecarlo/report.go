@@ -1,0 +1,125 @@
+package montecarlo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairco2/internal/stats"
+	"fairco2/internal/workload"
+)
+
+// FormatFigure7 renders the dynamic-demand experiment in the layout of the
+// paper's Figure 7: overall mean/worst deviations per method (panels a, e)
+// and breakdowns by schedule length (b, f) and workload count (d, h).
+func FormatFigure7(r *DemandResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — attribution fairness with dynamic demand (%d scenarios)\n", len(r.Trials))
+	b.WriteString("\n(a) average deviation from ground truth, across all scenarios\n")
+	writeMethodSummariesCI(&b, DemandMethods(),
+		func(m string) stats.Summary { return r.Overall(m) },
+		func(m string) []float64 { return r.Values(m, false) })
+	b.WriteString("\n(e) worst-case (least fair single workload) deviation, across all scenarios\n")
+	writeMethodSummariesCI(&b, DemandMethods(),
+		func(m string) stats.Summary { return r.OverallWorst(m) },
+		func(m string) []float64 { return r.Values(m, true) })
+
+	b.WriteString("\n(b/f) mean deviation by number of time slices\n")
+	writeBuckets(&b, DemandMethods(), "slices", func(m string) map[int]stats.Summary { return r.BySlices(m, false) })
+	b.WriteString("\n(d/h) mean deviation by number of workloads\n")
+	writeBuckets(&b, DemandMethods(), "workloads", func(m string) map[int]stats.Summary { return r.ByWorkloads(m, false) })
+	return b.String()
+}
+
+// FormatFigure8 renders the colocation experiment in the layout of the
+// paper's Figure 8.
+func FormatFigure8(r *ColocationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 — attribution fairness under interference (%d scenarios)\n", len(r.Trials))
+	b.WriteString("\n(a) average deviation from ground truth, across all scenarios\n")
+	writeMethodSummariesCI(&b, ColocationMethods(),
+		func(m string) stats.Summary { return r.Overall(m) },
+		func(m string) []float64 { return r.Values(m, false) })
+	b.WriteString("\n(e) worst-case deviation, across all scenarios\n")
+	writeMethodSummariesCI(&b, ColocationMethods(),
+		func(m string) stats.Summary { return r.OverallWorst(m) },
+		func(m string) []float64 { return r.Values(m, true) })
+
+	b.WriteString("\n(b/f) mean deviation by historical sampling rate (partners sampled)\n")
+	writeBuckets(&b, ColocationMethods(), "samples", func(m string) map[int]stats.Summary { return r.BySamples(m, false) })
+	b.WriteString("\n(c/g) mean deviation by number of colocated workloads\n")
+	writeBuckets(&b, ColocationMethods(), "workloads", func(m string) map[int]stats.Summary { return r.ByWorkloads(m, false) })
+	b.WriteString("\n(d/h) mean deviation by grid carbon intensity (gCO2e/kWh band)\n")
+	writeBuckets(&b, ColocationMethods(), "grid-ci", func(m string) map[int]stats.Summary { return r.ByGridCI(m, false) })
+	return b.String()
+}
+
+// FormatFigure9 renders per-workload and per-partner deviation
+// distributions (mean +/- p95) for each method — the textual equivalent of
+// Figure 9's violin plots. Requires CollectPerWorkload.
+func FormatFigure9(r *ColocationResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — deviation distributions by workload and by partner\n")
+	for _, method := range ColocationMethods() {
+		fmt.Fprintf(&b, "\n[%s] by workload (own deviation)\n", method)
+		writeNameBuckets(&b, r.PerWorkloadDeviations(method))
+		fmt.Fprintf(&b, "\n[%s] by partner (deviation of workloads paired with it)\n", method)
+		writeNameBuckets(&b, r.PerPartnerDeviations(method))
+	}
+	return b.String()
+}
+
+func writeMethodSummariesCI(b *strings.Builder, methods []string, get func(string) stats.Summary, values func(string) []float64) {
+	fmt.Fprintf(b, "  %-22s %8s %17s %8s %8s %8s\n", "method", "mean", "mean 95% CI", "median", "p95", "max")
+	for _, m := range methods {
+		s := get(m)
+		ciStr := "n/a"
+		if ci, err := stats.BootstrapMeanCI(values(m), 0.95, 400, 1); err == nil {
+			ciStr = fmt.Sprintf("[%5.2f%%, %5.2f%%]", ci.Lo*100, ci.Hi*100)
+		}
+		fmt.Fprintf(b, "  %-22s %7.2f%% %17s %7.2f%% %7.2f%% %7.2f%%\n",
+			m, s.Mean*100, ciStr, s.Median*100, s.P95*100, s.Max*100)
+	}
+}
+
+func writeBuckets(b *strings.Builder, methods []string, label string, get func(string) map[int]stats.Summary) {
+	perMethod := make(map[string]map[int]stats.Summary, len(methods))
+	keySet := map[int]bool{}
+	for _, m := range methods {
+		perMethod[m] = get(m)
+		for k := range perMethod[m] {
+			keySet[k] = true
+		}
+	}
+	keys := make([]int, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(b, "  %-10s", label)
+	for _, m := range methods {
+		fmt.Fprintf(b, " %22s", m)
+	}
+	b.WriteString("\n")
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %-10d", k)
+		for _, m := range methods {
+			s := perMethod[m][k]
+			fmt.Fprintf(b, "   %7.2f%% (n=%5d)", s.Mean*100, s.N)
+		}
+		b.WriteString("\n")
+	}
+}
+
+func writeNameBuckets(b *strings.Builder, m map[workload.Name][]float64) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, string(n))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "  %-8s %8s %8s %8s %6s\n", "workload", "mean", "median", "p95", "n")
+	for _, n := range names {
+		s := stats.Summarize(m[workload.Name(n)])
+		fmt.Fprintf(b, "  %-8s %7.2f%% %7.2f%% %7.2f%% %6d\n", n, s.Mean*100, s.Median*100, s.P95*100, s.N)
+	}
+}

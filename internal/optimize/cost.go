@@ -1,0 +1,87 @@
+package optimize
+
+import (
+	"errors"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/units"
+)
+
+// smtThreadsPerCore reflects the evaluation CPUs (Cascade Lake, SMT-2):
+// the paper's configuration sweeps address logical cores (up to 96 on a
+// 48-physical-core node), so per-core embodied rates and static-power
+// shares are normalized by logical cores.
+const smtThreadsPerCore = 2
+
+// CostModel converts a configuration and runtime into carbon, using the
+// reference server's per-resource embodied rates and power model.
+type CostModel struct {
+	server *carbon.Server
+	// logicalCores is the schedulable core count of one node.
+	logicalCores int
+	// coreRate and gbRate are amortized embodied gCO2e per logical
+	// core-second and per GB-second.
+	coreRate, gbRate float64
+}
+
+// NewCostModel builds the cost model over a server.
+func NewCostModel(server *carbon.Server) (*CostModel, error) {
+	if server == nil {
+		return nil, errors.New("optimize: nil server")
+	}
+	physCoreRate, err := server.EmbodiedRatePerCore()
+	if err != nil {
+		return nil, err
+	}
+	gbRate, err := server.EmbodiedRatePerGB()
+	if err != nil {
+		return nil, err
+	}
+	return &CostModel{
+		server:       server,
+		logicalCores: server.Cores * smtThreadsPerCore,
+		coreRate:     physCoreRate / smtThreadsPerCore,
+		gbRate:       gbRate,
+	}, nil
+}
+
+// Breakdown separates a configuration's carbon into the paper's
+// components.
+type Breakdown struct {
+	// Embodied is amortized manufacturing carbon (core- and GB-seconds).
+	Embodied units.GramsCO2e
+	// Static is the operational carbon of the allocation's share of node
+	// static power.
+	Static units.GramsCO2e
+	// Dynamic is the operational carbon of dynamic energy.
+	Dynamic units.GramsCO2e
+}
+
+// Total returns the summed footprint.
+func (b Breakdown) Total() units.GramsCO2e { return b.Embodied + b.Static + b.Dynamic }
+
+// Operational returns static plus dynamic carbon.
+func (b Breakdown) Operational() units.GramsCO2e { return b.Static + b.Dynamic }
+
+// Energy returns the operational energy (static share + dynamic) of a
+// configuration held for a duration.
+func (c *CostModel) Energy(cores int, dynPower units.Watts, duration units.Seconds) units.Joules {
+	staticShare := units.Watts(float64(c.server.StaticPower) * float64(cores) / float64(c.logicalCores))
+	return units.Energy(staticShare+dynPower, duration)
+}
+
+// Carbon returns the footprint of holding (cores, memGB) for duration at
+// average dynamic power dynPower, under grid intensity ci. embodiedScale
+// multiplies the embodied rates — 1 for uniform amortization, or the
+// Temporal Shapley live intensity multiplier for Figure 13.
+func (c *CostModel) Carbon(cores int, memGB float64, duration units.Seconds, dynPower units.Watts, ci units.CarbonIntensity, embodiedScale float64) Breakdown {
+	embodied := (c.coreRate*float64(cores) + c.gbRate*memGB) * float64(duration) * embodiedScale
+	staticShare := units.Watts(float64(c.server.StaticPower) * float64(cores) / float64(c.logicalCores))
+	static := units.Emissions(units.Energy(staticShare, duration), ci)
+	dynamic := units.Emissions(units.Energy(dynPower, duration), ci)
+	return Breakdown{
+		Embodied: units.GramsCO2e(embodied),
+		Static:   static,
+		Dynamic:  dynamic,
+	}
+}

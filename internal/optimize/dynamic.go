@@ -1,0 +1,164 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/grid"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// DynamicConfig parameterizes the Figure 13 week-long dynamic workload
+// adjustment simulation.
+type DynamicConfig struct {
+	// Models are the candidate serving algorithms (IVF, HNSW).
+	Models []ServingModel
+	// Space is the configuration grid.
+	Space SweepSpace
+	// SLO is the tail-latency target (paper: 2 s, from MLPerf's server
+	// latency target for LLM Q&A where FAISS indices back RAG).
+	SLO units.Seconds
+	// Step is the reconfiguration interval (paper: live 5-minute
+	// signals).
+	Step units.Seconds
+	// Duration is the simulated horizon (paper: one week).
+	Duration units.Seconds
+}
+
+// DefaultDynamicConfig returns the paper's case-study parameters.
+func DefaultDynamicConfig() DynamicConfig {
+	return DynamicConfig{
+		Models:   ServingModels(),
+		Space:    ServingSweepSpace(),
+		SLO:      2,
+		Step:     300,
+		Duration: 7 * units.SecondsPerDay,
+	}
+}
+
+// DynamicStep records one reconfiguration interval.
+type DynamicStep struct {
+	Time          units.Seconds
+	GridCI        units.CarbonIntensity
+	EmbodiedScale float64
+	// Chosen is the carbon-optimal configuration under the SLO.
+	Chosen ServingPoint
+	// Static is the fixed performance-optimal configuration's cost at
+	// this step's intensities.
+	Static ServingPoint
+}
+
+// DynamicResult summarizes the simulation.
+type DynamicResult struct {
+	Steps []DynamicStep
+	// OptimizedCarbonPerQuery and StaticCarbonPerQuery are time-averaged
+	// per-query footprints of the adaptive policy and of holding the
+	// performance-optimal configuration.
+	OptimizedCarbonPerQuery units.GramsCO2e
+	StaticCarbonPerQuery    units.GramsCO2e
+	// Savings is the fractional reduction (paper: 38.4%).
+	Savings float64
+	// AlgorithmSwitches counts IVF <-> HNSW changes.
+	AlgorithmSwitches int
+}
+
+// DynamicWeek simulates dynamic reconfiguration against a live grid
+// carbon-intensity signal and a live embodied-intensity multiplier
+// (mean-1 shape from Temporal Shapley over a demand trace). At every step
+// the carbon-optimal configuration under the SLO is selected; the baseline
+// holds the latency-optimal configuration throughout.
+func DynamicWeek(cost *CostModel, gridSignal grid.Signal, embodiedScale *timeseries.Series, cfg DynamicConfig) (*DynamicResult, error) {
+	if cost == nil {
+		return nil, errors.New("optimize: nil cost model")
+	}
+	if gridSignal == nil {
+		return nil, errors.New("optimize: nil grid signal")
+	}
+	if embodiedScale == nil || embodiedScale.Len() == 0 {
+		return nil, errors.New("optimize: empty embodied scale signal")
+	}
+	if cfg.Step <= 0 || cfg.Duration < cfg.Step {
+		return nil, fmt.Errorf("optimize: invalid step %v / duration %v", cfg.Step, cfg.Duration)
+	}
+	if cfg.SLO <= 0 {
+		return nil, errors.New("optimize: SLO must be positive")
+	}
+
+	// The latency-optimal configuration is intensity-independent.
+	probe, err := SweepServing(cfg.Models, cfg.Space, cost, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	fastest, err := FastestPoint(probe)
+	if err != nil {
+		return nil, err
+	}
+	fastModel, err := modelByName(cfg.Models, fastest.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+
+	steps := int(float64(cfg.Duration) / float64(cfg.Step))
+	result := &DynamicResult{Steps: make([]DynamicStep, 0, steps)}
+	var optSum, staticSum float64
+	prevAlg := ""
+	for i := 0; i < steps; i++ {
+		t := units.Seconds(float64(cfg.Step) * float64(i))
+		ci := gridSignal.At(t)
+		scale := embodiedScale.At(t)
+
+		points, err := SweepServing(cfg.Models, cfg.Space, cost, ci, scale)
+		if err != nil {
+			return nil, err
+		}
+		chosen, err := BestUnderSLO(points, cfg.SLO)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: step %d: %w", i, err)
+		}
+
+		staticBd := cost.Carbon(fastest.Cores, fastModel.IndexGB, fastest.TailLatency, fastModel.DynPower(fastest.Cores), ci, scale)
+		static := fastest
+		static.CarbonPerQuery = units.GramsCO2e(float64(staticBd.Total()) / float64(fastest.Batch))
+
+		result.Steps = append(result.Steps, DynamicStep{
+			Time: t, GridCI: ci, EmbodiedScale: scale,
+			Chosen: chosen, Static: static,
+		})
+		optSum += float64(chosen.CarbonPerQuery)
+		staticSum += float64(static.CarbonPerQuery)
+		if prevAlg != "" && prevAlg != chosen.Algorithm {
+			result.AlgorithmSwitches++
+		}
+		prevAlg = chosen.Algorithm
+	}
+	n := float64(len(result.Steps))
+	result.OptimizedCarbonPerQuery = units.GramsCO2e(optSum / n)
+	result.StaticCarbonPerQuery = units.GramsCO2e(staticSum / n)
+	if staticSum > 0 {
+		result.Savings = 1 - optSum/staticSum
+	}
+	return result, nil
+}
+
+func modelByName(models []ServingModel, name string) (ServingModel, error) {
+	for _, m := range models {
+		if m.Algorithm == name {
+			return m, nil
+		}
+	}
+	return ServingModel{}, fmt.Errorf("optimize: unknown algorithm %q", name)
+}
+
+// NormalizedEmbodiedShape converts a Temporal Shapley intensity signal to
+// a mean-1 multiplier for DynamicWeek.
+func NormalizedEmbodiedShape(intensity *timeseries.Series) (*timeseries.Series, error) {
+	if intensity == nil || intensity.Len() == 0 {
+		return nil, errors.New("optimize: empty intensity signal")
+	}
+	mean := intensity.Mean()
+	if mean <= 0 {
+		return nil, errors.New("optimize: intensity signal has non-positive mean")
+	}
+	return intensity.Scale(1 / mean), nil
+}

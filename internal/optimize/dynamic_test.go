@@ -1,0 +1,146 @@
+package optimize
+
+import (
+	"testing"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+)
+
+// embodiedShape builds the Figure 13 embodied multiplier from a 30-day
+// Azure-like trace (we use the first 7 days of the signal).
+func embodiedShape(t *testing.T) *timeseries.Series {
+	t.Helper()
+	demand, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := temporal.IntensitySignal(demand, 1e7, temporal.Config{SplitRatios: temporal.PaperSplits()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := NormalizedEmbodiedShape(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shape
+}
+
+func TestDynamicWeekReproducesFigure13(t *testing.T) {
+	cost := costModel(t)
+	ciTrace, err := grid.NewSyntheticCAISO(grid.DefaultCAISOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DynamicWeek(cost, grid.Trace{Series: ciTrace}, embodiedShape(t), DefaultDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 7*288 {
+		t.Fatalf("got %d steps, want one week of 5-minute steps", len(res.Steps))
+	}
+	t.Logf("dynamic optimization savings: %.1f%% (paper: 38.4%%); %d algorithm switches",
+		res.Savings*100, res.AlgorithmSwitches)
+	// Paper: 38.4% savings over one week. Shape: large double-digit
+	// savings with the optimal algorithm switching over time.
+	if res.Savings < 0.15 || res.Savings > 0.7 {
+		t.Errorf("savings %.2f outside plausible band around 0.384", res.Savings)
+	}
+	if res.AlgorithmSwitches < 2 {
+		t.Errorf("expected IVF <-> HNSW switches over the week, got %d", res.AlgorithmSwitches)
+	}
+	// Every chosen configuration meets the SLO.
+	for i, s := range res.Steps {
+		if s.Chosen.TailLatency > DefaultDynamicConfig().SLO {
+			t.Fatalf("step %d violates SLO", i)
+		}
+		if s.Chosen.CarbonPerQuery > s.Static.CarbonPerQuery+1e-12 {
+			t.Fatalf("step %d: adaptive choice worse than static", i)
+		}
+	}
+	if res.OptimizedCarbonPerQuery >= res.StaticCarbonPerQuery {
+		t.Error("optimized mean should beat static mean")
+	}
+}
+
+func TestDynamicWeekSwitchesWithGridIntensity(t *testing.T) {
+	// With a constant low-carbon grid the optimizer should stick with one
+	// algorithm (no switches).
+	cost := costModel(t)
+	res, err := DynamicWeek(cost, grid.Sweden, embodiedShape(t), DefaultDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivfSteps := 0
+	for _, s := range res.Steps {
+		if s.Chosen.Algorithm == "IVF" {
+			ivfSteps++
+		}
+	}
+	// At 25 gCO2e/kWh, embodied dominates and IVF (smaller index) should
+	// win almost always; embodied-scale swings may flip borderline steps.
+	if frac := float64(ivfSteps) / float64(len(res.Steps)); frac < 0.9 {
+		t.Errorf("IVF chosen only %.0f%% of the time on a low-carbon grid", frac*100)
+	}
+}
+
+func TestDynamicWeekErrors(t *testing.T) {
+	cost := costModel(t)
+	shape := timeseries.New(0, 300, []float64{1, 1})
+	cfg := DefaultDynamicConfig()
+	if _, err := DynamicWeek(nil, grid.Sweden, shape, cfg); err == nil {
+		t.Error("nil cost")
+	}
+	if _, err := DynamicWeek(cost, nil, shape, cfg); err == nil {
+		t.Error("nil grid signal")
+	}
+	if _, err := DynamicWeek(cost, grid.Sweden, nil, cfg); err == nil {
+		t.Error("nil shape")
+	}
+	bad := cfg
+	bad.Step = 0
+	if _, err := DynamicWeek(cost, grid.Sweden, shape, bad); err == nil {
+		t.Error("zero step")
+	}
+	bad = cfg
+	bad.SLO = 0
+	if _, err := DynamicWeek(cost, grid.Sweden, shape, bad); err == nil {
+		t.Error("zero SLO")
+	}
+	bad = cfg
+	bad.SLO = 0.00001
+	if _, err := DynamicWeek(cost, grid.Sweden, shape, bad); err == nil {
+		t.Error("impossible SLO")
+	}
+}
+
+func TestNormalizedEmbodiedShape(t *testing.T) {
+	s := timeseries.New(0, 1, []float64{1, 2, 3})
+	norm, err := NormalizedEmbodiedShape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := norm.Mean(); got < 0.999 || got > 1.001 {
+		t.Errorf("normalized mean %v", got)
+	}
+	if _, err := NormalizedEmbodiedShape(nil); err == nil {
+		t.Error("nil signal")
+	}
+	if _, err := NormalizedEmbodiedShape(timeseries.Zeros(0, 1, 3)); err == nil {
+		t.Error("zero-mean signal")
+	}
+}
+
+func TestDefaultDynamicConfig(t *testing.T) {
+	cfg := DefaultDynamicConfig()
+	if cfg.SLO != 2 {
+		t.Error("paper SLO is 2 s")
+	}
+	if cfg.Duration != 7*86400 || cfg.Step != 300 {
+		t.Error("paper horizon is a week of 5-minute steps")
+	}
+	_ = carbon.NewReferenceServer()
+}

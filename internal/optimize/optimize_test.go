@@ -1,0 +1,411 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/carbon"
+)
+
+func costModel(t *testing.T) *CostModel {
+	t.Helper()
+	c, err := NewCostModel(carbon.NewReferenceServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBatchRuntimeMonotoneInCores(t *testing.T) {
+	for _, m := range BatchModels() {
+		prev := math.Inf(1)
+		for _, c := range BatchSweepSpace().Cores {
+			rt, err := m.Runtime(c, 192)
+			if err != nil {
+				t.Fatalf("%s cores=%d: %v", m.Name, c, err)
+			}
+			if float64(rt) >= prev {
+				t.Fatalf("%s: runtime not strictly decreasing at %d cores", m.Name, c)
+			}
+			prev = float64(rt)
+		}
+	}
+}
+
+func TestBatchRuntimeSaturation(t *testing.T) {
+	// Past saturation, extra cores barely help.
+	m := BatchModel{Name: "x", SerialSeconds: 10, ParallelWork: 9600, ScalingExp: 0.9, MinMemoryGB: 8, WorkingSetGB: 8, SaturationCores: 48, PowerPerCore: 5}
+	t48, err := m.Runtime(48, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t96, err := m.Runtime(96, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := 1 - float64(t96)/float64(t48)
+	if gain <= 0 || gain > 0.15 {
+		t.Errorf("saturated doubling gained %.1f%%, want small positive", gain*100)
+	}
+	// Without saturation the same doubling is a large win.
+	m.SaturationCores = 0
+	u48, _ := m.Runtime(48, 192)
+	u96, _ := m.Runtime(96, 192)
+	if gainFree := 1 - float64(u96)/float64(u48); gainFree < 2*gain {
+		t.Errorf("unsaturated gain %.2f should far exceed saturated %.2f", gainFree, gain)
+	}
+}
+
+func TestBatchMemoryPenalty(t *testing.T) {
+	models := BatchModels()
+	var spark BatchModel
+	for _, m := range models {
+		if m.Name == "SPARK" {
+			spark = m
+		}
+	}
+	full, err := spark.Runtime(48, spark.WorkingSetGB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squeezed, err := spark.Runtime(48, spark.MinMemoryGB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if squeezed <= full {
+		t.Error("below-working-set memory should slow the run")
+	}
+	if _, err := spark.Runtime(48, spark.MinMemoryGB-1); err == nil {
+		t.Error("below-minimum memory should error")
+	}
+	if _, err := spark.Runtime(0, 192); err == nil {
+		t.Error("zero cores should error")
+	}
+}
+
+func TestDynPowerSublinear(t *testing.T) {
+	// J per %-second decreasing with cores (paper's SMT observation):
+	// power per core falls as cores grow.
+	m := BatchModels()[0]
+	perCore48 := float64(m.DynPower(48)) / 48
+	perCore96 := float64(m.DynPower(96)) / 96
+	if perCore96 >= perCore48 {
+		t.Error("dynamic power per core should fall with core count")
+	}
+}
+
+func TestSweepBatchAndOptima(t *testing.T) {
+	cost := costModel(t)
+	for _, m := range BatchModels() {
+		points, err := SweepBatch(m, BatchSweepSpace())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		perf, err := PerfOptimal(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perf.Cores != 96 {
+			t.Errorf("%s: perf-optimal should use all cores, got %d", m.Name, perf.Cores)
+		}
+		eOpt, err := EnergyOptimal(cost, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embOpt, err := EmbodiedOptimal(cost, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Energy- and embodied-optimal runtimes can't beat perf-optimal.
+		if eOpt.Runtime < perf.Runtime || embOpt.Runtime < perf.Runtime {
+			t.Errorf("%s: optimum faster than perf-optimal", m.Name)
+		}
+	}
+}
+
+func TestFigure10ShapeAndSavings(t *testing.T) {
+	cost := costModel(t)
+	cis := DefaultCISweep()
+	maxSavings := 0.0
+	changedCount := 0
+	for _, m := range BatchModels() {
+		rows, err := Figure10(m, cost, cis)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(rows) != len(cis) {
+			t.Fatalf("%s: %d rows", m.Name, len(rows))
+		}
+		for _, r := range rows {
+			// The carbon-optimal policy can never lose to the others.
+			if r.NormCarbonOpt > r.NormEnergyOpt+1e-9 || r.NormCarbonOpt > r.NormEmbodiedOpt+1e-9 {
+				t.Fatalf("%s: carbon-optimal beaten at CI %v", m.Name, r.GridCI)
+			}
+			if r.NormCarbonOpt > 1+1e-9 {
+				t.Fatalf("%s: carbon-optimal worse than perf-optimal at CI %v", m.Name, r.GridCI)
+			}
+		}
+		if s := MaxSavings(rows); s > maxSavings {
+			maxSavings = s
+		}
+		if ConfigChanges(rows) > 0 {
+			changedCount++
+		}
+	}
+	t.Logf("max savings across workloads: %.1f%%; workloads with CI-dependent optimum: %d/9", maxSavings*100, changedCount)
+	// Paper: up to 65% savings; the optimal configuration changes with CI.
+	if maxSavings < 0.3 || maxSavings > 0.85 {
+		t.Errorf("max savings %.2f outside plausible range", maxSavings)
+	}
+	if changedCount < 5 {
+		t.Errorf("only %d/9 workloads change optimum with CI", changedCount)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	if Regions(nil) != nil {
+		t.Error("empty rows should give nil regions")
+	}
+	cost := costModel(t)
+	rows, err := Figure10(BatchModels()[0], cost, DefaultCISweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := Regions(rows)
+	if len(regions) < 2 {
+		t.Fatalf("expected the optimum to change along the sweep, got %d regions", len(regions))
+	}
+	// Regions tile the sweep contiguously.
+	if regions[0].FromCI != rows[0].GridCI || regions[len(regions)-1].ToCI != rows[len(rows)-1].GridCI {
+		t.Error("regions should cover the full sweep")
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Config == regions[i-1].Config {
+			t.Error("adjacent regions must differ in configuration")
+		}
+		if regions[i].FromCI <= regions[i-1].ToCI-10 {
+			t.Error("regions overlap")
+		}
+	}
+	// As CI rises operational carbon dominates, so the high-CI optimum
+	// must consume less energy than the zero-CI (embodied-only) optimum.
+	lowCfg := regions[0].Config
+	highCfg := regions[len(regions)-1].Config
+	lowE := cost.Energy(lowCfg.Cores, lowCfg.DynPower, lowCfg.Runtime)
+	highE := cost.Energy(highCfg.Cores, highCfg.DynPower, highCfg.Runtime)
+	if highE >= lowE {
+		t.Errorf("high-CI optimum energy %v should undercut low-CI optimum %v", highE, lowE)
+	}
+}
+
+func TestServingModelShape(t *testing.T) {
+	models := ServingModels()
+	if len(models) != 2 || models[0].Algorithm != "IVF" || models[1].Algorithm != "HNSW" {
+		t.Fatal("expected IVF and HNSW models")
+	}
+	ivf, hnsw := models[0], models[1]
+	if ivf.IndexGB != 77.7 || hnsw.IndexGB != 180.8 {
+		t.Error("index sizes should match §8 (77.7 vs 180.8 GB)")
+	}
+	// IVF reaches lower latency at small batches (its fastest config
+	// beats HNSW's fastest).
+	li, err := ivf.BatchLatency(96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := hnsw.BatchLatency(96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li >= lh {
+		t.Error("IVF should reach lower small-batch latency")
+	}
+	// HNSW draws less power.
+	if hnsw.DynPower(88) >= ivf.DynPower(88) {
+		t.Error("HNSW should draw less power")
+	}
+	// HNSW stops scaling past 88 cores.
+	l88, _ := hnsw.BatchLatency(88, 64)
+	l96, _ := hnsw.BatchLatency(96, 64)
+	if l96 != l88 {
+		t.Error("HNSW should not improve past 88 cores")
+	}
+	if _, err := ivf.BatchLatency(0, 8); err == nil {
+		t.Error("zero cores should error")
+	}
+	if _, err := ivf.BatchLatency(8, 0); err == nil {
+		t.Error("zero batch should error")
+	}
+	qps, err := ivf.Throughput(48, 64)
+	if err != nil || qps <= 0 {
+		t.Errorf("throughput %v, %v", qps, err)
+	}
+}
+
+func TestSweepServingAndPareto(t *testing.T) {
+	cost := costModel(t)
+	points, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, 230, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*9*8 {
+		t.Fatalf("got %d points", len(points))
+	}
+	front := Pareto(points)
+	if len(front) < 3 || len(front) >= len(points) {
+		t.Fatalf("front size %d implausible", len(front))
+	}
+	// Front is sorted by latency with strictly decreasing carbon.
+	for i := 1; i < len(front); i++ {
+		if front[i].TailLatency <= front[i-1].TailLatency {
+			t.Fatal("front not sorted by latency")
+		}
+		if front[i].CarbonPerQuery >= front[i-1].CarbonPerQuery {
+			t.Fatal("front carbon not decreasing")
+		}
+	}
+	// Low-latency end costs far more carbon than the relaxed end —
+	// Figure 12's key trade-off.
+	if float64(front[0].CarbonPerQuery) < 1.3*float64(front[len(front)-1].CarbonPerQuery) {
+		t.Error("latency-optimal end should cost substantially more carbon")
+	}
+}
+
+func TestAlgorithmCrossoverNear90(t *testing.T) {
+	cost := costModel(t)
+	cross, err := AlgorithmCrossover(ServingModels(), ServingSweepSpace(), cost, 2, 0, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("IVF -> HNSW crossover at %v (paper: ~90 gCO2e/kWh)", cross)
+	if cross < 40 || cross > 200 {
+		t.Errorf("crossover %v outside the plausible band around 90", cross)
+	}
+	// Below the crossover IVF must be optimal, above it HNSW.
+	lowPoints, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, cross-30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := BestUnderSLO(lowPoints, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Algorithm != "IVF" {
+		t.Errorf("below crossover optimal is %s, want IVF", low.Algorithm)
+	}
+	highPoints, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, cross+100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := BestUnderSLO(highPoints, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Algorithm != "HNSW" {
+		t.Errorf("above crossover optimal is %s, want HNSW", high.Algorithm)
+	}
+}
+
+func TestBestUnderSLO(t *testing.T) {
+	cost := costModel(t)
+	points, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestUnderSLO(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TailLatency > 2 {
+		t.Error("SLO violated")
+	}
+	if _, err := BestUnderSLO(points, 0.0001); err == nil {
+		t.Error("impossible SLO should error")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cost := costModel(t)
+	if _, err := SweepBatch(BatchModels()[0], SweepSpace{}); err == nil {
+		t.Error("empty space")
+	}
+	if _, err := SweepBatch(BatchModels()[0], SweepSpace{Cores: []int{8}}); err == nil {
+		t.Error("no memory choices")
+	}
+	tooSmall := BatchModels()[2] // MSF needs 96 GB minimum
+	if _, err := SweepBatch(tooSmall, SweepSpace{Cores: []int{8}, MemoryGB: []float64{8}}); err == nil {
+		t.Error("no valid configs should error")
+	}
+	if _, err := SweepServing(nil, ServingSweepSpace(), cost, 100, 1); err == nil {
+		t.Error("no models")
+	}
+	if _, err := SweepServing(ServingModels(), SweepSpace{Cores: []int{8}}, cost, 100, 1); err == nil {
+		t.Error("no batches")
+	}
+	if _, err := SweepServing(ServingModels(), ServingSweepSpace(), nil, 100, 1); err == nil {
+		t.Error("nil cost")
+	}
+	if _, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, -1, 1); err == nil {
+		t.Error("negative ci")
+	}
+	if _, err := SweepServing(ServingModels(), ServingSweepSpace(), cost, 1, -1); err == nil {
+		t.Error("negative scale")
+	}
+	if _, err := NewCostModel(nil); err == nil {
+		t.Error("nil server")
+	}
+	if _, err := PerfOptimal(nil); err == nil {
+		t.Error("no points")
+	}
+	if _, _, err := CarbonOptimal(cost, nil, 0); err == nil {
+		t.Error("no points for carbon optimal")
+	}
+	if _, err := EnergyOptimal(cost, nil); err == nil {
+		t.Error("no points for energy optimal")
+	}
+	if _, err := EmbodiedOptimal(cost, nil); err == nil {
+		t.Error("no points for embodied optimal")
+	}
+	if _, err := FastestPoint(nil); err == nil {
+		t.Error("no points for fastest")
+	}
+	if Pareto(nil) != nil {
+		t.Error("empty pareto should be nil")
+	}
+	if _, err := AlgorithmCrossover(ServingModels(), ServingSweepSpace(), cost, 2, 100, 0, 5); err == nil {
+		t.Error("invalid scan range")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	cost := costModel(t)
+	bd := cost.Carbon(48, 96, 3600, 150, 300, 1)
+	if bd.Embodied <= 0 || bd.Static <= 0 || bd.Dynamic <= 0 {
+		t.Fatalf("all components should be positive: %+v", bd)
+	}
+	if got := bd.Total(); math.Abs(float64(got-(bd.Embodied+bd.Static+bd.Dynamic))) > 1e-12 {
+		t.Error("total mismatch")
+	}
+	if got := bd.Operational(); math.Abs(float64(got-(bd.Static+bd.Dynamic))) > 1e-12 {
+		t.Error("operational mismatch")
+	}
+	// Zero CI: only embodied remains.
+	zero := cost.Carbon(48, 96, 3600, 150, 0, 1)
+	if zero.Static != 0 || zero.Dynamic != 0 {
+		t.Error("zero CI should zero operational carbon")
+	}
+	// Embodied scale doubles embodied only.
+	double := cost.Carbon(48, 96, 3600, 150, 300, 2)
+	if math.Abs(float64(double.Embodied)-2*float64(bd.Embodied)) > 1e-9 {
+		t.Error("embodied scale not applied")
+	}
+	if double.Static != bd.Static || double.Dynamic != bd.Dynamic {
+		t.Error("embodied scale must not affect operational carbon")
+	}
+	// Energy accounting.
+	e := cost.Energy(48, 150, 3600)
+	wantWatts := 250.0*48/48/2 + 150 // static share half the node + dynamic
+	if math.Abs(float64(e)-wantWatts*3600) > 1e-6 {
+		t.Errorf("energy %v, want %v", float64(e), wantWatts*3600)
+	}
+}

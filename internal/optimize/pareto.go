@@ -1,0 +1,150 @@
+package optimize
+
+import (
+	"errors"
+	"sort"
+
+	"fairco2/internal/units"
+)
+
+// ServingPoint is one FAISS serving configuration with its modeled tail
+// latency and per-query carbon at a fixed grid intensity.
+type ServingPoint struct {
+	Algorithm      string
+	Cores          int
+	Batch          int
+	TailLatency    units.Seconds
+	CarbonPerQuery units.GramsCO2e
+}
+
+// SweepServing enumerates every (model, cores, batch) configuration and
+// evaluates per-query carbon at the given grid intensity. embodiedScale
+// multiplies the embodied rates (1 for uniform amortization; the live
+// Temporal Shapley multiplier for dynamic optimization).
+func SweepServing(models []ServingModel, space SweepSpace, cost *CostModel, ci units.CarbonIntensity, embodiedScale float64) ([]ServingPoint, error) {
+	if cost == nil {
+		return nil, errors.New("optimize: nil cost model")
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(space.Batches) == 0 {
+		return nil, errors.New("optimize: serving sweep needs batch choices")
+	}
+	if len(models) == 0 {
+		return nil, errors.New("optimize: no serving models")
+	}
+	if ci < 0 {
+		return nil, errors.New("optimize: negative grid intensity")
+	}
+	if embodiedScale < 0 {
+		return nil, errors.New("optimize: negative embodied scale")
+	}
+	var points []ServingPoint
+	for _, m := range models {
+		for _, c := range space.Cores {
+			for _, b := range space.Batches {
+				lat, err := m.BatchLatency(c, b)
+				if err != nil {
+					return nil, err
+				}
+				bd := cost.Carbon(c, m.IndexGB, lat, m.DynPower(c), ci, embodiedScale)
+				points = append(points, ServingPoint{
+					Algorithm:      m.Algorithm,
+					Cores:          c,
+					Batch:          b,
+					TailLatency:    lat,
+					CarbonPerQuery: units.GramsCO2e(float64(bd.Total()) / float64(b)),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Pareto returns the Pareto-optimal subset minimizing both tail latency
+// and per-query carbon, sorted by ascending latency (Figure 12's fronts).
+func Pareto(points []ServingPoint) []ServingPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]ServingPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TailLatency != sorted[j].TailLatency {
+			return sorted[i].TailLatency < sorted[j].TailLatency
+		}
+		return sorted[i].CarbonPerQuery < sorted[j].CarbonPerQuery
+	})
+	var front []ServingPoint
+	bestCarbon := units.GramsCO2e(0)
+	for _, p := range sorted {
+		if len(front) == 0 || p.CarbonPerQuery < bestCarbon {
+			front = append(front, p)
+			bestCarbon = p.CarbonPerQuery
+		}
+	}
+	return front
+}
+
+// BestUnderSLO returns the minimum-carbon configuration meeting the
+// tail-latency SLO.
+func BestUnderSLO(points []ServingPoint, slo units.Seconds) (ServingPoint, error) {
+	var best *ServingPoint
+	for i := range points {
+		p := &points[i]
+		if p.TailLatency > slo {
+			continue
+		}
+		if best == nil || p.CarbonPerQuery < best.CarbonPerQuery {
+			best = p
+		}
+	}
+	if best == nil {
+		return ServingPoint{}, errors.New("optimize: no configuration meets the SLO")
+	}
+	return *best, nil
+}
+
+// FastestPoint returns the latency-optimal configuration.
+func FastestPoint(points []ServingPoint) (ServingPoint, error) {
+	if len(points) == 0 {
+		return ServingPoint{}, errors.New("optimize: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TailLatency < best.TailLatency {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// AlgorithmCrossover finds the grid intensity at which the carbon-optimal
+// algorithm under the SLO switches, scanning intensities in steps of
+// stepCI. It returns the first intensity whose optimal algorithm differs
+// from the one at fromCI, or an error if no switch occurs by toCI.
+// The paper reports IVF -> HNSW around 90 gCO2e/kWh.
+func AlgorithmCrossover(models []ServingModel, space SweepSpace, cost *CostModel, slo units.Seconds, fromCI, toCI, stepCI units.CarbonIntensity) (units.CarbonIntensity, error) {
+	if stepCI <= 0 || toCI < fromCI {
+		return 0, errors.New("optimize: invalid crossover scan range")
+	}
+	baseline := ""
+	for ci := fromCI; ci <= toCI; ci += stepCI {
+		points, err := SweepServing(models, space, cost, ci, 1)
+		if err != nil {
+			return 0, err
+		}
+		best, err := BestUnderSLO(points, slo)
+		if err != nil {
+			return 0, err
+		}
+		if baseline == "" {
+			baseline = best.Algorithm
+			continue
+		}
+		if best.Algorithm != baseline {
+			return ci, nil
+		}
+	}
+	return 0, errors.New("optimize: no algorithm crossover in scan range")
+}

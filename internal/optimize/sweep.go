@@ -1,0 +1,235 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/units"
+)
+
+// BatchPoint is one configuration of a batch workload with its modeled
+// performance.
+type BatchPoint struct {
+	Cores    int
+	MemoryGB float64
+	Runtime  units.Seconds
+	DynPower units.Watts
+}
+
+// SweepBatch enumerates all valid configurations of a batch model over the
+// sweep space (invalid ones — memory below the workload's minimum — are
+// skipped, mirroring the paper's note that low-memory configurations crash
+// or stall).
+func SweepBatch(m BatchModel, space SweepSpace) ([]BatchPoint, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(space.MemoryGB) == 0 {
+		return nil, errors.New("optimize: batch sweep needs memory choices")
+	}
+	var points []BatchPoint
+	for _, c := range space.Cores {
+		for _, mem := range space.MemoryGB {
+			rt, err := m.Runtime(c, mem)
+			if err != nil {
+				continue // configuration below the workload's floor
+			}
+			points = append(points, BatchPoint{Cores: c, MemoryGB: mem, Runtime: rt, DynPower: m.DynPower(c)})
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("optimize: no valid configuration for %s in sweep space", m.Name)
+	}
+	return points, nil
+}
+
+// batchCarbon evaluates a configuration's footprint for one run.
+func batchCarbon(cost *CostModel, p BatchPoint, ci units.CarbonIntensity) Breakdown {
+	return cost.Carbon(p.Cores, p.MemoryGB, p.Runtime, p.DynPower, ci, 1)
+}
+
+// PerfOptimal returns the fastest configuration (ties broken by fewer
+// cores, then less memory).
+func PerfOptimal(points []BatchPoint) (BatchPoint, error) {
+	if len(points) == 0 {
+		return BatchPoint{}, errors.New("optimize: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Runtime < best.Runtime ||
+			(p.Runtime == best.Runtime && (p.Cores < best.Cores ||
+				(p.Cores == best.Cores && p.MemoryGB < best.MemoryGB))) {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// CarbonOptimal returns the configuration minimizing total carbon at the
+// given grid intensity.
+func CarbonOptimal(cost *CostModel, points []BatchPoint, ci units.CarbonIntensity) (BatchPoint, Breakdown, error) {
+	if cost == nil {
+		return BatchPoint{}, Breakdown{}, errors.New("optimize: nil cost model")
+	}
+	if len(points) == 0 {
+		return BatchPoint{}, Breakdown{}, errors.New("optimize: no points")
+	}
+	best := points[0]
+	bestBd := batchCarbon(cost, best, ci)
+	for _, p := range points[1:] {
+		bd := batchCarbon(cost, p, ci)
+		if bd.Total() < bestBd.Total() {
+			best, bestBd = p, bd
+		}
+	}
+	return best, bestBd, nil
+}
+
+// EnergyOptimal returns the configuration minimizing operational energy.
+func EnergyOptimal(cost *CostModel, points []BatchPoint) (BatchPoint, error) {
+	if cost == nil {
+		return BatchPoint{}, errors.New("optimize: nil cost model")
+	}
+	if len(points) == 0 {
+		return BatchPoint{}, errors.New("optimize: no points")
+	}
+	best := points[0]
+	bestE := cost.Energy(best.Cores, best.DynPower, best.Runtime)
+	for _, p := range points[1:] {
+		if e := cost.Energy(p.Cores, p.DynPower, p.Runtime); e < bestE {
+			best, bestE = p, e
+		}
+	}
+	return best, nil
+}
+
+// EmbodiedOptimal returns the configuration minimizing embodied carbon.
+func EmbodiedOptimal(cost *CostModel, points []BatchPoint) (BatchPoint, error) {
+	if cost == nil {
+		return BatchPoint{}, errors.New("optimize: nil cost model")
+	}
+	if len(points) == 0 {
+		return BatchPoint{}, errors.New("optimize: no points")
+	}
+	best := points[0]
+	bestE := batchCarbon(cost, best, 0).Embodied
+	for _, p := range points[1:] {
+		if e := batchCarbon(cost, p, 0).Embodied; e < bestE {
+			best, bestE = p, e
+		}
+	}
+	return best, nil
+}
+
+// Figure10Row is one grid-intensity step of the Figure 10 summary for one
+// workload: the carbon of each optimization policy normalized to the
+// performance-optimal configuration's carbon at that intensity.
+type Figure10Row struct {
+	GridCI units.CarbonIntensity
+	// CarbonOpt is the carbon-optimal configuration at this intensity.
+	CarbonOpt BatchPoint
+	// NormCarbonOpt, NormEnergyOpt and NormEmbodiedOpt are each policy's
+	// total carbon divided by the performance-optimal total.
+	NormCarbonOpt   float64
+	NormEnergyOpt   float64
+	NormEmbodiedOpt float64
+}
+
+// Figure10 sweeps grid intensities for one workload.
+func Figure10(m BatchModel, cost *CostModel, cis []units.CarbonIntensity) ([]Figure10Row, error) {
+	points, err := SweepBatch(m, BatchSweepSpace())
+	if err != nil {
+		return nil, err
+	}
+	perf, err := PerfOptimal(points)
+	if err != nil {
+		return nil, err
+	}
+	energyOpt, err := EnergyOptimal(cost, points)
+	if err != nil {
+		return nil, err
+	}
+	embodiedOpt, err := EmbodiedOptimal(cost, points)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure10Row, 0, len(cis))
+	for _, ci := range cis {
+		if ci < 0 {
+			return nil, fmt.Errorf("optimize: negative grid intensity %v", ci)
+		}
+		perfTotal := float64(batchCarbon(cost, perf, ci).Total())
+		opt, bd, err := CarbonOptimal(cost, points, ci)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure10Row{
+			GridCI:          ci,
+			CarbonOpt:       opt,
+			NormCarbonOpt:   float64(bd.Total()) / perfTotal,
+			NormEnergyOpt:   float64(batchCarbon(cost, energyOpt, ci).Total()) / perfTotal,
+			NormEmbodiedOpt: float64(batchCarbon(cost, embodiedOpt, ci).Total()) / perfTotal,
+		})
+	}
+	return rows, nil
+}
+
+// MaxSavings returns the largest carbon saving of the carbon-optimal
+// policy over the performance-optimal configuration across the rows, as a
+// fraction in [0, 1].
+func MaxSavings(rows []Figure10Row) float64 {
+	best := 0.0
+	for _, r := range rows {
+		if s := 1 - r.NormCarbonOpt; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ConfigChanges counts how often the carbon-optimal configuration changes
+// along the intensity sweep — Figure 10's shaded-region boundaries.
+func ConfigChanges(rows []Figure10Row) int {
+	changes := 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CarbonOpt != rows[i-1].CarbonOpt {
+			changes++
+		}
+	}
+	return changes
+}
+
+// Region is a contiguous grid-intensity band over which one configuration
+// stays carbon-optimal — Figure 10's shaded regions.
+type Region struct {
+	FromCI, ToCI units.CarbonIntensity
+	Config       BatchPoint
+}
+
+// Regions collapses a Figure 10 sweep into its optimal-configuration
+// bands. Rows must be in ascending CI order (as Figure10 returns them).
+func Regions(rows []Figure10Row) []Region {
+	if len(rows) == 0 {
+		return nil
+	}
+	var out []Region
+	cur := Region{FromCI: rows[0].GridCI, ToCI: rows[0].GridCI, Config: rows[0].CarbonOpt}
+	for _, r := range rows[1:] {
+		if r.CarbonOpt != cur.Config {
+			out = append(out, cur)
+			cur = Region{FromCI: r.GridCI, Config: r.CarbonOpt}
+		}
+		cur.ToCI = r.GridCI
+	}
+	return append(out, cur)
+}
+
+// DefaultCISweep returns the Figure 10 grid-intensity axis, 0-1000
+// gCO2e/kWh.
+func DefaultCISweep() []units.CarbonIntensity {
+	cis := make([]units.CarbonIntensity, 0, 101)
+	for ci := 0.0; ci <= 1000; ci += 10 {
+		cis = append(cis, units.CarbonIntensity(ci))
+	}
+	return cis
+}

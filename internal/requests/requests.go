@@ -1,0 +1,166 @@
+// Package requests implements request-level carbon attribution for
+// serving workloads — the finer-than-VM granularity the paper names as
+// future work (§10). Requests are batched by the serving system; each
+// batch's carbon is computed from the configuration's runtime and power
+// under the live grid and embodied intensity signals at execution time,
+// and divided among the batch's requests.
+//
+// Within one batch all requests are symmetric players of the batch-cost
+// game, so the Shapley value is the equal split of the batch's footprint —
+// the fairness machinery degenerates pleasantly here, and what carries the
+// signal is (a) when the batch ran (live intensities) and (b) how full it
+// was (amortization of setup and occupancy).
+package requests
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fairco2/internal/grid"
+	"fairco2/internal/optimize"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Request is one serving request.
+type Request struct {
+	ID      int
+	Arrival units.Seconds
+}
+
+// Batch is a group of requests executed together.
+type Batch struct {
+	// Start is when execution begins (the latest member's arrival).
+	Start    units.Seconds
+	Requests []Request
+}
+
+// BatchRequests groups arrival-ordered requests into batches: a batch is
+// dispatched when it reaches maxBatch requests or when the oldest member
+// has waited maxWait. Input order does not matter; requests are sorted by
+// arrival.
+func BatchRequests(reqs []Request, maxBatch int, maxWait units.Seconds) ([]Batch, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("requests: no requests to batch")
+	}
+	if maxBatch < 1 {
+		return nil, errors.New("requests: max batch must be positive")
+	}
+	if maxWait < 0 {
+		return nil, errors.New("requests: max wait must be non-negative")
+	}
+	sorted := append([]Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+
+	var batches []Batch
+	var current []Request
+	flush := func(at units.Seconds) {
+		if len(current) == 0 {
+			return
+		}
+		batches = append(batches, Batch{Start: at, Requests: current})
+		current = nil
+	}
+	for _, r := range sorted {
+		if len(current) > 0 && r.Arrival-current[0].Arrival > maxWait {
+			flush(current[0].Arrival + maxWait)
+		}
+		current = append(current, r)
+		if len(current) == maxBatch {
+			flush(r.Arrival)
+		}
+	}
+	if len(current) > 0 {
+		flush(current[0].Arrival + maxWait)
+	}
+	return batches, nil
+}
+
+// Ledger prices batches of a serving deployment against live signals.
+type Ledger struct {
+	// Cost is the hardware cost model.
+	Cost *optimize.CostModel
+	// Model is the serving algorithm in use.
+	Model optimize.ServingModel
+	// Cores is the deployment's core allocation.
+	Cores int
+	// Grid is the live grid carbon-intensity signal.
+	Grid grid.Signal
+	// EmbodiedScale is the live embodied intensity multiplier (mean 1);
+	// nil means uniform amortization.
+	EmbodiedScale *timeseries.Series
+}
+
+// Attribution is one request's carbon share.
+type Attribution struct {
+	Request int
+	// Carbon is the request's share of its batch's footprint.
+	Carbon units.GramsCO2e
+	// BatchSize records how many requests amortized the batch.
+	BatchSize int
+}
+
+// Validate checks the ledger.
+func (l *Ledger) Validate() error {
+	switch {
+	case l == nil:
+		return errors.New("requests: nil ledger")
+	case l.Cost == nil:
+		return errors.New("requests: ledger needs a cost model")
+	case l.Cores < 1:
+		return errors.New("requests: ledger needs a positive core allocation")
+	case l.Grid == nil:
+		return errors.New("requests: ledger needs a grid signal")
+	}
+	return nil
+}
+
+// PriceBatch attributes one batch's carbon equally to its requests.
+func (l *Ledger) PriceBatch(b Batch) ([]Attribution, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(b.Requests)
+	if n == 0 {
+		return nil, errors.New("requests: empty batch")
+	}
+	latency, err := l.Model.BatchLatency(l.Cores, n)
+	if err != nil {
+		return nil, err
+	}
+	scale := 1.0
+	if l.EmbodiedScale != nil {
+		scale = l.EmbodiedScale.At(b.Start)
+	}
+	bd := l.Cost.Carbon(l.Cores, l.Model.IndexGB, latency, l.Model.DynPower(l.Cores), l.Grid.At(b.Start), scale)
+	share := units.GramsCO2e(float64(bd.Total()) / float64(n))
+	out := make([]Attribution, n)
+	for i, r := range b.Requests {
+		out[i] = Attribution{Request: r.ID, Carbon: share, BatchSize: n}
+	}
+	return out, nil
+}
+
+// PriceAll batches the requests and prices every batch, returning
+// attributions indexed by request ID order of the input batches, plus the
+// total footprint.
+func (l *Ledger) PriceAll(reqs []Request, maxBatch int, maxWait units.Seconds) ([]Attribution, units.GramsCO2e, error) {
+	batches, err := BatchRequests(reqs, maxBatch, maxWait)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Attribution
+	total := units.GramsCO2e(0)
+	for i, b := range batches {
+		attrs, err := l.PriceBatch(b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("requests: batch %d: %w", i, err)
+		}
+		for _, a := range attrs {
+			total += a.Carbon
+		}
+		out = append(out, attrs...)
+	}
+	return out, total, nil
+}

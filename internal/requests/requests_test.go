@@ -1,0 +1,217 @@
+package requests
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/optimize"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func testLedger(t *testing.T) *Ledger {
+	t.Helper()
+	cost, err := optimize.NewCostModel(carbon.NewReferenceServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Ledger{
+		Cost:  cost,
+		Model: optimize.ServingModels()[0], // IVF
+		Cores: 48,
+		Grid:  grid.California,
+	}
+}
+
+func TestBatchRequestsByCount(t *testing.T) {
+	reqs := make([]Request, 10)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, Arrival: units.Seconds(float64(i) * 0.01)}
+	}
+	batches, err := BatchRequests(reqs, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches, want 3 (4+4+2)", len(batches))
+	}
+	if len(batches[0].Requests) != 4 || len(batches[2].Requests) != 2 {
+		t.Errorf("batch sizes %d/%d/%d", len(batches[0].Requests), len(batches[1].Requests), len(batches[2].Requests))
+	}
+}
+
+func TestBatchRequestsByWait(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, Arrival: 0},
+		{ID: 1, Arrival: 0.5},
+		{ID: 2, Arrival: 10}, // beyond the 2 s window of request 0
+	}
+	batches, err := BatchRequests(reqs, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches, want 2", len(batches))
+	}
+	if batches[0].Start != 2 {
+		t.Errorf("first batch dispatched at %v, want oldest arrival + maxWait = 2", batches[0].Start)
+	}
+	if len(batches[0].Requests) != 2 || batches[1].Requests[0].ID != 2 {
+		t.Error("wait-based split wrong")
+	}
+}
+
+func TestBatchRequestsSortsArrivals(t *testing.T) {
+	reqs := []Request{{ID: 1, Arrival: 5}, {ID: 0, Arrival: 1}}
+	batches, err := BatchRequests(reqs, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches[0].Requests[0].ID != 0 {
+		t.Error("requests should be sorted by arrival")
+	}
+}
+
+func TestBatchRequestsErrors(t *testing.T) {
+	if _, err := BatchRequests(nil, 1, 1); err == nil {
+		t.Error("no requests")
+	}
+	if _, err := BatchRequests([]Request{{}}, 0, 1); err == nil {
+		t.Error("bad max batch")
+	}
+	if _, err := BatchRequests([]Request{{}}, 1, -1); err == nil {
+		t.Error("bad max wait")
+	}
+}
+
+func TestPriceBatchEqualSplit(t *testing.T) {
+	l := testLedger(t)
+	b := Batch{Start: 100, Requests: []Request{{ID: 0}, {ID: 1}, {ID: 2}}}
+	attrs, err := l.PriceBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 3 {
+		t.Fatalf("got %d attributions", len(attrs))
+	}
+	for _, a := range attrs {
+		if a.Carbon != attrs[0].Carbon {
+			t.Error("symmetric requests must share equally")
+		}
+		if a.BatchSize != 3 {
+			t.Error("batch size recorded wrong")
+		}
+		if a.Carbon <= 0 {
+			t.Error("non-positive request carbon")
+		}
+	}
+}
+
+func TestLargerBatchesAmortizeBetter(t *testing.T) {
+	l := testLedger(t)
+	small, err := l.PriceBatch(Batch{Requests: []Request{{ID: 0}, {ID: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Batch{}
+	for i := 0; i < 64; i++ {
+		big.Requests = append(big.Requests, Request{ID: i})
+	}
+	large, err := l.PriceBatch(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large[0].Carbon >= small[0].Carbon {
+		t.Errorf("64-batch per-request carbon %v should undercut 2-batch %v", large[0].Carbon, small[0].Carbon)
+	}
+}
+
+func TestPriceAllConservation(t *testing.T) {
+	l := testLedger(t)
+	rng := rand.New(rand.NewSource(1))
+	var reqs []Request
+	for i := 0; i < 137; i++ {
+		reqs = append(reqs, Request{ID: i, Arrival: units.Seconds(rng.Float64() * 600)})
+	}
+	attrs, total, err := l.PriceAll(reqs, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != len(reqs) {
+		t.Fatalf("%d attributions for %d requests", len(attrs), len(reqs))
+	}
+	sum := units.GramsCO2e(0)
+	seen := map[int]bool{}
+	for _, a := range attrs {
+		sum += a.Carbon
+		if seen[a.Request] {
+			t.Fatalf("request %d attributed twice", a.Request)
+		}
+		seen[a.Request] = true
+	}
+	if math.Abs(float64(sum-total)) > 1e-9*float64(total) {
+		t.Errorf("sum %v != total %v", sum, total)
+	}
+}
+
+func TestLiveSignalsAffectRequestCarbon(t *testing.T) {
+	l := testLedger(t)
+	// A grid trace with cheap then expensive power.
+	l.Grid = grid.Trace{Series: timeseries.New(0, 100, []float64{50, 800})}
+	cheap, err := l.PriceBatch(Batch{Start: 10, Requests: []Request{{ID: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := l.PriceBatch(Batch{Start: 150, Requests: []Request{{ID: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap[0].Carbon >= dear[0].Carbon {
+		t.Error("high-CI execution must cost more")
+	}
+	// Embodied scale doubles the embodied share.
+	l.EmbodiedScale = timeseries.New(0, 100, []float64{1, 2})
+	base, err := l.PriceBatch(Batch{Start: 10, Requests: []Request{{ID: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := l.PriceBatch(Batch{Start: 150, Requests: []Request{{ID: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled[0].Carbon <= base[0].Carbon {
+		t.Error("scaled embodied intensity must raise request carbon")
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	l := testLedger(t)
+	if _, err := l.PriceBatch(Batch{}); err == nil {
+		t.Error("empty batch")
+	}
+	bad := *l
+	bad.Cost = nil
+	if _, err := bad.PriceBatch(Batch{Requests: []Request{{}}}); err == nil {
+		t.Error("nil cost model")
+	}
+	bad = *l
+	bad.Cores = 0
+	if _, err := bad.PriceBatch(Batch{Requests: []Request{{}}}); err == nil {
+		t.Error("zero cores")
+	}
+	bad = *l
+	bad.Grid = nil
+	if _, err := bad.PriceBatch(Batch{Requests: []Request{{}}}); err == nil {
+		t.Error("nil grid")
+	}
+	var nilLedger *Ledger
+	if err := nilLedger.Validate(); err == nil {
+		t.Error("nil ledger")
+	}
+	if _, _, err := l.PriceAll(nil, 1, 1); err == nil {
+		t.Error("PriceAll with no requests")
+	}
+}

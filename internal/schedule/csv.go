@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fairco2/internal/units"
+)
+
+// WriteCSV serializes the schedule as one header row plus one row per
+// workload: "id,cores,start,duration". The slice duration is carried in a
+// leading comment-style row "#slice_duration_seconds,<v>".
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#slice_duration_seconds", strconv.FormatFloat(float64(s.SliceDuration), 'f', -1, 64)}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"id", "cores", "start", "duration"}); err != nil {
+		return err
+	}
+	for _, wl := range s.Workloads {
+		rec := []string{
+			strconv.Itoa(wl.ID),
+			strconv.Itoa(wl.Cores),
+			strconv.Itoa(wl.Start),
+			strconv.Itoa(wl.Duration),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a schedule written by WriteCSV. The number of slices is
+// inferred from the latest workload end.
+func ReadCSV(r io.Reader) (*Schedule, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("schedule: reading csv: %w", err)
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("schedule: csv needs duration row, header and at least one workload")
+	}
+	if len(records[0]) != 2 || records[0][0] != "#slice_duration_seconds" {
+		return nil, fmt.Errorf("schedule: first row must be #slice_duration_seconds")
+	}
+	dur, err := strconv.ParseFloat(records[0][1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: slice duration: %w", err)
+	}
+	s := &Schedule{SliceDuration: units.Seconds(dur)}
+	for i, rec := range records[2:] {
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("schedule: row %d has %d fields, want 4", i+3, len(rec))
+		}
+		vals := make([]int, 4)
+		for j, f := range rec {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("schedule: row %d field %d: %w", i+3, j+1, err)
+			}
+			vals[j] = v
+		}
+		w := Workload{ID: vals[0], Cores: vals[1], Start: vals[2], Duration: vals[3]}
+		s.Workloads = append(s.Workloads, w)
+		if w.End() > s.Slices {
+			s.Slices = w.End()
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,44 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleCSVRoundTrip(t *testing.T) {
+	s := twoSliceSchedule()
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slices != s.Slices || got.SliceDuration != s.SliceDuration {
+		t.Fatalf("shape changed: %+v", got)
+	}
+	for i := range s.Workloads {
+		if got.Workloads[i] != s.Workloads[i] {
+			t.Fatalf("workload %d changed: %+v vs %+v", i, got.Workloads[i], s.Workloads[i])
+		}
+	}
+}
+
+func TestScheduleReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"missing header": "#slice_duration_seconds,3600\n",
+		"bad first row":  "nope,3600\nid,cores,start,duration\n0,8,0,1\n",
+		"bad duration":   "#slice_duration_seconds,x\nid,cores,start,duration\n0,8,0,1\n",
+		"bad field":      "#slice_duration_seconds,3600\nid,cores,start,duration\n0,x,0,1\n",
+		"short row":      "#slice_duration_seconds,3600\nid,cores,start,duration\n0,8,0\n",
+		"invalid sched":  "#slice_duration_seconds,3600\nid,cores,start,duration\n5,8,0,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

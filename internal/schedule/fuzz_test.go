@@ -1,0 +1,36 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the schedule parser never panics and only yields
+// valid schedules that round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("#slice_duration_seconds,3600\nid,cores,start,duration\n0,8,0,1\n1,16,0,2\n")
+	f.Add("#slice_duration_seconds,x\nid,cores,start,duration\n0,8,0,1\n")
+	f.Add("")
+	f.Add("#slice_duration_seconds,60\nid,cores,start,duration\n5,8,0,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parser returned invalid schedule: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Slices != s.Slices || len(back.Workloads) != len(s.Workloads) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

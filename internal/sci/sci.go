@@ -1,0 +1,93 @@
+// Package sci implements the Green Software Foundation's Software Carbon
+// Intensity metric — the embodied-attribution baseline the paper compares
+// against (§3, "RUP-Baseline" uses SCI for embodied carbon). The SCI
+// specification defines
+//
+//	SCI = (E * I + M) / R
+//
+// where E is the software's energy, I the grid carbon intensity, M its
+// embodied-carbon share, and R the functional unit (requests, users,
+// jobs). M follows SCI's time- and resource-share formula:
+//
+//	M = TE * (TiR / EL) * (RR / ToR)
+//
+// with TE the total embodied carbon of the hardware, TiR the reserved
+// time, EL the hardware's expected lifespan, RR the reserved resources and
+// ToR the hardware's total resources. Note what is missing: any notion of
+// when the reservation happened or who else was on the machine — precisely
+// the two gaps (§3.1) Fair-CO2 exists to close.
+package sci
+
+import (
+	"errors"
+	"fmt"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/units"
+)
+
+// Report is one SCI computation with its inputs and breakdown.
+type Report struct {
+	// OperationalCarbon is E * I.
+	OperationalCarbon units.GramsCO2e
+	// EmbodiedCarbon is M.
+	EmbodiedCarbon units.GramsCO2e
+	// FunctionalUnits is R.
+	FunctionalUnits float64
+	// SCI is the score in gCO2e per functional unit.
+	SCI float64
+}
+
+// Input collects the SCI formula's terms.
+type Input struct {
+	// Energy is E, the software's metered energy.
+	Energy units.Joules
+	// Intensity is I, the grid carbon intensity.
+	Intensity units.CarbonIntensity
+	// Server is the hardware whose embodied carbon is shared (TE and EL
+	// come from it).
+	Server *carbon.Server
+	// ReservedCores is RR over a ToR of the server's logical cores.
+	ReservedCores float64
+	// Reserved is TiR, how long the resources were held.
+	Reserved units.Seconds
+	// FunctionalUnits is R: requests served, jobs completed, users...
+	FunctionalUnits float64
+}
+
+// Compute evaluates the SCI score.
+func Compute(in Input) (Report, error) {
+	switch {
+	case in.Energy < 0:
+		return Report{}, errors.New("sci: negative energy")
+	case in.Intensity < 0:
+		return Report{}, errors.New("sci: negative intensity")
+	case in.Server == nil:
+		return Report{}, errors.New("sci: nil server")
+	case in.ReservedCores <= 0:
+		return Report{}, errors.New("sci: reserved cores must be positive")
+	case in.Reserved <= 0:
+		return Report{}, errors.New("sci: reserved time must be positive")
+	case in.FunctionalUnits <= 0:
+		return Report{}, errors.New("sci: functional units must be positive")
+	}
+	if err := in.Server.Validate(); err != nil {
+		return Report{}, err
+	}
+	totalCores := float64(in.Server.Cores * 2) // logical cores (SMT-2)
+	if in.ReservedCores > totalCores {
+		return Report{}, fmt.Errorf("sci: reserved %v cores exceed the server's %v", in.ReservedCores, totalCores)
+	}
+
+	operational := units.Emissions(in.Energy, in.Intensity)
+	te := float64(in.Server.TotalEmbodied().Grams())
+	m := te * (float64(in.Reserved) / float64(in.Server.Lifetime)) * (in.ReservedCores / totalCores)
+	embodied := units.GramsCO2e(m)
+
+	return Report{
+		OperationalCarbon: operational,
+		EmbodiedCarbon:    embodied,
+		FunctionalUnits:   in.FunctionalUnits,
+		SCI:               (float64(operational) + m) / in.FunctionalUnits,
+	}, nil
+}

@@ -1,0 +1,98 @@
+package sci
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/units"
+)
+
+func validInput() Input {
+	return Input{
+		Energy:          units.KilowattHours(2).Joules(),
+		Intensity:       400,
+		Server:          carbon.NewReferenceServer(),
+		ReservedCores:   48,
+		Reserved:        units.SecondsPerDay,
+		FunctionalUnits: 1000,
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	in := validInput()
+	rep, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operational: 2 kWh x 400 g/kWh = 800 g.
+	if math.Abs(float64(rep.OperationalCarbon)-800) > 1e-9 {
+		t.Errorf("operational = %v, want 800", rep.OperationalCarbon)
+	}
+	// Embodied: TE * (1 day / 4 years) * (48 / 96 cores).
+	te := float64(in.Server.TotalEmbodied().Grams())
+	wantM := te * (86400.0 / float64(in.Server.Lifetime)) * 0.5
+	if math.Abs(float64(rep.EmbodiedCarbon)-wantM) > 1e-6 {
+		t.Errorf("embodied = %v, want %v", rep.EmbodiedCarbon, wantM)
+	}
+	wantSCI := (800 + wantM) / 1000
+	if math.Abs(rep.SCI-wantSCI) > 1e-9 {
+		t.Errorf("SCI = %v, want %v", rep.SCI, wantSCI)
+	}
+}
+
+func TestSCIIgnoresTiming(t *testing.T) {
+	// The gap the paper targets: SCI's M is identical whether the
+	// reservation ran at peak or off-peak — only duration and share
+	// matter. Two computations differing only in hypothetical timing
+	// context are indistinguishable by construction; what we can assert
+	// is linearity in reserved time and cores.
+	in := validInput()
+	base, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Reserved *= 2
+	double, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(double.EmbodiedCarbon)-2*float64(base.EmbodiedCarbon)) > 1e-6 {
+		t.Error("M must be linear in reserved time")
+	}
+	in = validInput()
+	in.ReservedCores = 96
+	wide, err := Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(wide.EmbodiedCarbon)-2*float64(base.EmbodiedCarbon)) > 1e-6 {
+		t.Error("M must be linear in reserved cores")
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	cases := []func(*Input){
+		func(i *Input) { i.Energy = -1 },
+		func(i *Input) { i.Intensity = -1 },
+		func(i *Input) { i.Server = nil },
+		func(i *Input) { i.ReservedCores = 0 },
+		func(i *Input) { i.ReservedCores = 500 },
+		func(i *Input) { i.Reserved = 0 },
+		func(i *Input) { i.FunctionalUnits = 0 },
+	}
+	for idx, mutate := range cases {
+		in := validInput()
+		mutate(&in)
+		if _, err := Compute(in); err == nil {
+			t.Errorf("case %d: expected error", idx)
+		}
+	}
+	in := validInput()
+	bad := *carbon.NewReferenceServer()
+	bad.Cores = 0
+	in.Server = &bad
+	if _, err := Compute(in); err == nil {
+		t.Error("invalid server should error")
+	}
+}

@@ -1,0 +1,54 @@
+package shapley
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// MonteCarloAntithetic estimates Shapley values like MonteCarlo but pairs
+// every sampled permutation with its reverse — a classic antithetic
+// variates construction. For monotone games (peak/demand games are
+// monotone), a player early in one ordering is late in the paired one, so
+// the two marginal contributions are negatively correlated and the paired
+// average has lower variance than two independent samples. samples counts
+// permutation evaluations (must be even; each pair costs two).
+func MonteCarloAntithetic(n int, v SetFunc, samples int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, errors.New("shapley: need at least one player")
+	}
+	if n > 63 {
+		return nil, errors.New("shapley: bitmask games support at most 63 players")
+	}
+	if samples < 2 || samples%2 != 0 {
+		return nil, errors.New("shapley: antithetic sampling needs a positive even sample count")
+	}
+	if rng == nil {
+		return nil, errors.New("shapley: nil rng")
+	}
+	phi := make([]float64, n)
+	perm := make([]int, n)
+	walk := func() {
+		mask := uint64(0)
+		prev := v(0)
+		for _, p := range perm {
+			mask |= 1 << uint(p)
+			cur := v(mask)
+			phi[p] += cur - prev
+			prev = cur
+		}
+	}
+	for s := 0; s < samples/2; s++ {
+		identityPerm(perm)
+		shuffle(perm, rng)
+		walk()
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		walk()
+	}
+	inv := 1 / float64(samples)
+	for i := range phi {
+		phi[i] *= inv
+	}
+	return phi, nil
+}

@@ -1,0 +1,97 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAntitheticMatchesExact(t *testing.T) {
+	peaks := []float64{10, 4, 4, 7, 1, 0, 3}
+	exact, err := Exact(len(peaks), peakOf(peaks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := MonteCarloAntithetic(len(peaks), peakOf(peaks), 20000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		approx(t, est[i], exact[i], 0.1, "antithetic estimate")
+	}
+}
+
+func TestAntitheticReducesVariance(t *testing.T) {
+	// Compare estimator variance over many seeds at the same budget.
+	peaks := []float64{12, 9, 5, 5, 3, 2, 1, 1}
+	n := len(peaks)
+	exact, err := Exact(n, peakOf(peaks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seeds = 120
+	const budget = 64
+	mse := func(estimate func(seed int64) []float64) float64 {
+		total := 0.0
+		for s := int64(0); s < seeds; s++ {
+			est := estimate(s)
+			for i := range exact {
+				d := est[i] - exact[i]
+				total += d * d
+			}
+		}
+		return total / float64(seeds)
+	}
+	plainMSE := mse(func(seed int64) []float64 {
+		est, err := MonteCarlo(n, peakOf(peaks), budget, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	})
+	antiMSE := mse(func(seed int64) []float64 {
+		est, err := MonteCarloAntithetic(n, peakOf(peaks), budget, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	})
+	t.Logf("MSE at %d samples: plain %.4f, antithetic %.4f", budget, plainMSE, antiMSE)
+	if antiMSE >= plainMSE {
+		t.Errorf("antithetic MSE %v should beat plain %v on a monotone game", antiMSE, plainMSE)
+	}
+}
+
+func TestAntitheticSingleSampleEfficiency(t *testing.T) {
+	// Each permutation's marginals telescope, so any even budget is
+	// exactly efficient.
+	peaks := []float64{3, 8, 2}
+	est, err := MonteCarloAntithetic(3, peakOf(peaks), 2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := est[0] + est[1] + est[2]
+	if math.Abs(sum-8) > 1e-12 {
+		t.Errorf("efficiency violated: %v", sum)
+	}
+}
+
+func TestAntitheticErrors(t *testing.T) {
+	ok := func(uint64) float64 { return 0 }
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloAntithetic(0, ok, 2, rng); err == nil {
+		t.Error("n=0")
+	}
+	if _, err := MonteCarloAntithetic(64, ok, 2, rng); err == nil {
+		t.Error("n=64")
+	}
+	if _, err := MonteCarloAntithetic(2, ok, 3, rng); err == nil {
+		t.Error("odd samples")
+	}
+	if _, err := MonteCarloAntithetic(2, ok, 0, rng); err == nil {
+		t.Error("zero samples")
+	}
+	if _, err := MonteCarloAntithetic(2, ok, 2, nil); err == nil {
+		t.Error("nil rng")
+	}
+}

@@ -1,0 +1,103 @@
+package shapley
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// MaxExactOrderedPlayers bounds exact permutation enumeration (n! growth);
+// 10! = 3.6M permutations is the practical ceiling.
+const MaxExactOrderedPlayers = 10
+
+// OrderedMarginals computes, for one arrival order perm, the marginal
+// contribution of each player at the moment it arrives, writing the result
+// into marginals indexed by player id (marginals[perm[k]] is the k-th
+// arrival's contribution). Ordered games generalize set games: the paper's
+// colocation ground truth (§6.3) is one, because a workload's marginal
+// carbon depends on which node had a free slot when it arrived.
+type OrderedMarginals func(perm []int, marginals []float64)
+
+// ExactOrdered averages marginal contributions over all n! arrival orders.
+func ExactOrdered(n int, m OrderedMarginals) ([]float64, error) {
+	if n < 1 {
+		return nil, errors.New("shapley: need at least one player")
+	}
+	if n > MaxExactOrderedPlayers {
+		return nil, fmt.Errorf("shapley: exact ordered games limited to %d players (got %d); use SampledOrdered", MaxExactOrderedPlayers, n)
+	}
+	if m == nil {
+		return nil, errors.New("shapley: nil marginals function")
+	}
+	phi := make([]float64, n)
+	marginals := make([]float64, n)
+	perm := make([]int, n)
+	identityPerm(perm)
+
+	count := 0
+	// Heap's algorithm, iterative form.
+	c := make([]int, n)
+	emit := func() {
+		m(perm, marginals)
+		for i, v := range marginals {
+			phi[i] += v
+		}
+		count++
+	}
+	emit()
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			emit()
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	inv := 1 / float64(count)
+	for k := range phi {
+		phi[k] *= inv
+	}
+	return phi, nil
+}
+
+// SampledOrdered estimates ordered-game Shapley values from random arrival
+// orders. The estimator is unbiased with respect to the uniform
+// distribution over permutations.
+func SampledOrdered(n int, m OrderedMarginals, samples int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, errors.New("shapley: need at least one player")
+	}
+	if samples < 1 {
+		return nil, errors.New("shapley: need at least one sample")
+	}
+	if m == nil {
+		return nil, errors.New("shapley: nil marginals function")
+	}
+	if rng == nil {
+		return nil, errors.New("shapley: nil rng")
+	}
+	phi := make([]float64, n)
+	marginals := make([]float64, n)
+	perm := make([]int, n)
+	for s := 0; s < samples; s++ {
+		identityPerm(perm)
+		shuffle(perm, rng)
+		m(perm, marginals)
+		for i, v := range marginals {
+			phi[i] += v
+		}
+	}
+	inv := 1 / float64(samples)
+	for i := range phi {
+		phi[i] *= inv
+	}
+	return phi, nil
+}

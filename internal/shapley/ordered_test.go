@@ -1,0 +1,162 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// setGameMarginals adapts a set game to an ordered game: arrival order
+// doesn't matter, so ordered Shapley must match exact set-game Shapley.
+func setGameMarginals(v SetFunc) OrderedMarginals {
+	return func(perm []int, marginals []float64) {
+		mask := uint64(0)
+		prev := v(0)
+		for _, p := range perm {
+			mask |= 1 << uint(p)
+			cur := v(mask)
+			marginals[p] = cur - prev
+			prev = cur
+		}
+	}
+}
+
+func TestExactOrderedMatchesSetGame(t *testing.T) {
+	peaks := []float64{4, 1, 9, 2}
+	exact, err := Exact(len(peaks), peakOf(peaks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := ExactOrdered(len(peaks), setGameMarginals(peakOf(peaks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range peaks {
+		approx(t, ordered[i], exact[i], 1e-9, "ordered vs set game")
+	}
+}
+
+func TestExactOrderedOrderDependentGame(t *testing.T) {
+	// Pairing game: arrivals pair up (1st with 2nd, 3rd with 4th...).
+	// A pair costs 1; an unpaired arrival costs 2, refunded to cost share
+	// when its partner arrives. Here: odd arrival contributes 2, even
+	// arrival contributes -1 (total pair cost 1). With n=2 each player is
+	// first in half the orders: phi = (2 + -1)/2 = 0.5 each; total 1.
+	m := func(perm []int, marginals []float64) {
+		for k, p := range perm {
+			if k%2 == 0 {
+				marginals[p] = 2
+			} else {
+				marginals[p] = -1
+			}
+		}
+	}
+	phi, err := ExactOrdered(2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, phi[0], 0.5, 1e-12, "phi0")
+	approx(t, phi[1], 0.5, 1e-12, "phi1")
+}
+
+func TestExactOrderedPermutationCount(t *testing.T) {
+	// Verify all n! permutations are visited exactly once.
+	seen := map[[4]int]int{}
+	m := func(perm []int, marginals []float64) {
+		var key [4]int
+		copy(key[:], perm)
+		seen[key]++
+		for i := range marginals {
+			marginals[i] = 0
+		}
+	}
+	if _, err := ExactOrdered(4, m); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 24 {
+		t.Fatalf("visited %d distinct permutations, want 24", len(seen))
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("permutation %v visited %d times", k, c)
+		}
+	}
+}
+
+func TestSampledOrderedConverges(t *testing.T) {
+	peaks := []float64{4, 1, 9, 2, 6}
+	exact, err := ExactOrdered(len(peaks), setGameMarginals(peakOf(peaks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampledOrdered(len(peaks), setGameMarginals(peakOf(peaks)), 20000, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range peaks {
+		approx(t, est[i], exact[i], 0.15, "sampled ordered")
+	}
+}
+
+func TestSampledOrderedEfficiencyPerSample(t *testing.T) {
+	peaks := []float64{3, 8, 2}
+	est, err := SampledOrdered(3, setGameMarginals(peakOf(peaks)), 1, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := est[0] + est[1] + est[2]
+	approx(t, sum, 8, 1e-12, "single-sample efficiency")
+}
+
+func TestOrderedErrors(t *testing.T) {
+	noop := func([]int, []float64) {}
+	if _, err := ExactOrdered(0, noop); err == nil {
+		t.Error("n=0")
+	}
+	if _, err := ExactOrdered(MaxExactOrderedPlayers+1, noop); err == nil {
+		t.Error("too many players")
+	}
+	if _, err := ExactOrdered(2, nil); err == nil {
+		t.Error("nil marginals")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SampledOrdered(0, noop, 1, rng); err == nil {
+		t.Error("sampled n=0")
+	}
+	if _, err := SampledOrdered(2, noop, 0, rng); err == nil {
+		t.Error("sampled samples=0")
+	}
+	if _, err := SampledOrdered(2, nil, 1, rng); err == nil {
+		t.Error("sampled nil marginals")
+	}
+	if _, err := SampledOrdered(2, noop, 1, nil); err == nil {
+		t.Error("sampled nil rng")
+	}
+}
+
+func TestMonteCarloUnbiasedAcrossSeeds(t *testing.T) {
+	// Averaging estimates across many seeds should approach exact values
+	// much more closely than a single run — a sanity check on bias.
+	peaks := []float64{10, 4, 4, 7, 1}
+	n := len(peaks)
+	exact, err := Exact(n, peakOf(peaks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := make([]float64, n)
+	const seeds = 50
+	for s := 0; s < seeds; s++ {
+		est, err := MonteCarlo(n, peakOf(peaks), 200, rand.New(rand.NewSource(int64(s))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range est {
+			avg[i] += v / seeds
+		}
+	}
+	for i := range exact {
+		if math.Abs(avg[i]-exact[i]) > 0.05*(1+exact[i]) {
+			t.Errorf("player %d: averaged estimate %v vs exact %v", i, avg[i], exact[i])
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package shapley implements the cooperative-game machinery at the heart of
+// Fair-CO2 (§4): exact Shapley values by coalition enumeration, Monte Carlo
+// permutation sampling for large games, ordered (arrival-order) games for
+// colocation attribution, and the closed-form solution for peak/max games
+// that makes Temporal Shapley polynomial (§5.1, Eq. 7 — which reduces to
+// the classic airport-game formula).
+package shapley
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// MaxExactPlayers bounds exact coalition enumeration: the table of
+// characteristic-function values has 2^n entries (8 bytes each), so 24
+// players already costs 128 MiB and O(2^n * n) time. The paper caps its
+// ground-truth runs at 22 workloads for the same reason.
+const MaxExactPlayers = 24
+
+// SetFunc is a characteristic function over coalitions encoded as bitmasks:
+// bit i set means player i is in the coalition. SetFunc(0) is the value of
+// the empty coalition.
+type SetFunc func(mask uint64) float64
+
+// Exact computes the exact Shapley value of every player by enumerating all
+// 2^n coalitions. v is called exactly once per coalition.
+func Exact(n int, v SetFunc) ([]float64, error) {
+	table, err := BuildTable(n, v)
+	if err != nil {
+		return nil, err
+	}
+	return ExactFromTable(n, table)
+}
+
+// BuildTable evaluates v over all 2^n coalitions into a dense table indexed
+// by bitmask.
+func BuildTable(n int, v SetFunc) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	table := make([]float64, 1<<uint(n))
+	for mask := range table {
+		table[mask] = v(uint64(mask))
+	}
+	return table, nil
+}
+
+// BuildTableIncremental evaluates a characteristic function over all 2^n
+// coalitions while letting the caller maintain incremental state: add(i) is
+// called when player i joins the working coalition, remove(i) when it
+// leaves, and value() must return the value of the current coalition.
+// Each coalition is visited exactly once (depth-first over players), so a
+// caller whose value is expensive to compute from scratch — e.g. the peak
+// of a summed demand curve — pays only O(update) per coalition.
+func BuildTableIncremental(n int, add, remove func(player int), value func() float64) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	table := make([]float64, 1<<uint(n))
+	var rec func(next int, mask uint64)
+	rec = func(next int, mask uint64) {
+		if next == n {
+			table[mask] = value()
+			return
+		}
+		rec(next+1, mask)
+		add(next)
+		rec(next+1, mask|1<<uint(next))
+		remove(next)
+	}
+	rec(0, 0)
+	return table, nil
+}
+
+// ExactFromTable computes exact Shapley values from a dense table of
+// coalition values indexed by bitmask (len(table) must be 2^n).
+//
+//	phi_i = sum over S not containing i of
+//	        |S|! (n-|S|-1)! / n!  *  (v(S u {i}) - v(S))
+func ExactFromTable(n int, table []float64) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+	}
+	// w[s] = s!(n-s-1)!/n! = 1 / (n * C(n-1, s)).
+	w := make([]float64, n)
+	for s := 0; s < n; s++ {
+		w[s] = 1 / (float64(n) * binomial(n-1, s))
+	}
+	phi := make([]float64, n)
+	for mask := uint64(0); mask < uint64(len(table)); mask++ {
+		rest := ^mask & (1<<uint(n) - 1)
+		if rest == 0 {
+			continue // full coalition: no player left to add
+		}
+		vs := table[mask]
+		weight := w[bits.OnesCount64(mask)]
+		for rest != 0 {
+			bit := rest & -rest
+			i := bits.TrailingZeros64(bit)
+			phi[i] += weight * (table[mask|bit] - vs)
+			rest ^= bit
+		}
+	}
+	return phi, nil
+}
+
+// MonteCarlo estimates Shapley values by sampling random permutations and
+// averaging marginal contributions along each arrival order. The estimator
+// is unbiased and efficient (marginals along one permutation telescope to
+// v(N) - v(empty)).
+func MonteCarlo(n int, v SetFunc, samples int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, errors.New("shapley: need at least one player")
+	}
+	if n > 63 {
+		return nil, errors.New("shapley: bitmask games support at most 63 players")
+	}
+	if samples < 1 {
+		return nil, errors.New("shapley: need at least one sample")
+	}
+	if rng == nil {
+		return nil, errors.New("shapley: nil rng")
+	}
+	phi := make([]float64, n)
+	perm := make([]int, n)
+	for s := 0; s < samples; s++ {
+		identityPerm(perm)
+		shuffle(perm, rng)
+		mask := uint64(0)
+		prev := v(0)
+		for _, p := range perm {
+			mask |= 1 << uint(p)
+			cur := v(mask)
+			phi[p] += cur - prev
+			prev = cur
+		}
+	}
+	inv := 1 / float64(samples)
+	for i := range phi {
+		phi[i] *= inv
+	}
+	return phi, nil
+}
+
+func identityPerm(perm []int) {
+	for i := range perm {
+		perm[i] = i
+	}
+}
+
+func shuffle(perm []int, rng *rand.Rand) {
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+}
+
+func checkExactN(n int) error {
+	if n < 1 {
+		return errors.New("shapley: need at least one player")
+	}
+	if n > MaxExactPlayers {
+		return fmt.Errorf("shapley: exact enumeration limited to %d players (got %d); use MonteCarlo", MaxExactPlayers, n)
+	}
+	return nil
+}
+
+// binomial returns C(n, k) as a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// PeakGame returns the exact Shapley values of the peak (max) game
+// v(S) = max_{i in S} peaks[i] with non-negative peaks, in O(n log n).
+// This is Eq. (7) of the paper in its classic airport-game form
+// (Littlechild & Owen): sorting the peaks ascending c_1 <= ... <= c_n,
+//
+//	phi_(k) = sum_{j=1..k} (c_j - c_{j-1}) / (n - j + 1),   c_0 = 0.
+//
+// Each increment of peak height is shared equally by every player tall
+// enough to need it.
+func PeakGame(peaks []float64) ([]float64, error) {
+	n := len(peaks)
+	if n == 0 {
+		return nil, errors.New("shapley: peak game needs at least one player")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i, p := range peaks {
+		if p < 0 {
+			return nil, fmt.Errorf("shapley: peak game requires non-negative peaks, player %d has %v", i, p)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return peaks[idx[a]] < peaks[idx[b]] })
+
+	phi := make([]float64, n)
+	acc := 0.0
+	prev := 0.0
+	for rank, i := range idx {
+		c := peaks[i]
+		acc += (c - prev) / float64(n-rank)
+		phi[i] = acc
+		prev = c
+	}
+	return phi, nil
+}
+
+// PeakGameNaive computes the peak-game Shapley value via full coalition
+// enumeration. It exists as the ablation baseline for PeakGame (the paper's
+// 2^M formulation in Eq. 4 versus the closed form in Eq. 7) and as a test
+// oracle; production code should always use PeakGame.
+func PeakGameNaive(peaks []float64) ([]float64, error) {
+	n := len(peaks)
+	for i, p := range peaks {
+		if p < 0 {
+			return nil, fmt.Errorf("shapley: peak game requires non-negative peaks, player %d has %v", i, p)
+		}
+	}
+	return Exact(n, func(mask uint64) float64 {
+		peak := 0.0
+		for mask != 0 {
+			bit := mask & -mask
+			if p := peaks[bits.TrailingZeros64(bit)]; p > peak {
+				peak = p
+			}
+			mask ^= bit
+		}
+		return peak
+	})
+}

@@ -1,0 +1,117 @@
+package signalserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Client is the tenant-side consumer of a signal server: poll the
+// projected intensity and schedule deferrable work into its cheapest
+// window — the §5.3/§8 optimization loop as three calls.
+type Client struct {
+	// BaseURL is the server address, e.g. "http://localhost:8585".
+	BaseURL string
+	// HTTPClient optionally overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("signalserver client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("signalserver client: %s returned %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("signalserver client: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Current returns the intensity now, in gCO2e per resource-second.
+func (c *Client) Current() (float64, error) {
+	var p pointResponse
+	if err := c.getJSON("/v1/intensity/current", &p); err != nil {
+		return 0, err
+	}
+	return p.Intensity, nil
+}
+
+// Window returns the projected intensity series for the next hours.
+func (c *Client) Window(hours float64) (*timeseries.Series, error) {
+	var s seriesResponse
+	if err := c.getJSON(fmt.Sprintf("/v1/intensity/window?hours=%g", hours), &s); err != nil {
+		return nil, err
+	}
+	if len(s.Intensity) == 0 || s.StepSeconds <= 0 {
+		return nil, errors.New("signalserver client: server returned an empty window")
+	}
+	return timeseries.New(units.Seconds(s.StartSeconds), units.Seconds(s.StepSeconds), s.Intensity), nil
+}
+
+// Placement is BestWindow's recommendation.
+type Placement struct {
+	// Start is the recommended job start time (server clock).
+	Start units.Seconds
+	// Cost is the projected embodied carbon of the job at that start.
+	Cost units.GramsCO2e
+	// WorstCost is the projected cost of the worst start considered —
+	// the saving available from shifting.
+	WorstCost units.GramsCO2e
+}
+
+// BestWindow scans the next deadlineHours of the projected signal and
+// returns the start minimizing the embodied cost of a job that holds
+// `resource` units (e.g. cores) for jobDuration.
+func (c *Client) BestWindow(resource float64, jobDuration units.Seconds, deadlineHours float64) (Placement, error) {
+	if resource <= 0 || jobDuration <= 0 || deadlineHours <= 0 {
+		return Placement{}, errors.New("signalserver client: resource, duration and deadline must be positive")
+	}
+	signal, err := c.Window(deadlineHours)
+	if err != nil {
+		return Placement{}, err
+	}
+	jobSamples := int(float64(jobDuration) / float64(signal.Step))
+	if jobSamples < 1 {
+		jobSamples = 1
+	}
+	if jobSamples > signal.Len() {
+		return Placement{}, fmt.Errorf("signalserver client: job of %v does not fit in the %g h window", jobDuration, deadlineHours)
+	}
+	// Sliding-window sums over the signal.
+	bestStart, bestCost, worstCost := 0, 0.0, 0.0
+	sum := 0.0
+	for i := 0; i < jobSamples; i++ {
+		sum += signal.Values[i]
+	}
+	bestCost, worstCost = sum, sum
+	for start := 1; start+jobSamples <= signal.Len(); start++ {
+		sum += signal.Values[start+jobSamples-1] - signal.Values[start-1]
+		if sum < bestCost {
+			bestCost, bestStart = sum, start
+		}
+		if sum > worstCost {
+			worstCost = sum
+		}
+	}
+	scale := resource * float64(signal.Step)
+	return Placement{
+		Start:     signal.TimeAt(bestStart),
+		Cost:      units.GramsCO2e(bestCost * scale),
+		WorstCost: units.GramsCO2e(worstCost * scale),
+	}, nil
+}

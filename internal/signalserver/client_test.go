@@ -1,0 +1,116 @@
+package signalserver
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+func testClient(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(testServer(t).Handler())
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL}, ts
+}
+
+func TestClientCurrent(t *testing.T) {
+	c, _ := testClient(t)
+	v, err := c.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("intensity %v", v)
+	}
+}
+
+func TestClientWindow(t *testing.T) {
+	c, _ := testClient(t)
+	w, err := c.Window(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 72 || w.Step != 300 {
+		t.Errorf("window %d samples step %v", w.Len(), w.Step)
+	}
+}
+
+func TestClientBestWindow(t *testing.T) {
+	c, _ := testClient(t)
+	placement, err := c.BestWindow(32, 4*units.SecondsPerHour, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement.Cost <= 0 || placement.WorstCost < placement.Cost {
+		t.Errorf("placement %+v", placement)
+	}
+	// Cross-check against a direct scan of the same window.
+	signal, err := c.Window(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobSamples := int(4 * units.SecondsPerHour / 300)
+	best := math.Inf(1)
+	bestStart := 0
+	for start := 0; start+jobSamples <= signal.Len(); start++ {
+		sum := 0.0
+		for i := start; i < start+jobSamples; i++ {
+			sum += signal.Values[i]
+		}
+		if sum < best {
+			best, bestStart = sum, start
+		}
+	}
+	wantCost := best * 32 * 300
+	if math.Abs(float64(placement.Cost)-wantCost) > 1e-9*wantCost {
+		t.Errorf("cost %v, want %v", placement.Cost, wantCost)
+	}
+	if placement.Start != signal.TimeAt(bestStart) {
+		t.Errorf("start %v, want %v", placement.Start, signal.TimeAt(bestStart))
+	}
+}
+
+func TestClientBestWindowErrors(t *testing.T) {
+	c, _ := testClient(t)
+	if _, err := c.BestWindow(0, 100, 1); err == nil {
+		t.Error("zero resource")
+	}
+	if _, err := c.BestWindow(1, 0, 1); err == nil {
+		t.Error("zero duration")
+	}
+	if _, err := c.BestWindow(1, 100, 0); err == nil {
+		t.Error("zero deadline")
+	}
+	if _, err := c.BestWindow(1, 100*units.SecondsPerHour, 1); err == nil {
+		t.Error("job longer than window")
+	}
+}
+
+func TestClientServerErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	c := &Client{BaseURL: bad.URL}
+	if _, err := c.Current(); err == nil {
+		t.Error("non-200 should error")
+	}
+	if _, err := c.Window(1); err == nil {
+		t.Error("non-200 window should error")
+	}
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{not json"))
+	}))
+	defer garbage.Close()
+	c = &Client{BaseURL: garbage.URL}
+	if _, err := c.Current(); err == nil {
+		t.Error("bad json should error")
+	}
+	c = &Client{BaseURL: "http://127.0.0.1:1"}
+	if _, err := c.Current(); err == nil {
+		t.Error("unreachable server should error")
+	}
+}

@@ -1,0 +1,221 @@
+// Package signalserver serves Fair-CO2's live carbon-intensity signals
+// over HTTP — §5.3 as an operating service. Cloud tenants poll it to
+// schedule work against projected embodied carbon intensity, the way they
+// already poll grid-intensity APIs for operational carbon:
+//
+//	GET /healthz                     -> {"status":"ok", ...}
+//	GET /v1/intensity/current        -> the signal value now
+//	GET /v1/intensity/window?hours=N -> the signal series for the next N hours
+//	GET /v1/intensity/series         -> the full (history + forecast) signal
+//
+// The server holds a demand history, fits the forecaster, extends the
+// horizon, and derives the Temporal Shapley signal; Refresh re-fits after
+// new telemetry arrives.
+package signalserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"fairco2/internal/forecast"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// HorizonSamples is how far past the history the signal projects.
+	HorizonSamples int
+	// Budget is the embodied carbon attributed over history + horizon.
+	Budget units.GramsCO2e
+	// Forecast selects the forecaster structure.
+	Forecast forecast.Config
+	// MaxFanout bounds the Temporal Shapley hierarchy levels.
+	MaxFanout int
+}
+
+// DefaultConfig projects two days of 5-minute samples.
+func DefaultConfig() Config {
+	return Config{
+		HorizonSamples: 2 * 288,
+		Budget:         1e7,
+		Forecast:       forecast.DefaultConfig(),
+		MaxFanout:      16,
+	}
+}
+
+// Server computes and serves the live signal. It is safe for concurrent
+// use; Refresh swaps the signal atomically under a read-write lock.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	demand  *timeseries.Series
+	signal  *timeseries.Series
+	refits  int
+	histLen int
+}
+
+// New builds a server over an initial demand history and computes the
+// first signal.
+func New(history *timeseries.Series, cfg Config) (*Server, error) {
+	if cfg.HorizonSamples < 1 {
+		return nil, errors.New("signalserver: horizon must be positive")
+	}
+	if cfg.Budget <= 0 {
+		return nil, errors.New("signalserver: budget must be positive")
+	}
+	if cfg.MaxFanout < 2 {
+		return nil, errors.New("signalserver: max fan-out must be at least 2")
+	}
+	s := &Server{cfg: cfg}
+	if err := s.Refresh(history); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Refresh re-fits the forecaster on a new (longer) history and swaps in
+// the updated signal.
+func (s *Server) Refresh(history *timeseries.Series) error {
+	if history == nil || history.Len() == 0 {
+		return errors.New("signalserver: empty history")
+	}
+	model, err := forecast.Fit(history, s.cfg.Forecast)
+	if err != nil {
+		return err
+	}
+	predicted, err := model.Forecast(s.cfg.HorizonSamples)
+	if err != nil {
+		return err
+	}
+	values := append(append([]float64(nil), history.Values...), predicted.Values...)
+	stitched := timeseries.New(history.Start, history.Step, values)
+	splits, err := temporal.AutoSplits(stitched.Len(), s.cfg.MaxFanout)
+	if err != nil {
+		return err
+	}
+	signal, err := temporal.IntensitySignal(stitched, s.cfg.Budget, temporal.Config{SplitRatios: splits})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.demand = stitched
+	s.signal = signal
+	s.histLen = history.Len()
+	s.refits++
+	return nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/intensity/current", s.handleCurrent)
+	mux.HandleFunc("GET /v1/intensity/window", s.handleWindow)
+	mux.HandleFunc("GET /v1/intensity/series", s.handleSeries)
+	return mux
+}
+
+type healthResponse struct {
+	Status         string  `json:"status"`
+	Refits         int     `json:"refits"`
+	HistorySamples int     `json:"history_samples"`
+	HorizonSamples int     `json:"horizon_samples"`
+	StepSeconds    float64 `json:"step_seconds"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := healthResponse{
+		Status:         "ok",
+		Refits:         s.refits,
+		HistorySamples: s.histLen,
+		HorizonSamples: s.signal.Len() - s.histLen,
+		StepSeconds:    float64(s.signal.Step),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type pointResponse struct {
+	TimeSeconds float64 `json:"time_seconds"`
+	// Intensity is in gCO2e per resource-second.
+	Intensity float64 `json:"intensity_g_per_resource_second"`
+}
+
+// handleCurrent returns the signal at the boundary between history and
+// forecast — "now" in the server's frame.
+func (s *Server) handleCurrent(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	idx := s.histLen - 1
+	resp := pointResponse{
+		TimeSeconds: float64(s.signal.TimeAt(idx)),
+		Intensity:   s.signal.Values[idx],
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type seriesResponse struct {
+	StartSeconds float64   `json:"start_seconds"`
+	StepSeconds  float64   `json:"step_seconds"`
+	Intensity    []float64 `json:"intensity_g_per_resource_second"`
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	hours, err := strconv.ParseFloat(r.URL.Query().Get("hours"), 64)
+	if err != nil || hours <= 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "hours must be a positive number",
+		})
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := int(hours * units.SecondsPerHour / float64(s.signal.Step))
+	if n < 1 {
+		n = 1
+	}
+	lo := s.histLen
+	hi := lo + n
+	if hi > s.signal.Len() {
+		hi = s.signal.Len()
+	}
+	window, err := s.signal.Slice(lo, hi)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, seriesResponse{
+		StartSeconds: float64(window.Start),
+		StepSeconds:  float64(window.Step),
+		Intensity:    window.Values,
+	})
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := seriesResponse{
+		StartSeconds: float64(s.signal.Start),
+		StepSeconds:  float64(s.signal.Step),
+		Intensity:    append([]float64(nil), s.signal.Values...),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing else to do.
+		_ = fmt.Errorf("signalserver: encoding response: %w", err)
+	}
+}

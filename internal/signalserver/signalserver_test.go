@@ -1,0 +1,215 @@
+package signalserver
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+func testHistory(t *testing.T, days int) *timeseries.Series {
+	t.Helper()
+	cfg := trace.DefaultAzureLikeConfig()
+	cfg.Days = days
+	full, err := trace.GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(testHistory(t, 14), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var h healthResponse
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if h.Status != "ok" || h.Refits != 1 {
+		t.Errorf("health %+v", h)
+	}
+	if h.HistorySamples != 14*288 || h.HorizonSamples != 2*288 {
+		t.Errorf("sample counts %+v", h)
+	}
+	if h.StepSeconds != 300 {
+		t.Errorf("step %v", h.StepSeconds)
+	}
+}
+
+func TestCurrentEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var p pointResponse
+	if code := getJSON(t, ts, "/v1/intensity/current", &p); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if p.Intensity <= 0 {
+		t.Errorf("intensity %v", p.Intensity)
+	}
+	// "now" is the last history sample.
+	wantTime := float64(14*288-1) * 300
+	if math.Abs(p.TimeSeconds-wantTime) > 1e-9 {
+		t.Errorf("time %v, want %v", p.TimeSeconds, wantTime)
+	}
+}
+
+func TestWindowEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var s seriesResponse
+	if code := getJSON(t, ts, "/v1/intensity/window?hours=6", &s); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(s.Intensity) != 6*12 {
+		t.Errorf("6 h of 5-minute samples should be 72, got %d", len(s.Intensity))
+	}
+	// Window starts at the forecast boundary.
+	if s.StartSeconds != float64(14*288)*300 {
+		t.Errorf("window start %v", s.StartSeconds)
+	}
+	for _, v := range s.Intensity {
+		if v <= 0 {
+			t.Fatal("non-positive intensity in window")
+		}
+	}
+	// Requesting beyond the horizon clamps.
+	if code := getJSON(t, ts, "/v1/intensity/window?hours=9999", &s); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(s.Intensity) != 2*288 {
+		t.Errorf("clamped window should be the full horizon, got %d", len(s.Intensity))
+	}
+}
+
+func TestWindowEndpointBadRequest(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	for _, q := range []string{"", "?hours=0", "?hours=-3", "?hours=abc"} {
+		resp, err := http.Get(ts.URL + "/v1/intensity/window" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	var s seriesResponse
+	if code := getJSON(t, ts, "/v1/intensity/series", &s); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(s.Intensity) != 16*288 {
+		t.Errorf("series should cover history+horizon, got %d samples", len(s.Intensity))
+	}
+}
+
+func TestRefreshSwapsSignal(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var before pointResponse
+	getJSON(t, ts, "/v1/intensity/current", &before)
+
+	if err := srv.Refresh(testHistory(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	getJSON(t, ts, "/healthz", &h)
+	if h.Refits != 2 || h.HistorySamples != 21*288 {
+		t.Errorf("after refresh: %+v", h)
+	}
+	var after pointResponse
+	getJSON(t, ts, "/v1/intensity/current", &after)
+	if after.TimeSeconds <= before.TimeSeconds {
+		t.Error("refresh with longer history should advance 'now'")
+	}
+}
+
+func TestRefreshConcurrentWithReads(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get(ts.URL + "/v1/intensity/current")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 3; j++ {
+			if err := srv.Refresh(testHistory(t, 14)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNewErrors(t *testing.T) {
+	hist := testHistory(t, 14)
+	cases := []Config{
+		{HorizonSamples: 0, Budget: 1, MaxFanout: 16},
+		{HorizonSamples: 1, Budget: 0, MaxFanout: 16},
+		{HorizonSamples: 1, Budget: 1, MaxFanout: 1},
+	}
+	for i, cfg := range cases {
+		cfg.Forecast = DefaultConfig().Forecast
+		if _, err := New(hist, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil history")
+	}
+	short := timeseries.New(0, 300, make([]float64, 5))
+	if _, err := New(short, DefaultConfig()); err == nil {
+		t.Error("history too short to fit")
+	}
+	_ = units.Seconds(0)
+}

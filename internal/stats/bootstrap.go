@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Lo, Hi float64
+	// Point is the statistic on the original sample.
+	Point float64
+}
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval for
+// the mean of xs: resamples-with-replacement iters times and takes the
+// (1-conf)/2 and (1+conf)/2 quantiles of the resampled means. Used to put
+// error bars on the Monte Carlo deviation summaries.
+func BootstrapMeanCI(xs []float64, conf float64, iters int, seed int64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, errors.New("stats: bootstrap needs at least one observation")
+	}
+	if conf <= 0 || conf >= 1 {
+		return CI{}, errors.New("stats: confidence must be in (0, 1)")
+	}
+	if iters < 10 {
+		return CI{}, errors.New("stats: bootstrap needs at least 10 iterations")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, iters)
+	n := len(xs)
+	for it := range means {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[it] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return CI{
+		Lo:    percentileSorted(means, alpha*100),
+		Hi:    percentileSorted(means, (1-alpha)*100),
+		Point: Mean(xs),
+	}, nil
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	// Samples from a known distribution: the 95% CI should contain the
+	// true mean in roughly 95% of experiments.
+	rng := rand.New(rand.NewSource(1))
+	const trueMean = 10.0
+	covered, total := 0, 200
+	for exp := 0; exp < total; exp++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = trueMean + rng.NormFloat64()*3
+		}
+		ci, err := BootstrapMeanCI(xs, 0.95, 400, int64(exp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Lo <= trueMean && trueMean <= ci.Hi {
+			covered++
+		}
+		if ci.Lo > ci.Point || ci.Point > ci.Hi {
+			t.Fatalf("point estimate outside its own interval: %+v", ci)
+		}
+	}
+	frac := float64(covered) / float64(total)
+	if frac < 0.85 || frac > 1.0 {
+		t.Errorf("coverage %.2f, want ~0.95", frac)
+	}
+}
+
+func TestBootstrapMeanCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	width := func(n int) float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		ci, err := BootstrapMeanCI(xs, 0.95, 500, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ci.Hi - ci.Lo
+	}
+	if width(1000) >= width(30) {
+		t.Error("interval should shrink with sample size")
+	}
+}
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := BootstrapMeanCI(xs, 0.9, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapMeanCI(xs, 0.9, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed must reproduce the interval")
+	}
+}
+
+func TestBootstrapMeanCIErrors(t *testing.T) {
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty sample")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0, 100, 1); err == nil {
+		t.Error("bad confidence")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 1, 100, 1); err == nil {
+		t.Error("confidence of 1")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.9, 5, 1); err == nil {
+		t.Error("too few iterations")
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// OLS solves the ordinary-least-squares problem min ||X b - y||^2 and
+// returns the coefficient vector b. X is row-major with one row per
+// observation and one column per feature. The solution is computed from the
+// normal equations (X'X) b = X'y with Gaussian elimination and partial
+// pivoting plus a small ridge term for numerical robustness when columns
+// are nearly collinear (Fourier feature matrices are well conditioned, so
+// the ridge term is effectively inert there).
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("stats: OLS requires at least one observation")
+	}
+	if len(y) != n {
+		return nil, errors.New("stats: OLS requires len(y) == len(x)")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("stats: OLS requires at least one feature")
+	}
+	for _, row := range x {
+		if len(row) != p {
+			return nil, errors.New("stats: OLS requires rectangular design matrix")
+		}
+	}
+
+	// Normal equations: a = X'X (p x p), b = X'y (p).
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for _, row := range x {
+		for i := 0; i < p; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	for k, row := range x {
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[k]
+		}
+		_ = k
+	}
+
+	// Tiny ridge proportional to the diagonal scale keeps the system
+	// solvable when features are duplicated.
+	scale := 0.0
+	for i := 0; i < p; i++ {
+		scale += a[i][i]
+	}
+	ridge := 1e-12 * scale / float64(p)
+	for i := 0; i < p; i++ {
+		a[i][i] += ridge
+	}
+
+	sol, err := SolveLinearSystem(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// SolveLinearSystem solves a x = b for square a using Gaussian elimination
+// with partial pivoting. a and b are not modified.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: system dimensions mismatch")
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("stats: matrix is not square")
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	rhs := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, errors.New("stats: singular matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+
+	// Back substitution.
+	sol := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := rhs[i]
+		for j := i + 1; j < n; j++ {
+			v -= m[i][j] * sol[j]
+		}
+		sol[i] = v / m[i][i]
+	}
+	return sol, nil
+}

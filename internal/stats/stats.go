@@ -1,0 +1,199 @@
+// Package stats provides the small numerical toolkit Fair-CO2 needs:
+// descriptive statistics, percentiles, histograms, forecast-error metrics,
+// and an ordinary-least-squares solver. Everything is implemented from
+// scratch on the standard library because the module is offline.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mu
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentilesSorted returns the percentiles ps of xs with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MAPE returns the mean absolute percentage error between actual and
+// forecast values, in percent. Pairs where the actual value is zero are
+// skipped. It returns an error when the slices differ in length or no pair
+// is usable.
+func MAPE(actual, forecast []float64) (float64, error) {
+	if len(actual) != len(forecast) {
+		return 0, errors.New("stats: MAPE requires equal-length slices")
+	}
+	sum, n := 0.0, 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((actual[i] - forecast[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("stats: MAPE undefined, all actual values are zero")
+	}
+	return sum / float64(n) * 100, nil
+}
+
+// MaxAPE returns the worst-case absolute percentage error, in percent,
+// skipping zero actual values.
+func MaxAPE(actual, forecast []float64) (float64, error) {
+	if len(actual) != len(forecast) {
+		return 0, errors.New("stats: MaxAPE requires equal-length slices")
+	}
+	worst, n := 0.0, 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		ape := math.Abs((actual[i] - forecast[i]) / actual[i])
+		if ape > worst {
+			worst = ape
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("stats: MaxAPE undefined, all actual values are zero")
+	}
+	return worst * 100, nil
+}
+
+// Summary holds the descriptive statistics reported for each Monte Carlo
+// experiment series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P5     float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	qs := Percentiles(xs, 5, 25, 50, 75, 95)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P5:     qs[0],
+		P25:    qs[1],
+		Median: qs[2],
+		P75:    qs[3],
+		P95:    qs[4],
+		Max:    Max(xs),
+	}
+}

@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	approx(t, Mean(xs), 2.8, 1e-12, "Mean")
+	approx(t, Sum(xs), 14, 1e-12, "Sum")
+	approx(t, Min(xs), 1, 0, "Min")
+	approx(t, Max(xs), 5, 0, "Max")
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !math.IsInf(Min(nil), 1) {
+		t.Error("Min(nil) should be +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Error("Max(nil) should be -Inf")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("Summarize(nil).N != 0")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Variance(xs), 4, 1e-12, "Variance")
+	approx(t, StdDev(xs), 2, 1e-12, "StdDev")
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	approx(t, Percentile(xs, 0), 15, 0, "P0")
+	approx(t, Percentile(xs, 100), 50, 0, "P100")
+	approx(t, Percentile(xs, 50), 35, 0, "P50")
+	approx(t, Percentile(xs, 25), 20, 1e-12, "P25")
+	// Interpolated value.
+	approx(t, Percentile(xs, 40), 29, 1e-12, "P40")
+	// Input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	ps := []float64{5, 25, 50, 75, 95}
+	got := Percentiles(xs, ps...)
+	for i, p := range ps {
+		approx(t, got[i], Percentile(xs, p), 1e-12, "Percentiles vs Percentile")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	actual := []float64{100, 200, 0, 400}
+	forecast := []float64{110, 180, 5, 400}
+	got, err := MAPE(actual, forecast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10% + 10% + skip + 0%) / 3 = 6.666%
+	approx(t, got, 20.0/3, 1e-9, "MAPE")
+
+	worst, err := MaxAPE(actual, forecast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, worst, 10, 1e-9, "MaxAPE")
+}
+
+func TestMAPEErrors(t *testing.T) {
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("MAPE should reject mismatched lengths")
+	}
+	if _, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("MAPE should reject all-zero actuals")
+	}
+	if _, err := MaxAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("MaxAPE should reject mismatched lengths")
+	}
+	if _, err := MaxAPE([]float64{0}, []float64{1}); err == nil {
+		t.Error("MaxAPE should reject all-zero actuals")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 {
+		t.Errorf("N = %d, want 101", s.N)
+	}
+	approx(t, s.Mean, 50, 1e-12, "mean")
+	approx(t, s.Median, 50, 1e-12, "median")
+	approx(t, s.P5, 5, 1e-12, "p5")
+	approx(t, s.P95, 95, 1e-12, "p95")
+	approx(t, s.Min, 0, 0, "min")
+	approx(t, s.Max, 100, 0, "max")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0.5, 1, 3, 3.5, 9.9, -4, 40})
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	// -4 clamps into bin 0; 40 clamps into bin 4.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin0 = %d, want 3 (0.5, 1, clamped -4)", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin1 = %d, want 2", h.Counts[1])
+	}
+	if h.Counts[4] != 2 {
+		t.Errorf("bin4 = %d, want 2 (9.9, clamped 40)", h.Counts[4])
+	}
+	approx(t, h.BinCenter(0), 1, 1e-12, "BinCenter(0)")
+	approx(t, h.Fraction(0), 3.0/7, 1e-12, "Fraction(0)")
+	if out := h.Render(20); out == "" {
+		t.Error("Render returned empty output")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("inverted interval", func() { NewHistogram(1, 0, 3) })
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		approx(t, x[i], want[i], 1e-9, "solution")
+	}
+}
+
+func TestSolveLinearSystemSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinearSystem(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for singular matrix")
+	}
+}
+
+func TestSolveLinearSystemShapeErrors(t *testing.T) {
+	if _, err := SolveLinearSystem(nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	// y = 3 + 2*x1 - 0.5*x2, no noise.
+	rng := rand.New(rand.NewSource(42))
+	var xrows [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 10
+		x2 := rng.Float64() * 5
+		xrows = append(xrows, []float64{1, x1, x2})
+		y = append(y, 3+2*x1-0.5*x2)
+	}
+	b, err := OLS(xrows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -0.5}
+	for i := range want {
+		approx(t, b[i], want[i], 1e-6, "coefficient")
+	}
+}
+
+func TestOLSWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xrows [][]float64
+	var y []float64
+	for i := 0; i < 5000; i++ {
+		x1 := rng.Float64() * 10
+		xrows = append(xrows, []float64{1, x1})
+		y = append(y, 1+4*x1+rng.NormFloat64()*0.1)
+	}
+	b, err := OLS(xrows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, b[0], 1, 0.05, "intercept")
+	approx(t, b[1], 4, 0.01, "slope")
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("expected error for no observations")
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := OLS([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("expected error for zero features")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for ragged matrix")
+	}
+}

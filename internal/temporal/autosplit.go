@@ -1,0 +1,51 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AutoSplits factorizes a sample count into a hierarchical split schedule
+// with every level's fan-out at most maxFanout (coarse levels first, as
+// the paper's 10*9*8*12 example). It greedily peels the largest usable
+// divisors. A prime (or stubborn) residue above maxFanout ends up as a
+// single oversized level — still correct, just costlier; callers that
+// need strict bounds should pick their window lengths accordingly.
+func AutoSplits(samples, maxFanout int) ([]int, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("temporal: sample count must be positive, got %d", samples)
+	}
+	if maxFanout < 2 {
+		return nil, fmt.Errorf("temporal: max fan-out must be at least 2, got %d", maxFanout)
+	}
+	if samples == 1 {
+		return []int{1}, nil
+	}
+	var splits []int
+	rest := samples
+	for rest > 1 {
+		d := largestDivisorAtMost(rest, maxFanout)
+		if d == 1 {
+			// Prime residue above maxFanout: take it whole.
+			splits = append(splits, rest)
+			rest = 1
+			break
+		}
+		splits = append(splits, d)
+		rest /= d
+	}
+	// Coarsest-first ordering: descending fan-out reads like the paper's
+	// 30d -> 3d -> 8h -> 1h -> 5min cascade.
+	sort.Sort(sort.Reverse(sort.IntSlice(splits)))
+	return splits, nil
+}
+
+func largestDivisorAtMost(n, bound int) int {
+	best := 1
+	for d := 2; d <= bound; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best
+}

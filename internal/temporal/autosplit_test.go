@@ -1,0 +1,105 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/timeseries"
+)
+
+func TestAutoSplitsKnownValues(t *testing.T) {
+	cases := []struct {
+		samples, maxFanout int
+		wantProduct        int
+	}{
+		{8640, 16, 8640}, // the 30-day 5-minute trace
+		{744, 31, 744},   // a 31-day month of hours
+		{24, 24, 24},
+		{1, 16, 1},
+		{97, 16, 97}, // prime above the bound: one oversized level
+	}
+	for _, c := range cases {
+		splits, err := AutoSplits(c.samples, c.maxFanout)
+		if err != nil {
+			t.Fatalf("AutoSplits(%d, %d): %v", c.samples, c.maxFanout, err)
+		}
+		product := 1
+		for _, m := range splits {
+			product *= m
+		}
+		if product != c.wantProduct {
+			t.Errorf("AutoSplits(%d, %d) = %v, product %d", c.samples, c.maxFanout, splits, product)
+		}
+	}
+}
+
+func TestAutoSplitsRespectsBoundWhenComposite(t *testing.T) {
+	splits, err := AutoSplits(8640, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range splits {
+		if m > 16 {
+			t.Errorf("split %d exceeds fan-out bound for a 16-smooth number", m)
+		}
+	}
+	// Coarsest first (descending).
+	for i := 1; i < len(splits); i++ {
+		if splits[i] > splits[i-1] {
+			t.Errorf("splits not descending: %v", splits)
+		}
+	}
+}
+
+func TestAutoSplitsProperty(t *testing.T) {
+	f := func(rawN uint16, rawB uint8) bool {
+		n := int(rawN)%5000 + 1
+		bound := int(rawB)%30 + 2
+		splits, err := AutoSplits(n, bound)
+		if err != nil {
+			return false
+		}
+		product := 1
+		for _, m := range splits {
+			if m < 1 {
+				return false
+			}
+			product *= m
+		}
+		return product == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutoSplitsErrors(t *testing.T) {
+	if _, err := AutoSplits(0, 16); err == nil {
+		t.Error("zero samples")
+	}
+	if _, err := AutoSplits(10, 1); err == nil {
+		t.Error("fan-out below 2")
+	}
+}
+
+func TestAutoSplitsDriveIntensitySignal(t *testing.T) {
+	// End-to-end: a 744-hour month with auto splits conserves the budget.
+	values := make([]float64, 744)
+	for i := range values {
+		values[i] = 50 + float64(i%24)*3
+	}
+	demand := timeseries.New(0, 3600, values)
+	splits, err := AutoSplits(demand.Len(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := IntensitySignal(demand, 1e5, Config{SplitRatios: splits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := range sig.Values {
+		total += sig.Values[i] * demand.Values[i] * 3600
+	}
+	approx(t, total, 1e5, 1e-3, "auto-split budget conservation")
+}

@@ -1,0 +1,339 @@
+package temporal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+// attributedTotal integrates intensity*demand, which must reassemble the budget.
+func attributedTotal(intensity, demand *timeseries.Series) float64 {
+	total := 0.0
+	for i := range demand.Values {
+		total += intensity.Values[i] * demand.Values[i]
+	}
+	return total * float64(demand.Step)
+}
+
+func randomDemand(rng *rand.Rand, n int) *timeseries.Series {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64() * 96
+	}
+	// Guarantee nonzero total demand.
+	values[rng.Intn(n)] += 1
+	return timeseries.New(0, 300, values)
+}
+
+func TestIntensitySignalConservesBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	demand := randomDemand(rng, 60)
+	cfg := Config{SplitRatios: []int{5, 4, 3}}
+	sig, err := IntensitySignal(demand, 1e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, attributedTotal(sig, demand), 1e6, 1e-3, "budget conservation")
+}
+
+func TestIntensitySignalSingleLevel(t *testing.T) {
+	// Two periods, peaks 1 and 3, equal resource-time per sample.
+	demand := timeseries.New(0, 1, []float64{1, 3})
+	sig, err := IntensitySignal(demand, 100, Config{SplitRatios: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak game with peaks (1,3): phi = (0.5, 2.5). q = (1, 3).
+	// Shares: 0.5*1 and 2.5*3 -> 0.5/8 and 7.5/8 of the budget.
+	// Intensities: (100*0.5/8)/1 = 6.25 and (100*7.5/8)/3 = 31.25.
+	approx(t, sig.Values[0], 6.25, 1e-9, "low-demand period intensity")
+	approx(t, sig.Values[1], 31.25, 1e-9, "high-demand period intensity")
+}
+
+func TestHigherDemandPeriodsGetHigherIntensity(t *testing.T) {
+	// Monotone demand should produce monotone non-decreasing intensity.
+	demand := timeseries.New(0, 1, []float64{1, 2, 4, 8})
+	sig, err := IntensitySignal(demand, 1000, Config{SplitRatios: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < sig.Len(); i++ {
+		if sig.Values[i] <= sig.Values[i-1] {
+			t.Errorf("intensity not increasing with demand: %v", sig.Values)
+		}
+	}
+}
+
+func TestNaiveBackendMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	demand := randomDemand(rng, 48)
+	closed, err := IntensitySignal(demand, 5000, Config{SplitRatios: []int{4, 4, 3}, Backend: ClosedForm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := IntensitySignal(demand, 5000, Config{SplitRatios: []int{4, 4, 3}, Backend: NaiveSubset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range closed.Values {
+		approx(t, naive.Values[i], closed.Values[i], 1e-9, "backend equivalence")
+	}
+}
+
+func TestZeroDemandPeriodsGetZeroIntensity(t *testing.T) {
+	demand := timeseries.New(0, 1, []float64{0, 0, 5, 5})
+	sig, err := IntensitySignal(demand, 100, Config{SplitRatios: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Values[0] != 0 || sig.Values[1] != 0 {
+		t.Errorf("zero-demand samples should carry zero intensity: %v", sig.Values)
+	}
+	approx(t, attributedTotal(sig, demand), 100, 1e-9, "budget still conserved")
+}
+
+func TestIntensitySignalErrors(t *testing.T) {
+	demand := timeseries.New(0, 1, []float64{1, 2, 3, 4})
+	cases := map[string]func() error{
+		"nil demand": func() error {
+			_, err := IntensitySignal(nil, 1, Config{SplitRatios: []int{1}})
+			return err
+		},
+		"negative budget": func() error {
+			_, err := IntensitySignal(demand, -1, Config{SplitRatios: []int{4}})
+			return err
+		},
+		"bad split product": func() error {
+			_, err := IntensitySignal(demand, 1, Config{SplitRatios: []int{3}})
+			return err
+		},
+		"zero split": func() error {
+			_, err := IntensitySignal(demand, 1, Config{SplitRatios: []int{0, 4}})
+			return err
+		},
+		"negative demand": func() error {
+			bad := timeseries.New(0, 1, []float64{1, -2})
+			_, err := IntensitySignal(bad, 1, Config{SplitRatios: []int{2}})
+			return err
+		},
+		"zero demand": func() error {
+			zero := timeseries.New(0, 1, []float64{0, 0})
+			_, err := IntensitySignal(zero, 1, Config{SplitRatios: []int{2}})
+			return err
+		},
+		"naive too wide": func() error {
+			wide := timeseries.Zeros(0, 1, 1<<25)
+			_, err := IntensitySignal(wide, 1, Config{SplitRatios: []int{1 << 25}, Backend: NaiveSubset})
+			return err
+		},
+	}
+	for name, fn := range cases {
+		if fn() == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBudgetConservationProperty(t *testing.T) {
+	f := func(seed int64, rawBudget float64) bool {
+		budget := math.Mod(math.Abs(rawBudget), 1e9)
+		if math.IsNaN(budget) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		demand := randomDemand(rng, 24)
+		sig, err := IntensitySignal(demand, units.GramsCO2e(budget), Config{SplitRatios: []int{4, 3, 2}})
+		if err != nil {
+			return false
+		}
+		got := attributedTotal(sig, demand)
+		return math.Abs(got-budget) <= 1e-6*(1+budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperSplitsOnThirtyDayTrace(t *testing.T) {
+	// The paper's Figure 4 walkthrough: 30 days of 5-minute samples under
+	// splits 10*9*8*12 = 8640.
+	splits := PaperSplits()
+	product := 1
+	for _, m := range splits {
+		product *= m
+	}
+	if product != 8640 {
+		t.Fatalf("paper splits multiply to %d, want 8640", product)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Diurnal demand: base + sine + noise.
+	values := make([]float64, 8640)
+	for i := range values {
+		tod := float64(i%288) / 288
+		values[i] = 1000 + 400*math.Sin(2*math.Pi*tod) + rng.Float64()*50
+	}
+	demand := timeseries.New(0, 300, values)
+	sig, err := IntensitySignal(demand, 1e7, Config{SplitRatios: splits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, attributedTotal(sig, demand), 1e7, 1e-1, "30-day budget conservation")
+	// Intensity at peak-demand times should exceed intensity at troughs.
+	peakIdx, troughIdx := 72, 216 // sin max at 6h, min at 18h of each day
+	if sig.Values[peakIdx] <= sig.Values[troughIdx] {
+		t.Errorf("peak intensity %v should exceed trough %v", sig.Values[peakIdx], sig.Values[troughIdx])
+	}
+}
+
+func TestAttributeUsage(t *testing.T) {
+	demand := timeseries.New(0, 1, []float64{2, 4})
+	sig, err := IntensitySignal(demand, 60, Config{SplitRatios: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full demand must be attributed the full budget.
+	got, err := AttributeUsage(sig, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 60, 1e-9, "full usage gets full budget")
+
+	// A workload using half the demand at each instant gets half.
+	half := demand.Scale(0.5)
+	got, err = AttributeUsage(sig, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 30, 1e-9, "half usage gets half budget")
+}
+
+func TestAttributeUsageErrors(t *testing.T) {
+	a := timeseries.New(0, 1, []float64{1})
+	b := timeseries.New(5, 1, []float64{1})
+	if _, err := AttributeUsage(nil, a); err == nil {
+		t.Error("nil intensity")
+	}
+	if _, err := AttributeUsage(a, nil); err == nil {
+		t.Error("nil usage")
+	}
+	if _, err := AttributeUsage(a, b); err == nil {
+		t.Error("misaligned series")
+	}
+}
+
+func TestFlatIntensity(t *testing.T) {
+	demand := timeseries.New(0, 2, []float64{1, 3})
+	sig, err := FlatIntensity(demand, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total resource-time = (1+3)*2 = 8; rate = 10 everywhere.
+	approx(t, sig.Values[0], 10, 1e-12, "flat rate")
+	approx(t, sig.Values[1], 10, 1e-12, "flat rate")
+	approx(t, attributedTotal(sig, demand), 80, 1e-9, "flat conservation")
+	if _, err := FlatIntensity(timeseries.Zeros(0, 1, 3), 1); err == nil {
+		t.Error("zero demand should error")
+	}
+	if _, err := FlatIntensity(nil, 1); err == nil {
+		t.Error("nil demand should error")
+	}
+}
+
+func TestDemandProportionalIntensity(t *testing.T) {
+	demand := timeseries.New(0, 1, []float64{1, 3})
+	sig, err := DemandProportionalIntensity(demand, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intensity ratio equals demand ratio.
+	approx(t, sig.Values[1]/sig.Values[0], 3, 1e-9, "proportionality")
+	approx(t, attributedTotal(sig, demand), 100, 1e-9, "conservation")
+	if _, err := DemandProportionalIntensity(timeseries.Zeros(0, 1, 2), 1); err == nil {
+		t.Error("zero demand should error")
+	}
+	if _, err := DemandProportionalIntensity(nil, 1); err == nil {
+		t.Error("nil demand should error")
+	}
+	bad := timeseries.New(0, 1, []float64{1, -1})
+	if _, err := DemandProportionalIntensity(bad, 1); err == nil {
+		t.Error("negative demand should error")
+	}
+}
+
+func TestLongRunningOverAttribution(t *testing.T) {
+	// Reproduces the §5.1 theoretical-limits analysis: K short workloads
+	// all land in the first interval with peak 1; the remaining intervals
+	// carry only long-running workloads at peak P << 1. Temporal Shapley
+	// attributes the long workloads extra carbon relative to a uniform
+	// per-workload split.
+	const m = 10  // intervals
+	const p = 0.1 // long-running demand level
+	values := make([]float64, m)
+	values[0] = 1
+	for i := 1; i < m; i++ {
+		values[i] = p
+	}
+	demand := timeseries.New(0, 1, values)
+	sig, err := IntensitySignal(demand, 1, Config{SplitRatios: []int{m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-running usage: p across every interval.
+	longUsage := timeseries.New(0, 1, make([]float64, m))
+	for i := range longUsage.Values {
+		longUsage.Values[i] = p
+	}
+	longShare, err := AttributeUsage(sig, longUsage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth (workloads as players): interval 0 is always the peak
+	// interval, so the peak game is additive in interval-0 demand. The
+	// long-running workloads' fair share is their interval-0 demand, p.
+	// Temporal Shapley must over-attribute them (the §5.1 limitation) and
+	// consequently under-attribute the short-lived ones.
+	if float64(longShare) <= p {
+		t.Errorf("temporal share %v should exceed ground-truth share %v for span-everything workloads", longShare, p)
+	}
+	shortUsage := timeseries.New(0, 1, make([]float64, m))
+	shortUsage.Values[0] = 1 - p
+	shortShare, err := AttributeUsage(sig, shortUsage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(shortShare) >= 1-p {
+		t.Errorf("temporal share %v should fall below ground-truth share %v for short-lived workloads", shortShare, 1-p)
+	}
+	// Efficiency: the two groups together still receive the full budget.
+	approx(t, float64(longShare+shortShare), 1, 1e-9, "group shares sum to budget")
+}
+
+func TestComplexityEstimates(t *testing.T) {
+	splits := PaperSplits()
+	naive := NaiveOps(splits)
+	closed := ClosedFormOps(splits)
+	if closed >= naive {
+		t.Errorf("closed form ops %v should be far below naive %v", closed, naive)
+	}
+	// Eq. 6 for {10,9,8,12}: 2^10*10 + 2^9*90 + 2^8*720 + 2^12*8640.
+	want := 1024.0*10 + 512*90 + 256*720 + 4096*8640
+	approx(t, naive, want, 1, "Eq. 6 evaluation")
+	// Ground truth for the Azure trace's ~2M VMs is astronomically larger.
+	if !(GroundTruthOps(1000) > naive) {
+		t.Error("ground truth ops should dwarf temporal ops")
+	}
+	if GroundTruthOps(2) != 4 {
+		t.Error("2^2 = 4")
+	}
+}

@@ -1,0 +1,117 @@
+// Package textplot renders time series as terminal graphics — sparklines
+// and axis-labelled ASCII line charts — so the cmd/ harnesses can show the
+// shapes of the paper's figures (intensity signals, duck curves, savings
+// timelines) directly in the terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkGlyphs are the eight block-element levels of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line sparkline, downsampling by
+// mean to at most width glyphs (width <= 0 uses 80).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 80
+	}
+	binned := binMeans(values, width)
+	lo, hi := minMax(binned)
+	var b strings.Builder
+	for _, v := range binned {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// Chart renders values as a multi-row ASCII chart with a y-axis. height
+// is the number of plot rows (<= 0 uses 8); width as in Sparkline.
+func Chart(values []float64, width, height int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 8
+	}
+	binned := binMeans(values, width)
+	lo, hi := minMax(binned)
+	if hi == lo {
+		hi = lo + 1
+	}
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", len(binned)))
+	}
+	for c, v := range binned {
+		level := int((v - lo) / (hi - lo) * float64(height-1))
+		rows[height-1-level][c] = '*'
+	}
+	var b strings.Builder
+	for r, row := range rows {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", lo)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, row)
+	}
+	return b.String()
+}
+
+// binMeans reduces values to at most width bins by averaging.
+func binMeans(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func minMax(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

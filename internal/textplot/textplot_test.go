@@ -1,0 +1,82 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should yield empty output")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("got %d glyphs", utf8.RuneCountInString(s))
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[7] != '█' {
+		t.Errorf("monotone input should span the glyph range: %q", s)
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i % 100)
+	}
+	s := Sparkline(values, 40)
+	if utf8.RuneCountInString(s) != 40 {
+		t.Fatalf("got %d glyphs, want 40", utf8.RuneCountInString(s))
+	}
+	// Default width.
+	if got := utf8.RuneCountInString(Sparkline(values, 0)); got != 80 {
+		t.Fatalf("default width gave %d glyphs", got)
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range s {
+		if r != '▁' {
+			t.Errorf("constant input should render flat: %q", s)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	values := []float64{0, 10, 20, 30, 20, 10, 0}
+	out := Chart(values, 7, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d rows", len(lines))
+	}
+	if !strings.Contains(lines[0], "30") {
+		t.Errorf("top row should carry the max label: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0") {
+		t.Errorf("bottom row should carry the min label: %q", lines[3])
+	}
+	stars := strings.Count(out, "*")
+	if stars != 7 {
+		t.Errorf("each column should have one mark, got %d", stars)
+	}
+	if Chart(nil, 10, 4) != "" {
+		t.Error("empty input")
+	}
+	// Constant input must not divide by zero.
+	if out := Chart([]float64{3, 3}, 2, 3); !strings.Contains(out, "*") {
+		t.Error("constant chart should still mark values")
+	}
+}
+
+func TestChartDefaults(t *testing.T) {
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	out := Chart(values, 0, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("default height gave %d rows", len(lines))
+	}
+}

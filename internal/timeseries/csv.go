@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fairco2/internal/units"
+)
+
+// WriteCSV writes the series as "timestamp_seconds,value" rows with a
+// header, compatible with the paper artifact's azure-time-series.csv shape.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp_seconds", "value"}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		rec := []string{
+			strconv.FormatFloat(float64(s.TimeAt(i)), 'f', -1, 64),
+			strconv.FormatFloat(v, 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series written by WriteCSV. The sampling step is inferred
+// from the first two rows and must be uniform.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: reading csv: %w", err)
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("timeseries: csv needs a header and at least two rows, got %d records", len(records))
+	}
+	rows := records[1:]
+	times := make([]float64, len(rows))
+	values := make([]float64, len(rows))
+	for i, rec := range rows {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("timeseries: row %d has %d fields, want 2", i+2, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d timestamp: %w", i+2, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d value: %w", i+2, err)
+		}
+		times[i], values[i] = t, v
+	}
+	step := times[1] - times[0]
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-increasing timestamps (step %v)", step)
+	}
+	const tol = 1e-6
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d < step-tol || d > step+tol {
+			return nil, fmt.Errorf("timeseries: non-uniform step at row %d (%v vs %v)", i+2, d, step)
+		}
+	}
+	return New(units.Seconds(times[0]), units.Seconds(step), values), nil
+}

@@ -1,0 +1,34 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures the trace parser never panics and that everything it
+// accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("timestamp_seconds,value\n0,1\n300,2\n600,3\n")
+	f.Add("timestamp_seconds,value\n0,1.5\n1,2.5\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("timestamp_seconds,value\n0,1\n300,2\n601,3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted series failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != s.Len() || back.Start != s.Start || back.Step != s.Step {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package timeseries implements the uniformly-sampled time series type used
+// for datacenter resource demand, power draw, and carbon-intensity signals.
+// A Series is a start time (seconds from the experiment epoch), a fixed
+// sampling step, and a slice of values; each value covers the half-open
+// interval [t, t+step).
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fairco2/internal/units"
+)
+
+// Series is a uniformly-sampled time series.
+type Series struct {
+	Start  units.Seconds // timestamp of the first sample
+	Step   units.Seconds // sampling interval, > 0
+	Values []float64
+}
+
+// New creates a series with the given start, step and values. It panics when
+// step <= 0, which is a programming error.
+func New(start, step units.Seconds, values []float64) *Series {
+	if step <= 0 {
+		panic("timeseries: step must be positive")
+	}
+	return &Series{Start: start, Step: step, Values: values}
+}
+
+// Zeros creates a zero-valued series of n samples.
+func Zeros(start, step units.Seconds, n int) *Series {
+	return New(start, step, make([]float64, n))
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// End returns the timestamp one step past the last sample.
+func (s *Series) End() units.Seconds {
+	return s.Start + units.Seconds(float64(s.Step)*float64(len(s.Values)))
+}
+
+// Duration returns the total covered duration.
+func (s *Series) Duration() units.Seconds { return s.End() - s.Start }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) units.Seconds {
+	return s.Start + units.Seconds(float64(s.Step)*float64(i))
+}
+
+// IndexOf returns the sample index covering time t, clamped to the valid
+// range, and whether t was inside the series.
+func (s *Series) IndexOf(t units.Seconds) (int, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	idx := int(math.Floor(float64(t-s.Start) / float64(s.Step)))
+	inside := idx >= 0 && idx < len(s.Values)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.Values) {
+		idx = len(s.Values) - 1
+	}
+	return idx, inside
+}
+
+// At returns the value covering time t, clamping outside the range to the
+// first or last sample. An empty series yields 0.
+func (s *Series) At(t units.Seconds) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	idx, _ := s.IndexOf(t)
+	return s.Values[idx]
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return New(s.Start, s.Step, append([]float64(nil), s.Values...))
+}
+
+// Peak returns the maximum value, or 0 for an empty series. Datacenter
+// demand is non-negative, so 0 is the natural identity.
+func (s *Series) Peak() float64 {
+	peak := 0.0
+	for _, v := range s.Values {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// PeakBetween returns the maximum value over samples covering [from, to).
+func (s *Series) PeakBetween(from, to units.Seconds) float64 {
+	peak := 0.0
+	for i, v := range s.Values {
+		t := s.TimeAt(i)
+		if t+s.Step <= from || t >= to {
+			continue
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Integral returns the time integral of the series (value x seconds), i.e.
+// resource-time when values are resource quantities.
+func (s *Series) Integral() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum * float64(s.Step)
+}
+
+// IntegralBetween returns the time integral over samples covering [from, to).
+// Partial overlap of the first and last samples is accounted for exactly.
+func (s *Series) IntegralBetween(from, to units.Seconds) float64 {
+	sum := 0.0
+	for i, v := range s.Values {
+		t0 := s.TimeAt(i)
+		t1 := t0 + s.Step
+		lo, hi := t0, t1
+		if from > lo {
+			lo = from
+		}
+		if to < hi {
+			hi = to
+		}
+		if hi > lo {
+			sum += v * float64(hi-lo)
+		}
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of the values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Slice returns the sub-series covering sample indices [i, j).
+func (s *Series) Slice(i, j int) (*Series, error) {
+	if i < 0 || j > len(s.Values) || i > j {
+		return nil, fmt.Errorf("timeseries: slice [%d, %d) out of range for %d samples", i, j, len(s.Values))
+	}
+	return New(s.TimeAt(i), s.Step, append([]float64(nil), s.Values[i:j]...)), nil
+}
+
+// Head returns the first n samples as a new series.
+func (s *Series) Head(n int) (*Series, error) { return s.Slice(0, n) }
+
+// Tail returns the last n samples as a new series.
+func (s *Series) Tail(n int) (*Series, error) { return s.Slice(len(s.Values)-n, len(s.Values)) }
+
+// Downsample aggregates groups of factor consecutive samples into one using
+// agg ("mean", "max" or "sum"). The length must be divisible by factor.
+func (s *Series) Downsample(factor int, agg Aggregation) (*Series, error) {
+	if factor < 1 {
+		return nil, errors.New("timeseries: downsample factor must be >= 1")
+	}
+	if len(s.Values)%factor != 0 {
+		return nil, fmt.Errorf("timeseries: length %d not divisible by factor %d", len(s.Values), factor)
+	}
+	n := len(s.Values) / factor
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		chunk := s.Values[i*factor : (i+1)*factor]
+		switch agg {
+		case AggMean:
+			sum := 0.0
+			for _, v := range chunk {
+				sum += v
+			}
+			out[i] = sum / float64(factor)
+		case AggMax:
+			m := chunk[0]
+			for _, v := range chunk[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			out[i] = m
+		case AggSum:
+			sum := 0.0
+			for _, v := range chunk {
+				sum += v
+			}
+			out[i] = sum
+		default:
+			return nil, fmt.Errorf("timeseries: unknown aggregation %q", agg)
+		}
+	}
+	return New(s.Start, units.Seconds(float64(s.Step)*float64(factor)), out), nil
+}
+
+// Aggregation selects how Downsample combines samples.
+type Aggregation string
+
+// Supported aggregations.
+const (
+	AggMean Aggregation = "mean"
+	AggMax  Aggregation = "max"
+	AggSum  Aggregation = "sum"
+)
+
+// Add returns a new series s + o. The two series must be aligned (same
+// start, step, and length).
+func (s *Series) Add(o *Series) (*Series, error) {
+	if err := s.checkAligned(o); err != nil {
+		return nil, err
+	}
+	out := s.Clone()
+	for i, v := range o.Values {
+		out.Values[i] += v
+	}
+	return out, nil
+}
+
+// Scale returns a new series with every value multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] *= f
+	}
+	return out
+}
+
+func (s *Series) checkAligned(o *Series) error {
+	if s.Start != o.Start || s.Step != o.Step || len(s.Values) != len(o.Values) {
+		return fmt.Errorf("timeseries: series not aligned (start %v/%v step %v/%v len %d/%d)",
+			s.Start, o.Start, s.Step, o.Step, len(s.Values), len(o.Values))
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestBasics(t *testing.T) {
+	s := New(100, 10, []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.End() != 130 {
+		t.Errorf("End = %v", s.End())
+	}
+	if s.Duration() != 30 {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	if s.TimeAt(2) != 120 {
+		t.Errorf("TimeAt(2) = %v", s.TimeAt(2))
+	}
+}
+
+func TestNewPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for step <= 0")
+		}
+	}()
+	New(0, 0, nil)
+}
+
+func TestIndexOfAndAt(t *testing.T) {
+	s := New(100, 10, []float64{1, 2, 3})
+	idx, in := s.IndexOf(105)
+	if idx != 0 || !in {
+		t.Errorf("IndexOf(105) = %d,%v", idx, in)
+	}
+	idx, in = s.IndexOf(120)
+	if idx != 2 || !in {
+		t.Errorf("IndexOf(120) = %d,%v", idx, in)
+	}
+	idx, in = s.IndexOf(99)
+	if idx != 0 || in {
+		t.Errorf("IndexOf(99) = %d,%v, want clamp to 0, outside", idx, in)
+	}
+	idx, in = s.IndexOf(1e9)
+	if idx != 2 || in {
+		t.Errorf("IndexOf(big) = %d,%v, want clamp to 2, outside", idx, in)
+	}
+	if s.At(115) != 2 {
+		t.Errorf("At(115) = %v", s.At(115))
+	}
+	if s.At(-5) != 1 || s.At(1e9) != 3 {
+		t.Error("At should clamp out-of-range times")
+	}
+	empty := Zeros(0, 1, 0)
+	if empty.At(5) != 0 {
+		t.Error("At on empty series should be 0")
+	}
+	if _, in := empty.IndexOf(0); in {
+		t.Error("IndexOf on empty series should report outside")
+	}
+}
+
+func TestPeakAndIntegral(t *testing.T) {
+	s := New(0, 5, []float64{2, 8, 4, 8, 1})
+	approx(t, s.Peak(), 8, 0, "Peak")
+	approx(t, s.Integral(), 23*5, 1e-12, "Integral")
+	approx(t, s.Mean(), 23.0/5, 1e-12, "Mean")
+	approx(t, s.PeakBetween(0, 5), 2, 0, "PeakBetween first")
+	approx(t, s.PeakBetween(10, 20), 8, 0, "PeakBetween mid")
+	approx(t, s.PeakBetween(20, 25), 1, 0, "PeakBetween last")
+	approx(t, s.PeakBetween(100, 200), 0, 0, "PeakBetween outside")
+}
+
+func TestIntegralBetweenPartialOverlap(t *testing.T) {
+	s := New(0, 10, []float64{3, 5})
+	// [5, 15) covers half of sample 0 and half of sample 1.
+	approx(t, s.IntegralBetween(5, 15), 3*5+5*5, 1e-12, "IntegralBetween")
+	approx(t, s.IntegralBetween(0, 20), s.Integral(), 1e-12, "full range")
+	approx(t, s.IntegralBetween(-10, 0), 0, 0, "before range")
+}
+
+func TestSliceHeadTail(t *testing.T) {
+	s := New(0, 2, []float64{0, 1, 2, 3, 4})
+	mid, err := s.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Start != 2 || mid.Len() != 3 || mid.Values[0] != 1 {
+		t.Errorf("Slice = %+v", mid)
+	}
+	// Mutating the slice must not affect the parent.
+	mid.Values[0] = 99
+	if s.Values[1] == 99 {
+		t.Error("Slice aliases parent storage")
+	}
+	h, err := s.Head(2)
+	if err != nil || h.Len() != 2 || h.Values[1] != 1 {
+		t.Errorf("Head = %+v err=%v", h, err)
+	}
+	tl, err := s.Tail(2)
+	if err != nil || tl.Len() != 2 || tl.Values[0] != 3 || tl.Start != 6 {
+		t.Errorf("Tail = %+v err=%v", tl, err)
+	}
+	if _, err := s.Slice(3, 2); err == nil {
+		t.Error("expected error for inverted slice")
+	}
+	if _, err := s.Slice(0, 99); err == nil {
+		t.Error("expected error for out-of-range slice")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := New(0, 1, []float64{1, 3, 2, 6, 5, 7})
+	mean, err := s.Downsample(2, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := []float64{2, 4, 6}
+	for i := range wantMean {
+		approx(t, mean.Values[i], wantMean[i], 1e-12, "mean downsample")
+	}
+	if mean.Step != 2 {
+		t.Errorf("Step = %v, want 2", mean.Step)
+	}
+	max, err := s.Downsample(3, AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Values[0] != 3 || max.Values[1] != 7 {
+		t.Errorf("max downsample = %v", max.Values)
+	}
+	sum, err := s.Downsample(6, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum.Values[0], 24, 1e-12, "sum downsample")
+
+	if _, err := s.Downsample(4, AggMean); err == nil {
+		t.Error("expected error for non-divisible factor")
+	}
+	if _, err := s.Downsample(0, AggMean); err == nil {
+		t.Error("expected error for factor 0")
+	}
+	if _, err := s.Downsample(2, "median"); err == nil {
+		t.Error("expected error for unknown aggregation")
+	}
+}
+
+func TestDownsampleMaxPreservesPeak(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Abs(v))
+			}
+		}
+		for len(vals)%4 != 0 {
+			vals = append(vals, 0)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := New(0, 1, vals)
+		d, err := s.Downsample(4, AggMax)
+		if err != nil {
+			return false
+		}
+		return d.Peak() == s.Peak()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := New(0, 1, []float64{1, 2})
+	b := New(0, 1, []float64{10, 20})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Values[0] != 11 || sum.Values[1] != 22 {
+		t.Errorf("Add = %v", sum.Values)
+	}
+	if a.Values[0] != 1 {
+		t.Error("Add mutated receiver")
+	}
+	sc := a.Scale(3)
+	if sc.Values[1] != 6 || a.Values[1] != 2 {
+		t.Errorf("Scale = %v", sc.Values)
+	}
+	mis := New(5, 1, []float64{1, 2})
+	if _, err := a.Add(mis); err == nil {
+		t.Error("expected alignment error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New(300, 300, []float64{1.5, 2.25, 3})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start != s.Start || got.Step != s.Step || got.Len() != s.Len() {
+		t.Fatalf("round trip changed shape: %+v", got)
+	}
+	for i := range s.Values {
+		approx(t, got.Values[i], s.Values[i], 0, "value")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too short":     "timestamp_seconds,value\n0,1\n",
+		"bad timestamp": "timestamp_seconds,value\nx,1\n10,2\n",
+		"bad value":     "timestamp_seconds,value\n0,x\n10,2\n",
+		"non-uniform":   "timestamp_seconds,value\n0,1\n10,2\n25,3\n",
+		"non-positive":  "timestamp_seconds,value\n10,1\n10,2\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnitsIntegration(t *testing.T) {
+	// One day of 5-minute samples: 288 values.
+	s := Zeros(0, 5*60, 288)
+	if s.Duration() != units.Seconds(units.SecondsPerDay) {
+		t.Errorf("Duration = %v, want 1 day", s.Duration())
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+func TestGenerateAzureLikeShape(t *testing.T) {
+	cfg := DefaultAzureLikeConfig()
+	s, err := GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 30*288 {
+		t.Fatalf("Len = %d, want 8640 (30 days of 5-minute samples)", s.Len())
+	}
+	for i, v := range s.Values {
+		if v <= 0 {
+			t.Fatalf("non-positive demand %v at sample %d", v, i)
+		}
+	}
+	// Mean near the configured base (trend raises it slightly).
+	mean := s.Mean()
+	if mean < cfg.BaseCores*0.9 || mean > cfg.BaseCores*1.25 {
+		t.Errorf("mean %v far from base %v", mean, cfg.BaseCores)
+	}
+}
+
+func TestGenerateAzureLikeDiurnalStructure(t *testing.T) {
+	cfg := DefaultAzureLikeConfig()
+	cfg.NoiseStd = 0 // isolate the deterministic shape
+	s, err := GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDay := 288
+	// Afternoon (15:00) demand should exceed pre-dawn (04:00) on the
+	// same day, every day.
+	for day := 0; day < 30; day++ {
+		afternoon := s.Values[day*perDay+15*12]
+		predawn := s.Values[day*perDay+4*12]
+		if afternoon <= predawn {
+			t.Fatalf("day %d: afternoon %v <= predawn %v", day, afternoon, predawn)
+		}
+	}
+}
+
+func TestGenerateAzureLikeTrend(t *testing.T) {
+	cfg := DefaultAzureLikeConfig()
+	cfg.NoiseStd = 0
+	s, err := GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstWeek, err := s.Head(7 * 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastWeek, err := s.Tail(7 * 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastWeek.Mean() <= firstWeek.Mean() {
+		t.Error("growth trend missing")
+	}
+}
+
+func TestGenerateAzureLikeDeterministic(t *testing.T) {
+	a, err := GenerateAzureLike(DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateAzureLike(DefaultAzureLikeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+	cfg := DefaultAzureLikeConfig()
+	cfg.Seed = 2
+	c, err := GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateAzureLikeErrors(t *testing.T) {
+	bad := []func(*AzureLikeConfig){
+		func(c *AzureLikeConfig) { c.Days = 0 },
+		func(c *AzureLikeConfig) { c.Step = 0 },
+		func(c *AzureLikeConfig) { c.BaseCores = 0 },
+		func(c *AzureLikeConfig) { c.DiurnalAmplitude = -1 },
+		func(c *AzureLikeConfig) { c.NoiseAR = 1 },
+		func(c *AzureLikeConfig) { c.NoiseAR = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultAzureLikeConfig()
+		mutate(&cfg)
+		if _, err := GenerateAzureLike(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSampleLifetimesMixture(t *testing.T) {
+	cfg := DefaultLifetimeConfig()
+	rng := rand.New(rand.NewSource(1))
+	lifetimes, err := SampleLifetimes(cfg, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := 0
+	var sum float64
+	for _, lt := range lifetimes {
+		if lt < 0 {
+			t.Fatal("negative lifetime")
+		}
+		if lt < units.Seconds(2*3600) {
+			short++
+		}
+		sum += float64(lt)
+	}
+	// Roughly 90% of VMs are short-lived (under 2 h).
+	frac := float64(short) / float64(len(lifetimes))
+	if math.Abs(frac-0.9) > 0.05 {
+		t.Errorf("short fraction %v, want ~0.9", frac)
+	}
+	// The long tail dominates the mean: it must far exceed ShortMean.
+	mean := sum / float64(len(lifetimes))
+	if mean < 10*float64(cfg.ShortMean) {
+		t.Errorf("mean lifetime %v lacks the long tail", mean)
+	}
+}
+
+func TestSampleLifetimesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultLifetimeConfig()
+	if _, err := SampleLifetimes(cfg, 0, rng); err == nil {
+		t.Error("n=0")
+	}
+	if _, err := SampleLifetimes(cfg, 1, nil); err == nil {
+		t.Error("nil rng")
+	}
+	cfg.ShortFraction = 1.5
+	if _, err := SampleLifetimes(cfg, 1, rng); err == nil {
+		t.Error("bad fraction")
+	}
+	cfg = DefaultLifetimeConfig()
+	cfg.ShortMean = 0
+	if _, err := SampleLifetimes(cfg, 1, rng); err == nil {
+		t.Error("bad mean")
+	}
+}

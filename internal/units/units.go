@@ -1,0 +1,120 @@
+// Package units defines typed physical quantities used throughout Fair-CO2:
+// power, energy, carbon mass, carbon intensity, and resource-time. Using
+// distinct named types catches unit mix-ups (e.g. attributing joules as
+// grams of CO2e) at compile time while keeping arithmetic cheap — every
+// type is an underlying float64.
+package units
+
+import "fmt"
+
+// Watts is electrical power in watts.
+type Watts float64
+
+// Joules is energy in joules.
+type Joules float64
+
+// KilowattHours is energy in kilowatt-hours.
+type KilowattHours float64
+
+// GramsCO2e is a mass of carbon-dioxide equivalent emissions in grams.
+type GramsCO2e float64
+
+// KgCO2e is a mass of carbon-dioxide equivalent emissions in kilograms.
+type KgCO2e float64
+
+// CarbonIntensity is grid carbon intensity in gCO2e per kilowatt-hour,
+// the unit used by Electricity Maps and throughout the paper.
+type CarbonIntensity float64
+
+// CoreSeconds is CPU resource-time: one core allocated for one second.
+type CoreSeconds float64
+
+// GBSeconds is memory resource-time: one gigabyte allocated for one second.
+type GBSeconds float64
+
+// Gigabytes is a memory or storage capacity.
+type Gigabytes float64
+
+// Seconds is a duration in seconds. A plain float64 duration is used in the
+// simulators instead of time.Duration because experiment timescales span
+// from milliseconds (query latency) to years (hardware lifetime).
+type Seconds float64
+
+// JoulesPerKWh is the number of joules in one kilowatt-hour.
+const JoulesPerKWh = 3.6e6
+
+// SecondsPerHour is the number of seconds in one hour.
+const SecondsPerHour = 3600
+
+// SecondsPerDay is the number of seconds in one day.
+const SecondsPerDay = 86400
+
+// KWh converts joules to kilowatt-hours.
+func (j Joules) KWh() KilowattHours { return KilowattHours(float64(j) / JoulesPerKWh) }
+
+// Joules converts kilowatt-hours to joules.
+func (k KilowattHours) Joules() Joules { return Joules(float64(k) * JoulesPerKWh) }
+
+// Grams converts kilograms of CO2e to grams.
+func (k KgCO2e) Grams() GramsCO2e { return GramsCO2e(float64(k) * 1000) }
+
+// Kg converts grams of CO2e to kilograms.
+func (g GramsCO2e) Kg() KgCO2e { return KgCO2e(float64(g) / 1000) }
+
+// Energy returns the energy consumed by drawing power p for d seconds.
+func Energy(p Watts, d Seconds) Joules { return Joules(float64(p) * float64(d)) }
+
+// Emissions returns the operational carbon emitted by consuming energy e on
+// a grid with carbon intensity ci.
+func Emissions(e Joules, ci CarbonIntensity) GramsCO2e {
+	return GramsCO2e(float64(e.KWh()) * float64(ci))
+}
+
+// String implements fmt.Stringer with a compact human-readable format.
+func (w Watts) String() string { return fmt.Sprintf("%.2f W", float64(w)) }
+
+// String implements fmt.Stringer.
+func (j Joules) String() string {
+	v := float64(j)
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f GJ", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MJ", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2f kJ", v/1e3)
+	}
+	return fmt.Sprintf("%.2f J", v)
+}
+
+// String implements fmt.Stringer.
+func (g GramsCO2e) String() string {
+	v := float64(g)
+	if v >= 1e6 {
+		return fmt.Sprintf("%.3f tCO2e", v/1e6)
+	}
+	if v >= 1e3 {
+		return fmt.Sprintf("%.3f kgCO2e", v/1e3)
+	}
+	return fmt.Sprintf("%.3f gCO2e", v)
+}
+
+// String implements fmt.Stringer.
+func (k KgCO2e) String() string { return k.Grams().String() }
+
+// String implements fmt.Stringer.
+func (c CarbonIntensity) String() string { return fmt.Sprintf("%.1f gCO2e/kWh", float64(c)) }
+
+// String implements fmt.Stringer.
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case v >= SecondsPerDay:
+		return fmt.Sprintf("%.2f d", v/SecondsPerDay)
+	case v >= SecondsPerHour:
+		return fmt.Sprintf("%.2f h", v/SecondsPerHour)
+	case v >= 60:
+		return fmt.Sprintf("%.2f min", v/60)
+	}
+	return fmt.Sprintf("%.2f s", v)
+}

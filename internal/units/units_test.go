@@ -1,0 +1,101 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func TestEnergyConversionRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		j := Joules(v)
+		return almostEqual(float64(j.KWh().Joules()), float64(j))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKWhDefinition(t *testing.T) {
+	if got := Joules(3.6e6).KWh(); got != 1 {
+		t.Fatalf("3.6 MJ = %v kWh, want 1", got)
+	}
+}
+
+func TestCarbonMassConversion(t *testing.T) {
+	if got := KgCO2e(1.5).Grams(); got != 1500 {
+		t.Fatalf("1.5 kg = %v g, want 1500", got)
+	}
+	if got := GramsCO2e(250).Kg(); got != 0.25 {
+		t.Fatalf("250 g = %v kg, want 0.25", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// 100 W for one hour is 0.1 kWh.
+	e := Energy(100, SecondsPerHour)
+	if got := float64(e.KWh()); !almostEqual(got, 0.1) {
+		t.Fatalf("100 W * 1 h = %v kWh, want 0.1", got)
+	}
+}
+
+func TestEmissions(t *testing.T) {
+	// 1 kWh at 400 gCO2e/kWh emits 400 g.
+	e := KilowattHours(1).Joules()
+	if got := Emissions(e, 400); !almostEqual(float64(got), 400) {
+		t.Fatalf("Emissions = %v, want 400", got)
+	}
+}
+
+func TestEmissionsLinearInEnergy(t *testing.T) {
+	f := func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), 1e12)
+		if math.IsNaN(v) {
+			return true
+		}
+		a := Emissions(Joules(v), 350)
+		b := Emissions(Joules(2*v), 350)
+		return almostEqual(float64(b), 2*float64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Watts(165).String(), "165.00 W"},
+		{Joules(2.5e9).String(), "2.50 GJ"},
+		{Joules(2.5e6).String(), "2.50 MJ"},
+		{Joules(2500).String(), "2.50 kJ"},
+		{Joules(2.5).String(), "2.50 J"},
+		{GramsCO2e(1.5e6).String(), "1.500 tCO2e"},
+		{GramsCO2e(1500).String(), "1.500 kgCO2e"},
+		{GramsCO2e(15).String(), "15.000 gCO2e"},
+		{KgCO2e(2).String(), "2.000 kgCO2e"},
+		{CarbonIntensity(90).String(), "90.0 gCO2e/kWh"},
+		{Seconds(90).String(), "1.50 min"},
+		{Seconds(7200).String(), "2.00 h"},
+		{Seconds(2 * SecondsPerDay).String(), "2.00 d"},
+		{Seconds(12).String(), "12.00 s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON ensures the characterization loader never panics and only
+// accepts structurally valid data.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if c, err := Characterize(Suite()); err == nil {
+		_ = c.WriteJSON(&seed)
+	}
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add("")
+	f.Add(`{"profiles": [{"name":"X"}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		n := len(c.Profiles)
+		if n == 0 || len(c.RuntimeFactor) != n || len(c.DynEnergyFactor) != n {
+			t.Fatal("accepted characterization is inconsistent")
+		}
+		for _, p := range c.Profiles {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("accepted invalid profile: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fairco2/internal/units"
+)
+
+// characterizationJSON is the serialized form of a Characterization — the
+// equivalent of the paper artifact's stored colocation results, letting an
+// expensive (in the paper: day-long) pairwise sweep be captured once and
+// reloaded by the Monte Carlo harnesses.
+type characterizationJSON struct {
+	Profiles        []profileJSON `json:"profiles"`
+	RuntimeFactor   [][]float64   `json:"runtime_factor"`
+	DynEnergyFactor [][]float64   `json:"dyn_energy_factor"`
+}
+
+type profileJSON struct {
+	Name             Name      `json:"name"`
+	Cores            int       `json:"cores"`
+	MemoryGB         float64   `json:"memory_gb"`
+	IsolatedRuntime  float64   `json:"isolated_runtime_s"`
+	IsolatedDynPower float64   `json:"isolated_dyn_power_w"`
+	Pressure         []float64 `json:"pressure"`
+	Sensitivity      []float64 `json:"sensitivity"`
+}
+
+// WriteJSON serializes the characterization.
+func (c *Characterization) WriteJSON(w io.Writer) error {
+	out := characterizationJSON{
+		RuntimeFactor:   c.RuntimeFactor,
+		DynEnergyFactor: c.DynEnergyFactor,
+	}
+	for _, p := range c.Profiles {
+		out.Profiles = append(out.Profiles, profileJSON{
+			Name:             p.Name,
+			Cores:            p.Cores,
+			MemoryGB:         float64(p.MemoryGB),
+			IsolatedRuntime:  float64(p.IsolatedRuntime),
+			IsolatedDynPower: float64(p.IsolatedDynPower),
+			Pressure:         p.Pressure[:],
+			Sensitivity:      p.Sensitivity[:],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a characterization written by WriteJSON and
+// validates its shape.
+func ReadJSON(r io.Reader) (*Characterization, error) {
+	var in characterizationJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding characterization: %w", err)
+	}
+	n := len(in.Profiles)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: characterization has no profiles")
+	}
+	c := &Characterization{
+		RuntimeFactor:   in.RuntimeFactor,
+		DynEnergyFactor: in.DynEnergyFactor,
+	}
+	for i, p := range in.Profiles {
+		prof := &Profile{
+			Name:             p.Name,
+			Cores:            p.Cores,
+			MemoryGB:         units.Gigabytes(p.MemoryGB),
+			IsolatedRuntime:  units.Seconds(p.IsolatedRuntime),
+			IsolatedDynPower: units.Watts(p.IsolatedDynPower),
+		}
+		if len(p.Pressure) != int(NumResources) || len(p.Sensitivity) != int(NumResources) {
+			return nil, fmt.Errorf("workload: profile %d has %d/%d resource dims, want %d",
+				i, len(p.Pressure), len(p.Sensitivity), NumResources)
+		}
+		copy(prof.Pressure[:], p.Pressure)
+		copy(prof.Sensitivity[:], p.Sensitivity)
+		if err := prof.Validate(); err != nil {
+			return nil, err
+		}
+		c.Profiles = append(c.Profiles, prof)
+	}
+	if len(c.RuntimeFactor) != n || len(c.DynEnergyFactor) != n {
+		return nil, fmt.Errorf("workload: matrix row count mismatch (%d profiles)", n)
+	}
+	for i := 0; i < n; i++ {
+		if len(c.RuntimeFactor[i]) != n || len(c.DynEnergyFactor[i]) != n {
+			return nil, fmt.Errorf("workload: matrix row %d has wrong width", i)
+		}
+		for j := 0; j < n; j++ {
+			if c.RuntimeFactor[i][j] < 1 || c.DynEnergyFactor[i][j] <= 0 {
+				return nil, fmt.Errorf("workload: implausible factor at [%d][%d]", i, j)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCharacterizationJSONRoundTrip(t *testing.T) {
+	orig, err := Characterize(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != len(orig.Profiles) {
+		t.Fatalf("profiles %d vs %d", len(got.Profiles), len(orig.Profiles))
+	}
+	for i := range orig.Profiles {
+		if got.Profiles[i].Name != orig.Profiles[i].Name {
+			t.Fatalf("profile %d name changed", i)
+		}
+		if got.Profiles[i].IsolatedRuntime != orig.Profiles[i].IsolatedRuntime {
+			t.Fatalf("profile %d runtime changed", i)
+		}
+		if got.Profiles[i].Pressure != orig.Profiles[i].Pressure {
+			t.Fatalf("profile %d pressure changed", i)
+		}
+		for j := range orig.Profiles {
+			if got.RuntimeFactor[i][j] != orig.RuntimeFactor[i][j] {
+				t.Fatalf("runtime factor [%d][%d] changed", i, j)
+			}
+			if got.DynEnergyFactor[i][j] != orig.DynEnergyFactor[i][j] {
+				t.Fatalf("energy factor [%d][%d] changed", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "{",
+		"no profiles": `{"profiles": [], "runtime_factor": [], "dyn_energy_factor": []}`,
+		"bad dims": `{"profiles": [{"name":"X","cores":1,"memory_gb":1,"isolated_runtime_s":1,
+			"isolated_dyn_power_w":1,"pressure":[0],"sensitivity":[0]}],
+			"runtime_factor": [[1]], "dyn_energy_factor": [[1]]}`,
+		"invalid profile": `{"profiles": [{"name":"X","cores":0,"memory_gb":1,"isolated_runtime_s":1,
+			"isolated_dyn_power_w":1,"pressure":[0,0,0,0],"sensitivity":[0,0,0,0]}],
+			"runtime_factor": [[1]], "dyn_energy_factor": [[1]]}`,
+		"missing matrix": `{"profiles": [{"name":"X","cores":1,"memory_gb":1,"isolated_runtime_s":1,
+			"isolated_dyn_power_w":1,"pressure":[0,0,0,0],"sensitivity":[0,0,0,0]}],
+			"runtime_factor": [], "dyn_energy_factor": []}`,
+		"ragged matrix": `{"profiles": [{"name":"X","cores":1,"memory_gb":1,"isolated_runtime_s":1,
+			"isolated_dyn_power_w":1,"pressure":[0,0,0,0],"sensitivity":[0,0,0,0]}],
+			"runtime_factor": [[]], "dyn_energy_factor": [[1]]}`,
+		"implausible factor": `{"profiles": [{"name":"X","cores":1,"memory_gb":1,"isolated_runtime_s":1,
+			"isolated_dyn_power_w":1,"pressure":[0,0,0,0],"sensitivity":[0,0,0,0]}],
+			"runtime_factor": [[0.5]], "dyn_energy_factor": [[1]]}`,
+	}
+	for name, data := range cases {
+		if _, err := ReadJSON(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

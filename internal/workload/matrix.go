@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"fairco2/internal/units"
+)
+
+// Characterization is the pairwise colocation profile of a workload suite —
+// the data the paper's Figure 2 reports and that Fair-CO2's
+// interference-aware adjustment (§5.2) consumes as "historical colocation
+// data". Matrices are indexed [victim][aggressor].
+type Characterization struct {
+	Profiles []*Profile
+
+	// RuntimeFactor[i][j] is workload i's runtime multiplier when
+	// colocated with workload j (1.0 means unaffected).
+	RuntimeFactor [][]float64
+	// DynEnergyFactor[i][j] is workload i's dynamic-energy multiplier
+	// when colocated with workload j.
+	DynEnergyFactor [][]float64
+}
+
+// Characterize runs the analytic interference model over every ordered
+// pair in the suite, reproducing the paper's pairwise colocation sweep
+// (all pairs, each workload on half a node).
+func Characterize(suite []*Profile) (*Characterization, error) {
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("workload: empty suite")
+	}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	n := len(suite)
+	c := &Characterization{
+		Profiles:        suite,
+		RuntimeFactor:   make([][]float64, n),
+		DynEnergyFactor: make([][]float64, n),
+	}
+	for i, victim := range suite {
+		c.RuntimeFactor[i] = make([]float64, n)
+		c.DynEnergyFactor[i] = make([]float64, n)
+		isoEnergy := float64(victim.IsolatedDynEnergy())
+		for j, aggressor := range suite {
+			c.RuntimeFactor[i][j] = Slowdown(victim, aggressor)
+			c.DynEnergyFactor[i][j] = float64(ColocatedDynEnergy(victim, aggressor)) / isoEnergy
+		}
+	}
+	return c, nil
+}
+
+// Index returns the suite position of the named workload.
+func (c *Characterization) Index(name Name) (int, error) {
+	for i, p := range c.Profiles {
+		if p.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: %q not in characterization", name)
+}
+
+// MeanSlowdownSuffered returns the average runtime factor of workload i
+// across all partners — the alpha term of Fair-CO2's attribution factor.
+func (c *Characterization) MeanSlowdownSuffered(i int) float64 {
+	return meanRow(c.RuntimeFactor, i)
+}
+
+// MeanSlowdownInflicted returns the average runtime factor workload i
+// causes in its partners — the beta term of Fair-CO2's attribution factor.
+func (c *Characterization) MeanSlowdownInflicted(i int) float64 {
+	return meanCol(c.RuntimeFactor, i)
+}
+
+// MeanEnergyFactorSuffered returns the average dynamic-energy multiplier
+// workload i experiences across partners.
+func (c *Characterization) MeanEnergyFactorSuffered(i int) float64 {
+	return meanRow(c.DynEnergyFactor, i)
+}
+
+// MeanEnergyFactorInflicted returns the average dynamic-energy multiplier
+// workload i causes in partners.
+func (c *Characterization) MeanEnergyFactorInflicted(i int) float64 {
+	return meanCol(c.DynEnergyFactor, i)
+}
+
+func meanRow(m [][]float64, i int) float64 {
+	sum := 0.0
+	for _, v := range m[i] {
+		sum += v
+	}
+	return sum / float64(len(m[i]))
+}
+
+func meanCol(m [][]float64, j int) float64 {
+	sum := 0.0
+	for i := range m {
+		sum += m[i][j]
+	}
+	return sum / float64(len(m))
+}
+
+// ColocatedRuntimeOf returns workload i's runtime when paired with j.
+func (c *Characterization) ColocatedRuntimeOf(i, j int) units.Seconds {
+	return units.Seconds(float64(c.Profiles[i].IsolatedRuntime) * c.RuntimeFactor[i][j])
+}
+
+// ColocatedDynEnergyOf returns workload i's dynamic energy when paired
+// with j.
+func (c *Characterization) ColocatedDynEnergyOf(i, j int) units.Joules {
+	return units.Joules(float64(c.Profiles[i].IsolatedDynEnergy()) * c.DynEnergyFactor[i][j])
+}
+
+// FormatMatrix renders one of the characterization matrices as the percent
+// increase over isolation, in the layout of the paper's Figure 2 heatmaps
+// (rows: victim, columns: aggressor).
+func FormatMatrix(profiles []*Profile, m [][]float64, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%% increase vs isolated; rows = victim, cols = aggressor)\n", title)
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, "%8s", truncate(string(p.Name), 7))
+	}
+	b.WriteByte('\n')
+	for i, p := range profiles {
+		fmt.Fprintf(&b, "%-8s", truncate(string(p.Name), 7))
+		for j := range profiles {
+			fmt.Fprintf(&b, "%7.1f%%", (m[i][j]-1)*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,43 @@
+package workload
+
+import "fairco2/internal/units"
+
+// Multi-tenant interference: the pairwise Bubble-Up model extends
+// additively to k-way colocation — pressures on each shared resource sum
+// across co-tenants. This supports the beyond-pairwise scenarios the
+// paper's evaluation leaves out (its colocations are pairs; production
+// nodes often host more).
+
+// SlowdownMulti returns the victim's runtime multiplier when colocated
+// with all the aggressors simultaneously (additive pressure).
+func SlowdownMulti(victim *Profile, aggressors []*Profile) float64 {
+	s := 1.0
+	for r := Resource(0); r < NumResources; r++ {
+		pressure := 0.0
+		for _, a := range aggressors {
+			pressure += a.Pressure[r]
+		}
+		s += victim.Sensitivity[r] * pressure
+	}
+	return s
+}
+
+// ColocatedRuntimeMulti returns the victim's runtime under k-way
+// colocation.
+func ColocatedRuntimeMulti(victim *Profile, aggressors []*Profile) units.Seconds {
+	return units.Seconds(float64(victim.IsolatedRuntime) * SlowdownMulti(victim, aggressors))
+}
+
+// ColocatedDynPowerMulti returns the victim's average dynamic power under
+// k-way colocation, with the same contention damping as the pairwise
+// model.
+func ColocatedDynPowerMulti(victim *Profile, aggressors []*Profile) units.Watts {
+	s := SlowdownMulti(victim, aggressors)
+	return units.Watts(float64(victim.IsolatedDynPower) / (1 + powerContentionDamping*(s-1)))
+}
+
+// ColocatedDynEnergyMulti returns the victim's dynamic energy for one
+// k-way colocated run.
+func ColocatedDynEnergyMulti(victim *Profile, aggressors []*Profile) units.Joules {
+	return units.Energy(ColocatedDynPowerMulti(victim, aggressors), ColocatedRuntimeMulti(victim, aggressors))
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlowdownMultiReducesToPairwise(t *testing.T) {
+	suite := Suite()
+	for _, victim := range suite {
+		for _, aggressor := range suite {
+			multi := SlowdownMulti(victim, []*Profile{aggressor})
+			pair := Slowdown(victim, aggressor)
+			if math.Abs(multi-pair) > 1e-12 {
+				t.Fatalf("%s|%s: multi %v != pairwise %v", victim.Name, aggressor.Name, multi, pair)
+			}
+		}
+	}
+}
+
+func TestSlowdownMultiMonotoneInAggressors(t *testing.T) {
+	byName := ByName()
+	victim := byName[SA]
+	one := SlowdownMulti(victim, []*Profile{byName[CH]})
+	two := SlowdownMulti(victim, []*Profile{byName[CH], byName[LLAMA]})
+	three := SlowdownMulti(victim, []*Profile{byName[CH], byName[LLAMA], byName[NBODY]})
+	if !(1 < one && one < two && two < three) {
+		t.Errorf("slowdown should grow with co-tenants: %v %v %v", one, two, three)
+	}
+}
+
+func TestSlowdownMultiNoAggressors(t *testing.T) {
+	victim := Suite()[0]
+	if got := SlowdownMulti(victim, nil); got != 1 {
+		t.Errorf("isolated slowdown = %v, want 1", got)
+	}
+	if got := ColocatedRuntimeMulti(victim, nil); got != victim.IsolatedRuntime {
+		t.Errorf("isolated runtime = %v", got)
+	}
+	if got := ColocatedDynPowerMulti(victim, nil); got != victim.IsolatedDynPower {
+		t.Errorf("isolated power = %v", got)
+	}
+}
+
+func TestMultiEnergyExceedsIsolated(t *testing.T) {
+	byName := ByName()
+	victim := byName[BFS]
+	aggressors := []*Profile{byName[CH], byName[SA], byName[LLAMA]}
+	iso := float64(victim.IsolatedDynEnergy())
+	multi := float64(ColocatedDynEnergyMulti(victim, aggressors))
+	if multi <= iso {
+		t.Errorf("3-way colocated energy %v should exceed isolated %v", multi, iso)
+	}
+	// And exceed the worst pairwise case.
+	worstPair := 0.0
+	for _, a := range aggressors {
+		if e := float64(ColocatedDynEnergy(victim, a)); e > worstPair {
+			worstPair = e
+		}
+	}
+	if multi <= worstPair {
+		t.Errorf("3-way energy %v should exceed worst pairwise %v", multi, worstPair)
+	}
+}

@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 15 {
+		t.Fatalf("suite has %d workloads, want 15 (paper §6.2)", len(suite))
+	}
+	seen := map[Name]bool{}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Cores != HalfNodeCores || p.MemoryGB != HalfNodeMemoryGB {
+			t.Errorf("%s: allocation %d cores / %v GB, want half node", p.Name, p.Cores, p.MemoryGB)
+		}
+	}
+	for _, want := range []Name{DDUP, BFS, MSF, WC, SA, CH, NN, NBODY, PG10, PG50, PG100, H265, LLAMA, FAISS, SPARK} {
+		if !seen[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}
+
+func TestLookupAndByName(t *testing.T) {
+	p, err := Lookup(NBODY)
+	if err != nil || p.Name != NBODY {
+		t.Fatalf("Lookup(NBODY) = %v, %v", p, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup should fail for unknown workload")
+	}
+	m := ByName()
+	if len(m) != 15 || m[CH] == nil {
+		t.Error("ByName map incomplete")
+	}
+}
+
+func TestFigure2Calibration(t *testing.T) {
+	// Paper Figure 2: colocating NBODY and CH slows NBODY by ~87% and CH
+	// by only ~39% — the asymmetry motivating interference-aware
+	// attribution.
+	byName := ByName()
+	nbody, ch := byName[NBODY], byName[CH]
+	approx(t, Slowdown(nbody, ch), 1.87, 0.02, "NBODY slowdown with CH")
+	approx(t, Slowdown(ch, nbody), 1.39, 0.02, "CH slowdown with NBODY")
+}
+
+func TestCHIsDominantAggressor(t *testing.T) {
+	// "CH overall causes large runtime increases in its colocation
+	// partners, whereas NBODY has less of an effect."
+	c, err := Characterize(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chIdx, err := c.Index(CH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbodyIdx, err := c.Index(NBODY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chInflicted := c.MeanSlowdownInflicted(chIdx)
+	nbodyInflicted := c.MeanSlowdownInflicted(nbodyIdx)
+	if chInflicted <= nbodyInflicted {
+		t.Errorf("CH inflicted %v should exceed NBODY inflicted %v", chInflicted, nbodyInflicted)
+	}
+	// CH should be the heaviest or near-heaviest aggressor in the suite.
+	heavier := 0
+	for i := range c.Profiles {
+		if c.MeanSlowdownInflicted(i) > chInflicted {
+			heavier++
+		}
+	}
+	if heavier > 1 {
+		t.Errorf("%d workloads inflict more than CH; expected CH near the top", heavier)
+	}
+}
+
+func TestPGLoadScaling(t *testing.T) {
+	// PostgreSQL interference must grow with client count (Figure 2's
+	// three load scenarios).
+	byName := ByName()
+	probe := byName[SA]
+	s10 := Slowdown(probe, byName[PG10])
+	s50 := Slowdown(probe, byName[PG50])
+	s100 := Slowdown(probe, byName[PG100])
+	if !(s10 < s50 && s50 < s100) {
+		t.Errorf("PG pressure should scale with clients: %v %v %v", s10, s50, s100)
+	}
+	v10 := Slowdown(byName[PG10], probe)
+	v100 := Slowdown(byName[PG100], probe)
+	if v10 >= v100 {
+		t.Errorf("PG sensitivity should scale with clients: %v vs %v", v10, v100)
+	}
+}
+
+func TestSlowdownProperties(t *testing.T) {
+	suite := Suite()
+	for _, victim := range suite {
+		for _, aggressor := range suite {
+			s := Slowdown(victim, aggressor)
+			if s < 1 {
+				t.Fatalf("slowdown(%s|%s) = %v < 1", victim.Name, aggressor.Name, s)
+			}
+			if s > 3 {
+				t.Fatalf("slowdown(%s|%s) = %v implausibly large", victim.Name, aggressor.Name, s)
+			}
+		}
+	}
+}
+
+func TestColocationEnergyExceedsIsolated(t *testing.T) {
+	// Colocation must always cost net dynamic energy: power drops less
+	// than runtime grows.
+	suite := Suite()
+	for _, victim := range suite {
+		for _, aggressor := range suite {
+			iso := float64(victim.IsolatedDynEnergy())
+			coloc := float64(ColocatedDynEnergy(victim, aggressor))
+			if coloc < iso-1e-9 {
+				t.Fatalf("%s with %s: colocated energy %v below isolated %v", victim.Name, aggressor.Name, coloc, iso)
+			}
+			// Power must not increase under contention.
+			if ColocatedDynPower(victim, aggressor) > victim.IsolatedDynPower+1e-9 {
+				t.Fatalf("%s with %s: colocated power above isolated", victim.Name, aggressor.Name)
+			}
+		}
+	}
+}
+
+func TestColocatedRuntime(t *testing.T) {
+	byName := ByName()
+	nbody, ch := byName[NBODY], byName[CH]
+	got := ColocatedRuntime(nbody, ch)
+	want := float64(nbody.IsolatedRuntime) * Slowdown(nbody, ch)
+	approx(t, float64(got), want, 1e-9, "colocated runtime")
+}
+
+func TestCharacterizeMatrices(t *testing.T) {
+	suite := Suite()
+	c, err := Characterize(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(suite)
+	if len(c.RuntimeFactor) != n || len(c.DynEnergyFactor) != n {
+		t.Fatal("matrix shape mismatch")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if c.RuntimeFactor[i][j] < 1 {
+				t.Fatalf("runtime factor [%d][%d] < 1", i, j)
+			}
+			if c.DynEnergyFactor[i][j] < 1-1e-9 {
+				t.Fatalf("energy factor [%d][%d] < 1", i, j)
+			}
+		}
+	}
+	// Cross-check accessor consistency.
+	i, _ := c.Index(NBODY)
+	j, _ := c.Index(CH)
+	approx(t, float64(c.ColocatedRuntimeOf(i, j)),
+		float64(ColocatedRuntime(suite[i], suite[j])), 1e-9, "ColocatedRuntimeOf")
+	approx(t, float64(c.ColocatedDynEnergyOf(i, j)),
+		float64(ColocatedDynEnergy(suite[i], suite[j])), 1e-6, "ColocatedDynEnergyOf")
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize(nil); err == nil {
+		t.Error("empty suite should error")
+	}
+	bad := Suite()
+	bad[0].Cores = 0
+	if _, err := Characterize(bad); err == nil {
+		t.Error("invalid profile should error")
+	}
+	c, err := Characterize(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Index("nope"); err == nil {
+		t.Error("Index should fail for unknown workload")
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	c, err := Characterize(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Profiles {
+		if c.MeanSlowdownSuffered(i) < 1 || c.MeanSlowdownInflicted(i) < 1 {
+			t.Errorf("workload %d: mean slowdowns below 1", i)
+		}
+		if c.MeanEnergyFactorSuffered(i) < 1 || c.MeanEnergyFactorInflicted(i) < 1 {
+			t.Errorf("workload %d: mean energy factors below 1", i)
+		}
+	}
+}
+
+func TestFormatMatrix(t *testing.T) {
+	c, err := Characterize(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatMatrix(c.Profiles, c.RuntimeFactor, "Runtime increase")
+	if !strings.Contains(out, "NBODY") || !strings.Contains(out, "Runtime increase") {
+		t.Errorf("FormatMatrix output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(c.Profiles) {
+		t.Errorf("FormatMatrix has %d lines, want %d", len(lines), 2+len(c.Profiles))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Profile{Name: "x", Cores: 1, MemoryGB: 1, IsolatedRuntime: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	cases := []Profile{
+		{},
+		{Name: "x", Cores: 0, MemoryGB: 1, IsolatedRuntime: 1},
+		{Name: "x", Cores: 1, MemoryGB: 0, IsolatedRuntime: 1},
+		{Name: "x", Cores: 1, MemoryGB: 1, IsolatedRuntime: 0},
+		{Name: "x", Cores: 1, MemoryGB: 1, IsolatedRuntime: 1, IsolatedDynPower: -1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	neg := good
+	neg.Pressure[ResLLC] = -0.5
+	if err := neg.Validate(); err == nil {
+		t.Error("negative pressure should be rejected")
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if ResCPU.String() != "cpu" || ResLLC.String() != "llc" || ResMemBW.String() != "membw" || ResIO.String() != "io" {
+		t.Error("resource names")
+	}
+	if Resource(99).String() != "Resource(99)" {
+		t.Error("unknown resource formatting")
+	}
+}
+
+func TestIsolatedDynEnergy(t *testing.T) {
+	p := Profile{Name: "x", Cores: 1, MemoryGB: 1, IsolatedRuntime: 100, IsolatedDynPower: 50}
+	if got := p.IsolatedDynEnergy(); got != units.Joules(5000) {
+		t.Errorf("IsolatedDynEnergy = %v", got)
+	}
+}

@@ -1,0 +1,43 @@
+package fairco2
+
+import (
+	"fairco2/internal/carbon"
+	"fairco2/internal/sci"
+	"fairco2/internal/units"
+)
+
+// Hardware-modeling surface: ACT-style server construction and the SCI
+// baseline metric, re-exported for library consumers.
+
+type (
+	// ServerSpec describes a server for the ACT-style embodied-carbon
+	// builder.
+	ServerSpec = carbon.ServerSpec
+	// ProcessNode is a logic fabrication technology (e.g. carbon.Node7nm).
+	ProcessNode = carbon.ProcessNode
+	// FabLocation selects a fab's electricity carbon intensity.
+	FabLocation = carbon.FabLocation
+	// MemoryTech is a DRAM generation.
+	MemoryTech = carbon.MemoryTech
+	// SCIInput collects the Software Carbon Intensity formula's terms.
+	SCIInput = sci.Input
+	// SCIReport is an SCI score with its breakdown.
+	SCIReport = sci.Report
+)
+
+// BuildServer assembles a hardware carbon model from an ACT-style
+// specification (die area, process node, fab location, DRAM generation).
+func BuildServer(spec ServerSpec) (*Server, error) { return carbon.BuildServer(spec) }
+
+// SCI computes the Green Software Foundation's Software Carbon Intensity
+// score — the paper's embodied-attribution baseline. Use it to compare a
+// workload's SCI bill against its Fair-CO2 attribution.
+func SCI(in SCIInput) (SCIReport, error) { return sci.Compute(in) }
+
+// Table1 returns the paper's Table 1 component data.
+func Table1() []carbon.Table1Row { return carbon.Table1() }
+
+// EmissionsOf converts energy to operational carbon at a grid intensity.
+func EmissionsOf(energy units.Joules, ci CarbonIntensity) GramsCO2e {
+	return units.Emissions(energy, ci)
+}

@@ -1,0 +1,93 @@
+package fairco2
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/units"
+)
+
+func TestBuildServerFacade(t *testing.T) {
+	srv, err := BuildServer(ServerSpec{
+		Sockets:         2,
+		DieAreaCm2:      7,
+		Node:            carbon.Node14nm,
+		Fab:             carbon.FabUSA,
+		CoresPerSocket:  24,
+		MemoryGB:        192,
+		MemoryTech:      carbon.DDR4,
+		StorageGB:       480,
+		CPUTDP:          165,
+		StaticPower:     250,
+		MaxDynamicPower: 330,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Cores != 48 {
+		t.Errorf("cores = %d", srv.Cores)
+	}
+	if _, err := BuildServer(ServerSpec{}); err == nil {
+		t.Error("empty spec should error")
+	}
+}
+
+func TestSCIFacadeVsFairCO2(t *testing.T) {
+	// The point of the SCI export: a consumer can compute the baseline
+	// bill and see that it is timing-blind while the Fair-CO2 bill is
+	// not. Two identical reservations at different times get identical
+	// SCI scores but different Temporal Shapley attributions.
+	srv := ReferenceServer()
+	rep, err := SCI(SCIInput{
+		Energy:          units.KilowattHours(1).Joules(),
+		Intensity:       300,
+		Server:          srv,
+		ReservedCores:   48,
+		Reserved:        3600,
+		FunctionalUnits: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SCI <= 0 || rep.OperationalCarbon != 300 {
+		t.Errorf("SCI report %+v", rep)
+	}
+
+	sched := &Schedule{
+		Slices:        2,
+		SliceDuration: 3600,
+		Workloads: []ScheduledWorkload{
+			{ID: 0, Cores: 48, Start: 0, Duration: 1}, // peak hour (with 2)
+			{ID: 1, Cores: 48, Start: 1, Duration: 1}, // off-peak hour
+			{ID: 2, Cores: 48, Start: 0, Duration: 1},
+		},
+	}
+	attr, err := AttributeSchedule(MethodFairCO2, sched, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr[0] <= attr[1] {
+		t.Error("Fair-CO2 distinguishes peak from off-peak; SCI cannot")
+	}
+}
+
+func TestSCIFacadeErrors(t *testing.T) {
+	if _, err := SCI(SCIInput{}); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 || rows[0].Component != "DRAM" {
+		t.Errorf("Table1 = %+v", rows)
+	}
+}
+
+func TestEmissionsOfFacade(t *testing.T) {
+	got := EmissionsOf(units.KilowattHours(2).Joules(), 100)
+	if math.Abs(float64(got)-200) > 1e-9 {
+		t.Errorf("EmissionsOf = %v, want 200", got)
+	}
+}

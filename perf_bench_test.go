@@ -1,0 +1,162 @@
+package fairco2
+
+// Throughput benchmarks for the core primitives — the performance budget
+// that makes the paper's scalability argument operational: a hyperscaler
+// recomputing the live intensity signal every five minutes needs these
+// numbers, not just asymptotics.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/billing"
+	"fairco2/internal/carbon"
+	"fairco2/internal/cluster"
+	"fairco2/internal/grid"
+	"fairco2/internal/shapley"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+)
+
+// BenchmarkPeakGameClosedForm measures the per-level cost of the Eq. 7
+// solver at realistic split widths.
+func BenchmarkPeakGameClosedForm(b *testing.B) {
+	for _, m := range []int{12, 288, 8640} {
+		b.Run(benchName("M", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			peaks := make([]float64, m)
+			for i := range peaks {
+				peaks[i] = rng.Float64() * 1000
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.PeakGame(peaks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntensitySignalMonth measures the full 30-day, 5-minute signal
+// generation — the unit of work a live deployment repeats per refresh.
+func BenchmarkIntensitySignalMonth(b *testing.B) {
+	demand, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := temporal.Config{SplitRatios: temporal.PaperSplits()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := temporal.IntensitySignal(demand, 1e7, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAntitheticVsPlainSampling is the variance-reduction ablation:
+// same budget, lower error for the antithetic estimator on monotone games.
+func BenchmarkAntitheticVsPlainSampling(b *testing.B) {
+	peaks := make([]float64, 40)
+	rng := rand.New(rand.NewSource(7))
+	for i := range peaks {
+		peaks[i] = rng.Float64() * 100
+	}
+	game := func(mask uint64) float64 {
+		peak := 0.0
+		for i := 0; i < len(peaks); i++ {
+			if mask&(1<<uint(i)) != 0 && peaks[i] > peak {
+				peak = peaks[i]
+			}
+		}
+		return peak
+	}
+	exact, err := shapley.PeakGame(peaks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mse := func(est []float64) float64 {
+		s := 0.0
+		for i := range est {
+			d := est[i] - exact[i]
+			s += d * d
+		}
+		return s
+	}
+	b.Run("plain", func(b *testing.B) {
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			est, err := shapley.MonteCarlo(len(peaks), game, 200, rand.New(rand.NewSource(int64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += mse(est)
+		}
+		b.ReportMetric(total/float64(b.N), "mse")
+	})
+	b.Run("antithetic", func(b *testing.B) {
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			est, err := shapley.MonteCarloAntithetic(len(peaks), game, 200, rand.New(rand.NewSource(int64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += mse(est)
+		}
+		b.ReportMetric(total/float64(b.N), "mse")
+	})
+}
+
+// BenchmarkClusterSimulate measures fleet placement plus telemetry.
+func BenchmarkClusterSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := cluster.DefaultFleetConfig()
+	cfg.VMs = 500
+	fleet, err := cluster.RandomFleet(cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Simulate(fleet, cluster.DefaultNodeSpec(), 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBillingClose measures pricing a 100-tenant month at hourly
+// resolution.
+func BenchmarkBillingClose(b *testing.B) {
+	const samples = 30 * 24
+	rng := rand.New(rand.NewSource(10))
+	usage := make([]*timeseries.Series, 100)
+	for t := range usage {
+		s := timeseries.Zeros(0, 3600, samples)
+		base := rng.Float64() * 32
+		for i := range s.Values {
+			s.Values[i] = base * (1 + 0.5*rng.Float64())
+		}
+		usage[t] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acct, err := billing.NewAccountant(billing.Config{
+			Server:  carbon.NewReferenceServer(),
+			Grid:    grid.California,
+			Step:    3600,
+			Samples: samples,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t, u := range usage {
+			if err := acct.RecordUsage("tenant-"+itoa(t), u, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := acct.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

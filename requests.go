@@ -1,0 +1,43 @@
+package fairco2
+
+import (
+	"fmt"
+
+	"fairco2/internal/carbon"
+	"fairco2/internal/optimize"
+	"fairco2/internal/requests"
+)
+
+// Request-level attribution surface (the paper's §10 future-work
+// direction, implemented in internal/requests).
+type (
+	// Request is one serving request.
+	Request = requests.Request
+	// RequestBatch is a dispatched batch of requests.
+	RequestBatch = requests.Batch
+	// RequestLedger prices batches against live carbon signals.
+	RequestLedger = requests.Ledger
+	// RequestAttribution is one request's carbon share.
+	RequestAttribution = requests.Attribution
+)
+
+// NewRequestLedger builds a request-pricing ledger for a FAISS-style
+// serving deployment: algorithm is "IVF" or "HNSW", cores the allocation,
+// grid the live intensity signal.
+func NewRequestLedger(algorithm string, cores int, grid GridSignal) (*RequestLedger, error) {
+	cost, err := optimize.NewCostModel(carbon.NewReferenceServer())
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range optimize.ServingModels() {
+		if m.Algorithm == algorithm {
+			return &requests.Ledger{Cost: cost, Model: m, Cores: cores, Grid: grid}, nil
+		}
+	}
+	return nil, fmt.Errorf("fairco2: unknown serving algorithm %q", algorithm)
+}
+
+// BatchRequests groups requests into batches by count and wait bounds.
+func BatchRequests(reqs []Request, maxBatch int, maxWait Seconds) ([]RequestBatch, error) {
+	return requests.BatchRequests(reqs, maxBatch, maxWait)
+}

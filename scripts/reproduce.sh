@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the paper, saving console outputs
+# and per-trial CSVs under results/. Defaults to the paper's full trial
+# counts (about two minutes total on a modern multicore machine); pass
+# LIGHT=1 for a quick laptop pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RESULTS=results
+mkdir -p "$RESULTS"
+
+TRIALS_DEMAND=10000
+TRIALS_COLOC=10000
+MAX_WORKLOADS_DEMAND=22
+MAX_WORKLOADS_COLOC=100
+if [[ "${LIGHT:-0}" == "1" ]]; then
+  TRIALS_DEMAND=1000
+  TRIALS_COLOC=1000
+  MAX_WORKLOADS_DEMAND=14
+  MAX_WORKLOADS_COLOC=60
+fi
+
+echo "== Table 1 =="
+go run ./cmd/fairco2 -table1 | tee "$RESULTS/table1.txt"
+
+echo "== Figure 2: colocation characterization =="
+go run ./cmd/colocation-profile -profiles | tee "$RESULTS/figure2.txt"
+
+echo "== Figures 4, 5, 11: signal + forecasting =="
+go run ./cmd/forecast-eval -signal | tee "$RESULTS/figures_4_5_11.txt"
+
+echo "== Figure 7: dynamic-demand Monte Carlo ($TRIALS_DEMAND trials) =="
+go run ./cmd/mc-demand -trials "$TRIALS_DEMAND" -max-workloads "$MAX_WORKLOADS_DEMAND" \
+  -out "$RESULTS/figure7_trials.csv" | tee "$RESULTS/figure7.txt"
+
+echo "== Figures 8-9: colocation Monte Carlo ($TRIALS_COLOC trials) =="
+go run ./cmd/mc-colocation -trials "$TRIALS_COLOC" -max-workloads "$MAX_WORKLOADS_COLOC" \
+  -per-workload -out "$RESULTS/figure8_trials.csv" | tee "$RESULTS/figures_8_9.txt"
+
+echo "== Figures 10, 12, 13: workload optimization =="
+go run ./cmd/optimize | tee "$RESULTS/figures_10_12_13.txt"
+
+echo "== Fairness axioms =="
+go run ./cmd/fairco2 -axioms | tee "$RESULTS/axioms.txt"
+
+echo "== End-to-end cluster pipeline =="
+go run ./cmd/cluster-sim | tee "$RESULTS/cluster_sim.txt"
+
+echo
+echo "All outputs are under $RESULTS/."
