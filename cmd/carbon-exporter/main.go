@@ -1,0 +1,482 @@
+// Command carbon-exporter is Fair-CO2's Prometheus exporter: a daemon
+// that runs a simulated datacenter cluster, continuously re-prices the
+// tenants' carbon with the live attribution machinery, and publishes the
+// results as scrapeable metrics. It is the deployable form of the paper's
+// end goal — tenants acting on fair attribution in real time — in the
+// shape production fleets already consume (a /metrics endpoint).
+//
+//	GET /metrics  -> Prometheus text format (see README "Observability")
+//	GET /healthz  -> {"status":"ok", ...}
+//
+// Each tick reveals one more telemetry sample of the simulated cluster,
+// closes a billing period over the window so far, re-estimates per-tenant
+// Shapley shares by permutation sampling, and refreshes the forecast-based
+// intensity signal, so every scrape interval sees the per-tenant
+// fairco2_attributed_gco2e gauges move the way a real fleet's would.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fairco2/internal/billing"
+	"fairco2/internal/carbon"
+	"fairco2/internal/cluster"
+	"fairco2/internal/grid"
+	"fairco2/internal/metrics"
+	"fairco2/internal/shapley"
+	"fairco2/internal/signalserver"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// exporterConfig parameterizes the simulated fleet and the publishing loop.
+type exporterConfig struct {
+	// Tenants is the number of tenants VMs are grouped into.
+	Tenants int
+	// VMs is the simulated fleet size.
+	VMs int
+	// WindowDays is the VM arrival window in days.
+	WindowDays float64
+	// Step is the telemetry grid resolution.
+	Step units.Seconds
+	// Seed makes the simulation reproducible.
+	Seed int64
+	// ShapleySamples is the permutation budget per share re-estimate.
+	ShapleySamples int
+	// SignalBudget is the embodied budget behind the forecast signal.
+	SignalBudget units.GramsCO2e
+	// HorizonSamples is the forecast horizon of the intensity signal.
+	HorizonSamples int
+	// MinWindow is the smallest billing window (samples) priced; the loop
+	// starts here and wraps back here after consuming the whole trace.
+	MinWindow int
+	// ForecastEvery re-fits the forecaster every N ticks (it is the
+	// expensive part of a tick).
+	ForecastEvery int
+}
+
+func defaultExporterConfig() exporterConfig {
+	return exporterConfig{
+		Tenants:        8,
+		VMs:            400,
+		WindowDays:     3,
+		Step:           300,
+		Seed:           1,
+		ShapleySamples: 200,
+		SignalBudget:   1e7,
+		HorizonSamples: 288,
+		MinWindow:      12,
+		ForecastEvery:  6,
+	}
+}
+
+func (c exporterConfig) validate() error {
+	switch {
+	case c.Tenants < 1:
+		return errors.New("need at least one tenant")
+	case c.Tenants > 63:
+		return errors.New("shapley sampling supports at most 63 tenants")
+	case c.VMs < c.Tenants:
+		return errors.New("need at least one VM per tenant")
+	case c.WindowDays <= 0:
+		return errors.New("window must be positive")
+	case c.Step <= 0:
+		return errors.New("step must be positive")
+	case c.ShapleySamples < 1:
+		return errors.New("need at least one shapley sample")
+	case c.MinWindow < 2:
+		return errors.New("minimum window must be at least 2 samples")
+	case c.ForecastEvery < 1:
+		return errors.New("forecast cadence must be positive")
+	}
+	return nil
+}
+
+// exporter owns the simulated fleet, the live attribution loop, and the
+// gauges it publishes.
+type exporter struct {
+	cfg     exporterConfig
+	server  *carbon.Server
+	gridSig grid.Signal
+	rng     *rand.Rand
+
+	tenants []string
+	usage   []*timeseries.Series // per-tenant allocated cores, full trace
+	demand  *timeseries.Series   // aggregate of usage
+	samples int
+	watts   float64 // dynamic watts per allocated core
+
+	window    int // samples currently revealed; loop goroutine only
+	curWindow atomic.Int64
+	ticks     atomic.Int64
+	forecast  *signalserver.Server
+
+	gAttributed    metrics.GaugeVec
+	gComponent     metrics.GaugeVec
+	gShare         metrics.GaugeVec
+	gForecast      *metrics.Gauge
+	gDemand        *metrics.Gauge
+	gWindow        *metrics.Gauge
+	gNodes         *metrics.Gauge
+	cTicks         *metrics.Counter
+	cWraps         *metrics.Counter
+	hTickSeconds   *metrics.Histogram
+	gShapleyStderr *metrics.Gauge
+}
+
+// newExporter simulates the fleet once and registers the exporter's gauges
+// on reg (the daemon passes metrics.Default(); tests pass a fresh one).
+func newExporter(cfg exporterConfig, reg *metrics.Registry) (*exporter, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fleetCfg := cluster.DefaultFleetConfig()
+	fleetCfg.VMs = cfg.VMs
+	fleetCfg.Window = units.Seconds(cfg.WindowDays * units.SecondsPerDay)
+	fleet, err := cluster.RandomFleet(fleetCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.Simulate(fleet, cluster.DefaultNodeSpec(), cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &exporter{
+		cfg:     cfg,
+		server:  carbon.NewReferenceServer(),
+		gridSig: grid.California,
+		rng:     rng,
+		demand:  sim.Demand,
+		samples: sim.Demand.Len(),
+		window:  cfg.MinWindow - 1,
+	}
+	if e.samples <= cfg.MinWindow {
+		return nil, fmt.Errorf("trace of %d samples shorter than the minimum window %d", e.samples, cfg.MinWindow)
+	}
+	// Dynamic power model: allocated cores drive utilization linearly.
+	logicalCores := float64(e.server.Cores * 2)
+	e.watts = float64(e.server.MaxDynamicPower) / logicalCores
+
+	// Group VMs into tenants and accumulate per-tenant usage series.
+	e.tenants = make([]string, cfg.Tenants)
+	e.usage = make([]*timeseries.Series, cfg.Tenants)
+	for i := range e.tenants {
+		e.tenants[i] = fmt.Sprintf("tenant-%02d", i)
+		e.usage[i] = timeseries.Zeros(0, cfg.Step, e.samples)
+	}
+	for _, vm := range sim.VMs {
+		u, err := sim.UsageOf(vm.ID)
+		if err != nil {
+			return nil, err
+		}
+		t := vm.ID % cfg.Tenants
+		for j, v := range u.Values {
+			e.usage[t].Values[j] += v
+		}
+	}
+
+	e.gAttributed = reg.NewGaugeVec(
+		"fairco2_attributed_gco2e",
+		"Carbon attributed to the tenant over the current billing window (all components).",
+		"tenant")
+	e.gComponent = reg.NewGaugeVec(
+		"fairco2_attributed_component_gco2e",
+		"Carbon attributed to the tenant over the current billing window, by component.",
+		"tenant", "component")
+	e.gShare = reg.NewGaugeVec(
+		"fairco2_shapley_share",
+		"Tenant's sampled Shapley share of the peak-demand game over the current window (sums to 1).",
+		"tenant")
+	e.gForecast = reg.NewGauge(
+		"fairco2_forecast_intensity_g_per_core_second",
+		"Forecast-based live embodied carbon intensity at the window boundary.")
+	e.gDemand = reg.NewGauge(
+		"fairco2_cluster_demand_cores",
+		"Aggregate allocated cores at the newest revealed telemetry sample.")
+	e.gWindow = reg.NewGauge(
+		"fairco2_exporter_window_samples",
+		"Telemetry samples in the current billing window.")
+	e.gNodes = reg.NewGauge(
+		"fairco2_cluster_nodes_provisioned",
+		"Nodes the simulated cluster ever provisioned (embodied carbon driver).")
+	e.cTicks = reg.NewCounter(
+		"fairco2_exporter_ticks_total",
+		"Attribution loop ticks completed.")
+	e.cWraps = reg.NewCounter(
+		"fairco2_exporter_trace_wraps_total",
+		"Times the loop consumed the whole simulated trace and restarted.")
+	e.hTickSeconds = reg.NewHistogram(
+		"fairco2_exporter_tick_seconds",
+		"Wall-clock duration of one attribution loop tick.",
+		nil)
+	e.gShapleyStderr = reg.NewGauge(
+		"fairco2_exporter_share_stderr",
+		"Standard error proxy: half-spread between two independent half-budget share estimates, averaged over tenants.")
+
+	e.gNodes.Set(float64(sim.NodesProvisioned))
+	return e, nil
+}
+
+// step advances the loop by one telemetry sample: grow the billing window,
+// close a period over it, re-estimate Shapley shares, refresh the forecast
+// signal, and republish every gauge.
+func (e *exporter) step() error {
+	start := time.Now()
+	e.window++
+	if e.window > e.samples {
+		e.window = e.cfg.MinWindow
+		e.cWraps.Inc()
+	}
+	k := e.window
+
+	if err := e.priceWindow(k); err != nil {
+		return err
+	}
+	e.publishShares(k)
+	if err := e.refreshForecast(k); err != nil {
+		// A short or degenerate prefix cannot be fit yet; that is expected
+		// early in the trace, not a loop failure.
+		e.gForecast.Set(0)
+	}
+
+	e.gDemand.Set(e.demand.Values[k-1])
+	e.gWindow.Set(float64(k))
+	e.cTicks.Inc()
+	e.curWindow.Store(int64(k))
+	e.ticks.Add(1)
+	e.hTickSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// priceWindow closes a billing period over the first k samples and
+// publishes per-tenant attribution gauges.
+func (e *exporter) priceWindow(k int) error {
+	acct, err := billing.NewAccountant(billing.Config{
+		Server:      e.server,
+		Grid:        e.gridSig,
+		PeriodStart: 0,
+		Step:        e.cfg.Step,
+		Samples:     k,
+	})
+	if err != nil {
+		return err
+	}
+	for i, tenant := range e.tenants {
+		cores, err := e.usage[i].Head(k)
+		if err != nil {
+			return err
+		}
+		if err := acct.RecordUsage(tenant, cores, cores.Scale(e.watts)); err != nil {
+			return err
+		}
+	}
+	statements, _, err := acct.Close()
+	if err != nil {
+		return err
+	}
+	for _, st := range statements {
+		e.gAttributed.With(st.Tenant).Set(float64(st.Total()))
+		e.gComponent.With(st.Tenant, "embodied").Set(float64(st.Embodied))
+		e.gComponent.With(st.Tenant, "static").Set(float64(st.Static))
+		e.gComponent.With(st.Tenant, "dynamic").Set(float64(st.Dynamic))
+	}
+	return nil
+}
+
+// publishShares re-estimates each tenant's Shapley share of the window's
+// peak-demand game by permutation sampling (tenants as players, coalition
+// value = peak of the summed demand). Two independent half-budget
+// estimates are published as share + a convergence spread, so a dashboard
+// can see sampling error next to the value.
+func (e *exporter) publishShares(k int) {
+	n := len(e.tenants)
+	v := func(mask uint64) float64 {
+		peak := 0.0
+		for t := 0; t < k; t++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					sum += e.usage[i].Values[t]
+				}
+			}
+			if sum > peak {
+				peak = sum
+			}
+		}
+		return peak
+	}
+	half := (e.cfg.ShapleySamples + 1) / 2
+	a, errA := shapley.MonteCarlo(n, v, half, e.rng)
+	b, errB := shapley.MonteCarlo(n, v, half, e.rng)
+	if errA != nil || errB != nil {
+		return // sampling params are validated at construction; unreachable
+	}
+	totals, spread := 0.0, 0.0
+	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = (a[i] + b[i]) / 2
+		totals += phi[i]
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		spread += d / 2
+	}
+	if totals <= 0 {
+		return
+	}
+	for i, tenant := range e.tenants {
+		e.gShare.With(tenant).Set(phi[i] / totals)
+	}
+	e.gShapleyStderr.Set(spread / float64(n) / totals)
+}
+
+// refreshForecast re-fits the live intensity signal on the revealed demand
+// prefix (every ForecastEvery ticks once enough history exists) and
+// publishes the boundary intensity.
+func (e *exporter) refreshForecast(k int) error {
+	if int(e.ticks.Load())%e.cfg.ForecastEvery != 0 && e.forecast != nil {
+		e.gForecast.Set(e.forecast.CurrentIntensity())
+		return nil
+	}
+	history, err := e.demand.Head(k)
+	if err != nil {
+		return err
+	}
+	if e.forecast == nil {
+		cfg := signalserver.DefaultConfig()
+		cfg.HorizonSamples = e.cfg.HorizonSamples
+		cfg.Budget = e.cfg.SignalBudget
+		srv, err := signalserver.New(history, cfg)
+		if err != nil {
+			return err
+		}
+		e.forecast = srv
+	} else if err := e.forecast.Refresh(history); err != nil {
+		return err
+	}
+	e.gForecast.Set(e.forecast.CurrentIntensity())
+	return nil
+}
+
+// run ticks the attribution loop until ctx is cancelled.
+func (e *exporter) run(ctx context.Context, interval time.Duration) error {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := e.step(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handler returns the daemon's routes: the registry exposition plus a
+// health endpoint reporting loop progress.
+func (e *exporter) handler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"ticks":          e.ticks.Load(),
+			"tenants":        len(e.tenants),
+			"trace_samples":  e.samples,
+			"window_samples": e.curWindow.Load(),
+		})
+	})
+	return mux
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("carbon-exporter: ")
+
+	def := defaultExporterConfig()
+	var (
+		addr     = flag.String("addr", ":9102", "listen address")
+		interval = flag.Duration("interval", 2*time.Second, "attribution loop tick interval")
+		tenants  = flag.Int("tenants", def.Tenants, "simulated tenants")
+		vms      = flag.Int("vms", def.VMs, "simulated VMs")
+		days     = flag.Float64("days", def.WindowDays, "simulated arrival window in days")
+		step     = flag.Float64("step", float64(def.Step), "telemetry step in seconds")
+		seed     = flag.Int64("seed", def.Seed, "simulation seed")
+		samples  = flag.Int("shapley-samples", def.ShapleySamples, "permutations per share re-estimate")
+		budget   = flag.Float64("signal-budget", float64(def.SignalBudget), "embodied budget behind the forecast signal (gCO2e)")
+	)
+	flag.Parse()
+
+	cfg := def
+	cfg.Tenants = *tenants
+	cfg.VMs = *vms
+	cfg.WindowDays = *days
+	cfg.Step = units.Seconds(*step)
+	cfg.Seed = *seed
+	cfg.ShapleySamples = *samples
+	cfg.SignalBudget = units.GramsCO2e(*budget)
+
+	reg := metrics.Default()
+	exp, err := newExporter(cfg, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Publish a full set of gauges before the first scrape can arrive.
+	if err := exp.step(); err != nil {
+		log.Fatal(err)
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           exp.handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	loopErr := make(chan error, 1)
+	go func() { loopErr <- exp.run(ctx, *interval) }()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+
+	fmt.Printf("carbon-exporter serving %d tenants (%d VMs, %d samples) on %s\n",
+		len(exp.tenants), cfg.VMs, exp.samples, *addr)
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case err := <-loopErr:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight scrapes)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}

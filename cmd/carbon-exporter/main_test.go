@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fairco2/internal/metrics"
+)
+
+func testExporter(t *testing.T) (*exporter, *metrics.Registry) {
+	t.Helper()
+	cfg := defaultExporterConfig()
+	cfg.Tenants = 4
+	cfg.VMs = 80
+	cfg.WindowDays = 1
+	cfg.ShapleySamples = 50
+	reg := metrics.NewRegistry()
+	e, err := newExporter(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, reg
+}
+
+// scrape fetches /metrics and returns the body plus the per-tenant
+// fairco2_attributed_gco2e values parsed out of it.
+func scrape(t *testing.T, url string) (string, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, `fairco2_attributed_gco2e{tenant="`) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, `fairco2_attributed_gco2e{tenant="`)
+		end := strings.Index(rest, `"`)
+		if end < 0 {
+			t.Fatalf("malformed sample %q", line)
+		}
+		attributed[rest[:end]] = strings.TrimSpace(rest[end:][strings.Index(rest[end:], " ")+1:])
+	}
+	return string(body), attributed
+}
+
+// TestExporterEndToEnd is the acceptance test for the tentpole: the
+// exporter's /metrics output parses as valid Prometheus text format,
+// includes per-tenant fairco2_attributed_gco2e gauges, and those gauges
+// change across scrape intervals of the simulated cluster.
+func TestExporterEndToEnd(t *testing.T) {
+	e, reg := testExporter(t)
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(e.handler(reg))
+	defer ts.Close()
+
+	body1, attr1 := scrape(t, ts.URL)
+	if n, err := metrics.LintText(strings.NewReader(body1)); err != nil {
+		t.Fatalf("scrape is not valid text format: %v\n%s", err, body1)
+	} else if n == 0 {
+		t.Fatal("scrape contained no samples")
+	}
+	if len(attr1) != 4 {
+		t.Fatalf("want 4 tenants in fairco2_attributed_gco2e, got %v", attr1)
+	}
+	// Early windows precede most arrivals, so some tenants can be
+	// legitimately attributed zero — but not all of them.
+	nonzero := 0
+	for _, v := range attr1 {
+		if v != "0" {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Errorf("every tenant attributed 0 gCO2e: %v", attr1)
+	}
+	for _, want := range []string{
+		"# TYPE fairco2_attributed_gco2e gauge",
+		"# TYPE fairco2_shapley_share gauge",
+		"# TYPE fairco2_attributed_component_gco2e gauge",
+		`component="embodied"`,
+		"fairco2_exporter_ticks_total 1",
+	} {
+		if !strings.Contains(body1, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Advance the simulated cluster a few intervals; attribution over the
+	// longer window must move every tenant's gauge.
+	for i := 0; i < 3; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body2, attr2 := scrape(t, ts.URL)
+	if _, err := metrics.LintText(strings.NewReader(body2)); err != nil {
+		t.Fatalf("second scrape invalid: %v", err)
+	}
+	changed := 0
+	for tenant, v1 := range attr1 {
+		if v2, ok := attr2[tenant]; !ok {
+			t.Errorf("tenant %s vanished from second scrape", tenant)
+		} else if v1 != v2 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Errorf("no fairco2_attributed_gco2e gauge changed across scrapes:\nfirst %v\nsecond %v", attr1, attr2)
+	}
+}
+
+// TestExporterSharesSumToOne checks the sampled Shapley shares the
+// exporter publishes form a distribution.
+func TestExporterSharesSumToOne(t *testing.T) {
+	e, reg := testExporter(t)
+	for i := 0; i < 2; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0.0
+	for _, f := range reg.Gather() {
+		if f.Name != "fairco2_shapley_share" {
+			continue
+		}
+		if len(f.Samples) != 4 {
+			t.Fatalf("want 4 share samples, got %d", len(f.Samples))
+		}
+		for _, s := range f.Samples {
+			if s.Value < 0 || s.Value > 1 {
+				t.Errorf("share %v out of range", s.Value)
+			}
+			sum += s.Value
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+}
+
+// TestExporterWraps runs the loop past the end of the trace and checks it
+// restarts at the minimum window instead of failing.
+func TestExporterWraps(t *testing.T) {
+	cfg := defaultExporterConfig()
+	cfg.Tenants = 2
+	cfg.VMs = 20
+	cfg.WindowDays = 0.05 // a ~15-sample trace
+	cfg.MinWindow = 4
+	cfg.ShapleySamples = 10
+	reg := metrics.NewRegistry()
+	e, err := newExporter(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < e.samples+5; i++ {
+		if err := e.step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if e.cWraps.Value() < 1 {
+		t.Error("loop never wrapped")
+	}
+}
+
+// TestExporterHealthz checks the daemon's health endpoint.
+func TestExporterHealthz(t *testing.T) {
+	e, reg := testExporter(t)
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(e.handler(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status        string `json:"status"`
+		Ticks         int64  `json:"ticks"`
+		Tenants       int    `json:"tenants"`
+		WindowSamples int64  `json:"window_samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Ticks != 1 || h.Tenants != 4 || h.WindowSamples == 0 {
+		t.Errorf("healthz %+v", h)
+	}
+}
+
+func TestExporterConfigValidation(t *testing.T) {
+	bad := []func(*exporterConfig){
+		func(c *exporterConfig) { c.Tenants = 0 },
+		func(c *exporterConfig) { c.Tenants = 64 },
+		func(c *exporterConfig) { c.VMs = 1; c.Tenants = 2 },
+		func(c *exporterConfig) { c.WindowDays = 0 },
+		func(c *exporterConfig) { c.Step = 0 },
+		func(c *exporterConfig) { c.ShapleySamples = 0 },
+		func(c *exporterConfig) { c.MinWindow = 1 },
+		func(c *exporterConfig) { c.ForecastEvery = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := defaultExporterConfig()
+		mutate(&cfg)
+		if _, err := newExporter(cfg, metrics.NewRegistry()); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -4,20 +4,28 @@
 // projects the configured horizon, and exposes:
 //
 //	GET /healthz
+//	GET /metrics
 //	GET /v1/intensity/current
 //	GET /v1/intensity/window?hours=N
 //	GET /v1/intensity/series
 //
 // Tenants poll the window endpoint to place deferrable work where the
 // projected embodied intensity is lowest (see examples/batchshift).
+// /metrics exposes the process-wide registry (request counters, refit
+// latency, the live intensity gauge) in Prometheus text format.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fairco2/internal/signalserver"
 	"fairco2/internal/timeseries"
@@ -48,9 +56,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// A bare ListenAndServe has no timeouts: one slow scraper can pin a
+	// connection forever. Bound every phase of the exchange and drain
+	// in-flight requests on SIGINT/SIGTERM.
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+
 	fmt.Printf("serving live embodied carbon intensity on %s (history %d samples, horizon %d)\n",
 		*addr, history.Len(), cfg.HorizonSamples)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func loadHistory(path string) (*timeseries.Series, error) {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"fairco2/internal/schedule"
 	"fairco2/internal/shapley"
@@ -57,6 +58,7 @@ func (GroundTruth) Name() string { return "ground-truth-shapley" }
 // Attribute implements Method. Complexity is O(2^n * (n + slices)); the
 // schedule must have at most shapley.MaxExactPlayers workloads.
 func (GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	defer observeRun(GroundTruth{}.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}
@@ -117,6 +119,7 @@ func (RUPBaseline) Name() string { return "rup-baseline" }
 
 // Attribute implements Method.
 func (RUPBaseline) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	defer observeRun(RUPBaseline{}.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}
@@ -140,6 +143,7 @@ func (DemandProportional) Name() string { return "demand-proportional" }
 
 // Attribute implements Method.
 func (DemandProportional) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	defer observeRun(DemandProportional{}.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}
@@ -165,6 +169,7 @@ func (TemporalShapley) Name() string { return "fair-co2-temporal-shapley" }
 
 // Attribute implements Method.
 func (m TemporalShapley) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	defer observeRun(m.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,28 @@
+package attribution
+
+import (
+	"time"
+
+	"fairco2/internal/metrics"
+)
+
+// Per-method operational telemetry: how often each attribution method runs
+// and how long a run takes. The method label carries the same names the
+// report tables use, so dashboards and paper figures line up.
+var (
+	metricRuns = metrics.Default().NewCounterVec(
+		"fairco2_attribution_runs_total",
+		"Attribution runs, by method name.",
+		"method")
+	metricDuration = metrics.Default().NewHistogramVec(
+		"fairco2_attribution_run_seconds",
+		"Wall-clock duration of one attribution run, by method name.",
+		nil,
+		"method")
+)
+
+// observeRun records one attribution run; defer it at method entry.
+func observeRun(method string, start time.Time) {
+	metricRuns.With(method).Inc()
+	metricDuration.With(method).Observe(time.Since(start).Seconds())
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"fairco2/internal/schedule"
 	"fairco2/internal/shapley"
@@ -29,6 +30,7 @@ func (m SampledShapley) Name() string { return "sampled-shapley" }
 
 // Attribute implements Method.
 func (m SampledShapley) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	defer observeRun(m.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"fairco2/internal/carbon"
 	"fairco2/internal/grid"
@@ -206,6 +207,7 @@ func (s Statement) Total() units.GramsCO2e { return s.Embodied + s.Static + s.Dy
 // embodied budget and the static-energy budget (§3's insight: peak demand
 // is the minimum capacity that must exist).
 func (a *Accountant) Close() ([]Statement, Statement, error) {
+	closeStart := time.Now()
 	if len(a.order) == 0 {
 		return nil, Statement{}, errors.New("billing: no tenants recorded")
 	}
@@ -303,7 +305,12 @@ func (a *Accountant) Close() ([]Statement, Statement, error) {
 		total.Static += st.Static
 		total.Dynamic += st.Dynamic
 		total.CoreSeconds += st.CoreSeconds
+		recordCharge(st.Tenant, "embodied", st.Embodied)
+		recordCharge(st.Tenant, "static", st.Static)
+		recordCharge(st.Tenant, "dynamic", st.Dynamic)
 	}
+	metricPeriodsClosed.Inc()
+	metricCloseSeconds.Observe(time.Since(closeStart).Seconds())
 	return statements, total, nil
 }
 

@@ -1,0 +1,34 @@
+package billing
+
+import (
+	"fairco2/internal/metrics"
+	"fairco2/internal/units"
+)
+
+// Billing telemetry: cumulative charges by tenant and cost component, plus
+// period-close counts and latency. The charge counter is the audit trail
+// the exporter daemon publishes — a scraper sees every gram a tenant has
+// ever been billed, monotonically.
+var (
+	metricPeriodsClosed = metrics.Default().NewCounter(
+		"fairco2_billing_periods_closed_total",
+		"Billing periods successfully priced and closed.")
+	metricCharged = metrics.Default().NewCounterVec(
+		"fairco2_billing_charged_gco2e_total",
+		"Cumulative carbon charged at period close, by tenant and component (embodied, static, dynamic).",
+		"tenant", "component")
+	metricCloseSeconds = metrics.Default().NewHistogram(
+		"fairco2_billing_close_seconds",
+		"Wall-clock duration of pricing one billing period.",
+		nil)
+)
+
+// recordCharge adds one statement component to the cumulative charge
+// counter. Attribution components are non-negative by construction, but a
+// counter panics on negative adds, so guard anyway: a pathological input
+// must never crash the billing path.
+func recordCharge(tenant, component string, amount units.GramsCO2e) {
+	if amount > 0 {
+		metricCharged.With(tenant, component).Add(float64(amount))
+	}
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text format the
+// registry emits (exposition format version 0.0.4).
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes the registry's current state in Prometheus text format:
+// one `# HELP` / `# TYPE` header per family followed by its samples, with
+// families sorted by name and samples by label values, so the output is
+// deterministic for golden tests and diff-friendly for humans.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f Family) error {
+	if f.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+		return err
+	}
+	for _, s := range f.Samples {
+		if err := writeSample(w, f, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, f Family, s Sample) error {
+	switch f.Kind {
+	case KindHistogram:
+		for _, b := range s.Buckets {
+			labels := formatLabels(f.LabelNames, s.LabelValues, "le", formatValue(b.UpperBound))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labels, b.CumulativeCount); err != nil {
+				return err
+			}
+		}
+		labels := formatLabels(f.LabelNames, s.LabelValues, "", "")
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labels, formatValue(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labels, s.Count)
+		return err
+	default:
+		labels := formatLabels(f.LabelNames, s.LabelValues, "", "")
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labels, formatValue(s.Value))
+		return err
+	}
+}
+
+// formatLabels renders `{a="x",b="y"}`, optionally appending one extra
+// pair (the histogram `le` bound). Returns "" when there are no pairs.
+func formatLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip decimal, with the spellings +Inf / -Inf / NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gatherText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestTextFormatScalars(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs processed.")
+	c.Add(42)
+	g := r.NewGauge("temperature_celsius", "Current temperature.")
+	g.Set(-3.25)
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 42
+# HELP temperature_celsius Current temperature.
+# TYPE temperature_celsius gauge
+temperature_celsius -3.25
+`
+	if got := gatherText(t, r); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextFormatLabeled(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("requests_total", "Requests by endpoint.", "endpoint", "code")
+	v.With("/healthz", "200").Add(2)
+	v.With("/v1/intensity/current", "200").Inc()
+	v.With("/v1/intensity/current", "500").Inc()
+	want := `# HELP requests_total Requests by endpoint.
+# TYPE requests_total counter
+requests_total{endpoint="/healthz",code="200"} 2
+requests_total{endpoint="/v1/intensity/current",code="200"} 1
+requests_total{endpoint="/v1/intensity/current",code="500"} 1
+`
+	if got := gatherText(t, r); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextFormatHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.2)
+	h.Observe(2)
+	want := `# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="0.5"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 2.25
+latency_seconds_count 3
+`
+	if got := gatherText(t, r); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextFormatLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("latency_seconds", "Latency by endpoint.", []float64{1}, "endpoint")
+	v.With("/metrics").Observe(0.5)
+	want := `# HELP latency_seconds Latency by endpoint.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{endpoint="/metrics",le="1"} 1
+latency_seconds_bucket{endpoint="/metrics",le="+Inf"} 1
+latency_seconds_sum{endpoint="/metrics"} 0.5
+latency_seconds_count{endpoint="/metrics"} 1
+`
+	if got := gatherText(t, r); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextFormatEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("weird_gauge", "help with \\ backslash\nand newline", "tenant")
+	v.With("a\"b\\c\nd").Set(1)
+	got := gatherText(t, r)
+	wantHelp := `# HELP weird_gauge help with \\ backslash\nand newline`
+	wantSample := `weird_gauge{tenant="a\"b\\c\nd"} 1`
+	if !strings.Contains(got, wantHelp) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, wantSample) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+}
+
+func TestTextFormatSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("inf_gauge", "").Set(math.Inf(+1))
+	r.NewGauge("nan_gauge", "").Set(math.NaN())
+	r.NewGauge("neg_inf_gauge", "").Set(math.Inf(-1))
+	got := gatherText(t, r)
+	for _, want := range []string{"inf_gauge +Inf\n", "nan_gauge NaN\n", "neg_inf_gauge -Inf\n"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	// Families with empty help omit the HELP line entirely.
+	if strings.Contains(got, "# HELP") {
+		t.Errorf("empty help should omit HELP lines:\n%s", got)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("up_total", "Liveness.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != TextContentType {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("body:\n%s", body)
+	}
+}
+
+func TestLintAcceptsOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "A.").Add(1)
+	v := r.NewHistogramVec("b_seconds", "B.", nil, "op")
+	v.With("x").Observe(0.2)
+	g := r.NewGaugeVec("c_gauge", "C.", "tenant")
+	g.With(`quo"te`).Set(math.Inf(+1))
+	text := gatherText(t, r)
+	n, err := LintText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("lint rejected own output: %v\n%s", err, text)
+	}
+	// 1 counter + (13 buckets + sum + count) + 1 gauge.
+	if n != 1+len(DefBuckets)+1+2+1 {
+		t.Errorf("lint counted %d samples in:\n%s", n, text)
+	}
+}
+
+func TestLintRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_type_line 1\n",
+		"# TYPE x counter\nx one\n",
+		"# TYPE x wat\n",
+		"# TYPE x counter\nx{a=1} 1\n",
+		"# TYPE x counter\nx{a=\"1} 1\n",
+	}
+	for _, text := range bad {
+		if _, err := LintText(strings.NewReader(text)); err == nil {
+			t.Errorf("lint accepted %q", text)
+		}
+	}
+}

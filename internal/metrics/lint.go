@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintText validates a Prometheus text-format exposition: every line must
+// be a well-formed HELP/TYPE comment or a sample whose metric name was
+// announced by a preceding TYPE line (histogram samples may use the
+// _bucket/_sum/_count suffixes). It returns the number of sample lines and
+// the first violation found. The scraper-side acceptance check for the
+// exporter end-to-end tests lives here so both the package tests and the
+// daemons' tests share one notion of "parses as valid text format".
+func LintText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	typed := map[string]string{} // metric name -> kind
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, typed); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := lintSample(line, typed); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+func lintComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		return checkMetricName(fields[2])
+	case "TYPE":
+		if err := checkMetricName(fields[2]); err != nil {
+			return err
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line missing kind: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric kind %q", fields[3])
+		}
+		typed[fields[2]] = fields[3]
+		return nil
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+}
+
+func lintSample(line string, typed map[string]string) error {
+	name := line
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name = line[:i]
+	}
+	if err := checkMetricName(name); err != nil {
+		return err
+	}
+	base := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name && typed[trimmed] == "histogram" {
+			base = trimmed
+			break
+		}
+	}
+	if _, ok := typed[base]; !ok {
+		return fmt.Errorf("sample %q has no preceding TYPE line", name)
+	}
+	rest := line[len(name):]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := lintLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	value := strings.TrimSpace(rest)
+	switch value {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		return fmt.Errorf("bad sample value %q", value)
+	}
+	return nil
+}
+
+func lintLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", s)
+		}
+		if err := checkLabelName(s[:eq]); err != nil && s[:eq] != "le" {
+			return err
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label value not quoted")
+		}
+		// Scan the quoted value honoring escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			if s == "" {
+				return fmt.Errorf("trailing comma in label set")
+			}
+		} else if s != "" {
+			return fmt.Errorf("garbage after label value: %q", s)
+		}
+	}
+	return nil
+}

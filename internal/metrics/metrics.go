@@ -1,0 +1,240 @@
+// Package metrics is Fair-CO2's dependency-free observability layer: a
+// concurrency-safe metric registry (counters, gauges, histograms and
+// labeled families of each) with Prometheus text-format exposition. It is
+// the serving surface that turns the attribution machinery into an
+// operational system — the signal-server and the carbon-exporter daemon
+// both publish their internals through a Registry, and any Prometheus
+// scraper can consume them.
+//
+// The design follows the prometheus/client_golang data model (instrument
+// kinds, label vectors, cumulative histogram buckets, the 0.0.4 text
+// format) in a deliberately small, stdlib-only package: scalar instruments
+// are single atomics, labeled families are an RWMutex-guarded map of
+// children, and Gather produces an immutable snapshot so exposition never
+// holds instrument locks while writing to a slow scraper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use; the hot path (Inc/Add) is a single CAS loop on an atomic
+// word, so it can sit inside per-request and per-sample code.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas panic: a decreasing counter
+// corrupts every rate() computed over it, which is a programming error,
+// not a runtime condition.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("metrics: counter add of invalid delta %v", delta))
+	}
+	addFloat(&c.bits, delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds delta to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// DefBuckets are the default histogram buckets, tuned for latencies in
+// seconds (the same spread as the Prometheus client default).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram samples observations into cumulative buckets. Observe takes a
+// short mutex so that Gather sees a consistent (sum, count, buckets)
+// triple even under concurrent writers.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // sorted upper bounds; the +Inf bucket is implicit
+	counts []uint64  // len(upper)+1; last slot is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(buckets []float64) (*Histogram, error) {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := append([]float64(nil), buckets...)
+	for i, b := range upper {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("metrics: NaN histogram bucket at index %d", i)
+		}
+		if i > 0 && upper[i-1] >= b {
+			return nil, fmt.Errorf("metrics: histogram buckets must be strictly increasing (%v then %v)", upper[i-1], b)
+		}
+	}
+	// A trailing +Inf bound is redundant with the implicit overflow slot.
+	if math.IsInf(upper[len(upper)-1], +1) {
+		upper = upper[:len(upper)-1]
+	}
+	return &Histogram{upper: upper, counts: make([]uint64, len(upper)+1)}, nil
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound covers v; le is inclusive.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound      float64
+	CumulativeCount uint64
+}
+
+// snapshot returns cumulative buckets (including +Inf), sum and count.
+func (h *Histogram) snapshot() ([]Bucket, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets := make([]Bucket, len(h.counts))
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		bound := math.Inf(+1)
+		if i < len(h.upper) {
+			bound = h.upper[i]
+		}
+		buckets[i] = Bucket{UpperBound: bound, CumulativeCount: cum}
+	}
+	return buckets, h.sum, h.count
+}
+
+// labelSep joins label values into a map key; \xff cannot appear in valid
+// UTF-8 label text at that position without being part of the value, and
+// collisions would require a value containing the separator byte — label
+// values are validated to be separator-free at With time.
+const labelSep = "\xff"
+
+// vec is the generic labeled family: a lazily-populated map from label
+// values to child instruments.
+type vec[T any] struct {
+	labels   []string
+	newChild func() T
+
+	mu       sync.RWMutex
+	children map[string]T
+	values   map[string][]string
+}
+
+func newVec[T any](labels []string, newChild func() T) *vec[T] {
+	return &vec[T]{
+		labels:   labels,
+		newChild: newChild,
+		children: map[string]T{},
+		values:   map[string][]string{},
+	}
+}
+
+func (v *vec[T]) with(values ...string) T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: got %d label values for labels %v", len(values), v.labels))
+	}
+	for _, val := range values {
+		if strings.Contains(val, labelSep) {
+			panic(fmt.Sprintf("metrics: label value %q contains reserved byte 0xff", val))
+		}
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	child, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return child
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if child, ok = v.children[key]; ok {
+		return child
+	}
+	child = v.newChild()
+	v.children[key] = child
+	v.values[key] = append([]string(nil), values...)
+	return child
+}
+
+// each calls fn for every child in deterministic (sorted-key) order.
+func (v *vec[T]) each(fn func(values []string, child T)) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	// Copy the value slices so fn runs lock-free.
+	snapshot := make(map[string][]string, len(keys))
+	children := make(map[string]T, len(keys))
+	for _, k := range keys {
+		snapshot[k] = v.values[k]
+		children[k] = v.children[k]
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(snapshot[k], children[k])
+	}
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ *vec[*Counter] }
+
+// With returns (creating on first use) the child for the label values,
+// which must match the family's label names in count and order.
+func (v CounterVec) With(values ...string) *Counter { return v.with(values...) }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ *vec[*Gauge] }
+
+// With returns the child gauge for the label values.
+func (v GaugeVec) With(values ...string) *Gauge { return v.with(values...) }
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ *vec[*Histogram] }
+
+// With returns the child histogram for the label values.
+func (v HistogramVec) With(values ...string) *Histogram { return v.with(values...) }

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a counter")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %v", c.Value())
+	}
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "a gauge")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "a histogram", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	buckets, sum, count := h.snapshot()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if sum != 16 {
+		t.Errorf("sum = %v, want 16", sum)
+	}
+	// le is inclusive: the observation at exactly 1 lands in the le="1"
+	// bucket.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(buckets) != len(wantCum) {
+		t.Fatalf("got %d buckets, want %d", len(buckets), len(wantCum))
+	}
+	for i, b := range buckets {
+		if b.CumulativeCount != wantCum[i] {
+			t.Errorf("bucket %d (le %v): cumulative %d, want %d", i, b.UpperBound, b.CumulativeCount, wantCum[i])
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].UpperBound, +1) {
+		t.Error("last bucket should be +Inf")
+	}
+}
+
+func TestHistogramBadBuckets(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing buckets should panic")
+		}
+	}()
+	r.NewHistogram("test_seconds", "h", []float64{1, 1})
+}
+
+func TestHistogramTrailingInf(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "h", []float64{1, math.Inf(+1)})
+	h.Observe(0.5)
+	buckets, _, _ := h.snapshot()
+	if len(buckets) != 2 {
+		t.Errorf("explicit +Inf bound should collapse into the implicit one, got %d buckets", len(buckets))
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_total", "labeled", "method", "code")
+	v.With("GET", "200").Add(3)
+	v.With("GET", "500").Inc()
+	if got := v.With("GET", "200").Value(); got != 3 {
+		t.Errorf("GET/200 = %v, want 3", got)
+	}
+	// With returns the same child for the same values.
+	if v.With("GET", "500") != v.With("GET", "500") {
+		t.Error("With should be stable")
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_total", "labeled", "method")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label count should panic")
+		}
+	}()
+	v.With("GET", "extra")
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name should panic")
+		}
+	}()
+	r.NewGauge("dup_total", "second")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	cases := []func(r *Registry){
+		func(r *Registry) { r.NewCounter("", "empty") },
+		func(r *Registry) { r.NewCounter("0bad", "leading digit") },
+		func(r *Registry) { r.NewCounter("has space", "space") },
+		func(r *Registry) { r.NewCounterVec("ok_total", "bad label", "0bad") },
+		func(r *Registry) { r.NewCounterVec("ok_total", "reserved label", "__name") },
+		func(r *Registry) { r.NewCounterVec("ok_total", "dup label", "a", "a") },
+		func(r *Registry) { r.NewCounterVec("ok_total", "no labels") },
+	}
+	for i, mk := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			mk(NewRegistry())
+		}()
+	}
+}
+
+func TestGatherSorted(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_total", "last")
+	r.NewGauge("aa_gauge", "first")
+	v := r.NewGaugeVec("mm_gauge", "middle", "t")
+	v.With("b").Set(2)
+	v.With("a").Set(1)
+	fams := r.Gather()
+	var names []string
+	for _, f := range fams {
+		names = append(names, f.Name)
+	}
+	if strings.Join(names, ",") != "aa_gauge,mm_gauge,zz_total" {
+		t.Errorf("family order %v", names)
+	}
+	mm := fams[1]
+	if len(mm.Samples) != 2 || mm.Samples[0].LabelValues[0] != "a" || mm.Samples[1].LabelValues[0] != "b" {
+		t.Errorf("sample order %+v", mm.Samples)
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default must return the same registry")
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+// Registry hot-path benchmarks — the budget for always-on instrumentation.
+// A labeled counter increment is what every request and every Monte Carlo
+// batch pays, so it has to stay in the tens of nanoseconds; Gather runs on
+// every Prometheus scrape and must not stall writers.
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkCounterInc measures the scalar fast path (one CAS).
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterVecWith measures the labeled hot path: child lookup by
+// label values plus the increment, the per-request cost in the servers.
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.NewCounterVec("bench_total", "", "endpoint", "code")
+	v.With("/metrics", "200") // pre-create: steady-state path is the read lock
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("/metrics", "200").Inc()
+	}
+}
+
+// BenchmarkCounterVecParallel measures contention across goroutines on one
+// hot child — the worst case for the CAS loop and the vec read lock.
+func BenchmarkCounterVecParallel(b *testing.B) {
+	r := NewRegistry()
+	v := r.NewCounterVec("bench_total", "", "endpoint")
+	v.With("/metrics")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.With("/metrics").Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve measures the mutex-guarded histogram path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 10000)
+	}
+}
+
+// BenchmarkGatherWhileWriting measures a scrape of a realistically-sized
+// registry (100 tenant series + scalars) with writers running — the
+// concurrent-gather cost a Prometheus server imposes on the daemons.
+func BenchmarkGatherWhileWriting(b *testing.B) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("bench_gco2e", "", "tenant", "component")
+	for t := 0; t < 100; t++ {
+		name := "tenant-" + strconv.Itoa(t)
+		v.With(name, "embodied").Set(float64(t))
+		v.With(name, "dynamic").Set(float64(t))
+	}
+	c := r.NewCounter("bench_total", "")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Kind distinguishes the exposition TYPE of a metric family.
+type Kind int
+
+// The supported metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Sample is one exposition row (or, for histograms, one bucketed series).
+type Sample struct {
+	// LabelValues align with the family's LabelNames; empty for scalars.
+	LabelValues []string
+	// Value is the sample value for counters and gauges.
+	Value float64
+	// Buckets, Sum and Count carry histogram state.
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Family is the gathered snapshot of one registered metric.
+type Family struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Samples    []Sample
+}
+
+// entry ties a registered name to its snapshot function.
+type entry struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	collect func() []Sample
+}
+
+// Registry holds a namespace of metrics and gathers them for exposition.
+// Registration panics on invalid or duplicate names (always a programming
+// error, caught at init time); gathering and serving are safe under
+// concurrent writers.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// defaultRegistry is the process-wide registry that instrumented packages
+// (shapley, attribution, billing, signalserver) register into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry shared by the instrumented
+// packages and served by the daemons' /metrics endpoints.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(name, help string, kind Kind, labels []string, collect func() []Sample) {
+	if err := checkMetricName(name); err != nil {
+		panic(err)
+	}
+	seen := map[string]bool{}
+	for _, l := range labels {
+		if err := checkLabelName(l); err != nil {
+			panic(err)
+		}
+		if seen[l] {
+			panic(fmt.Sprintf("metrics: duplicate label %q on metric %q", l, name))
+		}
+		seen[l] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: kind, labels: labels, collect: collect}
+}
+
+// NewCounter registers and returns a scalar counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, KindCounter, nil, func() []Sample {
+		return []Sample{{Value: c.Value()}}
+	})
+	return c
+}
+
+// NewGauge registers and returns a scalar gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, KindGauge, nil, func() []Sample {
+		return []Sample{{Value: g.Value()}}
+	})
+	return g
+}
+
+// NewHistogram registers and returns a scalar histogram. Nil or empty
+// buckets select DefBuckets; bounds must be strictly increasing.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h, err := newHistogram(buckets)
+	if err != nil {
+		panic(err)
+	}
+	r.register(name, help, KindHistogram, nil, func() []Sample {
+		b, sum, count := h.snapshot()
+		return []Sample{{Buckets: b, Sum: sum, Count: count}}
+	})
+	return h
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector metric %q needs at least one label", name))
+	}
+	v := CounterVec{newVec(labels, func() *Counter { return &Counter{} })}
+	r.register(name, help, KindCounter, labels, func() []Sample {
+		var out []Sample
+		v.each(func(values []string, c *Counter) {
+			out = append(out, Sample{LabelValues: values, Value: c.Value()})
+		})
+		return out
+	})
+	return v
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector metric %q needs at least one label", name))
+	}
+	v := GaugeVec{newVec(labels, func() *Gauge { return &Gauge{} })}
+	r.register(name, help, KindGauge, labels, func() []Sample {
+		var out []Sample
+		v.each(func(values []string, g *Gauge) {
+			out = append(out, Sample{LabelValues: values, Value: g.Value()})
+		})
+		return out
+	})
+	return v
+}
+
+// NewHistogramVec registers and returns a labeled histogram family. All
+// children share the bucket layout (nil selects DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector metric %q needs at least one label", name))
+	}
+	if _, err := newHistogram(buckets); err != nil {
+		panic(err)
+	}
+	layout := buckets
+	v := HistogramVec{newVec(labels, func() *Histogram {
+		h, err := newHistogram(layout)
+		if err != nil {
+			panic(err) // unreachable: layout validated above
+		}
+		return h
+	})}
+	r.register(name, help, KindHistogram, labels, func() []Sample {
+		var out []Sample
+		v.each(func(values []string, h *Histogram) {
+			b, sum, count := h.snapshot()
+			out = append(out, Sample{LabelValues: values, Buckets: b, Sum: sum, Count: count})
+		})
+		return out
+	})
+	return v
+}
+
+// Gather snapshots every registered family, sorted by name. The snapshot
+// is decoupled from the live instruments, so callers can format or inspect
+// it without blocking writers.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	families := make([]Family, 0, len(entries))
+	for _, e := range entries {
+		families = append(families, Family{
+			Name:       e.name,
+			Help:       e.help,
+			Kind:       e.kind,
+			LabelNames: e.labels,
+			Samples:    e.collect(),
+		})
+	}
+	return families
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		// Formatting cannot fail; the only write errors are client
+		// disconnects, which http.Server surfaces on its own.
+		_ = r.WriteText(w)
+	})
+}
+
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty label name")
+	}
+	if len(name) >= 2 && name[0] == '_' && name[1] == '_' {
+		return fmt.Errorf("metrics: label name %q is reserved (double underscore)", name)
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid label name %q", name)
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ func MonteCarloAntithetic(n int, v SetFunc, samples int, rng *rand.Rand) ([]floa
 	if rng == nil {
 		return nil, errors.New("shapley: nil rng")
 	}
+	metricSamples.With("antithetic").Add(float64(samples))
 	phi := make([]float64, n)
 	perm := make([]int, n)
 	walk := func() {

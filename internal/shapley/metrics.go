@@ -1,0 +1,21 @@
+package shapley
+
+import "fairco2/internal/metrics"
+
+// Always-on instrumentation into the process-wide registry: one atomic add
+// per solver call, so the hot loops stay untouched. The estimator label
+// separates exact enumeration from the sampling families, letting a
+// dashboard plot samples/sec against the convergence gauge.
+var (
+	metricSamples = metrics.Default().NewCounterVec(
+		"fairco2_shapley_samples_total",
+		"Permutations evaluated by the Shapley estimators, by estimator.",
+		"estimator")
+	metricExactCoalitions = metrics.Default().NewCounter(
+		"fairco2_shapley_exact_coalitions_total",
+		"Coalition evaluations performed by exact enumeration (2^n per game).")
+	metricSampledStderr = metrics.Default().NewGauge(
+		"fairco2_shapley_sampled_stderr_ratio",
+		"Relative standard error of the most recent SampledOrdered run: "+
+			"RMS of the per-player standard errors of the mean, divided by the grand total.")
+)

@@ -3,6 +3,7 @@ package shapley
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -61,6 +62,7 @@ func ExactOrdered(n int, m OrderedMarginals) ([]float64, error) {
 			i++
 		}
 	}
+	metricSamples.With("exact-ordered").Add(float64(count))
 	inv := 1 / float64(count)
 	for k := range phi {
 		phi[k] *= inv
@@ -84,7 +86,9 @@ func SampledOrdered(n int, m OrderedMarginals, samples int, rng *rand.Rand) ([]f
 	if rng == nil {
 		return nil, errors.New("shapley: nil rng")
 	}
+	metricSamples.With("sampled-ordered").Add(float64(samples))
 	phi := make([]float64, n)
+	sumsq := make([]float64, n)
 	marginals := make([]float64, n)
 	perm := make([]int, n)
 	for s := 0; s < samples; s++ {
@@ -93,11 +97,35 @@ func SampledOrdered(n int, m OrderedMarginals, samples int, rng *rand.Rand) ([]f
 		m(perm, marginals)
 		for i, v := range marginals {
 			phi[i] += v
+			sumsq[i] += v * v
 		}
 	}
 	inv := 1 / float64(samples)
 	for i := range phi {
 		phi[i] *= inv
 	}
+	metricSampledStderr.Set(stderrRatio(phi, sumsq, samples))
 	return phi, nil
+}
+
+// stderrRatio summarizes a sampling run's convergence as a single scalar:
+// the RMS of the per-player standard errors of the mean, relative to the
+// grand total |sum phi|. Zero when the estimate is exact (e.g. a single
+// player) or the total is zero.
+func stderrRatio(phi, sumsq []float64, samples int) float64 {
+	if samples < 2 {
+		return 0
+	}
+	total, msq := 0.0, 0.0
+	for i, mean := range phi {
+		total += mean
+		variance := (sumsq[i]/float64(samples) - mean*mean) * float64(samples) / float64(samples-1)
+		if variance > 0 {
+			msq += variance / float64(samples)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Sqrt(msq/float64(len(phi))) / math.Abs(total)
 }

@@ -45,6 +45,7 @@ func BuildTable(n int, v SetFunc) ([]float64, error) {
 	for mask := range table {
 		table[mask] = v(uint64(mask))
 	}
+	metricExactCoalitions.Add(float64(len(table)))
 	return table, nil
 }
 
@@ -72,6 +73,7 @@ func BuildTableIncremental(n int, add, remove func(player int), value func() flo
 		remove(next)
 	}
 	rec(0, 0)
+	metricExactCoalitions.Add(float64(len(table)))
 	return table, nil
 }
 
@@ -127,6 +129,7 @@ func MonteCarlo(n int, v SetFunc, samples int, rng *rand.Rand) ([]float64, error
 	if rng == nil {
 		return nil, errors.New("shapley: nil rng")
 	}
+	metricSamples.With("monte-carlo").Add(float64(samples))
 	phi := make([]float64, n)
 	perm := make([]int, n)
 	for s := 0; s < samples; s++ {

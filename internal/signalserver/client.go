@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"fairco2/internal/timeseries"
 	"fairco2/internal/units"
@@ -18,11 +19,18 @@ type Client struct {
 	BaseURL string
 	// HTTPClient optionally overrides http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each request when HTTPClient is nil. Zero means no
+	// timeout (http.DefaultClient semantics). A scheduler polling the
+	// signal must not hang on a wedged server: set this.
+	Timeout time.Duration
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
+	}
+	if c.Timeout > 0 {
+		return &http.Client{Timeout: c.Timeout}
 	}
 	return http.DefaultClient
 }

@@ -1,10 +1,14 @@
 package signalserver
 
 import (
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"testing"
+	"time"
 
 	"fairco2/internal/units"
 )
@@ -112,5 +116,62 @@ func TestClientServerErrors(t *testing.T) {
 	c = &Client{BaseURL: "http://127.0.0.1:1"}
 	if _, err := c.Current(); err == nil {
 		t.Error("unreachable server should error")
+	}
+}
+
+// slowServer blocks every request until the client gives up (or the test
+// ends), simulating a wedged signal server.
+func slowServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientTimeoutAgainstSlowServer(t *testing.T) {
+	ts := slowServer(t)
+	c := &Client{BaseURL: ts.URL, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Current()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("slow server should time out")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("client returned after %v; the 50ms timeout was not honored", elapsed)
+	}
+	var uerr *url.Error
+	if !errors.As(err, &uerr) || !uerr.Timeout() {
+		t.Errorf("error %v should unwrap to a timeout", err)
+	}
+	if !strings.Contains(err.Error(), "signalserver client") {
+		t.Errorf("error %q lacks the client prefix", err)
+	}
+}
+
+func TestClientHTTPClientOverrideTimeout(t *testing.T) {
+	ts := slowServer(t)
+	c := &Client{
+		BaseURL: ts.URL,
+		// An explicit HTTPClient wins over the Timeout field.
+		HTTPClient: &http.Client{Timeout: 50 * time.Millisecond},
+		Timeout:    time.Hour,
+	}
+	start := time.Now()
+	if _, err := c.Window(6); err == nil {
+		t.Fatal("slow server should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("client returned after %v; the override timeout was not honored", elapsed)
+	}
+}
+
+func TestClientBestWindowSlowServer(t *testing.T) {
+	ts := slowServer(t)
+	c := &Client{BaseURL: ts.URL, Timeout: 50 * time.Millisecond}
+	if _, err := c.BestWindow(8, units.SecondsPerHour, 6); err == nil {
+		t.Fatal("BestWindow against a wedged server should fail, not hang")
 	}
 }

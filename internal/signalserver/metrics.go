@@ -1,0 +1,56 @@
+package signalserver
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"fairco2/internal/metrics"
+)
+
+// Serving-path telemetry, shared by every Server in the process (labels
+// separate endpoints, not instances — the daemons run one server each).
+var (
+	metricRequests = metrics.Default().NewCounterVec(
+		"fairco2_signalserver_requests_total",
+		"HTTP requests served, by endpoint and status code.",
+		"endpoint", "code")
+	metricLatency = metrics.Default().NewHistogramVec(
+		"fairco2_signalserver_request_seconds",
+		"HTTP request latency, by endpoint.",
+		nil,
+		"endpoint")
+	metricRefits = metrics.Default().NewCounter(
+		"fairco2_signalserver_refits_total",
+		"Forecast re-fits performed by Refresh.")
+	metricRefitSeconds = metrics.Default().NewHistogram(
+		"fairco2_signalserver_refit_seconds",
+		"Wall-clock duration of one Refresh (forecast fit + signal rebuild).",
+		nil)
+	metricCurrentIntensity = metrics.Default().NewGauge(
+		"fairco2_signalserver_current_intensity_g_per_core_second",
+		"Live embodied carbon intensity at the history/forecast boundary.")
+)
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a route handler with request counting and latency
+// observation under the endpoint label.
+func instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		metricRequests.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		metricLatency.With(endpoint).Observe(time.Since(start).Seconds())
+	}
+}

@@ -7,6 +7,7 @@
 //	GET /v1/intensity/current        -> the signal value now
 //	GET /v1/intensity/window?hours=N -> the signal series for the next N hours
 //	GET /v1/intensity/series         -> the full (history + forecast) signal
+//	GET /metrics                     -> Prometheus text-format metrics
 //
 // The server holds a demand history, fits the forecaster, extends the
 // horizon, and derives the Temporal Shapley signal; Refresh re-fits after
@@ -20,8 +21,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"fairco2/internal/forecast"
+	"fairco2/internal/metrics"
 	"fairco2/internal/temporal"
 	"fairco2/internal/timeseries"
 	"fairco2/internal/units"
@@ -83,6 +86,7 @@ func New(history *timeseries.Series, cfg Config) (*Server, error) {
 // Refresh re-fits the forecaster on a new (longer) history and swaps in
 // the updated signal.
 func (s *Server) Refresh(history *timeseries.Series) error {
+	refitStart := time.Now()
 	if history == nil || history.Len() == 0 {
 		return errors.New("signalserver: empty history")
 	}
@@ -105,21 +109,36 @@ func (s *Server) Refresh(history *timeseries.Series) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.demand = stitched
 	s.signal = signal
 	s.histLen = history.Len()
 	s.refits++
+	s.mu.Unlock()
+	metricRefits.Inc()
+	metricRefitSeconds.Observe(time.Since(refitStart).Seconds())
+	metricCurrentIntensity.Set(signal.Values[history.Len()-1])
 	return nil
 }
 
-// Handler returns the HTTP routes.
+// CurrentIntensity returns the signal value at the boundary between
+// history and forecast — "now" in the server's frame — without going
+// through HTTP. The exporter daemon publishes it as a gauge.
+func (s *Server) CurrentIntensity() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.signal.Values[s.histLen-1]
+}
+
+// Handler returns the HTTP routes. Every route is instrumented with
+// request and latency metrics, and the process-wide registry is exposed on
+// /metrics so the signal-server shares the exporter daemon's wiring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/intensity/current", s.handleCurrent)
-	mux.HandleFunc("GET /v1/intensity/window", s.handleWindow)
-	mux.HandleFunc("GET /v1/intensity/series", s.handleSeries)
+	mux.HandleFunc("GET /healthz", instrumented("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/intensity/current", instrumented("/v1/intensity/current", s.handleCurrent))
+	mux.HandleFunc("GET /v1/intensity/window", instrumented("/v1/intensity/window", s.handleWindow))
+	mux.HandleFunc("GET /v1/intensity/series", instrumented("/v1/intensity/series", s.handleSeries))
+	mux.Handle("GET /metrics", metrics.Default().Handler())
 	return mux
 }
 

@@ -2,12 +2,15 @@ package signalserver
 
 import (
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
+	"fairco2/internal/metrics"
 	"fairco2/internal/timeseries"
 	"fairco2/internal/trace"
 	"fairco2/internal/units"
@@ -189,6 +192,45 @@ func TestRefreshConcurrentWithReads(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).Handler())
+	defer ts.Close()
+	// Generate some traffic so the request counters have data.
+	for _, path := range []string{"/healthz", "/v1/intensity/current", "/v1/intensity/window?hours=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if _, err := metrics.LintText(strings.NewReader(text)); err != nil {
+		t.Fatalf("/metrics is not valid text format: %v", err)
+	}
+	for _, want := range []string{
+		`fairco2_signalserver_requests_total{endpoint="/healthz",code="200"}`,
+		`fairco2_signalserver_request_seconds_count{endpoint="/v1/intensity/current"}`,
+		"fairco2_signalserver_refits_total",
+		"fairco2_signalserver_current_intensity_g_per_core_second",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 }
 
 func TestNewErrors(t *testing.T) {
