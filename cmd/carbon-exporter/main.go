@@ -55,6 +55,11 @@ type exporterConfig struct {
 	Seed int64
 	// ShapleySamples is the permutation budget per share re-estimate.
 	ShapleySamples int
+	// ShapleyParallelism shards each share re-estimate across workers
+	// (0 or 1 = serial single stream, n > 1 = n workers, negative =
+	// GOMAXPROCS). Shares stay deterministic for a fixed seed and
+	// parallelism.
+	ShapleyParallelism int
 	// SignalBudget is the embodied budget behind the forecast signal.
 	SignalBudget units.GramsCO2e
 	// HorizonSamples is the forecast horizon of the intensity signal.
@@ -320,8 +325,18 @@ func (e *exporter) publishShares(k int) {
 		return peak
 	}
 	half := (e.cfg.ShapleySamples + 1) / 2
-	a, errA := shapley.MonteCarlo(n, v, half, e.rng)
-	b, errB := shapley.MonteCarlo(n, v, half, e.rng)
+	var a, b []float64
+	var errA, errB error
+	if p := e.cfg.ShapleyParallelism; p == 0 || p == 1 {
+		a, errA = shapley.MonteCarlo(n, v, half, e.rng)
+		b, errB = shapley.MonteCarlo(n, v, half, e.rng)
+	} else {
+		// Sharded estimation: each half-budget estimate gets one seed
+		// drawn from the loop's rng, so the tick sequence stays
+		// reproducible for a fixed simulation seed and parallelism.
+		a, errA = shapley.MonteCarloParallel(n, v, half, e.rng.Int63(), p)
+		b, errB = shapley.MonteCarloParallel(n, v, half, e.rng.Int63(), p)
+	}
 	if errA != nil || errB != nil {
 		return // sampling params are validated at construction; unreachable
 	}
@@ -422,6 +437,7 @@ func main() {
 		seed     = flag.Int64("seed", def.Seed, "simulation seed")
 		samples  = flag.Int("shapley-samples", def.ShapleySamples, "permutations per share re-estimate")
 		budget   = flag.Float64("signal-budget", float64(def.SignalBudget), "embodied budget behind the forecast signal (gCO2e)")
+		workers  = flag.Int("parallelism", def.ShapleyParallelism, "workers sharding each Shapley share re-estimate (0 or 1 = serial, -1 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -433,6 +449,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ShapleySamples = *samples
 	cfg.SignalBudget = units.GramsCO2e(*budget)
+	cfg.ShapleyParallelism = *workers
 
 	reg := metrics.Default()
 	exp, err := newExporter(cfg, reg)

@@ -41,11 +41,12 @@ func main() {
 		gridCI   = flag.Float64("grid-ci", 250, "grid carbon intensity for -colocate (gCO2e/kWh)")
 		suite    = flag.Bool("suite", false, "print the benchmark workload suite")
 		axiomsF  = flag.Bool("axioms", false, "check the four Shapley fairness axioms against every method")
+		workers  = flag.Int("parallelism", 0, "Shapley solver workers (0 = all CPUs, 1 = serial); the attribution is identical either way")
 	)
 	flag.Parse()
 
 	if *axiomsF {
-		runAxioms()
+		runAxioms(*workers)
 		return
 	}
 
@@ -101,7 +102,7 @@ func main() {
 
 	results := make(map[string][]float64, len(methods))
 	for _, m := range methods {
-		attr, err := fairco2.AttributeSchedule(m, sched, fairco2.GramsCO2e(*budget))
+		attr, err := fairco2.AttributeScheduleParallel(m, sched, fairco2.GramsCO2e(*budget), *workers)
 		if err != nil {
 			log.Fatalf("%s: %v", m, err)
 		}
@@ -116,13 +117,13 @@ func main() {
 	}
 }
 
-func runAxioms() {
+func runAxioms(workers int) {
 	cfg := axioms.DefaultConfig()
 	methods := []attribution.Method{
-		attribution.GroundTruth{},
+		attribution.GroundTruth{Parallelism: workers},
 		attribution.RUPBaseline{},
 		attribution.DemandProportional{},
-		attribution.TemporalShapley{},
+		attribution.TemporalShapley{Parallelism: workers},
 	}
 	fmt.Println("Shapley fairness axioms (§4) checked on randomized schedules:")
 	fmt.Printf("%-28s %12s %10s %12s %10s\n", "method", "efficiency", "symmetry", "null-player", "linearity")

@@ -35,6 +35,8 @@ func main() {
 	flag.IntVar(&cfg.NodeCapacity, "capacity", 0, "tenants per node (0 or 2 = paper's pairwise; >2 uses the k-way extension)")
 	flag.IntVar(&cfg.FactorDraws, "factor-draws", 500, "historical colocations per k-way factor (capacity > 2)")
 	flag.IntVar(&cfg.Workers, "num-workers", cfg.Workers, "worker goroutines (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.ShapleyParallelism, "shapley-parallelism", cfg.ShapleyParallelism,
+		"workers sharding each trial's ground-truth permutation samples (0 or 1 = serial; trials already run in parallel, so raise this only for few large scenarios)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "experiment seed")
 	perWorkload := flag.Bool("per-workload", false, "also print Figure 9 per-workload/per-partner distributions")
 	out := flag.String("out", "", "also export per-trial results to this CSV file")

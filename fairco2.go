@@ -63,16 +63,25 @@ func WorkloadSuite() []*WorkloadProfile { return workload.Suite() }
 // of a dynamic-demand schedule using the named method. The returned slice
 // is indexed by workload ID and always sums to the budget.
 func AttributeSchedule(method string, s *Schedule, budget GramsCO2e) ([]float64, error) {
+	return AttributeScheduleParallel(method, s, budget, 0)
+}
+
+// AttributeScheduleParallel is AttributeSchedule with an explicit Shapley
+// worker count: 0 auto-sizes to GOMAXPROCS, 1 forces the serial solvers,
+// n > 1 uses n workers. Every method is deterministic — the attribution is
+// identical for any parallelism value (schedules demand integer cores, so
+// coalition peaks carry no rounding).
+func AttributeScheduleParallel(method string, s *Schedule, budget GramsCO2e, parallelism int) ([]float64, error) {
 	var m attribution.Method
 	switch method {
 	case MethodGroundTruth:
-		m = attribution.GroundTruth{}
+		m = attribution.GroundTruth{Parallelism: parallelism}
 	case MethodRUP:
 		m = attribution.RUPBaseline{}
 	case MethodDemandProportional:
 		m = attribution.DemandProportional{}
 	case MethodFairCO2:
-		m = attribution.TemporalShapley{}
+		m = attribution.TemporalShapley{Parallelism: parallelism}
 	default:
 		return nil, fmt.Errorf("fairco2: unknown attribution method %q", method)
 	}

@@ -50,49 +50,72 @@ func validate(s *schedule.Schedule, budget units.GramsCO2e) error {
 }
 
 // GroundTruth is the exact Shapley attribution with workloads as players.
-type GroundTruth struct{}
+type GroundTruth struct {
+	// Parallelism selects the coalition-enumeration worker count: 0
+	// (the zero value) auto-sizes to GOMAXPROCS, 1 forces the serial
+	// solver, n > 1 uses n workers. Workloads demand integer cores, so
+	// every coalition peak is exact and the attribution is identical
+	// for any setting.
+	Parallelism int
+}
 
 // Name implements Method.
 func (GroundTruth) Name() string { return "ground-truth-shapley" }
 
+// demandPeakGame returns the incremental coalition-peak game over a fresh
+// demand scratch buffer: add/remove update the summed demand curve, value
+// recomputes its peak in O(slices). Each call returns independent state, so
+// parallel enumeration gets one game per block.
+func demandPeakGame(s *schedule.Schedule) (add, remove func(int), value func() float64) {
+	demand := make([]float64, s.Slices)
+	add = func(i int) {
+		w := s.Workloads[i]
+		for t := w.Start; t < w.End(); t++ {
+			demand[t] += float64(w.Cores)
+		}
+	}
+	remove = func(i int) {
+		w := s.Workloads[i]
+		for t := w.Start; t < w.End(); t++ {
+			demand[t] -= float64(w.Cores)
+		}
+	}
+	value = func() float64 {
+		peak := 0.0
+		for _, d := range demand {
+			if d > peak {
+				peak = d
+			}
+		}
+		return peak
+	}
+	return add, remove, value
+}
+
 // Attribute implements Method. Complexity is O(2^n * (n + slices)); the
 // schedule must have at most shapley.MaxExactPlayers workloads.
-func (GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+func (m GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
 	defer observeRun(GroundTruth{}.Name(), time.Now())
 	if err := validate(s, budget); err != nil {
 		return nil, err
 	}
 	n := len(s.Workloads)
-	// Build the coalition-peak table incrementally: maintain the summed
-	// demand curve and its running peak per DFS node. Peak recomputation
-	// is O(slices) per coalition.
-	demand := make([]float64, s.Slices)
-	table, err := shapley.BuildTableIncremental(n,
-		func(i int) {
-			w := s.Workloads[i]
-			for t := w.Start; t < w.End(); t++ {
-				demand[t] += float64(w.Cores)
-			}
-		},
-		func(i int) {
-			w := s.Workloads[i]
-			for t := w.Start; t < w.End(); t++ {
-				demand[t] -= float64(w.Cores)
-			}
-		},
-		func() float64 {
-			peak := 0.0
-			for _, d := range demand {
-				if d > peak {
-					peak = d
-				}
-			}
-			return peak
-		})
-	if err != nil {
-		return nil, err
+	var table, phi []float64
+	var err error
+	if m.Parallelism == 1 {
+		add, remove, value := demandPeakGame(s)
+		table, err = shapley.BuildTableIncremental(n, add, remove, value)
+		if err == nil {
+			phi, err = shapley.ExactFromTable(n, table)
+		}
+	} else {
+		table, err = shapley.BuildTableIncrementalParallel(n,
+			func() (func(int), func(int), func() float64) { return demandPeakGame(s) },
+			m.Parallelism)
+		if err == nil {
+			phi, err = shapley.ExactFromTableParallel(n, table, m.Parallelism)
+		}
 	}
-	phi, err := shapley.ExactFromTable(n, table)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +185,10 @@ type TemporalShapley struct {
 	// Monte Carlo evaluation have at most 9 slices, so one level is both
 	// exact and cheap; multi-level splits matter for month-long traces).
 	Splits []int
+	// Parallelism is forwarded to temporal.Config: how many top-level
+	// periods attribute concurrently (0 auto, 1 serial). The intensity
+	// signal is identical for any setting.
+	Parallelism int
 }
 
 // Name implements Method.
@@ -177,7 +204,7 @@ func (m TemporalShapley) Attribute(s *schedule.Schedule, budget units.GramsCO2e)
 	if len(splits) == 0 {
 		splits = []int{s.Slices}
 	}
-	intensity, err := temporal.IntensitySignal(s.Demand(), budget, temporal.Config{SplitRatios: splits})
+	intensity, err := temporal.IntensitySignal(s.Demand(), budget, temporal.Config{SplitRatios: splits, Parallelism: m.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,111 @@
+package attribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests of the Parallelism knob at the attribution layer.
+// Workloads demand integer cores, so coalition peaks are exact integers and
+// the exact methods must be bit-for-bit identical for every worker count.
+
+func TestGroundTruthParallelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const budget = 1e6
+	for trial := 0; trial < 25; trial++ {
+		s := randomSchedule(t, rng)
+		serial, err := GroundTruth{Parallelism: 1}.Attribute(s, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 8} {
+			par, err := GroundTruth{Parallelism: workers}.Attribute(s, budget)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("trial %d workers %d workload %d: parallel %v != serial %v",
+						trial, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTemporalShapleyParallelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const budget = 1e6
+	for trial := 0; trial < 25; trial++ {
+		s := randomSchedule(t, rng)
+		serial, err := TemporalShapley{Parallelism: 1}.Attribute(s, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 5} {
+			par, err := TemporalShapley{Parallelism: workers}.Attribute(s, budget)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("trial %d workers %d workload %d: parallel %v != serial %v",
+						trial, workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSampledShapleyParallelDeterminism pins the sampled contract: a fixed
+// (Seed, Parallelism) pair reproduces the estimate bit-for-bit, Parallelism
+// 0 and 1 are the same serial single stream, and the sharded estimate stays
+// an unbiased approximation of the exact ground truth.
+func TestSampledShapleyParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const budget = 1e6
+	s := randomSchedule(t, rng)
+
+	serial0, err := SampledShapley{Samples: 5000, Seed: 42}.Attribute(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial1, err := SampledShapley{Samples: 5000, Seed: 42, Parallelism: 1}.Attribute(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial0 {
+		if serial0[i] != serial1[i] {
+			t.Fatalf("workload %d: parallelism 0 gave %v, parallelism 1 gave %v", i, serial0[i], serial1[i])
+		}
+	}
+
+	a, err := SampledShapley{Samples: 5000, Seed: 42, Parallelism: 4}.Attribute(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampledShapley{Samples: 5000, Seed: 42, Parallelism: 4}.Attribute(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload %d: repeated sharded run gave %v then %v", i, a[i], b[i])
+		}
+	}
+
+	exact, err := GroundTruth{}.Attribute(s, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sum(a), budget, 1e-3, "sharded estimate conserves budget")
+	for i := range exact {
+		if exact[i] == 0 {
+			continue
+		}
+		if rel := math.Abs(a[i]-exact[i]) / exact[i]; rel > 0.15 {
+			t.Errorf("workload %d: sharded estimate %v deviates %.3f from exact %v", i, a[i], rel, exact[i])
+		}
+	}
+}

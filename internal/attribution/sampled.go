@@ -23,6 +23,13 @@ type SampledShapley struct {
 	Samples int
 	// Seed makes the estimate reproducible.
 	Seed int64
+	// Parallelism shards the samples across workers. 0 or 1 keeps the
+	// serial single-stream estimator (reproducible across machines);
+	// n > 1 uses n workers, each running the serial core on its shard
+	// with an independently derived seed — deterministic for a fixed
+	// (Seed, Parallelism) pair but a different (equally unbiased)
+	// estimate than the serial stream. Negative means GOMAXPROCS.
+	Parallelism int
 }
 
 // Name implements Method.
@@ -41,33 +48,40 @@ func (m SampledShapley) Attribute(s *schedule.Schedule, budget units.GramsCO2e) 
 	if n > 63 {
 		return nil, fmt.Errorf("attribution: sampled shapley supports at most 63 workloads, got %d", n)
 	}
-	rng := rand.New(rand.NewSource(m.Seed))
-
 	// Incremental state: the summed demand curve of the growing
 	// coalition. Along one permutation each workload is added once, so a
-	// sample costs O(n * slices).
-	demand := make([]float64, s.Slices)
-	marginals := func(perm []int, out []float64) {
-		for i := range demand {
-			demand[i] = 0
-		}
-		prevPeak := 0.0
-		for _, w := range perm {
-			wl := s.Workloads[w]
-			for t := wl.Start; t < wl.End(); t++ {
-				demand[t] += float64(wl.Cores)
+	// sample costs O(n * slices). The scratch buffer is per-closure, so
+	// the parallel path hands each worker its own instance.
+	newMarginals := func() shapley.OrderedMarginals {
+		demand := make([]float64, s.Slices)
+		return func(perm []int, out []float64) {
+			for i := range demand {
+				demand[i] = 0
 			}
-			peak := 0.0
-			for _, d := range demand {
-				if d > peak {
-					peak = d
+			prevPeak := 0.0
+			for _, w := range perm {
+				wl := s.Workloads[w]
+				for t := wl.Start; t < wl.End(); t++ {
+					demand[t] += float64(wl.Cores)
 				}
+				peak := 0.0
+				for _, d := range demand {
+					if d > peak {
+						peak = d
+					}
+				}
+				out[w] = peak - prevPeak
+				prevPeak = peak
 			}
-			out[w] = peak - prevPeak
-			prevPeak = peak
 		}
 	}
-	phi, err := shapley.SampledOrdered(n, marginals, m.Samples, rng)
+	var phi []float64
+	var err error
+	if m.Parallelism == 0 || m.Parallelism == 1 {
+		phi, err = shapley.SampledOrdered(n, newMarginals(), m.Samples, rand.New(rand.NewSource(m.Seed)))
+	} else {
+		phi, err = shapley.SampledOrderedParallel(n, newMarginals, m.Samples, m.Seed, m.Parallelism)
+	}
 	if err != nil {
 		return nil, err
 	}

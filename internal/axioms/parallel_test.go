@@ -1,0 +1,68 @@
+package axioms
+
+import (
+	"testing"
+
+	"fairco2/internal/attribution"
+)
+
+// The fairness axioms must survive parallel execution: the parallel exact
+// solvers are bit-for-bit the serial ones, and the sharded sampled
+// estimator — while a different draw than the serial stream — is still an
+// unbiased Shapley estimate, so it keeps the exactly-preserved axioms
+// (efficiency and linearity hold for any normalized rate method) and stays
+// within sampling noise on the rest.
+
+func TestGroundTruthParallelSatisfiesAllAxioms(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tolerance = 1e-8
+	report := CheckAll(attribution.GroundTruth{Parallelism: 4}, cfg)
+	if !report.Satisfied() {
+		for _, v := range report.Violations {
+			t.Errorf("%v", v)
+		}
+	}
+}
+
+func TestTemporalShapleyParallelNearAxioms(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tolerance = 1e-8
+	m := attribution.TemporalShapley{Parallelism: 4}
+	if vs := CheckEfficiency(m, cfg); len(vs) != 0 {
+		t.Errorf("efficiency: %v", vs)
+	}
+	if vs := CheckSymmetry(m, cfg); len(vs) != 0 {
+		t.Errorf("symmetry: %v", vs)
+	}
+	if vs := CheckLinearity(m, cfg); len(vs) != 0 {
+		t.Errorf("linearity: %v", vs)
+	}
+}
+
+func TestSampledShapleyParallelAxioms(t *testing.T) {
+	// Efficiency and linearity are exact for the sharded estimator: the
+	// estimate is normalized to the budget and scales linearly in it (the
+	// same permutations are drawn for the same seed). Symmetry and the
+	// null-player bound hold only up to sampling noise, so they get a
+	// loose tolerance and enough samples to keep the noise below it.
+	m := attribution.SampledShapley{Samples: 4000, Seed: 7, Parallelism: 4}
+
+	exact := DefaultConfig()
+	exact.Tolerance = 1e-8
+	if vs := CheckEfficiency(m, exact); len(vs) != 0 {
+		t.Errorf("efficiency: %v", vs)
+	}
+	if vs := CheckLinearity(m, exact); len(vs) != 0 {
+		t.Errorf("linearity: %v", vs)
+	}
+
+	noisy := DefaultConfig()
+	noisy.Instances = 5
+	noisy.Tolerance = 0.1
+	if vs := CheckSymmetry(m, noisy); len(vs) != 0 {
+		t.Errorf("symmetry: %v", vs)
+	}
+	if vs := CheckNullPlayer(m, noisy); len(vs) != 0 {
+		t.Errorf("null player: %v", vs)
+	}
+}

@@ -20,6 +20,11 @@ type GroundTruthConfig struct {
 	Samples int
 	// Rng drives permutation sampling; required when sampling occurs.
 	Rng *rand.Rand
+	// Parallelism shards permutation samples across workers. 0 or 1
+	// keeps the serial estimator; n > 1 uses n workers seeded from one
+	// draw of Rng (deterministic for a fixed Rng state and worker
+	// count); negative means GOMAXPROCS.
+	Parallelism int
 }
 
 // DefaultGroundTruthConfig enumerates scenarios up to 7 workloads exactly
@@ -60,7 +65,16 @@ func GroundTruth(s *Scenario, cfg GroundTruthConfig) ([]float64, error) {
 		if cfg.Rng == nil {
 			return nil, errors.New("colocation: sampling ground truth requires an rng")
 		}
-		phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+		if cfg.Parallelism == 0 || cfg.Parallelism == 1 {
+			phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+		} else {
+			// The closure only writes the caller's out slice, so every
+			// worker can share it; one draw advances Rng exactly once
+			// regardless of worker count.
+			phi, err = shapley.SampledOrderedParallel(n,
+				func() shapley.OrderedMarginals { return marginals },
+				cfg.Samples, cfg.Rng.Int63(), cfg.Parallelism)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -108,7 +108,14 @@ func GroundTruthGrouped(s *Scenario, capacity int, cfg GroundTruthConfig) ([]flo
 		if cfg.Samples < 1 || cfg.Rng == nil {
 			return nil, fmt.Errorf("colocation: scenario of %d workloads needs sampling configuration", n)
 		}
-		phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+		if cfg.Parallelism == 0 || cfg.Parallelism == 1 {
+			phi, err = shapley.SampledOrdered(n, marginals, cfg.Samples, cfg.Rng)
+		} else {
+			// Per-invocation locals only, so workers can share the closure.
+			phi, err = shapley.SampledOrderedParallel(n,
+				func() shapley.OrderedMarginals { return marginals },
+				cfg.Samples, cfg.Rng.Int63(), cfg.Parallelism)
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -36,6 +36,12 @@ type ColocationConfig struct {
 	// GroundTruthSamples is the permutation sample count for scenarios
 	// too large for exact enumeration.
 	GroundTruthSamples int
+	// ShapleyParallelism shards each trial's ground-truth permutation
+	// samples across workers (see colocation.GroundTruthConfig). The
+	// default 0 keeps the serial estimator — trials already run
+	// concurrently, so inner parallelism only helps when Trials is
+	// small relative to the core count.
+	ShapleyParallelism int
 	// CollectPerWorkload retains per-workload deviations and partner
 	// identities for the Figure 9 distributions (costs memory).
 	CollectPerWorkload bool
@@ -179,6 +185,7 @@ func runColocationTrial(cfg ColocationConfig, char *workload.Characterization, i
 	}
 	gtCfg := colocation.DefaultGroundTruthConfig(rng)
 	gtCfg.Samples = cfg.GroundTruthSamples
+	gtCfg.Parallelism = cfg.ShapleyParallelism
 
 	var gt, rup, fair []float64
 	if cfg.NodeCapacity > 2 {

@@ -1,7 +1,6 @@
 package shapley
 
 import (
-	"errors"
 	"math/rand"
 )
 
@@ -14,16 +13,19 @@ import (
 // permutation evaluations (must be even; each pair costs two).
 func MonteCarloAntithetic(n int, v SetFunc, samples int, rng *rand.Rand) ([]float64, error) {
 	if n < 1 {
-		return nil, errors.New("shapley: need at least one player")
+		return nil, ErrNoPlayers
 	}
 	if n > 63 {
-		return nil, errors.New("shapley: bitmask games support at most 63 players")
+		return nil, ErrTooManyPlayers
 	}
 	if samples < 2 || samples%2 != 0 {
-		return nil, errors.New("shapley: antithetic sampling needs a positive even sample count")
+		return nil, ErrOddAntitheticSamples
+	}
+	if v == nil {
+		return nil, ErrNilGame
 	}
 	if rng == nil {
-		return nil, errors.New("shapley: nil rng")
+		return nil, ErrNilRNG
 	}
 	metricSamples.With("antithetic").Add(float64(samples))
 	phi := make([]float64, n)

@@ -1,0 +1,52 @@
+package shapley
+
+import "errors"
+
+// Sentinel errors for the argument-validation failures every estimator in
+// this package shares. They exist so callers can branch on the failure class
+// with errors.Is instead of matching message text — the Monte Carlo
+// harnesses retry with adjusted budgets on ErrTooFewSamples, for example —
+// and so the parallel engine can guarantee it fails the same way the serial
+// core does. Errors carrying instance detail (player counts, table sizes)
+// wrap the sentinel via fmt.Errorf("...: %w", ...).
+var (
+	// ErrNoPlayers reports a game with n < 1 players.
+	ErrNoPlayers = errors.New("shapley: need at least one player")
+	// ErrTooManyPlayers reports a bitmask game with more than 63 players
+	// (coalition masks are uint64 with one sign bit reserved by the rngs).
+	ErrTooManyPlayers = errors.New("shapley: bitmask games support at most 63 players")
+	// ErrTooManyExactPlayers reports an exact-enumeration request above
+	// MaxExactPlayers.
+	ErrTooManyExactPlayers = errors.New("shapley: too many players for exact enumeration")
+	// ErrTooManyOrderedPlayers reports an exact ordered-game request above
+	// MaxExactOrderedPlayers.
+	ErrTooManyOrderedPlayers = errors.New("shapley: too many players for exact ordered enumeration")
+	// ErrTooFewSamples reports a sampling request with samples < 1.
+	ErrTooFewSamples = errors.New("shapley: need at least one sample")
+	// ErrOddAntitheticSamples reports an antithetic sampling request whose
+	// budget is not a positive even number (each pair costs two samples).
+	ErrOddAntitheticSamples = errors.New("shapley: antithetic sampling needs a positive even sample count")
+	// ErrNilRNG reports a sampling request without a random source.
+	ErrNilRNG = errors.New("shapley: nil rng")
+	// ErrNilGame reports a nil characteristic function.
+	ErrNilGame = errors.New("shapley: nil characteristic function")
+	// ErrNilMarginals reports a nil ordered-game marginals function.
+	ErrNilMarginals = errors.New("shapley: nil marginals function")
+	// ErrTableSize reports a coalition table whose length is not 2^n.
+	ErrTableSize = errors.New("shapley: coalition table length is not 2^n")
+)
+
+// checkSampling validates the shared sampling arguments of the bitmask-game
+// Monte Carlo estimators.
+func checkSampling(n, samples int) error {
+	if n < 1 {
+		return ErrNoPlayers
+	}
+	if n > 63 {
+		return ErrTooManyPlayers
+	}
+	if samples < 1 {
+		return ErrTooFewSamples
+	}
+	return nil
+}

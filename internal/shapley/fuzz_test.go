@@ -1,0 +1,99 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the exact solvers. The invariants checked are the ones
+// every downstream attribution depends on: no panics on arbitrary input,
+// efficiency (the Shapley values sum to v(grand) - v(empty)), and the
+// closed-form peak-game solver agreeing with full coalition enumeration.
+
+// tableFromBytes decodes a fuzzer byte string into a coalition table for an
+// n-player game. Bytes map to small non-negative floats (b/4, so quarters
+// exercise non-integer arithmetic); missing bytes extend with zero. The
+// empty coalition is pinned to value 0 so efficiency reduces to
+// sum(phi) == v(grand).
+func tableFromBytes(n int, data []byte) []float64 {
+	table := make([]float64, 1<<uint(n))
+	for i := 1; i < len(table); i++ {
+		if i-1 < len(data) {
+			table[i] = float64(data[i-1]) / 4
+		}
+	}
+	return table
+}
+
+func FuzzExactFromTable(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(12), []byte{255, 0, 128, 9})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw)%12 + 1
+		table := tableFromBytes(n, data)
+		phi, err := ExactFromTable(n, table)
+		if err != nil {
+			t.Fatalf("valid table rejected: %v", err)
+		}
+		sum := 0.0
+		for _, p := range phi {
+			sum += p
+		}
+		grand := table[len(table)-1]
+		if math.Abs(sum-grand) > 1e-9*(1+math.Abs(grand)) {
+			t.Fatalf("efficiency violated: sum(phi)=%v, v(grand)=%v", sum, grand)
+		}
+		// The parallel solver must agree bit-for-bit on anything the fuzzer
+		// finds, with any worker count.
+		par, err := ExactFromTableParallel(n, table, int(nRaw)%5+1)
+		if err != nil {
+			t.Fatalf("parallel solver rejected valid table: %v", err)
+		}
+		for i := range phi {
+			if par[i] != phi[i] {
+				t.Fatalf("player %d: parallel %v != serial %v", i, par[i], phi[i])
+			}
+		}
+	})
+}
+
+func FuzzPeakGame(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 0, 7, 7, 7, 9, 200, 31, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 12 {
+			return
+		}
+		peaks := make([]float64, len(data))
+		maxPeak := 0.0
+		for i, b := range data {
+			peaks[i] = float64(b) / 4
+			if peaks[i] > maxPeak {
+				maxPeak = peaks[i]
+			}
+		}
+		closed, err := PeakGame(peaks)
+		if err != nil {
+			t.Fatalf("non-negative peaks rejected: %v", err)
+		}
+		naive, err := PeakGameNaive(peaks)
+		if err != nil {
+			t.Fatalf("naive solver rejected: %v", err)
+		}
+		sum := 0.0
+		for i := range peaks {
+			if math.Abs(closed[i]-naive[i]) > 1e-9*(1+maxPeak) {
+				t.Fatalf("player %d: closed form %v != naive %v", i, closed[i], naive[i])
+			}
+			if closed[i] < 0 {
+				t.Fatalf("player %d: negative share %v", i, closed[i])
+			}
+			sum += closed[i]
+		}
+		if math.Abs(sum-maxPeak) > 1e-9*(1+maxPeak) {
+			t.Fatalf("efficiency violated: sum(phi)=%v, peak=%v", sum, maxPeak)
+		}
+	})
+}

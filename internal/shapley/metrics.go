@@ -1,6 +1,10 @@
 package shapley
 
-import "fairco2/internal/metrics"
+import (
+	"time"
+
+	"fairco2/internal/metrics"
+)
 
 // Always-on instrumentation into the process-wide registry: one atomic add
 // per solver call, so the hot loops stay untouched. The estimator label
@@ -19,3 +23,47 @@ var (
 		"Relative standard error of the most recent SampledOrdered run: "+
 			"RMS of the per-player standard errors of the mean, divided by the grand total.")
 )
+
+// Parallel-engine instrumentation, labeled by solver mode (build-table,
+// build-table-incremental, exact-from-table, monte-carlo, antithetic,
+// sampled-ordered). Busy/wall counters accumulate across runs so rate()
+// yields long-run utilization; the gauges snapshot the most recent run so a
+// dashboard can watch effective speedup next to the sample counters.
+var (
+	metricParallelRuns = metrics.Default().NewCounterVec(
+		"fairco2_shapley_parallel_runs_total",
+		"Parallel Shapley solver runs, by mode.",
+		"mode")
+	metricParallelWorkers = metrics.Default().NewGaugeVec(
+		"fairco2_shapley_parallel_workers",
+		"Worker count of the most recent parallel run, by mode.",
+		"mode")
+	metricParallelBusySeconds = metrics.Default().NewCounterVec(
+		"fairco2_shapley_parallel_busy_seconds_total",
+		"Cumulative per-worker busy time of the parallel solvers, by mode.",
+		"mode")
+	metricParallelWallSeconds = metrics.Default().NewCounterVec(
+		"fairco2_shapley_parallel_wall_seconds_total",
+		"Cumulative wall-clock time of the parallel solvers, by mode.",
+		"mode")
+	metricParallelSpeedup = metrics.Default().NewGaugeVec(
+		"fairco2_shapley_parallel_speedup",
+		"Effective speedup (summed worker busy time / wall time) of the most recent parallel run, by mode.",
+		"mode")
+	metricParallelUtilization = metrics.Default().NewGaugeVec(
+		"fairco2_shapley_parallel_worker_utilization",
+		"Worker utilization (busy time / workers x wall time) of the most recent parallel run, by mode.",
+		"mode")
+)
+
+// observeParallel records one parallel solver run.
+func observeParallel(mode string, workers int, wall, busy time.Duration) {
+	metricParallelRuns.With(mode).Inc()
+	metricParallelWorkers.With(mode).Set(float64(workers))
+	metricParallelBusySeconds.With(mode).Add(busy.Seconds())
+	metricParallelWallSeconds.With(mode).Add(wall.Seconds())
+	if wall > 0 && workers > 0 {
+		metricParallelSpeedup.With(mode).Set(busy.Seconds() / wall.Seconds())
+		metricParallelUtilization.With(mode).Set(busy.Seconds() / (wall.Seconds() * float64(workers)))
+	}
+}

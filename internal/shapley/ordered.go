@@ -1,7 +1,6 @@
 package shapley
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,13 +21,13 @@ type OrderedMarginals func(perm []int, marginals []float64)
 // ExactOrdered averages marginal contributions over all n! arrival orders.
 func ExactOrdered(n int, m OrderedMarginals) ([]float64, error) {
 	if n < 1 {
-		return nil, errors.New("shapley: need at least one player")
+		return nil, ErrNoPlayers
 	}
 	if n > MaxExactOrderedPlayers {
-		return nil, fmt.Errorf("shapley: exact ordered games limited to %d players (got %d); use SampledOrdered", MaxExactOrderedPlayers, n)
+		return nil, fmt.Errorf("shapley: exact ordered games limited to %d players (got %d), use SampledOrdered: %w", MaxExactOrderedPlayers, n, ErrTooManyOrderedPlayers)
 	}
 	if m == nil {
-		return nil, errors.New("shapley: nil marginals function")
+		return nil, ErrNilMarginals
 	}
 	phi := make([]float64, n)
 	marginals := make([]float64, n)
@@ -75,16 +74,16 @@ func ExactOrdered(n int, m OrderedMarginals) ([]float64, error) {
 // distribution over permutations.
 func SampledOrdered(n int, m OrderedMarginals, samples int, rng *rand.Rand) ([]float64, error) {
 	if n < 1 {
-		return nil, errors.New("shapley: need at least one player")
+		return nil, ErrNoPlayers
 	}
 	if samples < 1 {
-		return nil, errors.New("shapley: need at least one sample")
+		return nil, ErrTooFewSamples
 	}
 	if m == nil {
-		return nil, errors.New("shapley: nil marginals function")
+		return nil, ErrNilMarginals
 	}
 	if rng == nil {
-		return nil, errors.New("shapley: nil rng")
+		return nil, ErrNilRNG
 	}
 	metricSamples.With("sampled-ordered").Add(float64(samples))
 	phi := make([]float64, n)

@@ -1,0 +1,346 @@
+package shapley
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The parallel execution layer. Every estimator here is a sharding +
+// reduction wrapper around the serial core in shapley.go / ordered.go /
+// antithetic.go — the game logic is never duplicated, so the serial
+// functions remain the single source of truth and the differential tests in
+// parallel_test.go can check the wrappers against exact serial emulations.
+//
+// Determinism contract:
+//
+//   - BuildTableParallel, ExactFromTableParallel and ExactParallel return
+//     results bit-for-bit identical to their serial counterparts for any
+//     worker count: table entries are pure per-coalition values, and the
+//     Shapley reduction partitions PLAYERS (not coalitions) across workers,
+//     so every phi[i] accumulates its terms in exactly the serial order.
+//   - BuildTableIncrementalParallel enumerates a fixed number of gray-code
+//     blocks with fresh per-block state, so its output is independent of
+//     the worker count; it equals the serial builder exactly whenever the
+//     incremental state's arithmetic is exact over add/remove (e.g.
+//     integer-valued demands), and within FP rounding otherwise.
+//   - The sampling estimators (MonteCarloParallel and friends) shard the
+//     sample budget across workers, each with an independent rng seeded via
+//     WorkerSeeds. Their output is bit-for-bit reproducible for a given
+//     (seed, worker count) but intentionally differs between worker counts
+//     and from the serial single-stream estimators: all variants are
+//     unbiased draws of the same estimator, not the same draw.
+
+// resolveWorkers maps the public Parallelism convention to a concrete
+// worker count: values below 1 mean "one worker per available CPU".
+func resolveWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runWorkers runs fn(w) for w in [0, workers) on that many goroutines and
+// returns the summed per-worker busy time for the utilization metrics.
+func runWorkers(workers int, fn func(w int)) time.Duration {
+	if workers == 1 {
+		start := time.Now()
+		fn(0)
+		return time.Since(start)
+	}
+	var busy atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(w)
+			busy.Add(int64(time.Since(start)))
+		}(w)
+	}
+	wg.Wait()
+	return time.Duration(busy.Load())
+}
+
+// BuildTableParallel evaluates v over all 2^n coalitions like BuildTable,
+// block-partitioning the mask range across workers (<= 0 selects one worker
+// per CPU). v is called exactly once per coalition, concurrently, so it
+// must be safe for concurrent use (pure functions and closures over
+// read-only state qualify). The returned table is bit-for-bit identical to
+// BuildTable's for any worker count.
+func BuildTableParallel(n int, v SetFunc, workers int) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, ErrNilGame
+	}
+	start := time.Now()
+	table := make([]float64, 1<<uint(n))
+	workers = min(resolveWorkers(workers), len(table))
+	busy := runWorkers(workers, func(w int) {
+		lo, hi := blockRange(len(table), workers, w)
+		for mask := lo; mask < hi; mask++ {
+			table[mask] = v(uint64(mask))
+		}
+	})
+	metricExactCoalitions.Add(float64(len(table)))
+	observeParallel("build-table", workers, time.Since(start), busy)
+	return table, nil
+}
+
+// incrementalPrefixBits fixes the number of gray-code blocks enumerated by
+// BuildTableIncrementalParallel: 2^6 = 64 blocks load-balance well past any
+// realistic CPU count while keeping the per-block setup cost (O(n) adds and
+// one fresh state) negligible against the 2^(n-6) coalitions inside.
+const incrementalPrefixBits = 6
+
+// BuildTableIncrementalParallel is the parallel form of
+// BuildTableIncremental. Because incremental state is inherently mutable,
+// the caller supplies a factory: newGame must return a fresh, independent
+// (add, remove, value) triple describing the empty coalition. The mask
+// range is split into a fixed number of blocks by their high bits; each
+// block is enumerated with fresh state — the block's fixed players are
+// added once, then the remaining players walk in gray-code order so every
+// step toggles exactly one player. The block count does not depend on the
+// worker count, so the output is deterministic for any parallelism.
+func BuildTableIncrementalParallel(n int, newGame func() (add, remove func(player int), value func() float64), workers int) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	if newGame == nil {
+		return nil, ErrNilGame
+	}
+	start := time.Now()
+	prefixBits := min(n, incrementalPrefixBits)
+	low := n - prefixBits
+	blocks := 1 << uint(prefixBits)
+	table := make([]float64, 1<<uint(n))
+	workers = min(resolveWorkers(workers), blocks)
+	errs := make([]error, workers)
+	busy := runWorkers(workers, func(w int) {
+		blo, bhi := blockRange(blocks, workers, w)
+		for b := blo; b < bhi; b++ {
+			add, remove, value := newGame()
+			if add == nil || remove == nil || value == nil {
+				errs[w] = ErrNilGame
+				return
+			}
+			high := uint64(b) << uint(low)
+			for rest := high; rest != 0; rest &= rest - 1 {
+				add(bits.TrailingZeros64(rest))
+			}
+			// Gray-code walk over the low players: gray(j) and gray(j+1)
+			// differ in bit TrailingZeros(j+1), so each coalition after the
+			// first costs one add or remove plus one value().
+			gray := uint64(0)
+			table[high] = value()
+			for j := uint64(1); j < 1<<uint(low); j++ {
+				bit := uint(bits.TrailingZeros64(j))
+				if gray&(1<<bit) == 0 {
+					add(int(bit))
+				} else {
+					remove(int(bit))
+				}
+				gray ^= 1 << bit
+				table[high|gray] = value()
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	metricExactCoalitions.Add(float64(len(table)))
+	observeParallel("build-table-incremental", workers, time.Since(start), busy)
+	return table, nil
+}
+
+// ExactFromTableParallel computes exact Shapley values from a dense
+// coalition table like ExactFromTable, partitioning the PLAYERS across
+// workers: each worker scans the whole table in ascending mask order but
+// accumulates only its players' marginals. Per-player accumulation order is
+// therefore exactly the serial order, making the result bit-for-bit
+// identical to ExactFromTable for any worker count.
+func ExactFromTableParallel(n int, table []float64, workers int) ([]float64, error) {
+	if err := checkExactN(n); err != nil {
+		return nil, err
+	}
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d: %w", len(table), n, ErrTableSize)
+	}
+	start := time.Now()
+	workers = min(resolveWorkers(workers), n)
+	// w[s] = s!(n-s-1)!/n!, as in the serial solver.
+	w := make([]float64, n)
+	for s := 0; s < n; s++ {
+		w[s] = 1 / (float64(n) * binomial(n-1, s))
+	}
+	phi := make([]float64, n)
+	full := uint64(1)<<uint(n) - 1
+	busy := runWorkers(workers, func(wk int) {
+		plo, phiHi := blockRange(n, workers, wk)
+		if plo == phiHi {
+			return
+		}
+		// The worker's players as a bitmask, so the inner loop can skip
+		// masks that already contain all of them.
+		var mine uint64
+		for p := plo; p < phiHi; p++ {
+			mine |= 1 << uint(p)
+		}
+		for mask := uint64(0); mask <= full; mask++ {
+			rest := ^mask & full & mine
+			if rest == 0 {
+				continue
+			}
+			vs := table[mask]
+			weight := w[bits.OnesCount64(mask)]
+			for rest != 0 {
+				bit := rest & -rest
+				i := bits.TrailingZeros64(bit)
+				phi[i] += weight * (table[mask|bit] - vs)
+				rest ^= bit
+			}
+		}
+	})
+	observeParallel("exact-from-table", workers, time.Since(start), busy)
+	return phi, nil
+}
+
+// ExactParallel is the parallel form of Exact: BuildTableParallel followed
+// by ExactFromTableParallel. v must be safe for concurrent use. The result
+// is bit-for-bit identical to Exact for any worker count.
+func ExactParallel(n int, v SetFunc, workers int) ([]float64, error) {
+	table, err := BuildTableParallel(n, v, workers)
+	if err != nil {
+		return nil, err
+	}
+	return ExactFromTableParallel(n, table, workers)
+}
+
+// MonteCarloParallel estimates Shapley values like MonteCarlo with the
+// permutation budget sharded across workers (<= 0 selects one worker per
+// CPU; the count is clamped to samples). Worker w runs the serial estimator
+// over its share with an independent rng seeded by WorkerSeeds(seed,
+// workers)[w], and the shares are averaged with their sample weights in
+// worker order — so the result is bit-for-bit reproducible for a given
+// (seed, workers) pair. v must be safe for concurrent use.
+func MonteCarloParallel(n int, v SetFunc, samples int, seed int64, workers int) ([]float64, error) {
+	if err := checkSampling(n, samples); err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, ErrNilGame
+	}
+	return sampledParallel("monte-carlo", n, samples, seed, workers, 1,
+		func(share int, rng *rand.Rand) ([]float64, error) {
+			return MonteCarlo(n, v, share, rng)
+		})
+}
+
+// MonteCarloAntitheticParallel is the parallel form of MonteCarloAntithetic:
+// the PAIR budget (samples/2) is sharded across workers, so every worker
+// keeps the even sample count the antithetic construction needs. Same
+// determinism contract as MonteCarloParallel.
+func MonteCarloAntitheticParallel(n int, v SetFunc, samples int, seed int64, workers int) ([]float64, error) {
+	if n < 1 {
+		return nil, ErrNoPlayers
+	}
+	if n > 63 {
+		return nil, ErrTooManyPlayers
+	}
+	if samples < 2 || samples%2 != 0 {
+		return nil, ErrOddAntitheticSamples
+	}
+	if v == nil {
+		return nil, ErrNilGame
+	}
+	return sampledParallel("antithetic", n, samples, seed, workers, 2,
+		func(share int, rng *rand.Rand) ([]float64, error) {
+			return MonteCarloAntithetic(n, v, share, rng)
+		})
+}
+
+// SampledOrderedParallel is the parallel form of SampledOrdered. Because
+// ordered-game marginals functions usually close over mutable scratch state
+// (incremental demand curves), the caller supplies a factory: newMarginals
+// must return a fresh, independent OrderedMarginals per call. Same
+// determinism contract as MonteCarloParallel.
+func SampledOrderedParallel(n int, newMarginals func() OrderedMarginals, samples int, seed int64, workers int) ([]float64, error) {
+	if n < 1 {
+		return nil, ErrNoPlayers
+	}
+	if samples < 1 {
+		return nil, ErrTooFewSamples
+	}
+	if newMarginals == nil {
+		return nil, ErrNilMarginals
+	}
+	return sampledParallel("sampled-ordered", n, samples, seed, workers, 1,
+		func(share int, rng *rand.Rand) ([]float64, error) {
+			m := newMarginals()
+			if m == nil {
+				return nil, ErrNilMarginals
+			}
+			return SampledOrdered(n, m, share, rng)
+		})
+}
+
+// sampledParallel shards a sample budget across workers in units of `unit`
+// samples (1, or 2 for antithetic pairs), runs the serial estimator per
+// shard, and reduces the per-worker averages with their sample weights in
+// worker order. Arguments are pre-validated by the exported wrappers.
+func sampledParallel(mode string, n, samples int, seed int64, workers, unit int, run func(share int, rng *rand.Rand) ([]float64, error)) ([]float64, error) {
+	start := time.Now()
+	units := samples / unit
+	workers = min(resolveWorkers(workers), units)
+	shares := shareSamples(units, workers)
+	seeds := WorkerSeeds(seed, workers)
+	ests := make([][]float64, workers)
+	errs := make([]error, workers)
+	busy := runWorkers(workers, func(w int) {
+		ests[w], errs[w] = run(shares[w]*unit, rand.New(rand.NewSource(seeds[w])))
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	phi := make([]float64, n)
+	for w, est := range ests {
+		weight := float64(shares[w]*unit) / float64(samples)
+		for i, v := range est {
+			phi[i] += v * weight
+		}
+	}
+	observeParallel(mode, workers, time.Since(start), busy)
+	return phi, nil
+}
+
+// shareSamples splits `samples` into `workers` near-equal shares, giving
+// the remainder to the lowest-indexed workers. workers must be in
+// [1, samples], so every share is positive.
+func shareSamples(samples, workers int) []int {
+	shares := make([]int, workers)
+	base, rem := samples/workers, samples%workers
+	for w := range shares {
+		shares[w] = base
+		if w < rem {
+			shares[w]++
+		}
+	}
+	return shares
+}
+
+// blockRange returns the half-open slice of `total` items owned by worker
+// w of `workers`, contiguous and near-equal.
+func blockRange(total, workers, w int) (lo, hi int) {
+	return total * w / workers, total * (w + 1) / workers
+}

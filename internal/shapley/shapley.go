@@ -7,7 +7,6 @@
 package shapley
 
 import (
-	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -41,6 +40,9 @@ func BuildTable(n int, v SetFunc) ([]float64, error) {
 	if err := checkExactN(n); err != nil {
 		return nil, err
 	}
+	if v == nil {
+		return nil, ErrNilGame
+	}
 	table := make([]float64, 1<<uint(n))
 	for mask := range table {
 		table[mask] = v(uint64(mask))
@@ -59,6 +61,9 @@ func BuildTable(n int, v SetFunc) ([]float64, error) {
 func BuildTableIncremental(n int, add, remove func(player int), value func() float64) ([]float64, error) {
 	if err := checkExactN(n); err != nil {
 		return nil, err
+	}
+	if add == nil || remove == nil || value == nil {
+		return nil, ErrNilGame
 	}
 	table := make([]float64, 1<<uint(n))
 	var rec func(next int, mask uint64)
@@ -87,7 +92,7 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 		return nil, err
 	}
 	if len(table) != 1<<uint(n) {
-		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d", len(table), n)
+		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d: %w", len(table), n, ErrTableSize)
 	}
 	// w[s] = s!(n-s-1)!/n! = 1 / (n * C(n-1, s)).
 	w := make([]float64, n)
@@ -117,17 +122,14 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 // is unbiased and efficient (marginals along one permutation telescope to
 // v(N) - v(empty)).
 func MonteCarlo(n int, v SetFunc, samples int, rng *rand.Rand) ([]float64, error) {
-	if n < 1 {
-		return nil, errors.New("shapley: need at least one player")
+	if err := checkSampling(n, samples); err != nil {
+		return nil, err
 	}
-	if n > 63 {
-		return nil, errors.New("shapley: bitmask games support at most 63 players")
-	}
-	if samples < 1 {
-		return nil, errors.New("shapley: need at least one sample")
+	if v == nil {
+		return nil, ErrNilGame
 	}
 	if rng == nil {
-		return nil, errors.New("shapley: nil rng")
+		return nil, ErrNilRNG
 	}
 	metricSamples.With("monte-carlo").Add(float64(samples))
 	phi := make([]float64, n)
@@ -166,10 +168,10 @@ func shuffle(perm []int, rng *rand.Rand) {
 
 func checkExactN(n int) error {
 	if n < 1 {
-		return errors.New("shapley: need at least one player")
+		return ErrNoPlayers
 	}
 	if n > MaxExactPlayers {
-		return fmt.Errorf("shapley: exact enumeration limited to %d players (got %d); use MonteCarlo", MaxExactPlayers, n)
+		return fmt.Errorf("shapley: exact enumeration limited to %d players (got %d), use MonteCarlo: %w", MaxExactPlayers, n, ErrTooManyExactPlayers)
 	}
 	return nil
 }
@@ -201,7 +203,7 @@ func binomial(n, k int) float64 {
 func PeakGame(peaks []float64) ([]float64, error) {
 	n := len(peaks)
 	if n == 0 {
-		return nil, errors.New("shapley: peak game needs at least one player")
+		return nil, ErrNoPlayers
 	}
 	idx := make([]int, n)
 	for i := range idx {

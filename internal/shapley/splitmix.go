@@ -1,0 +1,39 @@
+package shapley
+
+// SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) is the seed-derivation function behind the
+// parallel sampling estimators: each worker's math/rand source is seeded
+// with one output of a SplitMix64 stream started at the caller's seed.
+// The generator's single-word state and full-period mixing make the derived
+// seeds statistically independent even for adjacent caller seeds, which a
+// naive seed+workerIndex scheme does not guarantee (math/rand sources
+// seeded with consecutive integers are measurably correlated).
+
+// splitMix64 advances the state by the 64-bit golden-ratio increment and
+// returns the mixed output.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// WorkerSeeds derives the per-worker rng seeds the parallel sampling
+// estimators use for a given caller seed and worker count: the first
+// `workers` outputs of a SplitMix64 stream started at seed. The mapping is
+// pure, so (seed, workers) fully determines every worker's sample stream —
+// the determinism contract of MonteCarloParallel and friends. It is
+// exported so tests and callers can reproduce a parallel run's shards with
+// the serial estimators.
+func WorkerSeeds(seed int64, workers int) []int64 {
+	if workers < 1 {
+		return nil
+	}
+	state := uint64(seed)
+	out := make([]int64, workers)
+	for w := range out {
+		out[w] = int64(splitMix64(&state))
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+// TestIntensitySignalParallelDifferential pins the determinism contract of
+// the Parallelism knob: top-level periods are independent sub-problems
+// writing disjoint output ranges, so the signal must be bit-for-bit
+// identical for every worker count, including the GOMAXPROCS default.
+func TestIntensitySignalParallelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		splits := [][]int{
+			{10, 9, 8},
+			{12, 6},
+			{72},
+			{2, 4, 9},
+		}[trial%4]
+		n := 1
+		for _, m := range splits {
+			n *= m
+		}
+		demand := randomDemand(rng, n)
+		budget := units.GramsCO2e(1e5 + rng.Float64()*1e6)
+		serial, err := IntensitySignal(demand, budget, Config{SplitRatios: splits, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 3, 7, 64} {
+			par, err := IntensitySignal(demand, budget, Config{SplitRatios: splits, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			for i := range serial.Values {
+				if par.Values[i] != serial.Values[i] {
+					t.Fatalf("trial %d workers %d sample %d: parallel %v != serial %v",
+						trial, workers, i, par.Values[i], serial.Values[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIntensitySignalParallelSparseDemand exercises the zero-share early
+// return under concurrency: whole top-level periods with zero demand must
+// keep zero intensity for any worker count.
+func TestIntensitySignalParallelSparseDemand(t *testing.T) {
+	values := make([]float64, 24)
+	// Only the second of four top-level periods carries demand.
+	for i := 6; i < 12; i++ {
+		values[i] = float64(1 + i%3)
+	}
+	demand := randomDemand(rand.New(rand.NewSource(1)), 24)
+	copy(demand.Values, values)
+	serial, err := IntensitySignal(demand, 500, Config{SplitRatios: []int{4, 6}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := IntensitySignal(demand, 500, Config{SplitRatios: []int{4, 6}, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Values {
+		if par.Values[i] != serial.Values[i] {
+			t.Fatalf("sample %d: parallel %v != serial %v", i, par.Values[i], serial.Values[i])
+		}
+		if (i < 6 || i >= 12) && par.Values[i] != 0 {
+			t.Fatalf("zero-demand sample %d received intensity %v", i, par.Values[i])
+		}
+	}
+}

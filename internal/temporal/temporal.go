@@ -14,6 +14,8 @@ package temporal
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"fairco2/internal/shapley"
 	"fairco2/internal/timeseries"
@@ -51,6 +53,13 @@ type Config struct {
 	SplitRatios []int
 	// Backend selects the per-level solver (default ClosedForm).
 	Backend Backend
+	// Parallelism bounds how many top-level periods are attributed
+	// concurrently: 0 means GOMAXPROCS, 1 keeps the serial recursion,
+	// n > 1 uses n workers. The signal is identical for any value —
+	// periods are independent sub-problems writing disjoint ranges of
+	// the output, so parallelism never changes a single arithmetic
+	// operation, only their interleaving.
+	Parallelism int
 }
 
 // PaperSplits is the split schedule from the paper's Figure 4 walkthrough:
@@ -93,7 +102,11 @@ func IntensitySignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Conf
 		return nil, errors.New("temporal: demand series has zero total resource-time, nothing to attribute to")
 	}
 
-	a := attributor{demand: demand, backend: cfg.Backend}
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := attributor{demand: demand, backend: cfg.Backend, workers: workers}
 	intensity := make([]float64, demand.Len())
 	if err := a.attribute(0, demand.Len(), float64(budget), cfg.SplitRatios, intensity); err != nil {
 		return nil, err
@@ -104,6 +117,7 @@ func IntensitySignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Conf
 type attributor struct {
 	demand  *timeseries.Series
 	backend Backend
+	workers int // top-level chunk concurrency; recursion below runs serial
 }
 
 // attribute divides budget over samples [lo, hi) of the demand series. At
@@ -163,6 +177,32 @@ func (a *attributor) attribute(lo, hi int, budget float64, splits []int, intensi
 	}
 	if denom == 0 {
 		return fmt.Errorf("temporal: internal error, positive budget %v over zero-demand range [%d, %d)", budget, lo, hi)
+	}
+	if workers := min(a.workers, m); workers > 1 {
+		// Chunks are independent and write disjoint intensity ranges, so
+		// they can recurse concurrently. Only the first level fans out:
+		// the sub-attributor is serial, keeping goroutine count bounded
+		// by the Parallelism knob rather than the tree's fan-out.
+		sub := attributor{demand: a.demand, backend: a.backend, workers: 1}
+		errs := make([]error, m)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := m * w / workers; k < m*(w+1)/workers; k++ {
+					share := phi[k] * qs[k] / denom * budget
+					errs[k] = sub.attribute(lo+k*width, lo+(k+1)*width, share, splits[1:], intensity)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for k := 0; k < m; k++ {
 		share := phi[k] * qs[k] / denom * budget
