@@ -34,7 +34,9 @@ import (
 	"fairco2/internal/carbon"
 	"fairco2/internal/cluster"
 	"fairco2/internal/grid"
+	"fairco2/internal/livesignal"
 	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
 	"fairco2/internal/shapley"
 	"fairco2/internal/signalserver"
 	"fairco2/internal/timeseries"
@@ -70,6 +72,17 @@ type exporterConfig struct {
 	// ForecastEvery re-fits the forecaster every N ticks (it is the
 	// expensive part of a tick).
 	ForecastEvery int
+	// SignalURL, when set, sources the live intensity from a remote
+	// signal server through the resilient client + last-known-good feed
+	// instead of the in-process forecaster. When the feed degrades, the
+	// exporter falls back to the trace-driven average-intensity model and
+	// stamps the published periods with the quality level.
+	SignalURL string
+	// SignalResilience tunes the remote fetch retry/breaker policy.
+	SignalResilience resilience.Config
+	// SignalMaxStale bounds how long a cached remote sample may substitute
+	// for a live one before the exporter degrades to the average model.
+	SignalMaxStale time.Duration
 }
 
 func defaultExporterConfig() exporterConfig {
@@ -84,6 +97,9 @@ func defaultExporterConfig() exporterConfig {
 		HorizonSamples: 288,
 		MinWindow:      12,
 		ForecastEvery:  6,
+
+		SignalResilience: resilience.DefaultConfig(),
+		SignalMaxStale:   livesignal.DefaultMaxStale,
 	}
 }
 
@@ -105,6 +121,14 @@ func (c exporterConfig) validate() error {
 		return errors.New("minimum window must be at least 2 samples")
 	case c.ForecastEvery < 1:
 		return errors.New("forecast cadence must be positive")
+	}
+	if c.SignalURL != "" {
+		if err := c.SignalResilience.Validate(); err != nil {
+			return err
+		}
+		if c.SignalMaxStale <= 0 {
+			return errors.New("signal max-stale must be positive")
+		}
 	}
 	return nil
 }
@@ -128,6 +152,13 @@ type exporter struct {
 	ticks     atomic.Int64
 	forecast  *signalserver.Server
 
+	// Remote-signal mode (cfg.SignalURL set): the resilient feed and the
+	// degraded-mode fallback intensity — the embodied budget spread evenly
+	// over the whole trace's resource-seconds, the model the paper prices
+	// against when no temporal signal exists.
+	feed         *livesignal.Feed
+	avgIntensity float64
+
 	gAttributed    metrics.GaugeVec
 	gComponent     metrics.GaugeVec
 	gShare         metrics.GaugeVec
@@ -139,6 +170,7 @@ type exporter struct {
 	cWraps         *metrics.Counter
 	hTickSeconds   *metrics.Histogram
 	gShapleyStderr *metrics.Gauge
+	gQuality       *metrics.Gauge
 }
 
 // newExporter simulates the fleet once and registers the exporter's gauges
@@ -231,6 +263,31 @@ func newExporter(cfg exporterConfig, reg *metrics.Registry) (*exporter, error) {
 	e.gShapleyStderr = reg.NewGauge(
 		"fairco2_exporter_share_stderr",
 		"Standard error proxy: half-spread between two independent half-budget share estimates, averaged over tenants.")
+	e.gQuality = reg.NewGauge(
+		"fairco2_exporter_signal_quality",
+		"Quality of the signal behind the published intensity (0 = fresh, 1 = stale, 2 = degraded).")
+
+	// The degraded-mode fallback: the signal budget spread uniformly over
+	// the trace's total resource-seconds. It is never zero, so a dead feed
+	// can not silently price tenants as carbon-free.
+	total := 0.0
+	for _, v := range e.demand.Values {
+		total += v * float64(cfg.Step)
+	}
+	if total <= 0 {
+		// A zero-demand trace cannot happen with the fleet simulator, but
+		// the fallback must stay finite and positive regardless.
+		total = float64(e.samples) * float64(cfg.Step)
+	}
+	e.avgIntensity = float64(cfg.SignalBudget) / total
+
+	if cfg.SignalURL != "" {
+		client := (&signalserver.Client{BaseURL: cfg.SignalURL}).
+			WithResilience(cfg.SignalResilience, cfg.Seed, signalserver.NewClientInstruments(reg))
+		e.feed = livesignal.NewFeed(client,
+			livesignal.FeedConfig{MaxStale: cfg.SignalMaxStale},
+			livesignal.NewFeedInstruments(reg))
+	}
 
 	e.gNodes.Set(float64(sim.NodesProvisioned))
 	return e, nil
@@ -252,11 +309,7 @@ func (e *exporter) step() error {
 		return err
 	}
 	e.publishShares(k)
-	if err := e.refreshForecast(k); err != nil {
-		// A short or degenerate prefix cannot be fit yet; that is expected
-		// early in the trace, not a loop failure.
-		e.gForecast.Set(0)
-	}
+	e.refreshSignal(k)
 
 	e.gDemand.Set(e.demand.Values[k-1])
 	e.gWindow.Set(float64(k))
@@ -360,6 +413,36 @@ func (e *exporter) publishShares(k int) {
 	e.gShapleyStderr.Set(spread / float64(n) / totals)
 }
 
+// refreshSignal publishes the intensity gauge for the tick, walking the
+// degradation ladder instead of ever failing the loop or publishing zero:
+// the remote feed when configured (falling back to the trace-driven
+// average-intensity model once the feed degrades), otherwise the local
+// forecaster (same fallback while the revealed prefix is too short to
+// fit). Every period is stamped with the quality level it was priced at.
+func (e *exporter) refreshSignal(k int) {
+	if e.feed != nil {
+		s, err := e.feed.Intensity()
+		if err != nil || s.Quality == livesignal.QualityDegraded {
+			e.gForecast.Set(e.avgIntensity)
+			e.gQuality.Set(float64(livesignal.QualityDegraded))
+			return
+		}
+		e.gForecast.Set(s.Intensity)
+		e.gQuality.Set(float64(s.Quality))
+		return
+	}
+	if err := e.refreshForecast(k); err != nil {
+		// A short or degenerate prefix cannot be fit yet; that is expected
+		// early in the trace, not a loop failure — but pricing those
+		// periods at zero would read as carbon-free, so degrade to the
+		// average model instead.
+		e.gForecast.Set(e.avgIntensity)
+		e.gQuality.Set(float64(livesignal.QualityDegraded))
+		return
+	}
+	e.gQuality.Set(float64(livesignal.QualityFresh))
+}
+
 // refreshForecast re-fits the live intensity signal on the revealed demand
 // prefix (every ForecastEvery ticks once enough history exists) and
 // publishes the boundary intensity.
@@ -438,7 +521,11 @@ func main() {
 		samples  = flag.Int("shapley-samples", def.ShapleySamples, "permutations per share re-estimate")
 		budget   = flag.Float64("signal-budget", float64(def.SignalBudget), "embodied budget behind the forecast signal (gCO2e)")
 		workers  = flag.Int("parallelism", def.ShapleyParallelism, "workers sharding each Shapley share re-estimate (0 or 1 = serial, -1 = all CPUs)")
+		sigURL   = flag.String("signal-url", def.SignalURL, "base URL of a remote signal server (empty = in-process forecaster)")
+		maxStale = flag.Duration("signal-max-stale", def.SignalMaxStale, "how long a cached remote sample may substitute for a live one before degrading")
 	)
+	resil := def.SignalResilience
+	resil.RegisterFlags(flag.CommandLine, "signal")
 	flag.Parse()
 
 	cfg := def
@@ -450,6 +537,9 @@ func main() {
 	cfg.ShapleySamples = *samples
 	cfg.SignalBudget = units.GramsCO2e(*budget)
 	cfg.ShapleyParallelism = *workers
+	cfg.SignalURL = *sigURL
+	cfg.SignalMaxStale = *maxStale
+	cfg.SignalResilience = resil
 
 	reg := metrics.Default()
 	exp, err := newExporter(cfg, reg)

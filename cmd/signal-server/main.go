@@ -27,6 +27,8 @@ import (
 	"syscall"
 	"time"
 
+	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
 	"fairco2/internal/signalserver"
 	"fairco2/internal/timeseries"
 	"fairco2/internal/trace"
@@ -38,11 +40,16 @@ func main() {
 	log.SetPrefix("signal-server: ")
 
 	var (
-		addr     = flag.String("addr", ":8585", "listen address")
-		traceCSV = flag.String("trace", "", "demand history CSV (default: synthetic 21-day Azure-like trace)")
-		horizon  = flag.Int("horizon-hours", 48, "forecast horizon in hours")
-		budget   = flag.Float64("budget", 1e7, "embodied carbon budget over history+horizon (gCO2e)")
+		addr      = flag.String("addr", ":8585", "listen address")
+		traceCSV  = flag.String("trace", "", "demand history CSV (default: synthetic 21-day Azure-like trace)")
+		horizon   = flag.Int("horizon-hours", 48, "forecast horizon in hours")
+		budget    = flag.Float64("budget", 1e7, "embodied carbon budget over history+horizon (gCO2e)")
+		telemetry = flag.String("telemetry-url", "", "demand telemetry endpoint to re-fit from periodically (empty = static history)")
+		refresh   = flag.Duration("refresh-every", 5*time.Minute, "how often to poll -telemetry-url")
+		seed      = flag.Int64("seed", 1, "seed for the retry jitter schedule")
 	)
+	resil := resilience.DefaultConfig()
+	resil.RegisterFlags(flag.CommandLine, "signal")
 	flag.Parse()
 
 	history, err := loadHistory(*traceCSV)
@@ -71,6 +78,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *telemetry != "" {
+		if *refresh <= 0 {
+			log.Fatal("refresh interval must be positive")
+		}
+		poller, err := newTelemetryPoller(*telemetry, srv, resil, *seed,
+			signalserver.NewClientInstruments(metrics.Default()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		go poller.run(ctx, *refresh)
+		fmt.Printf("re-fitting from %s every %s\n", *telemetry, *refresh)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.ListenAndServe() }()

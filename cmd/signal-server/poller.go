@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fairco2/internal/resilience"
+	"fairco2/internal/signalserver"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// maxTelemetryBytes caps a telemetry response; anything larger is treated
+// as a lying upstream, not decoded into memory.
+const maxTelemetryBytes = 32 << 20
+
+// demandSeries is the wire form a telemetry endpoint serves: the demand
+// history the forecaster re-fits on.
+type demandSeries struct {
+	StartSeconds float64   `json:"start_seconds"`
+	StepSeconds  float64   `json:"step_seconds"`
+	DemandCores  []float64 `json:"demand_cores"`
+}
+
+// telemetryPoller periodically fetches a fresh demand history from a
+// remote telemetry endpoint under the resilience policy and re-fits the
+// signal server on it. Every failure mode degrades gracefully: the server
+// keeps serving the last-fitted signal, the poller retries on the next
+// tick, and a sustained outage trips the breaker so the dead endpoint is
+// probed instead of hammered.
+type telemetryPoller struct {
+	url    string
+	srv    *signalserver.Server
+	policy *resilience.Policy
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	refreshes atomic.Int64
+	failures  atomic.Int64
+}
+
+// newTelemetryPoller wires a poller to srv. inst may be nil; when set, the
+// poller publishes retry/breaker activity on the same instruments the
+// exporter's client uses, so both daemons' resilience reads identically.
+func newTelemetryPoller(url string, srv *signalserver.Server, cfg resilience.Config, seed int64, inst *signalserver.ClientInstruments) (*telemetryPoller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var hooks resilience.Hooks
+	if inst != nil {
+		hooks.OnRetry = func(int, error, time.Duration) { inst.Retries.Inc() }
+		hooks.OnBreakerChange = func(_, to resilience.State) { inst.BreakerState.Set(float64(to)) }
+	}
+	policy, _ := cfg.NewPolicyHooked(seed, hooks)
+	return &telemetryPoller{
+		url:    url,
+		srv:    srv,
+		policy: policy,
+		client: &http.Client{},
+		logf:   log.Printf,
+	}, nil
+}
+
+// run polls every interval until ctx is cancelled. Poll failures are
+// logged, never fatal: a signal served off stale history beats no signal.
+func (p *telemetryPoller) run(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if err := p.poll(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				p.logf("telemetry poll: %v (serving last-fitted signal)", err)
+			}
+		}
+	}
+}
+
+// poll fetches the telemetry once under the policy and re-fits the server.
+func (p *telemetryPoller) poll(ctx context.Context) error {
+	var series demandSeries
+	op := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url, nil)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			return err // transport failure: transient
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("telemetry: status %d", resp.StatusCode)
+			if resp.StatusCode >= http.StatusInternalServerError || resp.StatusCode == http.StatusTooManyRequests {
+				return err
+			}
+			return resilience.Permanent(err)
+		}
+		series = demandSeries{}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxTelemetryBytes)).Decode(&series); err != nil {
+			return fmt.Errorf("telemetry: decoding: %w", err)
+		}
+		return nil
+	}
+	if err := p.policy.Do(ctx, op); err != nil {
+		p.failures.Add(1)
+		return err
+	}
+	history, err := series.toSeries()
+	if err != nil {
+		p.failures.Add(1)
+		return err
+	}
+	if err := p.srv.Refresh(history); err != nil {
+		p.failures.Add(1)
+		return fmt.Errorf("refitting on polled telemetry: %w", err)
+	}
+	p.refreshes.Add(1)
+	return nil
+}
+
+// toSeries validates the wire form into a demand history. A lying
+// telemetry endpoint (NaN, negative demand, zero step) must not reach the
+// forecaster.
+func (d demandSeries) toSeries() (*timeseries.Series, error) {
+	switch {
+	case len(d.DemandCores) == 0:
+		return nil, errors.New("telemetry: empty demand series")
+	case !(d.StepSeconds > 0) || math.IsInf(d.StepSeconds, 0):
+		return nil, fmt.Errorf("telemetry: invalid step %v", d.StepSeconds)
+	case math.IsNaN(d.StartSeconds) || math.IsInf(d.StartSeconds, 0):
+		return nil, fmt.Errorf("telemetry: invalid start %v", d.StartSeconds)
+	}
+	for i, v := range d.DemandCores {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("telemetry: invalid demand[%d] = %v", i, v)
+		}
+	}
+	return timeseries.New(units.Seconds(d.StartSeconds), units.Seconds(d.StepSeconds), d.DemandCores), nil
+}

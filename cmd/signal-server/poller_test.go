@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
+	"fairco2/internal/resilience/faultserver"
+	"fairco2/internal/signalserver"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+// fakeTelemetry serves a growing prefix of a generated demand trace in the
+// poller's wire form, so each successful poll re-fits on longer history.
+type fakeTelemetry struct {
+	mu   sync.Mutex
+	hist *timeseries.Series
+	n    int
+}
+
+func (f *fakeTelemetry) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n+12 <= f.hist.Len() {
+		f.n += 12
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(demandSeries{
+		StartSeconds: float64(f.hist.Start),
+		StepSeconds:  float64(f.hist.Step),
+		DemandCores:  f.hist.Values[:f.n],
+	})
+}
+
+func fastResilience() resilience.Config {
+	return resilience.Config{
+		MaxAttempts:     2,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      5 * time.Millisecond,
+		AttemptTimeout:  2 * time.Second,
+		BreakerFailures: 2,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeSuccesses:  1,
+	}
+}
+
+// pollerHarness stands up a signal server plus a poller whose telemetry
+// endpoint sits behind a fault-injection proxy.
+func pollerHarness(t *testing.T) (*telemetryPoller, *signalserver.Server, *faultserver.Server, *signalserver.ClientInstruments) {
+	t.Helper()
+	cfg := trace.DefaultAzureLikeConfig()
+	cfg.Days = 14
+	hist, err := trace.GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := signalserver.New(hist, signalserver.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve prefixes starting at 12 days so every re-fit has enough
+	// history for the forecaster.
+	perDay := int(units.SecondsPerDay / float64(hist.Step))
+	tel := &fakeTelemetry{hist: hist, n: 12 * perDay}
+	fs := faultserver.New(tel)
+	t.Cleanup(fs.Close)
+	inst := signalserver.NewClientInstruments(metrics.NewRegistry())
+	p, err := newTelemetryPoller(fs.URL(), srv, fastResilience(), 1, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.logf = t.Logf
+	return p, srv, fs, inst
+}
+
+func TestPollerRefreshes(t *testing.T) {
+	p, srv, _, _ := pollerHarness(t)
+	before := srv.CurrentIntensity()
+	if err := p.poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.refreshes.Load() != 1 || p.failures.Load() != 0 {
+		t.Errorf("refreshes %d failures %d", p.refreshes.Load(), p.failures.Load())
+	}
+	if v := srv.CurrentIntensity(); !(v > 0) {
+		t.Errorf("intensity %v after re-fit", v)
+	} else if v == before {
+		t.Errorf("intensity unchanged (%v) after re-fitting on a different prefix", v)
+	}
+}
+
+// TestPollerOutageKeepsServing is the graceful-degradation contract: a
+// dead telemetry endpoint fails polls, opens the breaker, and leaves the
+// last-fitted signal serving untouched.
+func TestPollerOutageKeepsServing(t *testing.T) {
+	p, srv, fs, inst := pollerHarness(t)
+	if err := p.poll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.CurrentIntensity()
+
+	fs.Program(faultserver.Outage(http.StatusServiceUnavailable))
+	if err := p.poll(context.Background()); !errors.Is(err, resilience.ErrRetriesExhausted) {
+		t.Fatalf("outage poll error %v, want retries exhausted", err)
+	}
+	// Two failed attempts opened the breaker; later polls fast-fail
+	// without touching the endpoint.
+	if st := inst.BreakerState.Value(); st != float64(resilience.StateOpen) {
+		t.Fatalf("breaker state %v, want open", st)
+	}
+	hits := fs.Hits()
+	if err := p.poll(context.Background()); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("poll under open breaker: %v", err)
+	}
+	if fs.Hits() != hits {
+		t.Error("open breaker still reached the telemetry endpoint")
+	}
+	if got := srv.CurrentIntensity(); got != before {
+		t.Errorf("outage moved the served signal: %v -> %v", before, got)
+	}
+	if v := inst.Retries.Value(); v < 1 {
+		t.Errorf("retry counter %v, want >= 1", v)
+	}
+
+	// Recovery: the endpoint comes back, the probe interval elapses, and
+	// the next poll closes the breaker and re-fits.
+	fs.Clear()
+	time.Sleep(50 * time.Millisecond)
+	if err := p.poll(context.Background()); err != nil {
+		t.Fatalf("post-recovery poll: %v", err)
+	}
+	if st := inst.BreakerState.Value(); st != float64(resilience.StateClosed) {
+		t.Errorf("breaker state %v after recovery, want closed", st)
+	}
+	if p.refreshes.Load() != 2 {
+		t.Errorf("refreshes %d, want 2", p.refreshes.Load())
+	}
+}
+
+// TestPollerRejectsLyingTelemetry holds the validation rail: corrupt JSON
+// and degenerate series fail the poll without perturbing the server.
+func TestPollerRejectsLyingTelemetry(t *testing.T) {
+	bodies := []string{
+		`{"start_seconds": 0, "step_seconds": 300, "demand_cores": [1,`, // truncated
+		`{"start_seconds": 0, "step_seconds": 300, "demand_cores": []}`,
+		`{"start_seconds": 0, "step_seconds": 0, "demand_cores": [1,2]}`,
+		`{"start_seconds": 0, "step_seconds": 300, "demand_cores": [1,-2]}`,
+		`{"start_seconds": 1e999, "step_seconds": 300, "demand_cores": [1,2]}`, // start overflows to +Inf
+	}
+	for i, body := range bodies {
+		p, srv, fs, _ := pollerHarness(t)
+		before := srv.CurrentIntensity()
+		// Serve the lie until the retries give up, then assert the poll
+		// failed closed.
+		fs.Program(faultserver.Step{Status: http.StatusOK, Body: body, Sticky: true})
+		if err := p.poll(context.Background()); err == nil {
+			t.Errorf("case %d: lying telemetry accepted", i)
+		}
+		if got := srv.CurrentIntensity(); got != before {
+			t.Errorf("case %d: lying telemetry moved the signal: %v -> %v", i, before, got)
+		}
+		if p.refreshes.Load() != 0 {
+			t.Errorf("case %d: refreshes %d, want 0", i, p.refreshes.Load())
+		}
+	}
+}
+
+// TestPollerRunLoop drives the background loop end to end: it polls on the
+// interval and stops when the context is cancelled.
+func TestPollerRunLoop(t *testing.T) {
+	p, _, _, _ := pollerHarness(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		p.run(ctx, 5*time.Millisecond)
+		close(done)
+	}()
+	deadline := time.After(5 * time.Second)
+	for p.refreshes.Load() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("loop never polled twice")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop on cancel")
+	}
+}
+
+func TestPollerConfigValidation(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxAttempts = 0
+	if _, err := newTelemetryPoller("http://x", nil, cfg, 1, nil); err == nil {
+		t.Error("invalid resilience config accepted")
+	}
+}

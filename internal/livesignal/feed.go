@@ -1,0 +1,205 @@
+package livesignal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fairco2/internal/metrics"
+)
+
+// Quality grades a signal sample on the degradation ladder. The numeric
+// values are published as a gauge, so they are part of the metric
+// contract: 0 fresh, 1 stale, 2 degraded.
+type Quality int
+
+// The degradation ladder, best to worst.
+const (
+	// QualityFresh is a sample fetched successfully on this call.
+	QualityFresh Quality = 0
+	// QualityStale is the last-known-good sample, served because the
+	// fetch failed but the cache is within the staleness bound.
+	QualityStale Quality = 1
+	// QualityDegraded means the cache has outlived the staleness bound
+	// (or never existed); the caller must fall back to a model that does
+	// not need the live signal.
+	QualityDegraded Quality = 2
+)
+
+func (q Quality) String() string {
+	switch q {
+	case QualityFresh:
+		return "fresh"
+	case QualityStale:
+		return "stale"
+	case QualityDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// ErrNoSignal reports a feed that has never successfully fetched: there is
+// no cached value to serve, not even a stale one. Callers must branch to
+// their no-signal fallback — returning a zero intensity here would
+// silently attribute every tenant as carbon-free.
+var ErrNoSignal = errors.New("livesignal: no signal available yet")
+
+// Source produces the current live intensity; *signalserver.Client
+// satisfies it.
+type Source interface {
+	Current() (float64, error)
+}
+
+// FeedConfig tunes a Feed.
+type FeedConfig struct {
+	// MaxStale bounds how long the last-known-good value may be served
+	// after fetches start failing; past it samples grade Degraded
+	// (default 30m).
+	MaxStale time.Duration
+	// Now overrides the clock, for deterministic tests.
+	Now func() time.Time
+}
+
+// DefaultMaxStale is the staleness bound of a zero FeedConfig.
+const DefaultMaxStale = 30 * time.Minute
+
+// FeedInstruments are the feed-side resilience metrics. Create them once
+// per registry and hand them to NewFeed.
+type FeedInstruments struct {
+	// Staleness is the age of the sample served by the latest Intensity
+	// call (fairco2_signal_staleness_seconds; 0 while fresh).
+	Staleness *metrics.Gauge
+	// DegradedPeriods counts transitions into degraded service
+	// (fairco2_signal_degraded_periods_total) — periods, not samples, so
+	// a week-long outage is one, not thousands.
+	DegradedPeriods *metrics.Counter
+}
+
+// NewFeedInstruments registers the feed metrics on reg.
+func NewFeedInstruments(reg *metrics.Registry) *FeedInstruments {
+	return &FeedInstruments{
+		Staleness: reg.NewGauge(
+			"fairco2_signal_staleness_seconds",
+			"Age of the live-signal sample served by the latest fetch (0 = fresh)."),
+		DegradedPeriods: reg.NewCounter(
+			"fairco2_signal_degraded_periods_total",
+			"Transitions into degraded signal service (cache expired or never filled)."),
+	}
+}
+
+// Feed wraps a Source with a last-known-good cache and the degradation
+// ladder: a successful fetch is Fresh; on failure the cached value serves
+// as Stale up to MaxStale; past that the sample grades Degraded and the
+// caller falls back. It is safe for concurrent use.
+type Feed struct {
+	src  Source
+	cfg  FeedConfig
+	inst *FeedInstruments
+
+	mu       sync.Mutex
+	last     float64
+	lastAt   time.Time
+	has      bool
+	degraded bool
+}
+
+// NewFeed builds a feed over src. inst may be nil (no metrics).
+func NewFeed(src Source, cfg FeedConfig, inst *FeedInstruments) *Feed {
+	if cfg.MaxStale <= 0 {
+		cfg.MaxStale = DefaultMaxStale
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Feed{src: src, cfg: cfg, inst: inst}
+}
+
+// Sample is one reading off the feed.
+type Sample struct {
+	// Intensity is the signal value, in gCO2e per resource-second.
+	Intensity float64
+	// Quality grades where the value came from on the ladder.
+	Quality Quality
+	// Age is how old the value is (0 when fresh).
+	Age time.Duration
+	// Err is the fetch error behind a non-fresh sample, for logging.
+	Err error
+}
+
+// Intensity fetches the current signal, falling down the degradation
+// ladder on failure. The error is non-nil only when there is nothing to
+// serve at all (ErrNoSignal, wrapping the fetch error); a Degraded sample
+// with a usable-but-old value returns err == nil and lets the caller
+// decide.
+func (f *Feed) Intensity() (Sample, error) {
+	v, ferr := f.src.Current()
+	now := f.cfg.Now()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ferr == nil {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			// A defensive rail for sources other than the validating
+			// client; treat it exactly like a failed fetch.
+			ferr = fmt.Errorf("livesignal: source returned invalid intensity %v", v)
+		} else {
+			f.last, f.lastAt, f.has = v, now, true
+			f.degraded = false
+			f.observe(0)
+			return Sample{Intensity: v, Quality: QualityFresh}, nil
+		}
+	}
+	if !f.has {
+		f.enterDegraded()
+		f.observe(0)
+		return Sample{Quality: QualityDegraded, Err: ferr}, fmt.Errorf("%w: %w", ErrNoSignal, ferr)
+	}
+	age := now.Sub(f.lastAt)
+	f.observe(age.Seconds())
+	if age <= f.cfg.MaxStale {
+		return Sample{Intensity: f.last, Quality: QualityStale, Age: age, Err: ferr}, nil
+	}
+	f.enterDegraded()
+	return Sample{Intensity: f.last, Quality: QualityDegraded, Age: age, Err: ferr}, nil
+}
+
+// Last returns the cached sample without fetching: the last-known-good
+// value graded by its current age, or ErrNoSignal when the cache has never
+// been filled.
+func (f *Feed) Last() (Sample, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.has {
+		return Sample{Quality: QualityDegraded}, ErrNoSignal
+	}
+	age := f.cfg.Now().Sub(f.lastAt)
+	q := QualityFresh
+	switch {
+	case age > f.cfg.MaxStale:
+		q = QualityDegraded
+	case age > 0:
+		q = QualityStale
+	}
+	return Sample{Intensity: f.last, Quality: q, Age: age}, nil
+}
+
+// enterDegraded counts the transition into a degraded period (the caller
+// holds f.mu).
+func (f *Feed) enterDegraded() {
+	if f.degraded {
+		return
+	}
+	f.degraded = true
+	if f.inst != nil {
+		f.inst.DegradedPeriods.Inc()
+	}
+}
+
+// observe publishes the served staleness (the caller holds f.mu).
+func (f *Feed) observe(seconds float64) {
+	if f.inst != nil {
+		f.inst.Staleness.Set(seconds)
+	}
+}

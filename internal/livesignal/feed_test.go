@@ -1,0 +1,225 @@
+package livesignal
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"fairco2/internal/metrics"
+)
+
+// scriptedSource serves a programmable sequence of (value, error) fetches.
+type scriptedSource struct {
+	mu      sync.Mutex
+	values  []float64
+	errs    []error
+	i       int
+	stickyE error
+}
+
+func (s *scriptedSource) Current() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.i < len(s.values) {
+		v, e := s.values[s.i], s.errs[s.i]
+		s.i++
+		return v, e
+	}
+	if s.stickyE != nil {
+		return 0, s.stickyE
+	}
+	return 0, errors.New("script exhausted")
+}
+
+func (s *scriptedSource) add(v float64, e error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values = append(s.values, v)
+	s.errs = append(s.errs, e)
+}
+
+type feedHarness struct {
+	src   *scriptedSource
+	clock time.Time
+	feed  *Feed
+	inst  *FeedInstruments
+}
+
+func newFeedHarness(t *testing.T, maxStale time.Duration) *feedHarness {
+	t.Helper()
+	h := &feedHarness{src: &scriptedSource{}, clock: time.Unix(5000, 0)}
+	reg := metrics.NewRegistry()
+	h.inst = NewFeedInstruments(reg)
+	h.feed = NewFeed(h.src, FeedConfig{MaxStale: maxStale, Now: func() time.Time { return h.clock }}, h.inst)
+	return h
+}
+
+// TestFeedLadder walks the full degradation ladder: fresh, stale within
+// the bound, degraded past it, fresh again on recovery.
+func TestFeedLadder(t *testing.T) {
+	h := newFeedHarness(t, 10*time.Minute)
+	down := errors.New("connection refused")
+
+	// Fresh fetch.
+	h.src.add(42.5, nil)
+	s, err := h.feed.Intensity()
+	if err != nil || s.Quality != QualityFresh || s.Intensity != 42.5 || s.Age != 0 {
+		t.Fatalf("fresh sample %+v err %v", s, err)
+	}
+	if v := h.inst.Staleness.Value(); v != 0 {
+		t.Errorf("staleness gauge %v after fresh fetch", v)
+	}
+
+	// Outage begins: last-known-good serves as stale within the bound.
+	h.src.stickyE = down
+	h.clock = h.clock.Add(5 * time.Minute)
+	s, err = h.feed.Intensity()
+	if err != nil || s.Quality != QualityStale || s.Intensity != 42.5 {
+		t.Fatalf("stale sample %+v err %v", s, err)
+	}
+	if s.Age != 5*time.Minute || !errors.Is(s.Err, down) {
+		t.Errorf("stale sample age %v err %v", s.Age, s.Err)
+	}
+	if v := h.inst.Staleness.Value(); v != 300 {
+		t.Errorf("staleness gauge %v, want 300", v)
+	}
+	if v := h.inst.DegradedPeriods.Value(); v != 0 {
+		t.Errorf("degraded periods %v during stale service", v)
+	}
+
+	// Past the bound: degraded, still carrying the old value for callers
+	// that prefer it to their fallback.
+	h.clock = h.clock.Add(6 * time.Minute)
+	s, err = h.feed.Intensity()
+	if err != nil || s.Quality != QualityDegraded || s.Intensity != 42.5 {
+		t.Fatalf("degraded sample %+v err %v", s, err)
+	}
+	if v := h.inst.DegradedPeriods.Value(); v != 1 {
+		t.Errorf("degraded periods %v, want 1", v)
+	}
+	// More degraded samples do not count new periods.
+	for i := 0; i < 5; i++ {
+		h.clock = h.clock.Add(time.Minute)
+		if _, err := h.feed.Intensity(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := h.inst.DegradedPeriods.Value(); v != 1 {
+		t.Errorf("degraded periods %v after one sustained outage, want 1", v)
+	}
+
+	// Recovery: fresh again, and a later outage is a NEW degraded period.
+	h.src.add(50, nil)
+	s, err = h.feed.Intensity()
+	if err != nil || s.Quality != QualityFresh || s.Intensity != 50 {
+		t.Fatalf("recovered sample %+v err %v", s, err)
+	}
+	h.clock = h.clock.Add(11 * time.Minute)
+	if s, _ := h.feed.Intensity(); s.Quality != QualityDegraded {
+		t.Fatalf("second outage sample %+v", s)
+	}
+	if v := h.inst.DegradedPeriods.Value(); v != 2 {
+		t.Errorf("degraded periods %v, want 2", v)
+	}
+}
+
+// TestFeedNoSignal is the satellite bug fix: a feed whose first fetch
+// fails must return a typed ErrNoSignal, never a zero-intensity sample
+// that would silently attribute tenants as carbon-free.
+func TestFeedNoSignal(t *testing.T) {
+	h := newFeedHarness(t, time.Minute)
+	down := errors.New("dial tcp: connection refused")
+	h.src.stickyE = down
+
+	s, err := h.feed.Intensity()
+	if !errors.Is(err, ErrNoSignal) {
+		t.Fatalf("error %v is not ErrNoSignal", err)
+	}
+	if !errors.Is(err, down) {
+		t.Errorf("error %v does not wrap the fetch cause", err)
+	}
+	if s.Quality != QualityDegraded {
+		t.Errorf("no-signal sample quality %v, want degraded", s.Quality)
+	}
+	// The no-cache outage is a degraded period too.
+	if v := h.inst.DegradedPeriods.Value(); v != 1 {
+		t.Errorf("degraded periods %v, want 1", v)
+	}
+	// Last() agrees there is nothing cached.
+	if _, err := h.feed.Last(); !errors.Is(err, ErrNoSignal) {
+		t.Errorf("Last error %v, want ErrNoSignal", err)
+	}
+}
+
+// TestFeedRejectsInvalidValues checks a lying source (NaN/Inf/negative)
+// is treated as an outage, not cached.
+func TestFeedRejectsInvalidValues(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		h := newFeedHarness(t, time.Minute)
+		h.src.add(bad, nil)
+		if _, err := h.feed.Intensity(); !errors.Is(err, ErrNoSignal) {
+			t.Errorf("value %v: error %v, want ErrNoSignal", bad, err)
+		}
+		// A good value afterwards must become the cache; the bad one must
+		// not have been retained.
+		h.src.add(7, nil)
+		s, err := h.feed.Intensity()
+		if err != nil || s.Intensity != 7 || s.Quality != QualityFresh {
+			t.Errorf("value %v: post-recovery sample %+v err %v", bad, s, err)
+		}
+	}
+}
+
+// TestFeedLast checks the fetch-free read grades by current age.
+func TestFeedLast(t *testing.T) {
+	h := newFeedHarness(t, 10*time.Minute)
+	h.src.add(12, nil)
+	if _, err := h.feed.Intensity(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.feed.Last()
+	if err != nil || s.Intensity != 12 || s.Quality != QualityFresh {
+		t.Fatalf("immediate Last %+v err %v", s, err)
+	}
+	h.clock = h.clock.Add(time.Minute)
+	if s, _ := h.feed.Last(); s.Quality != QualityStale || s.Age != time.Minute {
+		t.Errorf("aged Last %+v", s)
+	}
+	h.clock = h.clock.Add(10 * time.Minute)
+	if s, _ := h.feed.Last(); s.Quality != QualityDegraded {
+		t.Errorf("expired Last %+v", s)
+	}
+}
+
+// TestFeedConcurrent hammers the feed under the race detector.
+func TestFeedConcurrent(t *testing.T) {
+	src := &scriptedSource{stickyE: errors.New("down")}
+	for i := 0; i < 2000; i++ {
+		src.add(float64(i), nil)
+	}
+	f := NewFeed(src, FeedConfig{MaxStale: time.Hour}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_, _ = f.Intensity()
+				_, _ = f.Last()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQualityString(t *testing.T) {
+	for q, want := range map[Quality]string{
+		QualityFresh: "fresh", QualityStale: "stale", QualityDegraded: "degraded", Quality(7): "unknown",
+	} {
+		if q.String() != want {
+			t.Errorf("Quality(%d).String() = %q, want %q", q, q, want)
+		}
+	}
+}

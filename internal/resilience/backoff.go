@@ -1,0 +1,86 @@
+// Package resilience is a stdlib-only robustness layer for the live
+// carbon-signal pipeline: retry with exponential backoff and decorrelated
+// jitter, a three-state circuit breaker, per-attempt deadline budgets, and
+// a Policy composing all three. Every source of nondeterminism is
+// injectable (the jitter RNG, the clock, the sleeper), so failure-scenario
+// tests are exactly reproducible.
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff generates retry delays by the "decorrelated jitter" rule: each
+// delay is drawn uniformly from [Base, prev*Factor], clamped to Cap. It
+// grows exponentially in expectation while spreading concurrent retriers
+// across the whole interval, so a flapping signal server is not hammered
+// by synchronized retry waves. The zero value is usable and selects the
+// defaults below.
+type Backoff struct {
+	// Base is the lower bound of every delay (default 100ms).
+	Base time.Duration
+	// Cap is the upper bound of every delay (default 10s).
+	Cap time.Duration
+	// Factor is the decorrelation multiplier on the previous delay
+	// (default 3, the canonical choice).
+	Factor float64
+}
+
+// Defaults for the zero Backoff.
+const (
+	DefaultBackoffBase   = 100 * time.Millisecond
+	DefaultBackoffCap    = 10 * time.Second
+	DefaultBackoffFactor = 3.0
+)
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return DefaultBackoffBase
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return DefaultBackoffCap
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor > 1 {
+		return b.Factor
+	}
+	return DefaultBackoffFactor
+}
+
+// Next draws the delay following prev (pass 0 before the first retry).
+// With a seeded rng the sequence is fully deterministic.
+func (b Backoff) Next(rng *rand.Rand, prev time.Duration) time.Duration {
+	base, ceil := b.base(), b.cap()
+	if prev < base {
+		prev = base
+	}
+	hi := time.Duration(float64(prev) * b.factor())
+	if hi > ceil || hi < 0 { // < 0 guards float-to-duration overflow
+		hi = ceil
+	}
+	if hi <= base {
+		return base
+	}
+	return base + time.Duration(rng.Int63n(int64(hi-base)+1))
+}
+
+// Schedule draws the first n delays of a fresh backoff sequence — the
+// exact sleeps a Policy with this Backoff and rng would perform. Tests
+// assert on it; dashboards can display it.
+func (b Backoff) Schedule(rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, 0, n)
+	prev := time.Duration(0)
+	for i := 0; i < n; i++ {
+		prev = b.Next(rng, prev)
+		out = append(out, prev)
+	}
+	return out
+}

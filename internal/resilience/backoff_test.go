@@ -1,0 +1,110 @@
+package resilience
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleExact pins the exact delay sequences a seeded RNG
+// produces — the retry schedules the fault-injection suite relies on being
+// reproducible. If the jitter formula changes, these literals must be
+// regenerated deliberately.
+func TestBackoffScheduleExact(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		seed int64
+		want []time.Duration
+	}{
+		{
+			name: "defaults seed 1",
+			b:    Backoff{},
+			seed: 1,
+			want: []time.Duration{162745590, 433748294, 445970515, 583833927, 1652776305, 3813574716},
+		},
+		{
+			name: "defaults seed 42",
+			b:    Backoff{},
+			seed: 42,
+			want: []time.Duration{128381990, 380619968, 672299770, 844750584, 664967163, 1390260841},
+		},
+		{
+			name: "fast 1ms..50ms seed 7",
+			b:    Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond},
+			seed: 7,
+			want: []time.Duration{2039507, 4171990, 1368545, 2170771, 1388526, 1233210, 1609302, 2975648},
+		},
+		{
+			name: "factor 2 seed 3",
+			b:    Backoff{Base: 10 * time.Millisecond, Cap: 200 * time.Millisecond, Factor: 2},
+			seed: 3,
+			want: []time.Duration{17322791, 17496524, 33077772, 17353761, 16311935, 18897916, 26089273, 24341812},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.b.Schedule(rand.New(rand.NewSource(c.seed)), len(c.want))
+			if len(got) != len(c.want) {
+				t.Fatalf("schedule length %d, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("delay[%d] = %d, want %d", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffBounds checks every drawn delay respects [Base, Cap] whatever
+// the previous delay was.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Cap: 80 * time.Millisecond}
+	rng := rand.New(rand.NewSource(99))
+	prev := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		d := b.Next(rng, prev)
+		if d < b.Base || d > b.Cap {
+			t.Fatalf("draw %d: delay %v outside [%v, %v] (prev %v)", i, d, b.Base, b.Cap, prev)
+		}
+		prev = d
+	}
+}
+
+// TestBackoffGrowsInExpectation checks the exponential shape: averaged
+// over many sequences, the k-th delay grows until it saturates at Cap.
+func TestBackoffGrowsInExpectation(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: time.Second}
+	const runs, steps = 400, 6
+	sums := make([]float64, steps)
+	for r := 0; r < runs; r++ {
+		rng := rand.New(rand.NewSource(int64(r)))
+		prev := time.Duration(0)
+		for k := 0; k < steps; k++ {
+			prev = b.Next(rng, prev)
+			sums[k] += float64(prev)
+		}
+	}
+	for k := 1; k < 4; k++ {
+		if sums[k] <= sums[k-1] {
+			t.Errorf("mean delay did not grow at step %d: %.0f -> %.0f", k, sums[k-1], sums[k])
+		}
+	}
+}
+
+// TestBackoffDegenerate covers the clamp paths: a cap equal to the base
+// pins every delay, and a huge previous delay cannot overflow.
+func TestBackoffDegenerate(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 10 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d := b.Next(rng, time.Duration(i)*time.Millisecond); d != 10*time.Millisecond {
+			t.Fatalf("pinned backoff drew %v", d)
+		}
+	}
+	big := Backoff{Base: time.Millisecond, Cap: 1<<63 - 1, Factor: 1e15}
+	if d := big.Next(rng, time.Hour); d < big.Base {
+		t.Errorf("overflow clamp produced %v below base", d)
+	}
+}

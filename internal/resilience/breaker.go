@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position. The numeric values are published
+// as the fairco2_signal_breaker_state gauge, so they are part of the
+// metric contract: 0 closed, 1 half-open, 2 open.
+type State int
+
+// The three breaker states.
+const (
+	StateClosed   State = 0
+	StateHalfOpen State = 1
+	StateOpen     State = 2
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive recorded failures open the
+	// breaker (default 5).
+	FailureThreshold int
+	// ProbeInterval is how long an open breaker waits before letting a
+	// probe request through (half-open), default 30s.
+	ProbeInterval time.Duration
+	// ProbeSuccesses is how many consecutive half-open successes close
+	// the breaker again (default 1).
+	ProbeSuccesses int
+	// Now overrides the clock, for deterministic tests.
+	Now func() time.Time
+	// OnStateChange, when set, observes every transition. It is called
+	// with the breaker's lock held; keep it cheap (a gauge set).
+	OnStateChange func(from, to State)
+}
+
+// Defaults for the zero BreakerConfig.
+const (
+	DefaultFailureThreshold = 5
+	DefaultProbeInterval    = 30 * time.Second
+	DefaultProbeSuccesses   = 1
+)
+
+// Breaker is a three-state circuit breaker. Closed passes every call and
+// counts consecutive failures; FailureThreshold of them open it. Open
+// rejects calls with ErrBreakerOpen until ProbeInterval has elapsed, then
+// half-opens. Half-open lets calls through as probes: one failure re-opens
+// it, ProbeSuccesses consecutive successes close it. It is safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold < 1 {
+		cfg.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeSuccesses < 1 {
+		cfg.ProbeSuccesses = DefaultProbeSuccesses
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+func (b *Breaker) transition(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	b.failures, b.successes = 0, 0
+	if to == StateOpen {
+		b.openedAt = b.cfg.Now()
+	}
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed now. It returns nil from the
+// closed and half-open states, flips an expired open breaker to half-open
+// (admitting the probe), and returns ErrBreakerOpen otherwise. A nil
+// result obliges the caller to report the outcome via Success or Failure.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.ProbeInterval {
+			return ErrBreakerOpen
+		}
+		b.transition(StateHalfOpen)
+	}
+	return nil
+}
+
+// Success records a successful call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures = 0
+	case StateHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.ProbeSuccesses {
+			b.transition(StateClosed)
+		}
+	}
+}
+
+// Failure records a failed call. While closed it counts toward the
+// threshold; while half-open it re-opens the breaker immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.transition(StateOpen)
+		}
+	case StateHalfOpen:
+		b.transition(StateOpen)
+	}
+}
+
+// State returns the breaker's current position (open flips to half-open
+// only on the next Allow, so a quiesced-open breaker reads open).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

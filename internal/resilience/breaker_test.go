@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// transitionRecorder captures OnStateChange calls.
+type transitionRecorder struct {
+	mu    sync.Mutex
+	moves []string
+}
+
+func (r *transitionRecorder) observe(from, to State) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.moves = append(r.moves, fmt.Sprintf("%s->%s", from, to))
+}
+
+func (r *transitionRecorder) all() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.moves...)
+}
+
+// TestBreakerFullCycle drives closed -> open -> half-open -> closed with a
+// manual clock and checks every transition and the probe accounting.
+func TestBreakerFullCycle(t *testing.T) {
+	clock := newFakeClock()
+	rec := &transitionRecorder{}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		ProbeInterval:    10 * time.Second,
+		ProbeSuccesses:   2,
+		Now:              clock.Now,
+		OnStateChange:    rec.observe,
+	})
+
+	if b.State() != StateClosed {
+		t.Fatalf("new breaker state %v", b.State())
+	}
+	// Two failures stay closed; an interleaved success resets the count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatalf("breaker opened before the threshold: %v", b.State())
+	}
+	b.Failure() // third consecutive failure
+	if b.State() != StateOpen {
+		t.Fatalf("breaker did not open at the threshold: %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// Probe interval not yet elapsed: still rejecting.
+	clock.Advance(9 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker half-opened early: %v", err)
+	}
+	// Elapsed: the next Allow admits the probe and the state reads
+	// half-open.
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("expired breaker rejected the probe: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after probe admission %v", b.State())
+	}
+	// One probe success is not enough (ProbeSuccesses: 2)...
+	b.Success()
+	if b.State() != StateHalfOpen {
+		t.Fatalf("breaker closed after one of two probe successes")
+	}
+	// ...the second closes it.
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatalf("breaker did not close after the probe quota: %v", b.State())
+	}
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	got := rec.all()
+	if len(got) != len(want) {
+		t.Fatalf("transitions %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBreakerProbeFailureReopens checks a failed probe re-opens the
+// breaker and restarts the probe interval from the failure.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		ProbeInterval:    5 * time.Second,
+		Now:              clock.Now,
+	})
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("single-failure threshold did not open")
+	}
+	clock.Advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Failure() // the probe fails
+	if b.State() != StateOpen {
+		t.Fatalf("failed probe left state %v", b.State())
+	}
+	// The interval restarts at the re-open, not the original open.
+	clock.Advance(4 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("breaker probed again before the restarted interval elapsed")
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatalf("recovered probe left state %v", b.State())
+	}
+}
+
+// TestBreakerDefaults checks the zero config is filled in and usable.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < DefaultFailureThreshold-1; i++ {
+		b.Failure()
+	}
+	if b.State() != StateClosed {
+		t.Fatal("default breaker opened early")
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("default breaker did not open at the default threshold")
+	}
+}
+
+// TestBreakerConcurrent hammers a breaker from many goroutines under the
+// race detector; the final state must be a valid State.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, ProbeInterval: time.Nanosecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() == nil {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != StateClosed && s != StateOpen && s != StateHalfOpen {
+		t.Fatalf("invalid final state %v", s)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateClosed: "closed", StateHalfOpen: "half-open", StateOpen: "open", State(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s, want)
+		}
+	}
+}

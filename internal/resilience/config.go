@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config is the flat, flag-friendly form of a Policy plus its Breaker —
+// the tuning surface the daemons expose. The zero value is NOT usable;
+// start from DefaultConfig.
+type Config struct {
+	// MaxAttempts is the total tries per fetch (1 = no retries).
+	MaxAttempts int
+	// BackoffBase and BackoffCap bound the decorrelated-jitter delays.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// AttemptTimeout bounds each attempt; Budget bounds the whole fetch
+	// including sleeps (0 = unbounded).
+	AttemptTimeout time.Duration
+	Budget         time.Duration
+	// BreakerFailures consecutive failures open the breaker; after
+	// ProbeInterval it admits probes, and ProbeSuccesses consecutive
+	// probe successes close it again. BreakerFailures <= 0 disables the
+	// breaker entirely.
+	BreakerFailures int
+	ProbeInterval   time.Duration
+	ProbeSuccesses  int
+}
+
+// DefaultConfig is the daemons' default tuning: three attempts backing off
+// 100ms..5s, 2s per attempt, a 15s total budget, and a breaker opening
+// after 5 consecutive failures with 30s probe intervals.
+func DefaultConfig() Config {
+	return Config{
+		MaxAttempts:     3,
+		BackoffBase:     100 * time.Millisecond,
+		BackoffCap:      5 * time.Second,
+		AttemptTimeout:  2 * time.Second,
+		Budget:          15 * time.Second,
+		BreakerFailures: 5,
+		ProbeInterval:   30 * time.Second,
+		ProbeSuccesses:  1,
+	}
+}
+
+// Validate rejects configurations the policy machinery would misbehave on.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxAttempts < 1:
+		return fmt.Errorf("resilience: need at least one attempt, got %d", c.MaxAttempts)
+	case c.BackoffBase <= 0:
+		return fmt.Errorf("resilience: backoff base must be positive, got %v", c.BackoffBase)
+	case c.BackoffCap < c.BackoffBase:
+		return fmt.Errorf("resilience: backoff cap %v below base %v", c.BackoffCap, c.BackoffBase)
+	case c.AttemptTimeout < 0 || c.Budget < 0:
+		return fmt.Errorf("resilience: timeouts must be non-negative")
+	case c.BreakerFailures > 0 && c.ProbeInterval <= 0:
+		return fmt.Errorf("resilience: breaker probe interval must be positive, got %v", c.ProbeInterval)
+	case c.BreakerFailures > 0 && c.ProbeSuccesses < 1:
+		return fmt.Errorf("resilience: breaker needs at least one probe success, got %d", c.ProbeSuccesses)
+	}
+	return nil
+}
+
+// Hooks carries the observation callbacks a daemon wires to its metrics.
+// Either may be nil.
+type Hooks struct {
+	// OnRetry observes every scheduled retry.
+	OnRetry func(attempt int, err error, delay time.Duration)
+	// OnBreakerChange observes every breaker transition.
+	OnBreakerChange func(from, to State)
+}
+
+// NewPolicy materializes the config into a Policy (and its Breaker, nil
+// when disabled). The seed fixes the jitter schedule, so a daemon run is
+// reproducible end to end.
+func (c Config) NewPolicy(seed int64) (*Policy, *Breaker) {
+	return c.NewPolicyHooked(seed, Hooks{})
+}
+
+// NewPolicyHooked is NewPolicy with observation hooks installed at
+// construction (the breaker's transition hook cannot be attached later).
+func (c Config) NewPolicyHooked(seed int64, h Hooks) (*Policy, *Breaker) {
+	var br *Breaker
+	if c.BreakerFailures > 0 {
+		br = NewBreaker(BreakerConfig{
+			FailureThreshold: c.BreakerFailures,
+			ProbeInterval:    c.ProbeInterval,
+			ProbeSuccesses:   c.ProbeSuccesses,
+			OnStateChange:    h.OnBreakerChange,
+		})
+	}
+	return &Policy{
+		MaxAttempts:    c.MaxAttempts,
+		Backoff:        Backoff{Base: c.BackoffBase, Cap: c.BackoffCap},
+		AttemptTimeout: c.AttemptTimeout,
+		Budget:         c.Budget,
+		Breaker:        br,
+		Rand:           rand.New(rand.NewSource(seed)),
+		OnRetry:        h.OnRetry,
+	}, br
+}
+
+// RegisterFlags exposes every knob on fs under -<prefix>-..., mutating c
+// in place when the flags are parsed. Both daemons call this with prefix
+// "signal", so their tuning surfaces stay identical.
+func (c *Config) RegisterFlags(fs *flag.FlagSet, prefix string) {
+	fs.IntVar(&c.MaxAttempts, prefix+"-retry-attempts", c.MaxAttempts,
+		"total fetch attempts before giving up (1 = no retries)")
+	fs.DurationVar(&c.BackoffBase, prefix+"-retry-base", c.BackoffBase,
+		"minimum backoff between fetch attempts")
+	fs.DurationVar(&c.BackoffCap, prefix+"-retry-cap", c.BackoffCap,
+		"maximum backoff between fetch attempts")
+	fs.DurationVar(&c.AttemptTimeout, prefix+"-attempt-timeout", c.AttemptTimeout,
+		"deadline per fetch attempt (0 = none)")
+	fs.DurationVar(&c.Budget, prefix+"-retry-budget", c.Budget,
+		"total time budget per fetch including backoff (0 = unbounded)")
+	fs.IntVar(&c.BreakerFailures, prefix+"-breaker-failures", c.BreakerFailures,
+		"consecutive failures that open the circuit breaker (0 = no breaker)")
+	fs.DurationVar(&c.ProbeInterval, prefix+"-breaker-probe-interval", c.ProbeInterval,
+		"how long an open breaker waits before probing the endpoint")
+	fs.IntVar(&c.ProbeSuccesses, prefix+"-breaker-probe-successes", c.ProbeSuccesses,
+		"consecutive probe successes that close the breaker")
+}

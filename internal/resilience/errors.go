@@ -1,0 +1,48 @@
+package resilience
+
+import "errors"
+
+// Sentinel errors for the failure classes the policy machinery produces.
+// They exist so callers can branch on the failure class with errors.Is
+// instead of matching message text — the livesignal feed serves its cached
+// sample on ErrBreakerOpen but surfaces ErrNoSignal when it has nothing,
+// for example — matching the internal/shapley error convention. Errors
+// carrying instance detail (attempt counts, the last underlying cause)
+// wrap the sentinel via fmt.Errorf("...: %w", ...).
+var (
+	// ErrBreakerOpen reports a call rejected without an attempt because
+	// the circuit breaker is open (the endpoint is presumed down).
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrRetriesExhausted reports an operation that failed on every
+	// allowed attempt. The returned error also wraps the last cause, so
+	// errors.Is/As reach through to it.
+	ErrRetriesExhausted = errors.New("resilience: retries exhausted")
+	// ErrBudgetExhausted reports an operation abandoned because the
+	// policy's total time budget ran out before the attempts did.
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// permanentError marks an error as not worth retrying: the caller's
+// request itself is wrong (a 4xx, a malformed URL), so repeating it can
+// only waste the budget and pollute the breaker's failure counts.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do fails fast instead of retrying, and the
+// breaker ignores it (a bad request says nothing about endpoint health).
+// A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}

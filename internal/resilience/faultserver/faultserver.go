@@ -1,0 +1,193 @@
+// Package faultserver is a programmable fault-injection HTTP server for
+// deterministic failure-scenario tests of the live-signal pipeline. It
+// wraps a real handler (typically signalserver.Server.Handler()) behind a
+// per-request script: each incoming request consumes the next Step, which
+// can delay, corrupt, reject or reset it; with no step pending the request
+// passes through to the real handler untouched. Scripts make outages exact
+// — "fail the next 3 requests with 503, then recover" is three Steps —
+// so every scenario test replays bit-for-bit.
+package faultserver
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Step scripts the treatment of one request. The zero Step passes the
+// request through to the wrapped handler (a healthy response).
+type Step struct {
+	// Status, when nonzero, short-circuits the request with this HTTP
+	// status and Body instead of invoking the wrapped handler. A 200
+	// Status with a garbage Body simulates a lying upstream (partial or
+	// corrupt JSON).
+	Status int
+	// Body is the response body sent with Status.
+	Body string
+	// Delay stalls before responding — a latency spike. If the client
+	// gives up first (attempt timeout), the stall ends immediately so
+	// scripted delays never outlive the test.
+	Delay time.Duration
+	// Reset hijacks the connection and closes it with a TCP RST, the
+	// "connection reset by peer" failure mode.
+	Reset bool
+	// Sticky keeps the step active for every subsequent request instead
+	// of consuming it — a sustained outage. Clear removes it.
+	Sticky bool
+}
+
+// Server wraps an inner handler behind the fault script. All methods are
+// safe for concurrent use.
+type Server struct {
+	inner http.Handler
+	ts    *httptest.Server
+
+	mu     sync.Mutex
+	script []Step
+	sticky *Step
+	hits   int
+	faults int
+}
+
+// New starts a fault server in front of inner. Close it when done.
+func New(inner http.Handler) *Server {
+	s := &Server{inner: inner}
+	s.ts = httptest.NewServer(s)
+	return s
+}
+
+// URL is the server's base URL.
+func (s *Server) URL() string { return s.ts.URL }
+
+// Close shuts the listener down.
+func (s *Server) Close() { s.ts.Close() }
+
+// Program appends steps to the script. A Sticky step becomes the standing
+// treatment once the queued steps ahead of it are consumed.
+func (s *Server) Program(steps ...Step) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.script = append(s.script, steps...)
+}
+
+// Clear drops the remaining script and any sticky step, restoring healthy
+// pass-through service — the "upstream recovered" transition.
+func (s *Server) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.script, s.sticky = nil, nil
+}
+
+// Hits is the total number of requests received.
+func (s *Server) Hits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Faults is the number of requests that received scripted treatment
+// (anything but clean pass-through).
+func (s *Server) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// next consumes and returns the step for one request.
+func (s *Server) next() Step {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	var step Step
+	switch {
+	case len(s.script) > 0:
+		step = s.script[0]
+		if step.Sticky {
+			s.sticky = &step
+		}
+		s.script = s.script[1:]
+	case s.sticky != nil:
+		step = *s.sticky
+	default:
+		return Step{}
+	}
+	if step.Status != 0 || step.Reset || step.Delay > 0 {
+		s.faults++
+	}
+	return step
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	step := s.next()
+	if step.Delay > 0 {
+		t := time.NewTimer(step.Delay)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+	if step.Reset {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// Should not happen with httptest's default server; fail the
+			// request loudly rather than silently succeeding.
+			http.Error(w, "faultserver: hijack unsupported", http.StatusInternalServerError)
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			// Linger 0 turns Close into an RST instead of a FIN, which is
+			// what "connection reset by peer" means on the client side.
+			_ = tcp.SetLinger(0)
+		}
+		_ = conn.Close()
+		return
+	}
+	if step.Status != 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(step.Status)
+		_, _ = w.Write([]byte(step.Body))
+		return
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// FailN scripts n consecutive failures with the given status (a 5xx
+// burst), after which service recovers.
+func FailN(n, status int) []Step {
+	steps := make([]Step, n)
+	for i := range steps {
+		steps[i] = Step{Status: status, Body: `{"error":"injected"}`}
+	}
+	return steps
+}
+
+// Outage is a sticky failure: every request from now on gets status, until
+// Clear. Pair with a breaker test: the client must open, not spin.
+func Outage(status int) Step {
+	return Step{Status: status, Body: `{"error":"outage"}`, Sticky: true}
+}
+
+// Flap scripts pairs failures alternating with healthy responses — the
+// flapping upstream that tests whether consecutive-failure accounting
+// resets on success.
+func Flap(pairs, status int) []Step {
+	steps := make([]Step, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		steps = append(steps, Step{Status: status, Body: `{"error":"flap"}`}, Step{})
+	}
+	return steps
+}
+
+// CorruptJSON is a 200 response whose body is truncated JSON — the
+// partial-write failure mode a decoder must reject with a typed error.
+func CorruptJSON() Step {
+	return Step{Status: http.StatusOK, Body: `{"intensity_g_per_resource_second": 12.`}
+}

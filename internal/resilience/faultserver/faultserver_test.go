@@ -1,0 +1,188 @@
+package faultserver
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func healthy() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+func get(t *testing.T, url string) (int, string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(body), nil
+}
+
+// TestPassThrough checks an unprogrammed server is transparent.
+func TestPassThrough(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	status, body, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK || body != `{"ok":true}` {
+		t.Fatalf("pass-through got (%d, %q, %v)", status, body, err)
+	}
+	if s.Hits() != 1 || s.Faults() != 0 {
+		t.Errorf("hits=%d faults=%d", s.Hits(), s.Faults())
+	}
+}
+
+// TestFailNThenRecover checks the scripted burst is consumed in order.
+func TestFailNThenRecover(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(FailN(3, http.StatusServiceUnavailable)...)
+	for i := 0; i < 3; i++ {
+		status, _, err := get(t, s.URL())
+		if err != nil || status != http.StatusServiceUnavailable {
+			t.Fatalf("burst request %d: (%d, %v)", i, status, err)
+		}
+	}
+	status, body, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK || body != `{"ok":true}` {
+		t.Fatalf("post-burst request: (%d, %q, %v)", status, body, err)
+	}
+	if s.Faults() != 3 {
+		t.Errorf("faults = %d, want 3", s.Faults())
+	}
+}
+
+// TestStickyOutageAndClear checks Outage persists until Clear.
+func TestStickyOutageAndClear(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(Outage(http.StatusBadGateway))
+	for i := 0; i < 5; i++ {
+		status, _, err := get(t, s.URL())
+		if err != nil || status != http.StatusBadGateway {
+			t.Fatalf("outage request %d: (%d, %v)", i, status, err)
+		}
+	}
+	s.Clear()
+	status, _, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-recovery request: (%d, %v)", status, err)
+	}
+}
+
+// TestFlap checks the alternating script.
+func TestFlap(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(Flap(2, http.StatusInternalServerError)...)
+	want := []int{500, 200, 500, 200, 200}
+	for i, w := range want {
+		status, _, err := get(t, s.URL())
+		if err != nil || status != w {
+			t.Fatalf("flap request %d: status %d (err %v), want %d", i, status, err, w)
+		}
+	}
+}
+
+// TestCorruptJSON checks the corrupt step returns 200 with a body that
+// must not decode.
+func TestCorruptJSON(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(CorruptJSON())
+	status, body, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("(%d, %v)", status, err)
+	}
+	if !strings.HasPrefix(body, "{") || strings.HasSuffix(body, "}") {
+		t.Errorf("corrupt body %q looks well-formed", body)
+	}
+}
+
+// TestReset checks the reset step produces a transport-level error, not an
+// HTTP response.
+func TestReset(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(Step{Reset: true})
+	_, _, err := get(t, s.URL())
+	if err == nil {
+		t.Fatal("reset request returned a response")
+	}
+	// Depending on timing the client sees ECONNRESET or an unexpected
+	// EOF; both are transport failures, which is what matters.
+	if !errors.Is(err, syscall.ECONNRESET) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Logf("reset surfaced as %v (accepted: any transport error)", err)
+	}
+	status, _, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-reset request: (%d, %v)", status, err)
+	}
+}
+
+// TestDelayRespectsClientTimeout checks a latency spike ends when the
+// client hangs up, so scripted stalls cannot outlive a test.
+func TestDelayRespectsClientTimeout(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(Step{Delay: time.Hour})
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(s.URL())
+	if err == nil {
+		t.Fatal("stalled request returned")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("stall surfaced as %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("client stuck for %v despite its 50ms timeout", elapsed)
+	}
+}
+
+// TestDelayedResponse checks a short delay still serves the real handler.
+func TestDelayedResponse(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	s.Program(Step{Delay: 10 * time.Millisecond})
+	start := time.Now()
+	status, body, err := get(t, s.URL())
+	if err != nil || status != http.StatusOK || body != `{"ok":true}` {
+		t.Fatalf("(%d, %q, %v)", status, body, err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("delay step did not delay")
+	}
+}
+
+// TestProgramMidFlight checks steps can be injected while traffic flows —
+// the mid-run outage pattern the end-to-end tests use.
+func TestProgramMidFlight(t *testing.T) {
+	s := New(healthy())
+	defer s.Close()
+	if status, _, _ := get(t, s.URL()); status != http.StatusOK {
+		t.Fatal("healthy phase failed")
+	}
+	s.Program(Outage(http.StatusServiceUnavailable))
+	if status, _, _ := get(t, s.URL()); status != http.StatusServiceUnavailable {
+		t.Fatal("outage did not take effect mid-flight")
+	}
+	s.Clear()
+	if status, _, _ := get(t, s.URL()); status != http.StatusOK {
+		t.Fatal("recovery did not take effect mid-flight")
+	}
+}

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DefaultMaxAttempts bounds a zero-valued Policy's attempts.
+const DefaultMaxAttempts = 3
+
+// Policy composes retry, backoff, deadlines and an optional breaker into
+// one "call this flaky endpoint responsibly" primitive. The zero value
+// retries DefaultMaxAttempts times with default backoff and no breaker.
+// A Policy is safe for concurrent Do calls as long as Rand is not shared
+// unlocked elsewhere (math/rand.Rand is internally unsynchronized; the
+// daemons build one policy at startup and call it from one loop).
+type Policy struct {
+	// MaxAttempts is the total number of tries, first call included
+	// (default DefaultMaxAttempts; 1 means no retries).
+	MaxAttempts int
+	// Backoff shapes the delay between attempts.
+	Backoff Backoff
+	// AttemptTimeout bounds each individual attempt's context (0 = none).
+	AttemptTimeout time.Duration
+	// Budget bounds the whole Do call — attempts plus sleeps. When the
+	// next sleep would overrun it, Do gives up with ErrBudgetExhausted
+	// (0 = unbounded).
+	Budget time.Duration
+	// Breaker, when set, gates every attempt and records its outcome.
+	Breaker *Breaker
+	// Rand drives the backoff jitter. Seed it to make the retry schedule
+	// deterministic; nil falls back to a fixed-seed source.
+	Rand *rand.Rand
+	// Now and Sleep override the clock, for deterministic tests. Sleep
+	// must return early with ctx.Err() if the context ends first.
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes every scheduled retry (the retry
+	// counter metric hangs off this).
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+func (p *Policy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (p *Policy) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+func (p *Policy) rng() *rand.Rand {
+	if p.Rand == nil {
+		p.Rand = rand.New(rand.NewSource(1))
+	}
+	return p.Rand
+}
+
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op under the policy: breaker gate, per-attempt deadline, backoff
+// between failures, overall budget. It returns nil on the first success;
+// ErrBreakerOpen without calling op when the breaker rejects; the
+// underlying error unchanged when op fails permanently (see Permanent) or
+// the context ends; and otherwise an error wrapping ErrRetriesExhausted or
+// ErrBudgetExhausted plus the last cause.
+func (p *Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	start := p.now()
+	max := p.attempts()
+	var prev time.Duration
+	for attempt := 1; ; attempt++ {
+		if p.Breaker != nil {
+			if err := p.Breaker.Allow(); err != nil {
+				return err
+			}
+		}
+		err := p.runAttempt(ctx, op)
+		if p.Breaker != nil {
+			switch {
+			case err == nil:
+				p.Breaker.Success()
+			case IsPermanent(err):
+				// A rejected request says nothing about endpoint health;
+				// leave the failure counts alone.
+			default:
+				p.Breaker.Failure()
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) || ctx.Err() != nil {
+			return err
+		}
+		if attempt >= max {
+			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt, err)
+		}
+		delay := p.Backoff.Next(p.rng(), prev)
+		prev = delay
+		if p.Budget > 0 && p.now().Add(delay).Sub(start) >= p.Budget {
+			return fmt.Errorf("%w after %d attempts (budget %v): %w", ErrBudgetExhausted, attempt, p.Budget, err)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if serr := p.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("resilience: interrupted while backing off: %w (last error: %w)", serr, err)
+		}
+	}
+}
+
+// runAttempt invokes op under the per-attempt deadline.
+func (p *Policy) runAttempt(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.AttemptTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+		defer cancel()
+		return op(actx)
+	}
+	return op(ctx)
+}

@@ -1,0 +1,337 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// policyHarness wires a Policy to a manual clock whose fake Sleep advances
+// it, so budget arithmetic is exact and no test ever really sleeps.
+type policyHarness struct {
+	clock  *fakeClock
+	slept  []time.Duration
+	policy *Policy
+}
+
+func newPolicyHarness(p *Policy, seed int64) *policyHarness {
+	h := &policyHarness{clock: newFakeClock(), policy: p}
+	p.Rand = rand.New(rand.NewSource(seed))
+	p.Now = h.clock.Now
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h.slept = append(h.slept, d)
+		h.clock.Advance(d)
+		return nil
+	}
+	return h
+}
+
+// failNTimes returns an op failing its first n calls, then succeeding.
+func failNTimes(n int, err error, calls *int) func(context.Context) error {
+	return func(context.Context) error {
+		*calls++
+		if *calls <= n {
+			return err
+		}
+		return nil
+	}
+}
+
+// TestPolicyRetriesThenSucceeds checks a transient failure burst is
+// absorbed and the sleeps follow the seeded backoff schedule exactly.
+func TestPolicyRetriesThenSucceeds(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	var retried []int
+	p := &Policy{
+		MaxAttempts: 5,
+		Backoff:     Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond},
+		OnRetry:     func(attempt int, err error, d time.Duration) { retried = append(retried, attempt) },
+	}
+	h := newPolicyHarness(p, 7)
+	if err := p.Do(context.Background(), failNTimes(3, boom, &calls)); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("op called %d times, want 4", calls)
+	}
+	want := Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond}.
+		Schedule(rand.New(rand.NewSource(7)), 3)
+	if len(h.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", h.slept, want)
+	}
+	for i := range want {
+		if h.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, h.slept[i], want[i])
+		}
+	}
+	if len(retried) != 3 || retried[0] != 1 || retried[2] != 3 {
+		t.Errorf("OnRetry attempts %v", retried)
+	}
+}
+
+// TestPolicyRetriesExhausted checks the sentinel wraps the last cause.
+func TestPolicyRetriesExhausted(t *testing.T) {
+	boom := errors.New("still down")
+	calls := 0
+	p := &Policy{MaxAttempts: 3, Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}}
+	newPolicyHarness(p, 1)
+	err := p.Do(context.Background(), failNTimes(99, boom, &calls))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("error %v is not ErrRetriesExhausted", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the last cause", err)
+	}
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+}
+
+// TestPolicyBudgetExhausted checks Do gives up when the next backoff would
+// overrun the total budget, wrapping both sentinels' worth of context.
+func TestPolicyBudgetExhausted(t *testing.T) {
+	boom := errors.New("down")
+	calls := 0
+	p := &Policy{
+		MaxAttempts: 100,
+		Backoff:     Backoff{Base: 40 * time.Millisecond, Cap: 40 * time.Millisecond},
+		Budget:      100 * time.Millisecond,
+	}
+	h := newPolicyHarness(p, 1)
+	err := p.Do(context.Background(), failNTimes(999, boom, &calls))
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("error %v is not ErrBudgetExhausted", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the last cause", err)
+	}
+	// 40ms sleeps against a 100ms budget: attempt, sleep(40), attempt,
+	// sleep(40), attempt, then the third sleep would hit 120ms >= 100ms.
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+	if len(h.slept) != 2 {
+		t.Errorf("slept %d times, want 2 (%v)", len(h.slept), h.slept)
+	}
+}
+
+// TestPolicyPermanentNoRetry checks Permanent short-circuits the loop and
+// comes back unwrapped by the retry sentinels.
+func TestPolicyPermanentNoRetry(t *testing.T) {
+	bad := errors.New("404 not found")
+	calls := 0
+	p := &Policy{MaxAttempts: 5}
+	newPolicyHarness(p, 1)
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(bad)
+	})
+	if calls != 1 {
+		t.Errorf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, bad) {
+		t.Fatalf("error %v lost the cause", err)
+	}
+	if errors.Is(err, ErrRetriesExhausted) || errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("permanent failure mislabeled: %v", err)
+	}
+	if !IsPermanent(err) {
+		t.Error("IsPermanent lost the marker")
+	}
+}
+
+// TestPolicyBreakerIntegration checks consecutive Do failures open the
+// breaker, further calls fail fast without invoking the op, and permanent
+// errors leave the failure count alone.
+func TestPolicyBreakerIntegration(t *testing.T) {
+	clock := newFakeClock()
+	br := NewBreaker(BreakerConfig{FailureThreshold: 4, ProbeInterval: time.Minute, Now: clock.Now})
+	p := &Policy{MaxAttempts: 2, Breaker: br, Backoff: Backoff{Base: time.Millisecond, Cap: time.Millisecond}}
+	newPolicyHarness(p, 1)
+
+	// A permanent failure must not move the breaker.
+	_ = p.Do(context.Background(), func(context.Context) error { return Permanent(errors.New("bad request")) })
+	if br.State() != StateClosed {
+		t.Fatal("permanent error tripped the breaker")
+	}
+
+	// Two Do calls x two attempts = four transient failures: open.
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := p.Do(context.Background(), failNTimes(999, boom, &calls)); !errors.Is(err, ErrRetriesExhausted) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if br.State() != StateOpen {
+		t.Fatalf("breaker state %v after 4 transient failures", br.State())
+	}
+	before := calls
+	if err := p.Do(context.Background(), failNTimes(999, boom, &calls)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v", err)
+	}
+	if calls != before {
+		t.Error("open breaker still invoked the op")
+	}
+
+	// After the probe interval a successful probe closes it again.
+	clock.Advance(2 * time.Minute)
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if br.State() != StateClosed {
+		t.Fatalf("breaker state %v after successful probe", br.State())
+	}
+}
+
+// TestPolicyContextCancelDuringSleep checks cancellation interrupts the
+// backoff and surfaces context.Canceled.
+func TestPolicyContextCancelDuringSleep(t *testing.T) {
+	boom := errors.New("boom")
+	p := &Policy{
+		MaxAttempts: 10,
+		Backoff:     Backoff{Base: time.Hour, Cap: time.Hour}, // would hang if really slept
+	}
+	p.Rand = rand.New(rand.NewSource(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the caller gives up mid-backoff
+		return ctx.Err()
+	}
+	err := p.Do(ctx, func(context.Context) error { return boom })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, boom) {
+		t.Fatalf("error %v should wrap context.Canceled and the last cause", err)
+	}
+}
+
+// TestPolicyAttemptTimeout checks each attempt gets its own deadline.
+func TestPolicyAttemptTimeout(t *testing.T) {
+	p := &Policy{
+		MaxAttempts:    2,
+		AttemptTimeout: 10 * time.Millisecond,
+		Backoff:        Backoff{Base: time.Millisecond, Cap: time.Millisecond},
+	}
+	p.Rand = rand.New(rand.NewSource(1))
+	p.Sleep = func(context.Context, time.Duration) error { return nil }
+	deadlines := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done() // simulate an op pinned until its deadline
+		return ctx.Err()
+	})
+	if !errors.Is(err, ErrRetriesExhausted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v", err)
+	}
+	if deadlines != 2 {
+		t.Errorf("%d attempts saw a deadline, want 2", deadlines)
+	}
+}
+
+// TestPolicyZeroValue checks the zero policy is usable with defaults.
+func TestPolicyZeroValue(t *testing.T) {
+	p := &Policy{}
+	p.Sleep = func(context.Context, time.Duration) error { return nil }
+	calls := 0
+	err := p.Do(context.Background(), failNTimes(999, errors.New("x"), &calls))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err %v", err)
+	}
+	if calls != DefaultMaxAttempts {
+		t.Errorf("zero policy made %d attempts, want %d", calls, DefaultMaxAttempts)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	if IsPermanent(nil) {
+		t.Error("IsPermanent(nil)")
+	}
+}
+
+// TestConfigValidate exercises every rejection branch.
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MaxAttempts = 0 },
+		func(c *Config) { c.BackoffBase = 0 },
+		func(c *Config) { c.BackoffCap = c.BackoffBase - 1 },
+		func(c *Config) { c.AttemptTimeout = -1 },
+		func(c *Config) { c.Budget = -1 },
+		func(c *Config) { c.ProbeInterval = 0 },
+		func(c *Config) { c.ProbeSuccesses = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected a validation error", i)
+		}
+	}
+	// Breaker disabled: the probe knobs are irrelevant.
+	cfg := DefaultConfig()
+	cfg.BreakerFailures = 0
+	cfg.ProbeInterval = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("breakerless config rejected: %v", err)
+	}
+}
+
+// TestConfigNewPolicy checks the materialized policy carries the knobs and
+// the breaker is omitted when disabled.
+func TestConfigNewPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	p, br := cfg.NewPolicy(123)
+	if p.MaxAttempts != cfg.MaxAttempts || p.AttemptTimeout != cfg.AttemptTimeout || p.Budget != cfg.Budget {
+		t.Errorf("policy %+v does not carry the config", p)
+	}
+	if br == nil || p.Breaker != br {
+		t.Error("breaker not wired into the policy")
+	}
+	cfg.BreakerFailures = 0
+	p, br = cfg.NewPolicy(123)
+	if br != nil || p.Breaker != nil {
+		t.Error("disabled breaker still materialized")
+	}
+}
+
+// TestConfigRegisterFlags checks the flag group parses back into the
+// config under the shared prefix.
+func TestConfigRegisterFlags(t *testing.T) {
+	cfg := DefaultConfig()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.RegisterFlags(fs, "signal")
+	err := fs.Parse([]string{
+		"-signal-retry-attempts=7",
+		"-signal-retry-base=5ms",
+		"-signal-retry-cap=250ms",
+		"-signal-attempt-timeout=1s",
+		"-signal-retry-budget=30s",
+		"-signal-breaker-failures=2",
+		"-signal-breaker-probe-interval=3s",
+		"-signal-breaker-probe-successes=4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		MaxAttempts: 7, BackoffBase: 5 * time.Millisecond, BackoffCap: 250 * time.Millisecond,
+		AttemptTimeout: time.Second, Budget: 30 * time.Second,
+		BreakerFailures: 2, ProbeInterval: 3 * time.Second, ProbeSuccesses: 4,
+	}
+	if cfg != want {
+		t.Errorf("parsed config %+v, want %+v", cfg, want)
+	}
+}

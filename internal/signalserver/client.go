@@ -1,15 +1,25 @@
 package signalserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"time"
 
+	"fairco2/internal/resilience"
 	"fairco2/internal/timeseries"
 	"fairco2/internal/units"
 )
+
+// maxResponseBytes bounds how much of a response body the client will
+// read. A full two-week 5-minute window is ~4000 samples — well under a
+// megabyte of JSON — so anything past this bound is a lying or broken
+// server, not a bigger signal.
+const maxResponseBytes = 8 << 20
 
 // Client is the tenant-side consumer of a signal server: poll the
 // projected intensity and schedule deferrable work into its cheapest
@@ -23,6 +33,11 @@ type Client struct {
 	// timeout (http.DefaultClient semantics). A scheduler polling the
 	// signal must not hang on a wedged server: set this.
 	Timeout time.Duration
+	// Policy, when set, wraps every fetch with retry/backoff, per-attempt
+	// deadlines and the policy's circuit breaker. Nil keeps the previous
+	// single-attempt behavior. WithResilience installs one with metrics
+	// wired; tests build their own for exact schedules.
+	Policy *resilience.Policy
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -35,25 +50,114 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.httpClient().Get(c.BaseURL + path)
-	if err != nil {
-		return fmt.Errorf("signalserver client: %w", err)
+// get fetches path and hands the (size-bounded) body to parse, under the
+// client's policy when one is set. Transport errors, 5xx/429 statuses and
+// bad bodies are retryable; other non-200 statuses are permanent — the
+// request itself is wrong, and repeating it would only pollute the breaker.
+func (c *Client) get(path string, parse func(io.Reader) error) error {
+	op := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return resilience.Permanent(fmt.Errorf("signalserver client: %w", err))
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("signalserver client: %w", err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+		case resp.StatusCode >= http.StatusInternalServerError,
+			resp.StatusCode == http.StatusTooManyRequests:
+			return fmt.Errorf("signalserver client: %s returned %s", path, resp.Status)
+		default:
+			return resilience.Permanent(fmt.Errorf("signalserver client: %s returned %s", path, resp.Status))
+		}
+		if err := parse(io.LimitReader(resp.Body, maxResponseBytes+1)); err != nil {
+			return fmt.Errorf("signalserver client: decoding %s: %w", path, err)
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("signalserver client: %s returned %s", path, resp.Status)
+	if c.Policy != nil {
+		return c.Policy.Do(context.Background(), op)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("signalserver client: decoding %s: %w", path, err)
+	return op(context.Background())
+}
+
+// decodePoint parses and validates a /v1/intensity/current body. Every
+// rejection is typed ErrBadResponse; arbitrary bytes must never panic
+// (FuzzClientDecode holds it to that).
+func decodePoint(r io.Reader) (pointResponse, error) {
+	var p pointResponse
+	if err := decodeJSON(r, &p); err != nil {
+		return pointResponse{}, err
+	}
+	if !isFiniteIntensity(p.Intensity) {
+		return pointResponse{}, fmt.Errorf("%w: intensity %v is not a finite non-negative number", ErrBadResponse, p.Intensity)
+	}
+	return p, nil
+}
+
+// decodeSeries parses and validates a window/series body.
+func decodeSeries(r io.Reader) (seriesResponse, error) {
+	var s seriesResponse
+	if err := decodeJSON(r, &s); err != nil {
+		return seriesResponse{}, err
+	}
+	switch {
+	case len(s.Intensity) == 0:
+		return seriesResponse{}, fmt.Errorf("%w: empty window", ErrBadResponse)
+	case !(s.StepSeconds > 0) || math.IsInf(s.StepSeconds, 0):
+		return seriesResponse{}, fmt.Errorf("%w: step %v is not a positive finite number", ErrBadResponse, s.StepSeconds)
+	case math.IsNaN(s.StartSeconds) || math.IsInf(s.StartSeconds, 0):
+		return seriesResponse{}, fmt.Errorf("%w: start %v is not finite", ErrBadResponse, s.StartSeconds)
+	}
+	for i, v := range s.Intensity {
+		if !isFiniteIntensity(v) {
+			return seriesResponse{}, fmt.Errorf("%w: intensity[%d] = %v is not a finite non-negative number", ErrBadResponse, i, v)
+		}
+	}
+	return s, nil
+}
+
+// decodeJSON decodes exactly one JSON value from r into out, rejecting
+// oversized bodies and trailing garbage with ErrBadResponse.
+func decodeJSON(r io.Reader, out any) error {
+	lr, ok := r.(*io.LimitedReader)
+	if !ok {
+		lr = &io.LimitedReader{R: r, N: maxResponseBytes + 1}
+	}
+	dec := json.NewDecoder(lr)
+	if err := dec.Decode(out); err != nil {
+		if lr.N <= 0 {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrBadResponse, maxResponseBytes)
+		}
+		return fmt.Errorf("%w: %v", ErrBadResponse, err)
+	}
+	if lr.N <= 0 {
+		return fmt.Errorf("%w: body exceeds %d bytes", ErrBadResponse, maxResponseBytes)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after the JSON value", ErrBadResponse)
 	}
 	return nil
+}
+
+// isFiniteIntensity accepts the values a sane server can emit: finite and
+// non-negative (a negative embodied intensity would credit carbon).
+func isFiniteIntensity(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
 // Current returns the intensity now, in gCO2e per resource-second.
 func (c *Client) Current() (float64, error) {
 	var p pointResponse
-	if err := c.getJSON("/v1/intensity/current", &p); err != nil {
+	err := c.get("/v1/intensity/current", func(r io.Reader) error {
+		var derr error
+		p, derr = decodePoint(r)
+		return derr
+	})
+	if err != nil {
 		return 0, err
 	}
 	return p.Intensity, nil
@@ -62,11 +166,13 @@ func (c *Client) Current() (float64, error) {
 // Window returns the projected intensity series for the next hours.
 func (c *Client) Window(hours float64) (*timeseries.Series, error) {
 	var s seriesResponse
-	if err := c.getJSON(fmt.Sprintf("/v1/intensity/window?hours=%g", hours), &s); err != nil {
+	err := c.get(fmt.Sprintf("/v1/intensity/window?hours=%g", hours), func(r io.Reader) error {
+		var derr error
+		s, derr = decodeSeries(r)
+		return derr
+	})
+	if err != nil {
 		return nil, err
-	}
-	if len(s.Intensity) == 0 || s.StepSeconds <= 0 {
-		return nil, errors.New("signalserver client: server returned an empty window")
 	}
 	return timeseries.New(units.Seconds(s.StartSeconds), units.Seconds(s.StepSeconds), s.Intensity), nil
 }

@@ -1,0 +1,251 @@
+package signalserver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
+	"fairco2/internal/resilience/faultserver"
+)
+
+// fastPolicy is the deterministic test policy: millisecond backoff with a
+// fixed seed, so scenario runs replay exactly and finish fast.
+func fastPolicy(attempts int, br *resilience.Breaker) *resilience.Policy {
+	return &resilience.Policy{
+		MaxAttempts: attempts,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Cap: 5 * time.Millisecond},
+		Breaker:     br,
+		Rand:        rand.New(rand.NewSource(1)),
+	}
+}
+
+// faultClient stands a fault server in front of a real signal server and
+// returns a client with the given policy pointed at it.
+func faultClient(t *testing.T, p *resilience.Policy) (*Client, *faultserver.Server) {
+	t.Helper()
+	fs := faultserver.New(testServer(t).Handler())
+	t.Cleanup(fs.Close)
+	return &Client{BaseURL: fs.URL(), Policy: p}, fs
+}
+
+// Scenario 1 — latency spike: the wedged attempt times out, the retry
+// lands on a healthy server.
+func TestScenarioTimeoutThenRecover(t *testing.T) {
+	p := fastPolicy(3, nil)
+	p.AttemptTimeout = 100 * time.Millisecond
+	c, fs := faultClient(t, p)
+	fs.Program(faultserver.Step{Delay: time.Hour})
+	v, err := c.Current()
+	if err != nil {
+		t.Fatalf("timeout was not retried into success: %v", err)
+	}
+	if v <= 0 {
+		t.Errorf("intensity %v", v)
+	}
+	if fs.Hits() != 2 {
+		t.Errorf("hits = %d, want 2 (one timeout, one success)", fs.Hits())
+	}
+}
+
+// Scenario 2 — 5xx burst: transient server errors are absorbed by the
+// retry loop and counted.
+func TestScenario5xxBurst(t *testing.T) {
+	retries := 0
+	p := fastPolicy(4, nil)
+	p.OnRetry = func(int, error, time.Duration) { retries++ }
+	c, fs := faultClient(t, p)
+	fs.Program(faultserver.FailN(3, http.StatusServiceUnavailable)...)
+	if _, err := c.Current(); err != nil {
+		t.Fatalf("burst not absorbed: %v", err)
+	}
+	if retries != 3 || fs.Hits() != 4 {
+		t.Errorf("retries=%d hits=%d, want 3 and 4", retries, fs.Hits())
+	}
+}
+
+// Scenario 3 — corrupt body: a 200 with truncated JSON is a typed
+// ErrBadResponse and retryable.
+func TestScenarioCorruptBody(t *testing.T) {
+	c, fs := faultClient(t, fastPolicy(2, nil))
+	fs.Program(faultserver.CorruptJSON())
+	if _, err := c.Current(); err != nil {
+		t.Fatalf("corrupt body not retried into success: %v", err)
+	}
+
+	// Without retries the typed error surfaces to the caller.
+	c.Policy = nil
+	fs.Program(faultserver.CorruptJSON())
+	_, err := c.Current()
+	if !errors.Is(err, ErrBadResponse) {
+		t.Fatalf("error %v is not ErrBadResponse", err)
+	}
+}
+
+// Scenario 4 — connection reset: the RST mid-exchange is a transport
+// error, retried into success.
+func TestScenarioConnectionReset(t *testing.T) {
+	c, fs := faultClient(t, fastPolicy(3, nil))
+	fs.Program(faultserver.Step{Reset: true})
+	if _, err := c.Window(6); err != nil {
+		t.Fatalf("reset not retried into success: %v", err)
+	}
+}
+
+// Scenario 5 — flapping: alternating failure and success never trips a
+// breaker whose threshold exceeds the flap run-length, and every fetch
+// eventually lands.
+func TestScenarioFlapping(t *testing.T) {
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 3, ProbeInterval: time.Minute})
+	c, fs := faultClient(t, fastPolicy(2, br))
+	fs.Program(faultserver.Flap(6, http.StatusInternalServerError)...)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Current(); err != nil {
+			t.Fatalf("flap fetch %d failed: %v", i, err)
+		}
+	}
+	if br.State() != resilience.StateClosed {
+		t.Errorf("flapping opened the breaker (state %v); consecutive-failure accounting is broken", br.State())
+	}
+	if fs.Faults() != 6 {
+		t.Errorf("faults = %d, want 6", fs.Faults())
+	}
+}
+
+// Scenario 6 — sustained outage and recovery: retries exhaust, the breaker
+// opens and fast-fails without touching the network, then a probe after
+// the interval closes it again once the server recovers.
+func TestScenarioSustainedOutage(t *testing.T) {
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 4,
+		ProbeInterval:    20 * time.Millisecond,
+	})
+	c, fs := faultClient(t, fastPolicy(2, br))
+	fs.Program(faultserver.Outage(http.StatusServiceUnavailable))
+
+	// Two fetches x two attempts = four failures: exhaustion, then open.
+	for i := 0; i < 2; i++ {
+		_, err := c.Current()
+		if !errors.Is(err, ErrRetriesExhausted) {
+			t.Fatalf("outage fetch %d: %v, want ErrRetriesExhausted", i, err)
+		}
+	}
+	if br.State() != resilience.StateOpen {
+		t.Fatalf("breaker state %v after sustained outage, want open", br.State())
+	}
+	hits := fs.Hits()
+	_, err := c.Current()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker fetch returned %v, want ErrBreakerOpen", err)
+	}
+	if fs.Hits() != hits {
+		t.Error("open breaker still sent a request")
+	}
+
+	// The server recovers; after the probe interval one good fetch closes
+	// the breaker.
+	fs.Clear()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.Current(); err != nil {
+		t.Fatalf("probe fetch failed: %v", err)
+	}
+	if br.State() != resilience.StateClosed {
+		t.Errorf("breaker state %v after recovery, want closed", br.State())
+	}
+}
+
+// TestScenarioBudgetExhaustion bounds a whole fetch: a scripted stall
+// sequence cannot hold the caller past the policy budget.
+func TestScenarioBudgetExhaustion(t *testing.T) {
+	p := fastPolicy(100, nil)
+	p.AttemptTimeout = 30 * time.Millisecond
+	p.Budget = 100 * time.Millisecond
+	c, fs := faultClient(t, p)
+	fs.Program(faultserver.Step{Delay: time.Hour, Sticky: true})
+	start := time.Now()
+	_, err := c.Current()
+	if !errors.Is(err, resilience.ErrBudgetExhausted) && !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("error %v, want budget or retries exhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("fetch pinned for %v despite the 100ms budget", elapsed)
+	}
+}
+
+// TestScenarioPermanent4xx checks a client-side mistake is not retried.
+func TestScenarioPermanent4xx(t *testing.T) {
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 1, ProbeInterval: time.Minute})
+	c, fs := faultClient(t, fastPolicy(5, br))
+	fs.Program(faultserver.Step{Status: http.StatusNotFound, Body: `{"error":"no such route"}`})
+	_, err := c.Current()
+	if err == nil {
+		t.Fatal("404 should fail")
+	}
+	if errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("404 was retried: %v", err)
+	}
+	if fs.Hits() != 1 {
+		t.Errorf("hits = %d, want 1 (no retries on 4xx)", fs.Hits())
+	}
+	if br.State() != resilience.StateClosed {
+		t.Errorf("4xx tripped the breaker (threshold 1): state %v", br.State())
+	}
+}
+
+// TestWithResilienceMetrics checks the WithResilience wiring: retries land
+// in fairco2_signal_retry_total and breaker transitions in
+// fairco2_signal_breaker_state.
+func TestWithResilienceMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	inst := NewClientInstruments(reg)
+	cfg := resilience.DefaultConfig()
+	cfg.MaxAttempts = 2
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffCap = 2 * time.Millisecond
+	cfg.AttemptTimeout = time.Second
+	cfg.Budget = 0
+	cfg.BreakerFailures = 2
+	cfg.ProbeInterval = time.Minute
+
+	fs := faultserver.New(testServer(t).Handler())
+	t.Cleanup(fs.Close)
+	c := (&Client{BaseURL: fs.URL()}).WithResilience(cfg, 1, inst)
+
+	fs.Program(faultserver.Outage(http.StatusServiceUnavailable))
+	if _, err := c.Current(); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("outage fetch: %v", err)
+	}
+	if got := inst.Retries.Value(); got != 1 {
+		t.Errorf("fairco2_signal_retry_total = %v, want 1", got)
+	}
+	if got := inst.BreakerState.Value(); got != float64(resilience.StateOpen) {
+		t.Errorf("fairco2_signal_breaker_state = %v, want %v (open)", got, float64(resilience.StateOpen))
+	}
+	if _, err := c.Current(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second fetch: %v, want ErrBreakerOpen", err)
+	}
+}
+
+// TestPolicyContextPlumbing checks the per-attempt context reaches the
+// HTTP request (cancellation actually cancels the wire call).
+func TestPolicyContextPlumbing(t *testing.T) {
+	p := fastPolicy(1, nil)
+	p.AttemptTimeout = 50 * time.Millisecond
+	c, fs := faultClient(t, p)
+	fs.Program(faultserver.Step{Delay: time.Hour, Sticky: true})
+	start := time.Now()
+	_, err := c.Current()
+	if err == nil {
+		t.Fatal("stalled fetch succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Logf("error %v (deadline plumbing may surface as a url.Error timeout; accepted)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("attempt context not plumbed: fetch took %v", elapsed)
+	}
+}

@@ -1,0 +1,26 @@
+package signalserver
+
+import (
+	"errors"
+
+	"fairco2/internal/resilience"
+)
+
+// Sentinel errors for the client's failure classes, so callers branch with
+// errors.Is instead of matching message text (the internal/shapley error
+// convention). The breaker and retry sentinels are re-exported from
+// internal/resilience: a caller holding only a *signalserver.Client can
+// classify its failures without importing the policy machinery.
+var (
+	// ErrBreakerOpen reports a fetch rejected without a request because
+	// the client's circuit breaker is open.
+	ErrBreakerOpen = resilience.ErrBreakerOpen
+	// ErrRetriesExhausted reports a fetch that failed on every allowed
+	// attempt; the returned error also wraps the last cause.
+	ErrRetriesExhausted = resilience.ErrRetriesExhausted
+	// ErrBadResponse reports a response the server should never send: a
+	// body that is not JSON, is truncated, exceeds the size bound, or
+	// carries non-finite or negative intensities. It is retryable — a
+	// partial write on one attempt says nothing about the next.
+	ErrBadResponse = errors.New("signalserver client: bad response")
+)

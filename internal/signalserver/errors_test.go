@@ -1,0 +1,115 @@
+package signalserver
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fairco2/internal/resilience"
+	"fairco2/internal/resilience/faultserver"
+)
+
+// TestSentinelIdentity checks the re-exported sentinels are the resilience
+// package's own, so the two vocabularies match under errors.Is.
+func TestSentinelIdentity(t *testing.T) {
+	if !errors.Is(ErrBreakerOpen, resilience.ErrBreakerOpen) {
+		t.Error("ErrBreakerOpen is not the resilience sentinel")
+	}
+	if !errors.Is(ErrRetriesExhausted, resilience.ErrRetriesExhausted) {
+		t.Error("ErrRetriesExhausted is not the resilience sentinel")
+	}
+}
+
+// TestClientErrorClasses is the errors.Is/As table for the client's
+// failure classes, produced by driving a real client into each one.
+func TestClientErrorClasses(t *testing.T) {
+	cases := []struct {
+		name    string
+		drive   func(t *testing.T) error
+		is      []error
+		isNot   []error
+		message string
+	}{
+		{
+			name: "retries exhausted wraps the last cause",
+			drive: func(t *testing.T) error {
+				c, fs := faultClient(t, fastPolicy(2, nil))
+				fs.Program(faultserver.Outage(http.StatusServiceUnavailable))
+				_, err := c.Current()
+				return err
+			},
+			is:      []error{ErrRetriesExhausted, resilience.ErrRetriesExhausted},
+			isNot:   []error{ErrBreakerOpen, ErrBadResponse},
+			message: "503",
+		},
+		{
+			name: "breaker open",
+			drive: func(t *testing.T) error {
+				br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 1, ProbeInterval: time.Hour})
+				c, fs := faultClient(t, fastPolicy(1, br))
+				fs.Program(faultserver.Outage(http.StatusServiceUnavailable))
+				_, _ = c.Current() // trips the breaker
+				_, err := c.Current()
+				return err
+			},
+			is:    []error{ErrBreakerOpen, resilience.ErrBreakerOpen},
+			isNot: []error{ErrRetriesExhausted, ErrBadResponse},
+		},
+		{
+			name: "bad response without a policy",
+			drive: func(t *testing.T) error {
+				c, fs := faultClient(t, nil)
+				fs.Program(faultserver.CorruptJSON())
+				_, err := c.Current()
+				return err
+			},
+			is:      []error{ErrBadResponse},
+			isNot:   []error{ErrRetriesExhausted, ErrBreakerOpen},
+			message: "decoding",
+		},
+		{
+			name: "bad response under retries stays typed",
+			drive: func(t *testing.T) error {
+				c, fs := faultClient(t, fastPolicy(2, nil))
+				fs.Program(faultserver.CorruptJSON(), faultserver.CorruptJSON())
+				_, err := c.Current()
+				return err
+			},
+			is: []error{ErrRetriesExhausted, ErrBadResponse},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.drive(t)
+			if err == nil {
+				t.Fatal("scenario produced no error")
+			}
+			for _, want := range c.is {
+				if !errors.Is(err, want) {
+					t.Errorf("errors.Is(%v, %v) = false", err, want)
+				}
+			}
+			for _, not := range c.isNot {
+				if errors.Is(err, not) {
+					t.Errorf("errors.Is(%v, %v) = true", err, not)
+				}
+			}
+			if c.message != "" && !strings.Contains(err.Error(), c.message) {
+				t.Errorf("error %q lacks %q", err, c.message)
+			}
+		})
+	}
+}
+
+// TestErrorsAsReachesWrapped checks errors.As digs through the retry
+// wrapping to concrete error types (the fmt convention of %w chaining).
+func TestErrorsAsReachesWrapped(t *testing.T) {
+	inner := fmt.Errorf("wrapped: %w", ErrBadResponse)
+	outer := fmt.Errorf("%w after 3 attempts: %w", ErrRetriesExhausted, inner)
+	if !errors.Is(outer, ErrBadResponse) || !errors.Is(outer, ErrRetriesExhausted) {
+		t.Error("chained wrapping broke errors.Is")
+	}
+}

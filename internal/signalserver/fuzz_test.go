@@ -1,0 +1,69 @@
+package signalserver
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzClientDecode holds the client's response decoding to its contract:
+// on arbitrary bytes it returns either a valid value or a typed
+// ErrBadResponse — never a panic, never a NaN/Inf/negative intensity, and
+// never unbounded memory (the size cap rejects huge payloads first).
+func FuzzClientDecode(f *testing.F) {
+	f.Add([]byte(`{"time_seconds": 0, "intensity_g_per_resource_second": 1.5}`))
+	f.Add([]byte(`{"intensity_g_per_resource_second": NaN}`))
+	f.Add([]byte(`{"intensity_g_per_resource_second": 1e999}`))
+	f.Add([]byte(`{"intensity_g_per_resource_second": -4}`))
+	f.Add([]byte(`{"start_seconds":0,"step_seconds":300,"intensity_g_per_resource_second":[1,2,3]}`))
+	f.Add([]byte(`{"start_seconds":0,"step_seconds":0,"intensity_g_per_resource_second":[1]}`))
+	f.Add([]byte(`{"start_seconds":0,"step_seconds":300,"intensity_g_per_resource_second":[]}`))
+	f.Add([]byte(`{"intensity_g_per_resource_second": `))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}trailing`))
+	f.Add(bytes.Repeat([]byte("9"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePoint(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadResponse) {
+				t.Fatalf("decodePoint error %v is not typed ErrBadResponse", err)
+			}
+		} else if math.IsNaN(p.Intensity) || math.IsInf(p.Intensity, 0) || p.Intensity < 0 {
+			t.Fatalf("decodePoint accepted intensity %v", p.Intensity)
+		}
+
+		s, err := decodeSeries(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadResponse) {
+				t.Fatalf("decodeSeries error %v is not typed ErrBadResponse", err)
+			}
+			return
+		}
+		if len(s.Intensity) == 0 || !(s.StepSeconds > 0) {
+			t.Fatalf("decodeSeries accepted degenerate series %+v", s)
+		}
+		for i, v := range s.Intensity {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("decodeSeries accepted intensity[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+// TestDecodeOversizedBody checks the size cap rejects a payload just past
+// the bound with the typed error (the fuzzer cannot practically reach it).
+func TestDecodeOversizedBody(t *testing.T) {
+	huge := "[" + strings.Repeat("1,", maxResponseBytes/2) + "1]"
+	var out []float64
+	err := decodeJSON(strings.NewReader(huge), &out)
+	if !errors.Is(err, ErrBadResponse) {
+		t.Fatalf("oversized body error %v is not ErrBadResponse", err)
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("error %q does not mention the size bound", err)
+	}
+}

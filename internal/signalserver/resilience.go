@@ -1,0 +1,47 @@
+package signalserver
+
+import (
+	"time"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
+)
+
+// ClientInstruments are the client-side resilience metrics of the live
+// signal feed. Create them once per registry (registration panics on
+// duplicates) and hand them to WithResilience; the daemons use the
+// process-wide default registry, tests use fresh ones.
+type ClientInstruments struct {
+	// Retries counts retried fetch attempts (fairco2_signal_retry_total).
+	Retries *metrics.Counter
+	// BreakerState mirrors the client breaker's position
+	// (fairco2_signal_breaker_state: 0 closed, 1 half-open, 2 open).
+	BreakerState *metrics.Gauge
+}
+
+// NewClientInstruments registers the client resilience metrics on reg.
+func NewClientInstruments(reg *metrics.Registry) *ClientInstruments {
+	return &ClientInstruments{
+		Retries: reg.NewCounter(
+			"fairco2_signal_retry_total",
+			"Retried live-signal fetch attempts (first attempts are not counted)."),
+		BreakerState: reg.NewGauge(
+			"fairco2_signal_breaker_state",
+			"Live-signal client circuit breaker state (0 = closed, 1 = half-open, 2 = open)."),
+	}
+}
+
+// WithResilience installs a retry/breaker policy on the client, built from
+// cfg with the jitter schedule fixed by seed. When inst is non-nil the
+// policy reports retries and breaker transitions through it. It returns
+// the client for chaining.
+func (c *Client) WithResilience(cfg resilience.Config, seed int64, inst *ClientInstruments) *Client {
+	var hooks resilience.Hooks
+	if inst != nil {
+		hooks.OnRetry = func(int, error, time.Duration) { inst.Retries.Inc() }
+		hooks.OnBreakerChange = func(_, to resilience.State) { inst.BreakerState.Set(float64(to)) }
+	}
+	policy, _ := cfg.NewPolicyHooked(seed, hooks)
+	c.Policy = policy
+	return c
+}
