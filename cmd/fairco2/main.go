@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"fairco2"
 	"fairco2/internal/attribution"
@@ -42,6 +46,8 @@ func main() {
 		suite    = flag.Bool("suite", false, "print the benchmark workload suite")
 		axiomsF  = flag.Bool("axioms", false, "check the four Shapley fairness axioms against every method")
 		workers  = flag.Int("parallelism", 0, "Shapley solver workers (0 = all CPUs, 1 = serial); the attribution is identical either way")
+		ckDir    = flag.String("checkpoint-dir", "", "crash-safe checkpoint directory for the exact ground-truth solve (empty disables checkpoint/resume)")
+		ckEvery  = flag.Int("checkpoint-every", 4, "completed coalition-table blocks between checkpoint snapshots")
 	)
 	flag.Parse()
 
@@ -100,10 +106,16 @@ func main() {
 	}
 	fmt.Println()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	results := make(map[string][]float64, len(methods))
 	for _, m := range methods {
-		attr, err := fairco2.AttributeScheduleParallel(m, sched, fairco2.GramsCO2e(*budget), *workers)
+		attr, err := fairco2.AttributeScheduleCheckpointed(ctx, m, sched, fairco2.GramsCO2e(*budget), *workers, *ckDir, *ckEvery)
 		if err != nil {
+			if errors.Is(err, context.Canceled) && *ckDir != "" {
+				log.Printf("interrupted; ground-truth progress checkpointed in %s — rerun with the same flags to resume", *ckDir)
+				os.Exit(130)
+			}
 			log.Fatalf("%s: %v", m, err)
 		}
 		results[m] = attr

@@ -1,0 +1,264 @@
+// Crash-injection harness for the checkpoint/resume pipeline: the CLI runs
+// as a subprocess and is SIGKILLed at three scripted points — mid-sweep,
+// mid-checkpoint-write (after the temp file is written but before the
+// rename), and mid-export — using the FAIRCO2_* hold hooks, which park the
+// process at the chosen instant and drop a marker file the parent polls for.
+// After each kill the run is resumed; the final exported CSV must be
+// byte-for-byte identical to an uninterrupted golden run.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fairco2/internal/checkpoint"
+)
+
+// sweepFlags is the experiment configuration shared by the golden run and
+// every interrupted attempt. Worker counts deliberately differ between runs:
+// scheduling must never change results.
+var sweepFlags = []string{
+	"-trials", "40",
+	"-max-workloads", "12",
+	"-gt-samples", "300",
+	"-seed", "99",
+}
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mc-colocation")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runToCompletion runs the CLI with the shared sweep flags and waits for it.
+func runToCompletion(t *testing.T, bin string, workers int, extra ...string) (stdout, stderr string) {
+	t.Helper()
+	args := append(append([]string{}, sweepFlags...), "-num-workers", fmt.Sprint(workers))
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run %v: %v\nstdout:\n%s\nstderr:\n%s", args, err, outBuf.String(), errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+// killAtMarker starts the CLI with a hold hook armed, waits for the marker
+// file the hook drops when the process reaches the scripted point, and
+// SIGKILLs it there.
+func killAtMarker(t *testing.T, bin string, workers int, env []string, marker string, extra ...string) {
+	t.Helper()
+	args := append(append([]string{}, sweepFlags...), "-num-workers", fmt.Sprint(workers))
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	var outBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &outBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("marker %s never appeared\noutput:\n%s", marker, outBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The process is parked in the hold hook: kill it mid-operation.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the signal is the test
+	os.Remove(marker)
+}
+
+func TestCrashResumeProducesIdenticalReport(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL crash injection requires unix process semantics")
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash harness skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	work := t.TempDir()
+	ckDir := filepath.Join(work, "ck")
+	outCSV := filepath.Join(work, "out.csv")
+	goldenCSV := filepath.Join(work, "golden.csv")
+	ckFlags := []string{"-checkpoint-dir", ckDir, "-checkpoint-every", "4"}
+
+	// Golden: one uninterrupted run, no checkpointing at all.
+	runToCompletion(t, bin, 3, "-out", goldenCSV)
+	golden, err := os.ReadFile(goldenCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill point 1 — mid-sweep: park after 10 completed trials and SIGKILL.
+	// The periodic snapshots (every 4 trials) have persisted part of the
+	// sweep.
+	killAtMarker(t, bin, 2,
+		[]string{checkpoint.EnvHoldAfterUnits + "=10"},
+		filepath.Join(ckDir, "run.hold"), ckFlags...)
+	if snaps := checkpointFiles(t, ckDir); len(snaps) == 0 {
+		t.Fatal("no snapshot survived the mid-sweep kill")
+	}
+
+	// Kill point 2 — mid-checkpoint-write: resume, then park this process's
+	// second save after its temp file is fully written but before the
+	// rename, and SIGKILL in that window. The torn write must leave the
+	// previous intact snapshot as the winner.
+	killAtMarker(t, bin, 4,
+		[]string{checkpoint.EnvHoldSaveWrite + "=2"},
+		filepath.Join(ckDir, "mc-colocation.hold"), ckFlags...)
+	tmps := 0
+	for _, name := range dirNames(t, ckDir) {
+		if strings.Contains(name, ".ckpt.tmp-") {
+			tmps++
+		}
+	}
+	if tmps == 0 {
+		t.Fatal("mid-write kill left no torn temp file; the hold hook did not fire in the write window")
+	}
+
+	// Kill point 3 — mid-export: resume to completion, then park the -out
+	// export before its rename and SIGKILL. The destination must not exist
+	// afterwards (the bytes are still under the temp name).
+	killAtMarker(t, bin, 2,
+		[]string{checkpoint.EnvHoldExport + "=1"},
+		outCSV+".hold", append(append([]string{}, ckFlags...), "-out", outCSV)...)
+	if _, err := os.Stat(outCSV); !os.IsNotExist(err) {
+		t.Fatalf("export destination exists after mid-export kill: %v", err)
+	}
+
+	// Final run: resume and finish cleanly. Everything was already computed
+	// by kill point 3, so the sweep must restore, not recompute.
+	stdout, stderr := runToCompletion(t, bin, 3, append(append([]string{}, ckFlags...), "-out", outCSV)...)
+	if !strings.Contains(stderr, "resumed") {
+		t.Errorf("final run did not report a resume\nstderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "completed 40 trials") {
+		t.Errorf("unexpected final stdout:\n%s", stdout)
+	}
+
+	final, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, golden) {
+		t.Fatal("thrice-crashed resumed run is not byte-for-byte identical to the golden run")
+	}
+}
+
+// TestInterruptCheckpointsAndExits130 covers the signal path the SIGKILL
+// scenarios bypass: a SIGTERM mid-sweep must let in-flight trials finish,
+// flush a final snapshot, print the resume hint and exit with status 130.
+func TestInterruptCheckpointsAndExits130(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGTERM handling requires unix process semantics")
+	}
+	if testing.Short() {
+		t.Skip("subprocess harness skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	ckDir := filepath.Join(t.TempDir(), "ck")
+
+	// A sweep large enough that the signal reliably lands mid-run; the
+	// parent sends SIGTERM as soon as the first snapshot file appears.
+	cmd := exec.Command(bin,
+		"-trials", "600", "-max-workloads", "12", "-gt-samples", "300", "-seed", "7",
+		"-num-workers", "2", "-checkpoint-dir", ckDir, "-checkpoint-every", "4")
+	var outBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &outBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	deadline := time.Now().Add(60 * time.Second)
+	for len(checkpointFilesOrNone(ckDir)) == 0 {
+		select {
+		case <-done:
+			t.Skipf("sweep finished before the signal could land\noutput:\n%s", outBuf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			<-done
+			t.Fatalf("no snapshot appeared\noutput:\n%s", outBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := <-done
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 130 {
+		t.Fatalf("exit status: %v\noutput:\n%s", err, outBuf.String())
+	}
+	if !strings.Contains(outBuf.String(), "interrupted; progress checkpointed") {
+		t.Errorf("missing resume hint in output:\n%s", outBuf.String())
+	}
+	if len(checkpointFilesOrNone(ckDir)) == 0 {
+		t.Error("no snapshot on disk after the interrupt")
+	}
+}
+
+// checkpointFilesOrNone is checkpointFiles for directories that may not
+// exist yet.
+func checkpointFilesOrNone(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var snaps []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			snaps = append(snaps, e.Name())
+		}
+	}
+	return snaps
+}
+
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var snaps []string
+	for _, name := range dirNames(t, dir) {
+		if strings.HasSuffix(name, ".ckpt") {
+			snaps = append(snaps, name)
+		}
+	}
+	return snaps
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}

@@ -8,16 +8,25 @@
 //
 //	mc-demand -trials 10000 -max-workloads 22
 //
-// (expect hours: the exact ground truth is O(2^n)).
+// (expect hours: the exact ground truth is O(2^n)). Paper-scale runs
+// should add -checkpoint-dir: progress is snapshotted crash-safely every
+// -checkpoint-every completed trials and on SIGINT/SIGTERM, and rerunning
+// with the same flags resumes the sweep with byte-for-byte identical
+// results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"fairco2/internal/checkpoint"
 	"fairco2/internal/montecarlo"
 )
 
@@ -32,24 +41,30 @@ func main() {
 	flag.IntVar(&cfg.Generator.MaxSlices, "max-time-slices", cfg.Generator.MaxSlices, "maximum schedule length")
 	flag.IntVar(&cfg.Workers, "num-workers", cfg.Workers, "worker goroutines (0 = GOMAXPROCS)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "experiment seed")
-	out := flag.String("out", "", "also export per-trial results to this CSV file")
+	out := flag.String("out", "", "also export per-trial results to this CSV file (written atomically)")
+	ckDir := flag.String("checkpoint-dir", "", "crash-safe checkpoint directory (empty disables checkpoint/resume)")
+	ckEvery := flag.Int("checkpoint-every", 100, "completed trials between checkpoint snapshots")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	result, err := montecarlo.RunDemand(cfg)
+	result, resumed, err := montecarlo.RunDemandCheckpointed(ctx, cfg,
+		checkpoint.Spec{Dir: *ckDir, Every: *ckEvery})
+	if resumed > 0 {
+		log.Printf("resumed %d completed trials from %s", resumed, *ckDir)
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckDir != "" {
+			log.Printf("interrupted; progress checkpointed in %s — rerun with the same flags to resume", *ckDir)
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	fmt.Print(montecarlo.FormatFigure7(result))
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := result.WriteDemandCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := result.ExportDemandCSVFile(*out); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote per-trial results to %s\n", *out)

@@ -1,12 +1,14 @@
 package fairco2
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"fairco2/internal/attribution"
 	"fairco2/internal/carbon"
+	"fairco2/internal/checkpoint"
 	"fairco2/internal/colocation"
 	"fairco2/internal/forecast"
 	"fairco2/internal/schedule"
@@ -86,6 +88,22 @@ func AttributeScheduleParallel(method string, s *Schedule, budget GramsCO2e, par
 		return nil, fmt.Errorf("fairco2: unknown attribution method %q", method)
 	}
 	return m.Attribute(s, budget)
+}
+
+// AttributeScheduleCheckpointed is AttributeScheduleParallel with context
+// cancellation and crash-safe checkpoint/resume rooted at checkpointDir
+// (empty disables checkpointing; checkpointEvery is the number of completed
+// work units between snapshots). Only the ground-truth method has
+// checkpoint-worthy cost — its exact coalition-table build is O(2^n) — so
+// the other methods run unchanged. The checkpoint directory must be
+// dedicated to one (schedule, budget) pair: the snapshot cannot fingerprint
+// the characteristic function itself.
+func AttributeScheduleCheckpointed(ctx context.Context, method string, s *Schedule, budget GramsCO2e, parallelism int, checkpointDir string, checkpointEvery int) ([]float64, error) {
+	if method == MethodGroundTruth && checkpointDir != "" {
+		m := attribution.GroundTruth{Parallelism: parallelism}
+		return m.AttributeCheckpointed(ctx, s, budget, checkpoint.Spec{Dir: checkpointDir, Every: checkpointEvery})
+	}
+	return AttributeScheduleParallel(method, s, budget, parallelism)
 }
 
 // EmbodiedIntensitySignal runs Temporal Shapley over a resource-demand

@@ -16,11 +16,13 @@
 package attribution
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"fairco2/internal/checkpoint"
 	"fairco2/internal/schedule"
 	"fairco2/internal/shapley"
 	"fairco2/internal/temporal"
@@ -119,6 +121,42 @@ func (m GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]
 	if err != nil {
 		return nil, err
 	}
+	return normalizeShares(phi, budget)
+}
+
+// AttributeCheckpointed is Attribute with context cancellation and
+// crash-safe checkpoint/resume of the exact coalition-table build — the
+// O(2^n) part that makes large ground-truth attributions multi-hour jobs.
+// The attribution is bitwise-identical to Attribute with the same
+// Parallelism for any interruption pattern. The checkpoint directory must
+// be dedicated to one (schedule, budget) pair; see
+// shapley.BuildTableIncrementalCheckpointed.
+func (m GroundTruth) AttributeCheckpointed(ctx context.Context, s *schedule.Schedule, budget units.GramsCO2e, ck checkpoint.Spec) ([]float64, error) {
+	defer observeRun(GroundTruth{}.Name(), time.Now())
+	if err := validate(s, budget); err != nil {
+		return nil, err
+	}
+	n := len(s.Workloads)
+	table, err := shapley.BuildTableIncrementalCheckpointed(ctx, n,
+		func() (func(int), func(int), func() float64) { return demandPeakGame(s) },
+		m.Parallelism, ck)
+	if err != nil {
+		return nil, err
+	}
+	var phi []float64
+	if m.Parallelism == 1 {
+		phi, err = shapley.ExactFromTable(n, table)
+	} else {
+		phi, err = shapley.ExactFromTableParallel(n, table, m.Parallelism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return normalizeShares(phi, budget)
+}
+
+// normalizeShares scales nonnegative Shapley values to sum to budget.
+func normalizeShares(phi []float64, budget units.GramsCO2e) ([]float64, error) {
 	total := 0.0
 	for _, v := range phi {
 		total += v
@@ -126,7 +164,7 @@ func (m GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]
 	if total <= 0 {
 		return nil, errors.New("attribution: schedule has zero peak demand")
 	}
-	attr := make([]float64, n)
+	attr := make([]float64, len(phi))
 	for i, v := range phi {
 		attr[i] = v / total * float64(budget)
 	}

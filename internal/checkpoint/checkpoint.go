@@ -1,0 +1,336 @@
+// Package checkpoint is Fair-CO2's crash-safe snapshot subsystem: the
+// long-running compute paths (Monte Carlo sweeps, temporal attribution over
+// month-long traces, exact Shapley table builds) periodically persist their
+// progress so a crash, OOM kill or operator SIGINT loses at most one
+// checkpoint interval instead of hours of work. Because every trial derives
+// its RNG from the experiment seed and the trial index, a resumed run is
+// bitwise-identical to an uninterrupted one — the checkpoint only records
+// which units of work are done and their results, never sampler state.
+//
+// Snapshots are stored as versioned envelopes — a fixed header (magic,
+// format version, monotonic sequence number, payload length) followed by an
+// arbitrary payload and a CRC32 over both — written atomically: the bytes go
+// to a temp file in the destination directory, the file is fsynced, then
+// renamed over the final name and the directory is fsynced. A torn write
+// therefore never replaces an intact older snapshot; it leaves a temp file
+// (or a truncated new file) that validation rejects, and Load falls back to
+// the newest older snapshot that passes its CRC.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Typed sentinels, matched with errors.Is.
+var (
+	// ErrNoCheckpoint reports that the store holds no snapshot at all.
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+	// ErrCorruptCheckpoint reports a snapshot that failed structural or
+	// CRC validation (truncated file, flipped bits, empty file).
+	ErrCorruptCheckpoint = errors.New("checkpoint: corrupt checkpoint")
+	// ErrVersionMismatch reports an envelope written by an unknown format
+	// version.
+	ErrVersionMismatch = errors.New("checkpoint: unknown checkpoint version")
+	// ErrStateMismatch reports a snapshot whose recorded configuration is
+	// incompatible with the resuming computation (different seed, trial
+	// count, split schedule, ...). Resuming would silently mix results
+	// from two different experiments, so callers must either delete the
+	// checkpoint directory or rerun with the original configuration.
+	ErrStateMismatch = errors.New("checkpoint: checkpoint belongs to a different configuration")
+)
+
+// Spec selects a checkpoint directory and cadence for a compute path. The
+// zero value disables checkpointing entirely; it is what the -checkpoint-dir
+// and -checkpoint-every CLI flags map onto.
+type Spec struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the number of completed work units (trials, periods, table
+	// blocks) between snapshots; <= 0 writes only the final snapshot.
+	Every int
+}
+
+// Enabled reports whether the spec selects a checkpoint directory.
+func (sp Spec) Enabled() bool { return sp.Dir != "" }
+
+// Resumable is implemented by computations that can snapshot their progress
+// and later restore it. Snapshot must return a self-contained payload;
+// Restore must validate it (returning ErrStateMismatch via fmt.Errorf %w
+// wrapping when it belongs to a different configuration) and rebuild the
+// in-memory progress.
+type Resumable interface {
+	Snapshot() ([]byte, error)
+	Restore(payload []byte) error
+}
+
+// Envelope layout (little-endian):
+//
+//	offset  size  field
+//	0       8     magic "FC2CKPT1"
+//	8       4     format version (currently 1)
+//	12      8     monotonic sequence number
+//	20      8     payload length
+//	28      n     payload
+//	28+n    4     CRC32 (IEEE) over bytes [8, 28+n)
+const (
+	magic         = "FC2CKPT1"
+	formatVersion = 1
+	headerSize    = 8 + 4 + 8 + 8
+	trailerSize   = 4
+	fileSuffix    = ".ckpt"
+)
+
+// Encode wraps a payload in a checkpoint envelope.
+func Encode(seq uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+trailerSize)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[8:], formatVersion)
+	binary.LittleEndian.PutUint64(buf[12:], seq)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(len(payload)))
+	copy(buf[headerSize:], payload)
+	sum := crc32.ChecksumIEEE(buf[8 : headerSize+len(payload)])
+	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], sum)
+	return buf
+}
+
+// Decode validates an envelope and returns its sequence number and payload.
+// Structural damage (short file, bad magic, length mismatch, CRC failure)
+// returns ErrCorruptCheckpoint; an unknown format version with an intact CRC
+// returns ErrVersionMismatch.
+func Decode(buf []byte) (seq uint64, payload []byte, err error) {
+	if len(buf) < headerSize+trailerSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte envelope minimum",
+			ErrCorruptCheckpoint, len(buf), headerSize+trailerSize)
+	}
+	if string(buf[:8]) != magic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, buf[:8])
+	}
+	n := binary.LittleEndian.Uint64(buf[20:])
+	if n != uint64(len(buf)-headerSize-trailerSize) {
+		return 0, nil, fmt.Errorf("%w: payload length %d does not match file size %d",
+			ErrCorruptCheckpoint, n, len(buf))
+	}
+	want := binary.LittleEndian.Uint32(buf[headerSize+n:])
+	if got := crc32.ChecksumIEEE(buf[8 : headerSize+n]); got != want {
+		return 0, nil, fmt.Errorf("%w: CRC32 %08x, envelope declares %08x", ErrCorruptCheckpoint, got, want)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != formatVersion {
+		return 0, nil, fmt.Errorf("%w: version %d, this build reads version %d", ErrVersionMismatch, v, formatVersion)
+	}
+	return binary.LittleEndian.Uint64(buf[12:]), buf[headerSize : headerSize+n], nil
+}
+
+// Store persists a named sequence of snapshots inside a directory. Multiple
+// stores may share a directory as long as their names differ. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir  string
+	name string
+
+	mu        sync.Mutex
+	seq       uint64 // sequence number of the next write
+	keep      int    // intact snapshots retained after a write
+	lastWrite time.Time
+	saves     int // writes by this process, for the crash-injection hook
+}
+
+// Open prepares a snapshot store named name under dir, creating the
+// directory if needed. The next write continues the sequence after the
+// newest existing snapshot, intact or not, so a crashed write never causes
+// a sequence number to be reused.
+func Open(dir, name string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty directory")
+	}
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("checkpoint: invalid store name %q", name)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, name: name, keep: 2}
+	seqs, err := s.sequences()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) > 0 {
+		s.seq = seqs[len(seqs)-1] + 1
+	} else {
+		s.seq = 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the snapshot file name for a sequence number. The fixed-width
+// hex encoding keeps lexical and numeric order identical.
+func (s *Store) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x%s", s.name, seq, fileSuffix))
+}
+
+// sequences returns the sequence numbers present on disk, ascending.
+func (s *Store) sequences() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var seqs []uint64
+	prefix := s.name + "-"
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), fileSuffix)
+		seq, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil || len(hex) != 16 {
+			continue // foreign file; never considered, never deleted
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Save writes payload as the next snapshot in the sequence, atomically:
+// temp file in the store directory, fsync, rename, directory fsync. After a
+// successful write, older snapshots beyond the retention count (2: the new
+// snapshot plus one predecessor, so a torn future write always leaves an
+// intact fallback) are deleted.
+func (s *Store) Save(payload []byte) (seq uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq = s.seq
+	s.saves++
+	env := Encode(seq, payload)
+	hold := s.saves == holdSaveNumber()
+	err = writeFileAtomic(s.path(seq), func(w io.Writer) error {
+		_, err := w.Write(env)
+		return err
+	}, func() {
+		if hold {
+			holdForever(s.dir, s.name+".hold")
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: save %s seq %d: %w", s.name, seq, err)
+	}
+	s.seq++
+	s.lastWrite = time.Now()
+	metricWrites.Inc()
+	metricBytes.Set(float64(len(env)))
+	metricAge.Set(0)
+	s.prune(seq)
+	return seq, nil
+}
+
+// prune removes snapshots older than the retention window. Best-effort: an
+// undeletable old file costs disk, not correctness.
+func (s *Store) prune(latest uint64) {
+	seqs, err := s.sequences()
+	if err != nil {
+		return
+	}
+	intact := 0
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if intact >= s.keep && seqs[i] < latest {
+			os.Remove(s.path(seqs[i]))
+			continue
+		}
+		intact++
+	}
+}
+
+// Load returns the payload of the newest intact snapshot, trying each
+// snapshot from newest to oldest and skipping any that fail validation —
+// so a crash during a checkpoint write (torn temp file or truncated
+// rename target) silently falls back to its predecessor. With no snapshot
+// files at all it returns ErrNoCheckpoint; when every snapshot is damaged
+// it returns the newest one's validation error.
+func (s *Store) Load() (payload []byte, seq uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seqs, err := s.sequences()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(seqs) == 0 {
+		return nil, 0, fmt.Errorf("%w: %s in %s", ErrNoCheckpoint, s.name, s.dir)
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := s.path(seqs[i])
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("checkpoint: %w", err)
+			}
+			continue
+		}
+		seq, payload, err := Decode(buf)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", path, err)
+			}
+			continue
+		}
+		if fi, err := os.Stat(path); err == nil {
+			metricAge.Set(time.Since(fi.ModTime()).Seconds())
+		}
+		metricResumes.Inc()
+		return payload, seq, nil
+	}
+	return nil, 0, firstErr
+}
+
+// SaveResumable snapshots r into the store.
+func (s *Store) SaveResumable(r Resumable) error {
+	payload, err := r.Snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot %s: %w", s.name, err)
+	}
+	_, err = s.Save(payload)
+	return err
+}
+
+// RestoreLatest restores r from the newest intact snapshot and reports
+// whether one was found: (false, nil) means a fresh start, (true, nil) a
+// successful resume. Validation errors from r.Restore (e.g.
+// ErrStateMismatch) are returned as-is.
+func (s *Store) RestoreLatest(r Resumable) (resumed bool, err error) {
+	payload, _, err := s.Load()
+	switch {
+	case errors.Is(err, ErrNoCheckpoint):
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	if err := r.Restore(payload); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// TouchAge refreshes the fairco2_checkpoint_age_seconds gauge to the time
+// elapsed since this store's most recent write. Long-running loops call it
+// between checkpoints so the gauge tracks staleness, not just write events.
+func (s *Store) TouchAge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.lastWrite.IsZero() {
+		metricAge.Set(time.Since(s.lastWrite).Seconds())
+	}
+}

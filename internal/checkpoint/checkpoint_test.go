@@ -1,0 +1,625 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		env := Encode(uint64(i)+7, p)
+		seq, got, err := Decode(env)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if seq != uint64(i)+7 {
+			t.Errorf("payload %d: seq %d", i, seq)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("payload %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	intact := Encode(3, []byte("the quick brown fox"))
+	flipPayload := append([]byte(nil), intact...)
+	flipPayload[headerSize+2] ^= 0x40
+	flipCRC := append([]byte(nil), intact...)
+	flipCRC[len(flipCRC)-1] ^= 0x01
+	badMagic := append([]byte(nil), intact...)
+	badMagic[0] = 'X'
+	badLen := append([]byte(nil), intact...)
+	binary.LittleEndian.PutUint64(badLen[20:], 9999)
+
+	// A future-version envelope with a correct CRC must be classified as a
+	// version mismatch, not corruption.
+	future := append([]byte(nil), intact...)
+	binary.LittleEndian.PutUint32(future[8:], 99)
+	sum := crc32.ChecksumIEEE(future[8 : len(future)-trailerSize])
+	binary.LittleEndian.PutUint32(future[len(future)-trailerSize:], sum)
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrCorruptCheckpoint},
+		{"truncated header", intact[:10], ErrCorruptCheckpoint},
+		{"truncated payload", intact[:len(intact)-6], ErrCorruptCheckpoint},
+		{"flipped payload byte", flipPayload, ErrCorruptCheckpoint},
+		{"flipped crc byte", flipCRC, ErrCorruptCheckpoint},
+		{"bad magic", badMagic, ErrCorruptCheckpoint},
+		{"length mismatch", badLen, ErrCorruptCheckpoint},
+		{"unknown version", future, ErrVersionMismatch},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store Load: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		seq, err := s.Save([]byte(fmt.Sprintf("state-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("save %d got seq %d", i, seq)
+		}
+	}
+	payload, seq, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || string(payload) != "state-3" {
+		t.Fatalf("loaded seq %d payload %q", seq, payload)
+	}
+	// Retention: only the newest two snapshots survive.
+	seqs, err := s.sequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 2 || seqs[1] != 3 {
+		t.Fatalf("retained %v, want [2 3]", seqs)
+	}
+	// A reopened store continues the sequence past everything on disk.
+	s2, err := Open(dir, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := s2.Save([]byte("state-4")); err != nil || seq != 4 {
+		t.Fatalf("reopened save: seq %d err %v", seq, err)
+	}
+}
+
+// corruptNewest damages the highest-sequence snapshot file of a store.
+func corruptNewest(t *testing.T, s *Store, damage func(path string, buf []byte)) string {
+	t.Helper()
+	seqs, err := s.sequences()
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("sequences: %v %v", seqs, err)
+	}
+	path := s.path(seqs[len(seqs)-1])
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage(path, buf)
+	return path
+}
+
+func TestStoreFallbackToOlderIntactSnapshot(t *testing.T) {
+	damages := map[string]func(path string, buf []byte){
+		"truncated": func(path string, buf []byte) { os.WriteFile(path, buf[:len(buf)/2], 0o666) },
+		"flipped crc byte": func(path string, buf []byte) {
+			buf[len(buf)-2] ^= 0x10
+			os.WriteFile(path, buf, 0o666)
+		},
+		"empty": func(path string, buf []byte) { os.WriteFile(path, nil, 0o666) },
+		"unknown version": func(path string, buf []byte) {
+			binary.LittleEndian.PutUint32(buf[8:], 42)
+			sum := crc32.ChecksumIEEE(buf[8 : len(buf)-trailerSize])
+			binary.LittleEndian.PutUint32(buf[len(buf)-trailerSize:], sum)
+			os.WriteFile(path, buf, 0o666)
+		},
+	}
+	for name, damage := range damages {
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(t.TempDir(), "exp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Save([]byte("older-intact")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Save([]byte("newer-damaged")); err != nil {
+				t.Fatal(err)
+			}
+			corruptNewest(t, s, damage)
+			payload, seq, err := s.Load()
+			if err != nil {
+				t.Fatalf("Load after damage: %v", err)
+			}
+			if seq != 1 || string(payload) != "older-intact" {
+				t.Fatalf("loaded seq %d payload %q, want the older intact snapshot", seq, payload)
+			}
+		})
+	}
+}
+
+func TestStoreAllSnapshotsDamaged(t *testing.T) {
+	s, err := Open(t.TempDir(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	corruptNewest(t, s, func(path string, buf []byte) { os.WriteFile(path, buf[:headerSize], 0o666) })
+	if _, _, err := s.Load(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"exp-zzzz.ckpt", "exp-0001.ckpt", "other-0000000000000001.ckpt", "readme.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(dir, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("foreign files must not count as snapshots: %v", err)
+	}
+}
+
+func TestOpenRejectsBadArguments(t *testing.T) {
+	if _, err := Open("", "x"); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := Open(t.TempDir(), ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Open(t.TempDir(), "a/b"); err == nil {
+		t.Error("name with separator accepted")
+	}
+}
+
+func TestWriteFileAtomicPreservesOldContentOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old complete content\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// The writer emits half the output, then fails — as an interrupted
+	// export would. The destination must keep its previous content and no
+	// temp litter may be promoted.
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "new partial"); err != nil {
+			return err
+		}
+		return errors.New("boom")
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old complete content\n" {
+		t.Fatalf("destination changed to %q after failed write", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	for _, content := range []string{"first\n", "second\n"} {
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("got %q want %q", got, content)
+		}
+	}
+}
+
+// memState is a minimal Resumable for store-level tests.
+type memState struct {
+	key  string
+	data string
+}
+
+func (m *memState) Snapshot() ([]byte, error) {
+	if m.key == "snapshot-fails" {
+		return nil, errors.New("snapshot failure")
+	}
+	return []byte(m.key + "|" + m.data), nil
+}
+
+func (m *memState) Restore(payload []byte) error {
+	key, data, ok := bytes.Cut(payload, []byte("|"))
+	if !ok {
+		return fmt.Errorf("%w: no separator", ErrCorruptCheckpoint)
+	}
+	if string(key) != m.key {
+		return fmt.Errorf("%w: key %q vs %q", ErrStateMismatch, key, m.key)
+	}
+	m.data = string(data)
+	return nil
+}
+
+func TestResumableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := &memState{key: "k"}
+	if resumed, err := s.RestoreLatest(fresh); err != nil || resumed {
+		t.Fatalf("fresh start: resumed=%t err=%v", resumed, err)
+	}
+	if err := s.SaveResumable(&memState{key: "k", data: "progress"}); err != nil {
+		t.Fatal(err)
+	}
+	restored := &memState{key: "k"}
+	if resumed, err := s.RestoreLatest(restored); err != nil || !resumed {
+		t.Fatalf("resume: resumed=%t err=%v", resumed, err)
+	}
+	if restored.data != "progress" {
+		t.Fatalf("restored %q", restored.data)
+	}
+	mismatched := &memState{key: "other"}
+	if _, err := s.RestoreLatest(mismatched); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("config mismatch: %v", err)
+	}
+	if err := s.SaveResumable(&memState{key: "snapshot-fails"}); err == nil {
+		t.Error("snapshot error not propagated")
+	}
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Error("zero Spec enabled")
+	}
+	if !(Spec{Dir: "x"}).Enabled() {
+		t.Error("Spec with dir disabled")
+	}
+}
+
+func TestRunUnitsCompletesAndSaves(t *testing.T) {
+	var mu sync.Mutex
+	ran := make([]bool, 20)
+	completed := 0
+	saves := 0
+	err := RunUnits(context.Background(), RunConfig{
+		Units:   20,
+		Workers: 4,
+		Every:   6,
+		Skip:    func(i int) bool { return i < 5 },
+		Run: func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			return nil
+		},
+		Complete: func(i int) { completed++ },
+		Save:     func() error { saves++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if r != (i >= 5) {
+			t.Errorf("unit %d ran=%t", i, r)
+		}
+	}
+	if completed != 15 {
+		t.Errorf("completed %d", completed)
+	}
+	// 15 units at a cadence of 6: saves after 6 and 12, plus the final.
+	if saves != 3 {
+		t.Errorf("saves %d, want 3", saves)
+	}
+}
+
+func TestRunUnitsAllSkippedIsNoop(t *testing.T) {
+	err := RunUnits(context.Background(), RunConfig{
+		Units: 4,
+		Skip:  func(int) bool { return true },
+		Run:   func(int) error { t.Error("ran a skipped unit"); return nil },
+		Save:  func() error { t.Error("saved with nothing new"); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnitsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	completed := 0
+	saves := 0
+	err := RunUnits(ctx, RunConfig{
+		Units:    50,
+		Workers:  2,
+		Run:      func(i int) error { return nil },
+		Complete: func(i int) { completed++ },
+		Save:     func() error { saves++; return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// In-flight units may complete; anything that did must be saved.
+	if completed > 0 && saves == 0 {
+		t.Errorf("%d completions but no final save", completed)
+	}
+}
+
+func TestRunUnitsUnitErrorCancelsSweep(t *testing.T) {
+	boom := errors.New("unit failure")
+	var mu sync.Mutex
+	completed := 0
+	saved := false
+	err := RunUnits(context.Background(), RunConfig{
+		Units:   100,
+		Workers: 2,
+		Run: func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		},
+		Complete: func(i int) {
+			mu.Lock()
+			completed++
+			mu.Unlock()
+		},
+		Save: func() error { saved = true; return nil },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want unit error, got %v", err)
+	}
+	if completed >= 99 {
+		t.Errorf("sweep did not stop early: %d completions", completed)
+	}
+	if completed > 0 && !saved {
+		t.Error("completed work not saved after unit error")
+	}
+}
+
+func TestRunUnitsSaveErrorStopsSweep(t *testing.T) {
+	boom := errors.New("disk full")
+	err := RunUnits(context.Background(), RunConfig{
+		Units:   50,
+		Workers: 2,
+		Every:   1,
+		Run:     func(i int) error { return nil },
+		Save:    func() error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want save error, got %v", err)
+	}
+}
+
+func TestRunUnitsNilRun(t *testing.T) {
+	if err := RunUnits(context.Background(), RunConfig{Units: 1}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+func TestEnvHooksDisabledByDefault(t *testing.T) {
+	t.Setenv(EnvHoldSaveWrite, "")
+	t.Setenv(EnvHoldAfterUnits, "not-a-number")
+	t.Setenv(EnvHoldExport, "")
+	if holdSaveNumber() != 0 || holdAfterUnits() != 0 || exportHoldRequested() {
+		t.Error("hooks armed without valid env values")
+	}
+	t.Setenv(EnvHoldAfterUnits, "-3")
+	if holdAfterUnits() != 0 {
+		t.Error("negative hold count accepted")
+	}
+	t.Setenv(EnvHoldAfterUnits, "7")
+	if holdAfterUnits() != 7 {
+		t.Error("valid hold count rejected")
+	}
+}
+
+func TestStoreDirAndTouchAge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Errorf("Dir() = %q", s.Dir())
+	}
+	s.TouchAge() // no write yet: must not panic
+	if _, err := s.Save([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.TouchAge()
+}
+
+func TestOpenDirectoryCreationFailure(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// MkdirAll under a regular file must fail.
+	if _, err := Open(filepath.Join(file, "sub"), "exp"); err == nil {
+		t.Error("Open under a regular file succeeded")
+	}
+}
+
+func TestSaveFailsWhenDirectoryVanishes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ck")
+	s, err := Open(dir, "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("x")); err == nil {
+		t.Error("Save into a removed directory succeeded")
+	}
+	if _, _, err := s.Load(); err == nil {
+		t.Error("Load from a removed directory succeeded")
+	}
+}
+
+func TestLoadSkipsUnreadableSnapshot(t *testing.T) {
+	s, err := Open(t.TempDir(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("older-intact")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("newer-unreadable")); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the newest snapshot with a directory so ReadFile errors
+	// (works even when the tests run as root, unlike chmod 0).
+	path := corruptNewest(t, s, func(path string, _ []byte) {
+		os.Remove(path)
+		os.Mkdir(path, 0o777)
+	})
+	payload, seq, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if seq != 1 || string(payload) != "older-intact" {
+		t.Fatalf("loaded seq %d payload %q", seq, payload)
+	}
+	os.Remove(path)
+}
+
+func TestRestoreLatestSurfacesLoadError(t *testing.T) {
+	s, err := Open(t.TempDir(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	corruptNewest(t, s, func(path string, buf []byte) { os.WriteFile(path, buf[:5], 0o666) })
+	if resumed, err := s.RestoreLatest(&memState{key: "k"}); resumed || !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("resumed=%t err=%v", resumed, err)
+	}
+}
+
+func TestWriteFileAtomicBareFileName(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	// A path with no directory component exercises the dir == "." branch.
+	if err := WriteFileAtomic("bare.csv", func(w io.Writer) error {
+		_, err := io.WriteString(w, "ok")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("bare.csv")
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing", "out.csv")
+	err := WriteFileAtomic(path, func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
+
+func TestWriteFileAtomicRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	// A non-empty directory at the destination makes the rename fail.
+	if err := os.MkdirAll(filepath.Join(path, "child"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err == nil {
+		t.Error("rename over a non-empty directory succeeded")
+	}
+	// The failed temp file must have been cleaned up.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover entries: %v", entries)
+	}
+}
+
+func TestRunUnitsPanicIsolation(t *testing.T) {
+	saved := false
+	err := RunUnits(context.Background(), RunConfig{
+		Units:   20,
+		Workers: 2,
+		Run: func(i int) error {
+			if i == 5 {
+				panic("unit exploded")
+			}
+			return nil
+		},
+		Save: func() error { saved = true; return nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "unit 5 panicked: unit exploded") {
+		t.Fatalf("err = %v", err)
+	}
+	if !saved {
+		t.Error("no final snapshot after a unit panic")
+	}
+}

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Crash-injection hooks for the subprocess test harness. Each hook is armed
+// by an environment variable, writes a marker file the parent process polls
+// for, then blocks the calling goroutine forever so the parent can land a
+// SIGKILL at an exactly scripted instant. They are inert (single getenv per
+// event) unless the variables are set, and they exist only so the tests can
+// prove the recovery properties — production runs never set them.
+const (
+	// EnvHoldSaveWrite holds the N-th Store.Save of the process after the
+	// temp file is written and fsynced but before the rename, i.e. in the
+	// middle of a checkpoint write. The previous intact snapshot is still
+	// the newest complete one on disk.
+	EnvHoldSaveWrite = "FAIRCO2_CHECKPOINT_HOLD_WRITE"
+	// EnvHoldAfterUnits holds a RunUnits loop after N units have
+	// completed (mid-sweep, between checkpoints).
+	EnvHoldAfterUnits = "FAIRCO2_RUN_HOLD_AFTER_UNITS"
+	// EnvHoldExport holds every WriteFileAtomic before its rename
+	// (mid-export: the destination still has its old content).
+	EnvHoldExport = "FAIRCO2_EXPORT_HOLD"
+)
+
+func envInt(key string) int {
+	v := os.Getenv(key)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// holdSaveNumber returns the 1-based Save call to hold, 0 for never.
+func holdSaveNumber() int { return envInt(EnvHoldSaveWrite) }
+
+// holdAfterUnits returns the completion count to hold at, 0 for never.
+func holdAfterUnits() int { return envInt(EnvHoldAfterUnits) }
+
+// exportHoldRequested reports whether atomic file exports should hold
+// before their rename.
+func exportHoldRequested() bool { return os.Getenv(EnvHoldExport) != "" }
+
+// holdForever drops a marker file and parks the goroutine until the parent
+// kills the process. The marker write is deliberately non-atomic — it only
+// synchronizes the test parent, it is not a checkpoint.
+func holdForever(dir, marker string) {
+	os.WriteFile(filepath.Join(dir, marker), []byte("held\n"), 0o666)
+	select {}
+}

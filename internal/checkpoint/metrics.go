@@ -1,0 +1,25 @@
+package checkpoint
+
+import "fairco2/internal/metrics"
+
+// Process-wide checkpoint instrumentation. The counters accumulate across
+// every Store in the process; the gauges snapshot the most recent event —
+// enough for the dashboards that matter operationally: is the job writing
+// checkpoints (rate of writes_total), how big are they (bytes), did a
+// restart actually resume (resumes_total), and how stale is the newest
+// snapshot if the process dies right now (age_seconds, refreshed by the
+// run loops via Store.TouchAge).
+var (
+	metricWrites = metrics.Default().NewCounter(
+		"fairco2_checkpoint_writes_total",
+		"Checkpoint snapshots successfully written (after the atomic rename).")
+	metricBytes = metrics.Default().NewGauge(
+		"fairco2_checkpoint_bytes",
+		"Size of the most recently written checkpoint envelope in bytes.")
+	metricResumes = metrics.Default().NewCounter(
+		"fairco2_checkpoint_resumes_total",
+		"Successful loads of an intact snapshot at resume time.")
+	metricAge = metrics.Default().NewGauge(
+		"fairco2_checkpoint_age_seconds",
+		"Seconds since the newest intact checkpoint was written (0 right after a write).")
+)

@@ -1,0 +1,161 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// runUnit invokes a unit with panic isolation: a panicking unit becomes a
+// unit error, so the sweep still cancels cleanly and flushes a final
+// snapshot of every intact completed unit instead of crashing the process.
+// Callers that want a typed panic error (the Shapley engine) install their
+// own recover inside Run; it fires first and wins.
+func runUnit(run func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("checkpoint: unit %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return run(i)
+}
+
+// RunConfig describes a checkpointed sweep over independent units of work
+// for RunUnits. The compute paths (Monte Carlo trials, temporal top-level
+// periods, Shapley table blocks) share this one coordinator so they all get
+// the same cancellation, checkpoint cadence and crash-injection behavior.
+type RunConfig struct {
+	// Units is the total number of work units, addressed 0..Units-1.
+	Units int
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS. The coordinator
+	// clamps it to the number of pending units.
+	Workers int
+	// Every is the number of completed units between snapshots; <= 0
+	// saves only the final snapshot. A snapshot is always written when
+	// the sweep ends — normally, on cancellation, or on a unit error —
+	// so no completed work is ever lost.
+	Every int
+	// Skip reports units already completed by a restored snapshot; nil
+	// skips nothing.
+	Skip func(i int) bool
+	// Run executes unit i. It is called from worker goroutines; distinct
+	// units must not share mutable state.
+	Run func(i int) error
+	// Complete is invoked on the coordinator goroutine after unit i's
+	// Run returns nil, strictly ordered with Save calls — state mutated
+	// here is safe for Save to read without extra locking.
+	Complete func(i int)
+	// Save snapshots progress; nil disables checkpointing.
+	Save func() error
+	// HoldDir is where the crash-injection hook drops its marker file
+	// (normally the checkpoint directory).
+	HoldDir string
+}
+
+// RunUnits executes every non-skipped unit on a worker pool, invoking
+// Complete and periodic Saves on the coordinator goroutine. On context
+// cancellation it stops dispatching new units, waits for in-flight units to
+// finish, writes a final snapshot and returns an error wrapping ctx.Err();
+// a unit error cancels the remaining units the same way and is returned
+// after its own final snapshot.
+func RunUnits(ctx context.Context, rc RunConfig) error {
+	if rc.Run == nil {
+		return errors.New("checkpoint: RunConfig.Run is nil")
+	}
+	var pending []int
+	for i := 0; i < rc.Units; i++ {
+		if rc.Skip == nil || !rc.Skip(i) {
+			pending = append(pending, i)
+		}
+	}
+	if len(pending) == 0 {
+		return ctx.Err()
+	}
+	workers := rc.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(pending))
+
+	// The feeder stops on cancellation (external or unit-error); workers
+	// drain the job channel and close results, and the coordinator below
+	// always consumes results to completion, so no goroutine leaks.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		i   int
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	go func() {
+		defer close(jobs)
+		for _, i := range pending {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- result{i, runUnit(rc.Run, i)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var unitErr error
+	completed, sinceSave := 0, 0
+	holdAt := holdAfterUnits()
+	for r := range results {
+		if r.err != nil {
+			if unitErr == nil {
+				unitErr = r.err
+				cancel()
+			}
+			continue
+		}
+		if rc.Complete != nil {
+			rc.Complete(r.i)
+		}
+		completed++
+		sinceSave++
+		if rc.Save != nil && rc.Every > 0 && sinceSave >= rc.Every {
+			if err := rc.Save(); err != nil {
+				if unitErr == nil {
+					unitErr = err
+					cancel()
+				}
+				continue
+			}
+			sinceSave = 0
+		}
+		if holdAt > 0 && completed == holdAt {
+			holdForever(rc.HoldDir, "run.hold")
+		}
+	}
+	if rc.Save != nil && sinceSave > 0 {
+		if err := rc.Save(); err != nil && unitErr == nil {
+			unitErr = err
+		}
+	}
+	if unitErr != nil {
+		return unitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("checkpoint: interrupted after %d of %d pending units: %w", completed, len(pending), err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package montecarlo
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"fairco2/internal/checkpoint"
+	"fairco2/internal/workload"
+)
+
+// The checkpointed sweep runners. Both Monte Carlo experiments are
+// embarrassingly parallel over trials, and every trial derives its RNG from
+// the experiment seed and the trial index — so a snapshot only needs the
+// set of completed trial indices and their results, and a resumed sweep
+// recomputes exactly the missing trials. The final result is byte-for-byte
+// identical to an uninterrupted run: trial values round-trip exactly
+// through JSON (encoding/json emits the shortest float64 representation
+// that decodes to the same bits), and aggregation happens only at the end,
+// in index order, on the fully populated slice.
+
+// sweepState is the serialized progress of a sweep: the completed trial
+// indices and, parallel to them, the completed trials.
+type sweepState[T any] struct {
+	Experiment string `json:"experiment"`
+	ConfigKey  string `json:"config_key"`
+	Total      int    `json:"total"`
+	Done       []int  `json:"done"`
+	Trials     []T    `json:"trials"`
+}
+
+// sweep is the live progress of a run, implementing checkpoint.Resumable.
+type sweep[T any] struct {
+	experiment string
+	configKey  string
+	done       []bool
+	trials     []T
+}
+
+func newSweep[T any](experiment, configKey string, total int) *sweep[T] {
+	return &sweep[T]{
+		experiment: experiment,
+		configKey:  configKey,
+		done:       make([]bool, total),
+		trials:     make([]T, total),
+	}
+}
+
+// Snapshot implements checkpoint.Resumable.
+func (s *sweep[T]) Snapshot() ([]byte, error) {
+	st := sweepState[T]{Experiment: s.experiment, ConfigKey: s.configKey, Total: len(s.done)}
+	for i, d := range s.done {
+		if d {
+			st.Done = append(st.Done, i)
+			st.Trials = append(st.Trials, s.trials[i])
+		}
+	}
+	return json.Marshal(st)
+}
+
+// Restore implements checkpoint.Resumable.
+func (s *sweep[T]) Restore(payload []byte) error {
+	var st sweepState[T]
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("%w: undecodable sweep state: %v", checkpoint.ErrCorruptCheckpoint, err)
+	}
+	if st.Experiment != s.experiment {
+		return fmt.Errorf("%w: snapshot is a %q run, this is %q", checkpoint.ErrStateMismatch, st.Experiment, s.experiment)
+	}
+	if st.ConfigKey != s.configKey {
+		return fmt.Errorf("%w: snapshot config %s, run config %s", checkpoint.ErrStateMismatch, st.ConfigKey, s.configKey)
+	}
+	if st.Total != len(s.done) || len(st.Done) != len(st.Trials) {
+		return fmt.Errorf("%w: inconsistent sweep state", checkpoint.ErrCorruptCheckpoint)
+	}
+	for k, i := range st.Done {
+		if i < 0 || i >= len(s.done) {
+			return fmt.Errorf("%w: trial index %d out of range", checkpoint.ErrCorruptCheckpoint, i)
+		}
+		s.done[i] = true
+		s.trials[i] = st.Trials[k]
+	}
+	return nil
+}
+
+// resumedCount returns how many trials a restored snapshot provided.
+func (s *sweep[T]) resumedCount() int {
+	n := 0
+	for _, d := range s.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// runSweep executes trials 0..total-1 on a worker pool with optional
+// checkpointing, honoring ctx between trials. It returns the full trial
+// slice and the number of trials recovered from a snapshot.
+func runSweep[T any](ctx context.Context, experiment, configKey string, total, workers int, ck checkpoint.Spec, run func(idx int) (T, error)) ([]T, int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sw := newSweep[T](experiment, configKey, total)
+	var store *checkpoint.Store
+	resumed := 0
+	if ck.Enabled() {
+		var err error
+		store, err = checkpoint.Open(ck.Dir, experiment)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok, err := store.RestoreLatest(sw); err != nil {
+			return nil, 0, err
+		} else if ok {
+			resumed = sw.resumedCount()
+		}
+	}
+	rc := checkpoint.RunConfig{
+		Units:   total,
+		Workers: workers,
+		Every:   ck.Every,
+		Skip:    func(i int) bool { return sw.done[i] },
+		Run: func(i int) error {
+			t, err := run(i)
+			if err != nil {
+				return err
+			}
+			sw.trials[i] = t
+			return nil
+		},
+		Complete: func(i int) {
+			sw.done[i] = true
+			if store != nil {
+				store.TouchAge()
+			}
+		},
+	}
+	if store != nil {
+		rc.Save = func() error { return store.SaveResumable(sw) }
+		rc.HoldDir = ck.Dir
+	}
+	if err := checkpoint.RunUnits(ctx, rc); err != nil {
+		return nil, resumed, fmt.Errorf("montecarlo: %s sweep: %w", experiment, err)
+	}
+	return sw.trials, resumed, nil
+}
+
+// colocationConfigKey fingerprints every configuration field that changes
+// trial results. Workers is deliberately excluded: the trial pool size only
+// changes scheduling, never a result, so a sweep may resume with different
+// parallelism. ShapleyParallelism IS included — the sampled ground-truth
+// estimators shard their sample budget by worker count, so different
+// settings are different (equally valid) experiments.
+func colocationConfigKey(cfg ColocationConfig) string {
+	return fmt.Sprintf("coloc/trials=%d,seed=%d,wl=[%d,%d],ci=[%g,%g],samples=[%d,%d],gt=%d,shapley-par=%d,perwl=%t,cap=%d,draws=%d",
+		cfg.Trials, cfg.Seed, cfg.MinWorkloads, cfg.MaxWorkloads, cfg.MinGridCI, cfg.MaxGridCI,
+		cfg.MinSamples, cfg.MaxSamples, cfg.GroundTruthSamples, cfg.ShapleyParallelism,
+		cfg.CollectPerWorkload, cfg.NodeCapacity, cfg.FactorDraws)
+}
+
+// demandConfigKey is colocationConfigKey's analogue for the demand sweep.
+func demandConfigKey(cfg DemandConfig) string {
+	return fmt.Sprintf("demand/trials=%d,seed=%d,gen=%+v,budget=%g",
+		cfg.Trials, cfg.Seed, cfg.Generator, float64(cfg.Budget))
+}
+
+// RunColocationCheckpointed is RunColocation with context cancellation and
+// crash-safe checkpoint/resume. On SIGINT-style cancellation it finishes
+// in-flight trials, flushes a final snapshot and returns an error wrapping
+// ctx.Err(); rerunning with the same configuration and checkpoint
+// directory resumes exactly where it stopped and produces a result
+// bitwise-identical to an uninterrupted run. The second return value is
+// the number of trials recovered from the snapshot.
+func RunColocationCheckpointed(ctx context.Context, cfg ColocationConfig, ck checkpoint.Spec) (*ColocationResult, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.MaxSamples > len(char.Profiles) {
+		return nil, 0, fmt.Errorf("montecarlo: max samples %d exceeds suite size %d", cfg.MaxSamples, len(char.Profiles))
+	}
+	trials, resumed, err := runSweep(ctx, "mc-colocation", colocationConfigKey(cfg), cfg.Trials, cfg.Workers, ck,
+		func(idx int) (ColocationTrial, error) { return runColocationTrial(cfg, char, idx) })
+	if err != nil {
+		return nil, resumed, err
+	}
+	return &ColocationResult{Config: cfg, Trials: trials}, resumed, nil
+}
+
+// RunDemandCheckpointed is RunDemand with context cancellation and
+// crash-safe checkpoint/resume; see RunColocationCheckpointed.
+func RunDemandCheckpointed(ctx context.Context, cfg DemandConfig, ck checkpoint.Spec) (*DemandResult, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	trials, resumed, err := runSweep(ctx, "mc-demand", demandConfigKey(cfg), cfg.Trials, cfg.Workers, ck,
+		func(idx int) (DemandTrial, error) { return runDemandTrial(cfg, idx) })
+	if err != nil {
+		return nil, resumed, err
+	}
+	return &DemandResult{Config: cfg, Trials: trials}, resumed, nil
+}

@@ -1,0 +1,180 @@
+package montecarlo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fairco2/internal/checkpoint"
+	"fairco2/internal/workload"
+)
+
+// interruptSweep runs a partial checkpointed sweep that fails deterministically
+// at trial failAt, leaving a snapshot of everything completed before the
+// coordinator saw the error.
+func interruptSweep[T any](t *testing.T, experiment, key string, total int, ck checkpoint.Spec, failAt int, run func(idx int) (T, error)) {
+	t.Helper()
+	boom := errors.New("injected trial failure")
+	_, _, err := runSweep(context.Background(), experiment, key, total, 2, ck,
+		func(idx int) (T, error) {
+			if idx == failAt {
+				var zero T
+				return zero, boom
+			}
+			return run(idx)
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("interrupted sweep: %v", err)
+	}
+}
+
+func TestColocationResumeBitwiseIdentical(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.Trials = 30
+	golden, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	char, err := workload.Characterize(workload.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 4}
+	interruptSweep(t, "mc-colocation", colocationConfigKey(cfg), cfg.Trials, ck, 17,
+		func(idx int) (ColocationTrial, error) { return runColocationTrial(cfg, char, idx) })
+
+	// Resume with a different worker count: scheduling must not affect
+	// results, so the final sweep is still bitwise-identical to the golden.
+	cfg.Workers = 3
+	result, resumed, err := RunColocationCheckpointed(context.Background(), cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed == 0 || resumed >= cfg.Trials {
+		t.Fatalf("resumed %d trials, want a strict partial resume", resumed)
+	}
+	if !reflect.DeepEqual(result.Trials, golden.Trials) {
+		t.Fatal("resumed sweep differs from uninterrupted run")
+	}
+
+	var a, b bytes.Buffer
+	if err := golden.WriteColocationCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := result.WriteColocationCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed CSV export not byte-for-byte identical")
+	}
+}
+
+func TestDemandResumeBitwiseIdentical(t *testing.T) {
+	cfg := smallDemandConfig()
+	cfg.Trials = 24
+	golden, err := RunDemand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 3}
+	interruptSweep(t, "mc-demand", demandConfigKey(cfg), cfg.Trials, ck, 13,
+		func(idx int) (DemandTrial, error) { return runDemandTrial(cfg, idx) })
+
+	result, resumed, err := RunDemandCheckpointed(context.Background(), cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed == 0 || resumed >= cfg.Trials {
+		t.Fatalf("resumed %d trials, want a strict partial resume", resumed)
+	}
+	if !reflect.DeepEqual(result.Trials, golden.Trials) {
+		t.Fatal("resumed sweep differs from uninterrupted run")
+	}
+}
+
+func TestResumeRejectsDifferentConfiguration(t *testing.T) {
+	cfg := smallDemandConfig()
+	cfg.Trials = 10
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 2}
+	if _, _, err := RunDemandCheckpointed(context.Background(), cfg, ck); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	if _, _, err := RunDemandCheckpointed(context.Background(), cfg, ck); !errors.Is(err, checkpoint.ErrStateMismatch) {
+		t.Fatalf("resume with a different seed: %v, want ErrStateMismatch", err)
+	}
+}
+
+func TestRunCheckpointedCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	ccfg := smallColocationConfig()
+	if _, _, err := RunColocationCheckpointed(ctx, ccfg, checkpoint.Spec{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("colocation without checkpoint: %v", err)
+	}
+	dcfg := smallDemandConfig()
+	if _, _, err := RunDemandCheckpointed(ctx, dcfg, checkpoint.Spec{Dir: t.TempDir()}); !errors.Is(err, context.Canceled) {
+		t.Errorf("demand with checkpoint: %v", err)
+	}
+}
+
+func TestExportFilesMatchWriterOutput(t *testing.T) {
+	cfg := smallDemandConfig()
+	cfg.Trials = 10
+	r, err := RunDemand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := r.WriteDemandCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demand.csv")
+	if err := r.ExportDemandCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("file export differs from writer output")
+	}
+}
+
+// TestExportFailureKeepsPreviousFile is the regression test for the old
+// non-atomic export path: ExportPerWorkloadCSVFile fails when the run did not
+// collect per-workload records, but only after emitting the CSV header — a
+// direct os.Create implementation would have already truncated the
+// destination and left a header-only stub behind. The atomic path must leave
+// the previous file byte-for-byte untouched.
+func TestExportFailureKeepsPreviousFile(t *testing.T) {
+	cfg := smallColocationConfig()
+	cfg.Trials = 5 // CollectPerWorkload off: per-workload export will fail
+	r, err := RunColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "per_workload.csv")
+	previous := []byte("trial,workload,partner\n0,NBODY,CH\n")
+	if err := os.WriteFile(path, previous, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ExportPerWorkloadCSVFile(path); err == nil {
+		t.Fatal("per-workload export without collection succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, previous) {
+		t.Fatalf("failed export overwrote the destination: %q", got)
+	}
+}

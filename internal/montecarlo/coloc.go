@@ -1,13 +1,13 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"fairco2/internal/attribution"
+	"fairco2/internal/checkpoint"
 	"fairco2/internal/colocation"
 	"fairco2/internal/stats"
 	"fairco2/internal/units"
@@ -124,46 +124,11 @@ type ColocationResult struct {
 // ColocationMethods lists the method names present in colocation results.
 func ColocationMethods() []string { return []string{MethodRUP, MethodFairCO2} }
 
-// RunColocation executes the colocation Monte Carlo experiment.
+// RunColocation executes the colocation Monte Carlo experiment. It is
+// RunColocationCheckpointed without cancellation or checkpointing.
 func RunColocation(cfg ColocationConfig) (*ColocationResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	char, err := workload.Characterize(workload.Suite())
-	if err != nil {
-		return nil, err
-	}
-	if cfg.MaxSamples > len(char.Profiles) {
-		return nil, fmt.Errorf("montecarlo: max samples %d exceeds suite size %d", cfg.MaxSamples, len(char.Profiles))
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	trials := make([]ColocationTrial, cfg.Trials)
-	errs := make([]error, cfg.Trials)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				trials[idx], errs[idx] = runColocationTrial(cfg, char, idx)
-			}
-		}()
-	}
-	for i := 0; i < cfg.Trials; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &ColocationResult{Config: cfg, Trials: trials}, nil
+	r, _, err := RunColocationCheckpointed(context.Background(), cfg, checkpoint.Spec{})
+	return r, err
 }
 
 func runColocationTrial(cfg ColocationConfig, char *workload.Characterization, idx int) (ColocationTrial, error) {

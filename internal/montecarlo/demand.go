@@ -6,14 +6,14 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"fairco2/internal/attribution"
+	"fairco2/internal/checkpoint"
 	"fairco2/internal/schedule"
 	"fairco2/internal/stats"
 	"fairco2/internal/units"
@@ -70,46 +70,25 @@ type DemandResult struct {
 	Trials []DemandTrial
 }
 
-// RunDemand executes the dynamic-demand Monte Carlo experiment.
-func RunDemand(cfg DemandConfig) (*DemandResult, error) {
-	if cfg.Trials < 1 {
-		return nil, errors.New("montecarlo: need at least one trial")
+// Validate checks the configuration.
+func (c DemandConfig) Validate() error {
+	if c.Trials < 1 {
+		return errors.New("montecarlo: need at least one trial")
 	}
-	if err := cfg.Generator.Validate(); err != nil {
-		return nil, err
+	if err := c.Generator.Validate(); err != nil {
+		return err
 	}
-	if cfg.Budget <= 0 {
-		return nil, errors.New("montecarlo: budget must be positive")
+	if c.Budget <= 0 {
+		return errors.New("montecarlo: budget must be positive")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return nil
+}
 
-	trials := make([]DemandTrial, cfg.Trials)
-	errs := make([]error, cfg.Trials)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				trials[idx], errs[idx] = runDemandTrial(cfg, idx)
-			}
-		}()
-	}
-	for i := 0; i < cfg.Trials; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &DemandResult{Config: cfg, Trials: trials}, nil
+// RunDemand executes the dynamic-demand Monte Carlo experiment. It is
+// RunDemandCheckpointed without cancellation or checkpointing.
+func RunDemand(cfg DemandConfig) (*DemandResult, error) {
+	r, _, err := RunDemandCheckpointed(context.Background(), cfg, checkpoint.Spec{})
+	return r, err
 }
 
 func runDemandTrial(cfg DemandConfig, idx int) (DemandTrial, error) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"fairco2/internal/checkpoint"
 )
 
 // WriteDemandCSV exports one row per trial of the dynamic-demand
@@ -104,3 +106,26 @@ func (r *ColocationResult) WritePerWorkloadCSV(w io.Writer) error {
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// The file-based exports write atomically — temp file in the destination
+// directory, fsync, rename — so a crash or SIGKILL mid-export never leaves
+// a truncated CSV where a previous (or partial) result file was expected:
+// the destination either keeps its old content or receives the complete new
+// file. These are what the CLIs use for -out.
+
+// ExportDemandCSVFile atomically writes WriteDemandCSV's output to path.
+func (r *DemandResult) ExportDemandCSVFile(path string) error {
+	return checkpoint.WriteFileAtomic(path, func(w io.Writer) error { return r.WriteDemandCSV(w) })
+}
+
+// ExportColocationCSVFile atomically writes WriteColocationCSV's output to
+// path.
+func (r *ColocationResult) ExportColocationCSVFile(path string) error {
+	return checkpoint.WriteFileAtomic(path, func(w io.Writer) error { return r.WriteColocationCSV(w) })
+}
+
+// ExportPerWorkloadCSVFile atomically writes WritePerWorkloadCSV's output
+// to path (requires CollectPerWorkload).
+func (r *ColocationResult) ExportPerWorkloadCSVFile(path string) error {
+	return checkpoint.WriteFileAtomic(path, func(w io.Writer) error { return r.WritePerWorkloadCSV(w) })
+}

@@ -1,6 +1,9 @@
 package shapley
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors for the argument-validation failures every estimator in
 // this package shares. They exist so callers can branch on the failure class
@@ -34,7 +37,31 @@ var (
 	ErrNilMarginals = errors.New("shapley: nil marginals function")
 	// ErrTableSize reports a coalition table whose length is not 2^n.
 	ErrTableSize = errors.New("shapley: coalition table length is not 2^n")
+	// ErrWorkerPanic reports that a characteristic function (or marginals
+	// function) panicked inside a parallel worker. The parallel entry
+	// points recover the panic and return a *WorkerPanicError wrapping
+	// this sentinel instead of crashing the process, so a long sweep can
+	// checkpoint and surface the failure. Match with errors.Is; recover
+	// the panic value and stack with errors.As on *WorkerPanicError.
+	ErrWorkerPanic = errors.New("shapley: worker panicked")
 )
+
+// WorkerPanicError carries the recovered panic of a parallel worker: which
+// worker, the panic value, and the goroutine stack captured at recovery.
+// It wraps ErrWorkerPanic.
+type WorkerPanicError struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("shapley: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// Unwrap lets errors.Is(err, ErrWorkerPanic) match.
+func (e *WorkerPanicError) Unwrap() error { return ErrWorkerPanic }
 
 // checkSampling validates the shared sampling arguments of the bitmask-game
 // Monte Carlo estimators.

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,13 +46,28 @@ func resolveWorkers(workers int) int {
 }
 
 // runWorkers runs fn(w) for w in [0, workers) on that many goroutines and
-// returns the summed per-worker busy time for the utilization metrics.
-func runWorkers(workers int, fn func(w int)) time.Duration {
+// returns the summed per-worker busy time for the utilization metrics. A
+// panicking fn — in practice, a panicking user-supplied characteristic or
+// marginals function — is recovered inside its goroutine and converted to a
+// *WorkerPanicError carrying the stack, so one bad game fails the solver
+// call instead of crashing the whole process (the lowest-indexed panicking
+// worker wins; the other workers still run to completion).
+func runWorkers(workers int, fn func(w int)) (time.Duration, error) {
+	call := func(w int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &WorkerPanicError{Worker: w, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		fn(w)
+		return nil
+	}
 	if workers == 1 {
 		start := time.Now()
-		fn(0)
-		return time.Since(start)
+		err := call(0)
+		return time.Since(start), err
 	}
+	panics := make([]error, workers)
 	var busy atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -59,12 +75,17 @@ func runWorkers(workers int, fn func(w int)) time.Duration {
 		go func(w int) {
 			defer wg.Done()
 			start := time.Now()
-			fn(w)
+			panics[w] = call(w)
 			busy.Add(int64(time.Since(start)))
 		}(w)
 	}
 	wg.Wait()
-	return time.Duration(busy.Load())
+	for _, err := range panics {
+		if err != nil {
+			return time.Duration(busy.Load()), err
+		}
+	}
+	return time.Duration(busy.Load()), nil
 }
 
 // BuildTableParallel evaluates v over all 2^n coalitions like BuildTable,
@@ -83,12 +104,15 @@ func BuildTableParallel(n int, v SetFunc, workers int) ([]float64, error) {
 	start := time.Now()
 	table := make([]float64, 1<<uint(n))
 	workers = min(resolveWorkers(workers), len(table))
-	busy := runWorkers(workers, func(w int) {
+	busy, err := runWorkers(workers, func(w int) {
 		lo, hi := blockRange(len(table), workers, w)
 		for mask := lo; mask < hi; mask++ {
 			table[mask] = v(uint64(mask))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	metricExactCoalitions.Add(float64(len(table)))
 	observeParallel("build-table", workers, time.Since(start), busy)
 	return table, nil
@@ -123,35 +147,17 @@ func BuildTableIncrementalParallel(n int, newGame func() (add, remove func(playe
 	table := make([]float64, 1<<uint(n))
 	workers = min(resolveWorkers(workers), blocks)
 	errs := make([]error, workers)
-	busy := runWorkers(workers, func(w int) {
+	busy, panicErr := runWorkers(workers, func(w int) {
 		blo, bhi := blockRange(blocks, workers, w)
 		for b := blo; b < bhi; b++ {
-			add, remove, value := newGame()
-			if add == nil || remove == nil || value == nil {
-				errs[w] = ErrNilGame
+			if errs[w] = enumerateBlock(low, b, newGame, table); errs[w] != nil {
 				return
-			}
-			high := uint64(b) << uint(low)
-			for rest := high; rest != 0; rest &= rest - 1 {
-				add(bits.TrailingZeros64(rest))
-			}
-			// Gray-code walk over the low players: gray(j) and gray(j+1)
-			// differ in bit TrailingZeros(j+1), so each coalition after the
-			// first costs one add or remove plus one value().
-			gray := uint64(0)
-			table[high] = value()
-			for j := uint64(1); j < 1<<uint(low); j++ {
-				bit := uint(bits.TrailingZeros64(j))
-				if gray&(1<<bit) == 0 {
-					add(int(bit))
-				} else {
-					remove(int(bit))
-				}
-				gray ^= 1 << bit
-				table[high|gray] = value()
 			}
 		}
 	})
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -160,6 +166,37 @@ func BuildTableIncrementalParallel(n int, newGame func() (add, remove func(playe
 	metricExactCoalitions.Add(float64(len(table)))
 	observeParallel("build-table-incremental", workers, time.Since(start), busy)
 	return table, nil
+}
+
+// enumerateBlock fills the coalition table for the masks whose high bits
+// equal b: fresh incremental state from newGame, the block's fixed players
+// added once, then a gray-code walk over the low players — gray(j) and
+// gray(j+1) differ in bit TrailingZeros(j+1), so each coalition after the
+// first costs one add or remove plus one value(). Shared by the parallel
+// and the checkpointed incremental table builders, so both produce the
+// same enumeration (and therefore identical tables) per block.
+func enumerateBlock(low, b int, newGame func() (add, remove func(player int), value func() float64), table []float64) error {
+	add, remove, value := newGame()
+	if add == nil || remove == nil || value == nil {
+		return ErrNilGame
+	}
+	high := uint64(b) << uint(low)
+	for rest := high; rest != 0; rest &= rest - 1 {
+		add(bits.TrailingZeros64(rest))
+	}
+	gray := uint64(0)
+	table[high] = value()
+	for j := uint64(1); j < 1<<uint(low); j++ {
+		bit := uint(bits.TrailingZeros64(j))
+		if gray&(1<<bit) == 0 {
+			add(int(bit))
+		} else {
+			remove(int(bit))
+		}
+		gray ^= 1 << bit
+		table[high|gray] = value()
+	}
+	return nil
 }
 
 // ExactFromTableParallel computes exact Shapley values from a dense
@@ -184,7 +221,7 @@ func ExactFromTableParallel(n int, table []float64, workers int) ([]float64, err
 	}
 	phi := make([]float64, n)
 	full := uint64(1)<<uint(n) - 1
-	busy := runWorkers(workers, func(wk int) {
+	busy, err := runWorkers(workers, func(wk int) {
 		plo, phiHi := blockRange(n, workers, wk)
 		if plo == phiHi {
 			return
@@ -210,6 +247,9 @@ func ExactFromTableParallel(n int, table []float64, workers int) ([]float64, err
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	observeParallel("exact-from-table", workers, time.Since(start), busy)
 	return phi, nil
 }
@@ -305,9 +345,12 @@ func sampledParallel(mode string, n, samples int, seed int64, workers, unit int,
 	seeds := WorkerSeeds(seed, workers)
 	ests := make([][]float64, workers)
 	errs := make([]error, workers)
-	busy := runWorkers(workers, func(w int) {
+	busy, panicErr := runWorkers(workers, func(w int) {
 		ests[w], errs[w] = run(shares[w]*unit, rand.New(rand.NewSource(seeds[w])))
 	})
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,182 @@
+package temporal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fairco2/internal/checkpoint"
+	"fairco2/internal/shapley"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Checkpointed Temporal Shapley. The hierarchical attribution spends almost
+// all of its time below the first level: once the top-level Shapley shares
+// are fixed (an O(M log M) computation over M chunk peaks), each top-level
+// period is an independent sub-problem writing a disjoint range of the
+// intensity signal. A snapshot therefore records the completed top-level
+// periods and their intensity ranges; a resumed run recomputes only the
+// missing periods with the identical share, so the final signal is
+// bitwise-identical to an uninterrupted run.
+
+// periodState is the serialized progress of a signal computation.
+type periodState struct {
+	ConfigKey string      `json:"config_key"`
+	Periods   int         `json:"periods"`
+	Width     int         `json:"width"`
+	Done      []int       `json:"done"`
+	Values    [][]float64 `json:"values"`
+}
+
+// periodSweep is the live progress, implementing checkpoint.Resumable.
+type periodSweep struct {
+	configKey string
+	width     int
+	done      []bool
+	intensity []float64
+}
+
+// Snapshot implements checkpoint.Resumable.
+func (p *periodSweep) Snapshot() ([]byte, error) {
+	st := periodState{ConfigKey: p.configKey, Periods: len(p.done), Width: p.width}
+	for k, d := range p.done {
+		if d {
+			st.Done = append(st.Done, k)
+			st.Values = append(st.Values, p.intensity[k*p.width:(k+1)*p.width])
+		}
+	}
+	return json.Marshal(st)
+}
+
+// Restore implements checkpoint.Resumable.
+func (p *periodSweep) Restore(payload []byte) error {
+	var st periodState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("%w: undecodable temporal state: %v", checkpoint.ErrCorruptCheckpoint, err)
+	}
+	if st.ConfigKey != p.configKey {
+		return fmt.Errorf("%w: snapshot config %s, run config %s", checkpoint.ErrStateMismatch, st.ConfigKey, p.configKey)
+	}
+	if st.Periods != len(p.done) || st.Width != p.width || len(st.Done) != len(st.Values) {
+		return fmt.Errorf("%w: inconsistent temporal state", checkpoint.ErrCorruptCheckpoint)
+	}
+	for i, k := range st.Done {
+		if k < 0 || k >= len(p.done) || len(st.Values[i]) != p.width {
+			return fmt.Errorf("%w: period %d out of shape", checkpoint.ErrCorruptCheckpoint, k)
+		}
+		p.done[k] = true
+		copy(p.intensity[k*p.width:(k+1)*p.width], st.Values[i])
+	}
+	return nil
+}
+
+// signalConfigKey fingerprints everything the intensity signal depends on:
+// the demand series (shape and a CRC over its sample bits), the budget, the
+// split schedule and the backend. Parallelism is excluded — the signal is
+// identical for any worker count.
+func signalConfigKey(demand *timeseries.Series, budget units.GramsCO2e, cfg Config) string {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, v := range demand.Values {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("temporal/n=%d,start=%g,step=%g,crc=%08x,budget=%b,splits=%v,backend=%s",
+		demand.Len(), float64(demand.Start), float64(demand.Step), h.Sum32(), float64(budget), cfg.SplitRatios, cfg.Backend)
+}
+
+// IntensitySignalCheckpointed is IntensitySignal with context cancellation
+// and crash-safe checkpoint/resume over the top-level periods. With a
+// disabled spec it falls back to the plain computation. The returned signal
+// is bitwise-identical to IntensitySignal's for any interruption pattern.
+func IntensitySignalCheckpointed(ctx context.Context, demand *timeseries.Series, budget units.GramsCO2e, cfg Config, ck checkpoint.Spec) (*timeseries.Series, error) {
+	if !ck.Enabled() {
+		return IntensitySignal(demand, budget, cfg)
+	}
+	if err := validateSignal(demand, budget, cfg); err != nil {
+		return nil, err
+	}
+	// A flat or zero-budget signal is a single cheap pass; nothing worth
+	// snapshotting.
+	if len(cfg.SplitRatios) == 0 || budget == 0 {
+		return IntensitySignal(demand, budget, cfg)
+	}
+
+	// First level, exactly as attributor.attribute computes it: chunk
+	// peaks and resource-times, the peak-game Shapley value, and each
+	// chunk's share of the budget.
+	m := cfg.SplitRatios[0]
+	width := demand.Len() / m
+	peaks := make([]float64, m)
+	qs := make([]float64, m)
+	for k := 0; k < m; k++ {
+		peak, q := 0.0, 0.0
+		for i := k * width; i < (k+1)*width; i++ {
+			v := demand.Values[i]
+			if v > peak {
+				peak = v
+			}
+			q += v
+		}
+		peaks[k] = peak
+		qs[k] = q * float64(demand.Step)
+	}
+	var phi []float64
+	var err error
+	switch cfg.Backend {
+	case NaiveSubset:
+		phi, err = shapley.PeakGameNaive(peaks)
+	default:
+		phi, err = shapley.PeakGame(peaks)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("temporal: level with %d periods: %w", m, err)
+	}
+	denom := 0.0
+	for k := range phi {
+		denom += phi[k] * qs[k]
+	}
+	if denom == 0 {
+		return nil, fmt.Errorf("temporal: internal error, positive budget %v over zero-demand series", budget)
+	}
+
+	intensity := make([]float64, demand.Len())
+	sweep := &periodSweep{
+		configKey: signalConfigKey(demand, budget, cfg),
+		width:     width,
+		done:      make([]bool, m),
+		intensity: intensity,
+	}
+	store, err := checkpoint.Open(ck.Dir, "temporal-signal")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := store.RestoreLatest(sweep); err != nil {
+		return nil, err
+	}
+	err = checkpoint.RunUnits(ctx, checkpoint.RunConfig{
+		Units:   m,
+		Workers: cfg.Parallelism,
+		Every:   ck.Every,
+		Skip:    func(k int) bool { return sweep.done[k] },
+		Run: func(k int) error {
+			sub := attributor{demand: demand, backend: cfg.Backend, workers: 1}
+			share := phi[k] * qs[k] / denom * float64(budget)
+			return sub.attribute(k*width, (k+1)*width, share, cfg.SplitRatios[1:], intensity)
+		},
+		Complete: func(k int) {
+			sweep.done[k] = true
+			store.TouchAge()
+		},
+		Save:    func() error { return store.SaveResumable(sweep) },
+		HoldDir: ck.Dir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("temporal: checkpointed signal: %w", err)
+	}
+	return timeseries.New(demand.Start, demand.Step, intensity), nil
+}

@@ -1,0 +1,110 @@
+package temporal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairco2/internal/checkpoint"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func TestCheckpointedSignalMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	demand := randomDemand(rng, 120)
+	cfg := Config{SplitRatios: []int{6, 5, 4}, Parallelism: 2}
+	plain, err := IntensitySignal(demand, 1e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 2}
+	checked, err := IntensitySignalCheckpointed(context.Background(), demand, 1e6, cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(checked.Values, plain.Values) {
+		t.Fatal("checkpointed signal differs from plain signal")
+	}
+	// Rerunning against the completed snapshot recomputes nothing and must
+	// reproduce the identical signal again.
+	again, err := IntensitySignalCheckpointed(context.Background(), demand, 1e6, cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Values, plain.Values) {
+		t.Fatal("fully-resumed signal differs from plain signal")
+	}
+}
+
+func TestCheckpointedSignalResumesAfterInterrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	demand := randomDemand(rng, 90)
+	cfg := Config{SplitRatios: []int{9, 5, 2}, Parallelism: 2}
+	plain, err := IntensitySignal(demand, 5e5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt the first attempt immediately: the already-cancelled context
+	// stops the sweep after at most the in-flight periods, which are flushed
+	// to the snapshot.
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := IntensitySignalCheckpointed(ctx, demand, 5e5, cfg, ck); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled signal: %v", err)
+	}
+
+	checked, err := IntensitySignalCheckpointed(context.Background(), demand, 5e5, cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(checked.Values, plain.Values) {
+		t.Fatal("resumed signal differs from uninterrupted signal")
+	}
+}
+
+func TestCheckpointedSignalRejectsDifferentDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	demand := randomDemand(rng, 60)
+	cfg := Config{SplitRatios: []int{6, 5, 2}}
+	ck := checkpoint.Spec{Dir: t.TempDir(), Every: 1}
+	if _, err := IntensitySignalCheckpointed(context.Background(), demand, 1e6, cfg, ck); err != nil {
+		t.Fatal(err)
+	}
+	other := timeseries.New(demand.Start, demand.Step, append([]float64(nil), demand.Values...))
+	other.Values[7] += 1 // one sample differs -> different CRC -> different experiment
+	if _, err := IntensitySignalCheckpointed(context.Background(), other, 1e6, cfg, ck); !errors.Is(err, checkpoint.ErrStateMismatch) {
+		t.Fatalf("resume against modified demand: %v, want ErrStateMismatch", err)
+	}
+}
+
+func TestCheckpointedSignalDisabledSpecFallsBack(t *testing.T) {
+	demand := timeseries.New(0, 1, []float64{1, 3})
+	plain, err := IntensitySignal(demand, 100, Config{SplitRatios: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := IntensitySignalCheckpointed(context.Background(), demand, 100, Config{SplitRatios: []int{2}}, checkpoint.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, plain.Values) {
+		t.Fatal("disabled spec fallback differs")
+	}
+	// Invalid input still validates with a checkpoint spec enabled.
+	if _, err := IntensitySignalCheckpointed(context.Background(), demand, units.GramsCO2e(-1), Config{SplitRatios: []int{2}}, checkpoint.Spec{Dir: t.TempDir()}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	// Zero budget and no splits take the cheap single-pass path.
+	if _, err := IntensitySignalCheckpointed(context.Background(), demand, 0, Config{SplitRatios: []int{2}}, checkpoint.Spec{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	single := timeseries.New(0, 1, []float64{2})
+	if _, err := IntensitySignalCheckpointed(context.Background(), single, 100, Config{}, checkpoint.Spec{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}

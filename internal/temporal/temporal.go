@@ -74,34 +74,9 @@ func PaperSplits() []int { return []int{10, 9, 8, 12} }
 //
 // The demand series must be non-negative with positive total resource-time.
 func IntensitySignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Config) (*timeseries.Series, error) {
-	if demand == nil || demand.Len() == 0 {
-		return nil, errors.New("temporal: empty demand series")
+	if err := validateSignal(demand, budget, cfg); err != nil {
+		return nil, err
 	}
-	if budget < 0 {
-		return nil, fmt.Errorf("temporal: negative carbon budget %v", budget)
-	}
-	product := 1
-	for i, m := range cfg.SplitRatios {
-		if m < 1 {
-			return nil, fmt.Errorf("temporal: split ratio %d at level %d must be >= 1", m, i)
-		}
-		if m > shapley.MaxExactPlayers && cfg.Backend == NaiveSubset {
-			return nil, fmt.Errorf("temporal: naive backend cannot handle split ratio %d (max %d)", m, shapley.MaxExactPlayers)
-		}
-		product *= m
-	}
-	if product != demand.Len() {
-		return nil, fmt.Errorf("temporal: split ratios multiply to %d but demand has %d samples", product, demand.Len())
-	}
-	for i, v := range demand.Values {
-		if v < 0 {
-			return nil, fmt.Errorf("temporal: negative demand %v at sample %d", v, i)
-		}
-	}
-	if demand.Integral() == 0 {
-		return nil, errors.New("temporal: demand series has zero total resource-time, nothing to attribute to")
-	}
-
 	workers := cfg.Parallelism
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -112,6 +87,38 @@ func IntensitySignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Conf
 		return nil, err
 	}
 	return timeseries.New(demand.Start, demand.Step, intensity), nil
+}
+
+// validateSignal checks the shared IntensitySignal arguments.
+func validateSignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Config) error {
+	if demand == nil || demand.Len() == 0 {
+		return errors.New("temporal: empty demand series")
+	}
+	if budget < 0 {
+		return fmt.Errorf("temporal: negative carbon budget %v", budget)
+	}
+	product := 1
+	for i, m := range cfg.SplitRatios {
+		if m < 1 {
+			return fmt.Errorf("temporal: split ratio %d at level %d must be >= 1", m, i)
+		}
+		if m > shapley.MaxExactPlayers && cfg.Backend == NaiveSubset {
+			return fmt.Errorf("temporal: naive backend cannot handle split ratio %d (max %d)", m, shapley.MaxExactPlayers)
+		}
+		product *= m
+	}
+	if product != demand.Len() {
+		return fmt.Errorf("temporal: split ratios multiply to %d but demand has %d samples", product, demand.Len())
+	}
+	for i, v := range demand.Values {
+		if v < 0 {
+			return fmt.Errorf("temporal: negative demand %v at sample %d", v, i)
+		}
+	}
+	if demand.Integral() == 0 {
+		return errors.New("temporal: demand series has zero total resource-time, nothing to attribute to")
+	}
+	return nil
 }
 
 type attributor struct {
