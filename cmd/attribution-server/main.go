@@ -1,0 +1,224 @@
+// Command attribution-server is Fair-CO2's query daemon: a long-lived
+// HTTP service that answers per-tenant attribution, share and billing
+// queries over one configured schedule. Expensive Shapley computations
+// are amortized behind a sharded result cache, request coalescing (N
+// concurrent identical queries cost one computation) and batched
+// evaluation (queries inside a small window merge into one attribution
+// call), so the service survives dashboard fan-out and scrape storms.
+//
+//	GET /v1/attribution?method=fair-co2&period=0:6&tenant=3
+//	GET /v1/share?period=0:6
+//	GET /v1/billing?period=2:5
+//	GET /metrics   -> Prometheus text format
+//	GET /healthz   -> {"status":"ok", ...}
+//
+// The schedule comes from a CSV (-schedule, the schedule.WriteCSV
+// format) or is generated with the paper's §6.3 parameters (-seed).
+// With -signal-url set, period budgets are priced against the live
+// embodied intensity through the resilient signal client, and cache
+// TTLs follow the signal's staleness ladder.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fairco2/internal/attrserver"
+	"fairco2/internal/livesignal"
+	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
+	"fairco2/internal/schedule"
+	"fairco2/internal/signalserver"
+	"fairco2/internal/units"
+)
+
+// daemonConfig is the flag-level configuration: where the schedule comes
+// from, how to price it, and the serving knobs forwarded to attrserver.
+type daemonConfig struct {
+	// SchedulePath is a schedule CSV; empty generates one from Seed.
+	SchedulePath string
+	// Seed drives schedule generation when SchedulePath is empty.
+	Seed int64
+	// MaxWorkloads caps the generated schedule (exact Shapley needs <= 24).
+	MaxWorkloads int
+	// Budget is the embodied budget over the whole schedule window.
+	Budget units.GramsCO2e
+	// Parallelism is forwarded to the Shapley engines.
+	Parallelism int
+
+	// Serving knobs, forwarded to attrserver.Config.
+	CacheBytes    int64
+	CacheTTL      time.Duration
+	BatchWindow   time.Duration
+	QueryTimeout  time.Duration
+	PricePerTonne float64
+
+	// SignalURL, when set, prices periods against a remote live signal
+	// through the resilient client + last-known-good feed.
+	SignalURL        string
+	SignalResilience resilience.Config
+	SignalMaxStale   time.Duration
+}
+
+func defaultDaemonConfig() daemonConfig {
+	def := attrserver.DefaultConfig()
+	return daemonConfig{
+		Seed:             1,
+		MaxWorkloads:     14,
+		Budget:           1e6,
+		CacheBytes:       def.CacheBytes,
+		CacheTTL:         def.CacheTTL,
+		BatchWindow:      def.BatchWindow,
+		QueryTimeout:     def.QueryTimeout,
+		PricePerTonne:    def.PricePerTonne,
+		SignalResilience: resilience.DefaultConfig(),
+		SignalMaxStale:   livesignal.DefaultMaxStale,
+	}
+}
+
+func (c daemonConfig) validate() error {
+	switch {
+	case c.Budget <= 0:
+		return errors.New("budget must be positive")
+	case c.SchedulePath == "" && c.MaxWorkloads < 1:
+		return errors.New("max workloads must be positive")
+	}
+	if c.SignalURL != "" {
+		if err := c.SignalResilience.Validate(); err != nil {
+			return err
+		}
+		if c.SignalMaxStale <= 0 {
+			return errors.New("signal max-stale must be positive")
+		}
+	}
+	return nil
+}
+
+// loadSchedule reads the CSV at path, or generates a schedule with the
+// paper's parameters when path is empty.
+func loadSchedule(path string, seed int64, maxWorkloads int) (*schedule.Schedule, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return schedule.ReadCSV(f)
+	}
+	gen := schedule.DefaultGeneratorConfig()
+	gen.MaxWorkloads = maxWorkloads
+	return schedule.Generate(gen, rand.New(rand.NewSource(seed)))
+}
+
+// buildServer wires the daemon config into a serving attrserver.Server,
+// registering its instruments (and, in signal mode, the client and feed
+// instruments) on reg.
+func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sched, err := loadSchedule(cfg.SchedulePath, cfg.Seed, cfg.MaxWorkloads)
+	if err != nil {
+		return nil, fmt.Errorf("loading schedule: %w", err)
+	}
+	scfg := attrserver.DefaultConfig()
+	scfg.Schedule = sched
+	scfg.Budget = cfg.Budget
+	scfg.Parallelism = cfg.Parallelism
+	scfg.CacheBytes = cfg.CacheBytes
+	scfg.CacheTTL = cfg.CacheTTL
+	scfg.BatchWindow = cfg.BatchWindow
+	scfg.QueryTimeout = cfg.QueryTimeout
+	scfg.PricePerTonne = cfg.PricePerTonne
+	if cfg.SignalURL != "" {
+		client := (&signalserver.Client{BaseURL: cfg.SignalURL}).
+			WithResilience(cfg.SignalResilience, cfg.Seed, signalserver.NewClientInstruments(reg))
+		scfg.Feed = livesignal.NewFeed(client,
+			livesignal.FeedConfig{MaxStale: cfg.SignalMaxStale},
+			livesignal.NewFeedInstruments(reg))
+		scfg.SignalMaxStale = cfg.SignalMaxStale
+	}
+	return attrserver.New(scfg, reg)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("attribution-server: ")
+
+	def := defaultDaemonConfig()
+	var (
+		addr     = flag.String("addr", ":9103", "listen address")
+		schedCSV = flag.String("schedule", def.SchedulePath, "schedule CSV (empty = generate from -seed)")
+		seed     = flag.Int64("seed", def.Seed, "generation seed when no schedule CSV is given")
+		maxWl    = flag.Int("max-workloads", def.MaxWorkloads, "generated schedule workload cap")
+		budget   = flag.Float64("budget", float64(def.Budget), "embodied budget over the schedule window (gCO2e)")
+		workers  = flag.Int("parallelism", def.Parallelism, "Shapley engine workers (0 auto, 1 serial)")
+		cacheB   = flag.Int64("cache-bytes", def.CacheBytes, "result cache byte budget")
+		cacheTTL = flag.Duration("cache-ttl", def.CacheTTL, "result lifetime (fresh signal or static budget)")
+		window   = flag.Duration("batch-window", def.BatchWindow, "batching window gathering queries into one computation")
+		qTimeout = flag.Duration("query-timeout", def.QueryTimeout, "per-query timeout")
+		price    = flag.Float64("price-per-tonne", def.PricePerTonne, "billing price in USD per tonne CO2e")
+		sigURL   = flag.String("signal-url", def.SignalURL, "base URL of a remote signal server (empty = static budget)")
+		maxStale = flag.Duration("signal-max-stale", def.SignalMaxStale, "how long a cached signal sample may substitute for a live one")
+	)
+	resil := def.SignalResilience
+	resil.RegisterFlags(flag.CommandLine, "signal")
+	flag.Parse()
+
+	cfg := def
+	cfg.SchedulePath = *schedCSV
+	cfg.Seed = *seed
+	cfg.MaxWorkloads = *maxWl
+	cfg.Budget = units.GramsCO2e(*budget)
+	cfg.Parallelism = *workers
+	cfg.CacheBytes = *cacheB
+	cfg.CacheTTL = *cacheTTL
+	cfg.BatchWindow = *window
+	cfg.QueryTimeout = *qTimeout
+	cfg.PricePerTonne = *price
+	cfg.SignalURL = *sigURL
+	cfg.SignalMaxStale = *maxStale
+	cfg.SignalResilience = resil
+
+	srv, err := buildServer(cfg, metrics.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      *qTimeout + 10*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.ListenAndServe() }()
+	fmt.Printf("attribution-server serving on %s\n", *addr)
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight queries)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *qTimeout+5*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package attribution
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fairco2/internal/schedule"
+)
+
+// Pinned benchmarks for the attribution hot path, consumed by the CI
+// bench-regression gate (scripts/benchguard.go): the exact ground truth at
+// a Shapley-hard workload count, serial vs parallel, and the paper's
+// temporal method. Keep the schedules deterministic — the gate compares
+// medians against results/bench_baseline.json, so a drifting input would
+// read as a regression.
+
+// benchSchedule generates the gate's fixed workload mix: 16 workloads is
+// large enough that coalition enumeration (2^16 subsets) dominates.
+func benchSchedule(b *testing.B) *schedule.Schedule {
+	b.Helper()
+	cfg := schedule.DefaultGeneratorConfig()
+	cfg.MinSlices, cfg.MaxSlices = 8, 8
+	cfg.MaxWorkloads = 16
+	cfg.MaxConcurrent = 5
+	s, err := schedule.Generate(cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkGroundTruthAttribute(b *testing.B) {
+	s := benchSchedule(b)
+	const budget = 1e6
+	b.Run("serial", func(b *testing.B) {
+		m := GroundTruth{Parallelism: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Attribute(s, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		m := GroundTruth{Parallelism: 0}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Attribute(s, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTemporalShapleyAttribute(b *testing.B) {
+	s := benchSchedule(b)
+	const budget = 1e6
+	b.Run("serial", func(b *testing.B) {
+		m := TemporalShapley{Parallelism: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Attribute(s, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		m := TemporalShapley{Parallelism: 0}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Attribute(s, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

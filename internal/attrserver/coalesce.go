@@ -1,0 +1,64 @@
+package attrserver
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup is a stdlib-only singleflight: concurrent Do calls with the
+// same key share one execution of fn. The execution runs in its own
+// goroutine, so a caller abandoning its wait (context timeout) never
+// cancels the computation for the others — the result still lands in the
+// cache for the next query.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flight
+	// onDup, when set, is invoked once for every caller that attached to
+	// an already-in-flight execution instead of starting its own.
+	onDup func()
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup(onDup func()) *flightGroup {
+	return &flightGroup{calls: map[string]*flight{}, onDup: onDup}
+}
+
+// Do executes fn once per key among concurrent callers and returns the
+// shared result. Waiting is bounded by ctx; the execution itself is not.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if fl, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if g.onDup != nil {
+			g.onDup()
+		}
+		return fl.wait(ctx)
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.calls[key] = fl
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		fl.val, fl.err = v, err
+		close(fl.done)
+	}()
+	return fl.wait(ctx)
+}
+
+func (fl *flight) wait(ctx context.Context) (any, error) {
+	select {
+	case <-fl.done:
+		return fl.val, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,28 @@
+// Package attrserver is the online serving layer over the attribution
+// engines: a long-lived HTTP service that answers per-tenant attribution,
+// share and billing queries against a configured fleet schedule, without
+// re-running a batch sweep per question.
+//
+// The handlers are thin; the substrate does the work:
+//
+//   - A sharded in-memory result cache (cache.go) keyed by the same
+//     config-fingerprint machinery the checkpointed sweeps use
+//     (internal/checkpoint CRC fingerprints over the schedule, budget,
+//     method and period). Shards carry independent RW locks, LRU lists and
+//     byte budgets; entry TTL is tied to the staleness of the live signal
+//     the result was priced against (internal/livesignal's degradation
+//     ladder), so a result never outlives the signal that justified it.
+//   - Request coalescing (coalesce.go): a stdlib-only singleflight group.
+//     N concurrent queries for the same (tenant-set, period, config) key
+//     trigger exactly one Shapley computation on the parallel engine; the
+//     rest wait for the shared result.
+//   - Batched evaluation (batch.go): queries arriving within a small
+//     window for the same period are merged into one attribution call —
+//     one computation prices every tenant in the window, and the result
+//     fans back out to each waiter.
+//
+// Everything is observable: fairco2_attrserver_{requests_total,
+// cache_hits_total, cache_misses_total, cache_evictions_total,
+// coalesced_total, computations_total, batch_size, inflight} via
+// internal/metrics, plus /metrics and /healthz endpoints.
+package attrserver

@@ -1,0 +1,67 @@
+package attrserver
+
+import "fairco2/internal/metrics"
+
+// batchSizeBuckets covers the fan-out a batch window realistically gathers:
+// from the solitary query to a thundering herd.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Instruments are the serving-layer metrics. Create them once per registry
+// (the daemon uses metrics.Default(); tests use a fresh registry) and hand
+// them to New.
+type Instruments struct {
+	// Requests counts finished HTTP requests by endpoint and status code
+	// (fairco2_attrserver_requests_total).
+	Requests metrics.CounterVec
+	// CacheHits / CacheMisses count result-cache lookups on the query path.
+	CacheHits   *metrics.Counter
+	CacheMisses *metrics.Counter
+	// CacheEvictions counts entries dropped by the byte-budget LRU or by
+	// TTL expiry.
+	CacheEvictions *metrics.Counter
+	// Coalesced counts queries served by a computation they did not
+	// trigger: joins of a pending batch plus batches that attached to an
+	// already-in-flight computation.
+	Coalesced *metrics.Counter
+	// Computations counts underlying attribution computations by method —
+	// the denominator that proves coalescing works.
+	Computations metrics.CounterVec
+	// BatchSize observes how many queries each fired batch fanned out to
+	// (an in-flight computation may serve several batches).
+	BatchSize *metrics.Histogram
+	// Inflight gauges HTTP requests currently being served.
+	Inflight *metrics.Gauge
+}
+
+// NewInstruments registers the serving-layer metrics on reg.
+func NewInstruments(reg *metrics.Registry) *Instruments {
+	return &Instruments{
+		Requests: reg.NewCounterVec(
+			"fairco2_attrserver_requests_total",
+			"Attribution-service HTTP requests finished, by endpoint and status code.",
+			"endpoint", "code"),
+		CacheHits: reg.NewCounter(
+			"fairco2_attrserver_cache_hits_total",
+			"Result-cache lookups answered from the cache."),
+		CacheMisses: reg.NewCounter(
+			"fairco2_attrserver_cache_misses_total",
+			"Result-cache lookups that missed (expired or never computed)."),
+		CacheEvictions: reg.NewCounter(
+			"fairco2_attrserver_cache_evictions_total",
+			"Result-cache entries evicted by the byte-budget LRU or TTL expiry."),
+		Coalesced: reg.NewCounter(
+			"fairco2_attrserver_coalesced_total",
+			"Queries served by a computation they did not trigger (batch joins + in-flight shares)."),
+		Computations: reg.NewCounterVec(
+			"fairco2_attrserver_computations_total",
+			"Underlying attribution computations executed, by method.",
+			"method"),
+		BatchSize: reg.NewHistogram(
+			"fairco2_attrserver_batch_size",
+			"Queries fanned out together per fired batch.",
+			batchSizeBuckets),
+		Inflight: reg.NewGauge(
+			"fairco2_attrserver_inflight",
+			"HTTP requests currently in flight."),
+	}
+}

@@ -1,0 +1,129 @@
+package attrserver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fairco2/internal/checkpoint"
+	"fairco2/internal/schedule"
+	"fairco2/internal/units"
+)
+
+// Method names accepted by the query endpoints; they mirror the top-level
+// fairco2.Method* constants.
+const (
+	MethodGroundTruth        = "ground-truth"
+	MethodRUP                = "rup"
+	MethodDemandProportional = "demand-proportional"
+	MethodFairCO2            = "fair-co2"
+)
+
+// errEmptyPeriod reports a queried period with no running workloads: there
+// is nothing to attribute, which is a client error, not a server one.
+var errEmptyPeriod = errors.New("attrserver: period has no running workloads")
+
+// querySpec is a parsed, validated attribution query.
+type querySpec struct {
+	// method names the attribution method.
+	method string
+	// start and end bound the queried slice window [start, end).
+	start, end int
+	// tenant filters the response to one workload ID; -1 means all.
+	tenant int
+}
+
+// parseQuery validates the request parameters against the configured
+// schedule and method set.
+//
+//	method  attribution method name        (default fair-co2)
+//	period  slice window as "start:end"    (default the whole schedule)
+//	tenant  workload ID to filter to       (default all)
+func (s *Server) parseQuery(r *http.Request) (querySpec, error) {
+	q := querySpec{method: MethodFairCO2, start: 0, end: s.cfg.Schedule.Slices, tenant: -1}
+	vals := r.URL.Query()
+
+	if m := vals.Get("method"); m != "" {
+		if _, ok := s.methods[m]; !ok {
+			return q, fmt.Errorf("unknown method %q", m)
+		}
+		q.method = m
+	}
+	if p := vals.Get("period"); p != "" {
+		a, b, ok := strings.Cut(p, ":")
+		if !ok {
+			return q, fmt.Errorf("period %q is not start:end", p)
+		}
+		start, err1 := strconv.Atoi(a)
+		end, err2 := strconv.Atoi(b)
+		if err1 != nil || err2 != nil {
+			return q, fmt.Errorf("period %q is not start:end", p)
+		}
+		if start < 0 || end > s.cfg.Schedule.Slices || start >= end {
+			return q, fmt.Errorf("period %d:%d outside schedule window [0, %d)", start, end, s.cfg.Schedule.Slices)
+		}
+		q.start, q.end = start, end
+	}
+	if t := vals.Get("tenant"); t != "" {
+		id, err := strconv.Atoi(t)
+		if err != nil || id < 0 || id >= len(s.cfg.Schedule.Workloads) {
+			return q, fmt.Errorf("tenant %q is not a workload ID in [0, %d)", t, len(s.cfg.Schedule.Workloads))
+		}
+		q.tenant = id
+	}
+	return q, nil
+}
+
+// cacheKey identifies a result: the config fingerprint plus the query's
+// method and period. The tenant is deliberately excluded — one cached
+// vector prices every tenant in the window.
+func (q querySpec) cacheKey(fp uint32) string {
+	return fmt.Sprintf("cfg=%08x/m=%s/p=%d:%d", fp, q.method, q.start, q.end)
+}
+
+// configFingerprint keys the cache by everything a result depends on
+// besides the query itself: the schedule layout and the static budget,
+// hashed with the same CRC machinery the checkpointed sweeps use for their
+// config keys. Parallelism is excluded — attribution is bitwise-identical
+// for any worker count, the same contract checkpoint resume relies on.
+func configFingerprint(s *schedule.Schedule, budget units.GramsCO2e) uint32 {
+	vals := []uint64{
+		uint64(s.Slices),
+		math.Float64bits(float64(s.SliceDuration)),
+		math.Float64bits(float64(budget)),
+		uint64(len(s.Workloads)),
+	}
+	for _, w := range s.Workloads {
+		vals = append(vals, uint64(w.Cores), uint64(w.Start), uint64(w.Duration))
+	}
+	return checkpoint.Uint64sCRC(vals)
+}
+
+// subSchedule restricts s to the slice window [start, end), clipping
+// workloads to the window and re-identifying them densely (the schedule
+// invariants require dense IDs). The returned ids map each sub-schedule
+// workload back to its original ID.
+func subSchedule(s *schedule.Schedule, start, end int) (*schedule.Schedule, []int, error) {
+	sub := &schedule.Schedule{Slices: end - start, SliceDuration: s.SliceDuration}
+	var ids []int
+	for _, w := range s.Workloads {
+		ws, we := max(w.Start, start), min(w.End(), end)
+		if ws >= we {
+			continue
+		}
+		sub.Workloads = append(sub.Workloads, schedule.Workload{
+			ID:       len(ids),
+			Cores:    w.Cores,
+			Start:    ws - start,
+			Duration: we - ws,
+		})
+		ids = append(ids, w.ID)
+	}
+	if len(ids) == 0 {
+		return nil, nil, errEmptyPeriod
+	}
+	return sub, ids, nil
+}

@@ -1,0 +1,40 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// Config fingerprinting shared by the subsystems that key persisted or
+// cached state by configuration: the checkpointed sweeps (montecarlo,
+// temporal) refuse to resume a snapshot whose config key does not match
+// the running configuration, and the attribution query service keys its
+// result cache the same way. Centralizing the hash keeps every consumer
+// on one CRC so keys stay comparable across subsystems and releases.
+
+// Uint64sCRC returns the IEEE CRC-32 over the little-endian encoding of
+// vals — the canonical fingerprint of a sequence of integers (shapes,
+// layouts, bit-cast floats).
+func Uint64sCRC(vals []uint64) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// Float64sCRC returns the IEEE CRC-32 over the little-endian bit patterns
+// of vals. Hashing the bits (not a decimal rendering) makes the
+// fingerprint exact: any sample change, however small, changes the key.
+func Float64sCRC(vals []float64) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}

@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUint64sCRCDistinguishesSequences(t *testing.T) {
+	base := Uint64sCRC([]uint64{1, 2, 3})
+	for name, vals := range map[string][]uint64{
+		"reordered": {2, 1, 3},
+		"truncated": {1, 2},
+		"extended":  {1, 2, 3, 0},
+		"mutated":   {1, 2, 4},
+	} {
+		if got := Uint64sCRC(vals); got == base {
+			t.Errorf("%s sequence collided with base fingerprint %08x", name, base)
+		}
+	}
+	if got := Uint64sCRC([]uint64{1, 2, 3}); got != base {
+		t.Errorf("fingerprint not deterministic: %08x vs %08x", got, base)
+	}
+}
+
+func TestFloat64sCRCIsBitExact(t *testing.T) {
+	base := Float64sCRC([]float64{1.0, 2.0, 3.0})
+	// The smallest representable perturbation must change the key: the
+	// fingerprint hashes bit patterns, not rounded renderings.
+	bumped := []float64{1.0, 2.0, math.Nextafter(3.0, 4.0)}
+	if got := Float64sCRC(bumped); got == base {
+		t.Errorf("1-ulp perturbation collided with base fingerprint %08x", base)
+	}
+	// Negative zero and zero are distinct bit patterns, hence distinct keys.
+	if Float64sCRC([]float64{0}) == Float64sCRC([]float64{math.Copysign(0, -1)}) {
+		t.Error("0 and -0 produced the same fingerprint")
+	}
+	// Equality of the bits means equality of the key.
+	if got := Float64sCRC([]float64{1.0, 2.0, 3.0}); got != base {
+		t.Errorf("fingerprint not deterministic: %08x vs %08x", got, base)
+	}
+}
+
+func TestFloat64sCRCMatchesUint64sCRCOnBits(t *testing.T) {
+	vals := []float64{3.14, -2.71, 0, math.Inf(1)}
+	bits := make([]uint64, len(vals))
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	if Float64sCRC(vals) != Uint64sCRC(bits) {
+		t.Error("Float64sCRC is not the bit-cast of Uint64sCRC")
+	}
+}

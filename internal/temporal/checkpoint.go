@@ -2,11 +2,8 @@ package temporal
 
 import (
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
-	"math"
 
 	"fairco2/internal/checkpoint"
 	"fairco2/internal/shapley"
@@ -79,14 +76,9 @@ func (p *periodSweep) Restore(payload []byte) error {
 // split schedule and the backend. Parallelism is excluded — the signal is
 // identical for any worker count.
 func signalConfigKey(demand *timeseries.Series, budget units.GramsCO2e, cfg Config) string {
-	h := crc32.NewIEEE()
-	var buf [8]byte
-	for _, v := range demand.Values {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
 	return fmt.Sprintf("temporal/n=%d,start=%g,step=%g,crc=%08x,budget=%b,splits=%v,backend=%s",
-		demand.Len(), float64(demand.Start), float64(demand.Step), h.Sum32(), float64(budget), cfg.SplitRatios, cfg.Backend)
+		demand.Len(), float64(demand.Start), float64(demand.Step), checkpoint.Float64sCRC(demand.Values),
+		float64(budget), cfg.SplitRatios, cfg.Backend)
 }
 
 // IntensitySignalCheckpointed is IntensitySignal with context cancellation

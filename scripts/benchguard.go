@@ -1,0 +1,177 @@
+// Command benchguard is the CI bench-regression gate. It parses one or
+// more `go test -bench` output files, takes the median ns/op per
+// benchmark across repeats (-count=N), and compares against a committed
+// baseline:
+//
+//	go test -run '^$' -bench . -benchtime 50x -count 5 ./pkg/ > bench.txt
+//	go run scripts/benchguard.go -baseline results/bench_baseline.json bench.txt
+//
+// The gate fails when any baseline benchmark regresses by more than the
+// threshold (default 1.25: +25% ns/op), or disappears from the output.
+// Benchmarks present in the output but not the baseline are reported and
+// ignored, so adding a benchmark does not break CI until it is baselined.
+//
+// Re-baselining (after an intentional perf change or a runner change):
+//
+//	go run scripts/benchguard.go -update -baseline results/bench_baseline.json bench.txt
+//
+// and commit the result. The baseline records absolute ns/op, so it is
+// only meaningful on the machine class that produced it; regenerate it
+// from a CI run's uploaded bench output, not from a laptop.
+//
+// Benchmark names are normalized before comparison so the gate is stable
+// across hosts with different core counts: the `-<GOMAXPROCS>` suffix the
+// testing package appends is stripped, and a trailing `parallel-<n>`
+// component (the convention the repo's benchmarks use to label the
+// worker count) collapses to `parallel`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+var (
+	gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+	parallelWorkers  = regexp.MustCompile(`parallel-\d+$`)
+)
+
+// normalize makes a benchmark name host-independent (see package doc).
+func normalize(name string) string {
+	name = gomaxprocsSuffix.ReplaceAllString(name, "")
+	return parallelWorkers.ReplaceAllString(name, "parallel")
+}
+
+// parseFiles collects ns/op samples per normalized benchmark name.
+func parseFiles(paths []string) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s: bad ns/op in %q: %w", path, sc.Text(), err)
+			}
+			name := normalize(m[1])
+			samples[name] = append(samples[name], v)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	return samples, nil
+}
+
+func median(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "results/bench_baseline.json", "baseline JSON path")
+	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	update := flag.Bool("update", false, "rewrite the baseline from the given bench output instead of gating")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-update] [-baseline file] [-threshold r] <bench-output>...")
+		os.Exit(2)
+	}
+
+	samples, err := parseFiles(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	current := make(map[string]float64, len(samples))
+	for name, vals := range samples {
+		current[name] = median(vals)
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: wrote %d baseline entries to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	baseline := make(map[string]float64)
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("FAIL  %s: in baseline but missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		ratio := cur / base
+		status := "ok  "
+		if ratio > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-60s  %12.0f -> %12.0f ns/op  (x%.2f)\n", status, name, base, cur, ratio)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("new   %s: not in baseline (run -update to pin it)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond x%.2f threshold (see FAIL lines); "+
+			"if intentional, re-baseline per the header of scripts/benchguard.go\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all benchmarks within threshold")
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# covfloor.sh enforces a statement-coverage floor on one package:
+#
+#   scripts/covfloor.sh <package> <floor-percent>
+#   scripts/covfloor.sh ./internal/shapley/ 90
+#
+# Exits non-zero when `go test -coverprofile` reports total coverage
+# below the floor. Every CI coverage gate goes through this script so
+# the parsing logic lives in exactly one place.
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <package> <floor-percent>" >&2
+    exit 2
+fi
+pkg=$1
+floor=$2
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -coverprofile="$profile" "$pkg"
+pct=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "${pkg} coverage: ${pct}% (floor ${floor}%)"
+awk -v pct="$pct" -v floor="$floor" 'BEGIN { exit !(pct >= floor) }' || {
+    echo "coverage ${pct}% is below the ${floor}% floor for ${pkg}" >&2
+    exit 1
+}
