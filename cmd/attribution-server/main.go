@@ -17,6 +17,20 @@
 // With -signal-url set, period budgets are priced against the live
 // embodied intensity through the resilient signal client, and cache
 // TTLs follow the signal's staleness ladder.
+//
+// With -stream set, the daemon additionally runs the windowed streaming
+// attribution engine: a scripted replay of an Azure-like demand trace
+// (bursts, ramps and outage gaps via -stream-scenario, out-of-order
+// delivery via -stream-disorder) feeds tumbling windows whose Temporal
+// Shapley results are served live:
+//
+//	GET /v1/stream/window           -> latest closed window
+//	GET /v1/stream/window?index=4   -> a retained window by ordinal
+//	GET /v1/stream/stats            -> watermark, late/dropped counters
+//
+// -stream-once replays the whole script at maximum speed, prints the
+// summary report (windows closed, late/dropped accounting against the
+// script's oracle, watermark lag percentiles) and exits.
 package main
 
 import (
@@ -67,6 +81,9 @@ type daemonConfig struct {
 	SignalURL        string
 	SignalResilience resilience.Config
 	SignalMaxStale   time.Duration
+
+	// Stream configures the windowed streaming replay mode.
+	Stream streamOptions
 }
 
 func defaultDaemonConfig() daemonConfig {
@@ -82,6 +99,7 @@ func defaultDaemonConfig() daemonConfig {
 		PricePerTonne:    def.PricePerTonne,
 		SignalResilience: resilience.DefaultConfig(),
 		SignalMaxStale:   livesignal.DefaultMaxStale,
+		Stream:           defaultStreamOptions(),
 	}
 }
 
@@ -121,14 +139,15 @@ func loadSchedule(path string, seed int64, maxWorkloads int) (*schedule.Schedule
 
 // buildServer wires the daemon config into a serving attrserver.Server,
 // registering its instruments (and, in signal mode, the client and feed
-// instruments) on reg.
-func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, error) {
+// instruments) on reg. In stream mode the returned runtime carries the
+// engine and its replay source; the caller starts the replay.
+func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, *streamRuntime, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sched, err := loadSchedule(cfg.SchedulePath, cfg.Seed, cfg.MaxWorkloads)
 	if err != nil {
-		return nil, fmt.Errorf("loading schedule: %w", err)
+		return nil, nil, fmt.Errorf("loading schedule: %w", err)
 	}
 	scfg := attrserver.DefaultConfig()
 	scfg.Schedule = sched
@@ -147,7 +166,18 @@ func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, e
 			livesignal.NewFeedInstruments(reg))
 		scfg.SignalMaxStale = cfg.SignalMaxStale
 	}
-	return attrserver.New(scfg, reg)
+	var rt *streamRuntime
+	if cfg.Stream.Enabled {
+		if rt, err = buildStream(cfg.Stream, scfg.Feed, reg); err != nil {
+			return nil, nil, fmt.Errorf("building stream mode: %w", err)
+		}
+		scfg.Stream = rt.engine
+	}
+	srv, err := attrserver.New(scfg, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, rt, nil
 }
 
 func main() {
@@ -169,6 +199,20 @@ func main() {
 		price    = flag.Float64("price-per-tonne", def.PricePerTonne, "billing price in USD per tonne CO2e")
 		sigURL   = flag.String("signal-url", def.SignalURL, "base URL of a remote signal server (empty = static budget)")
 		maxStale = flag.Duration("signal-max-stale", def.SignalMaxStale, "how long a cached signal sample may substitute for a live one")
+
+		streamOn       = flag.Bool("stream", def.Stream.Enabled, "run the windowed streaming attribution engine fed by a trace replay")
+		streamOnce     = flag.Bool("stream-once", def.Stream.Once, "replay the stream script to completion, print the summary report and exit")
+		streamDays     = flag.Int("stream-days", def.Stream.Days, "replay trace length in days")
+		streamSeed     = flag.Int64("stream-seed", def.Stream.Seed, "replay trace + disorder script seed")
+		streamRate     = flag.Float64("stream-rate", def.Stream.Rate, "replay pacing: event-time seconds per wall second (0 = max speed)")
+		streamScenario = flag.String("stream-scenario", def.Stream.Scenario, "scenario script, e.g. burst:21600,7200,1.8;outage:50400,3600,5000")
+		streamDisorder = flag.Float64("stream-disorder", def.Stream.Disorder, "fraction of replay events delivered out of order")
+		streamDefer    = flag.Int("stream-max-defer", def.Stream.MaxDefer, "max displacement of disordered events in samples (0 = auto, stays inside the lateness budget)")
+		streamSplits   = flag.String("stream-splits", def.Stream.Splits, "per-window Temporal Shapley split ratios (product = bins per window)")
+		streamStep     = flag.Float64("stream-step", def.Stream.Step, "demand bin width in seconds")
+		streamBudget   = flag.Float64("stream-budget", def.Stream.Budget, "static carbon budget per window (gCO2e) when no -signal-url is set")
+		streamDelay    = flag.Float64("stream-max-delay", def.Stream.MaxDelay, "watermark slack in seconds: how far out of order events may arrive and still be on time")
+		streamLate     = flag.Float64("stream-lateness", def.Stream.Lateness, "allowed lateness in seconds: late events inside it re-emit a corrected window, beyond it they drop")
 	)
 	resil := def.SignalResilience
 	resil.RegisterFlags(flag.CommandLine, "signal")
@@ -188,8 +232,30 @@ func main() {
 	cfg.SignalURL = *sigURL
 	cfg.SignalMaxStale = *maxStale
 	cfg.SignalResilience = resil
+	cfg.Stream = streamOptions{
+		Enabled:  *streamOn || *streamOnce,
+		Once:     *streamOnce,
+		Days:     *streamDays,
+		Seed:     *streamSeed,
+		Rate:     *streamRate,
+		Scenario: *streamScenario,
+		Disorder: *streamDisorder,
+		MaxDefer: *streamDefer,
+		Splits:   *streamSplits,
+		Step:     *streamStep,
+		Budget:   *streamBudget,
+		MaxDelay: *streamDelay,
+		Lateness: *streamLate,
+	}
 
-	srv, err := buildServer(cfg, metrics.Default())
+	if cfg.Stream.Once {
+		if err := runStreamOnce(cfg.Stream, metrics.Default(), os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv, streamRT, err := buildServer(cfg, metrics.Default())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -209,6 +275,21 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.ListenAndServe() }()
 	fmt.Printf("attribution-server serving on %s\n", *addr)
+
+	if streamRT != nil {
+		go func() {
+			log.Printf("stream replay: %d events at %gx real-time", len(streamRT.replay.Events), cfg.Stream.Rate)
+			if err := streamRT.replay.Run(ctx, streamRT.engine.Ingest); err != nil {
+				if ctx.Err() == nil {
+					log.Printf("stream replay failed: %v", err)
+				}
+				return
+			}
+			st := streamRT.engine.Stats()
+			log.Printf("stream replay finished: %d windows closed, %d late, %d dropped",
+				st.WindowsClosed, st.Late, st.Dropped)
+		}()
+	}
 
 	select {
 	case err := <-serveErr:

@@ -86,7 +86,7 @@ func TestLoadScheduleFromCSV(t *testing.T) {
 func TestBuildServerServesQueries(t *testing.T) {
 	cfg := defaultDaemonConfig()
 	cfg.Seed = 3
-	srv, err := buildServer(cfg, metrics.NewRegistry())
+	srv, _, err := buildServer(cfg, metrics.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +133,12 @@ func TestBuildServerServesQueries(t *testing.T) {
 func TestBuildServerRejectsBadConfig(t *testing.T) {
 	cfg := defaultDaemonConfig()
 	cfg.Budget = -1
-	if _, err := buildServer(cfg, metrics.NewRegistry()); err == nil {
+	if _, _, err := buildServer(cfg, metrics.NewRegistry()); err == nil {
 		t.Error("negative budget accepted")
 	}
 	cfg = defaultDaemonConfig()
 	cfg.SchedulePath = "/nonexistent/sched.csv"
-	if _, err := buildServer(cfg, metrics.NewRegistry()); err == nil {
+	if _, _, err := buildServer(cfg, metrics.NewRegistry()); err == nil {
 		t.Error("unreadable schedule path accepted")
 	}
 }

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/metrics"
+	"fairco2/internal/stream"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+// streamOptions configure the -stream replay mode: a windowed streaming
+// attribution engine fed by a scripted replay of an Azure-like demand
+// trace, exposed through /v1/stream/ next to the batch query endpoints.
+type streamOptions struct {
+	// Enabled turns the streaming engine on; Once runs the replay to
+	// completion at maximum speed, prints a summary report and exits
+	// (the reproduce.sh demo path).
+	Enabled, Once bool
+	// Days and Seed parameterize the generated Azure-like replay trace.
+	Days int
+	Seed int64
+	// Rate is the replay pacing: event-time seconds played per wall-clock
+	// second (0 = as fast as the engine can ingest).
+	Rate float64
+	// Scenario is a trace.ParseScenario script layered over the trace
+	// (bursts, ramps, outage gaps).
+	Scenario string
+	// Disorder is the fraction of events delivered out of order; MaxDefer
+	// bounds their displacement in samples (0 = auto: half the engine's
+	// reorder+lateness horizon, which keeps every deferral inside the
+	// lateness budget).
+	Disorder float64
+	MaxDefer int
+	// Splits, Step, Budget, MaxDelay and Lateness mirror stream.Config.
+	Splits   string
+	Step     float64
+	Budget   float64
+	MaxDelay float64
+	Lateness float64
+}
+
+func defaultStreamOptions() streamOptions {
+	return streamOptions{
+		Days:     2,
+		Seed:     1,
+		Rate:     60,
+		Disorder: 0.01,
+		Splits:   "4,3,2",
+		Step:     300,
+		Budget:   1e4,
+		MaxDelay: 600,
+		Lateness: 1800,
+	}
+}
+
+// parseSplits parses a comma-separated split-ratio list like "4,3,2".
+func parseSplits(spec string) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("split ratios %q: %w", spec, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// engineConfig translates the flag-level options into a stream.Config.
+func (o streamOptions) engineConfig() (stream.Config, error) {
+	splits, err := parseSplits(o.Splits)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	return stream.Config{
+		Step:            units.Seconds(o.Step),
+		SplitRatios:     splits,
+		BudgetPerWindow: units.GramsCO2e(o.Budget),
+		MaxDelay:        units.Seconds(o.MaxDelay),
+		AllowedLateness: units.Seconds(o.Lateness),
+	}, nil
+}
+
+// streamRuntime is a built streaming mode: the engine serving /v1/stream/
+// and the scripted replay that feeds it.
+type streamRuntime struct {
+	engine *stream.Engine
+	replay *stream.Replay
+	cfg    stream.Config
+}
+
+// buildStream generates the replay trace (Azure-like shape plus the
+// scenario script), the disordered replay source and the engine. feed may
+// be nil (static per-window budgets).
+func buildStream(o streamOptions, feed *livesignal.Feed, reg *metrics.Registry) (*streamRuntime, error) {
+	if o.Days < 1 {
+		return nil, errors.New("stream replay needs at least one day of trace")
+	}
+	cfg, err := o.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Feed = feed
+	eng, err := stream.New(cfg, stream.NewInstruments(reg))
+	if err != nil {
+		return nil, err
+	}
+
+	tcfg := trace.DefaultAzureLikeConfig()
+	tcfg.Days = o.Days
+	tcfg.Step = units.Seconds(o.Step)
+	tcfg.Seed = o.Seed
+	series, err := trace.GenerateAzureLike(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("generating replay trace: %w", err)
+	}
+	sc, err := trace.ParseScenario(o.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.IsZero() {
+		if series, err = sc.Apply(series); err != nil {
+			return nil, err
+		}
+	}
+
+	maxDefer := o.MaxDefer
+	if maxDefer == 0 {
+		if maxDefer = int((o.MaxDelay + o.Lateness) / o.Step / 2); maxDefer < 1 {
+			maxDefer = 1
+		}
+	}
+	rep, err := stream.NewReplay(series, stream.ReplayConfig{
+		RateMultiplier:   o.Rate,
+		Seed:             o.Seed,
+		DisorderFraction: o.Disorder,
+		MinDefer:         1,
+		MaxDefer:         maxDefer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &streamRuntime{engine: eng, replay: rep, cfg: cfg}, nil
+}
+
+// runStreamOnce replays the scripted trace to completion at maximum speed
+// and writes the demo report: window counts, late/dropped accounting
+// against the script's oracle, and watermark close-lag percentiles.
+func runStreamOnce(o streamOptions, reg *metrics.Registry, w io.Writer) error {
+	o.Rate = 0
+	rt, err := buildStream(o, nil, reg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := rt.replay.Run(context.Background(), rt.engine.Ingest); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	st := rt.engine.Stats()
+	exp := rt.replay.Expected(rt.cfg)
+	span := float64(o.Days) * units.SecondsPerDay
+	fmt.Fprintf(w, "streaming replay: %d events over %d day(s) of event time in %s (%.0fx real-time)\n",
+		st.Events, o.Days, elapsed.Round(time.Millisecond), span/elapsed.Seconds())
+	fmt.Fprintf(w, "window: %d bins x %.0fs = %.0fs, max delay %.0fs, allowed lateness %.0fs\n",
+		rt.cfg.Samples(), o.Step, float64(rt.cfg.WindowDuration()), o.MaxDelay, o.Lateness)
+	if o.Scenario != "" {
+		fmt.Fprintf(w, "scenario script: %s\n", o.Scenario)
+	}
+	fmt.Fprintf(w, "windows closed: %d   re-emissions: %d\n", st.WindowsClosed, st.Reemissions)
+	fmt.Fprintf(w, "late events: %d (script expected %d)   dropped events: %d (script expected %d)\n",
+		st.Late, exp.Late, st.Dropped, exp.Dropped)
+	if st.Late != exp.Late || st.Dropped != exp.Dropped {
+		return fmt.Errorf("engine accounting disagrees with the replay oracle: %s", exp.Summary())
+	}
+	if qs := rt.engine.CloseLagQuantiles(0.5, 0.9, 0.99); qs != nil {
+		fmt.Fprintf(w, "watermark close lag p50/p90/p99: %.0fs / %.0fs / %.0fs\n",
+			float64(qs[0]), float64(qs[1]), float64(qs[2]))
+	}
+	if res, ok := rt.engine.Latest(); ok {
+		fmt.Fprintf(w, "latest window %d [%.0fs, %.0fs): quality=%s budget=%.1f gCO2e revision=%d\n",
+			res.Index, float64(res.Start), float64(res.End), res.Quality, res.Budget, res.Revision)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fairco2/internal/metrics"
+)
+
+// fastStreamOptions is a small replay the tests can run to completion:
+// one day of 5-minute samples in 2-hour windows, no pacing.
+func fastStreamOptions() streamOptions {
+	o := defaultStreamOptions()
+	o.Enabled = true
+	o.Days = 1
+	o.Rate = 0
+	return o
+}
+
+func TestParseSplits(t *testing.T) {
+	got, err := parseSplits(" 4, 3 ,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 4 || got[1] != 3 || got[2] != 2 {
+		t.Errorf("parseSplits = %v", got)
+	}
+	for _, bad := range []string{"", "4,,2", "4,x", "4;3"} {
+		if _, err := parseSplits(bad); err == nil {
+			t.Errorf("splits %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildStreamRejectsBadOptions(t *testing.T) {
+	bad := []func(*streamOptions){
+		func(o *streamOptions) { o.Days = 0 },
+		func(o *streamOptions) { o.Splits = "4,zero" },
+		func(o *streamOptions) { o.Splits = "4,0" },
+		func(o *streamOptions) { o.Budget = 0 },
+		func(o *streamOptions) { o.Scenario = "burst:1,2" },
+		func(o *streamOptions) { o.Disorder = 2 },
+	}
+	for i, mutate := range bad {
+		o := fastStreamOptions()
+		mutate(&o)
+		if _, err := buildStream(o, nil, metrics.NewRegistry()); err == nil {
+			t.Errorf("case %d: invalid stream options accepted", i)
+		}
+	}
+}
+
+func TestBuildServerStreamModeServesWindows(t *testing.T) {
+	cfg := defaultDaemonConfig()
+	cfg.Stream = fastStreamOptions()
+	srv, rt, err := buildServer(cfg, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt == nil {
+		t.Fatal("stream mode built no runtime")
+	}
+	if err := rt.replay.Run(context.Background(), rt.engine.Ingest); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream/window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream window status %d", resp.StatusCode)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	// One day of 5-minute samples in 24-bin windows = 12 windows; the
+	// last cannot close (the watermark never passes the trace end).
+	if idx := raw["index"].(float64); idx != 10 {
+		t.Errorf("latest window = %v, want 10", idx)
+	}
+	if n := len(raw["intensity_g_per_core_second"].([]any)); n != 24 {
+		t.Errorf("window has %d bins, want 24", n)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/stream/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st struct {
+		Events        uint64 `json:"events"`
+		WindowsClosed uint64 `json:"windows_closed"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 288 || st.WindowsClosed != 11 {
+		t.Errorf("stats = %+v, want 288 events and 11 closed windows", st)
+	}
+
+	// The batch endpoints keep serving next to the stream.
+	if resp, err := http.Get(ts.URL + "/v1/attribution?method=rup"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("batch endpoint broken in stream mode: (%v, %v)", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestRunStreamOnceReport(t *testing.T) {
+	o := fastStreamOptions()
+	o.Scenario = "burst:21600,7200,1.8;outage:50400,3600,5000"
+	o.Disorder = 0.05
+	var buf strings.Builder
+	if err := runStreamOnce(o, metrics.NewRegistry(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	for _, want := range []string{
+		"streaming replay: 288 events",
+		"windows closed: 11",
+		"late events:",
+		"dropped events:",
+		"watermark close lag p50/p90/p99:",
+		"scenario script: burst:21600,7200,1.8;outage:50400,3600,5000",
+		"latest window 10",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunStreamOnceRejectsBadScript(t *testing.T) {
+	o := fastStreamOptions()
+	o.Scenario = "nonsense"
+	var buf strings.Builder
+	if err := runStreamOnce(o, metrics.NewRegistry(), &buf); err == nil {
+		t.Error("bad scenario script accepted")
+	}
+}

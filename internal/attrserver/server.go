@@ -13,6 +13,7 @@ import (
 	"fairco2/internal/livesignal"
 	"fairco2/internal/metrics"
 	"fairco2/internal/schedule"
+	"fairco2/internal/stream"
 	"fairco2/internal/units"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	// ties cache TTLs to the signal's staleness ladder. When nil, the
 	// static Budget is prorated by period length.
 	Feed *livesignal.Feed
+	// Stream, when set, exposes the windowed streaming engine's retained
+	// per-window results under /v1/stream/; response freshness follows
+	// each result's pricing quality on the livesignal ladder.
+	Stream *stream.Engine
 	// SignalMaxStale mirrors the feed's staleness bound: a result priced
 	// against a stale sample never outlives what remains of it (default
 	// livesignal.DefaultMaxStale).
@@ -268,6 +273,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/billing", s.queryHandler("billing", renderBilling))
 	mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.reg.Handler()))
+	if s.cfg.Stream != nil {
+		mux.Handle("GET /v1/stream/window", s.instrument("stream-window", http.HandlerFunc(s.handleStreamWindow)))
+		mux.Handle("GET /v1/stream/stats", s.instrument("stream-stats", http.HandlerFunc(s.handleStreamStats)))
+	}
 	return mux
 }
 

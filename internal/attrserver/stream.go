@@ -1,0 +1,125 @@
+package attrserver
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fairco2/internal/livesignal"
+)
+
+// Streaming endpoints: when Config.Stream is set, the server exposes the
+// windowed streaming engine's per-window Temporal Shapley results next to
+// the batch query endpoints. Stream results are pushed by the engine as
+// the watermark closes windows, so the handlers only read retained state —
+// no computation happens on the request path. Freshness is communicated
+// through Cache-Control max-age picked from the result's pricing quality
+// on the livesignal ladder: fresh (and static/empty) results live a full
+// CacheTTL, stale results only what remains of the staleness bound, and
+// degraded results the short DegradedTTL so recovery is re-checked quickly.
+
+// streamWindowJSON is the wire shape of one streamed window result.
+type streamWindowJSON struct {
+	Index           int64      `json:"index"`
+	StartSeconds    float64    `json:"start_seconds"`
+	EndSeconds      float64    `json:"end_seconds"`
+	BudgetGrams     float64    `json:"budget_gco2e"`
+	Signal          signalJSON `json:"signal"`
+	Revision        int        `json:"revision"`
+	Events          int        `json:"events"`
+	LateEvents      int        `json:"late_events"`
+	CloseLagSeconds float64    `json:"close_lag_seconds"`
+	EmittedAt       time.Time  `json:"emitted_at"`
+	Intensity       []float64  `json:"intensity_g_per_core_second"`
+}
+
+// streamStatsJSON is the wire shape of the engine counters.
+type streamStatsJSON struct {
+	Events              uint64    `json:"events"`
+	LateEvents          uint64    `json:"late_events"`
+	DroppedEvents       uint64    `json:"dropped_events"`
+	WindowsClosed       uint64    `json:"windows_closed"`
+	Reemissions         uint64    `json:"reemissions"`
+	WatermarkSeconds    float64   `json:"watermark_seconds"`
+	MaxEventTimeSeconds float64   `json:"max_event_time_seconds"`
+	OpenWindows         int       `json:"open_windows"`
+	LatestWindow        int64     `json:"latest_window"`
+	CloseLagSeconds     []float64 `json:"close_lag_seconds_p50_p90_p99,omitempty"`
+}
+
+// streamTTL maps a window result's pricing quality to the max-age the
+// response may be cached for, following the livesignal ladder.
+func (s *Server) streamTTL(quality string, age time.Duration) time.Duration {
+	switch quality {
+	case livesignal.QualityStale.String():
+		remaining := s.cfg.SignalMaxStale - age
+		if remaining > s.cfg.CacheTTL {
+			remaining = s.cfg.CacheTTL
+		}
+		if remaining < time.Second {
+			remaining = time.Second
+		}
+		return remaining
+	case livesignal.QualityDegraded.String():
+		return s.cfg.DegradedTTL
+	default: // fresh, static, empty
+		return s.cfg.CacheTTL
+	}
+}
+
+// handleStreamWindow serves one retained window result: the latest by
+// default, or the one named by ?index=N.
+func (s *Server) handleStreamWindow(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.cfg.Stream.Latest()
+	if raw := r.URL.Query().Get("index"); raw != "" && raw != "latest" {
+		idx, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || idx < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("attrserver: index must be \"latest\" or a non-negative integer"))
+			return
+		}
+		res, ok = s.cfg.Stream.Window(idx)
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("attrserver: window not retained (not closed yet, or evicted from the result ring)"))
+		return
+	}
+	ttl := s.streamTTL(res.Quality, res.SignalAge)
+	w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(int(ttl.Seconds())))
+	writeJSON(w, http.StatusOK, streamWindowJSON{
+		Index:           res.Index,
+		StartSeconds:    float64(res.Start),
+		EndSeconds:      float64(res.End),
+		BudgetGrams:     res.Budget,
+		Signal:          signalJSON{Quality: res.Quality, Intensity: res.SignalIntensity},
+		Revision:        res.Revision,
+		Events:          res.Events,
+		LateEvents:      res.Late,
+		CloseLagSeconds: float64(res.CloseLag),
+		EmittedAt:       res.EmittedAt,
+		Intensity:       res.Intensity,
+	})
+}
+
+// handleStreamStats serves the engine counters and close-lag percentiles.
+func (s *Server) handleStreamStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Stream.Stats()
+	out := streamStatsJSON{
+		Events:              st.Events,
+		LateEvents:          st.Late,
+		DroppedEvents:       st.Dropped,
+		WindowsClosed:       st.WindowsClosed,
+		Reemissions:         st.Reemissions,
+		WatermarkSeconds:    float64(st.Watermark),
+		MaxEventTimeSeconds: float64(st.MaxEventTime),
+		OpenWindows:         st.OpenWindows,
+		LatestWindow:        st.LatestWindow,
+	}
+	if qs := s.cfg.Stream.CloseLagQuantiles(0.5, 0.9, 0.99); qs != nil {
+		out.CloseLagSeconds = make([]float64, len(qs))
+		for i, q := range qs {
+			out.CloseLagSeconds[i] = float64(q)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

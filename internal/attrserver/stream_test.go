@@ -1,0 +1,180 @@
+package attrserver
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/stream"
+	"fairco2/internal/units"
+)
+
+// newStreamEngine builds a small engine and closes its first two windows:
+// 1-second bins, 6-bin windows, one late correction landing in window 0.
+func newStreamEngine(t *testing.T, mutate func(*stream.Config)) *stream.Engine {
+	t.Helper()
+	cfg := stream.Config{
+		Step:            1,
+		SplitRatios:     []int{3, 2},
+		BudgetPerWindow: 600,
+		MaxDelay:        4,
+		AllowedLateness: 12,
+		MaxResults:      8,
+		Parallelism:     1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := stream.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ { // closes windows 0 and 1 (watermark reaches 12)
+		if err := e.Ingest(stream.Event{Time: units.Seconds(i), Cores: float64(10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Ingest(stream.Event{Time: 3, Cores: 99}); err != nil { // late into window 0
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestStreamWindowEndpoint(t *testing.T) {
+	eng := newStreamEngine(t, nil)
+	s, _ := newTestServer(t, nil, func(c *Config) { c.Stream = eng })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var latest streamWindowJSON
+	if code := getJSON(t, ts.URL+"/v1/stream/window", &latest); code != http.StatusOK {
+		t.Fatalf("latest window status %d", code)
+	}
+	if latest.Index != 1 || len(latest.Intensity) != 6 {
+		t.Fatalf("latest = %+v", latest)
+	}
+
+	var w0 streamWindowJSON
+	if code := getJSON(t, ts.URL+"/v1/stream/window?index=0", &w0); code != http.StatusOK {
+		t.Fatal("window 0 not served")
+	}
+	if w0.Index != 0 || w0.Revision != 1 || w0.LateEvents != 1 {
+		t.Fatalf("window 0 missing its late correction: %+v", w0)
+	}
+	if w0.StartSeconds != 0 || w0.EndSeconds != 6 || w0.BudgetGrams != 600 {
+		t.Fatalf("window 0 bounds/budget: %+v", w0)
+	}
+	if w0.Signal.Quality != "static" {
+		t.Fatalf("quality = %q, want static", w0.Signal.Quality)
+	}
+
+	// The static-budget result advertises the full CacheTTL.
+	resp, err := http.Get(ts.URL + "/v1/stream/window?index=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := "max-age=" + strconv.Itoa(int(DefaultConfig().CacheTTL.Seconds()))
+	if cc := resp.Header.Get("Cache-Control"); cc != want {
+		t.Errorf("Cache-Control = %q, want %q", cc, want)
+	}
+
+	for _, bad := range []string{"?index=-1", "?index=abc"} {
+		if code := getJSON(t, ts.URL+"/v1/stream/window"+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("index %q status %d, want 400", bad, code)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/stream/window?index=7", nil); code != http.StatusNotFound {
+		t.Error("unretained window did not 404")
+	}
+}
+
+func TestStreamStatsEndpoint(t *testing.T) {
+	eng := newStreamEngine(t, nil)
+	s, _ := newTestServer(t, nil, func(c *Config) { c.Stream = eng })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st streamStatsJSON
+	if code := getJSON(t, ts.URL+"/v1/stream/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Events != 18 || st.LateEvents != 1 || st.WindowsClosed != 2 || st.Reemissions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LatestWindow != 1 || st.WatermarkSeconds != 12 {
+		t.Fatalf("frontier wrong: %+v", st)
+	}
+	if len(st.CloseLagSeconds) != 3 {
+		t.Fatalf("expected 3 close-lag percentiles, got %v", st.CloseLagSeconds)
+	}
+}
+
+func TestStreamEndpointsAbsentWithoutEngine(t *testing.T) {
+	s, _ := newTestServer(t, nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/stream/window", nil); code != http.StatusNotFound {
+		t.Errorf("stream route registered without an engine: status %d", code)
+	}
+}
+
+// failingSource always errors, driving a feed straight to degraded.
+type failingSource struct{}
+
+func (failingSource) Current() (float64, error) { return 0, errors.New("down") }
+
+func TestStreamTTLFollowsQualityLadder(t *testing.T) {
+	// Degraded pricing advertises the short DegradedTTL.
+	feed := livesignal.NewFeed(failingSource{}, livesignal.FeedConfig{}, nil)
+	eng := newStreamEngine(t, func(c *stream.Config) { c.Feed = feed })
+	s, _ := newTestServer(t, nil, func(c *Config) { c.Stream = eng })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream/window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := "max-age=" + strconv.Itoa(int(DefaultConfig().DegradedTTL.Seconds()))
+	if cc := resp.Header.Get("Cache-Control"); cc != want {
+		t.Errorf("degraded Cache-Control = %q, want %q", cc, want)
+	}
+
+	// The ladder arithmetic itself: stale results get only what remains of
+	// the staleness bound, floored at one second.
+	srv, _ := newTestServer(t, nil, nil)
+	stale := livesignal.QualityStale.String()
+	if ttl := srv.streamTTL(stale, srv.cfg.SignalMaxStale-10*time.Second); ttl != 10*time.Second {
+		t.Errorf("stale TTL = %v, want 10s", ttl)
+	}
+	if ttl := srv.streamTTL(stale, srv.cfg.SignalMaxStale+time.Minute); ttl != time.Second {
+		t.Errorf("expired-stale TTL = %v, want the 1s floor", ttl)
+	}
+	if ttl := srv.streamTTL(stale, 0); ttl != srv.cfg.CacheTTL {
+		t.Errorf("barely-stale TTL = %v, want capped at CacheTTL %v", ttl, srv.cfg.CacheTTL)
+	}
+	if ttl := srv.streamTTL("fresh", 0); ttl != srv.cfg.CacheTTL {
+		t.Errorf("fresh TTL = %v, want CacheTTL", ttl)
+	}
+}
+
+func TestStreamEndpointsAreInstrumented(t *testing.T) {
+	eng := newStreamEngine(t, nil)
+	s, _ := newTestServer(t, nil, func(c *Config) { c.Stream = eng })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/stream/window", nil); code != http.StatusOK {
+		t.Fatal("window fetch failed")
+	}
+	body := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `endpoint="stream-window"`) {
+		t.Error("stream-window requests not counted in the endpoint metric")
+	}
+}

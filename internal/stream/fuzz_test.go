@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+// fuzzEvents decodes an arbitrary byte string into a valid event sequence:
+// each pair of bytes is one event, the first byte a signed event-time jump
+// (so the fuzzer scripts arbitrary disorder), the second the demand. Times
+// clamp at the epoch so every decoded event is ingestible.
+func fuzzEvents(data []byte) []Event {
+	events := make([]Event, 0, len(data)/2)
+	t := 0.0
+	for i := 0; i+1 < len(data); i += 2 {
+		t += float64(int(data[i]) - 96) // jumps in [-96, +159]
+		if t < 0 {
+			t = 0
+		}
+		events = append(events, Event{Time: units.Seconds(t), Cores: float64(data[i+1])})
+	}
+	return events
+}
+
+// FuzzWatermarkAssigner drives the watermark assigner with arbitrary
+// event orderings and checks its invariants: ingest never fails on valid
+// events, the late/dropped classification matches the independent Expect
+// oracle, the watermark trails the frontier by exactly MaxDelay, the
+// window ring never overflows, and the whole run is deterministic.
+func FuzzWatermarkAssigner(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{100, 10, 100, 20, 100, 30})                   // in order
+	f.Add([]byte{200, 50, 0, 50, 200, 50, 0, 50})              // wild swings
+	f.Add([]byte{97, 1, 97, 2, 97, 3, 10, 4, 97, 5, 255, 6})   // small steps, one deep rewind
+	f.Add([]byte{159, 0, 159, 0, 159, 0, 96, 9, 96, 9, 96, 9}) // zero demand then stalls
+
+	cfg := Config{
+		Step:            1,
+		SplitRatios:     []int{3, 2},
+		BudgetPerWindow: 100,
+		MaxDelay:        4,
+		AllowedLateness: 8,
+		MaxResults:      8,
+		Parallelism:     1,
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := fuzzEvents(data)
+		run := func() Stats {
+			e, err := New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events {
+				if err := e.Ingest(ev); err != nil {
+					t.Fatalf("valid event %+v rejected: %v", ev, err)
+				}
+			}
+			st := e.Stats()
+			if st.OpenWindows > len(e.ring) {
+				t.Fatalf("open windows %d exceed ring size %d", st.OpenWindows, len(e.ring))
+			}
+			return st
+		}
+		st := run()
+		if st.Events != uint64(len(events)) {
+			t.Fatalf("ingested %d of %d events", st.Events, len(events))
+		}
+		if len(events) > 0 && st.Watermark != st.MaxEventTime-cfg.MaxDelay {
+			t.Fatalf("watermark %v does not trail frontier %v by %v",
+				st.Watermark, st.MaxEventTime, cfg.MaxDelay)
+		}
+		exp := Expect(events, cfg)
+		if st.Late != exp.Late || st.Dropped != exp.Dropped {
+			t.Fatalf("engine accounting %+v disagrees with oracle %s", st, exp.Summary())
+		}
+		if again := run(); again != st {
+			t.Fatalf("same event sequence produced different stats: %+v vs %+v", st, again)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+)
+
+// goldenTrace is a 2-day Azure-like trace at 5-minute sampling: 576
+// samples, 24 windows of 24 samples (split 4x3x2).
+func goldenTrace(t *testing.T) *timeseries.Series {
+	t.Helper()
+	cfg := trace.DefaultAzureLikeConfig()
+	cfg.Days = 2
+	cfg.Seed = 42
+	s, err := trace.GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func goldenConfig() Config {
+	return Config{
+		Step:            300,
+		SplitRatios:     []int{4, 3, 2},
+		BudgetPerWindow: 5000,
+		MaxDelay:        600,
+		AllowedLateness: 7200,
+		MaxResults:      64,
+		Parallelism:     1,
+	}
+}
+
+// batchWindow computes the batch Temporal Shapley signal over window w of
+// the trace, exactly as the streaming engine should.
+func batchWindow(t *testing.T, s *timeseries.Series, cfg Config, w int) []float64 {
+	t.Helper()
+	n := cfg.Samples()
+	sub := timeseries.New(s.TimeAt(w*n), s.Step, s.Values[w*n:(w+1)*n])
+	sig, err := temporal.IntensitySignal(sub, cfg.BudgetPerWindow,
+		temporal.Config{SplitRatios: cfg.SplitRatios, Backend: cfg.Backend, Parallelism: cfg.Parallelism})
+	if err != nil {
+		t.Fatalf("batch window %d: %v", w, err)
+	}
+	return sig.Values
+}
+
+// compareBits requires bit-for-bit equality between a streamed window
+// result and its batch counterpart.
+func compareBits(t *testing.T, w int, streamed, batch []float64) {
+	t.Helper()
+	if len(streamed) != len(batch) {
+		t.Fatalf("window %d: %d streamed samples vs %d batch", w, len(streamed), len(batch))
+	}
+	for i := range batch {
+		if math.Float64bits(streamed[i]) != math.Float64bits(batch[i]) {
+			t.Fatalf("window %d sample %d: streamed %x != batch %x (%v vs %v)",
+				w, i, math.Float64bits(streamed[i]), math.Float64bits(batch[i]), streamed[i], batch[i])
+		}
+	}
+}
+
+// TestGoldenStreamedMatchesBatchInOrder pins the core determinism claim:
+// an in-order replay yields per-window intensity signals bit-for-bit
+// identical to the batch engine over the same windows.
+func TestGoldenStreamedMatchesBatchInOrder(t *testing.T) {
+	s := goldenTrace(t)
+	cfg := goldenConfig()
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(s, ReplayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Run(context.Background(), e.Ingest); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Events != uint64(s.Len()) || st.Late != 0 || st.Dropped != 0 {
+		t.Fatalf("unexpected accounting for in-order replay: %+v", st)
+	}
+	// The final window never closes: the watermark cannot pass its end.
+	windows := s.Len() / cfg.Samples()
+	if st.WindowsClosed != uint64(windows-1) {
+		t.Fatalf("closed %d of %d windows", st.WindowsClosed, windows)
+	}
+	for w := 0; w < windows-1; w++ {
+		res, ok := e.Window(int64(w))
+		if !ok {
+			t.Fatalf("no result for window %d", w)
+		}
+		if res.Revision != 0 {
+			t.Errorf("window %d re-emitted without late events", w)
+		}
+		compareBits(t, w, res.Intensity, batchWindow(t, s, cfg, w))
+	}
+}
+
+// TestGoldenOutOfOrderReplayConverges pins the late-event contract: a
+// scripted out-of-order replay whose every displaced event stays inside
+// the allowed-lateness budget ends bit-for-bit identical to batch, with
+// the corrections visible as re-emissions.
+func TestGoldenOutOfOrderReplayConverges(t *testing.T) {
+	s := goldenTrace(t)
+	cfg := goldenConfig()
+	// Defer 15% of events by 2..12 samples (600..3600s). With 600s of
+	// watermark slack, deferrals that overshoot a window boundary arrive
+	// late; dropping would take a ~29-sample deferral (end + 7200s + 600s
+	// of slack), so the 7200s lateness budget keeps every one of these.
+	rep, err := NewReplay(s, ReplayConfig{Seed: 7, DisorderFraction: 0.15, MinDefer: 2, MaxDefer: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := rep.Expected(cfg)
+	if exp.Late == 0 {
+		t.Fatal("scripted disorder produced no late events; test is vacuous")
+	}
+	if exp.Dropped != 0 {
+		t.Fatalf("scripted disorder exceeds the lateness budget: %s", exp.Summary())
+	}
+
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Run(context.Background(), e.Ingest); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Late != exp.Late || st.Dropped != 0 {
+		t.Fatalf("engine accounting %+v disagrees with oracle %s", st, exp.Summary())
+	}
+	if st.Reemissions == 0 {
+		t.Fatal("late events produced no re-emissions")
+	}
+	windows := s.Len() / cfg.Samples()
+	for w := 0; w < windows-1; w++ {
+		res, ok := e.Window(int64(w))
+		if !ok {
+			t.Fatalf("no result for window %d", w)
+		}
+		compareBits(t, w, res.Intensity, batchWindow(t, s, cfg, w))
+	}
+}
+
+// TestGoldenScenarioReplay runs the full pipeline — scenario script over
+// the trace, disordered replay, streamed attribution — and checks batch
+// equivalence on the perturbed series.
+func TestGoldenScenarioReplay(t *testing.T) {
+	base := goldenTrace(t)
+	sc, err := trace.ParseScenario("burst:21600,7200,1.8;outage:50400,3600,5000;ramp:86400,43200,1,1.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sc.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig()
+	rep, err := NewReplay(s, ReplayConfig{Seed: 3, DisorderFraction: 0.05, MinDefer: 1, MaxDefer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Run(context.Background(), e.Ingest); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	exp := rep.Expected(cfg)
+	if st.Late != exp.Late || st.Dropped != exp.Dropped {
+		t.Fatalf("engine %+v disagrees with oracle %s", st, exp.Summary())
+	}
+	windows := s.Len() / cfg.Samples()
+	for w := 0; w < windows-1; w++ {
+		res, ok := e.Window(int64(w))
+		if !ok {
+			t.Fatalf("no result for window %d", w)
+		}
+		compareBits(t, w, res.Intensity, batchWindow(t, s, cfg, w))
+	}
+}

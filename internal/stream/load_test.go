@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/trace"
+	"fairco2/internal/units"
+)
+
+// loadConfig is the sustained-replay engine config: 5-second samples in
+// 24-bin windows (2 minutes of event time per window), 4 samples of reorder
+// slack and 12 samples of lateness.
+func loadConfig() Config {
+	return Config{
+		Step:            5,
+		SplitRatios:     []int{4, 3, 2},
+		BudgetPerWindow: 1000,
+		MaxDelay:        20,
+		AllowedLateness: 60,
+		MaxResults:      64,
+		Parallelism:     1,
+	}
+}
+
+// loadTrace synthesizes n 5-second samples of Azure-like demand.
+func loadTrace(t testing.TB, n int) *timeseries.Series {
+	t.Helper()
+	cfg := trace.DefaultAzureLikeConfig()
+	cfg.Step = 5
+	cfg.Days = (n*5)/int(units.SecondsPerDay) + 1
+	cfg.Seed = 11
+	s, err := trace.GenerateAzureLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < n {
+		t.Fatalf("trace too short: %d < %d", s.Len(), n)
+	}
+	sub := timeseries.New(0, 5, s.Values[:n])
+	return sub
+}
+
+// TestSustainedReplayLoad is the load-test acceptance gate: a disordered
+// replay of millions of events at (far beyond) 10x real-time completes
+// with bounded heap growth, and the engine's dropped counter — both the
+// Stats snapshot and fairco2_stream_dropped_events_total — exactly matches
+// the replay script's beyond-lateness count from the Expect oracle.
+func TestSustainedReplayLoad(t *testing.T) {
+	n := 2_000_000
+	if raceEnabled {
+		n = 500_000 // the detector multiplies both time and heap
+	}
+	if testing.Short() {
+		n = 200_000
+	}
+	s := loadTrace(t, n)
+	rep, err := NewReplay(s, ReplayConfig{
+		Seed:             13,
+		DisorderFraction: 0.02,
+		MinDefer:         8,
+		MaxDefer:         40, // up to 200s of displacement: beyond the 60s lateness budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loadConfig()
+	exp := rep.Expected(cfg)
+	if exp.Late == 0 || exp.Dropped == 0 {
+		t.Fatalf("script must exercise both late and dropped paths: %s", exp.Summary())
+	}
+
+	reg := metrics.NewRegistry()
+	e, err := New(cfg, NewInstruments(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := rep.Run(context.Background(), e.Ingest); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	// >= 10x real-time: the replayed event-time span must shrink by at
+	// least that factor in wall time.
+	span := time.Duration(float64(n) * 5 * float64(time.Second))
+	if elapsed > span/10 {
+		t.Errorf("replay of %v of event time took %v; slower than 10x real-time", span, elapsed)
+	}
+
+	// Bounded memory: steady-state streaming must not accumulate per-event
+	// state. The engine retains only the window ring, the result ring and
+	// the capped lag reservoir, so live heap growth stays far below the
+	// event volume (32 MiB of replay script alone).
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 16<<20 {
+		t.Errorf("heap grew %d bytes across replay; streaming state is not bounded", growth)
+	}
+
+	st := e.Stats()
+	if st.Events != uint64(n) {
+		t.Fatalf("ingested %d of %d events", st.Events, n)
+	}
+	if st.Late != exp.Late || st.Dropped != exp.Dropped {
+		t.Fatalf("engine accounting %+v disagrees with oracle %s", st, exp.Summary())
+	}
+	if got := instValue(t, reg, "fairco2_stream_dropped_events_total"); got != float64(exp.Dropped) {
+		t.Errorf("fairco2_stream_dropped_events_total = %v, want %d", got, exp.Dropped)
+	}
+	if st.OpenWindows > len(e.ring) {
+		t.Errorf("open windows %d exceed ring size %d", st.OpenWindows, len(e.ring))
+	}
+	if st.WindowsClosed == 0 || st.Reemissions == 0 {
+		t.Errorf("load run closed %d windows with %d re-emissions; expected sustained churn",
+			st.WindowsClosed, st.Reemissions)
+	}
+}
+
+// TestSteadyStateIngestDoesNotAllocate pins the zero-allocation contract on
+// the hot path: an in-window event that closes nothing must not allocate.
+func TestSteadyStateIngestDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg := Config{
+		Step:            1,
+		SplitRatios:     []int{60, 60}, // one-hour windows: no closes during the probe
+		BudgetPerWindow: 1000,
+		MaxDelay:        10,
+		AllowedLateness: 30,
+	}
+	e, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(Event{Time: 0, Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tnow := 1.0
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			tnow += 0.01
+			if err := e.Ingest(Event{Time: units.Seconds(tnow), Cores: 50}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state ingest allocates %v times per 16-event batch", avg)
+	}
+}
+
+// BenchmarkStreamIngest measures the amortized per-event ingest cost under
+// a continuously advancing stream: in-window binning, watermark advance and
+// one window close every 24 events.
+func BenchmarkStreamIngest(b *testing.B) {
+	e, err := New(loadConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := Event{Time: units.Seconds(float64(i) * 5), Cores: float64(100 + i%17)}
+		if err := e.Ingest(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamWindowClose measures one full window lifecycle: 24 binned
+// events plus the close — pricing, the closed-form Temporal Shapley solve
+// over the window's bins, and result-ring publication.
+func BenchmarkStreamWindowClose(b *testing.B) {
+	cfg := loadConfig()
+	e, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := cfg.Samples()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := float64(i * samples)
+		for j := 0; j < samples; j++ {
+			ev := Event{Time: units.Seconds((base + float64(j)) * 5), Cores: float64(100 + j)}
+			if err := e.Ingest(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

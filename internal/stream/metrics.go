@@ -1,0 +1,67 @@
+package stream
+
+import "fairco2/internal/metrics"
+
+// windowLatencyBuckets cover one window emission: from a cache-warm
+// closed-form solve (tens of microseconds) to a degraded pricing round trip.
+var windowLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+
+// Instruments are the streaming-engine metrics. Create them once per
+// registry and hand them to New.
+type Instruments struct {
+	// Events counts every valid ingested event
+	// (fairco2_stream_events_total).
+	Events *metrics.Counter
+	// Late counts events applied to an already-closed window inside the
+	// lateness budget (fairco2_stream_late_events_total).
+	Late *metrics.Counter
+	// Dropped counts events beyond the lateness budget
+	// (fairco2_stream_dropped_events_total).
+	Dropped *metrics.Counter
+	// WindowsClosed counts first emissions
+	// (fairco2_stream_windows_closed_total).
+	WindowsClosed *metrics.Counter
+	// Reemissions counts late-event corrections
+	// (fairco2_stream_reemissions_total).
+	Reemissions *metrics.Counter
+	// Watermark is the current low-watermark position in event time
+	// (fairco2_stream_watermark_seconds).
+	Watermark *metrics.Gauge
+	// WatermarkLag is the close lag of the most recently closed window
+	// (fairco2_stream_watermark_lag_seconds).
+	WatermarkLag *metrics.Gauge
+	// WindowLatency observes the wall-clock latency of computing and
+	// emitting one window result (fairco2_stream_window_latency_seconds).
+	WindowLatency *metrics.Histogram
+}
+
+// NewInstruments registers the streaming metrics on reg.
+func NewInstruments(reg *metrics.Registry) *Instruments {
+	return &Instruments{
+		Events: reg.NewCounter(
+			"fairco2_stream_events_total",
+			"Demand events ingested by the streaming attribution engine."),
+		Late: reg.NewCounter(
+			"fairco2_stream_late_events_total",
+			"Events that arrived for an already-closed window inside the allowed-lateness budget (each triggers a corrected re-emission)."),
+		Dropped: reg.NewCounter(
+			"fairco2_stream_dropped_events_total",
+			"Events discarded because their window was already retired (beyond the allowed-lateness budget)."),
+		WindowsClosed: reg.NewCounter(
+			"fairco2_stream_windows_closed_total",
+			"Windows whose first attribution result was emitted after the watermark passed their end."),
+		Reemissions: reg.NewCounter(
+			"fairco2_stream_reemissions_total",
+			"Corrected window results re-emitted after late events landed in a closed window."),
+		Watermark: reg.NewGauge(
+			"fairco2_stream_watermark_seconds",
+			"Current low-watermark position, in event-time seconds from the stream epoch."),
+		WatermarkLag: reg.NewGauge(
+			"fairco2_stream_watermark_lag_seconds",
+			"Close lag of the most recently closed window: how far past its end the watermark had moved when it closed."),
+		WindowLatency: reg.NewHistogram(
+			"fairco2_stream_window_latency_seconds",
+			"Wall-clock latency of computing and emitting one window result.",
+			windowLatencyBuckets),
+	}
+}

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fairco2/internal/timeseries"
+)
+
+// ReplayConfig parameterizes a trace replay: how fast to play the events
+// and how much seeded disorder to script into the delivery order.
+type ReplayConfig struct {
+	// RateMultiplier paces wall-clock playback relative to event time:
+	// 10 plays a 10-hour trace in one hour. 0 (or negative) replays as
+	// fast as the consumer can ingest, with no sleeping.
+	RateMultiplier float64
+	// Seed drives the disorder script; the same (series, config) always
+	// yields the same emission order.
+	Seed int64
+	// DisorderFraction is the probability each event is deferred: moved
+	// later in the emission order so it arrives out of order.
+	DisorderFraction float64
+	// MinDefer and MaxDefer bound a deferred event's displacement, in
+	// emission positions (each position is one series sample, i.e. one
+	// Step of event time). Displacements past the engine's
+	// MaxDelay+AllowedLateness horizon become dropped events.
+	MinDefer, MaxDefer int
+}
+
+// DefaultReplayConfig replays as fast as possible with 1% of events
+// displaced by one to four samples.
+func DefaultReplayConfig() ReplayConfig {
+	return ReplayConfig{Seed: 1, DisorderFraction: 0.01, MinDefer: 1, MaxDefer: 4}
+}
+
+func (c ReplayConfig) validate() error {
+	switch {
+	case c.DisorderFraction < 0 || c.DisorderFraction > 1:
+		return errors.New("stream: disorder fraction must be in [0, 1]")
+	case c.DisorderFraction > 0 && c.MinDefer < 1:
+		return errors.New("stream: min defer must be >= 1 when disorder is scripted")
+	case c.DisorderFraction > 0 && c.MaxDefer < c.MinDefer:
+		return errors.New("stream: max defer must be >= min defer")
+	}
+	return nil
+}
+
+// Replay is a scripted event source: one event per sample of a demand
+// trace, emitted in a seeded, possibly disordered sequence.
+type Replay struct {
+	// Events is the emission order.
+	Events []Event
+
+	step     float64 // series step, seconds
+	rate     float64
+	deferred int
+}
+
+// NewReplay scripts a replay of the series: one event per sample (time =
+// sample timestamp, demand = sample value), with a seeded subset of events
+// deferred to arrive out of order.
+func NewReplay(s *timeseries.Series, cfg ReplayConfig) (*Replay, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("stream: empty replay series")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := make([]int, n)
+	order := make([]int, n)
+	deferred := 0
+	for i := 0; i < n; i++ {
+		order[i] = i
+		keys[i] = i
+		if cfg.DisorderFraction > 0 && rng.Float64() < cfg.DisorderFraction {
+			d := cfg.MinDefer
+			if cfg.MaxDefer > cfg.MinDefer {
+				d += rng.Intn(cfg.MaxDefer - cfg.MinDefer + 1)
+			}
+			keys[i] = i + d
+			deferred++
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	events := make([]Event, n)
+	for j, i := range order {
+		events[j] = Event{Time: s.TimeAt(i), Cores: s.Values[i]}
+	}
+	return &Replay{Events: events, step: float64(s.Step), rate: cfg.RateMultiplier, deferred: deferred}, nil
+}
+
+// Deferred returns how many events the script displaced.
+func (r *Replay) Deferred() int { return r.deferred }
+
+// Run feeds the scripted sequence to ingest, pacing by RateMultiplier
+// (none when <= 0). It stops at the first ingest error or context
+// cancellation.
+func (r *Replay) Run(ctx context.Context, ingest func(Event) error) error {
+	if r.rate <= 0 {
+		for j, ev := range r.Events {
+			if j&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := ingest(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	interval := time.Duration(r.step / r.rate * float64(time.Second))
+	for j, ev := range r.Events {
+		if d := time.Until(start.Add(time.Duration(j) * interval)); d > time.Millisecond {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		if err := ingest(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outcome is the expected classification of a replayed event sequence
+// under a given engine config.
+type Outcome struct {
+	// OnTime events land in a window that has not closed yet.
+	OnTime uint64
+	// Late events land in a closed window inside the lateness budget.
+	Late uint64
+	// Dropped events land beyond the lateness budget.
+	Dropped uint64
+}
+
+// Expect classifies an event sequence under the watermark policy of cfg,
+// independently of the engine: a straight scan applying the low-watermark
+// rule (watermark trails the running max event time by MaxDelay; a window
+// is closed once the watermark passes its end, retired once it passes
+// end+AllowedLateness). Tests use it as the oracle for the engine's
+// late/dropped accounting, and the replay demo prints it next to the
+// engine counters.
+func Expect(events []Event, cfg Config) Outcome {
+	winDur := float64(cfg.Step) * float64(cfg.Samples())
+	start := float64(cfg.Start)
+	var out Outcome
+	var maxT float64
+	started := false
+	for _, ev := range events {
+		t := float64(ev.Time)
+		if !started || t > maxT {
+			maxT = t
+			started = true
+		}
+		wm := maxT - float64(cfg.MaxDelay)
+		idx := math.Floor((t - start) / winDur)
+		end := start + (idx+1)*winDur
+		switch {
+		case end+float64(cfg.AllowedLateness) <= wm:
+			out.Dropped++
+		case end <= wm:
+			out.Late++
+		default:
+			out.OnTime++
+		}
+	}
+	return out
+}
+
+// Expected classifies this replay's emission order under cfg.
+func (r *Replay) Expected(cfg Config) Outcome { return Expect(r.Events, cfg) }
+
+// Summary formats an Outcome for logs.
+func (o Outcome) Summary() string {
+	return fmt.Sprintf("on-time=%d late=%d dropped=%d", o.OnTime, o.Late, o.Dropped)
+}

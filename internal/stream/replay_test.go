@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func rampSeries(n int) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	return timeseries.New(0, 1, vals)
+}
+
+func TestReplayConfigValidation(t *testing.T) {
+	if err := DefaultReplayConfig().validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []ReplayConfig{
+		{DisorderFraction: -0.1},
+		{DisorderFraction: 1.1},
+		{DisorderFraction: 0.5, MinDefer: 0},
+		{DisorderFraction: 0.5, MinDefer: 3, MaxDefer: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewReplay(rampSeries(4), cfg); err == nil {
+			t.Errorf("case %d: invalid replay config accepted", i)
+		}
+	}
+	if _, err := NewReplay(nil, ReplayConfig{}); err == nil {
+		t.Error("nil series accepted")
+	}
+}
+
+func TestReplayScriptsDeterministicDisorder(t *testing.T) {
+	cfg := ReplayConfig{Seed: 5, DisorderFraction: 0.3, MinDefer: 1, MaxDefer: 3}
+	a, err := NewReplay(rampSeries(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReplay(rampSeries(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deferred() == 0 {
+		t.Fatal("30% disorder deferred nothing")
+	}
+	if a.Deferred() != b.Deferred() || len(a.Events) != len(b.Events) {
+		t.Fatal("same seed scripted different replays")
+	}
+	inOrder := true
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed scripted different emission orders")
+		}
+		if i > 0 && a.Events[i].Time < a.Events[i-1].Time {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("disordered replay emitted strictly in order")
+	}
+}
+
+func TestReplayRunPaced(t *testing.T) {
+	// 1-second samples at 100x: one event every 10ms of wall time.
+	rep, err := NewReplay(rampSeries(4), ReplayConfig{RateMultiplier: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	start := time.Now()
+	if err := rep.Run(context.Background(), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d of 4 events", len(got))
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("paced replay of 4s of event time at 100x took only %v", elapsed)
+	}
+}
+
+func TestReplayRunStopsOnIngestError(t *testing.T) {
+	rep, err := NewReplay(rampSeries(10), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n := 0
+	err = rep.Run(context.Background(), func(Event) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 3 {
+		t.Errorf("run returned (%v) after %d events, want boom after 3", err, n)
+	}
+
+	// The paced path must surface ingest errors too.
+	rep2, err := NewReplay(rampSeries(3), ReplayConfig{RateMultiplier: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.Run(context.Background(), func(Event) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("paced run returned %v, want boom", err)
+	}
+}
+
+func TestReplayRunHonorsContext(t *testing.T) {
+	// Canceled before start: the fast path bails at its first check.
+	rep, err := NewReplay(rampSeries(2048), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rep.Run(ctx, func(Event) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("fast path returned %v, want context.Canceled", err)
+	}
+
+	// Slow pacing: cancellation must interrupt the inter-event sleep.
+	rep2, err := NewReplay(rampSeries(3), ReplayConfig{RateMultiplier: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	if err := rep2.Run(ctx2, func(Event) error { return nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("paced run returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the pacing sleep")
+	}
+}
+
+func TestOutcomeSummary(t *testing.T) {
+	o := Outcome{OnTime: 3, Late: 2, Dropped: 1}
+	s := o.Summary()
+	for _, want := range []string{"on-time=3", "late=2", "dropped=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCloseLagQuantilesClampRange(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	ingestAll(t, e, inOrder(30))
+	qs := e.CloseLagQuantiles(-1, 2)
+	if len(qs) != 2 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	if qs[0] > qs[1] {
+		t.Errorf("clamped quantiles not monotone: %v", qs)
+	}
+}
+
+func TestWindowLookupMisses(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	if _, ok := e.Window(-1); ok {
+		t.Error("negative index returned a result")
+	}
+	if _, ok := e.Latest(); ok {
+		t.Error("Latest returned a result before any close")
+	}
+	ingestAll(t, e, inOrder(11))
+	if _, ok := e.Window(3); ok {
+		t.Error("never-emitted window returned a result")
+	}
+	var ev Event
+	ev.Time = units.Seconds(5)
+	ev.Cores = 1
+	if err := e.Ingest(ev); err != nil {
+		t.Fatal(err)
+	}
+}

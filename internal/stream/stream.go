@@ -1,0 +1,608 @@
+// Package stream implements windowed streaming Temporal Shapley
+// attribution: a continuous ingest path for demand events (event-time
+// timestamps, out-of-order delivery allowed) that maintains tumbling
+// windows under a low-watermark policy and, when the watermark passes a
+// window's end, runs the closed-form Temporal Shapley engine
+// (internal/temporal, paper §5.1 Eq. 7) over that window's demand bins to
+// emit a per-sample carbon-intensity result.
+//
+// Late events — events for a window that has already closed — are applied
+// and trigger a corrected re-emission as long as the watermark has not yet
+// passed the window's end plus the allowed-lateness budget; beyond that the
+// window is retired and the event is counted as dropped. The engine is
+// deterministic per (event multiset, window config): bins aggregate by max,
+// which is order-independent, so a window's final result is bit-for-bit
+// identical to the batch temporal.IntensitySignal over the same demand
+// regardless of delivery order. Memory is bounded: open windows live in a
+// fixed ring sized by the disorder horizon, results in a fixed retention
+// ring, and the steady-state ingest path performs no allocations.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/temporal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Event is one demand observation: the aggregate resource demand (cores)
+// seen at an event-time instant. Events may arrive out of order.
+type Event struct {
+	// Time is the event-time timestamp, seconds from the stream epoch.
+	Time units.Seconds
+	// Cores is the observed demand (>= 0).
+	Cores float64
+}
+
+// QualityEmpty marks a window result emitted for a window whose bins were
+// all zero: there was nothing to attribute, so the intensity is zero and no
+// budget was priced. It extends the livesignal fresh/stale/degraded ladder
+// and the attrserver "static" pricing label.
+const QualityEmpty = "empty"
+
+// QualityStatic marks a result priced against the static per-window budget
+// (no live signal configured).
+const QualityStatic = "static"
+
+// Config parameterizes the streaming engine.
+type Config struct {
+	// Start is the event-time origin of window 0. Events before it are
+	// rejected.
+	Start units.Seconds
+	// Step is the demand sample width: each window is divided into bins
+	// of this width and events aggregate (by max) into their bin.
+	Step units.Seconds
+	// SplitRatios is the Temporal Shapley hierarchy applied inside each
+	// window; their product is the window's bin count, so a window spans
+	// Step * product(SplitRatios) seconds of event time.
+	SplitRatios []int
+	// BudgetPerWindow is the carbon budget attributed over each window
+	// when no Feed is configured (and the degraded fallback when one is).
+	BudgetPerWindow units.GramsCO2e
+	// MaxDelay is the watermark slack: the low watermark trails the
+	// newest event time by this much, so events up to MaxDelay out of
+	// order are still on time.
+	MaxDelay units.Seconds
+	// AllowedLateness is the re-emission budget: after a window closes,
+	// late events landing before the watermark passes end+AllowedLateness
+	// are applied and re-emit a corrected result; beyond it they drop.
+	AllowedLateness units.Seconds
+	// MaxResults bounds the result retention ring (default 256).
+	MaxResults int
+	// Backend selects the per-level Shapley solver (default closed form).
+	Backend temporal.Backend
+	// Parallelism is forwarded to the temporal engine (0 auto, 1 serial).
+	Parallelism int
+	// Feed, when set, prices each closing window at the live embodied
+	// intensity (budget = intensity x window resource-seconds) following
+	// the livesignal ladder; degraded service falls back to
+	// BudgetPerWindow.
+	Feed *livesignal.Feed
+	// Now overrides the wall clock stamped on emissions, for tests. It
+	// never influences attribution arithmetic.
+	Now func() time.Time
+}
+
+// DefaultConfig returns streaming defaults: 5-minute bins, one-day windows
+// split 8x6x6, 10 minutes of reorder slack and 30 minutes of lateness.
+func DefaultConfig() Config {
+	return Config{
+		Step:            300,
+		SplitRatios:     []int{8, 6, 6},
+		BudgetPerWindow: 1e4,
+		MaxDelay:        600,
+		AllowedLateness: 1800,
+		MaxResults:      256,
+	}
+}
+
+// Samples returns the window bin count: the product of the split ratios.
+func (c Config) Samples() int {
+	n := 1
+	for _, m := range c.SplitRatios {
+		n *= m
+	}
+	return n
+}
+
+// WindowDuration returns the event-time span of one window.
+func (c Config) WindowDuration() units.Seconds {
+	return units.Seconds(float64(c.Step) * float64(c.Samples()))
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Step <= 0:
+		return errors.New("stream: step must be positive")
+	case len(c.SplitRatios) == 0:
+		return errors.New("stream: empty split ratios")
+	case c.BudgetPerWindow <= 0:
+		return errors.New("stream: budget per window must be positive")
+	case c.MaxDelay < 0:
+		return errors.New("stream: max delay must be non-negative")
+	case c.AllowedLateness < 0:
+		return errors.New("stream: allowed lateness must be non-negative")
+	case c.MaxResults < 0:
+		return errors.New("stream: max results must be non-negative")
+	}
+	for i, m := range c.SplitRatios {
+		if m < 1 {
+			return fmt.Errorf("stream: split ratio %d at level %d must be >= 1", m, i)
+		}
+	}
+	return nil
+}
+
+// WindowResult is one emitted attribution: the Temporal Shapley intensity
+// signal over a closed window. Revision 0 is the first emission at close;
+// each late event inside the lateness budget re-emits with the revision
+// bumped. The Intensity slice is owned by the engine's result ring copy and
+// must be treated as read-only.
+type WindowResult struct {
+	// Index is the window's ordinal (window k spans
+	// [Start+k*D, Start+(k+1)*D) for D = WindowDuration).
+	Index int64
+	// Start and End bound the window in event time.
+	Start, End units.Seconds
+	// Budget is the carbon attributed over the window, gCO2e.
+	Budget float64
+	// SignalIntensity is the live price used (0 when static or empty).
+	SignalIntensity float64
+	// Quality is the pricing provenance: fresh | stale | degraded on the
+	// livesignal ladder, static for the fixed budget, empty for an
+	// all-zero window.
+	Quality string
+	// SignalAge is the age of a stale sample at pricing time.
+	SignalAge time.Duration
+	// Revision counts emissions of this window: 0 at close, +1 per
+	// late-event correction.
+	Revision int
+	// Events and Late count the window's binned events and how many of
+	// them arrived after close.
+	Events, Late int
+	// CloseLag is how far past the window's end the watermark had moved
+	// when the window closed (event-time seconds).
+	CloseLag units.Seconds
+	// Intensity is the per-bin carbon intensity, gCO2e per core-second.
+	Intensity []float64
+	// EmittedAt is the wall-clock emission stamp.
+	EmittedAt time.Time
+}
+
+// Stats is a point-in-time snapshot of the engine counters.
+type Stats struct {
+	// Events counts every valid ingested event.
+	Events uint64
+	// Late counts events applied to an already-closed window.
+	Late uint64
+	// Dropped counts events beyond the allowed-lateness budget.
+	Dropped uint64
+	// WindowsClosed counts first emissions; Reemissions counts late-event
+	// corrections.
+	WindowsClosed, Reemissions uint64
+	// Watermark and MaxEventTime locate the stream frontier.
+	Watermark, MaxEventTime units.Seconds
+	// OpenWindows counts ring slots holding a live (unretired) window.
+	OpenWindows int
+	// LatestWindow is the highest emitted window index (-1 when none).
+	LatestWindow int64
+}
+
+// window is one live ring slot.
+type window struct {
+	index    int64
+	active   bool
+	closed   bool
+	bins     []float64
+	events   int
+	late     int
+	revision int
+	closeLag units.Seconds
+}
+
+// resultRing retains the last MaxResults window results, keyed by index.
+type resultRing struct {
+	slots  []WindowResult
+	filled []bool
+	latest int64
+}
+
+func newResultRing(n int) resultRing {
+	return resultRing{slots: make([]WindowResult, n), filled: make([]bool, n), latest: -1}
+}
+
+func (r *resultRing) put(res WindowResult) {
+	i := res.Index % int64(len(r.slots))
+	if r.filled[i] && r.slots[i].Index > res.Index {
+		return // a newer window already owns the slot; the correction is too old to retain
+	}
+	r.slots[i] = res
+	r.filled[i] = true
+	if res.Index > r.latest {
+		r.latest = res.Index
+	}
+}
+
+func (r *resultRing) get(idx int64) (WindowResult, bool) {
+	if idx < 0 {
+		return WindowResult{}, false
+	}
+	i := idx % int64(len(r.slots))
+	if !r.filled[i] || r.slots[i].Index != idx {
+		return WindowResult{}, false
+	}
+	return r.slots[i], true
+}
+
+// maxLagSamples caps the close-lag reservoir backing the demo percentiles.
+const maxLagSamples = 1 << 16
+
+// Engine is the streaming attribution engine. All methods are safe for
+// concurrent use; Ingest serializes under one mutex, so a single producer
+// sees no contention and multiple producers interleave deterministically
+// only in counter order (window contents stay order-independent).
+type Engine struct {
+	cfg     Config
+	samples int
+	winDur  units.Seconds
+	tcfg    temporal.Config
+	inst    *Instruments
+
+	mu            sync.Mutex
+	started       bool
+	maxTime       units.Seconds
+	watermark     units.Seconds
+	nextToClose   int64
+	nextToRetire  int64
+	ring          []window
+	results       resultRing
+	lags          []float64
+	events        uint64
+	late          uint64
+	dropped       uint64
+	windowsClosed uint64
+	reemissions   uint64
+}
+
+// New builds an engine. inst may be nil (no metrics).
+func New(cfg Config, inst *Instruments) (*Engine, error) {
+	if cfg.MaxResults == 0 {
+		cfg.MaxResults = DefaultConfig().MaxResults
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	samples := cfg.Samples()
+	winDur := cfg.WindowDuration()
+	// The ring must span every window that can be live at once: from the
+	// oldest lame-duck window (watermark within AllowedLateness of its
+	// end) to the frontier window of the newest event (MaxDelay ahead of
+	// the watermark), plus boundary margins.
+	span := int(float64(cfg.MaxDelay+cfg.AllowedLateness)/float64(winDur)) + 3
+	e := &Engine{
+		cfg:     cfg,
+		samples: samples,
+		winDur:  winDur,
+		tcfg:    temporal.Config{SplitRatios: cfg.SplitRatios, Backend: cfg.Backend, Parallelism: cfg.Parallelism},
+		inst:    inst,
+		ring:    make([]window, span),
+		results: newResultRing(cfg.MaxResults),
+	}
+	for i := range e.ring {
+		e.ring[i].bins = make([]float64, samples)
+	}
+	return e, nil
+}
+
+// windowIndex returns the ordinal of the window containing t (t >= Start).
+func (e *Engine) windowIndex(t units.Seconds) int64 {
+	return int64(math.Floor(float64(t-e.cfg.Start) / float64(e.winDur)))
+}
+
+// windowIndexClamped is windowIndex clamped to 0 for pre-epoch times.
+func (e *Engine) windowIndexClamped(t units.Seconds) int64 {
+	if t <= e.cfg.Start {
+		return 0
+	}
+	return e.windowIndex(t)
+}
+
+// windowStart and windowEnd bound window idx in event time.
+func (e *Engine) windowStart(idx int64) units.Seconds {
+	return e.cfg.Start + units.Seconds(float64(idx)*float64(e.winDur))
+}
+
+func (e *Engine) windowEnd(idx int64) units.Seconds {
+	return e.cfg.Start + units.Seconds(float64(idx+1)*float64(e.winDur))
+}
+
+// live returns the ring slot holding window idx, or nil.
+func (e *Engine) live(idx int64) *window {
+	w := &e.ring[idx%int64(len(e.ring))]
+	if w.active && w.index == idx {
+		return w
+	}
+	return nil
+}
+
+// acquire claims the ring slot for window idx. The span invariant
+// guarantees the slot is free once advance() has retired old windows.
+func (e *Engine) acquire(idx int64) (*window, error) {
+	w := &e.ring[idx%int64(len(e.ring))]
+	if w.active {
+		return nil, fmt.Errorf("stream: window ring overflow (window %d collides with live window %d)", idx, w.index)
+	}
+	w.index = idx
+	w.active = true
+	w.closed = idx < e.nextToClose
+	w.events, w.late, w.revision = 0, 0, 0
+	w.closeLag = 0
+	clear(w.bins)
+	return w, nil
+}
+
+// Ingest feeds one event through the watermark assigner: bin it, advance
+// the watermark, close and emit any window the watermark passed, apply
+// late events with a corrected re-emission, and drop events beyond the
+// lateness budget. The steady-state path (in-window event, no close)
+// performs no allocations.
+func (e *Engine) Ingest(ev Event) error {
+	if math.IsNaN(ev.Cores) || math.IsInf(ev.Cores, 0) || ev.Cores < 0 {
+		return fmt.Errorf("stream: invalid demand %v at t=%v", ev.Cores, float64(ev.Time))
+	}
+	if math.IsNaN(float64(ev.Time)) || math.IsInf(float64(ev.Time), 0) || ev.Time < e.cfg.Start {
+		return fmt.Errorf("stream: event time %v outside stream epoch (start %v)", float64(ev.Time), float64(e.cfg.Start))
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events++
+	if e.inst != nil {
+		e.inst.Events.Inc()
+	}
+
+	if !e.started {
+		e.started = true
+		e.maxTime = ev.Time
+		e.watermark = ev.Time - e.cfg.MaxDelay
+		e.nextToClose = e.windowIndexClamped(e.watermark)
+		e.nextToRetire = e.windowIndexClamped(e.watermark - e.cfg.AllowedLateness)
+		e.observeWatermark()
+	} else if ev.Time > e.maxTime {
+		e.maxTime = ev.Time
+		if err := e.advance(); err != nil {
+			return err
+		}
+	}
+
+	idx := e.windowIndex(ev.Time)
+	if idx < e.nextToRetire {
+		e.dropped++
+		if e.inst != nil {
+			e.inst.Dropped.Inc()
+		}
+		return nil
+	}
+	w := e.live(idx)
+	if w == nil {
+		var err error
+		if w, err = e.acquire(idx); err != nil {
+			return err
+		}
+	}
+	bi := int(math.Floor(float64(ev.Time-e.windowStart(idx)) / float64(e.cfg.Step)))
+	if bi >= e.samples {
+		bi = e.samples - 1
+	}
+	if bi < 0 {
+		bi = 0
+	}
+	if ev.Cores > w.bins[bi] {
+		w.bins[bi] = ev.Cores
+	}
+	w.events++
+	if w.closed {
+		w.late++
+		e.late++
+		if e.inst != nil {
+			e.inst.Late.Inc()
+		}
+		return e.emit(w)
+	}
+	return nil
+}
+
+// advance moves the watermark to trail the newest event, closing windows
+// the watermark passed and retiring windows past their lateness horizon.
+func (e *Engine) advance() error {
+	wm := e.maxTime - e.cfg.MaxDelay
+	if wm <= e.watermark {
+		return nil
+	}
+	e.watermark = wm
+	e.observeWatermark()
+	for ; e.windowEnd(e.nextToClose) <= wm; e.nextToClose++ {
+		if w := e.live(e.nextToClose); w != nil && !w.closed {
+			w.closed = true
+			w.closeLag = wm - e.windowEnd(w.index)
+			e.recordLag(w.closeLag)
+			if err := e.emit(w); err != nil {
+				return err
+			}
+		}
+	}
+	for ; e.windowEnd(e.nextToRetire)+e.cfg.AllowedLateness <= wm; e.nextToRetire++ {
+		if w := e.live(e.nextToRetire); w != nil {
+			w.active = false
+		}
+	}
+	return nil
+}
+
+// emit computes and publishes one window result (first emission or a
+// late-event correction).
+func (e *Engine) emit(w *window) error {
+	t0 := e.cfg.Now()
+	res, err := e.compute(w)
+	if err != nil {
+		return err
+	}
+	res.Revision = w.revision
+	res.EmittedAt = e.cfg.Now()
+	if e.inst != nil {
+		e.inst.WindowLatency.Observe(res.EmittedAt.Sub(t0).Seconds())
+	}
+	if w.revision == 0 {
+		e.windowsClosed++
+		if e.inst != nil {
+			e.inst.WindowsClosed.Inc()
+		}
+	} else {
+		e.reemissions++
+		if e.inst != nil {
+			e.inst.Reemissions.Inc()
+		}
+	}
+	w.revision++
+	e.results.put(res)
+	return nil
+}
+
+// compute prices the window and runs Temporal Shapley over its bins.
+func (e *Engine) compute(w *window) (WindowResult, error) {
+	res := WindowResult{
+		Index:    w.index,
+		Start:    e.windowStart(w.index),
+		End:      e.windowEnd(w.index),
+		Events:   w.events,
+		Late:     w.late,
+		CloseLag: w.closeLag,
+	}
+	total := 0.0
+	for _, v := range w.bins {
+		total += v
+	}
+	if total == 0 {
+		res.Quality = QualityEmpty
+		res.Intensity = make([]float64, e.samples)
+		return res, nil
+	}
+	budget := e.cfg.BudgetPerWindow
+	quality := QualityStatic
+	price := 0.0
+	var age time.Duration
+	if e.cfg.Feed != nil {
+		sample, err := e.cfg.Feed.Intensity()
+		if err != nil || sample.Quality == livesignal.QualityDegraded {
+			quality = livesignal.QualityDegraded.String()
+		} else {
+			budget = units.GramsCO2e(sample.Intensity * total * float64(e.cfg.Step))
+			price = sample.Intensity
+			quality = sample.Quality.String()
+			age = sample.Age
+		}
+	}
+	sig, err := temporal.IntensitySignal(timeseries.New(res.Start, e.cfg.Step, w.bins), budget, e.tcfg)
+	if err != nil {
+		return res, fmt.Errorf("stream: window %d: %w", w.index, err)
+	}
+	res.Budget = float64(budget)
+	res.SignalIntensity = price
+	res.Quality = quality
+	res.SignalAge = age
+	res.Intensity = sig.Values
+	return res, nil
+}
+
+// recordLag feeds the close-lag reservoir and gauge.
+func (e *Engine) recordLag(lag units.Seconds) {
+	if len(e.lags) < maxLagSamples {
+		e.lags = append(e.lags, float64(lag))
+	}
+	if e.inst != nil {
+		e.inst.WatermarkLag.Set(float64(lag))
+	}
+}
+
+// observeWatermark publishes the watermark position gauge.
+func (e *Engine) observeWatermark() {
+	if e.inst != nil {
+		e.inst.Watermark.Set(float64(e.watermark))
+	}
+}
+
+// Window returns the retained result for window idx, if any. The copy's
+// Intensity slice is shared with the ring entry and must not be mutated.
+func (e *Engine) Window(idx int64) (WindowResult, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.results.get(idx)
+}
+
+// Latest returns the most recent window result, if any.
+func (e *Engine) Latest() (WindowResult, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.results.get(e.results.latest)
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	open := 0
+	for i := range e.ring {
+		if e.ring[i].active {
+			open++
+		}
+	}
+	return Stats{
+		Events:        e.events,
+		Late:          e.late,
+		Dropped:       e.dropped,
+		WindowsClosed: e.windowsClosed,
+		Reemissions:   e.reemissions,
+		Watermark:     e.watermark,
+		MaxEventTime:  e.maxTime,
+		OpenWindows:   open,
+		LatestWindow:  e.results.latest,
+	}
+}
+
+// CloseLagQuantiles returns the requested quantiles (in [0, 1]) of the
+// per-window close lag: how far past each window's end the watermark had
+// moved when it closed. Returns nil before the first close.
+func (e *Engine) CloseLagQuantiles(ps ...float64) []units.Seconds {
+	e.mu.Lock()
+	lags := append([]float64(nil), e.lags...)
+	e.mu.Unlock()
+	if len(lags) == 0 {
+		return nil
+	}
+	sort.Float64s(lags)
+	out := make([]units.Seconds, len(ps))
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		k := int(math.Ceil(p*float64(len(lags)))) - 1
+		if k < 0 {
+			k = 0
+		}
+		out[i] = units.Seconds(lags[k])
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/metrics"
+	"fairco2/internal/units"
+)
+
+// testConfig is a small deterministic engine config: 1-second bins, 6-bin
+// windows (split 3x2), 4 seconds of reorder slack, 12 seconds of lateness.
+func testConfig() Config {
+	return Config{
+		Step:            1,
+		SplitRatios:     []int{3, 2},
+		BudgetPerWindow: 600,
+		MaxDelay:        4,
+		AllowedLateness: 12,
+		MaxResults:      8,
+	}
+}
+
+func mustEngine(t *testing.T, cfg Config, inst *Instruments) *Engine {
+	t.Helper()
+	e, err := New(cfg, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func ingestAll(t *testing.T, e *Engine, events []Event) {
+	t.Helper()
+	for _, ev := range events {
+		if err := e.Ingest(ev); err != nil {
+			t.Fatalf("ingest %+v: %v", ev, err)
+		}
+	}
+}
+
+// inOrder builds one event per second over [0, n).
+func inOrder(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{Time: units.Seconds(i), Cores: float64(10 + i%7)}
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero step", func(c *Config) { c.Step = 0 }},
+		{"no splits", func(c *Config) { c.SplitRatios = nil }},
+		{"bad split", func(c *Config) { c.SplitRatios = []int{3, 0} }},
+		{"zero budget", func(c *Config) { c.BudgetPerWindow = 0 }},
+		{"negative delay", func(c *Config) { c.MaxDelay = -1 }},
+		{"negative lateness", func(c *Config) { c.AllowedLateness = -1 }},
+		{"negative results", func(c *Config) { c.MaxResults = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(&cfg)
+			if _, err := New(cfg, nil); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+	if _, err := New(testConfig(), nil); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestInvalidEventsRejected(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	bad := []Event{
+		{Time: 5, Cores: -1},
+		{Time: 5, Cores: math.NaN()},
+		{Time: 5, Cores: math.Inf(1)},
+		{Time: -1, Cores: 1},
+		{Time: units.Seconds(math.NaN()), Cores: 1},
+		{Time: units.Seconds(math.Inf(1)), Cores: 1},
+	}
+	for _, ev := range bad {
+		if err := e.Ingest(ev); err == nil {
+			t.Errorf("event %+v accepted", ev)
+		}
+	}
+	if st := e.Stats(); st.Events != 0 {
+		t.Errorf("rejected events counted: %d", st.Events)
+	}
+}
+
+func TestWindowClosesWhenWatermarkPassesEnd(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	// Window 0 spans [0, 6). With MaxDelay=4 it closes once maxTime > 10.
+	ingestAll(t, e, inOrder(10)) // maxTime 9, watermark 5 < 6
+	if st := e.Stats(); st.WindowsClosed != 0 {
+		t.Fatalf("window closed early: %+v", st)
+	}
+	ingestAll(t, e, []Event{{Time: 10, Cores: 1}}) // watermark 6 >= end 6
+	st := e.Stats()
+	if st.WindowsClosed != 1 {
+		t.Fatalf("window 0 did not close: %+v", st)
+	}
+	res, ok := e.Window(0)
+	if !ok {
+		t.Fatal("no result for window 0")
+	}
+	if res.Revision != 0 || res.Events != 6 || res.Late != 0 {
+		t.Errorf("unexpected result meta: %+v", res)
+	}
+	if res.Start != 0 || res.End != 6 || len(res.Intensity) != 6 {
+		t.Errorf("unexpected window bounds: %+v", res)
+	}
+	// The emitted intensity must fully attribute the static budget:
+	// sum_i intensity[i]*demand[i]*step == budget.
+	total := 0.0
+	demand := []float64{10, 11, 12, 13, 14, 15}
+	for i, v := range res.Intensity {
+		total += v * demand[i]
+	}
+	if math.Abs(total-600) > 1e-9 {
+		t.Errorf("budget not conserved: got %v want 600", total)
+	}
+	if _, ok := e.Latest(); !ok {
+		t.Error("Latest empty after close")
+	}
+}
+
+func TestLateEventReemits(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := mustEngine(t, testConfig(), NewInstruments(reg))
+	ingestAll(t, e, inOrder(11)) // closes window 0
+	before, _ := e.Window(0)
+
+	// t=3 belongs to window 0 (closed, retires at watermark >= 18).
+	ingestAll(t, e, []Event{{Time: 3, Cores: 500}})
+	st := e.Stats()
+	if st.Late != 1 || st.Reemissions != 1 || st.Dropped != 0 {
+		t.Fatalf("late accounting wrong: %+v", st)
+	}
+	after, ok := e.Window(0)
+	if !ok || after.Revision != 1 || after.Late != 1 {
+		t.Fatalf("no corrected re-emission: %+v", after)
+	}
+	if after.Intensity[3] == before.Intensity[3] {
+		t.Error("late event did not change the corrected bin")
+	}
+	if got := instValue(t, reg, "fairco2_stream_reemissions_total"); got != 1 {
+		t.Errorf("reemissions metric = %v", got)
+	}
+}
+
+func TestBeyondLatenessDrops(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := mustEngine(t, testConfig(), NewInstruments(reg))
+	ingestAll(t, e, inOrder(11))
+	// Window 0 retires once watermark >= end+lateness = 18, i.e. maxTime >= 22.
+	ingestAll(t, e, []Event{{Time: 23, Cores: 1}})
+	res, _ := e.Window(0)
+	ingestAll(t, e, []Event{{Time: 2, Cores: 999}})
+	st := e.Stats()
+	if st.Dropped != 1 || st.Late != 0 {
+		t.Fatalf("drop accounting wrong: %+v", st)
+	}
+	after, ok := e.Window(0)
+	if !ok || after.Revision != res.Revision {
+		t.Error("dropped event mutated a retired window's result")
+	}
+	if got := instValue(t, reg, "fairco2_stream_dropped_events_total"); got != 1 {
+		t.Errorf("dropped metric = %v", got)
+	}
+}
+
+func TestEmptyWindowSkippedAndGapHandled(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	var events []Event
+	for i := 0; i < 6; i++ { // window 0
+		events = append(events, Event{Time: units.Seconds(i), Cores: 5})
+	}
+	for i := 12; i < 18; i++ { // window 2; window 1 stays empty
+		events = append(events, Event{Time: units.Seconds(i), Cores: 5})
+	}
+	events = append(events, Event{Time: 23, Cores: 5}) // watermark 19 closes 0..2
+	ingestAll(t, e, events)
+	st := e.Stats()
+	if st.WindowsClosed != 2 {
+		t.Fatalf("expected 2 non-empty windows closed, got %+v", st)
+	}
+	if _, ok := e.Window(1); ok {
+		t.Error("empty window emitted a result")
+	}
+	if res, ok := e.Window(2); !ok || res.Index != 2 {
+		t.Error("window after the gap missing")
+	}
+}
+
+func TestZeroDemandWindowEmitsEmptyQuality(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	var events []Event
+	for i := 0; i < 6; i++ {
+		events = append(events, Event{Time: units.Seconds(i), Cores: 0})
+	}
+	events = append(events, Event{Time: 11, Cores: 1})
+	ingestAll(t, e, events)
+	res, ok := e.Window(0)
+	if !ok {
+		t.Fatal("zero-demand window not emitted")
+	}
+	if res.Quality != QualityEmpty || res.Budget != 0 {
+		t.Errorf("zero-demand result = %+v", res)
+	}
+	for _, v := range res.Intensity {
+		if v != 0 {
+			t.Fatal("zero-demand window has non-zero intensity")
+		}
+	}
+}
+
+func TestResultRingEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxResults = 2
+	e := mustEngine(t, cfg, nil)
+	ingestAll(t, e, inOrder(5*6)) // windows 0..4, enough to close 0..2
+	ingestAll(t, e, []Event{{Time: 40, Cores: 1}})
+	st := e.Stats()
+	if st.WindowsClosed < 3 {
+		t.Fatalf("expected >= 3 closes, got %+v", st)
+	}
+	if _, ok := e.Window(0); ok {
+		t.Error("evicted window 0 still retained")
+	}
+	latest, ok := e.Latest()
+	if !ok || latest.Index != st.LatestWindow {
+		t.Errorf("latest = %+v, stats say %d", latest, st.LatestWindow)
+	}
+}
+
+type fakeSource struct {
+	v   float64
+	err error
+}
+
+func (f *fakeSource) Current() (float64, error) { return f.v, f.err }
+
+func TestLiveFeedPricing(t *testing.T) {
+	cfg := testConfig()
+	src := &fakeSource{v: 2.5}
+	cfg.Feed = livesignal.NewFeed(src, livesignal.FeedConfig{}, nil)
+	e := mustEngine(t, cfg, nil)
+	ingestAll(t, e, inOrder(11))
+	res, ok := e.Window(0)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if res.Quality != livesignal.QualityFresh.String() || res.SignalIntensity != 2.5 {
+		t.Fatalf("fresh pricing wrong: %+v", res)
+	}
+	// budget = intensity * sum(bins) * step = 2.5 * 75 * 1
+	if math.Abs(res.Budget-2.5*75) > 1e-9 {
+		t.Errorf("budget = %v, want %v", res.Budget, 2.5*75)
+	}
+}
+
+func TestDegradedFeedFallsBackToStaticBudget(t *testing.T) {
+	cfg := testConfig()
+	src := &fakeSource{err: errors.New("down")}
+	cfg.Feed = livesignal.NewFeed(src, livesignal.FeedConfig{}, nil)
+	e := mustEngine(t, cfg, nil)
+	ingestAll(t, e, inOrder(11))
+	res, ok := e.Window(0)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if res.Quality != livesignal.QualityDegraded.String() {
+		t.Fatalf("quality = %q, want degraded", res.Quality)
+	}
+	if res.Budget != 600 || res.SignalIntensity != 0 {
+		t.Errorf("degraded fallback budget = %v intensity = %v", res.Budget, res.SignalIntensity)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (Stats, WindowResult) {
+		e := mustEngine(t, testConfig(), nil)
+		events := inOrder(40)
+		// a scripted swap: deliver sample 7 after sample 12
+		events[7], events[12] = events[12], events[7]
+		ingestAll(t, e, events)
+		res, _ := e.Latest()
+		return e.Stats(), res
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if r1.Index != r2.Index || len(r1.Intensity) != len(r2.Intensity) {
+		t.Fatal("results differ in shape")
+	}
+	for i := range r1.Intensity {
+		if math.Float64bits(r1.Intensity[i]) != math.Float64bits(r2.Intensity[i]) {
+			t.Fatalf("intensity bit mismatch at %d", i)
+		}
+	}
+}
+
+func TestCloseLagQuantiles(t *testing.T) {
+	e := mustEngine(t, testConfig(), nil)
+	if q := e.CloseLagQuantiles(0.5); q != nil {
+		t.Fatal("quantiles before any close")
+	}
+	ingestAll(t, e, inOrder(30))
+	qs := e.CloseLagQuantiles(0, 0.5, 1)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	if qs[0] > qs[2] {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+}
+
+func TestStatsAndMetricsAgree(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := mustEngine(t, testConfig(), NewInstruments(reg))
+	events := inOrder(40)
+	events[7], events[20] = events[20], events[7] // sample 7 arrives very late
+	ingestAll(t, e, events)
+	st := e.Stats()
+	checks := map[string]float64{
+		"fairco2_stream_events_total":         float64(st.Events),
+		"fairco2_stream_late_events_total":    float64(st.Late),
+		"fairco2_stream_dropped_events_total": float64(st.Dropped),
+		"fairco2_stream_windows_closed_total": float64(st.WindowsClosed),
+		"fairco2_stream_reemissions_total":    float64(st.Reemissions),
+		"fairco2_stream_watermark_seconds":    float64(st.Watermark),
+	}
+	for name, want := range checks {
+		if got := instValue(t, reg, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if st.Watermark != st.MaxEventTime-4 {
+		t.Errorf("watermark %v does not trail max %v by MaxDelay", st.Watermark, st.MaxEventTime)
+	}
+	if st.OpenWindows == 0 || st.OpenWindows > len(e.ring) {
+		t.Errorf("open windows = %d", st.OpenWindows)
+	}
+}
+
+func TestWindowConfigHelpers(t *testing.T) {
+	cfg := testConfig()
+	if cfg.Samples() != 6 {
+		t.Errorf("Samples = %d", cfg.Samples())
+	}
+	if cfg.WindowDuration() != 6 {
+		t.Errorf("WindowDuration = %v", cfg.WindowDuration())
+	}
+	def := DefaultConfig()
+	if def.Samples() != 288 || def.WindowDuration() != 288*300 {
+		t.Errorf("default window: %d samples, %v", def.Samples(), def.WindowDuration())
+	}
+}
+
+func TestEngineHonorsNowOverride(t *testing.T) {
+	cfg := testConfig()
+	fixed := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	cfg.Now = func() time.Time { return fixed }
+	e := mustEngine(t, cfg, nil)
+	ingestAll(t, e, inOrder(11))
+	res, _ := e.Window(0)
+	if !res.EmittedAt.Equal(fixed) {
+		t.Errorf("EmittedAt = %v, want %v", res.EmittedAt, fixed)
+	}
+}
+
+// instValue reads one unlabeled sample from the registry.
+func instValue(t *testing.T, reg *metrics.Registry, name string) float64 {
+	t.Helper()
+	for _, f := range reg.Gather() {
+		if f.Name != name {
+			continue
+		}
+		if len(f.Samples) != 1 {
+			t.Fatalf("metric %s has %d samples", name, len(f.Samples))
+		}
+		return f.Samples[0].Value
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

@@ -1,0 +1,35 @@
+package temporal
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fairco2/internal/trace"
+)
+
+// Pinned benchmarks for the Temporal Shapley hot loop, consumed by the CI
+// bench-regression gate (scripts/benchguard.go): the paper-scale signal —
+// 30 days of 5-minute samples under the Figure 4 split schedule — serial
+// vs parallel. The input trace is seeded, so the gate's median comparison
+// against results/bench_baseline.json sees a fixed workload.
+
+func benchSignal(b *testing.B, parallelism int) {
+	b.Helper()
+	s, err := trace.GenerateAzureLike(trace.DefaultAzureLikeConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{SplitRatios: PaperSplits(), Parallelism: parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IntensitySignal(s, 1e6, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntensitySignal(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchSignal(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { benchSignal(b, 0) })
+}

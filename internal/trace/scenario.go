@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// Scenario is a deterministic script of demand perturbations layered over a
+// base trace: multiplicative bursts, linear rate ramps, and flat outage gaps.
+// It is the scenario-matrix primitive shared by the streaming replay source
+// and the Monte Carlo tooling: the same script applied to the same series
+// always yields the same perturbed series, so scenario sweeps are seedable
+// and results reproducible.
+//
+// Ramps apply first, then bursts (both multiplicative, so they compose),
+// and outages last: during an outage the demand is pinned to a flat level
+// regardless of what the multiplicative layers produced.
+type Scenario struct {
+	Bursts  []Burst
+	Ramps   []Ramp
+	Outages []Outage
+}
+
+// Burst multiplies demand by Factor over [Start, Start+Duration).
+type Burst struct {
+	Start    units.Seconds
+	Duration units.Seconds
+	// Factor is the demand multiplier during the burst (> 0; values above
+	// 1 are surges, below 1 are lulls).
+	Factor float64
+}
+
+// Ramp scales demand by a linearly interpolated factor: From at Start,
+// approaching To at Start+Duration.
+type Ramp struct {
+	Start    units.Seconds
+	Duration units.Seconds
+	From, To float64
+}
+
+// Outage pins demand to the flat Level over [Start, Start+Duration),
+// modeling a capacity gap or telemetry blackout where the aggregate
+// collapses to a constant floor.
+type Outage struct {
+	Start    units.Seconds
+	Duration units.Seconds
+	// Level is the absolute demand during the gap (>= 0).
+	Level float64
+}
+
+// IsZero reports whether the scenario perturbs nothing.
+func (sc Scenario) IsZero() bool {
+	return len(sc.Bursts) == 0 && len(sc.Ramps) == 0 && len(sc.Outages) == 0
+}
+
+// Validate checks every op in the script.
+func (sc Scenario) Validate() error {
+	for i, b := range sc.Bursts {
+		if b.Duration <= 0 {
+			return fmt.Errorf("trace: burst %d has non-positive duration %v", i, b.Duration)
+		}
+		if b.Factor <= 0 {
+			return fmt.Errorf("trace: burst %d has non-positive factor %v", i, b.Factor)
+		}
+	}
+	for i, r := range sc.Ramps {
+		if r.Duration <= 0 {
+			return fmt.Errorf("trace: ramp %d has non-positive duration %v", i, r.Duration)
+		}
+		if r.From <= 0 || r.To <= 0 {
+			return fmt.Errorf("trace: ramp %d has non-positive factors %v -> %v", i, r.From, r.To)
+		}
+	}
+	for i, o := range sc.Outages {
+		if o.Duration <= 0 {
+			return fmt.Errorf("trace: outage %d has non-positive duration %v", i, o.Duration)
+		}
+		if o.Level < 0 {
+			return fmt.Errorf("trace: outage %d has negative level %v", i, o.Level)
+		}
+	}
+	return nil
+}
+
+// Apply returns a new series with the script applied to s. The input series
+// is not modified. Samples are perturbed when their timestamp falls inside
+// an op's half-open [Start, Start+Duration) interval.
+func (sc Scenario) Apply(s *timeseries.Series) (*timeseries.Series, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("trace: empty series")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	out := s.Clone()
+	for i := range out.Values {
+		t := out.TimeAt(i)
+		v := out.Values[i]
+		for _, r := range sc.Ramps {
+			if t >= r.Start && t < r.Start+r.Duration {
+				frac := float64(t-r.Start) / float64(r.Duration)
+				v *= r.From + (r.To-r.From)*frac
+			}
+		}
+		for _, b := range sc.Bursts {
+			if t >= b.Start && t < b.Start+b.Duration {
+				v *= b.Factor
+			}
+		}
+		for _, o := range sc.Outages {
+			if t >= o.Start && t < o.Start+o.Duration {
+				v = o.Level
+			}
+		}
+		out.Values[i] = v
+	}
+	return out, nil
+}
+
+// ParseScenario parses the flag-friendly script syntax: semicolon-separated
+// ops, each "kind:comma,separated,args" with times and durations in seconds.
+//
+//	burst:start,duration,factor
+//	ramp:start,duration,from,to
+//	outage:start,duration,level
+//
+// An empty spec yields the zero scenario. Example:
+//
+//	burst:21600,7200,1.8;outage:50400,3600,5000;ramp:86400,43200,1,1.25
+func ParseScenario(spec string) (Scenario, error) {
+	var sc Scenario
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return sc, nil
+	}
+	for _, op := range strings.Split(spec, ";") {
+		kind, rest, ok := strings.Cut(strings.TrimSpace(op), ":")
+		if !ok {
+			return sc, fmt.Errorf("trace: scenario op %q is not kind:args", op)
+		}
+		args, err := parseFloats(rest)
+		if err != nil {
+			return sc, fmt.Errorf("trace: scenario op %q: %w", op, err)
+		}
+		switch kind {
+		case "burst":
+			if len(args) != 3 {
+				return sc, fmt.Errorf("trace: burst wants start,duration,factor; got %d args", len(args))
+			}
+			sc.Bursts = append(sc.Bursts, Burst{
+				Start: units.Seconds(args[0]), Duration: units.Seconds(args[1]), Factor: args[2]})
+		case "ramp":
+			if len(args) != 4 {
+				return sc, fmt.Errorf("trace: ramp wants start,duration,from,to; got %d args", len(args))
+			}
+			sc.Ramps = append(sc.Ramps, Ramp{
+				Start: units.Seconds(args[0]), Duration: units.Seconds(args[1]), From: args[2], To: args[3]})
+		case "outage":
+			if len(args) != 3 {
+				return sc, fmt.Errorf("trace: outage wants start,duration,level; got %d args", len(args))
+			}
+			sc.Outages = append(sc.Outages, Outage{
+				Start: units.Seconds(args[0]), Duration: units.Seconds(args[1]), Level: args[2]})
+		default:
+			return sc, fmt.Errorf("trace: unknown scenario op kind %q", kind)
+		}
+	}
+	return sc, sc.Validate()
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ScenarioConfig parameterizes RandomScenario: how many ops of each kind to
+// draw and the ranges they are drawn from.
+type ScenarioConfig struct {
+	// Bursts, Ramps, Outages are the op counts.
+	Bursts, Ramps, Outages int
+	// MaxBurstFactor bounds burst multipliers, drawn uniformly from
+	// [1, MaxBurstFactor].
+	MaxBurstFactor float64
+	// MaxRampFactor bounds ramp endpoints, drawn uniformly from
+	// [1, MaxRampFactor]; each ramp starts at factor 1.
+	MaxRampFactor float64
+	// OutageLevel is the flat demand during generated outages.
+	OutageLevel float64
+	// MinDuration and MaxDuration bound every op's duration.
+	MinDuration, MaxDuration units.Seconds
+}
+
+// DefaultScenarioConfig is a modest mixed script: two surges, one ramp and
+// one outage, each between 30 minutes and 4 hours.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{
+		Bursts:         2,
+		Ramps:          1,
+		Outages:        1,
+		MaxBurstFactor: 2.5,
+		MaxRampFactor:  1.5,
+		OutageLevel:    0,
+		MinDuration:    30 * 60,
+		MaxDuration:    4 * units.SecondsPerHour,
+	}
+}
+
+// Validate checks the generator configuration.
+func (c ScenarioConfig) Validate() error {
+	switch {
+	case c.Bursts < 0 || c.Ramps < 0 || c.Outages < 0:
+		return errors.New("trace: scenario op counts must be non-negative")
+	case c.MaxBurstFactor < 1 && c.Bursts > 0:
+		return errors.New("trace: max burst factor must be >= 1")
+	case c.MaxRampFactor < 1 && c.Ramps > 0:
+		return errors.New("trace: max ramp factor must be >= 1")
+	case c.OutageLevel < 0:
+		return errors.New("trace: outage level must be non-negative")
+	case c.MinDuration <= 0 || c.MaxDuration < c.MinDuration:
+		return errors.New("trace: scenario durations must satisfy 0 < min <= max")
+	}
+	return nil
+}
+
+// RandomScenario draws a seeded scenario script over the horizon [0, h).
+// The same rng state always yields the same script, so a scenario matrix
+// is just a loop over seeds.
+func RandomScenario(cfg ScenarioConfig, horizon units.Seconds, rng *rand.Rand) (Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	if rng == nil {
+		return Scenario{}, errors.New("trace: nil rng")
+	}
+	if horizon <= cfg.MinDuration {
+		return Scenario{}, fmt.Errorf("trace: horizon %v shorter than min op duration %v", horizon, cfg.MinDuration)
+	}
+	draw := func() (units.Seconds, units.Seconds) {
+		maxDur := cfg.MaxDuration
+		if maxDur > horizon {
+			maxDur = horizon
+		}
+		dur := cfg.MinDuration + units.Seconds(rng.Float64()*float64(maxDur-cfg.MinDuration))
+		start := units.Seconds(rng.Float64() * float64(horizon-dur))
+		return start, dur
+	}
+	var sc Scenario
+	for i := 0; i < cfg.Bursts; i++ {
+		start, dur := draw()
+		sc.Bursts = append(sc.Bursts, Burst{Start: start, Duration: dur,
+			Factor: 1 + rng.Float64()*(cfg.MaxBurstFactor-1)})
+	}
+	for i := 0; i < cfg.Ramps; i++ {
+		start, dur := draw()
+		sc.Ramps = append(sc.Ramps, Ramp{Start: start, Duration: dur,
+			From: 1, To: 1 + rng.Float64()*(cfg.MaxRampFactor-1)})
+	}
+	for i := 0; i < cfg.Outages; i++ {
+		start, dur := draw()
+		sc.Outages = append(sc.Outages, Outage{Start: start, Duration: dur, Level: cfg.OutageLevel})
+	}
+	return sc, nil
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// flatSeries builds a constant-demand series: n samples of value v at
+// 1-second steps starting at t=0, so perturbed values are easy to predict.
+func flatSeries(n int, v float64) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return timeseries.New(0, 1, vals)
+}
+
+func TestScenarioApplyOps(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		// want maps sample index -> expected value; unlisted samples must
+		// keep the base value.
+		want map[int]float64
+	}{
+		{
+			name: "zero scenario is identity",
+			sc:   Scenario{},
+			want: nil,
+		},
+		{
+			name: "burst multiplies inside half-open interval",
+			sc:   Scenario{Bursts: []Burst{{Start: 2, Duration: 3, Factor: 2}}},
+			want: map[int]float64{2: 200, 3: 200, 4: 200},
+		},
+		{
+			name: "lull burst scales below one",
+			sc:   Scenario{Bursts: []Burst{{Start: 0, Duration: 2, Factor: 0.5}}},
+			want: map[int]float64{0: 50, 1: 50},
+		},
+		{
+			name: "ramp interpolates from From to To",
+			sc:   Scenario{Ramps: []Ramp{{Start: 0, Duration: 4, From: 1, To: 2}}},
+			want: map[int]float64{0: 100, 1: 125, 2: 150, 3: 175},
+		},
+		{
+			name: "outage pins to flat level",
+			sc:   Scenario{Outages: []Outage{{Start: 5, Duration: 2, Level: 7}}},
+			want: map[int]float64{5: 7, 6: 7},
+		},
+		{
+			name: "outage wins over overlapping burst",
+			sc: Scenario{
+				Bursts:  []Burst{{Start: 0, Duration: 10, Factor: 3}},
+				Outages: []Outage{{Start: 4, Duration: 1, Level: 1}},
+			},
+			want: map[int]float64{0: 300, 1: 300, 2: 300, 3: 300, 4: 1, 5: 300, 6: 300, 7: 300, 8: 300, 9: 300},
+		},
+		{
+			name: "overlapping bursts and ramps compose multiplicatively",
+			sc: Scenario{
+				Bursts: []Burst{{Start: 2, Duration: 2, Factor: 2}},
+				Ramps:  []Ramp{{Start: 0, Duration: 10, From: 2, To: 2}},
+			},
+			want: map[int]float64{0: 200, 1: 200, 2: 400, 3: 400, 4: 200, 5: 200, 6: 200, 7: 200, 8: 200, 9: 200},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := flatSeries(10, 100)
+			out, err := tc.sc.Apply(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, got := range out.Values {
+				want := 100.0
+				if v, ok := tc.want[i]; ok {
+					want = v
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("sample %d = %v, want %v", i, got, want)
+				}
+			}
+			// The input series must be untouched.
+			for i, v := range base.Values {
+				if v != 100 {
+					t.Fatalf("Apply mutated input sample %d: %v", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioApplyErrors(t *testing.T) {
+	s := flatSeries(4, 1)
+	if _, err := (Scenario{}).Apply(nil); err == nil {
+		t.Error("nil series accepted")
+	}
+	bad := []Scenario{
+		{Bursts: []Burst{{Start: 0, Duration: 0, Factor: 2}}},
+		{Bursts: []Burst{{Start: 0, Duration: 1, Factor: 0}}},
+		{Ramps: []Ramp{{Start: 0, Duration: 0, From: 1, To: 2}}},
+		{Ramps: []Ramp{{Start: 0, Duration: 1, From: 0, To: 2}}},
+		{Ramps: []Ramp{{Start: 0, Duration: 1, From: 1, To: -1}}},
+		{Outages: []Outage{{Start: 0, Duration: 0, Level: 1}}},
+		{Outages: []Outage{{Start: 0, Duration: 1, Level: -1}}},
+	}
+	for i, sc := range bad {
+		if _, err := sc.Apply(s); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    Scenario
+		wantErr string
+	}{
+		{name: "empty spec is zero scenario", spec: "  "},
+		{
+			name: "full mixed script",
+			spec: "burst:21600,7200,1.8;outage:50400,3600,5000;ramp:86400,43200,1,1.25",
+			want: Scenario{
+				Bursts:  []Burst{{Start: 21600, Duration: 7200, Factor: 1.8}},
+				Ramps:   []Ramp{{Start: 86400, Duration: 43200, From: 1, To: 1.25}},
+				Outages: []Outage{{Start: 50400, Duration: 3600, Level: 5000}},
+			},
+		},
+		{
+			name: "whitespace tolerated around ops and args",
+			spec: " burst: 10, 20, 2 ",
+			want: Scenario{Bursts: []Burst{{Start: 10, Duration: 20, Factor: 2}}},
+		},
+		{name: "missing colon", spec: "burst", wantErr: "not kind:args"},
+		{name: "unknown kind", spec: "spike:1,2,3", wantErr: "unknown scenario op"},
+		{name: "burst arity", spec: "burst:1,2", wantErr: "wants start,duration,factor"},
+		{name: "ramp arity", spec: "ramp:1,2,3", wantErr: "wants start,duration,from,to"},
+		{name: "outage arity", spec: "outage:1,2,3,4", wantErr: "wants start,duration,level"},
+		{name: "bad float", spec: "burst:1,x,2", wantErr: "arg 1"},
+		{name: "invalid op rejected by validate", spec: "burst:0,10,0", wantErr: "non-positive factor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseScenario(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Bursts) != len(tc.want.Bursts) ||
+				len(got.Ramps) != len(tc.want.Ramps) ||
+				len(got.Outages) != len(tc.want.Outages) {
+				t.Fatalf("parsed %+v, want %+v", got, tc.want)
+			}
+			for i, b := range tc.want.Bursts {
+				if got.Bursts[i] != b {
+					t.Errorf("burst %d = %+v, want %+v", i, got.Bursts[i], b)
+				}
+			}
+			for i, r := range tc.want.Ramps {
+				if got.Ramps[i] != r {
+					t.Errorf("ramp %d = %+v, want %+v", i, got.Ramps[i], r)
+				}
+			}
+			for i, o := range tc.want.Outages {
+				if got.Outages[i] != o {
+					t.Errorf("outage %d = %+v, want %+v", i, got.Outages[i], o)
+				}
+			}
+			if got.IsZero() != (tc.spec == "" || strings.TrimSpace(tc.spec) == "") {
+				t.Errorf("IsZero = %v for spec %q", got.IsZero(), tc.spec)
+			}
+		})
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	horizon := 2 * units.Seconds(units.SecondsPerDay)
+	a, err := RandomScenario(cfg, horizon, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomScenario(cfg, horizon, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bursts) != cfg.Bursts || len(a.Ramps) != cfg.Ramps || len(a.Outages) != cfg.Outages {
+		t.Fatalf("op counts %d/%d/%d, want %d/%d/%d",
+			len(a.Bursts), len(a.Ramps), len(a.Outages), cfg.Bursts, cfg.Ramps, cfg.Outages)
+	}
+	for i := range a.Bursts {
+		if a.Bursts[i] != b.Bursts[i] {
+			t.Fatal("same seed drew different bursts")
+		}
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			t.Fatal("same seed drew different outages")
+		}
+	}
+	c, err := RandomScenario(cfg, horizon, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bursts) > 0 && c.Bursts[0] == a.Bursts[0] {
+		t.Error("different seeds drew identical first bursts")
+	}
+	if a.Validate() != nil {
+		t.Error("generated scenario does not validate")
+	}
+}
+
+func TestRandomScenarioRespectsBounds(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	horizon := units.Seconds(units.SecondsPerDay)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		sc, err := RandomScenario(cfg, horizon, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(start, dur units.Seconds) {
+			t.Helper()
+			if dur < cfg.MinDuration || dur > cfg.MaxDuration {
+				t.Fatalf("duration %v outside [%v, %v]", dur, cfg.MinDuration, cfg.MaxDuration)
+			}
+			if start < 0 || start+dur > horizon {
+				t.Fatalf("op [%v, %v) outside horizon %v", start, start+dur, horizon)
+			}
+		}
+		for _, b := range sc.Bursts {
+			check(b.Start, b.Duration)
+			if b.Factor < 1 || b.Factor > cfg.MaxBurstFactor {
+				t.Fatalf("burst factor %v outside [1, %v]", b.Factor, cfg.MaxBurstFactor)
+			}
+		}
+		for _, r := range sc.Ramps {
+			check(r.Start, r.Duration)
+			if r.From != 1 || r.To < 1 || r.To > cfg.MaxRampFactor {
+				t.Fatalf("ramp %v -> %v outside [1, %v]", r.From, r.To, cfg.MaxRampFactor)
+			}
+		}
+		for _, o := range sc.Outages {
+			check(o.Start, o.Duration)
+			if o.Level != cfg.OutageLevel {
+				t.Fatalf("outage level %v, want %v", o.Level, cfg.OutageLevel)
+			}
+		}
+	}
+}
+
+func TestRandomScenarioErrors(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	horizon := units.Seconds(units.SecondsPerDay)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomScenario(cfg, horizon, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RandomScenario(cfg, cfg.MinDuration, rng); err == nil {
+		t.Error("horizon shorter than min duration accepted")
+	}
+	bad := []func(*ScenarioConfig){
+		func(c *ScenarioConfig) { c.Bursts = -1 },
+		func(c *ScenarioConfig) { c.MaxBurstFactor = 0.5 },
+		func(c *ScenarioConfig) { c.MaxRampFactor = 0.5 },
+		func(c *ScenarioConfig) { c.OutageLevel = -1 },
+		func(c *ScenarioConfig) { c.MinDuration = 0 },
+		func(c *ScenarioConfig) { c.MaxDuration = c.MinDuration - 1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultScenarioConfig()
+		mutate(&c)
+		if _, err := RandomScenario(c, horizon, rng); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestRandomScenarioAppliesToAzureTrace ties the generator to its consumer:
+// a seeded random script perturbs the Azure-like trace reproducibly.
+func TestRandomScenarioAppliesToAzureTrace(t *testing.T) {
+	tcfg := DefaultAzureLikeConfig()
+	tcfg.Days = 2
+	s, err := GenerateAzureLike(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := units.Seconds(float64(tcfg.Days) * units.SecondsPerDay)
+	sc, err := RandomScenario(DefaultScenarioConfig(), horizon, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same script applied twice diverged")
+		}
+		if a.Values[i] != s.Values[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("default scenario perturbed nothing")
+	}
+}

@@ -46,5 +46,10 @@ go run ./cmd/fairco2 -axioms | tee "$RESULTS/axioms.txt"
 echo "== End-to-end cluster pipeline =="
 go run ./cmd/cluster-sim | tee "$RESULTS/cluster_sim.txt"
 
+echo "== Streaming attribution replay (windowed temporal Shapley) =="
+go run ./cmd/attribution-server -stream-once \
+  -stream-scenario 'burst:21600,7200,1.8;outage:50400,3600,5000' \
+  -stream-disorder 0.05 -stream-max-defer 12 | tee "$RESULTS/stream_replay.txt"
+
 echo
 echo "All outputs are under $RESULTS/."
