@@ -68,6 +68,9 @@ type daemonConfig struct {
 	Budget units.GramsCO2e
 	// Parallelism is forwarded to the Shapley engines.
 	Parallelism int
+	// Delta serves POST /v1/demand/delta: what-if and committed demand
+	// updates answered incrementally by the delta engines.
+	Delta bool
 
 	// Serving knobs, forwarded to attrserver.Config.
 	CacheBytes    int64
@@ -92,6 +95,7 @@ func defaultDaemonConfig() daemonConfig {
 		Seed:             1,
 		MaxWorkloads:     14,
 		Budget:           1e6,
+		Delta:            def.EnableDelta,
 		CacheBytes:       def.CacheBytes,
 		CacheTTL:         def.CacheTTL,
 		BatchWindow:      def.BatchWindow,
@@ -153,6 +157,7 @@ func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, *
 	scfg.Schedule = sched
 	scfg.Budget = cfg.Budget
 	scfg.Parallelism = cfg.Parallelism
+	scfg.EnableDelta = cfg.Delta
 	scfg.CacheBytes = cfg.CacheBytes
 	scfg.CacheTTL = cfg.CacheTTL
 	scfg.BatchWindow = cfg.BatchWindow
@@ -192,6 +197,7 @@ func main() {
 		maxWl    = flag.Int("max-workloads", def.MaxWorkloads, "generated schedule workload cap")
 		budget   = flag.Float64("budget", float64(def.Budget), "embodied budget over the schedule window (gCO2e)")
 		workers  = flag.Int("parallelism", def.Parallelism, "Shapley engine workers (0 auto, 1 serial)")
+		deltaOn  = flag.Bool("delta", def.Delta, "serve POST /v1/demand/delta what-if and commit queries via the incremental delta engines")
 		cacheB   = flag.Int64("cache-bytes", def.CacheBytes, "result cache byte budget")
 		cacheTTL = flag.Duration("cache-ttl", def.CacheTTL, "result lifetime (fresh signal or static budget)")
 		window   = flag.Duration("batch-window", def.BatchWindow, "batching window gathering queries into one computation")
@@ -224,6 +230,7 @@ func main() {
 	cfg.MaxWorkloads = *maxWl
 	cfg.Budget = units.GramsCO2e(*budget)
 	cfg.Parallelism = *workers
+	cfg.Delta = *deltaOn
 	cfg.CacheBytes = *cacheB
 	cfg.CacheTTL = *cacheTTL
 	cfg.BatchWindow = *window

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fairco2/internal/metrics"
@@ -140,5 +141,74 @@ func TestBuildServerRejectsBadConfig(t *testing.T) {
 	cfg.SchedulePath = "/nonexistent/sched.csv"
 	if _, _, err := buildServer(cfg, metrics.NewRegistry()); err == nil {
 		t.Error("unreadable schedule path accepted")
+	}
+}
+
+func TestBuildServerServesDemandDelta(t *testing.T) {
+	cfg := defaultDaemonConfig()
+	cfg.Seed = 3
+	if !cfg.Delta {
+		t.Fatal("delta endpoint should default on")
+	}
+	srv, _, err := buildServer(cfg, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"tenant":0,"cores":7,"method":"ground-truth"}`)
+	resp, err := http.Post(ts.URL+"/v1/demand/delta", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Method    string `json:"method"`
+		Committed bool   `json:"committed"`
+		Workloads []struct {
+			ID    int     `json:"id"`
+			Grams float64 `json:"gco2e"`
+		} `json:"workloads"`
+		Delta struct {
+			Coalitions int `json:"shapley_coalitions_reevaluated"`
+		} `json:"delta"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != "ground-truth" || out.Committed || len(out.Workloads) == 0 {
+		t.Errorf("response = %+v", out)
+	}
+	if out.Delta.Coalitions == 0 {
+		t.Error("delta reported zero re-evaluated coalitions")
+	}
+	total := 0.0
+	for _, w := range out.Workloads {
+		total += w.Grams
+	}
+	if diff := total - float64(cfg.Budget); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("what-if attribution sums to %v, want the budget %v", total, float64(cfg.Budget))
+	}
+
+	// The disabled path: no route registered.
+	cfg.Delta = false
+	srvOff, _, err := buildServer(cfg, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsOff := httptest.NewServer(srvOff.Handler())
+	defer tsOff.Close()
+	respOff, err := http.Post(tsOff.URL+"/v1/demand/delta", "application/json", strings.NewReader(`{"tenant":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respOff.Body.Close()
+	if respOff.StatusCode != http.StatusNotFound {
+		t.Errorf("-delta=false endpoint: status %d, want 404", respOff.StatusCode)
 	}
 }

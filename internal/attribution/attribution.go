@@ -64,11 +64,14 @@ type GroundTruth struct {
 // Name implements Method.
 func (GroundTruth) Name() string { return "ground-truth-shapley" }
 
-// demandPeakGame returns the incremental coalition-peak game over a fresh
+// DemandPeakGame returns the incremental coalition-peak game over a fresh
 // demand scratch buffer: add/remove update the summed demand curve, value
 // recomputes its peak in O(slices). Each call returns independent state, so
-// parallel enumeration gets one game per block.
-func demandPeakGame(s *schedule.Schedule) (add, remove func(int), value func() float64) {
+// parallel enumeration gets one game per block. Workload demands are
+// integer cores, so the incremental arithmetic is exact and every
+// enumeration order — including the delta engine's subcube walks — yields
+// bitwise-identical coalition values.
+func DemandPeakGame(s *schedule.Schedule) (add, remove func(int), value func() float64) {
 	demand := make([]float64, s.Slices)
 	add = func(i int) {
 		w := s.Workloads[i]
@@ -105,14 +108,14 @@ func (m GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]
 	var table, phi []float64
 	var err error
 	if m.Parallelism == 1 {
-		add, remove, value := demandPeakGame(s)
+		add, remove, value := DemandPeakGame(s)
 		table, err = shapley.BuildTableIncremental(n, add, remove, value)
 		if err == nil {
 			phi, err = shapley.ExactFromTable(n, table)
 		}
 	} else {
 		table, err = shapley.BuildTableIncrementalParallel(n,
-			func() (func(int), func(int), func() float64) { return demandPeakGame(s) },
+			func() (func(int), func(int), func() float64) { return DemandPeakGame(s) },
 			m.Parallelism)
 		if err == nil {
 			phi, err = shapley.ExactFromTableParallel(n, table, m.Parallelism)
@@ -121,7 +124,7 @@ func (m GroundTruth) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]
 	if err != nil {
 		return nil, err
 	}
-	return normalizeShares(phi, budget)
+	return NormalizeShares(phi, budget)
 }
 
 // AttributeCheckpointed is Attribute with context cancellation and
@@ -138,7 +141,7 @@ func (m GroundTruth) AttributeCheckpointed(ctx context.Context, s *schedule.Sche
 	}
 	n := len(s.Workloads)
 	table, err := shapley.BuildTableIncrementalCheckpointed(ctx, n,
-		func() (func(int), func(int), func() float64) { return demandPeakGame(s) },
+		func() (func(int), func(int), func() float64) { return DemandPeakGame(s) },
 		m.Parallelism, ck)
 	if err != nil {
 		return nil, err
@@ -152,11 +155,13 @@ func (m GroundTruth) AttributeCheckpointed(ctx context.Context, s *schedule.Sche
 	if err != nil {
 		return nil, err
 	}
-	return normalizeShares(phi, budget)
+	return NormalizeShares(phi, budget)
 }
 
-// normalizeShares scales nonnegative Shapley values to sum to budget.
-func normalizeShares(phi []float64, budget units.GramsCO2e) ([]float64, error) {
+// NormalizeShares scales nonnegative Shapley values to sum to budget —
+// the final step shared by every Shapley-backed method (and the delta
+// query service, which re-derives shares from patched tables).
+func NormalizeShares(phi []float64, budget units.GramsCO2e) ([]float64, error) {
 	total := 0.0
 	for _, v := range phi {
 		total += v
@@ -212,7 +217,7 @@ func (DemandProportional) Attribute(s *schedule.Schedule, budget units.GramsCO2e
 	if err != nil {
 		return nil, err
 	}
-	return attributeByIntensity(s, intensity)
+	return AttributeByIntensity(s, intensity)
 }
 
 // TemporalShapley is Fair-CO2's attribution: a hierarchical time-period
@@ -246,10 +251,14 @@ func (m TemporalShapley) Attribute(s *schedule.Schedule, budget units.GramsCO2e)
 	if err != nil {
 		return nil, err
 	}
-	return attributeByIntensity(s, intensity)
+	return AttributeByIntensity(s, intensity)
 }
 
-func attributeByIntensity(s *schedule.Schedule, intensity *timeseries.Series) ([]float64, error) {
+// AttributeByIntensity integrates each workload's usage against a carbon
+// intensity signal: workload i pays sum_t cores_i(t) * intensity(t) * dt.
+// It is the common back half of every intensity-based method, exported so
+// the delta query service can re-attribute under a patched signal.
+func AttributeByIntensity(s *schedule.Schedule, intensity *timeseries.Series) ([]float64, error) {
 	attr := make([]float64, len(s.Workloads))
 	for i, w := range s.Workloads {
 		total := 0.0

@@ -43,7 +43,8 @@ type querySpec struct {
 //	period  slice window as "start:end"    (default the whole schedule)
 //	tenant  workload ID to filter to       (default all)
 func (s *Server) parseQuery(r *http.Request) (querySpec, error) {
-	q := querySpec{method: MethodFairCO2, start: 0, end: s.cfg.Schedule.Slices, tenant: -1}
+	st := s.snapshot()
+	q := querySpec{method: MethodFairCO2, start: 0, end: st.sched.Slices, tenant: -1}
 	vals := r.URL.Query()
 
 	if m := vals.Get("method"); m != "" {
@@ -62,15 +63,15 @@ func (s *Server) parseQuery(r *http.Request) (querySpec, error) {
 		if err1 != nil || err2 != nil {
 			return q, fmt.Errorf("period %q is not start:end", p)
 		}
-		if start < 0 || end > s.cfg.Schedule.Slices || start >= end {
-			return q, fmt.Errorf("period %d:%d outside schedule window [0, %d)", start, end, s.cfg.Schedule.Slices)
+		if start < 0 || end > st.sched.Slices || start >= end {
+			return q, fmt.Errorf("period %d:%d outside schedule window [0, %d)", start, end, st.sched.Slices)
 		}
 		q.start, q.end = start, end
 	}
 	if t := vals.Get("tenant"); t != "" {
 		id, err := strconv.Atoi(t)
-		if err != nil || id < 0 || id >= len(s.cfg.Schedule.Workloads) {
-			return q, fmt.Errorf("tenant %q is not a workload ID in [0, %d)", t, len(s.cfg.Schedule.Workloads))
+		if err != nil || id < 0 || id >= len(st.sched.Workloads) {
+			return q, fmt.Errorf("tenant %q is not a workload ID in [0, %d)", t, len(st.sched.Workloads))
 		}
 		q.tenant = id
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fairco2/internal/attribution"
@@ -28,6 +29,12 @@ type Config struct {
 	Budget units.GramsCO2e
 	// Parallelism is forwarded to the Shapley engines (0 auto, 1 serial).
 	Parallelism int
+	// EnableDelta serves POST /v1/demand/delta: what-if and committed
+	// single-tenant demand updates answered by the incremental delta
+	// engines (shapley.DeltaTable, temporal.SignalDelta) instead of full
+	// recomputation. DefaultConfig turns it on; a zero-value Config leaves
+	// it off, so embedding callers opt in explicitly.
+	EnableDelta bool
 
 	// CacheBytes bounds the result cache (default 8 MiB).
 	CacheBytes int64
@@ -75,6 +82,7 @@ type Config struct {
 // and Budget.
 func DefaultConfig() Config {
 	return Config{
+		EnableDelta:    true,
 		CacheBytes:     8 << 20,
 		CacheShards:    16,
 		CacheTTL:       5 * time.Minute,
@@ -141,9 +149,23 @@ type Server struct {
 	cache   *resultCache
 	batch   *batcher
 	methods map[string]attribution.Method
-	fp      uint32
+	state   atomic.Pointer[schedState]
+	delta   *deltaEngine // nil unless Config.EnableDelta
 	started time.Time
 }
+
+// schedState is the servable schedule and its cache fingerprint, swapped
+// atomically when a delta commit lands. Queries load one snapshot and use
+// it throughout, so a concurrent commit never mixes old and new state
+// within a single answer; results computed against a superseded snapshot
+// are cached under the superseded fingerprint and simply age out.
+type schedState struct {
+	sched *schedule.Schedule
+	fp    uint32
+}
+
+// snapshot returns the current schedule state.
+func (s *Server) snapshot() *schedState { return s.state.Load() }
 
 // New builds a Server and registers its instruments on reg.
 func New(cfg Config, reg *metrics.Registry) (*Server, error) {
@@ -169,7 +191,14 @@ func New(cfg Config, reg *metrics.Registry) (*Server, error) {
 	for name, m := range cfg.Methods {
 		s.methods[name] = m
 	}
-	s.fp = configFingerprint(cfg.Schedule, cfg.Budget)
+	s.state.Store(&schedState{sched: cfg.Schedule, fp: configFingerprint(cfg.Schedule, cfg.Budget)})
+	if cfg.EnableDelta {
+		d, err := newDeltaEngine(cfg.Schedule, cfg.Budget, cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		s.delta = d
+	}
 	return s, nil
 }
 
@@ -198,11 +227,12 @@ func (a *answer) sizeBytes(key string) int64 {
 // stack. Waiting is bounded by ctx; a computation, once started, always
 // finishes and fills the cache.
 func (s *Server) resolve(ctx context.Context, q querySpec) (*answer, error) {
-	key := q.cacheKey(s.fp)
+	st := s.snapshot()
+	key := q.cacheKey(st.fp)
 	if v, ok := s.cache.get(key); ok {
 		return v.(*answer), nil
 	}
-	v, err := s.batch.Do(ctx, key, func() (any, error) { return s.compute(q, key) })
+	v, err := s.batch.Do(ctx, key, func() (any, error) { return s.compute(st, q, key) })
 	if err != nil {
 		return nil, err
 	}
@@ -210,13 +240,13 @@ func (s *Server) resolve(ctx context.Context, q querySpec) (*answer, error) {
 }
 
 // compute runs one attribution over the queried period and caches it.
-func (s *Server) compute(q querySpec, key string) (*answer, error) {
+func (s *Server) compute(st *schedState, q querySpec, key string) (*answer, error) {
 	s.inst.Computations.With(q.method).Inc()
-	sub, ids, err := subSchedule(s.cfg.Schedule, q.start, q.end)
+	sub, ids, err := subSchedule(st.sched, q.start, q.end)
 	if err != nil {
 		return nil, err
 	}
-	budget, intensity, quality, ttl := s.budgetFor(sub, q.start, q.end)
+	budget, intensity, quality, ttl := s.budgetFor(st, sub, q.start, q.end)
 	grams, err := s.methods[q.method].Attribute(sub, budget)
 	if err != nil {
 		return nil, fmt.Errorf("attrserver: %s over period %d:%d: %w", q.method, q.start, q.end, err)
@@ -242,8 +272,8 @@ func (s *Server) compute(q querySpec, key string) (*answer, error) {
 // degradation ladder: fresh samples get the full TTL, stale samples only
 // what remains of the staleness bound, and degraded service falls back to
 // the prorated budget with a short TTL so recovery is picked up quickly.
-func (s *Server) budgetFor(sub *schedule.Schedule, start, end int) (budget units.GramsCO2e, intensity float64, quality string, ttl time.Duration) {
-	prorated := units.GramsCO2e(float64(s.cfg.Budget) * float64(end-start) / float64(s.cfg.Schedule.Slices))
+func (s *Server) budgetFor(st *schedState, sub *schedule.Schedule, start, end int) (budget units.GramsCO2e, intensity float64, quality string, ttl time.Duration) {
+	prorated := units.GramsCO2e(float64(s.cfg.Budget) * float64(end-start) / float64(st.sched.Slices))
 	if s.cfg.Feed == nil {
 		return prorated, 0, "static", s.cfg.CacheTTL
 	}
@@ -271,6 +301,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/attribution", s.queryHandler("attribution", renderAttribution))
 	mux.Handle("GET /v1/share", s.queryHandler("share", renderShare))
 	mux.Handle("GET /v1/billing", s.queryHandler("billing", renderBilling))
+	if s.delta != nil {
+		mux.Handle("POST /v1/demand/delta", s.instrument("demand-delta", http.HandlerFunc(s.handleDemandDelta)))
+	}
 	mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.reg.Handler()))
 	if s.cfg.Stream != nil {
@@ -330,13 +363,15 @@ func (s *Server) queryHandler(endpoint string, render func(*Server, querySpec, *
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.stats()
+	st := s.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":             "ok",
 		"uptime_seconds":     s.cfg.Now().Sub(s.started).Seconds(),
-		"config_fingerprint": fmt.Sprintf("%08x", s.fp),
+		"config_fingerprint": fmt.Sprintf("%08x", st.fp),
+		"delta_enabled":      s.delta != nil,
 		"schedule": map[string]any{
-			"slices":    s.cfg.Schedule.Slices,
-			"workloads": len(s.cfg.Schedule.Workloads),
+			"slices":    st.sched.Slices,
+			"workloads": len(st.sched.Workloads),
 		},
 		"cache": map[string]any{
 			"entries": entries,

@@ -30,11 +30,40 @@ func Uint64sCRC(vals []uint64) uint32 {
 // of vals. Hashing the bits (not a decimal rendering) makes the
 // fingerprint exact: any sample change, however small, changes the key.
 func Float64sCRC(vals []float64) uint32 {
-	h := crc32.NewIEEE()
-	var buf [8]byte
-	for _, v := range vals {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
+	return Float64sCRCUpdate(0, vals)
+}
+
+// Float64sCRCUpdate extends a running IEEE CRC-32 with the little-endian
+// bit patterns of vals and returns the new checksum. Starting from 0 it
+// equals Float64sCRC, and chaining calls over consecutive chunks equals
+// one call over their concatenation — the block-fingerprint primitive the
+// incremental delta engines use to stamp table blocks and demand periods.
+// It allocates one small encode buffer per call; hot loops that must not
+// allocate pass their own via Float64sCRCUpdateBuf.
+func Float64sCRCUpdate(crc uint32, vals []float64) uint32 {
+	var buf [256]byte
+	return Float64sCRCUpdateBuf(crc, vals, buf[:])
+}
+
+// Float64sCRCUpdateBuf is Float64sCRCUpdate encoding through the
+// caller-provided byte buffer (len >= 8; larger buffers batch the
+// encode/checksum round trips). The stdlib's IEEE fast path dispatches
+// through a function pointer, which forces any local encode buffer to the
+// heap — threading a preallocated one through here is what lets the delta
+// engines refresh fingerprints with zero allocations.
+func Float64sCRCUpdateBuf(crc uint32, vals []float64, buf []byte) uint32 {
+	words := len(buf) / 8
+	if words == 0 {
+		words = 1
+		buf = make([]byte, 8)
 	}
-	return h.Sum32()
+	for len(vals) > 0 {
+		n := min(len(vals), words)
+		for i, v := range vals[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n*8])
+		vals = vals[n:]
+	}
+	return crc
 }

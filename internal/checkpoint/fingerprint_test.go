@@ -40,6 +40,26 @@ func TestFloat64sCRCIsBitExact(t *testing.T) {
 	}
 }
 
+func TestFloat64sCRCUpdateChainsToOneShot(t *testing.T) {
+	vals := []float64{1.5, -0.25, 0, 42, math.Inf(-1), 3.14}
+	want := Float64sCRC(vals)
+	for cut := 0; cut <= len(vals); cut++ {
+		crc := Float64sCRCUpdate(0, vals[:cut])
+		crc = Float64sCRCUpdate(crc, vals[cut:])
+		if crc != want {
+			t.Errorf("chained CRC with cut at %d = %08x, one-shot %08x", cut, crc, want)
+		}
+	}
+	// Element-at-a-time chaining must agree too.
+	crc := uint32(0)
+	for i := range vals {
+		crc = Float64sCRCUpdate(crc, vals[i:i+1])
+	}
+	if crc != want {
+		t.Errorf("element-wise chained CRC = %08x, one-shot %08x", crc, want)
+	}
+}
+
 func TestFloat64sCRCMatchesUint64sCRCOnBits(t *testing.T) {
 	vals := []float64{3.14, -2.71, 0, math.Inf(1)}
 	bits := make([]uint64, len(vals))

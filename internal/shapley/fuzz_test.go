@@ -2,6 +2,7 @@ package shapley
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 )
 
@@ -53,6 +54,78 @@ func FuzzExactFromTable(f *testing.F) {
 		for i := range phi {
 			if par[i] != phi[i] {
 				t.Fatalf("player %d: parallel %v != serial %v", i, par[i], phi[i])
+			}
+		}
+	})
+}
+
+// FuzzDeltaTable drives a DeltaTable through a fuzzer-chosen game and
+// perturbation chain and demands the invariant the whole delta engine rests
+// on: after every apply, the wrapped table is Float64bits-identical to a
+// fresh BuildTableParallel of the current game, with the re-evaluated
+// coalition count exactly 2^n - 2^(n-k) for k changed players.
+func FuzzDeltaTable(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(9), []byte{7, 7, 7, 0, 255, 3, 1, 128, 64, 32, 5, 17, 200, 9})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw)%9 + 1
+		const slices = 3
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		// Integer-valued demands keep the incremental add/remove arithmetic
+		// exact, so bitwise equality to a fresh build is the contract (the
+		// same reason the attribution demand-peak game qualifies).
+		g := &deltaGame{slices: slices, vecs: make([][]float64, n)}
+		for i := range g.vecs {
+			vec := make([]float64, slices)
+			for s := range vec {
+				vec[s] = float64(next() % 8)
+			}
+			g.vecs[i] = vec
+		}
+		dt, err := NewDeltaTableIncremental(n, g.factory(), int(nRaw)%3+1)
+		if err != nil {
+			t.Fatalf("build rejected valid game: %v", err)
+		}
+		for step := 0; step < 4; step++ {
+			changed := uint64(next()) & (uint64(1)<<uint(n) - 1)
+			for rest := changed; rest != 0; rest &= rest - 1 {
+				vec := g.vecs[bits.TrailingZeros64(rest)]
+				for s := range vec {
+					vec[s] = float64(next() % 8)
+				}
+			}
+			workers := int(next())%3 + 1
+			var stats DeltaStats
+			if step%2 == 0 {
+				stats, err = dt.ApplyIncremental(changed, g.factory(), workers)
+			} else {
+				stats, err = dt.Apply(changed, g.plain(), workers)
+			}
+			if err != nil {
+				t.Fatalf("step %d: apply: %v", step, err)
+			}
+			k := bits.OnesCount64(changed)
+			if want := 1<<uint(n) - 1<<uint(n-k); stats.Coalitions != want {
+				t.Fatalf("step %d: %d coalitions re-evaluated, want %d (n=%d, k=%d)",
+					step, stats.Coalitions, want, n, k)
+			}
+			scratch, err := BuildTableParallel(n, g.plain(), workers)
+			if err != nil {
+				t.Fatalf("step %d: scratch: %v", step, err)
+			}
+			for m := range scratch {
+				if math.Float64bits(dt.Table()[m]) != math.Float64bits(scratch[m]) {
+					t.Fatalf("step %d: mask %#x: delta %v != scratch %v",
+						step, m, dt.Table()[m], scratch[m])
+				}
 			}
 		}
 	})

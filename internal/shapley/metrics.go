@@ -56,6 +56,24 @@ var (
 		"mode")
 )
 
+// Delta-engine instrumentation: plain (unlabeled) instruments, so the hot
+// apply path pays one atomic add per counter and no map lookups.
+var (
+	metricDeltaApplies = metrics.Default().NewCounter(
+		"fairco2_shapley_delta_applies_total",
+		"Delta re-evaluations applied to wrapped coalition tables.")
+	metricDeltaBlocksRecomputed = metrics.Default().NewCounter(
+		"fairco2_shapley_delta_blocks_recomputed_total",
+		"Gray-code table blocks re-enumerated (fully or partially) by delta applies.")
+	metricDeltaBlocksSkipped = metrics.Default().NewCounter(
+		"fairco2_shapley_delta_blocks_skipped_total",
+		"Gray-code table blocks left untouched by delta applies.")
+	metricDeltaSpeedup = metrics.Default().NewGauge(
+		"fairco2_shapley_delta_speedup",
+		"Coalition-evaluation ratio of the most recent delta apply: "+
+			"full-table size / coalitions re-evaluated.")
+)
+
 // observeParallel records one parallel solver run.
 func observeParallel(mode string, workers int, wall, busy time.Duration) {
 	metricParallelRuns.With(mode).Inc()

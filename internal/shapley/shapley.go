@@ -91,15 +91,37 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 	if err := checkExactN(n); err != nil {
 		return nil, err
 	}
+	phi := make([]float64, n)
+	w := make([]float64, n)
+	if err := ExactFromTableInto(n, table, phi, w); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// ExactFromTableInto is ExactFromTable writing into caller-provided scratch:
+// phi (length n) receives the Shapley values, w (length n) holds the
+// coalition-size weights. It performs no heap allocation, accumulates in
+// exactly ExactFromTable's order (so results are bit-for-bit identical),
+// and exists for hot re-attribution loops that price a delta-updated table
+// on every request.
+func ExactFromTableInto(n int, table, phi, w []float64) error {
+	if err := checkExactN(n); err != nil {
+		return err
+	}
 	if len(table) != 1<<uint(n) {
-		return nil, fmt.Errorf("shapley: table has %d entries, want 2^%d: %w", len(table), n, ErrTableSize)
+		return fmt.Errorf("shapley: table has %d entries, want 2^%d: %w", len(table), n, ErrTableSize)
+	}
+	if len(phi) != n || len(w) != n {
+		return fmt.Errorf("shapley: phi/weight scratch of %d/%d entries, want %d: %w", len(phi), len(w), n, ErrScratchSize)
 	}
 	// w[s] = s!(n-s-1)!/n! = 1 / (n * C(n-1, s)).
-	w := make([]float64, n)
 	for s := 0; s < n; s++ {
 		w[s] = 1 / (float64(n) * binomial(n-1, s))
 	}
-	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = 0
+	}
 	for mask := uint64(0); mask < uint64(len(table)); mask++ {
 		rest := ^mask & (1<<uint(n) - 1)
 		if rest == 0 {
@@ -114,7 +136,7 @@ func ExactFromTable(n int, table []float64) ([]float64, error) {
 			rest ^= bit
 		}
 	}
-	return phi, nil
+	return nil
 }
 
 // MonteCarlo estimates Shapley values by sampling random permutations and
@@ -205,18 +227,51 @@ func PeakGame(peaks []float64) ([]float64, error) {
 	if n == 0 {
 		return nil, ErrNoPlayers
 	}
+	phi := make([]float64, n)
 	idx := make([]int, n)
+	if err := PeakGameInto(peaks, phi, idx); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// insertionSortMax bounds the player count PeakGameInto sorts with its
+// allocation-free insertion sort; larger games fall back to sort.Slice
+// (which allocates its closure but keeps the O(n log n) bound).
+const insertionSortMax = 64
+
+// PeakGameInto is PeakGame writing into caller-provided scratch: phi
+// (length n) receives the values, idx (length n) is ordering scratch. For
+// n <= 64 players it performs no heap allocation. The result is bit-for-bit
+// identical to PeakGame's even though the sorts order ties differently:
+// tied peaks contribute zero-height increments to the running accumulator,
+// so every ascending order yields the same phi.
+func PeakGameInto(peaks, phi []float64, idx []int) error {
+	n := len(peaks)
+	if n == 0 {
+		return ErrNoPlayers
+	}
+	if len(phi) != n || len(idx) != n {
+		return fmt.Errorf("shapley: phi/index scratch of %d/%d entries, want %d: %w", len(phi), len(idx), n, ErrScratchSize)
+	}
 	for i := range idx {
 		idx[i] = i
 	}
 	for i, p := range peaks {
 		if p < 0 {
-			return nil, fmt.Errorf("shapley: peak game requires non-negative peaks, player %d has %v", i, p)
+			return fmt.Errorf("shapley: peak game requires non-negative peaks, player %d has %v", i, p)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool { return peaks[idx[a]] < peaks[idx[b]] })
+	if n <= insertionSortMax {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && peaks[idx[j]] < peaks[idx[j-1]]; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+	} else {
+		sort.Slice(idx, func(a, b int) bool { return peaks[idx[a]] < peaks[idx[b]] })
+	}
 
-	phi := make([]float64, n)
 	acc := 0.0
 	prev := 0.0
 	for rank, i := range idx {
@@ -225,7 +280,7 @@ func PeakGame(peaks []float64) ([]float64, error) {
 		phi[i] = acc
 		prev = c
 	}
-	return phi, nil
+	return nil
 }
 
 // PeakGameNaive computes the peak-game Shapley value via full coalition

@@ -2,9 +2,11 @@ package temporal
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
+	"fairco2/internal/timeseries"
 	"fairco2/internal/trace"
 )
 
@@ -32,4 +34,58 @@ func benchSignal(b *testing.B, parallelism int) {
 func BenchmarkIntensitySignal(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchSignal(b, 1) })
 	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { benchSignal(b, 0) })
+}
+
+// BenchmarkTemporalDelta measures the delta engine's workload: a volume-
+// and peak-preserving reshape inside one top-level period, replayed
+// through SignalDelta.Update versus a fresh IntensitySignal. The demand is
+// integer-valued (exact sums under permutation), so the reshape
+// re-attributes exactly one of the ten top-level periods and the measured
+// ratio is the periods-skipped saving.
+func BenchmarkTemporalDelta(b *testing.B) {
+	splits := PaperSplits()
+	n := 1
+	for _, m := range splits {
+		n *= m
+	}
+	rng := rand.New(rand.NewSource(31))
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(96) + 1)
+	}
+	demand := timeseries.New(0, 300, values)
+	cfg := Config{SplitRatios: splits, Parallelism: 1}
+
+	// Two variants of period 0 that permute the same multiset of bins.
+	width := n / splits[0]
+	alt := demand.Clone()
+	rng.Shuffle(width, func(i, j int) {
+		alt.Values[i], alt.Values[j] = alt.Values[j], alt.Values[i]
+	})
+	pair := [2]*timeseries.Series{demand.Clone(), alt}
+
+	b.Run("delta-reshape", func(b *testing.B) {
+		d, err := IntensitySignalDelta(demand, 1e6, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats, err := d.Update(pair[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.PeriodsRecomputed > 1 {
+				b.Fatalf("reshape recomputed %d periods", stats.PeriodsRecomputed)
+			}
+		}
+	})
+
+	b.Run("fresh-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := IntensitySignal(pair[i%2], 1e6, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

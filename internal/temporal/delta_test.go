@@ -1,0 +1,323 @@
+package temporal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/timeseries"
+)
+
+// Integer-valued demand keeps sums and peaks exact under intraperiod
+// permutations, which is what makes "reshape one period, re-attribute one
+// period" reachable: the period's resource-time and peak keep their exact
+// bits, so every other share is bitwise-unchanged and skips.
+func randomIntDemand(rng *rand.Rand, n int) *timeseries.Series {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(8))
+	}
+	values[rng.Intn(n)] += 1
+	return timeseries.New(0, 300, values)
+}
+
+func requireSeriesBits(t *testing.T, ctx string, got, want *timeseries.Series) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: length %d != %d", ctx, got.Len(), want.Len())
+	}
+	for i := range want.Values {
+		if math.Float64bits(got.Values[i]) != math.Float64bits(want.Values[i]) {
+			t.Fatalf("%s: sample %d: %v (%016x) != %v (%016x)", ctx, i,
+				got.Values[i], math.Float64bits(got.Values[i]),
+				want.Values[i], math.Float64bits(want.Values[i]))
+		}
+	}
+}
+
+// TestSignalDeltaDifferential drives SignalDelta through chained random
+// updates — single-bin edits, multi-bin edits, intraperiod reshapes and
+// reverts — and after every update demands the live signal be
+// Float64bits-identical to a fresh IntensitySignal of the current demand.
+func TestSignalDeltaDifferential(t *testing.T) {
+	schedules := [][]int{{6, 2, 2}, {4, 5}, {8}, {3, 2, 2, 2}}
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		splits := schedules[rng.Intn(len(schedules))]
+		n := 1
+		for _, m := range splits {
+			n *= m
+		}
+		demand := randomIntDemand(rng, n)
+		orig := demand.Clone()
+		cfg := Config{SplitRatios: splits}
+		const budget = 1e6
+
+		d, err := IntensitySignalDelta(demand, budget, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		fresh, err := IntensitySignal(demand, budget, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: fresh: %v", seed, err)
+		}
+		requireSeriesBits(t, "initial build", d.Intensity(), fresh)
+
+		for step := 0; step < 5; step++ {
+			next := d.Demand().Clone()
+			switch step % 4 {
+			case 0: // single-bin edit
+				next.Values[rng.Intn(n)] = float64(rng.Intn(8))
+			case 1: // multi-bin edit
+				for j := 0; j <= rng.Intn(4); j++ {
+					next.Values[rng.Intn(n)] = float64(rng.Intn(8))
+				}
+			case 2: // intraperiod reshape: permute one period's bins
+				width := n / splits[0]
+				lo := rng.Intn(splits[0]) * width
+				rng.Shuffle(width, func(i, j int) {
+					next.Values[lo+i], next.Values[lo+j] = next.Values[lo+j], next.Values[lo+i]
+				})
+			default: // revert to the original series
+				copy(next.Values, orig.Values)
+			}
+			if integral(next) == 0 {
+				next.Values[0] = 1
+			}
+
+			stats, err := d.Update(next)
+			if err != nil {
+				t.Fatalf("seed %d step %d: update: %v", seed, step, err)
+			}
+			if got := stats.PeriodsRecomputed + stats.PeriodsSkipped; got != d.Periods() {
+				t.Fatalf("seed %d step %d: recomputed %d + skipped %d != periods %d",
+					seed, step, stats.PeriodsRecomputed, stats.PeriodsSkipped, d.Periods())
+			}
+			fresh, err := IntensitySignal(next, budget, cfg)
+			if err != nil {
+				t.Fatalf("seed %d step %d: fresh: %v", seed, step, err)
+			}
+			requireSeriesBits(t, "delta vs fresh", d.Intensity(), fresh)
+			requireSeriesBits(t, "owned demand", d.Demand(), next)
+		}
+	}
+}
+
+func integral(s *timeseries.Series) float64 {
+	total := 0.0
+	for _, v := range s.Values {
+		total += v
+	}
+	return total
+}
+
+// TestSignalDeltaReshapeRecomputesOnePeriod pins the headline saving: a
+// volume- and peak-preserving reshape inside one period re-attributes that
+// period alone.
+func TestSignalDeltaReshapeRecomputesOnePeriod(t *testing.T) {
+	demand := timeseries.New(0, 300, []float64{
+		1, 4, 2, 0, // period 0
+		3, 3, 5, 1, // period 1
+		0, 2, 2, 6, // period 2
+	})
+	d, err := IntensitySignalDelta(demand, 1e6, Config{SplitRatios: []int{3, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := demand.Clone()
+	next.Values[4], next.Values[5], next.Values[6], next.Values[7] = 5, 1, 3, 3
+	stats, err := d.Update(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeriodsRecomputed != 1 || stats.PeriodsSkipped != 2 {
+		t.Errorf("reshape stats %+v, want 1 recomputed / 2 skipped", stats)
+	}
+	fresh, err := IntensitySignal(next, 1e6, Config{SplitRatios: []int{3, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeriesBits(t, "reshape", d.Intensity(), fresh)
+
+	// A no-op update skips everything.
+	stats, err = d.Update(next.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeriodsRecomputed != 0 || stats.PeriodsSkipped != 3 {
+		t.Errorf("no-op stats %+v, want 0 recomputed / 3 skipped", stats)
+	}
+}
+
+// TestSignalDeltaRevert pins the what-if workflow: apply a change, revert
+// it, and the signal, demand and fingerprints are bitwise back.
+func TestSignalDeltaRevert(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	demand := randomIntDemand(rng, 24)
+	cfg := Config{SplitRatios: []int{4, 3, 2}}
+	d, err := IntensitySignalDelta(demand, 5e5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Intensity().Clone()
+	fps := append([]uint32(nil), d.PeriodFingerprints()...)
+
+	next := demand.Clone()
+	next.Values[7] += 3
+	next.Values[20] = 0
+	if _, err := d.Update(next); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Update(demand); err != nil {
+		t.Fatal(err)
+	}
+	requireSeriesBits(t, "reverted intensity", d.Intensity(), before)
+	requireSeriesBits(t, "reverted demand", d.Demand(), demand)
+	for k, fp := range d.PeriodFingerprints() {
+		if fp != fps[k] {
+			t.Errorf("period %d fingerprint %08x != original %08x", k, fp, fps[k])
+		}
+	}
+}
+
+// TestSignalDeltaNaiveSubset cross-checks the delta engine under the
+// exponential backend, which must agree with the closed form everywhere.
+func TestSignalDeltaNaiveSubset(t *testing.T) {
+	demand := timeseries.New(0, 60, []float64{2, 1, 0, 3, 1, 1})
+	cfg := Config{SplitRatios: []int{3, 2}, Backend: NaiveSubset}
+	d, err := IntensitySignalDelta(demand, 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := demand.Clone()
+	next.Values[0] = 5
+	if _, err := d.Update(next); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := IntensitySignal(next, 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeriesBits(t, "naive backend", d.Intensity(), fresh)
+}
+
+// TestSignalDeltaFlat covers the degenerate no-split schedule: one sample,
+// one period, everything attributed to it.
+func TestSignalDeltaFlat(t *testing.T) {
+	demand := timeseries.New(0, 300, []float64{4})
+	d, err := IntensitySignalDelta(demand, 1200, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Intensity().Values[0], 1200.0/(4*300); got != want {
+		t.Fatalf("flat intensity %v, want %v", got, want)
+	}
+	next := timeseries.New(0, 300, []float64{2})
+	stats, err := d.Update(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeriodsRecomputed != 1 {
+		t.Errorf("flat update stats %+v", stats)
+	}
+	if got, want := d.Intensity().Values[0], 1200.0/(2*300); got != want {
+		t.Fatalf("updated flat intensity %v, want %v", got, want)
+	}
+}
+
+// TestSignalDeltaErrors pins validation failures and that every one of
+// them leaves the wrapped state untouched.
+func TestSignalDeltaErrors(t *testing.T) {
+	demand := timeseries.New(0, 300, []float64{1, 2, 3, 4})
+	cfg := Config{SplitRatios: []int{2, 2}}
+	if _, err := IntensitySignalDelta(nil, 100, cfg); err == nil {
+		t.Error("nil demand accepted")
+	}
+	if _, err := IntensitySignalDelta(demand, -1, cfg); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := IntensitySignalDelta(demand, 100, Config{SplitRatios: []int{3}}); err == nil {
+		t.Error("mismatched split product accepted")
+	}
+
+	d, err := IntensitySignalDelta(demand, 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Intensity().Clone()
+	beforeDemand := d.Demand().Clone()
+
+	cases := []struct {
+		name string
+		next *timeseries.Series
+		want error
+	}{
+		{"nil series", nil, ErrMisaligned},
+		{"wrong length", timeseries.New(0, 300, []float64{1, 2}), ErrMisaligned},
+		{"wrong start", timeseries.New(7, 300, []float64{1, 2, 3, 4}), ErrMisaligned},
+		{"wrong step", timeseries.New(0, 60, []float64{1, 2, 3, 4}), ErrMisaligned},
+		{"negative demand", timeseries.New(0, 300, []float64{1, -2, 3, 4}), nil},
+		{"zero demand", timeseries.New(0, 300, []float64{0, 0, 0, 0}), nil},
+	}
+	for _, tc := range cases {
+		_, err := d.Update(tc.next)
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		requireSeriesBits(t, tc.name+" intensity preserved", d.Intensity(), before)
+		requireSeriesBits(t, tc.name+" demand preserved", d.Demand(), beforeDemand)
+	}
+}
+
+// TestSignalDeltaUpdateDoesNotAllocate is the temporal half of the
+// zero-alloc pins, mirroring internal/stream's AllocsPerRun pattern behind
+// the race_on/race_off build tags: steady-state updates run entirely
+// through the preallocated arena and fingerprint buffer.
+func TestSignalDeltaUpdateDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the pin")
+	}
+	rng := rand.New(rand.NewSource(17))
+	demand := randomIntDemand(rng, 96)
+	cfg := Config{SplitRatios: []int{4, 4, 3, 2}}
+	d, err := IntensitySignalDelta(demand, 1e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := demand.Clone()
+	b := demand.Clone()
+	b.Values[10], b.Values[13] = b.Values[13], b.Values[10] // reshape period 0
+	b.Values[50] += 2                                       // and change period 2
+	seriesPair := [2]*timeseries.Series{a, b}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		i++
+		if _, err := d.Update(seriesPair[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Update allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestIntensitySignalDeltaMatchesUnits double-checks the delta constructor
+// against the package-level conservation property.
+func TestIntensitySignalDeltaMatchesUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	demand := randomIntDemand(rng, 60)
+	d, err := IntensitySignalDelta(demand, 1e6, Config{SplitRatios: []int{5, 4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AttributeUsage(d.Intensity(), demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, float64(got), 1e6, 1e-3, "delta budget conservation")
+}

@@ -124,7 +124,36 @@ func validateSignal(demand *timeseries.Series, budget units.GramsCO2e, cfg Confi
 type attributor struct {
 	demand  *timeseries.Series
 	backend Backend
-	workers int // top-level chunk concurrency; recursion below runs serial
+	workers int        // top-level chunk concurrency; recursion below runs serial
+	arena   *attrArena // optional preallocated per-level scratch; requires workers == 1
+}
+
+// attrArena preallocates the per-level scratch the attribution recursion
+// needs (chunk peaks, resource-times, Shapley values and the solver's sort
+// scratch), one set per split level, so a serial attributor can re-attribute
+// ranges without heap allocation — the delta engine's hot path. The arena is
+// single-walker state: it must not be shared across concurrent recursions.
+type attrArena struct {
+	peaks [][]float64
+	qs    [][]float64
+	phi   [][]float64
+	idx   [][]int
+}
+
+func newAttrArena(splits []int) *attrArena {
+	a := &attrArena{
+		peaks: make([][]float64, len(splits)),
+		qs:    make([][]float64, len(splits)),
+		phi:   make([][]float64, len(splits)),
+		idx:   make([][]int, len(splits)),
+	}
+	for d, m := range splits {
+		a.peaks[d] = make([]float64, m)
+		a.qs[d] = make([]float64, m)
+		a.phi[d] = make([]float64, m)
+		a.idx[d] = make([]int, m)
+	}
+	return a
 }
 
 // attribute divides budget over samples [lo, hi) of the demand series. At
@@ -150,8 +179,17 @@ func (a *attributor) attribute(lo, hi int, budget float64, splits []int, intensi
 
 	m := splits[0]
 	width := (hi - lo) / m
-	peaks := make([]float64, m)
-	qs := make([]float64, m)
+	var peaks, qs []float64
+	if a.arena != nil {
+		// Depth of this level in the schedule the arena was sized for:
+		// splits shrinks by one per level, so the difference indexes it
+		// even when the recursion entered below the top (delta applies).
+		d := len(a.arena.peaks) - len(splits)
+		peaks, qs = a.arena.peaks[d], a.arena.qs[d]
+	} else {
+		peaks = make([]float64, m)
+		qs = make([]float64, m)
+	}
 	for k := 0; k < m; k++ {
 		clo := lo + k*width
 		peak, q := 0.0, 0.0
@@ -168,9 +206,17 @@ func (a *attributor) attribute(lo, hi int, budget float64, splits []int, intensi
 
 	var phi []float64
 	var err error
-	switch a.backend {
-	case NaiveSubset:
+	switch {
+	case a.backend == NaiveSubset:
 		phi, err = shapley.PeakGameNaive(peaks)
+	case a.arena != nil:
+		// PeakGameInto is bitwise-identical to PeakGame (tied peaks
+		// contribute zero-height increments, so sort-order differences on
+		// ties cannot move a bit), so the arena path preserves the
+		// attribution exactly.
+		d := len(a.arena.peaks) - len(splits)
+		phi = a.arena.phi[d]
+		err = shapley.PeakGameInto(peaks, phi, a.arena.idx[d])
 	default:
 		phi, err = shapley.PeakGame(peaks)
 	}
@@ -186,34 +232,42 @@ func (a *attributor) attribute(lo, hi int, budget float64, splits []int, intensi
 		return fmt.Errorf("temporal: internal error, positive budget %v over zero-demand range [%d, %d)", budget, lo, hi)
 	}
 	if workers := min(a.workers, m); workers > 1 {
-		// Chunks are independent and write disjoint intensity ranges, so
-		// they can recurse concurrently. Only the first level fans out:
-		// the sub-attributor is serial, keeping goroutine count bounded
-		// by the Parallelism knob rather than the tree's fan-out.
-		sub := attributor{demand: a.demand, backend: a.backend, workers: 1}
-		errs := make([]error, m)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for k := m * w / workers; k < m*(w+1)/workers; k++ {
-					share := phi[k] * qs[k] / denom * budget
-					errs[k] = sub.attribute(lo+k*width, lo+(k+1)*width, share, splits[1:], intensity)
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+		return a.fanOut(lo, width, budget, denom, phi, qs, workers, splits, intensity)
 	}
 	for k := 0; k < m; k++ {
 		share := phi[k] * qs[k] / denom * budget
 		if err := a.attribute(lo+k*width, lo+(k+1)*width, share, splits[1:], intensity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut recurses into the level's chunks concurrently. Chunks are
+// independent and write disjoint intensity ranges, so this never changes a
+// single arithmetic operation, only their interleaving. Only the first
+// level fans out: the sub-attributor is serial, keeping goroutine count
+// bounded by the Parallelism knob rather than the tree's fan-out. It lives
+// in its own function so the goroutine closure's captures don't force the
+// serial recursion's locals onto the heap.
+func (a *attributor) fanOut(lo, width int, budget, denom float64, phi, qs []float64, workers int, splits []int, intensity []float64) error {
+	m := splits[0]
+	sub := attributor{demand: a.demand, backend: a.backend, workers: 1}
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := m * w / workers; k < m*(w+1)/workers; k++ {
+				share := phi[k] * qs[k] / denom * budget
+				errs[k] = sub.attribute(lo+k*width, lo+(k+1)*width, share, splits[1:], intensity)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

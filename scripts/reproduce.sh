@@ -46,6 +46,24 @@ go run ./cmd/fairco2 -axioms | tee "$RESULTS/axioms.txt"
 echo "== End-to-end cluster pipeline =="
 go run ./cmd/cluster-sim | tee "$RESULTS/cluster_sim.txt"
 
+echo "== Incremental delta attribution speedup =="
+{
+  go test -run '^$' -bench '^BenchmarkDeltaApply$' -benchtime 100x -count 1 ./internal/shapley/
+  go test -run '^$' -bench '^BenchmarkTemporalDelta$' -benchtime 100x -count 1 ./internal/temporal/
+} | tee "$RESULTS/delta_bench_raw.txt"
+awk '
+  $1 ~ /^BenchmarkDeltaApply\/delta-1p(-[0-9]+)?$/            { shd = $3 }
+  $1 ~ /^BenchmarkDeltaApply\/scratch-build-table(-[0-9]+)?$/ { shs = $3 }
+  $1 ~ /^BenchmarkDeltaApply\/scratch-incremental(-[0-9]+)?$/ { shi = $3 }
+  $1 ~ /^BenchmarkTemporalDelta\/delta-reshape(-[0-9]+)?$/    { td = $3 }
+  $1 ~ /^BenchmarkTemporalDelta\/fresh-rebuild(-[0-9]+)?$/    { tf = $3 }
+  END {
+    printf "shapley delta apply (1-player change, n=16): %.0f ns vs scratch BuildTableParallel %.0f ns -> %.1fx\n", shd, shs, shs/shd
+    printf "shapley delta apply vs scratch incremental build %.0f ns -> %.1fx\n", shi, shi/shd
+    printf "temporal delta reshape (1 of 10 periods): %.0f ns vs fresh IntensitySignal %.0f ns -> %.1fx\n", td, tf, tf/td
+  }
+' "$RESULTS/delta_bench_raw.txt" | tee "$RESULTS/delta_speedup.txt"
+
 echo "== Streaming attribution replay (windowed temporal Shapley) =="
 go run ./cmd/attribution-server -stream-once \
   -stream-scenario 'burst:21600,7200,1.8;outage:50400,3600,5000' \
