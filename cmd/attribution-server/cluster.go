@@ -1,0 +1,92 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fairco2/internal/attrserver"
+	"fairco2/internal/clusterserve"
+	"fairco2/internal/metrics"
+)
+
+// clusterOptions is the flag-level cluster configuration. Cluster mode is
+// on when ReplicaID is set; the daemon then routes queries across the
+// peer set by consistent hash and admits requests through the per-tenant
+// token buckets and the queue-depth bound.
+type clusterOptions struct {
+	// ReplicaID names this replica; it must appear in Peers unless the
+	// replica runs alone.
+	ReplicaID string
+	// Peers is the cluster membership as "id=url,id=url,...".
+	Peers string
+	// VNodes is the virtual-node count per replica (0 = default).
+	VNodes int
+	// AdmitRate and AdmitBurst shape the per-tenant token buckets
+	// (rate 0 disables tenant admission).
+	AdmitRate  float64
+	AdmitBurst float64
+	// AdmitMaxTenants bounds the tracked-tenant table.
+	AdmitMaxTenants int
+	// MaxQueue bounds concurrently computing requests (0 = unbounded).
+	MaxQueue int
+	// RetryAfter is the pause a queue-depth 429 asks clients to take.
+	RetryAfter time.Duration
+}
+
+// enabled reports whether any cluster flag was set.
+func (c clusterOptions) enabled() bool { return c.ReplicaID != "" || c.Peers != "" }
+
+// parsePeerSpec parses "id=url,id=url" into a peer map.
+func parsePeerSpec(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	if strings.TrimSpace(spec) == "" {
+		return peers, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("peer entry %q is not id=url", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
+
+// wrapCluster layers the cluster node over the attrserver handler.
+func wrapCluster(opts clusterOptions, srv *attrserver.Server, reg *metrics.Registry) (http.Handler, error) {
+	if opts.ReplicaID == "" {
+		return nil, errors.New("cluster mode needs -replica-id")
+	}
+	peers, err := parsePeerSpec(opts.Peers)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -cluster-peers: %w", err)
+	}
+	node, err := clusterserve.New(clusterserve.Config{
+		ReplicaID: opts.ReplicaID,
+		Peers:     peers,
+		VNodes:    opts.VNodes,
+		Server:    srv,
+		Admission: clusterserve.AdmissionConfig{
+			Rate:       opts.AdmitRate,
+			Burst:      opts.AdmitBurst,
+			MaxTenants: opts.AdmitMaxTenants,
+			MaxQueue:   opts.MaxQueue,
+			RetryAfter: opts.RetryAfter,
+		},
+	}, reg)
+	if err != nil {
+		return nil, err
+	}
+	return node.Handler(), nil
+}

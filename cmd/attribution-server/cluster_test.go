@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fairco2/internal/metrics"
+)
+
+func TestParsePeerSpec(t *testing.T) {
+	peers, err := parsePeerSpec("0=http://a:9103, 1=http://b:9103 ,2=http://c:9103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"0": "http://a:9103", "1": "http://b:9103", "2": "http://c:9103"}
+	if len(peers) != len(want) {
+		t.Fatalf("parsed %v, want %v", peers, want)
+	}
+	for id, url := range want {
+		if peers[id] != url {
+			t.Errorf("peer %s = %q, want %q", id, peers[id], url)
+		}
+	}
+
+	if peers, err = parsePeerSpec(""); err != nil || len(peers) != 0 {
+		t.Errorf("empty spec: %v, %v", peers, err)
+	}
+	if peers, err = parsePeerSpec(" , "); err != nil || len(peers) != 0 {
+		t.Errorf("blank entries: %v, %v", peers, err)
+	}
+	for _, bad := range []string{"0", "=http://a", "0=", "0=u,0=v"} {
+		if _, err := parsePeerSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestWrapClusterServes builds a single-replica cluster daemon end to end
+// through the flag-level config and checks the cluster surface answers.
+func TestWrapClusterServes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := defaultDaemonConfig()
+	cfg.Cluster = clusterOptions{ReplicaID: "a", AdmitRate: 100, MaxQueue: 8}
+	srv, _, err := buildServer(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := wrapCluster(cfg.Cluster, srv, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Replica string   `json:"replica"`
+		Peers   []string `json:"peers"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	if info.Replica != "a" || len(info.Peers) != 1 {
+		t.Errorf("cluster info = %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/attribution?method=rup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("attribution through cluster handler: status %d", resp.StatusCode)
+	}
+	// The attrserver metrics carry the replica label from -replica-id.
+	found := false
+	for _, fam := range reg.Gather() {
+		if fam.Name != "fairco2_attrserver_computations_total" {
+			continue
+		}
+		for _, s := range fam.Samples {
+			for _, v := range s.LabelValues {
+				if v == "a" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no attrserver series labeled with replica \"a\"")
+	}
+
+	if _, err := wrapCluster(clusterOptions{}, srv, reg); err == nil {
+		t.Error("cluster mode without -replica-id accepted")
+	}
+	if _, err := wrapCluster(clusterOptions{ReplicaID: "a", Peers: "junk"}, srv, reg); err == nil {
+		t.Error("malformed -cluster-peers accepted")
+	}
+}

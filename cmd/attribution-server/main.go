@@ -31,6 +31,19 @@
 // -stream-once replays the whole script at maximum speed, prints the
 // summary report (windows closed, late/dropped accounting against the
 // script's oracle, watermark lag percentiles) and exits.
+//
+// With -replica-id set, the daemon joins a scale-out cluster: queries
+// are routed by consistent hash over the -cluster-peers membership to
+// the replica owning each computation (so identical queries compute once
+// cluster-wide), delta commits replicate to every peer, and admission
+// control (-admit-rate per-tenant token buckets, -max-queue depth bound)
+// sheds overload with 429 + Retry-After:
+//
+//	attribution-server -replica-id 0 \
+//	  -cluster-peers '0=http://h0:9103,1=http://h1:9103' \
+//	  -admit-rate 50 -max-queue 64
+//
+//	GET /v1/cluster   -> membership, ring and admission introspection
 package main
 
 import (
@@ -87,6 +100,12 @@ type daemonConfig struct {
 
 	// Stream configures the windowed streaming replay mode.
 	Stream streamOptions
+
+	// Cluster configures scale-out sharding: with -replica-id set the
+	// daemon joins a consistent-hash cluster, forwarding queries to their
+	// owning replica and admitting work through token buckets and a
+	// queue-depth bound.
+	Cluster clusterOptions
 }
 
 func defaultDaemonConfig() daemonConfig {
@@ -163,6 +182,7 @@ func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, *
 	scfg.BatchWindow = cfg.BatchWindow
 	scfg.QueryTimeout = cfg.QueryTimeout
 	scfg.PricePerTonne = cfg.PricePerTonne
+	scfg.Replica = cfg.Cluster.ReplicaID
 	if cfg.SignalURL != "" {
 		client := (&signalserver.Client{BaseURL: cfg.SignalURL}).
 			WithResilience(cfg.SignalResilience, cfg.Seed, signalserver.NewClientInstruments(reg))
@@ -219,6 +239,15 @@ func main() {
 		streamBudget   = flag.Float64("stream-budget", def.Stream.Budget, "static carbon budget per window (gCO2e) when no -signal-url is set")
 		streamDelay    = flag.Float64("stream-max-delay", def.Stream.MaxDelay, "watermark slack in seconds: how far out of order events may arrive and still be on time")
 		streamLate     = flag.Float64("stream-lateness", def.Stream.Lateness, "allowed lateness in seconds: late events inside it re-emit a corrected window, beyond it they drop")
+
+		replicaID    = flag.String("replica-id", def.Cluster.ReplicaID, "this replica's cluster ID (set to enable cluster mode)")
+		clusterPeers = flag.String("cluster-peers", def.Cluster.Peers, `cluster membership as "id=url,id=url" (must include -replica-id unless running alone)`)
+		vnodes       = flag.Int("cluster-vnodes", def.Cluster.VNodes, "virtual nodes per replica on the hash ring (0 = default)")
+		admitRate    = flag.Float64("admit-rate", def.Cluster.AdmitRate, "per-tenant admitted requests per second (0 = no tenant limit)")
+		admitBurst   = flag.Float64("admit-burst", def.Cluster.AdmitBurst, "per-tenant burst capacity (0 = same as -admit-rate)")
+		admitTenants = flag.Int("admit-max-tenants", def.Cluster.AdmitMaxTenants, "bound on tracked tenant buckets (0 = default)")
+		maxQueue     = flag.Int("max-queue", def.Cluster.MaxQueue, "bound on concurrently computing requests; beyond it requests shed with 429 (0 = unbounded)")
+		retryAfter   = flag.Duration("retry-after", def.Cluster.RetryAfter, "pause a queue-depth 429 asks clients to take")
 	)
 	resil := def.SignalResilience
 	resil.RegisterFlags(flag.CommandLine, "signal")
@@ -254,6 +283,16 @@ func main() {
 		MaxDelay: *streamDelay,
 		Lateness: *streamLate,
 	}
+	cfg.Cluster = clusterOptions{
+		ReplicaID:       *replicaID,
+		Peers:           *clusterPeers,
+		VNodes:          *vnodes,
+		AdmitRate:       *admitRate,
+		AdmitBurst:      *admitBurst,
+		AdmitMaxTenants: *admitTenants,
+		MaxQueue:        *maxQueue,
+		RetryAfter:      *retryAfter,
+	}
 
 	if cfg.Stream.Once {
 		if err := runStreamOnce(cfg.Stream, metrics.Default(), os.Stdout); err != nil {
@@ -267,9 +306,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	handler := http.Handler(srv.Handler())
+	if cfg.Cluster.enabled() {
+		if handler, err = wrapCluster(cfg.Cluster, srv, metrics.Default()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster mode: replica %s, peers %q", cfg.Cluster.ReplicaID, cfg.Cluster.Peers)
+	}
+
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      *qTimeout + 10*time.Second,

@@ -1,0 +1,117 @@
+// Command cluster-load measures how attribution throughput scales with
+// replica count. For each requested cluster size it starts an in-process
+// fleet (the same harness the clusterserve load suite uses: one
+// attrserver + cluster node per replica over loopback listeners), drives
+// it closed-loop with workers that honor 429 back-pressure, and prints
+// one line per size plus the scaling ratio of the largest size over the
+// smallest.
+//
+// Computations use the sleep-backed synthetic method, so the measured
+// quantity is the cluster's admission capacity (slots per replica over
+// service time) rather than host CPU — replicas add capacity even on a
+// single-core machine, which is what makes the curve reproducible
+// anywhere. Every request is a distinct query period, so nothing is
+// served from cache.
+//
+//	cluster-load -replicas 1,2,4 -service-time 100ms -duration 1.5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairco2/internal/clusterserve"
+)
+
+func parseReplicaList(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("replica count %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no replica counts in %q", spec)
+	}
+	return out, nil
+}
+
+// measure runs one closed-loop load pass against a fresh fleet.
+func measure(replicas int, serviceTime, duration time.Duration, maxQueue, workersPer int) (clusterserve.LoadStats, error) {
+	fleet, err := clusterserve.StartFleet(clusterserve.FleetConfig{
+		Replicas:    replicas,
+		VNodes:      256,
+		Schedule:    clusterserve.FleetSchedule(96),
+		ServiceTime: serviceTime,
+		Admission: clusterserve.AdmissionConfig{
+			MaxQueue:   maxQueue,
+			RetryAfter: 25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return clusterserve.LoadStats{}, err
+	}
+	defer fleet.Close()
+	periods := clusterserve.DistinctPeriods(96, 4000)
+	stats := clusterserve.RunLoad(clusterserve.LoadConfig{
+		Entries:  fleet.URLs,
+		Workers:  workersPer * replicas,
+		Duration: duration,
+		Path: func(seq int) string {
+			return "/v1/attribution?method=" + clusterserve.SyntheticMethod + "&period=" + periods[seq%len(periods)]
+		},
+	})
+	if stats.Errors > 0 {
+		return stats, fmt.Errorf("%d-replica run saw %d errors", replicas, stats.Errors)
+	}
+	return stats, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluster-load: ")
+
+	var (
+		replicaSpec = flag.String("replicas", "1,2,4", "comma-separated cluster sizes to measure")
+		serviceTime = flag.Duration("service-time", 100*time.Millisecond, "synthetic per-computation service time")
+		duration    = flag.Duration("duration", 1500*time.Millisecond, "measurement window per cluster size")
+		maxQueue    = flag.Int("max-queue", 8, "admission slots per replica")
+		workersPer  = flag.Int("workers-per-replica", 6, "closed-loop workers per replica")
+	)
+	flag.Parse()
+
+	sizes, err := parseReplicaList(*replicaSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# cluster scaling: service-time=%v max-queue=%d workers/replica=%d duration=%v\n",
+		*serviceTime, *maxQueue, *workersPer, *duration)
+	throughputs := make([]float64, len(sizes))
+	for i, n := range sizes {
+		stats, err := measure(n, *serviceTime, *duration, *maxQueue, *workersPer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		throughputs[i] = stats.Throughput()
+		fmt.Printf("replicas=%d done=%d shed=%d elapsed=%v throughput=%.1f rps\n",
+			n, stats.Done, stats.Shed, stats.Elapsed.Round(time.Millisecond), stats.Throughput())
+	}
+	if len(sizes) > 1 {
+		first, last := throughputs[0], throughputs[len(throughputs)-1]
+		if first <= 0 {
+			log.Fatal("baseline run completed no requests")
+		}
+		fmt.Printf("scaling %dx->%dx replicas: %.2fx throughput\n", sizes[0], sizes[len(sizes)-1], last/first)
+	}
+}

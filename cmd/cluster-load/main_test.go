@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseReplicaList(t *testing.T) {
+	got, err := parseReplicaList("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "0", "-1", "two", "1,x"} {
+		if _, err := parseReplicaList(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestMeasureSmallFleet(t *testing.T) {
+	stats, err := measure(1, 20*time.Millisecond, 300*time.Millisecond, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Done == 0 {
+		t.Error("measurement completed no requests")
+	}
+}

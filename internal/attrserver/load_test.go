@@ -130,13 +130,13 @@ func TestConcurrentIdenticalQueriesCoalesceToOneComputation(t *testing.T) {
 
 	// Assert through the exposition, as external monitoring would see it.
 	text := scrape(t, ts.URL+"/metrics")
-	if got := metricValue(t, text, `fairco2_attrserver_computations_total{method="gated"}`); got != 1 {
+	if got := metricValue(t, text, `fairco2_attrserver_computations_total{replica="0",method="gated"}`); got != 1 {
 		t.Errorf("computations_total = %v, want 1", got)
 	}
-	if got := metricValue(t, text, "fairco2_attrserver_coalesced_total"); got != m-1 {
+	if got := metricValue(t, text, `fairco2_attrserver_coalesced_total{replica="0"}`); got != m-1 {
 		t.Errorf("coalesced_total = %v, want %d", got, m-1)
 	}
-	if got := metricValue(t, text, "fairco2_attrserver_cache_misses_total"); got != m {
+	if got := metricValue(t, text, `fairco2_attrserver_cache_misses_total{replica="0"}`); got != m {
 		t.Errorf("cache_misses_total = %v, want %d (every query raced the empty cache)", got, m)
 	}
 
@@ -150,10 +150,10 @@ func TestConcurrentIdenticalQueriesCoalesceToOneComputation(t *testing.T) {
 		t.Fatalf("cache-hit query: status %d", resp.StatusCode)
 	}
 	text = scrape(t, ts.URL+"/metrics")
-	if got := metricValue(t, text, `fairco2_attrserver_computations_total{method="gated"}`); got != 1 {
+	if got := metricValue(t, text, `fairco2_attrserver_computations_total{replica="0",method="gated"}`); got != 1 {
 		t.Errorf("computations_total after cache hit = %v, want still 1", got)
 	}
-	if got := metricValue(t, text, "fairco2_attrserver_cache_hits_total"); got != 1 {
+	if got := metricValue(t, text, `fairco2_attrserver_cache_hits_total{replica="0"}`); got != 1 {
 		t.Errorf("cache_hits_total = %v, want 1", got)
 	}
 	if got := gated.calls.Load(); got != 1 {

@@ -85,6 +85,23 @@ func (q querySpec) cacheKey(fp uint32) string {
 	return fmt.Sprintf("cfg=%08x/m=%s/p=%d:%d", fp, q.method, q.start, q.end)
 }
 
+// CanonicalQueryKey parses r exactly as the GET query endpoints do and
+// returns the computation identity it resolves to — the result-cache key.
+// The cluster proxy routes on this key: identical queries route to one
+// owner, whose cache + singleflight then guarantee the computation runs
+// at most once cluster-wide.
+func (s *Server) CanonicalQueryKey(r *http.Request) (string, error) {
+	q, err := s.parseQuery(r)
+	if err != nil {
+		return "", err
+	}
+	return q.cacheKey(s.snapshot().fp), nil
+}
+
+// Fingerprint returns the serving schedule's current config fingerprint —
+// the same value embedded in cache keys and rotated by delta commits.
+func (s *Server) Fingerprint() uint32 { return s.snapshot().fp }
+
 // configFingerprint keys the cache by everything a result depends on
 // besides the query itself: the schedule layout and the static budget,
 // hashed with the same CRC machinery the checkpointed sweeps use for their

@@ -70,6 +70,12 @@ type Config struct {
 	// livesignal.DefaultMaxStale).
 	SignalMaxStale time.Duration
 
+	// Replica labels this server's metric families, so several replicas
+	// of a cluster can share one registry without aliasing counters
+	// (default "0"). It is a metrics identity only; routing identity
+	// lives in the cluster layer.
+	Replica string
+
 	// Now overrides the clock, for deterministic tests.
 	Now func() time.Time
 	// Methods overrides or extends the attribution method set keyed by
@@ -117,6 +123,9 @@ func withDefaults(cfg Config) Config {
 	}
 	if cfg.SignalMaxStale == 0 {
 		cfg.SignalMaxStale = def.SignalMaxStale
+	}
+	if cfg.Replica == "" {
+		cfg.Replica = "0"
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -173,7 +182,7 @@ func New(cfg Config, reg *metrics.Registry) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	inst := NewInstruments(reg)
+	inst := NewReplicaInstruments(reg, cfg.Replica)
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,

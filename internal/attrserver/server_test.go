@@ -389,6 +389,49 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestTwoReplicasShareOneRegistry pins the multi-replica metrics contract:
+// two Servers on one registry must not panic on duplicate registration and
+// must keep their counters apart under distinct replica labels.
+func TestTwoReplicasShareOneRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mk := func(replica string) *Server {
+		s, err := New(Config{
+			Schedule:    testSchedule(t),
+			Budget:      1000,
+			Parallelism: 1,
+			Replica:     replica,
+		}, reg)
+		if err != nil {
+			t.Fatalf("replica %s: %v", replica, err)
+		}
+		return s
+	}
+	a, b := mk("0"), mk("1")
+
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+	getJSON(t, ts.URL+"/v1/attribution?method=rup&period=0:6", nil)
+
+	if got := a.inst.CacheMisses.Value(); got != 1 {
+		t.Errorf("replica 0 cache misses = %v, want 1", got)
+	}
+	if got := b.inst.CacheMisses.Value(); got != 0 {
+		t.Errorf("replica 1 cache misses = %v, want 0 (aliased with replica 0)", got)
+	}
+	text := scrape(t, ts.URL+"/metrics")
+	for _, series := range []string{
+		`fairco2_attrserver_cache_misses_total{replica="0"}`,
+		`fairco2_attrserver_cache_misses_total{replica="1"}`,
+	} {
+		if metricValue(t, text, series) != a.inst.CacheMisses.Value() && !strings.Contains(text, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	if got := metricValue(t, text, `fairco2_attrserver_cache_misses_total{replica="1"}`); got != 0 {
+		t.Errorf("replica 1 series = %v, want 0", got)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	reg := metrics.NewRegistry()
 	if _, err := New(Config{}, reg); err == nil {

@@ -1,0 +1,191 @@
+package clusterserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds what a node accepts before the expensive layers
+// see it. Zero values disable the corresponding control, so an empty
+// config admits everything.
+type AdmissionConfig struct {
+	// Rate is the sustained per-tenant request rate in tokens per second.
+	// 0 disables per-tenant limiting.
+	Rate float64
+	// Burst is the token-bucket capacity — how many requests a tenant may
+	// fire back-to-back (default: max(Rate, 1) when Rate is set).
+	Burst float64
+	// MaxTenants bounds the bucket table's memory across arbitrarily many
+	// distinct tenant keys (default 65536). Eviction prefers full buckets,
+	// which is lossless: a re-created bucket starts full, exactly like the
+	// evicted one it replaces.
+	MaxTenants int
+	// MaxQueue bounds concurrently served locally-computed requests; the
+	// excess sheds with 429 + Retry-After. 0 disables queue shedding.
+	// Forwarded-in work counts (the owner does the computing); replicated
+	// delta commits never shed, so replicas cannot diverge under load.
+	MaxQueue int
+	// RetryAfter is the client back-off hint attached to queue-depth sheds
+	// (default 1s). Tenant-rate sheds compute their own exact hint from
+	// the bucket deficit.
+	RetryAfter time.Duration
+	// Now overrides the clock, for deterministic tests.
+	Now func() time.Time
+}
+
+// withDefaults fills the zero-valued knobs.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Rate > 0 && c.Burst == 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 1 << 16
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+func (c AdmissionConfig) validate() error {
+	switch {
+	case c.Rate < 0:
+		return fmt.Errorf("clusterserve: admission rate must be non-negative, got %v", c.Rate)
+	case c.Burst < 0:
+		return fmt.Errorf("clusterserve: admission burst must be non-negative, got %v", c.Burst)
+	case c.Rate > 0 && c.Burst < 1:
+		return fmt.Errorf("clusterserve: admission burst must be at least 1, got %v", c.Burst)
+	case c.MaxTenants < 0, c.MaxQueue < 0:
+		return fmt.Errorf("clusterserve: admission bounds must be non-negative")
+	case c.RetryAfter < 0:
+		return fmt.Errorf("clusterserve: retry-after must be non-negative, got %v", c.RetryAfter)
+	}
+	return nil
+}
+
+// tokenBucket is one tenant's refillable allowance. State is guarded by
+// the owning shard's mutex.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// refill credits the elapsed time since the last touch at rate, capped at
+// burst. A non-advancing (or rewound) clock credits nothing.
+func (b *tokenBucket) refill(now time.Time, rate, burst float64) {
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += rate * dt.Seconds()
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+}
+
+// bucketShards fixes the table's lock striping; tenant keys spread across
+// shards by FNV so unrelated tenants rarely contend.
+const bucketShards = 64
+
+// evictScan caps how many candidates a full shard examines per eviction.
+// Full buckets are preferred (lossless); otherwise the fullest scanned
+// bucket goes, granting its tenant at most burst-minus-tokens slack once.
+const evictScan = 8
+
+// bucketTable is the sharded, memory-bounded map of per-tenant token
+// buckets. It absorbs millions of distinct tenant keys within a fixed
+// bucket budget.
+type bucketTable struct {
+	rate, burst float64
+	shardMax    int
+	now         func() time.Time
+	shards      [bucketShards]bucketShard
+}
+
+type bucketShard struct {
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+func newBucketTable(rate, burst float64, maxTenants int, now func() time.Time) *bucketTable {
+	t := &bucketTable{
+		rate:     rate,
+		burst:    burst,
+		shardMax: (maxTenants + bucketShards - 1) / bucketShards,
+		now:      now,
+	}
+	if t.shardMax < 1 {
+		t.shardMax = 1
+	}
+	for i := range t.shards {
+		t.shards[i].buckets = map[string]*tokenBucket{}
+	}
+	return t
+}
+
+// allow takes one token from tenant's bucket. When the bucket is dry it
+// returns false and how long until the next token accrues — the exact
+// Retry-After for this tenant.
+func (t *bucketTable) allow(tenant string) (bool, time.Duration) {
+	sh := &t.shards[fnv64a(tenant)%bucketShards]
+	now := t.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.buckets[tenant]
+	if !ok {
+		if len(sh.buckets) >= t.shardMax {
+			sh.evictLocked(now, t.rate, t.burst)
+		}
+		b = &tokenBucket{tokens: t.burst, last: now}
+		sh.buckets[tenant] = b
+	} else {
+		b.refill(now, t.rate, t.burst)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictLocked drops one bucket to make room. It scans up to evictScan
+// entries for a full bucket first — evicting one is lossless, since a
+// future re-insert recreates it full — and falls back to the fullest
+// candidate seen.
+func (sh *bucketShard) evictLocked(now time.Time, rate, burst float64) {
+	var victim string
+	best := -1.0
+	scanned := 0
+	for tenant, b := range sh.buckets {
+		b.refill(now, rate, burst)
+		if b.tokens >= burst {
+			delete(sh.buckets, tenant)
+			return
+		}
+		if b.tokens > best {
+			best, victim = b.tokens, tenant
+		}
+		if scanned++; scanned >= evictScan {
+			break
+		}
+	}
+	delete(sh.buckets, victim)
+}
+
+// len reports the tracked-tenant count across shards.
+func (t *bucketTable) len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].buckets)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package clusterserve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for exact refill arithmetic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestTokenBucketRefillExactness pins the bucket arithmetic against a
+// fake clock: burst admits back-to-back, a dry bucket reports the exact
+// deficit as its Retry-After, and refill credits precisely rate*dt.
+func TestTokenBucketRefillExactness(t *testing.T) {
+	clk := newFakeClock()
+	table := newBucketTable(10, 2, 1024, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := table.allow("tenant-a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := table.allow("tenant-a")
+	if ok {
+		t.Fatal("dry bucket admitted")
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("dry bucket Retry-After = %v, want 100ms (1 token at 10/s)", wait)
+	}
+
+	clk.Advance(50 * time.Millisecond) // +0.5 tokens
+	ok, wait = table.allow("tenant-a")
+	if ok {
+		t.Fatal("half-refilled bucket admitted")
+	}
+	if wait != 50*time.Millisecond {
+		t.Fatalf("half-refilled Retry-After = %v, want 50ms", wait)
+	}
+
+	clk.Advance(50 * time.Millisecond) // exactly 1 token
+	if ok, _ = table.allow("tenant-a"); !ok {
+		t.Fatal("fully-refilled token denied")
+	}
+
+	// An unrelated tenant is untouched by tenant-a's exhaustion.
+	if ok, _ = table.allow("tenant-b"); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+}
+
+// TestTokenBucketRefillCapsAtBurst: idle time never accrues more than
+// burst.
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	table := newBucketTable(100, 3, 1024, clk.Now)
+	if ok, _ := table.allow("t"); !ok {
+		t.Fatal("first request denied")
+	}
+	clk.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := table.allow("t"); !ok {
+			t.Fatalf("request %d after long idle denied; refill overflowed burst", i)
+		}
+	}
+	if ok, _ := table.allow("t"); ok {
+		t.Fatal("4th request admitted; refill exceeded burst 3")
+	}
+}
+
+// TestBucketTableBoundedUnderMillionsOfTenants drives millions of
+// distinct tenant keys through a small table and checks the memory bound
+// holds while every fresh tenant is still admitted (eviction of full
+// buckets is lossless).
+func TestBucketTableBoundedUnderMillionsOfTenants(t *testing.T) {
+	tenants := 2_000_000
+	if testing.Short() {
+		tenants = 200_000
+	}
+	const maxTenants = 4096
+	clk := newFakeClock()
+	table := newBucketTable(1, 4, maxTenants, clk.Now)
+	for i := 0; i < tenants; i++ {
+		if ok, _ := table.allow(fmt.Sprintf("tenant-%d", i)); !ok {
+			t.Fatalf("fresh tenant %d denied; eviction is supposed to be lossless", i)
+		}
+	}
+	if n := table.len(); n > maxTenants {
+		t.Fatalf("table tracks %d tenants after %d distinct keys, bound is %d", n, tenants, maxTenants)
+	}
+	if n := table.len(); n < maxTenants/2 {
+		t.Fatalf("table tracks only %d tenants; expected it near the %d bound", n, maxTenants)
+	}
+}
+
+// TestBucketTableConcurrentTenantChurn runs the 2M-tenant workload from
+// many goroutines to exercise the shard locking under the race detector.
+func TestBucketTableConcurrentTenantChurn(t *testing.T) {
+	perWorker := 50_000
+	if testing.Short() {
+		perWorker = 5_000
+	}
+	const workers = 8
+	table := newBucketTable(1, 2, 2048, time.Now)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				table.allow(fmt.Sprintf("w%d-t%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := table.len(); n > 2048 {
+		t.Fatalf("table tracks %d tenants, bound is 2048", n)
+	}
+}
+
+// TestEvictionPrefersFullBuckets pins the lossless-eviction rule: a shard
+// under pressure drops a full bucket (recreating it later grants exactly
+// the same full burst) rather than one holding rate-limit debt.
+func TestEvictionPrefersFullBuckets(t *testing.T) {
+	clk := newFakeClock()
+	const rate, burst = 10.0, 4.0
+	sh := &bucketShard{buckets: map[string]*tokenBucket{
+		"drained-1": {tokens: 0, last: clk.Now()},
+		"drained-2": {tokens: 1.5, last: clk.Now()},
+		"full":      {tokens: burst, last: clk.Now()},
+	}}
+	sh.evictLocked(clk.Now(), rate, burst)
+	if _, ok := sh.buckets["full"]; ok {
+		t.Fatalf("full bucket survived eviction; victims: %v", sh.buckets)
+	}
+	for _, keep := range []string{"drained-1", "drained-2"} {
+		if _, ok := sh.buckets[keep]; !ok {
+			t.Fatalf("drained bucket %s evicted while a full one existed", keep)
+		}
+	}
+}
+
+// TestEvictionFallsBackToFullestBucket: with no full bucket in reach the
+// shard evicts the fullest candidate — the one whose tenant loses the
+// least accumulated debt.
+func TestEvictionFallsBackToFullestBucket(t *testing.T) {
+	clk := newFakeClock()
+	sh := &bucketShard{buckets: map[string]*tokenBucket{
+		"empty":  {tokens: 0, last: clk.Now()},
+		"fuller": {tokens: 2, last: clk.Now()},
+	}}
+	sh.evictLocked(clk.Now(), 10, 4)
+	if _, ok := sh.buckets["fuller"]; ok {
+		t.Fatalf("fullest bucket survived; remaining: %v", sh.buckets)
+	}
+	if _, ok := sh.buckets["empty"]; !ok {
+		t.Fatal("emptiest bucket evicted; that grants its tenant a fresh burst of debt relief")
+	}
+}
+
+// TestAdmissionConfigValidation pins the config surface.
+func TestAdmissionConfigValidation(t *testing.T) {
+	bad := []AdmissionConfig{
+		{Rate: -1},
+		{Rate: 1, Burst: -2},
+		{Rate: 5, Burst: 0.5},
+		{MaxQueue: -1},
+		{MaxTenants: -1},
+		{RetryAfter: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	def := AdmissionConfig{Rate: 2}.withDefaults()
+	if def.Burst != 2 {
+		t.Errorf("default burst = %v, want rate (2)", def.Burst)
+	}
+	if def.MaxTenants != 1<<16 || def.RetryAfter != time.Second || def.Now == nil {
+		t.Errorf("defaults not filled: %+v", def)
+	}
+	if err := def.validate(); err != nil {
+		t.Errorf("defaulted config invalid: %v", err)
+	}
+	frac := AdmissionConfig{Rate: 0.25}.withDefaults()
+	if frac.Burst != 1 {
+		t.Errorf("sub-1 rate burst = %v, want floor of 1", frac.Burst)
+	}
+}

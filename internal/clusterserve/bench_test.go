@@ -1,0 +1,49 @@
+package clusterserve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkClusterRoute measures the per-request routing decision: one
+// consistent-hash lookup over an 8-replica, 128-vnode ring. This sits on
+// every proxied request, so it must stay allocation-free.
+func BenchmarkClusterRoute(b *testing.B) {
+	peers := make([]string, 8)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("replica-%d", i)
+	}
+	ring, err := NewRing(peers, DefaultVNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg=%08x/m=fair-co2/p=%d:%d", i*2654435761, i%64, i%64+64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Lookup(keys[i%len(keys)]) == "" {
+			b.Fatal("empty owner")
+		}
+	}
+}
+
+// BenchmarkTokenBucket measures the admission decision over a churning
+// tenant population — the other per-request cost the proxy adds.
+func BenchmarkTokenBucket(b *testing.B) {
+	table := newBucketTable(1e9, 1e9, 1<<16, time.Now)
+	tenants := make([]string, 4096)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := table.allow(tenants[i%len(tenants)]); !ok {
+			b.Fatal("unlimited-rate tenant denied")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package clusterserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamWindowRouting: index-addressed stream window reads route by
+// window key — non-owner entries forward — while "latest" (a
+// replica-local freshness notion) always serves locally, and the proxied
+// status matches the owner's direct answer.
+func TestStreamWindowRouting(t *testing.T) {
+	f := startTestFleet(t, FleetConfig{Replicas: 3})
+	owner := f.Nodes[0].Ring().Lookup("stream/w=7")
+	var ownerIdx, otherIdx int
+	for i, id := range f.IDs {
+		if id == owner {
+			ownerIdx = i
+		} else {
+			otherIdx = i
+		}
+	}
+
+	direct, directBody := get(t, f.URLs[ownerIdx]+"/v1/stream/window?index=7", nil)
+	viaProxy, proxyBody := get(t, f.URLs[otherIdx]+"/v1/stream/window?index=7", nil)
+	if viaProxy.StatusCode != direct.StatusCode || proxyBody != directBody {
+		t.Errorf("proxied window read (%d, %q) differs from owner's direct answer (%d, %q)",
+			viaProxy.StatusCode, proxyBody, direct.StatusCode, directBody)
+	}
+	if got := series(f, "fairco2_cluster_forwards_total", f.IDs[otherIdx], owner); got != 1 {
+		t.Errorf("forwards from %s to owner = %v, want 1", f.IDs[otherIdx], got)
+	}
+
+	before := f.FamilyTotal("fairco2_cluster_forwards_total")
+	for i := range f.URLs {
+		get(t, f.URLs[i]+"/v1/stream/window?index=latest", nil)
+		get(t, f.URLs[i]+"/v1/stream/window", nil)
+	}
+	if got := f.FamilyTotal("fairco2_cluster_forwards_total"); got != before {
+		t.Errorf(`"latest" window reads were forwarded %v times; they are replica-local`, got-before)
+	}
+}
+
+// TestTenantKeyLadder pins the admission identity ladder: header, then
+// query parameter, then remote host.
+func TestTenantKeyLadder(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/v1/attribution?tenant=3", nil)
+	r.Header.Set(HeaderTenant, "team-x")
+	if got := tenantKey(r); got != "team-x" {
+		t.Errorf("header tenant = %q", got)
+	}
+	r.Header.Del(HeaderTenant)
+	if got := tenantKey(r); got != "3" {
+		t.Errorf("query tenant = %q", got)
+	}
+	r = httptest.NewRequest(http.MethodGet, "/v1/attribution", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := tenantKey(r); got != "10.1.2.3" {
+		t.Errorf("host tenant = %q", got)
+	}
+	r.RemoteAddr = "not-host-port"
+	if got := tenantKey(r); got != "not-host-port" {
+		t.Errorf("fallback tenant = %q", got)
+	}
+}
+
+// TestDeltaBodyLimits pins the delta ingress guards: oversized bodies
+// answer 413 before any routing, and malformed JSON renders the local
+// server's 400.
+func TestDeltaBodyLimits(t *testing.T) {
+	f := startTestFleet(t, FleetConfig{Replicas: 2})
+
+	huge := strings.NewReader(`{"tenant": 1, "pad": "` + strings.Repeat("x", maxDeltaBody) + `"}`)
+	resp, err := http.Post(f.URLs[0]+"/v1/demand/delta", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized delta: status %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(f.URLs[0]+"/v1/demand/delta", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed delta: status %d, want 400", resp.StatusCode)
+	}
+	if got := f.FamilyTotal("fairco2_cluster_forwards_total"); got != 0 {
+		t.Errorf("rejected deltas were forwarded %v times", got)
+	}
+}
+
+// TestCommitSurvivesPeerReplicationFailure: a commit whose owner cannot
+// reach one peer still succeeds locally — the failure is counted, not
+// propagated — and the reachable peer converges.
+func TestCommitSurvivesPeerReplicationFailure(t *testing.T) {
+	f := startTestFleet(t, FleetConfig{Replicas: 3})
+	fp := f.Srvs[0].Fingerprint()
+	// Enter at tenant 1's owner directly, then black out one of the other
+	// two replicas; the third stays reachable.
+	const tenant = 1
+	ownerIdx := -1
+	for i, id := range f.IDs {
+		if id == f.Nodes[0].Ring().Lookup(deltaKey(fp, tenant)) {
+			ownerIdx = i
+		}
+	}
+	dark, alive := (ownerIdx+1)%3, (ownerIdx+2)%3
+	f.CloseReplica(dark)
+
+	resp, out := postDelta(t, f.URLs[ownerIdx], map[string]any{"tenant": tenant, "cores": 6, "commit": true}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit with one peer dark: status %d: %v", resp.StatusCode, out)
+	}
+	if f.Srvs[alive].Fingerprint() != f.Srvs[ownerIdx].Fingerprint() {
+		t.Error("reachable peer did not converge")
+	}
+	if got := f.FamilyTotal("fairco2_cluster_replication_errors_total"); got != 1 {
+		t.Errorf("replication errors = %v, want 1 (the dark peer)", got)
+	}
+	if got := f.FamilyTotal("fairco2_cluster_replications_total"); got != 1 {
+		t.Errorf("successful replications = %v, want 1", got)
+	}
+}
+
+// TestLoadHarnessHelpers pins the harness's own edge cases.
+func TestLoadHarnessHelpers(t *testing.T) {
+	if got := (syntheticMethod{}).Name(); got != SyntheticMethod {
+		t.Errorf("synthetic method name = %q", got)
+	}
+	if got := (LoadStats{Done: 5}).Throughput(); got != 0 {
+		t.Errorf("zero-elapsed throughput = %v, want 0", got)
+	}
+	if got := (LoadStats{Done: 10, Elapsed: 2 * time.Second}).Throughput(); got != 5 {
+		t.Errorf("throughput = %v, want 5", got)
+	}
+
+	resp := &http.Response{Header: http.Header{}}
+	if got := retryWait(resp, 7*time.Millisecond); got != 7*time.Millisecond {
+		t.Errorf("retryWait without header = %v", got)
+	}
+	resp.Header.Set(HeaderRetryAfterMs, "not-a-number")
+	if got := retryWait(resp, 7*time.Millisecond); got != 7*time.Millisecond {
+		t.Errorf("retryWait with malformed header = %v", got)
+	}
+	resp.Header.Set(HeaderRetryAfterMs, "40")
+	if got := retryWait(resp, 7*time.Millisecond); got != 40*time.Millisecond {
+		t.Errorf("retryWait with ms header = %v", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("DistinctPeriods over-ask did not panic")
+		}
+	}()
+	DistinctPeriods(3, 100)
+}

@@ -1,0 +1,68 @@
+package clusterserve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingRoute fuzzes the routing function's safety properties over
+// arbitrary membership sizes, vnode counts and keys:
+//
+//   - total: every key maps to a ring member, never a panic;
+//   - stable: two rings over the same membership (reversed construction
+//     order) agree on every owner — the property that keeps forwarding
+//     single-hop, since every node's ring names the same owner;
+//   - loop-free under churn: after a join and the matching leave the
+//     owner is restored, and mid-churn the key routes to the joiner or
+//     keeps its owner, never a third replica.
+func FuzzRingRoute(f *testing.F) {
+	f.Add(uint8(3), uint8(64), "cfg=0012abcd/m=fair-co2/p=0:6")
+	f.Add(uint8(1), uint8(1), "")
+	f.Add(uint8(12), uint8(255), "delta/cfg=ffffffff/t=23")
+	f.Add(uint8(200), uint8(0), "stream/w=17")
+	f.Fuzz(func(t *testing.T, np, vn uint8, key string) {
+		npeers := int(np)%12 + 1
+		vnodes := int(vn)%256 + 1
+		peers := make([]string, npeers)
+		for i := range peers {
+			peers[i] = fmt.Sprintf("r%d", i)
+		}
+		ring, err := NewRing(peers, vnodes)
+		if err != nil {
+			t.Fatalf("valid membership rejected: %v", err)
+		}
+
+		owner := ring.Lookup(key)
+		if !ring.Contains(owner) {
+			t.Fatalf("Lookup(%q) = %q, not a member of %v", key, owner, peers)
+		}
+
+		reversed := make([]string, npeers)
+		for i := range peers {
+			reversed[i] = peers[npeers-1-i]
+		}
+		ring2, err := NewRing(reversed, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ring2.Lookup(key); got != owner {
+			t.Fatalf("Lookup(%q) unstable across construction order: %q vs %q", key, owner, got)
+		}
+
+		grown, err := ring.With("joiner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := grown.Lookup(key)
+		if mid != owner && mid != "joiner" {
+			t.Fatalf("join moved %q from %q to incumbent %q", key, owner, mid)
+		}
+		back, err := grown.Without("joiner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := back.Lookup(key); got != owner {
+			t.Fatalf("join+leave did not restore owner of %q: %q vs %q", key, got, owner)
+		}
+	})
+}

@@ -1,0 +1,589 @@
+package clusterserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairco2/internal/attrserver"
+	"fairco2/internal/metrics"
+)
+
+// Cluster protocol headers.
+const (
+	// HeaderForwarded marks a request forwarded by a peer (value: the
+	// forwarding replica's ID). It is the loop guard: a forwarded request
+	// landing on a non-owner answers 421 instead of forwarding again.
+	HeaderForwarded = "X-FairCO2-Forwarded"
+	// HeaderReplicate marks a committed demand delta being replicated
+	// from its owner (value: the owner's ID). Receivers apply locally and
+	// never re-broadcast.
+	HeaderReplicate = "X-FairCO2-Replicate"
+	// HeaderTenant names the requesting tenant for admission control.
+	// Absent, the tenant query parameter and then the remote address
+	// stand in.
+	HeaderTenant = "X-FairCO2-Tenant"
+	// HeaderRetryAfterMs accompanies 429 responses with the back-off in
+	// milliseconds — the standard Retry-After header only carries whole
+	// seconds, too coarse for the in-process load harness.
+	HeaderRetryAfterMs = "X-FairCO2-Retry-After-Ms"
+)
+
+// Config wires one Node around its attrserver replica.
+type Config struct {
+	// ReplicaID is this node's identity on the ring (required). It should
+	// match the attrserver's Replica label so routing and metrics agree.
+	ReplicaID string
+	// Peers maps replica ID to base URL for every cluster member. The
+	// entry for ReplicaID itself is optional (a node never dials itself);
+	// all other members need a URL to forward to.
+	Peers map[string]string
+	// VNodes is the virtual-node count per replica (0 = DefaultVNodes).
+	VNodes int
+	// Server is the local attrserver replica (required).
+	Server *attrserver.Server
+	// Admission configures load shedding at this node's ingress.
+	Admission AdmissionConfig
+	// Client issues forwarded and replicated requests (default: a plain
+	// http.Client; request contexts bound the forwards).
+	Client *http.Client
+}
+
+// Instruments are the cluster-layer metrics for one Node, all children of
+// replica-labeled families so every node in a fleet shares one registry.
+type Instruments struct {
+	// Local counts requests served by this replica's own attrserver
+	// (fairco2_cluster_local_requests_total{replica}).
+	Local *metrics.Counter
+	// Forwards counts single-hop forwards by destination
+	// (fairco2_cluster_forwards_total{replica,peer}).
+	Forwards metrics.CurriedCounterVec
+	// ForwardErrors counts forwards that failed at the network and fell
+	// back to local computation — availability over deduplication.
+	ForwardErrors *metrics.Counter
+	// Misrouted counts forwarded-in requests this replica did not own
+	// (answered 421; the loop guard firing).
+	Misrouted *metrics.Counter
+	// Shed counts admission rejections by reason, tenant-rate or
+	// queue-depth (fairco2_cluster_shed_total{replica,reason}).
+	Shed metrics.CurriedCounterVec
+	// Replications / ReplicationErrors count committed-delta broadcasts
+	// to peers.
+	Replications      *metrics.Counter
+	ReplicationErrors *metrics.Counter
+	// QueueDepth gauges requests currently holding a local-compute slot.
+	QueueDepth *metrics.Gauge
+}
+
+// NewInstruments registers (or joins) the cluster metric families on reg,
+// bound to the given replica label.
+func NewInstruments(reg *metrics.Registry, replica string) *Instruments {
+	return &Instruments{
+		Local: reg.GetOrNewCounterVec(
+			"fairco2_cluster_local_requests_total",
+			"Requests served by this replica's own attrserver.",
+			"replica").With(replica),
+		Forwards: reg.GetOrNewCounterVec(
+			"fairco2_cluster_forwards_total",
+			"Single-hop forwards to the owning replica, by destination.",
+			"replica", "peer").Curry(replica),
+		ForwardErrors: reg.GetOrNewCounterVec(
+			"fairco2_cluster_forward_errors_total",
+			"Forwards that failed at the network and fell back to local computation.",
+			"replica").With(replica),
+		Misrouted: reg.GetOrNewCounterVec(
+			"fairco2_cluster_misrouted_total",
+			"Forwarded-in requests this replica did not own (answered 421).",
+			"replica").With(replica),
+		Shed: reg.GetOrNewCounterVec(
+			"fairco2_cluster_shed_total",
+			"Admission rejections (429), by reason.",
+			"replica", "reason").Curry(replica),
+		Replications: reg.GetOrNewCounterVec(
+			"fairco2_cluster_replications_total",
+			"Committed demand deltas replicated to peers.",
+			"replica").With(replica),
+		ReplicationErrors: reg.GetOrNewCounterVec(
+			"fairco2_cluster_replication_errors_total",
+			"Committed-delta replications that failed.",
+			"replica").With(replica),
+		QueueDepth: reg.GetOrNewGaugeVec(
+			"fairco2_cluster_queue_depth",
+			"Requests currently holding a local-compute slot.",
+			"replica").With(replica),
+	}
+}
+
+// Node is the forwarding proxy around one attrserver replica: it admits,
+// routes on the consistent-hash ring, and serves locally or forwards
+// exactly one hop to the owner.
+type Node struct {
+	cfg    Config
+	id     string
+	ring   *Ring
+	urls   map[string]string // peer ID -> base URL, self excluded
+	local  http.Handler
+	client *http.Client
+	admit  *bucketTable // nil when per-tenant limiting is off
+	inst   *Instruments
+
+	// queueMax bounds concurrent local computations; queueDepth tracks
+	// them. Shedding compares after-increment depth against the bound.
+	queueMax   int64
+	queueDepth atomic.Int64
+
+	// commitMu serializes local delta applies so the apply and the cache
+	// warm it triggers are atomic with respect to other deltas landing on
+	// this replica (own commits and replicated ones alike). It is never
+	// held across network calls — replication fans out after release —
+	// so two replicas replicating to each other cannot deadlock.
+	commitMu sync.Mutex
+}
+
+// New builds a Node and registers its instruments on reg.
+func New(cfg Config, reg *metrics.Registry) (*Node, error) {
+	if cfg.ReplicaID == "" {
+		return nil, fmt.Errorf("clusterserve: empty replica ID")
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("clusterserve: nil attrserver")
+	}
+	cfg.Admission = cfg.Admission.withDefaults()
+	if err := cfg.Admission.validate(); err != nil {
+		return nil, err
+	}
+	members := []string{cfg.ReplicaID}
+	urls := make(map[string]string, len(cfg.Peers))
+	for id, u := range cfg.Peers {
+		if id == cfg.ReplicaID {
+			continue
+		}
+		if u == "" {
+			return nil, fmt.Errorf("clusterserve: peer %q has no URL", id)
+		}
+		members = append(members, id)
+		urls[id] = u
+	}
+	ring, err := NewRing(members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		id:       cfg.ReplicaID,
+		ring:     ring,
+		urls:     urls,
+		local:    cfg.Server.Handler(),
+		client:   cfg.Client,
+		inst:     NewInstruments(reg, cfg.ReplicaID),
+		queueMax: int64(cfg.Admission.MaxQueue),
+	}
+	if n.client == nil {
+		n.client = &http.Client{}
+	}
+	if cfg.Admission.Rate > 0 {
+		n.admit = newBucketTable(cfg.Admission.Rate, cfg.Admission.Burst, cfg.Admission.MaxTenants, cfg.Admission.Now)
+	}
+	return n, nil
+}
+
+// Ring returns the node's routing ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Handler returns the cluster routes layered over the local attrserver:
+// query and delta endpoints route by key; everything else (metrics,
+// healthz, stream stats) serves locally.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/attribution", http.HandlerFunc(n.handleQuery))
+	mux.Handle("GET /v1/share", http.HandlerFunc(n.handleQuery))
+	mux.Handle("GET /v1/billing", http.HandlerFunc(n.handleQuery))
+	mux.Handle("GET /v1/stream/window", http.HandlerFunc(n.handleStreamWindow))
+	mux.Handle("POST /v1/demand/delta", http.HandlerFunc(n.handleDelta))
+	mux.Handle("GET /v1/cluster", http.HandlerFunc(n.handleInfo))
+	mux.Handle("/", n.local)
+	return mux
+}
+
+// handleQuery routes one GET query by its canonical computation key, so
+// identical queries land on one owner whose cache + singleflight dedup
+// them cluster-wide.
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	forwarded := r.Header.Get(HeaderForwarded)
+	if forwarded == "" && !n.admitTenant(w, r) {
+		return
+	}
+	key, err := n.cfg.Server.CanonicalQueryKey(r)
+	if err != nil {
+		// Invalid query: the local server renders its canonical 400.
+		n.local.ServeHTTP(w, r)
+		return
+	}
+	n.route(w, r, key, forwarded, nil)
+}
+
+// handleStreamWindow routes index-addressed stream window reads (windows
+// are deterministic across replicas fed the same script); "latest" is a
+// replica-local freshness notion and serves here.
+func (n *Node) handleStreamWindow(w http.ResponseWriter, r *http.Request) {
+	forwarded := r.Header.Get(HeaderForwarded)
+	if forwarded == "" && !n.admitTenant(w, r) {
+		return
+	}
+	idx := r.URL.Query().Get("index")
+	if idx == "" || idx == "latest" {
+		n.serveLocal(w, r, nil)
+		return
+	}
+	n.route(w, r, "stream/w="+idx, forwarded, nil)
+}
+
+// route serves key's request locally when this replica owns it, forwards
+// one hop when a peer does, and answers 421 when a forwarded-in request
+// was misrouted (the loop guard: forwarded work is never re-forwarded).
+func (n *Node) route(w http.ResponseWriter, r *http.Request, key, forwarded string, body []byte) {
+	owner := n.ring.Lookup(key)
+	if owner == n.id {
+		n.serveLocal(w, r, body)
+		return
+	}
+	if forwarded != "" {
+		n.inst.Misrouted.Inc()
+		writeError(w, http.StatusMisdirectedRequest, fmt.Errorf(
+			"clusterserve: replica %s does not own %q (owner %s, forwarded by %s)", n.id, key, owner, forwarded))
+		return
+	}
+	if n.forward(w, r, owner, body) {
+		return
+	}
+	// The owner is unreachable: compute locally rather than fail the
+	// query. Cluster-wide dedup is suspended for exactly the blackout.
+	n.inst.ForwardErrors.Inc()
+	n.serveLocal(w, r, body)
+}
+
+// serveLocal runs the request on the local attrserver under the
+// queue-depth bound. body, when non-nil, replaces the (already consumed)
+// request body.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	if !n.acquireSlot() {
+		n.shed(w, "queue-depth", n.cfg.Admission.RetryAfter)
+		return
+	}
+	defer n.releaseSlot()
+	n.inst.Local.Inc()
+	if body != nil {
+		r = rewound(r, body)
+	}
+	n.local.ServeHTTP(w, r)
+}
+
+// forward relays r to owner with the loop-guard header set, streaming the
+// peer's response through. It reports false — caller falls back to local
+// computation — on network failure, and on a 421 from the peer (ring
+// disagreement during a membership change; bouncing further would loop).
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	base, ok := n.urls[owner]
+	if !ok {
+		return false
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(HeaderForwarded, n.id)
+	for _, h := range []string{HeaderTenant, "Content-Type", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	n.inst.Forwards.With(owner).Inc()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// deltaKey is the ring key for demand deltas: the current config
+// fingerprint plus the tenant, so each tenant's updates serialize at one
+// owner per schedule generation.
+func deltaKey(fp uint32, tenant int) string {
+	return fmt.Sprintf("delta/cfg=%08x/t=%d", fp, tenant)
+}
+
+// maxDeltaBody bounds delta request bodies, mirroring the attrserver's
+// own MaxBytesReader limit.
+const maxDeltaBody = 64 << 10
+
+// handleDelta routes POST /v1/demand/delta by (fingerprint, tenant).
+// What-ifs answer at the owner; commits apply at the owner and replicate
+// synchronously to every peer so all caches are warm for post-commit
+// reads. Forward failures answer 502 — a local fallback could double-
+// apply a commit the owner already took.
+func (n *Node) handleDelta(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDeltaBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("clusterserve: reading delta body: %w", err))
+		return
+	}
+	if len(body) > maxDeltaBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("clusterserve: delta body exceeds %d bytes", maxDeltaBody))
+		return
+	}
+	if r.Header.Get(HeaderReplicate) != "" {
+		n.applyDelta(w, r, body, false, true)
+		return
+	}
+	forwarded := r.Header.Get(HeaderForwarded)
+	if forwarded == "" && !n.admitTenant(w, r) {
+		return
+	}
+	var req struct {
+		Tenant int  `json:"tenant"`
+		Commit bool `json:"commit"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Malformed body: the local server renders its canonical 400.
+		n.local.ServeHTTP(w, rewound(r, body))
+		return
+	}
+	owner := n.ring.Lookup(deltaKey(n.cfg.Server.Fingerprint(), req.Tenant))
+	if owner == n.id {
+		n.applyDelta(w, r, body, req.Commit, false)
+		return
+	}
+	if forwarded != "" {
+		n.inst.Misrouted.Inc()
+		writeError(w, http.StatusMisdirectedRequest, fmt.Errorf(
+			"clusterserve: replica %s does not own tenant %d deltas (owner %s, forwarded by %s)", n.id, req.Tenant, owner, forwarded))
+		return
+	}
+	if !n.forward(w, r, owner, body) {
+		n.inst.ForwardErrors.Inc()
+		writeError(w, http.StatusBadGateway, fmt.Errorf("clusterserve: delta owner %s unreachable", owner))
+	}
+}
+
+// applyDelta runs the delta on the local attrserver under commitMu, then
+// — for an owner-side successful commit — broadcasts it to every peer.
+// Replicated applies (isReplica) skip the queue bound so replicas cannot
+// diverge under load, and never re-broadcast.
+func (n *Node) applyDelta(w http.ResponseWriter, r *http.Request, body []byte, commit, isReplica bool) {
+	if !isReplica {
+		if !n.acquireSlot() {
+			n.shed(w, "queue-depth", n.cfg.Admission.RetryAfter)
+			return
+		}
+		defer n.releaseSlot()
+	}
+	n.inst.Local.Inc()
+	rec := &bufferedResponse{header: http.Header{}}
+	func() {
+		n.commitMu.Lock()
+		defer n.commitMu.Unlock()
+		n.local.ServeHTTP(rec, rewound(r, body))
+	}()
+	if rec.status == http.StatusOK && commit && !isReplica {
+		n.replicate(body)
+	}
+	rec.flushTo(w)
+}
+
+// replicate broadcasts a committed delta body to every peer. Workload
+// replacements commute, so concurrent commits for different tenants may
+// interleave at peers in any order and still converge.
+func (n *Node) replicate(body []byte) {
+	for _, id := range n.ring.peers {
+		base, ok := n.urls[id]
+		if !ok {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/demand/delta", bytes.NewReader(body))
+		if err != nil {
+			n.inst.ReplicationErrors.Inc()
+			continue
+		}
+		req.Header.Set(HeaderReplicate, n.id)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.client.Do(req)
+		if err != nil {
+			n.inst.ReplicationErrors.Inc()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			n.inst.ReplicationErrors.Inc()
+			continue
+		}
+		n.inst.Replications.Inc()
+	}
+}
+
+// handleInfo serves the cluster introspection endpoint.
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	tracked := 0
+	if n.admit != nil {
+		tracked = n.admit.len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replica":     n.id,
+		"peers":       n.ring.Peers(),
+		"vnodes":      n.ring.VNodes(),
+		"fingerprint": fmt.Sprintf("%08x", n.cfg.Server.Fingerprint()),
+		"queue_depth": n.queueDepth.Load(),
+		"admission": map[string]any{
+			"rate":            n.cfg.Admission.Rate,
+			"burst":           n.cfg.Admission.Burst,
+			"max_tenants":     n.cfg.Admission.MaxTenants,
+			"max_queue":       n.cfg.Admission.MaxQueue,
+			"tracked_tenants": tracked,
+		},
+	})
+}
+
+// admitTenant charges the request to its tenant's token bucket, shedding
+// with the bucket's exact Retry-After when dry.
+func (n *Node) admitTenant(w http.ResponseWriter, r *http.Request) bool {
+	if n.admit == nil {
+		return true
+	}
+	ok, wait := n.admit.allow(tenantKey(r))
+	if !ok {
+		n.shed(w, "tenant-rate", wait)
+	}
+	return ok
+}
+
+// tenantKey identifies the requesting tenant for admission: the explicit
+// header first, then the tenant query parameter, then the remote host.
+func tenantKey(r *http.Request) string {
+	if t := r.Header.Get(HeaderTenant); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// shed answers 429 with both Retry-After forms and counts the reason.
+func (n *Node) shed(w http.ResponseWriter, reason string, wait time.Duration) {
+	n.inst.Shed.With(reason).Inc()
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	ms := wait.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set(HeaderRetryAfterMs, strconv.FormatInt(ms, 10))
+	writeError(w, http.StatusTooManyRequests, fmt.Errorf("clusterserve: %s limit exceeded, retry in %v", reason, wait))
+}
+
+// acquireSlot claims a local-compute slot, failing when MaxQueue is set
+// and saturated.
+func (n *Node) acquireSlot() bool {
+	d := n.queueDepth.Add(1)
+	if n.queueMax > 0 && d > n.queueMax {
+		n.queueDepth.Add(-1)
+		return false
+	}
+	n.inst.QueueDepth.Set(float64(d))
+	return true
+}
+
+func (n *Node) releaseSlot() {
+	n.inst.QueueDepth.Set(float64(n.queueDepth.Add(-1)))
+}
+
+// rewound returns r with body re-installed, for handlers that consumed or
+// need to replay it.
+func rewound(r *http.Request, body []byte) *http.Request {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	return r2
+}
+
+// bufferedResponse captures a handler's response so the caller can act on
+// the status (replicate on 200) before releasing it to the client.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	keys := make([]string, 0, len(b.header))
+	for k := range b.header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range b.header[k] {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

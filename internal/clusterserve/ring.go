@@ -1,0 +1,173 @@
+package clusterserve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per replica when Config.VNodes
+// is zero. 128 points per peer keeps the max/min shard-load ratio tight
+// (the ring property suite pins the bound) at negligible memory cost.
+const DefaultVNodes = 128
+
+// FNV-1a 64-bit parameters. The hash is inlined rather than taken from
+// hash/fnv so ring lookups stay allocation-free on the request path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a hashes s with 64-bit FNV-1a.
+func fnv64a(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 finalizes a hash with full avalanche (the MurmurHash3 fmix64
+// constants). Raw FNV-1a folds each byte with one multiply, so strings
+// differing only in a trailing digit — exactly the shape of virtual-node
+// names — land within ~2^44 of each other on the 2^64 circle and cluster
+// into a handful of arcs. The finalizer spreads them uniformly, which is
+// what the ring's balance bound rests on.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringHash positions a string on the hash circle.
+func ringHash(s string) uint64 { return mix64(fnv64a(s)) }
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the index of the replica that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	peer uint32
+}
+
+// Ring is an immutable consistent-hash ring over replica IDs. Every
+// replica projects VNodes points onto the 64-bit circle; a key belongs to
+// the replica owning the first point at or clockwise of the key's hash.
+// Immutability is what makes routing loop-free: all replicas built from
+// the same peer set compute identical owners, so one forwarding hop
+// always suffices. Membership changes build a new ring (With / Without),
+// moving only the keys adjacent to the changed replica's points.
+type Ring struct {
+	peers  []string // sorted, unique replica IDs
+	vnodes int
+	points []ringPoint // sorted by (hash, peer)
+}
+
+// NewRing builds a ring over the given replica IDs. IDs must be non-empty
+// and unique; vnodes of 0 selects DefaultVNodes.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("clusterserve: vnodes must be positive, got %d", vnodes)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("clusterserve: ring needs at least one replica")
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("clusterserve: empty replica ID")
+		}
+		if i > 0 && sorted[i-1] == p {
+			return nil, fmt.Errorf("clusterserve: duplicate replica ID %q", p)
+		}
+	}
+	r := &Ring{
+		peers:  sorted,
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for pi, p := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(p + "#" + strconv.Itoa(v)),
+				peer: uint32(pi),
+			})
+		}
+	}
+	// Tie-break equal hashes by peer index so rings built from the same
+	// membership sort identically regardless of insertion order.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Lookup returns the replica ID owning key. It is total (every key maps
+// to a member) and deterministic; the hot path allocates nothing.
+func (r *Ring) Lookup(key string) string {
+	h := ringHash(key)
+	// First point with hash >= h, wrapping to the start of the circle.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.peers[r.points[lo].peer]
+}
+
+// Peers returns the sorted replica IDs (a copy).
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// VNodes returns the virtual-node count per replica.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Contains reports whether id is a ring member.
+func (r *Ring) Contains(id string) bool {
+	i := sort.SearchStrings(r.peers, id)
+	return i < len(r.peers) && r.peers[i] == id
+}
+
+// With returns a new ring with peer joined. Keys that change owner move
+// only onto the new peer — the minimal-movement property the join/leave
+// suite pins.
+func (r *Ring) With(peer string) (*Ring, error) {
+	if r.Contains(peer) {
+		return nil, fmt.Errorf("clusterserve: replica %q already in ring", peer)
+	}
+	return NewRing(append(r.Peers(), peer), r.vnodes)
+}
+
+// Without returns a new ring with peer removed. Keys that change owner
+// move only off the removed peer.
+func (r *Ring) Without(peer string) (*Ring, error) {
+	if !r.Contains(peer) {
+		return nil, fmt.Errorf("clusterserve: replica %q not in ring", peer)
+	}
+	if len(r.peers) == 1 {
+		return nil, fmt.Errorf("clusterserve: cannot remove the last replica %q", peer)
+	}
+	rest := make([]string, 0, len(r.peers)-1)
+	for _, p := range r.peers {
+		if p != peer {
+			rest = append(rest, p)
+		}
+	}
+	return NewRing(rest, r.vnodes)
+}

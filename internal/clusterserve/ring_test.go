@@ -1,0 +1,199 @@
+package clusterserve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// seedPeers names npeers replicas deterministically for one seed.
+func seedPeers(seed, npeers int) []string {
+	peers := make([]string, npeers)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("replica-%d-%d", seed, i)
+	}
+	return peers
+}
+
+// seedKeys draws n pseudo-random computation-key-shaped strings.
+func seedKeys(rng *rand.Rand, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg=%08x/m=m%d/p=%d:%d", rng.Uint32(), rng.Intn(4), rng.Intn(512), rng.Intn(512)+512)
+	}
+	return keys
+}
+
+// TestRingBalanceAcross200Seeds pins the distribution property: with 128
+// virtual nodes, the busiest shard never carries more than twice the
+// quietest, across 200 independently seeded peer sets and key sets. The
+// inputs are seed-derived, so this bound is deterministic once green.
+func TestRingBalanceAcross200Seeds(t *testing.T) {
+	const keysPerSeed = 5000
+	worst := 0.0
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		npeers := 2 + rng.Intn(7) // 2..8 replicas
+		peers := seedPeers(seed, npeers)
+		ring, err := NewRing(peers, DefaultVNodes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		counts := map[string]int{}
+		for _, k := range seedKeys(rng, keysPerSeed) {
+			counts[ring.Lookup(k)]++
+		}
+		minLoad, maxLoad := keysPerSeed, 0
+		for _, p := range peers {
+			c := counts[p]
+			if c < minLoad {
+				minLoad = c
+			}
+			if c > maxLoad {
+				maxLoad = c
+			}
+		}
+		if minLoad == 0 {
+			t.Fatalf("seed %d: replica with zero load among %d peers: %v", seed, npeers, counts)
+		}
+		ratio := float64(maxLoad) / float64(minLoad)
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 2.0 {
+			t.Errorf("seed %d: max/min shard load ratio %.2f > 2.0 (%d peers, loads %v)", seed, ratio, npeers, counts)
+		}
+	}
+	t.Logf("worst max/min shard-load ratio over 200 seeds: %.2f", worst)
+}
+
+// TestRingJoinMovesKeysOnlyOntoNewPeer pins minimal movement on join: a
+// key either keeps its owner or moves to the joining replica — never
+// between incumbents — and the moved fraction tracks 1/(n+1).
+func TestRingJoinMovesKeysOnlyOntoNewPeer(t *testing.T) {
+	const nKeys = 5000
+	for seed := 0; seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		npeers := 2 + rng.Intn(6)
+		ring, err := NewRing(seedPeers(seed, npeers), DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joiner := fmt.Sprintf("replica-%d-join", seed)
+		grown, err := ring.With(joiner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range seedKeys(rng, nKeys) {
+			before, after := ring.Lookup(k), grown.Lookup(k)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != joiner {
+				t.Fatalf("seed %d: key %q moved %s -> %s, not onto the joiner %s", seed, k, before, after, joiner)
+			}
+		}
+		ideal := float64(nKeys) / float64(npeers+1)
+		if f := float64(moved); f < 0.2*ideal || f > 2.5*ideal {
+			t.Errorf("seed %d: join moved %d keys, expected near %.0f (1/(n+1) of %d)", seed, moved, ideal, nKeys)
+		}
+	}
+}
+
+// TestRingLeaveMovesKeysOnlyOffRemovedPeer pins minimal movement on
+// leave: keys not owned by the removed replica keep their owner.
+func TestRingLeaveMovesKeysOnlyOffRemovedPeer(t *testing.T) {
+	const nKeys = 5000
+	for seed := 0; seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(int64(2000 + seed)))
+		npeers := 2 + rng.Intn(6)
+		peers := seedPeers(seed, npeers)
+		ring, err := NewRing(peers, DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed := peers[rng.Intn(npeers)]
+		shrunk, err := ring.Without(removed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range seedKeys(rng, nKeys) {
+			before, after := ring.Lookup(k), shrunk.Lookup(k)
+			if before != removed && after != before {
+				t.Fatalf("seed %d: key %q moved %s -> %s though %s left", seed, k, before, after, removed)
+			}
+			if before == removed {
+				moved++
+				if after == removed {
+					t.Fatalf("seed %d: key %q still routed to removed replica %s", seed, k, removed)
+				}
+			}
+		}
+		ideal := float64(nKeys) / float64(npeers)
+		if f := float64(moved); f < 0.2*ideal || f > 2.5*ideal {
+			t.Errorf("seed %d: leave moved %d keys, expected near %.0f (1/n of %d)", seed, moved, ideal, nKeys)
+		}
+	}
+}
+
+// TestRingIndependentOfConstructionOrder: rings built from the same
+// membership in any order route identically — the property that makes
+// forwarding loop-free when every node builds its own ring.
+func TestRingIndependentOfConstructionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	peers := seedPeers(7, 6)
+	a, err := NewRing(peers, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), peers...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b, err := NewRing(shuffled, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range seedKeys(rng, 2000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %q routes to %s vs %s depending on construction order", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+// TestRingConstructionErrors pins the validation surface.
+func TestRingConstructionErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty peer ID accepted")
+	}
+	if _, err := NewRing([]string{"a"}, -1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+	ring, err := NewRing([]string{"a", "b"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.With("a"); err == nil {
+		t.Error("joining an existing member accepted")
+	}
+	if _, err := ring.Without("c"); err == nil {
+		t.Error("removing a non-member accepted")
+	}
+	solo, err := ring.Without("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.Without("a"); err == nil {
+		t.Error("removing the last member accepted")
+	}
+	if got := solo.Lookup("anything"); got != "a" {
+		t.Errorf("single-member ring routed to %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import "fmt"
+
+// Get-or-create registration for labeled families. A process that runs
+// several instances of one subsystem — e.g. multiple attribution-server
+// replicas inside a cluster test — must share each metric family across
+// instances and distinguish them by a label (conventionally `replica`),
+// because the registry rejects duplicate names. These constructors return
+// the already-registered family when the name exists, after checking that
+// the kind and label names match the original registration exactly; any
+// mismatch is a programming error and panics, like all registration
+// errors.
+
+// GetOrNewCounterVec returns the counter family registered under name,
+// registering it on first use. The labels must match an existing
+// registration exactly (same names, same order).
+func (r *Registry) GetOrNewCounterVec(name, help string, labels ...string) CounterVec {
+	r.getOrNewMu.Lock()
+	defer r.getOrNewMu.Unlock()
+	if inst, ok := r.lookupInstrument(name, KindCounter, labels); ok {
+		return inst.(CounterVec)
+	}
+	return r.NewCounterVec(name, help, labels...)
+}
+
+// GetOrNewGaugeVec is GetOrNewCounterVec for gauge families.
+func (r *Registry) GetOrNewGaugeVec(name, help string, labels ...string) GaugeVec {
+	r.getOrNewMu.Lock()
+	defer r.getOrNewMu.Unlock()
+	if inst, ok := r.lookupInstrument(name, KindGauge, labels); ok {
+		return inst.(GaugeVec)
+	}
+	return r.NewGaugeVec(name, help, labels...)
+}
+
+// GetOrNewHistogramVec is GetOrNewCounterVec for histogram families. The
+// bucket layout is only applied on first registration; later calls reuse
+// the existing family's layout.
+func (r *Registry) GetOrNewHistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	r.getOrNewMu.Lock()
+	defer r.getOrNewMu.Unlock()
+	if inst, ok := r.lookupInstrument(name, KindHistogram, labels); ok {
+		return inst.(HistogramVec)
+	}
+	return r.NewHistogramVec(name, help, buckets, labels...)
+}
+
+// lookupInstrument finds a registered family by name and validates that
+// reusing it under (kind, labels) is sound. It returns (nil, false) when
+// the name is free.
+func (r *Registry) lookupInstrument(name string, kind Kind, labels []string) (any, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if e.inst == nil {
+		panic(fmt.Sprintf("metrics: %q is registered as a scalar, not a labeled family", name))
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q is registered as a %s, not a %s", name, e.kind, kind))
+	}
+	if len(e.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %q is registered with labels %v, not %v", name, e.labels, labels))
+	}
+	for i, l := range labels {
+		if e.labels[i] != l {
+			panic(fmt.Sprintf("metrics: %q is registered with labels %v, not %v", name, e.labels, labels))
+		}
+	}
+	return e.inst, true
+}
+
+// CurriedCounterVec is a view of a counter family with its leading label
+// values pre-bound — e.g. the per-replica slice of a shared family. With
+// supplies only the remaining label values.
+type CurriedCounterVec struct {
+	vec   *vec[*Counter]
+	bound []string
+}
+
+// Curry pre-binds the family's leading label values and returns the view.
+func (v CounterVec) Curry(values ...string) CurriedCounterVec {
+	if len(values) > len(v.labels) {
+		panic(fmt.Sprintf("metrics: currying %d values onto %d labels %v", len(values), len(v.labels), v.labels))
+	}
+	// Clamp capacity so concurrent With appends never share the array.
+	return CurriedCounterVec{vec: v.vec, bound: values[:len(values):len(values)]}
+}
+
+// With returns the child for the bound values plus the given trailing
+// label values.
+func (v CurriedCounterVec) With(values ...string) *Counter {
+	return v.vec.with(append(v.bound, values...)...)
+}

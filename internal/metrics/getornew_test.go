@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGetOrNewReturnsTheSameFamily(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.GetOrNewCounterVec("test_total", "help.", "replica", "endpoint")
+	b := reg.GetOrNewCounterVec("test_total", "other help ignored.", "replica", "endpoint")
+	a.With("0", "query").Add(2)
+	b.With("0", "query").Inc()
+	if got := a.With("0", "query").Value(); got != 3 {
+		t.Errorf("families are not shared: value = %v, want 3", got)
+	}
+
+	g := reg.GetOrNewGaugeVec("test_gauge", "help.", "replica")
+	if reg.GetOrNewGaugeVec("test_gauge", "help.", "replica").With("1") != g.With("1") {
+		t.Error("gauge families are not shared")
+	}
+	h := reg.GetOrNewHistogramVec("test_hist", "help.", []float64{1, 2}, "replica")
+	if reg.GetOrNewHistogramVec("test_hist", "help.", nil, "replica").With("1") != h.With("1") {
+		t.Error("histogram families are not shared")
+	}
+}
+
+func TestGetOrNewPanicsOnMismatch(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.GetOrNewCounterVec("test_total", "help.", "replica")
+	mustPanic("label mismatch", func() { reg.GetOrNewCounterVec("test_total", "help.", "shard") })
+	mustPanic("label count mismatch", func() { reg.GetOrNewCounterVec("test_total", "help.", "replica", "code") })
+	mustPanic("kind mismatch", func() { reg.GetOrNewGaugeVec("test_total", "help.", "replica") })
+	reg.NewCounter("test_scalar", "help.")
+	mustPanic("scalar reuse", func() { reg.GetOrNewCounterVec("test_scalar", "help.", "replica") })
+}
+
+func TestGetOrNewConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg.GetOrNewCounterVec("test_total", "help.", "replica").With("r").Inc()
+		}()
+	}
+	wg.Wait()
+	if got := reg.GetOrNewCounterVec("test_total", "help.", "replica").With("r").Value(); got != 16 {
+		t.Errorf("concurrent registrations split the family: value = %v, want 16", got)
+	}
+}
+
+func TestCurriedCounterVec(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewCounterVec("test_total", "help.", "replica", "endpoint", "code")
+	r0 := vec.Curry("0")
+	r1 := vec.Curry("1")
+	r0.With("query", "200").Add(5)
+	r1.With("query", "200").Inc()
+	if got := vec.With("0", "query", "200").Value(); got != 5 {
+		t.Errorf("curried child not shared with full family: %v", got)
+	}
+	if got := vec.With("1", "query", "200").Value(); got != 1 {
+		t.Errorf("replica 1 child = %v, want 1", got)
+	}
+
+	// Concurrent With on one curried view must not alias the bound slice.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r0.With("batch", "204").Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := vec.With("0", "batch", "204").Value(); got != 800 {
+		t.Errorf("concurrent curried writes = %v, want 800", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("currying more values than labels did not panic")
+		}
+	}()
+	vec.Curry("a", "b", "c", "d")
+}
+
+func TestCurriedFamilyExposition(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.GetOrNewCounterVec("test_requests_total", "Requests.", "replica", "code")
+	vec.Curry("0").With("200").Inc()
+	vec.Curry("1").With("429").Inc()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_requests_total{replica="0",code="200"} 1`,
+		`test_requests_total{replica="1",code="429"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+	if _, err := LintText(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("exposition does not lint: %v", err)
+	}
+}

@@ -50,13 +50,16 @@ type Family struct {
 	Samples    []Sample
 }
 
-// entry ties a registered name to its snapshot function.
+// entry ties a registered name to its snapshot function. For labeled
+// families inst retains the vec so GetOrNew* constructors can hand the
+// same family to a second caller; scalars leave it nil.
 type entry struct {
 	name    string
 	help    string
 	kind    Kind
 	labels  []string
 	collect func() []Sample
+	inst    any
 }
 
 // Registry holds a namespace of metrics and gathers them for exposition.
@@ -66,6 +69,10 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	// getOrNewMu serializes the lookup-then-register window of the
+	// GetOrNew* constructors, so two concurrent callers of the same
+	// family never race into a duplicate-registration panic.
+	getOrNewMu sync.Mutex
 }
 
 // NewRegistry returns an empty registry.
@@ -81,7 +88,7 @@ var defaultRegistry = NewRegistry()
 // packages and served by the daemons' /metrics endpoints.
 func Default() *Registry { return defaultRegistry }
 
-func (r *Registry) register(name, help string, kind Kind, labels []string, collect func() []Sample) {
+func (r *Registry) register(name, help string, kind Kind, labels []string, inst any, collect func() []Sample) {
 	if err := checkMetricName(name); err != nil {
 		panic(err)
 	}
@@ -100,13 +107,13 @@ func (r *Registry) register(name, help string, kind Kind, labels []string, colle
 	if _, ok := r.entries[name]; ok {
 		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
 	}
-	r.entries[name] = &entry{name: name, help: help, kind: kind, labels: labels, collect: collect}
+	r.entries[name] = &entry{name: name, help: help, kind: kind, labels: labels, collect: collect, inst: inst}
 }
 
 // NewCounter registers and returns a scalar counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{}
-	r.register(name, help, KindCounter, nil, func() []Sample {
+	r.register(name, help, KindCounter, nil, nil, func() []Sample {
 		return []Sample{{Value: c.Value()}}
 	})
 	return c
@@ -115,7 +122,7 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 // NewGauge registers and returns a scalar gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
-	r.register(name, help, KindGauge, nil, func() []Sample {
+	r.register(name, help, KindGauge, nil, nil, func() []Sample {
 		return []Sample{{Value: g.Value()}}
 	})
 	return g
@@ -128,7 +135,7 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 	if err != nil {
 		panic(err)
 	}
-	r.register(name, help, KindHistogram, nil, func() []Sample {
+	r.register(name, help, KindHistogram, nil, nil, func() []Sample {
 		b, sum, count := h.snapshot()
 		return []Sample{{Buckets: b, Sum: sum, Count: count}}
 	})
@@ -141,7 +148,7 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) CounterVec
 		panic(fmt.Sprintf("metrics: vector metric %q needs at least one label", name))
 	}
 	v := CounterVec{newVec(labels, func() *Counter { return &Counter{} })}
-	r.register(name, help, KindCounter, labels, func() []Sample {
+	r.register(name, help, KindCounter, labels, v, func() []Sample {
 		var out []Sample
 		v.each(func(values []string, c *Counter) {
 			out = append(out, Sample{LabelValues: values, Value: c.Value()})
@@ -157,7 +164,7 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) GaugeVec {
 		panic(fmt.Sprintf("metrics: vector metric %q needs at least one label", name))
 	}
 	v := GaugeVec{newVec(labels, func() *Gauge { return &Gauge{} })}
-	r.register(name, help, KindGauge, labels, func() []Sample {
+	r.register(name, help, KindGauge, labels, v, func() []Sample {
 		var out []Sample
 		v.each(func(values []string, g *Gauge) {
 			out = append(out, Sample{LabelValues: values, Value: g.Value()})
@@ -184,7 +191,7 @@ func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels 
 		}
 		return h
 	})}
-	r.register(name, help, KindHistogram, labels, func() []Sample {
+	r.register(name, help, KindHistogram, labels, v, func() []Sample {
 		var out []Sample
 		v.each(func(values []string, h *Histogram) {
 			b, sum, count := h.snapshot()

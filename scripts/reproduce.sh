@@ -69,5 +69,10 @@ go run ./cmd/attribution-server -stream-once \
   -stream-scenario 'burst:21600,7200,1.8;outage:50400,3600,5000' \
   -stream-disorder 0.05 -stream-max-defer 12 | tee "$RESULTS/stream_replay.txt"
 
+echo "== Cluster scaling: 1 -> 4 attribution replicas =="
+# Throughput is admission capacity over a fixed synthetic service time,
+# so the 1->4 replica curve reproduces on any host, single-core included.
+go run ./cmd/cluster-load -replicas 1,2,4 | tee "$RESULTS/cluster_scaling.txt"
+
 echo
 echo "All outputs are under $RESULTS/."
