@@ -3,7 +3,6 @@ package main
 import (
 	"errors"
 	"fmt"
-	"net/http"
 	"strings"
 	"time"
 
@@ -34,6 +33,21 @@ type clusterOptions struct {
 	MaxQueue int
 	// RetryAfter is the pause a queue-depth 429 asks clients to take.
 	RetryAfter time.Duration
+
+	// ProbeInterval / ProbeTimeout / ProbeFail / ProbeUp tune the health
+	// prober (zero = clusterserve defaults: 500ms, interval/2, 3, 2).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	ProbeFail     int
+	ProbeUp       int
+	// HedgeSuccessors / HedgeLatency tune hedged failover (zero =
+	// clusterserve defaults: 2 successors, 150ms budget).
+	HedgeSuccessors int
+	HedgeLatency    time.Duration
+	// DrainWait is how long a SIGTERM'd replica keeps serving with a
+	// failing /healthz before shutting its listener, so every peer's
+	// prober evicts it first and no request races the socket closing.
+	DrainWait time.Duration
 }
 
 // enabled reports whether any cluster flag was set.
@@ -63,8 +77,10 @@ func parsePeerSpec(spec string) (map[string]string, error) {
 	return peers, nil
 }
 
-// wrapCluster layers the cluster node over the attrserver handler.
-func wrapCluster(opts clusterOptions, srv *attrserver.Server, reg *metrics.Registry) (http.Handler, error) {
+// wrapCluster layers the cluster node over the attrserver handler. The
+// caller owns the node's lifecycle: Start launches the self-healing
+// probers, BeginDrain + Stop sequence the graceful exit.
+func wrapCluster(opts clusterOptions, srv *attrserver.Server, reg *metrics.Registry) (*clusterserve.Node, error) {
 	if opts.ReplicaID == "" {
 		return nil, errors.New("cluster mode needs -replica-id")
 	}
@@ -72,7 +88,7 @@ func wrapCluster(opts clusterOptions, srv *attrserver.Server, reg *metrics.Regis
 	if err != nil {
 		return nil, fmt.Errorf("parsing -cluster-peers: %w", err)
 	}
-	node, err := clusterserve.New(clusterserve.Config{
+	return clusterserve.New(clusterserve.Config{
 		ReplicaID: opts.ReplicaID,
 		Peers:     peers,
 		VNodes:    opts.VNodes,
@@ -84,9 +100,15 @@ func wrapCluster(opts clusterOptions, srv *attrserver.Server, reg *metrics.Regis
 			MaxQueue:   opts.MaxQueue,
 			RetryAfter: opts.RetryAfter,
 		},
+		Probe: clusterserve.ProbeConfig{
+			Interval:      opts.ProbeInterval,
+			Timeout:       opts.ProbeTimeout,
+			FailThreshold: opts.ProbeFail,
+			UpThreshold:   opts.ProbeUp,
+		},
+		Hedge: clusterserve.HedgeConfig{
+			Successors:    opts.HedgeSuccessors,
+			LatencyBudget: opts.HedgeLatency,
+		},
 	}, reg)
-	if err != nil {
-		return nil, err
-	}
-	return node.Handler(), nil
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"fairco2/internal/metrics"
 )
@@ -43,16 +44,21 @@ func TestParsePeerSpec(t *testing.T) {
 func TestWrapClusterServes(t *testing.T) {
 	reg := metrics.NewRegistry()
 	cfg := defaultDaemonConfig()
-	cfg.Cluster = clusterOptions{ReplicaID: "a", AdmitRate: 100, MaxQueue: 8}
+	cfg.Cluster = clusterOptions{
+		ReplicaID: "a", AdmitRate: 100, MaxQueue: 8,
+		ProbeInterval: 100 * time.Millisecond, HedgeSuccessors: 1,
+	}
 	srv, _, err := buildServer(cfg, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, err := wrapCluster(cfg.Cluster, srv, reg)
+	node, err := wrapCluster(cfg.Cluster, srv, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(handler)
+	node.Start()
+	defer node.Stop()
+	ts := httptest.NewServer(node.Handler())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/cluster")
@@ -100,6 +106,28 @@ func TestWrapClusterServes(t *testing.T) {
 	}
 	if !found {
 		t.Error("no attrserver series labeled with replica \"a\"")
+	}
+
+	// BeginDrain is the SIGTERM sequence main runs before Shutdown:
+	// /healthz flips to 503 while queries keep being served.
+	node.BeginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/attribution?method=rup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("query during drain: status %d, want 200", resp.StatusCode)
 	}
 
 	if _, err := wrapCluster(clusterOptions{}, srv, reg); err == nil {

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"fairco2/internal/attrserver"
+	"fairco2/internal/clusterserve"
 	"fairco2/internal/livesignal"
 	"fairco2/internal/metrics"
 	"fairco2/internal/resilience"
@@ -248,6 +249,14 @@ func main() {
 		admitTenants = flag.Int("admit-max-tenants", def.Cluster.AdmitMaxTenants, "bound on tracked tenant buckets (0 = default)")
 		maxQueue     = flag.Int("max-queue", def.Cluster.MaxQueue, "bound on concurrently computing requests; beyond it requests shed with 429 (0 = unbounded)")
 		retryAfter   = flag.Duration("retry-after", def.Cluster.RetryAfter, "pause a queue-depth 429 asks clients to take")
+
+		probeInterval = flag.Duration("probe-interval", def.Cluster.ProbeInterval, "health probe period per peer (0 = 500ms default)")
+		probeTimeout  = flag.Duration("probe-timeout", def.Cluster.ProbeTimeout, "health probe timeout; a stalling peer counts as failed (0 = interval/2)")
+		probeFail     = flag.Int("probe-fail-threshold", def.Cluster.ProbeFail, "consecutive probe failures before a peer goes Down (0 = 3)")
+		probeUp       = flag.Int("probe-up-threshold", def.Cluster.ProbeUp, "consecutive ok probes before a peer rejoins the ring (0 = 2)")
+		hedgeSucc     = flag.Int("hedge-successors", def.Cluster.HedgeSuccessors, "ring successors tried when the owner fails or stalls (0 = 2)")
+		hedgeLatency  = flag.Duration("hedge-latency", def.Cluster.HedgeLatency, "latency budget before a read hedges to the next successor (0 = 150ms)")
+		drainWait     = flag.Duration("drain-wait", 3*time.Second, "on SIGTERM, how long to keep serving with a failing /healthz so peers evict this replica before the listener closes")
 	)
 	resil := def.SignalResilience
 	resil.RegisterFlags(flag.CommandLine, "signal")
@@ -292,6 +301,13 @@ func main() {
 		AdmitMaxTenants: *admitTenants,
 		MaxQueue:        *maxQueue,
 		RetryAfter:      *retryAfter,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		ProbeFail:       *probeFail,
+		ProbeUp:         *probeUp,
+		HedgeSuccessors: *hedgeSucc,
+		HedgeLatency:    *hedgeLatency,
+		DrainWait:       *drainWait,
 	}
 
 	if cfg.Stream.Once {
@@ -307,10 +323,14 @@ func main() {
 	}
 
 	handler := http.Handler(srv.Handler())
+	var node *clusterserve.Node
 	if cfg.Cluster.enabled() {
-		if handler, err = wrapCluster(cfg.Cluster, srv, metrics.Default()); err != nil {
+		if node, err = wrapCluster(cfg.Cluster, srv, metrics.Default()); err != nil {
 			log.Fatal(err)
 		}
+		handler = node.Handler()
+		node.Start()
+		defer node.Stop()
 		log.Printf("cluster mode: replica %s, peers %q", cfg.Cluster.ReplicaID, cfg.Cluster.Peers)
 	}
 
@@ -349,6 +369,15 @@ func main() {
 	case err := <-serveErr:
 		log.Fatal(err)
 	case <-ctx.Done():
+	}
+	if node != nil && cfg.Cluster.DrainWait > 0 {
+		// Graceful drain: fail /healthz first so every peer's prober
+		// evicts this replica from its ring, keep serving (and finishing
+		// in-flight forwards) through the eviction window, then close the
+		// listener. Peers see an orderly departure, not a blackout.
+		log.Printf("draining: failing /healthz for %v so peers evict this replica", cfg.Cluster.DrainWait)
+		node.BeginDrain()
+		time.Sleep(cfg.Cluster.DrainWait)
 	}
 	log.Print("shutting down (draining in-flight queries)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *qTimeout+5*time.Second)

@@ -1,0 +1,64 @@
+// Command cluster-chaos runs the self-healing acceptance scenario
+// against an in-process fleet and prints the report: kill one replica
+// mid-load, latency-spike another, restart the victim, and require zero
+// lost requests beyond shed-and-retry, prober eviction inside the
+// hysteresis window, commit-log catch-up on rejoin, and post-recovery
+// answers bitwise-identical to a single-process oracle that applied the
+// same commit sequence.
+//
+//	cluster-chaos -replicas 3 -duration 3s -workers 6
+//
+// Exit status is non-zero when the scenario fails, so the command slots
+// directly into CI and scripts/reproduce.sh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fairco2/internal/clusterserve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluster-chaos: ")
+
+	var (
+		replicas = flag.Int("replicas", 3, "fleet size")
+		slices   = flag.Int("slices", 16, "schedule time slices")
+		duration = flag.Duration("duration", 3*time.Second, "query load duration")
+		workers  = flag.Int("workers", 6, "closed-loop load workers")
+		victim   = flag.Int("victim", 1, "replica killed mid-load and restarted (1..replicas-1)")
+		flap     = flag.Int("flap", 2, "replica latency-spiked around the restart (-1 disables)")
+		commitMs = flag.Duration("commit-every", 25*time.Millisecond, "pace of the sequential commit stream")
+		probeMs  = flag.Duration("probe-interval", 40*time.Millisecond, "health probe period (fast, so eviction and rejoin fit the run)")
+		quiet    = flag.Bool("quiet", false, "suppress the timeline narration")
+	)
+	flag.Parse()
+
+	cfg := clusterserve.ChaosConfig{
+		Replicas:    *replicas,
+		Slices:      *slices,
+		Duration:    *duration,
+		Workers:     *workers,
+		Victim:      *victim,
+		Flap:        *flap,
+		CommitEvery: *commitMs,
+		Probe:       clusterserve.ProbeConfig{Interval: *probeMs},
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+
+	rep, err := clusterserve.RunChaos(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"fairco2/internal/clusterserve"
+)
+
+// TestShortChaosRun drives the harness end to end on a compressed
+// timeline — kill, flap, restart, converge — asserting the run itself is
+// healthy. The full acceptance thresholds live in the clusterserve chaos
+// test; this pins the command's wiring.
+func TestShortChaosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes over a second")
+	}
+	rep, err := clusterserve.RunChaos(clusterserve.ChaosConfig{
+		Replicas:    3,
+		Duration:    1200 * time.Millisecond,
+		Workers:     4,
+		CommitEvery: 20 * time.Millisecond,
+		Probe:       clusterserve.ProbeConfig{Interval: 30 * time.Millisecond},
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.Done == 0 {
+		t.Error("chaos run completed no queries")
+	}
+	if rep.Commits == 0 {
+		t.Error("chaos run committed no deltas")
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}

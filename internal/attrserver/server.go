@@ -149,6 +149,17 @@ func (cfg Config) validate() error {
 	return cfg.Schedule.Validate()
 }
 
+// Health statuses reported by /healthz. Cluster probers parse the status
+// field, so the strings are part of the wire contract: an "ok" replica is
+// routable, a "warming" one is alive but still replaying missed commits
+// (excluded from rings until it reports ok), and a "draining" one answers
+// 503 so probers evict it ahead of shutdown.
+const (
+	HealthOK       = "ok"
+	HealthWarming  = "warming"
+	HealthDraining = "draining"
+)
+
 // Server answers attribution, share and billing queries over one
 // configured schedule.
 type Server struct {
@@ -159,6 +170,7 @@ type Server struct {
 	batch   *batcher
 	methods map[string]attribution.Method
 	state   atomic.Pointer[schedState]
+	health  atomic.Value // string; empty = HealthOK
 	delta   *deltaEngine // nil unless Config.EnableDelta
 	started time.Time
 }
@@ -370,11 +382,29 @@ func (s *Server) queryHandler(endpoint string, render func(*Server, querySpec, *
 	}))
 }
 
+// SetHealthStatus publishes the readiness the health endpoint reports —
+// HealthOK, HealthWarming or HealthDraining. The cluster layer drives it
+// through the Warming catch-up and graceful-drain lifecycles.
+func (s *Server) SetHealthStatus(status string) { s.health.Store(status) }
+
+// HealthStatus is the currently published readiness.
+func (s *Server) HealthStatus() string {
+	if v, ok := s.health.Load().(string); ok && v != "" {
+		return v
+	}
+	return HealthOK
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.stats()
 	st := s.snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":             "ok",
+	status := s.HealthStatus()
+	code := http.StatusOK
+	if status == HealthDraining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":             status,
 		"uptime_seconds":     s.cfg.Now().Sub(s.started).Seconds(),
 		"config_fingerprint": fmt.Sprintf("%08x", st.fp),
 		"delta_enabled":      s.delta != nil,

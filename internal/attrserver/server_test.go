@@ -444,3 +444,44 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("negative TTL accepted")
 	}
 }
+
+// TestHealthStatusLifecycle walks /healthz through the cluster readiness
+// lifecycle: ok at boot, warming (still 200 — the replica is alive, just
+// not ring-ready) during catch-up, and draining as a 503 so probers and
+// load balancers evict the replica ahead of shutdown.
+func TestHealthStatusLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	check := func(wantStatus string, wantCode int) {
+		t.Helper()
+		var health map[string]any
+		if code := getJSON(t, ts.URL+"/healthz", &health); code != wantCode {
+			t.Fatalf("healthz code = %d, want %d (status %q)", code, wantCode, wantStatus)
+		}
+		if health["status"] != wantStatus {
+			t.Fatalf("healthz status = %v, want %q", health["status"], wantStatus)
+		}
+	}
+
+	check(HealthOK, http.StatusOK)
+	if got := srv.HealthStatus(); got != HealthOK {
+		t.Fatalf("HealthStatus() = %q at boot, want %q", got, HealthOK)
+	}
+
+	srv.SetHealthStatus(HealthWarming)
+	check(HealthWarming, http.StatusOK)
+
+	srv.SetHealthStatus(HealthDraining)
+	check(HealthDraining, http.StatusServiceUnavailable)
+
+	// Draining still serves queries: only readiness flips, not the data
+	// plane — in-flight and still-arriving work finishes during the drain.
+	if code := getJSON(t, ts.URL+"/v1/attribution", nil); code != http.StatusOK {
+		t.Fatalf("query during drain: status %d, want 200", code)
+	}
+
+	srv.SetHealthStatus(HealthOK)
+	check(HealthOK, http.StatusOK)
+}

@@ -47,3 +47,60 @@ func BenchmarkTokenBucket(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHedgedRoute measures the failover candidate walk the hedging
+// path runs per request: the successor scan over an 8-replica ring plus
+// one breaker admission check per candidate. It must stay allocation-free
+// — the walk happens on every forwarded request, healthy cluster or not.
+func BenchmarkHedgedRoute(b *testing.B) {
+	peers := make([]string, 8)
+	urls := make(map[string]string, 8)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("replica-%d", i)
+		urls[peers[i]] = "http://unused"
+	}
+	ring, err := NewRing(peers, DefaultVNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	breakers := newBreakers(urls, HedgeConfig{}.withDefaults().Breaker)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg=%08x/m=fair-co2/p=%d:%d", i*2654435761, i%64, i%64+64)
+	}
+	var cbuf [8]string
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := ring.Successors(keys[i%len(keys)], 3, cbuf[:0])
+		viable := 0
+		for _, peer := range cands {
+			if breakers[peer].Allow() == nil {
+				viable++
+			}
+		}
+		if viable == 0 {
+			b.Fatal("no viable candidate on a healthy ring")
+		}
+	}
+}
+
+// BenchmarkCommitLogAppend measures recording one committed delta in the
+// sequenced log — on the critical section of every commit, so the copy
+// plus append must stay cheap and allocation-bounded.
+func BenchmarkCommitLogAppend(b *testing.B) {
+	body := []byte(`{"tenant":3,"cores":7,"commit":true,"pad":"0123456789abcdef"}`)
+	l := &CommitLog{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&4095 == 0 {
+			// Recreate periodically so the benchmark measures steady-state
+			// appends, not the growth of one unbounded slice.
+			b.StopTimer()
+			l = &CommitLog{}
+			b.StartTimer()
+		}
+		l.Append(CommitEntry{Stamp: uint64(i), Origin: "0", Body: body})
+	}
+}

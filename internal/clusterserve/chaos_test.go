@@ -1,0 +1,55 @@
+package clusterserve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosKillRestartConvergence is the acceptance scenario: kill one of
+// three replicas mid-load, latency-spike another, restart the victim, and
+// require (1) zero lost requests beyond shed-and-retry, (2) prober
+// eviction of the victim on every survivor, (3) post-restart commit-log
+// replay bringing the victim back to the fleet fingerprint, and (4) every
+// replica's answers bitwise-identical to a single-process oracle that
+// applied the same commit sequence.
+func TestChaosKillRestartConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes seconds")
+	}
+	rep, err := RunChaos(ChaosConfig{
+		Duration: 2500 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.String())
+	if rep.Load.Errors != 0 {
+		t.Errorf("load errors = %d, want 0 (every request must complete or be shed-and-retried)", rep.Load.Errors)
+	}
+	if rep.Load.Done == 0 {
+		t.Error("load completed no requests")
+	}
+	if rep.CommitErrors != 0 {
+		t.Errorf("commit errors = %d, want 0", rep.CommitErrors)
+	}
+	if rep.Commits == 0 {
+		t.Error("no commits landed during the run")
+	}
+	if !rep.Evicted {
+		t.Error("survivors never evicted the killed replica")
+	}
+	if !rep.Converged {
+		t.Error("fleet did not converge after restart")
+	}
+	if rep.SyncReplayed == 0 {
+		t.Error("restarted replica replayed no commits; catch-up did not run")
+	}
+	for i, m := range rep.Mismatches {
+		if i >= 5 {
+			t.Errorf("... and %d more mismatches", len(rep.Mismatches)-5)
+			break
+		}
+		t.Errorf("differential mismatch: %s", m)
+	}
+}

@@ -1,0 +1,93 @@
+package clusterserve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"fairco2/internal/resilience/faultserver"
+)
+
+// successorIdx resolves the query path's full candidate walk (owner,
+// then hedge successors) into fleet indices.
+func successorIdx(t *testing.T, f *Fleet, path string) []int {
+	t.Helper()
+	key := queryKey(t, f, path)
+	cands := f.Nodes[0].Ring().Successors(key, 3, nil)
+	idx := make([]int, len(cands))
+	for i, id := range cands {
+		found := false
+		for j, rid := range f.IDs {
+			if rid == id {
+				idx[i], found = j, true
+			}
+		}
+		if !found {
+			t.Fatalf("candidate %q not a fleet member", id)
+		}
+	}
+	return idx
+}
+
+// TestHedgedReadOnSlowOwner: an owner that overruns the latency budget
+// gets raced — the entry replica hedges the read to the next ring
+// successor and the successor's answer streams back, well before the
+// owner's would have.
+func TestHedgedReadOnSlowOwner(t *testing.T) {
+	budget := 30 * time.Millisecond
+	f := startTestFleet(t, FleetConfig{Replicas: 3, Hedge: HedgeConfig{LatencyBudget: budget}})
+
+	path := "/v1/attribution?method=rup&period=0:8"
+	cands := successorIdx(t, f, path)
+	owner, healthy, entry := cands[0], cands[1], cands[2]
+
+	// The owner answers, eventually — far past the budget.
+	f.Gates[owner].Program(faultserver.Step{Delay: 20 * budget, Sticky: true})
+
+	start := time.Now()
+	resp, body := get(t, f.URLs[entry]+path, nil)
+	took := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged read: status %d: %s", resp.StatusCode, body)
+	}
+	if took >= 20*budget {
+		t.Errorf("hedged read took %v — it waited out the slow owner instead of racing a successor", took)
+	}
+	if got := f.Nodes[entry].inst.Hedges.Value(); got < 1 {
+		t.Errorf("hedges counter = %v, want >= 1", got)
+	}
+	if got := series(f, "fairco2_cluster_forwards_total", f.IDs[entry], f.IDs[healthy]); got < 1 {
+		t.Errorf("no forward recorded to the winning successor %s", f.IDs[healthy])
+	}
+}
+
+// TestBreakerFastFailsDeadOwner: with the owner dark, reads fail over to
+// a successor every time; after FailureThreshold consecutive connection
+// errors the entry replica's breaker for the owner opens, so later
+// requests skip the dead peer without paying the connection attempt.
+func TestBreakerFastFailsDeadOwner(t *testing.T) {
+	f := startTestFleet(t, FleetConfig{Replicas: 3})
+
+	path := "/v1/attribution?method=rup&period=0:8"
+	cands := successorIdx(t, f, path)
+	owner, healthy, entry := cands[0], cands[1], cands[2]
+
+	f.CloseReplica(owner)
+
+	for i := 0; i < 5; i++ {
+		resp, body := get(t, f.URLs[entry]+path, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d with dead owner: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	if err := f.Nodes[entry].breakers[f.IDs[owner]].Allow(); err == nil {
+		t.Error("breaker for the dead owner is still closed after repeated connection failures")
+	}
+	if got := f.Nodes[entry].inst.Failovers.Value(); got < 5 {
+		t.Errorf("failovers counter = %v, want >= 5 (one per re-routed read)", got)
+	}
+	if got := series(f, "fairco2_cluster_forwards_total", f.IDs[entry], f.IDs[healthy]); got < 5 {
+		t.Errorf("forwards to surviving successor = %v, want >= 5", got)
+	}
+}

@@ -3,9 +3,11 @@ package clusterserve
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"fairco2/internal/attribution"
 	"fairco2/internal/attrserver"
 	"fairco2/internal/metrics"
+	"fairco2/internal/resilience/faultserver"
 	"fairco2/internal/schedule"
 	"fairco2/internal/units"
 )
@@ -58,6 +61,12 @@ type FleetConfig struct {
 	// ServiceTime, when set, registers SyntheticMethod with this fixed
 	// per-computation latency.
 	ServiceTime time.Duration
+	// SelfHeal starts each node's health prober once every listener is
+	// live, and restarts it on RestartReplica.
+	SelfHeal bool
+	// Probe and Hedge tune the self-healing layer of every node.
+	Probe ProbeConfig
+	Hedge HedgeConfig
 	// Server and Node, when set, tweak each replica's configs after the
 	// harness defaults are applied.
 	Server func(*attrserver.Config)
@@ -72,15 +81,27 @@ type Fleet struct {
 	URLs  []string
 	Nodes []*Node
 	Srvs  []*attrserver.Server
+	// Gates are per-replica fault-injection gates sitting in front of
+	// each node's handler — chaos scripts Program them to partition or
+	// latency-spike a live replica in place.
+	Gates []*faultserver.Server
 
-	http []*httptest.Server
+	cfg     FleetConfig
+	peers   map[string]string
+	holders []*handlerHolder
+	http    []*httptest.Server
 }
 
 // handlerHolder lets the httptest listeners exist (their addresses are
-// needed for the peer map) before the node handlers that serve them.
-type handlerHolder struct{ h http.Handler }
+// needed for the peer map) before the node handlers that serve them, and
+// lets RestartReplica swap a rebuilt handler in under live traffic.
+type handlerHolder struct{ h atomic.Value }
 
-func (hh *handlerHolder) ServeHTTP(w http.ResponseWriter, r *http.Request) { hh.h.ServeHTTP(w, r) }
+func (hh *handlerHolder) set(h http.Handler) { hh.h.Store(&h) }
+
+func (hh *handlerHolder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*hh.h.Load().(*http.Handler)).ServeHTTP(w, r)
+}
 
 // FleetSchedule is the harness default: a dense schedule with the given
 // slice count and a handful of workloads, small enough that the delta
@@ -110,75 +131,144 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Budget == 0 {
 		cfg.Budget = 1e6
 	}
-	f := &Fleet{Reg: metrics.NewRegistry()}
-	peers := make(map[string]string, cfg.Replicas)
-	holders := make([]*handlerHolder, cfg.Replicas)
+	f := &Fleet{
+		Reg:   metrics.NewRegistry(),
+		cfg:   cfg,
+		peers: make(map[string]string, cfg.Replicas),
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		id := strconv.Itoa(i)
-		holders[i] = &handlerHolder{}
-		ts := httptest.NewUnstartedServer(holders[i])
+		holder := &handlerHolder{}
+		ts := httptest.NewUnstartedServer(holder)
 		url := "http://" + ts.Listener.Addr().String()
 		f.IDs = append(f.IDs, id)
 		f.URLs = append(f.URLs, url)
+		f.holders = append(f.holders, holder)
 		f.http = append(f.http, ts)
-		peers[id] = url
+		f.peers[id] = url
 	}
 	for i := 0; i < cfg.Replicas; i++ {
-		scfg := attrserver.DefaultConfig()
-		scfg.Schedule = cfg.Schedule
-		scfg.Budget = cfg.Budget
-		scfg.Parallelism = 1
-		scfg.BatchWindow = 0
-		scfg.Replica = f.IDs[i]
-		if cfg.ServiceTime > 0 {
-			scfg.Methods = map[string]attribution.Method{
-				SyntheticMethod: syntheticMethod{delay: cfg.ServiceTime},
-			}
-		}
-		if cfg.Server != nil {
-			cfg.Server(&scfg)
-		}
-		srv, err := attrserver.New(scfg, f.Reg)
+		srv, node, err := f.buildReplica(i)
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		ncfg := Config{
-			ReplicaID: f.IDs[i],
-			Peers:     peers,
-			VNodes:    cfg.VNodes,
-			Server:    srv,
-			Admission: cfg.Admission,
-		}
-		if cfg.Node != nil {
-			cfg.Node(&ncfg)
-		}
-		node, err := New(ncfg, f.Reg)
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
+		gate := faultserver.NewHandler(node.Handler())
 		f.Srvs = append(f.Srvs, srv)
 		f.Nodes = append(f.Nodes, node)
-		holders[i].h = node.Handler()
+		f.Gates = append(f.Gates, gate)
+		f.holders[i].set(gate)
 		f.http[i].Start()
+	}
+	if cfg.SelfHeal {
+		// Probers start only once every listener is live, so no replica
+		// begins life falsely Down.
+		for _, n := range f.Nodes {
+			n.Start()
+		}
 	}
 	return f, nil
 }
 
-// Close shuts every replica's listener down.
+// buildReplica constructs replica i's attrserver and node from the fleet
+// config — used at startup and again by RestartReplica, so a restarted
+// replica comes back with the original (stale) schedule and must catch up
+// through the commit log.
+func (f *Fleet) buildReplica(i int) (*attrserver.Server, *Node, error) {
+	cfg := f.cfg
+	scfg := attrserver.DefaultConfig()
+	scfg.Schedule = cfg.Schedule
+	scfg.Budget = cfg.Budget
+	scfg.Parallelism = 1
+	scfg.BatchWindow = 0
+	scfg.Replica = f.IDs[i]
+	if cfg.ServiceTime > 0 {
+		scfg.Methods = map[string]attribution.Method{
+			SyntheticMethod: syntheticMethod{delay: cfg.ServiceTime},
+		}
+	}
+	if cfg.Server != nil {
+		cfg.Server(&scfg)
+	}
+	srv, err := attrserver.New(scfg, f.Reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ncfg := Config{
+		ReplicaID: f.IDs[i],
+		Peers:     f.peers,
+		VNodes:    cfg.VNodes,
+		Server:    srv,
+		Admission: cfg.Admission,
+		Probe:     cfg.Probe,
+		Hedge:     cfg.Hedge,
+	}
+	if cfg.Node != nil {
+		cfg.Node(&ncfg)
+	}
+	node, err := New(ncfg, f.Reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, node, nil
+}
+
+// Close stops every prober and shuts every replica's listener down.
 func (f *Fleet) Close() {
+	for _, n := range f.Nodes {
+		n.Stop()
+	}
 	for _, ts := range f.http {
 		ts.CloseClientConnections()
 		ts.Close()
 	}
 }
 
-// CloseReplica blacks out one replica's listener — the fault the failover
-// suite injects.
+// CloseReplica blacks out one replica — its prober halts and its listener
+// closes — the kill fault. RestartReplica brings it back.
 func (f *Fleet) CloseReplica(i int) {
+	f.Nodes[i].Stop()
 	f.http[i].CloseClientConnections()
 	f.http[i].Close()
+}
+
+// RestartReplica rebuilds a previously closed replica at its original
+// address: a fresh attrserver (stale schedule), a fresh node and fault
+// gate swapped in under the same URL, and — under SelfHeal — a prober
+// whose warmup replays the commits missed while dark.
+func (f *Fleet) RestartReplica(i int) error {
+	addr := strings.TrimPrefix(f.URLs[i], "http://")
+	var (
+		l   net.Listener
+		err error
+	)
+	// The freed address can linger briefly after Close; retry with
+	// backoff rather than flake.
+	for wait := time.Millisecond; ; wait *= 2 {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if wait > time.Second {
+			return fmt.Errorf("clusterserve: rebinding %s: %w", addr, err)
+		}
+		time.Sleep(wait)
+	}
+	srv, node, err := f.buildReplica(i)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	gate := faultserver.NewHandler(node.Handler())
+	f.Srvs[i], f.Nodes[i], f.Gates[i] = srv, node, gate
+	f.holders[i].set(gate)
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: f.holders[i]}}
+	ts.Start()
+	f.http[i] = ts
+	if f.cfg.SelfHeal {
+		node.Start()
+	}
+	return nil
 }
 
 // FamilyTotal sums every sample of a counter or gauge family across all

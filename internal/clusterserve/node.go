@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"fairco2/internal/attrserver"
 	"fairco2/internal/metrics"
+	"fairco2/internal/resilience"
 )
 
 // Cluster protocol headers.
@@ -28,6 +30,10 @@ const (
 	// from its owner (value: the owner's ID). Receivers apply locally and
 	// never re-broadcast.
 	HeaderReplicate = "X-FairCO2-Replicate"
+	// HeaderCommitStamp carries a replicated commit's Lamport stamp; with
+	// the origin in HeaderReplicate it identifies the commit cluster-wide,
+	// so receivers can drop duplicates and stale replays.
+	HeaderCommitStamp = "X-FairCO2-Commit-Stamp"
 	// HeaderTenant names the requesting tenant for admission control.
 	// Absent, the tenant query parameter and then the remote address
 	// stand in.
@@ -53,6 +59,10 @@ type Config struct {
 	Server *attrserver.Server
 	// Admission configures load shedding at this node's ingress.
 	Admission AdmissionConfig
+	// Probe configures the health prober that Start launches.
+	Probe ProbeConfig
+	// Hedge configures hedged forwarding and the per-peer breakers.
+	Hedge HedgeConfig
 	// Client issues forwarded and replicated requests (default: a plain
 	// http.Client; request contexts bound the forwards).
 	Client *http.Client
@@ -82,6 +92,25 @@ type Instruments struct {
 	ReplicationErrors *metrics.Counter
 	// QueueDepth gauges requests currently holding a local-compute slot.
 	QueueDepth *metrics.Gauge
+	// MemberState gauges each peer's membership state as seen from this
+	// replica (fairco2_cluster_member_state{replica,peer}: 0 down,
+	// 1 warming, 2 up).
+	MemberState metrics.GaugeVec
+	// Transitions counts membership state changes by peer and target
+	// state (fairco2_cluster_transitions_total{replica,peer,to}).
+	Transitions metrics.CurriedCounterVec
+	// Hedges counts reads raced to a successor because the owner overran
+	// the latency budget.
+	Hedges *metrics.Counter
+	// Failovers counts attempts re-routed past a failed, broken-open, or
+	// ring-disagreeing candidate.
+	Failovers *metrics.Counter
+	// SyncReplayed counts commit-log entries replayed from peers during
+	// catch-up.
+	SyncReplayed *metrics.Counter
+	// SyncLag gauges how long the last warmup catch-up took
+	// (fairco2_cluster_sync_lag_seconds{replica}).
+	SyncLag *metrics.Gauge
 }
 
 // NewInstruments registers (or joins) the cluster metric families on reg,
@@ -120,6 +149,30 @@ func NewInstruments(reg *metrics.Registry, replica string) *Instruments {
 			"fairco2_cluster_queue_depth",
 			"Requests currently holding a local-compute slot.",
 			"replica").With(replica),
+		MemberState: reg.GetOrNewGaugeVec(
+			"fairco2_cluster_member_state",
+			"Peer membership state as seen from this replica: 0 down, 1 warming, 2 up.",
+			"replica", "peer"),
+		Transitions: reg.GetOrNewCounterVec(
+			"fairco2_cluster_transitions_total",
+			"Membership state transitions, by peer and target state.",
+			"replica", "peer", "to").Curry(replica),
+		Hedges: reg.GetOrNewCounterVec(
+			"fairco2_cluster_hedges_total",
+			"Reads hedged to a ring successor after the owner overran the latency budget.",
+			"replica").With(replica),
+		Failovers: reg.GetOrNewCounterVec(
+			"fairco2_cluster_failovers_total",
+			"Attempts re-routed past a failed, broken-open, or ring-disagreeing candidate.",
+			"replica").With(replica),
+		SyncReplayed: reg.GetOrNewCounterVec(
+			"fairco2_cluster_sync_replayed_total",
+			"Commit-log entries replayed from peers during catch-up.",
+			"replica").With(replica),
+		SyncLag: reg.GetOrNewGaugeVec(
+			"fairco2_cluster_sync_lag_seconds",
+			"Duration of the last warmup catch-up, in seconds.",
+			"replica").With(replica),
 	}
 }
 
@@ -129,12 +182,33 @@ func NewInstruments(reg *metrics.Registry, replica string) *Instruments {
 type Node struct {
 	cfg    Config
 	id     string
-	ring   *Ring
+	ring   *Ring             // full configured membership, immutable
 	urls   map[string]string // peer ID -> base URL, self excluded
 	local  http.Handler
 	client *http.Client
 	admit  *bucketTable // nil when per-tenant limiting is off
 	inst   *Instruments
+
+	// active is the routing ring the prober maintains: the full ring
+	// minus peers currently Down or Warming. Requests load it atomically;
+	// transitions swap in a rebuilt ring.
+	active atomic.Pointer[Ring]
+	// clog records every committed delta this replica applied, in apply
+	// order, for the /v1/cluster/sync catch-up endpoint.
+	clog *CommitLog
+	// member runs the health probers once Start is called; nil means
+	// static membership (every configured peer permanently Up).
+	member *membership
+	// draining latches once BeginDrain is called so the warmup catch-up
+	// finishing cannot flip a SIGTERM'd replica back to healthy.
+	draining atomic.Bool
+
+	// hedge and the per-peer breakers drive hedged failover; rnd (under
+	// rngMu) draws the delta-failover backoff jitter.
+	hedge    HedgeConfig
+	breakers map[string]*resilience.Breaker
+	rngMu    sync.Mutex
+	rnd      *rand.Rand
 
 	// queueMax bounds concurrent local computations; queueDepth tracks
 	// them. Shedding compares after-increment depth against the bound.
@@ -145,8 +219,37 @@ type Node struct {
 	// warm it triggers are atomic with respect to other deltas landing on
 	// this replica (own commits and replicated ones alike). It is never
 	// held across network calls — replication fans out after release —
-	// so two replicas replicating to each other cannot deadlock.
+	// so two replicas replicating to each other cannot deadlock. It also
+	// guards the commit-ordering state below.
 	commitMu sync.Mutex
+	// lamport is this replica's logical clock: bumped past every stamp it
+	// sees, incremented when it originates a commit. Because a commit is
+	// replicated to all live peers before it is acknowledged, any
+	// causally-later commit draws a strictly larger stamp regardless of
+	// which replica stamps it.
+	lamport uint64
+	// lastCommit records, per tenant, the newest (stamp, origin) applied.
+	// An arriving commit — live replication and sync replay alike — is
+	// applied only if it orders after this mark: duplicates are dropped
+	// and an old entry replayed after a newer live commit cannot clobber
+	// it. Last-writer-wins per tenant, deterministic across replicas.
+	lastCommit map[int]commitMark
+}
+
+// commitMark is a commit's position in the cluster-wide order: Lamport
+// stamp first, origin replica ID as the tie-break.
+type commitMark struct {
+	stamp  uint64
+	origin string
+}
+
+// before reports whether m orders before the commit (stamp, origin) —
+// i.e. that commit is newer and should apply over m.
+func (m commitMark) before(stamp uint64, origin string) bool {
+	if stamp != m.stamp {
+		return stamp > m.stamp
+	}
+	return origin > m.origin
 }
 
 // New builds a Node and registers its instruments on reg.
@@ -177,6 +280,7 @@ func New(cfg Config, reg *metrics.Registry) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	hedge := cfg.Hedge.withDefaults()
 	n := &Node{
 		cfg:      cfg,
 		id:       cfg.ReplicaID,
@@ -185,8 +289,15 @@ func New(cfg Config, reg *metrics.Registry) (*Node, error) {
 		local:    cfg.Server.Handler(),
 		client:   cfg.Client,
 		inst:     NewInstruments(reg, cfg.ReplicaID),
+		clog:     &CommitLog{},
+		hedge:    hedge,
+		breakers: newBreakers(urls, hedge.Breaker),
+		rnd:      hedgeRNG(hedge.Seed),
 		queueMax: int64(cfg.Admission.MaxQueue),
+
+		lastCommit: make(map[int]commitMark),
 	}
+	n.active.Store(ring)
 	if n.client == nil {
 		n.client = &http.Client{}
 	}
@@ -196,8 +307,83 @@ func New(cfg Config, reg *metrics.Registry) (*Node, error) {
 	return n, nil
 }
 
-// Ring returns the node's routing ring.
+// Ring returns the full configured ring (ignores health).
 func (n *Node) Ring() *Ring { return n.ring }
+
+// ActiveRing returns the ring requests currently route on: the full ring
+// with Down and Warming peers excluded. Without a running prober it is
+// the full ring.
+func (n *Node) ActiveRing() *Ring {
+	if r := n.active.Load(); r != nil {
+		return r
+	}
+	return n.ring
+}
+
+// Start launches the self-healing layer: the rejoin catch-up (Warming
+// until caught up) followed by the per-peer health probers. A node that
+// is never started keeps static membership. Start and Stop are lifecycle
+// calls — invoke them from one goroutine, before and after serving.
+func (n *Node) Start() {
+	if n.member != nil || len(n.urls) == 0 {
+		return
+	}
+	n.member = newMembership(n, n.cfg.Probe)
+	n.member.start()
+}
+
+// Stop halts the probers and waits for them to exit. The node keeps
+// serving on its last-known membership; a stopped node is not restartable
+// (build a new one).
+func (n *Node) Stop() {
+	if n.member != nil {
+		n.member.halt()
+	}
+}
+
+// BeginDrain marks this replica draining: /healthz turns 503 so peers'
+// probers evict it from their rings within the hysteresis window, while
+// in-flight and still-arriving requests keep being served. The caller
+// (the server main) waits out the eviction, then shuts the listener down.
+func (n *Node) BeginDrain() {
+	n.draining.Store(true)
+	n.cfg.Server.SetHealthStatus(attrserver.HealthDraining)
+}
+
+// setHealth publishes the replica's readiness through its attrserver —
+// unless a drain has begun: a SIGTERM arriving mid-warmup must not be
+// clobbered by the catch-up finishing and reporting OK.
+func (n *Node) setHealth(status string) {
+	if n.draining.Load() {
+		return
+	}
+	n.cfg.Server.SetHealthStatus(status)
+}
+
+// MemberStates snapshots peer membership as seen from this node. Without
+// a running prober every configured peer reads Up.
+func (n *Node) MemberStates() map[string]MemberState {
+	if n.member != nil {
+		return n.member.states()
+	}
+	out := make(map[string]MemberState, len(n.urls))
+	for id := range n.urls {
+		out[id] = MemberUp
+	}
+	return out
+}
+
+// replicable reports whether committed deltas should be broadcast to
+// peer. Down peers are skipped — the commit log heals them on rejoin.
+func (n *Node) replicable(peer string) bool {
+	if n.member == nil {
+		return true
+	}
+	return n.member.replicable(peer)
+}
+
+// CommitSeq is the highest sequence number in this node's commit log.
+func (n *Node) CommitSeq() uint64 { return n.clog.Len() }
 
 // Handler returns the cluster routes layered over the local attrserver:
 // query and delta endpoints route by key; everything else (metrics,
@@ -210,8 +396,29 @@ func (n *Node) Handler() http.Handler {
 	mux.Handle("GET /v1/stream/window", http.HandlerFunc(n.handleStreamWindow))
 	mux.Handle("POST /v1/demand/delta", http.HandlerFunc(n.handleDelta))
 	mux.Handle("GET /v1/cluster", http.HandlerFunc(n.handleInfo))
+	mux.Handle("GET /v1/cluster/sync", http.HandlerFunc(n.handleSync))
+	mux.Handle("GET /healthz", http.HandlerFunc(n.handleHealthz))
 	mux.Handle("/", n.local)
 	return mux
+}
+
+// handleHealthz layers cluster state onto the local health document: the
+// commit-log cursor peers fast-forward on, for minimal rejoin replay. The
+// status field and the 503-when-draining code come from the attrserver.
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferedResponse{header: http.Header{}}
+	n.local.ServeHTTP(rec, r)
+	var doc map[string]any
+	if err := json.Unmarshal(rec.body.Bytes(), &doc); err == nil && doc != nil {
+		doc["commit_seq"] = n.clog.Len()
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, doc)
+		return
+	}
+	rec.flushTo(w)
 }
 
 // handleQuery routes one GET query by its canonical computation key, so
@@ -248,25 +455,33 @@ func (n *Node) handleStreamWindow(w http.ResponseWriter, r *http.Request) {
 }
 
 // route serves key's request locally when this replica owns it, forwards
-// one hop when a peer does, and answers 421 when a forwarded-in request
-// was misrouted (the loop guard: forwarded work is never re-forwarded).
+// toward the owner (with hedged failover) when a peer does, and answers
+// 421 when a forwarded-in request was misrouted (the loop guard:
+// forwarded work is never re-forwarded). Hedged re-routes are exempt from
+// the ownership check — during a membership change replicas briefly hold
+// different rings, and any healthy replica can compute any read.
 func (n *Node) route(w http.ResponseWriter, r *http.Request, key, forwarded string, body []byte) {
-	owner := n.ring.Lookup(key)
+	ring := n.ActiveRing()
+	owner := ring.Lookup(key)
 	if owner == n.id {
 		n.serveLocal(w, r, body)
 		return
 	}
 	if forwarded != "" {
+		if r.Header.Get(HeaderHedge) != "" {
+			n.serveLocal(w, r, body)
+			return
+		}
 		n.inst.Misrouted.Inc()
 		writeError(w, http.StatusMisdirectedRequest, fmt.Errorf(
 			"clusterserve: replica %s does not own %q (owner %s, forwarded by %s)", n.id, key, owner, forwarded))
 		return
 	}
-	if n.forward(w, r, owner, body) {
+	if n.forwardHedged(w, r, ring, key, body) {
 		return
 	}
-	// The owner is unreachable: compute locally rather than fail the
-	// query. Cluster-wide dedup is suspended for exactly the blackout.
+	// Every candidate is unreachable: compute locally rather than fail
+	// the query. Cluster-wide dedup is suspended for exactly the outage.
 	n.inst.ForwardErrors.Inc()
 	n.serveLocal(w, r, body)
 }
@@ -285,49 +500,6 @@ func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
 		r = rewound(r, body)
 	}
 	n.local.ServeHTTP(w, r)
-}
-
-// forward relays r to owner with the loop-guard header set, streaming the
-// peer's response through. It reports false — caller falls back to local
-// computation — on network failure, and on a 421 from the peer (ring
-// disagreement during a membership change; bouncing further would loop).
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
-	base, ok := n.urls[owner]
-	if !ok {
-		return false
-	}
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
-	if err != nil {
-		return false
-	}
-	req.Header.Set(HeaderForwarded, n.id)
-	for _, h := range []string{HeaderTenant, "Content-Type", "Accept"} {
-		if v := r.Header.Get(h); v != "" {
-			req.Header.Set(h, v)
-		}
-	}
-	resp, err := n.client.Do(req)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusMisdirectedRequest {
-		io.Copy(io.Discard, resp.Body)
-		return false
-	}
-	n.inst.Forwards.With(owner).Inc()
-	for k, vv := range resp.Header {
-		for _, v := range vv {
-			w.Header().Add(k, v)
-		}
-	}
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
-	return true
 }
 
 // deltaKey is the ring key for demand deltas: the current config
@@ -356,8 +528,18 @@ func (n *Node) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("clusterserve: delta body exceeds %d bytes", maxDeltaBody))
 		return
 	}
-	if r.Header.Get(HeaderReplicate) != "" {
-		n.applyDelta(w, r, body, false, true)
+	if origin := r.Header.Get(HeaderReplicate); origin != "" {
+		stamp, err := strconv.ParseUint(r.Header.Get(HeaderCommitStamp), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"clusterserve: replicated commit without a valid %s header: %w", HeaderCommitStamp, err))
+			return
+		}
+		// Replicated applies skip the queue bound so replicas cannot
+		// diverge under load, and never re-broadcast.
+		n.inst.Local.Inc()
+		_, rec := n.applyReplicated(stamp, origin, body)
+		rec.flushTo(w)
 		return
 	}
 	forwarded := r.Header.Get(HeaderForwarded)
@@ -373,9 +555,15 @@ func (n *Node) handleDelta(w http.ResponseWriter, r *http.Request) {
 		n.local.ServeHTTP(w, rewound(r, body))
 		return
 	}
-	owner := n.ring.Lookup(deltaKey(n.cfg.Server.Fingerprint(), req.Tenant))
-	if owner == n.id {
-		n.applyDelta(w, r, body, req.Commit, false)
+	ring := n.ActiveRing()
+	key := deltaKey(n.cfg.Server.Fingerprint(), req.Tenant)
+	owner := ring.Lookup(key)
+	hedged := r.Header.Get(HeaderHedge) != ""
+	if owner == n.id || hedged {
+		// Hedged deltas apply here even when our ring disagrees: the
+		// sender's owner was unreachable, and the per-tenant commit order
+		// makes an acting owner's stamp converge everywhere.
+		n.applyDelta(w, r, body, req.Tenant, req.Commit)
 		return
 	}
 	if forwarded != "" {
@@ -384,44 +572,92 @@ func (n *Node) handleDelta(w http.ResponseWriter, r *http.Request) {
 			"clusterserve: replica %s does not own tenant %d deltas (owner %s, forwarded by %s)", n.id, req.Tenant, owner, forwarded))
 		return
 	}
-	if !n.forward(w, r, owner, body) {
+	if !n.forwardDeltaHedged(w, r, ring, key, body) {
 		n.inst.ForwardErrors.Inc()
-		writeError(w, http.StatusBadGateway, fmt.Errorf("clusterserve: delta owner %s unreachable", owner))
+		writeError(w, http.StatusBadGateway, fmt.Errorf("clusterserve: delta owner %s and successors unreachable", owner))
 	}
 }
 
-// applyDelta runs the delta on the local attrserver under commitMu, then
-// — for an owner-side successful commit — broadcasts it to every peer.
-// Replicated applies (isReplica) skip the queue bound so replicas cannot
-// diverge under load, and never re-broadcast.
-func (n *Node) applyDelta(w http.ResponseWriter, r *http.Request, body []byte, commit, isReplica bool) {
-	if !isReplica {
-		if !n.acquireSlot() {
-			n.shed(w, "queue-depth", n.cfg.Admission.RetryAfter)
-			return
-		}
-		defer n.releaseSlot()
+// applyDelta runs an owner-side delta on the local attrserver under
+// commitMu; a successful commit draws the next Lamport stamp, lands in
+// the commit log, and broadcasts to every peer.
+func (n *Node) applyDelta(w http.ResponseWriter, r *http.Request, body []byte, tenant int, commit bool) {
+	if !n.acquireSlot() {
+		n.shed(w, "queue-depth", n.cfg.Admission.RetryAfter)
+		return
 	}
+	defer n.releaseSlot()
 	n.inst.Local.Inc()
 	rec := &bufferedResponse{header: http.Header{}}
+	var stamp uint64
 	func() {
 		n.commitMu.Lock()
 		defer n.commitMu.Unlock()
 		n.local.ServeHTTP(rec, rewound(r, body))
+		if rec.status == http.StatusOK && commit {
+			n.lamport++
+			stamp = n.lamport
+			n.lastCommit[tenant] = commitMark{stamp: stamp, origin: n.id}
+			n.clog.Append(CommitEntry{Stamp: stamp, Origin: n.id, Body: body})
+		}
 	}()
-	if rec.status == http.StatusOK && commit && !isReplica {
-		n.replicate(body)
+	if rec.status == http.StatusOK && commit {
+		n.replicate(stamp, body)
 	}
 	rec.flushTo(w)
 }
 
-// replicate broadcasts a committed delta body to every peer. Workload
-// replacements commute, so concurrent commits for different tenants may
-// interleave at peers in any order and still converge.
-func (n *Node) replicate(body []byte) {
+// applyReplicated applies one committed delta received from a peer — live
+// replication and sync replay share this path — under the per-tenant
+// commit order: the entry applies only if (stamp, origin) is newer than
+// the tenant's last applied commit, so duplicates and stale replays are
+// acknowledged without touching state (and without growing the log, which
+// is what keeps mutual catch-up pulls from amplifying each other). The
+// clock still advances past every stamp seen.
+func (n *Node) applyReplicated(stamp uint64, origin string, body []byte) (bool, *bufferedResponse) {
+	var req struct {
+		Tenant int `json:"tenant"`
+	}
+	// Best-effort: a malformed body fails at the attrserver with its
+	// canonical 400 below.
+	_ = json.Unmarshal(body, &req)
+	rec := &bufferedResponse{header: http.Header{}}
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	if stamp > n.lamport {
+		n.lamport = stamp
+	}
+	if mark, ok := n.lastCommit[req.Tenant]; ok && !mark.before(stamp, origin) {
+		writeJSON(rec, http.StatusOK, map[string]any{"committed": true, "superseded": true})
+		return false, rec
+	}
+	r, err := http.NewRequest(http.MethodPost, "/v1/demand/delta", bytes.NewReader(body))
+	if err != nil {
+		writeError(rec, http.StatusInternalServerError, err)
+		return false, rec
+	}
+	r.Header.Set("Content-Type", "application/json")
+	n.local.ServeHTTP(rec, r)
+	if rec.status == http.StatusOK {
+		n.lastCommit[req.Tenant] = commitMark{stamp: stamp, origin: origin}
+		n.clog.Append(CommitEntry{Stamp: stamp, Origin: origin, Body: body})
+		return true, rec
+	}
+	return false, rec
+}
+
+// replicate broadcasts a committed delta to every non-Down peer — Warming
+// peers included, to keep their replay tails short; Down peers heal via
+// the commit log on rejoin. The per-tenant commit order at receivers lets
+// concurrent commits for different tenants interleave in any order and
+// still converge.
+func (n *Node) replicate(stamp uint64, body []byte) {
 	for _, id := range n.ring.peers {
 		base, ok := n.urls[id]
 		if !ok {
+			continue
+		}
+		if !n.replicable(id) {
 			continue
 		}
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/demand/delta", bytes.NewReader(body))
@@ -430,6 +666,7 @@ func (n *Node) replicate(body []byte) {
 			continue
 		}
 		req.Header.Set(HeaderReplicate, n.id)
+		req.Header.Set(HeaderCommitStamp, strconv.FormatUint(stamp, 10))
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := n.client.Do(req)
 		if err != nil {
@@ -452,9 +689,16 @@ func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if n.admit != nil {
 		tracked = n.admit.len()
 	}
+	members := make(map[string]string, len(n.urls))
+	for id, st := range n.MemberStates() {
+		members[id] = st.String()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"replica":     n.id,
 		"peers":       n.ring.Peers(),
+		"active":      n.ActiveRing().Peers(),
+		"members":     members,
+		"commit_seq":  n.clog.Len(),
 		"vnodes":      n.ring.VNodes(),
 		"fingerprint": fmt.Sprintf("%08x", n.cfg.Server.Fingerprint()),
 		"queue_depth": n.queueDepth.Load(),

@@ -325,10 +325,12 @@ func TestDeltaCommitReplicatesToAllPeers(t *testing.T) {
 	}
 }
 
-// TestDeltaOwnerUnreachableAnswers502: deltas never fall back to local
-// application (a lost response after an owner-side apply could double-
-// apply), they fail loudly instead.
-func TestDeltaOwnerUnreachableAnswers502(t *testing.T) {
+// TestDeltaOwnerUnreachableFailsOver: with the owner dark, a commit fails
+// over to the next ring successor — here the entry replica itself — which
+// applies it as acting owner. Commits are idempotent whole-workload
+// replacements, so an acting-owner apply racing the real owner's recovery
+// still converges; availability wins.
+func TestDeltaOwnerUnreachableFailsOver(t *testing.T) {
 	f := startTestFleet(t, FleetConfig{Replicas: 2})
 	// Find a tenant whose delta owner is replica 1, then black it out.
 	fp := f.Srvs[0].Fingerprint()
@@ -344,11 +346,20 @@ func TestDeltaOwnerUnreachableAnswers502(t *testing.T) {
 	}
 	f.CloseReplica(1)
 	resp, out := postDelta(t, f.URLs[0], map[string]any{"tenant": tenant, "cores": 9, "commit": true}, nil)
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("delta with dead owner: status %d, want 502: %v", resp.StatusCode, out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta with dead owner: status %d, want 200 via failover: %v", resp.StatusCode, out)
 	}
-	if f.Srvs[0].Fingerprint() != fp {
-		t.Fatal("failed delta mutated the surviving replica")
+	if out["committed"] != true {
+		t.Fatalf("failover delta not committed: %v", out)
+	}
+	if f.Srvs[0].Fingerprint() == fp {
+		t.Fatal("committed failover delta did not change the surviving replica's schedule")
+	}
+	if got := f.Nodes[0].inst.Failovers.Value(); got < 1 {
+		t.Fatalf("failovers counter = %v, want >= 1", got)
+	}
+	if got := f.Nodes[0].CommitSeq(); got != 1 {
+		t.Fatalf("commit log length = %d, want 1", got)
 	}
 }
 
@@ -389,7 +400,7 @@ func TestQueryFailoverOnBlackout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hold1.h = node1.Handler()
+	hold1.set(node1.Handler())
 
 	// A path owned by replica 1, entered through replica 0.
 	var path string

@@ -132,6 +132,41 @@ func (r *Ring) Lookup(key string) string {
 	return r.peers[r.points[lo].peer]
 }
 
+// Successors appends to dst the first n distinct replicas owning key's
+// arc and the arcs clockwise of it — the owner first, then the failover
+// candidates in ring order. The hedged forwarding path walks this list, so
+// like Lookup it must not allocate: callers pass a reused buffer.
+func (r *Ring) Successors(key string, n int, dst []string) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := ringHash(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := 0; i < len(r.points) && n > 0; i++ {
+		p := r.peers[r.points[(lo+i)%len(r.points)].peer]
+		seen := false
+		for _, d := range dst {
+			if d == p {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, p)
+			n--
+		}
+	}
+	return dst
+}
+
 // Peers returns the sorted replica IDs (a copy).
 func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
 

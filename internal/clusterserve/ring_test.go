@@ -197,3 +197,70 @@ func TestRingConstructionErrors(t *testing.T) {
 		t.Errorf("single-member ring routed to %q", got)
 	}
 }
+
+// TestRingChurnConvergesToFreshConstruction pins the history-independence
+// property the self-healing prober leans on: a ring reached through any
+// sequence of With/Without churn routes identically to a ring freshly
+// constructed from the surviving membership. Probers on different
+// replicas take different paths through the same outages; this is why
+// their active rings still agree.
+func TestRingChurnConvergesToFreshConstruction(t *testing.T) {
+	const pool = 8
+	for seed := 0; seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		peers := seedPeers(seed, pool)
+		keys := seedKeys(rng, 500)
+
+		ring, err := NewRing(peers, DefaultVNodes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in := make(map[string]bool, pool)
+		for _, p := range peers {
+			in[p] = true
+		}
+		members := func() []string {
+			var out []string
+			for _, p := range peers {
+				if in[p] {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+
+		for step := 0; step < 40; step++ {
+			p := peers[rng.Intn(pool)]
+			if in[p] {
+				if len(members()) == 1 {
+					continue // Without refuses to empty the ring
+				}
+				ring, err = ring.Without(p)
+			} else {
+				ring, err = ring.With(p)
+			}
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			in[p] = !in[p]
+		}
+
+		fresh, err := NewRing(members(), DefaultVNodes)
+		if err != nil {
+			t.Fatalf("seed %d: fresh construction: %v", seed, err)
+		}
+		if got, want := fmt.Sprint(ring.Peers()), fmt.Sprint(fresh.Peers()); got != want {
+			t.Fatalf("seed %d: churned membership %v != fresh %v", seed, got, want)
+		}
+		for _, k := range keys {
+			if g, w := ring.Lookup(k), fresh.Lookup(k); g != w {
+				t.Fatalf("seed %d: key %q owned by %q after churn, %q fresh", seed, k, g, w)
+			}
+			gs := ring.Successors(k, 3, nil)
+			ws := fresh.Successors(k, 3, nil)
+			if fmt.Sprint(gs) != fmt.Sprint(ws) {
+				t.Fatalf("seed %d: key %q successors %v after churn, %v fresh", seed, k, gs, ws)
+			}
+		}
+	}
+}

@@ -33,6 +33,13 @@ type Step struct {
 	// Reset hijacks the connection and closes it with a TCP RST, the
 	// "connection reset by peer" failure mode.
 	Reset bool
+	// Partition accepts the request and then stalls it until the client
+	// gives up — the asymmetric network partition, where connections
+	// establish but no bytes ever come back. Unlike Reset (instant
+	// error) and Delay (bounded stall), a partitioned request only ends
+	// with the client's own timeout, which is exactly what probe-timeout
+	// accounting must classify as failure.
+	Partition bool
 	// Sticky keeps the step active for every subsequent request instead
 	// of consuming it — a sustained outage. Clear removes it.
 	Sticky bool
@@ -56,6 +63,15 @@ func New(inner http.Handler) *Server {
 	s := &Server{inner: inner}
 	s.ts = httptest.NewServer(s)
 	return s
+}
+
+// NewHandler builds a fault gate with no listener of its own: the same
+// script machinery as New, mounted wherever the caller serves it. The
+// cluster load harness wraps each replica's handler in one so chaos
+// scripts can partition or latency-spike a live replica in place. URL and
+// Close are meaningless on a handler-mode gate.
+func NewHandler(inner http.Handler) *Server {
+	return &Server{inner: inner}
 }
 
 // URL is the server's base URL.
@@ -113,7 +129,7 @@ func (s *Server) next() Step {
 	default:
 		return Step{}
 	}
-	if step.Status != 0 || step.Reset || step.Delay > 0 {
+	if step.Status != 0 || step.Reset || step.Partition || step.Delay > 0 {
 		s.faults++
 	}
 	return step
@@ -121,6 +137,10 @@ func (s *Server) next() Step {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	step := s.next()
+	if step.Partition {
+		<-r.Context().Done()
+		return
+	}
 	if step.Delay > 0 {
 		t := time.NewTimer(step.Delay)
 		select {
@@ -190,4 +210,23 @@ func Flap(pairs, status int) []Step {
 // partial-write failure mode a decoder must reject with a typed error.
 func CorruptJSON() Step {
 	return Step{Status: http.StatusOK, Body: `{"intensity_g_per_resource_second": 12.`}
+}
+
+// Partitioned is a sticky accept-then-stall: every request from now on
+// hangs until the client's own timeout, until Clear. This is the fault
+// that distinguishes a probe timeout from a connection error.
+func Partitioned() Step {
+	return Step{Partition: true, Sticky: true}
+}
+
+// FlapLatency scripts pairs of latency-spiked responses alternating with
+// healthy ones — the flapping-slow upstream. Spiked responses still
+// succeed once the delay passes, so only hysteresis (or a latency budget)
+// should act on them.
+func FlapLatency(pairs int, delay time.Duration) []Step {
+	steps := make([]Step, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		steps = append(steps, Step{Delay: delay}, Step{})
+	}
+	return steps
 }

@@ -1,28 +1,55 @@
 #!/usr/bin/env bash
 # covfloor.sh enforces a statement-coverage floor on one package:
 #
-#   scripts/covfloor.sh <package> <floor-percent>
+#   scripts/covfloor.sh <package> <floor-percent> [file-regex]
 #   scripts/covfloor.sh ./internal/shapley/ 90
+#   scripts/covfloor.sh ./internal/clusterserve/ 90 'membership|commitlog'
 #
 # Exits non-zero when `go test -coverprofile` reports total coverage
-# below the floor. Every CI coverage gate goes through this script so
-# the parsing logic lives in exactly one place.
+# below the floor. With a file-regex, the floor applies to the aggregate
+# statement coverage of just the matching files — so a new subsystem can
+# carry a stricter gate than the package it lives in. Every CI coverage
+# gate goes through this script so the parsing logic lives in exactly
+# one place.
 set -euo pipefail
 
-if [ "$#" -ne 2 ]; then
-    echo "usage: $0 <package> <floor-percent>" >&2
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+    echo "usage: $0 <package> <floor-percent> [file-regex]" >&2
     exit 2
 fi
 pkg=$1
 floor=$2
+filter=${3:-}
 
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 
 go test -coverprofile="$profile" "$pkg"
-pct=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
-echo "${pkg} coverage: ${pct}% (floor ${floor}%)"
+if [ -z "$filter" ]; then
+    pct=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    scope=$pkg
+else
+    # Aggregate over matching files from the raw profile: each line after
+    # the mode header is "file.go:start,end numstmt count".
+    pct=$(awk -v re="$filter" '
+        NR > 1 {
+            file = $1; sub(/:.*/, "", file)
+            if (file !~ re) next
+            total += $2
+            if ($3 > 0) covered += $2
+        }
+        END {
+            if (total == 0) { print "no-match"; exit }
+            printf "%.1f", 100 * covered / total
+        }' "$profile")
+    if [ "$pct" = "no-match" ]; then
+        echo "no profiled statements match /${filter}/ in ${pkg}" >&2
+        exit 2
+    fi
+    scope="${pkg} files /${filter}/"
+fi
+echo "${scope} coverage: ${pct}% (floor ${floor}%)"
 awk -v pct="$pct" -v floor="$floor" 'BEGIN { exit !(pct >= floor) }' || {
-    echo "coverage ${pct}% is below the ${floor}% floor for ${pkg}" >&2
+    echo "coverage ${pct}% is below the ${floor}% floor for ${scope}" >&2
     exit 1
 }

@@ -74,5 +74,11 @@ echo "== Cluster scaling: 1 -> 4 attribution replicas =="
 # so the 1->4 replica curve reproduces on any host, single-core included.
 go run ./cmd/cluster-load -replicas 1,2,4 | tee "$RESULTS/cluster_scaling.txt"
 
+echo "== Self-healing cluster chaos: kill/flap/restart under load =="
+# Kills one replica mid-load, latency-spikes another, restarts the victim,
+# and requires zero lost requests beyond shed-and-retry plus post-recovery
+# answers bitwise-identical to a single-process oracle.
+go run ./cmd/cluster-chaos -duration 3s | tee "$RESULTS/cluster_chaos.txt"
+
 echo
 echo "All outputs are under $RESULTS/."
