@@ -63,6 +63,7 @@ import (
 	"fairco2/internal/clusterserve"
 	"fairco2/internal/livesignal"
 	"fairco2/internal/metrics"
+	"fairco2/internal/multiregion"
 	"fairco2/internal/resilience"
 	"fairco2/internal/schedule"
 	"fairco2/internal/signalserver"
@@ -99,6 +100,13 @@ type daemonConfig struct {
 	SignalResilience resilience.Config
 	SignalMaxStale   time.Duration
 
+	// Regions enables the multi-region scenario endpoints (GET
+	// /v1/regions and GET /v1/placement/whatif) over a fleet discovered
+	// deterministically from RegionSeed.
+	Regions bool
+	// RegionSeed seeds provider/fleet discovery in regions mode.
+	RegionSeed int64
+
 	// Stream configures the windowed streaming replay mode.
 	Stream streamOptions
 
@@ -113,6 +121,7 @@ func defaultDaemonConfig() daemonConfig {
 	def := attrserver.DefaultConfig()
 	return daemonConfig{
 		Seed:             1,
+		RegionSeed:       1,
 		MaxWorkloads:     14,
 		Budget:           1e6,
 		Delta:            def.EnableDelta,
@@ -192,6 +201,14 @@ func buildServer(cfg daemonConfig, reg *metrics.Registry) (*attrserver.Server, *
 			livesignal.NewFeedInstruments(reg))
 		scfg.SignalMaxStale = cfg.SignalMaxStale
 	}
+	if cfg.Regions {
+		mcfg := multiregion.DefaultConfig()
+		scenario, err := multiregion.Discover(mcfg, cfg.RegionSeed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("discovering regions: %w", err)
+		}
+		scfg.Scenario = scenario
+	}
 	var rt *streamRuntime
 	if cfg.Stream.Enabled {
 		if rt, err = buildStream(cfg.Stream, scfg.Feed, reg); err != nil {
@@ -226,6 +243,9 @@ func main() {
 		price    = flag.Float64("price-per-tonne", def.PricePerTonne, "billing price in USD per tonne CO2e")
 		sigURL   = flag.String("signal-url", def.SignalURL, "base URL of a remote signal server (empty = static budget)")
 		maxStale = flag.Duration("signal-max-stale", def.SignalMaxStale, "how long a cached signal sample may substitute for a live one")
+
+		regionsOn  = flag.Bool("regions", def.Regions, "serve the multi-region scenario endpoints (/v1/regions, /v1/placement/whatif)")
+		regionSeed = flag.Int64("region-seed", def.RegionSeed, "deterministic seed for provider/fleet discovery in -regions mode")
 
 		streamOn       = flag.Bool("stream", def.Stream.Enabled, "run the windowed streaming attribution engine fed by a trace replay")
 		streamOnce     = flag.Bool("stream-once", def.Stream.Once, "replay the stream script to completion, print the summary report and exit")
@@ -277,6 +297,8 @@ func main() {
 	cfg.SignalURL = *sigURL
 	cfg.SignalMaxStale = *maxStale
 	cfg.SignalResilience = resil
+	cfg.Regions = *regionsOn
+	cfg.RegionSeed = *regionSeed
 	cfg.Stream = streamOptions{
 		Enabled:  *streamOn || *streamOnce,
 		Once:     *streamOnce,

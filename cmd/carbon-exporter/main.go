@@ -83,6 +83,13 @@ type exporterConfig struct {
 	// SignalMaxStale bounds how long a cached remote sample may substitute
 	// for a live one before the exporter degrades to the average model.
 	SignalMaxStale time.Duration
+	// Regions enables the multi-region scenario gauges: the exporter
+	// discovers a provider fleet from RegionSeed and publishes per-region
+	// grid intensity, fleet shape and attributed carbon next to the
+	// single-cluster families.
+	Regions bool
+	// RegionSeed reproduces the discovered multi-region scenario.
+	RegionSeed int64
 }
 
 func defaultExporterConfig() exporterConfig {
@@ -100,6 +107,7 @@ func defaultExporterConfig() exporterConfig {
 
 		SignalResilience: resilience.DefaultConfig(),
 		SignalMaxStale:   livesignal.DefaultMaxStale,
+		RegionSeed:       1,
 	}
 }
 
@@ -171,6 +179,9 @@ type exporter struct {
 	hTickSeconds   *metrics.Histogram
 	gShapleyStderr *metrics.Gauge
 	gQuality       *metrics.Gauge
+
+	// regions publishes the multi-region scenario gauges when enabled.
+	regions *regionPublisher
 }
 
 // newExporter simulates the fleet once and registers the exporter's gauges
@@ -289,6 +300,13 @@ func newExporter(cfg exporterConfig, reg *metrics.Registry) (*exporter, error) {
 			livesignal.NewFeedInstruments(reg))
 	}
 
+	if cfg.Regions {
+		e.regions, err = newRegionPublisher(cfg.RegionSeed, reg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	e.gNodes.Set(float64(sim.NodesProvisioned))
 	return e, nil
 }
@@ -310,6 +328,12 @@ func (e *exporter) step() error {
 	}
 	e.publishShares(k)
 	e.refreshSignal(k)
+
+	if e.regions != nil {
+		// Advance the regional scenario clock one telemetry step per tick so
+		// the per-region intensity gauges trace their diurnal shapes.
+		e.regions.publish(units.Seconds(float64(e.ticks.Load()+1) * float64(e.cfg.Step)))
+	}
 
 	e.gDemand.Set(e.demand.Values[k-1])
 	e.gWindow.Set(float64(k))
@@ -523,6 +547,8 @@ func main() {
 		workers  = flag.Int("parallelism", def.ShapleyParallelism, "workers sharding each Shapley share re-estimate (0 or 1 = serial, -1 = all CPUs)")
 		sigURL   = flag.String("signal-url", def.SignalURL, "base URL of a remote signal server (empty = in-process forecaster)")
 		maxStale = flag.Duration("signal-max-stale", def.SignalMaxStale, "how long a cached remote sample may substitute for a live one before degrading")
+		regions  = flag.Bool("regions", def.Regions, "publish multi-region scenario gauges (provider fleets, per-region grid intensity, region-tagged attribution)")
+		rgSeed   = flag.Int64("region-seed", def.RegionSeed, "seed reproducing the discovered multi-region scenario")
 	)
 	resil := def.SignalResilience
 	resil.RegisterFlags(flag.CommandLine, "signal")
@@ -540,6 +566,8 @@ func main() {
 	cfg.SignalURL = *sigURL
 	cfg.SignalMaxStale = *maxStale
 	cfg.SignalResilience = resil
+	cfg.Regions = *regions
+	cfg.RegionSeed = *rgSeed
 
 	reg := metrics.Default()
 	exp, err := newExporter(cfg, reg)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/metrics"
+	"fairco2/internal/multiregion"
+	"fairco2/internal/units"
+)
+
+// regionPublisher publishes the multi-region scenario as region-labeled
+// gauges next to the single-cluster families. Fleet shape and attributed
+// shares are fixed by the discovery seed, so they publish once; the
+// per-region grid intensity follows a rotating clock over each region's
+// trace, so every scrape interval sees the regional diurnal shapes move
+// in lockstep.
+type regionPublisher struct {
+	scenario *multiregion.Scenario
+
+	gIntensity  metrics.GaugeVec
+	gAttributed metrics.GaugeVec
+	gCores      metrics.GaugeVec
+	gEmbodied   metrics.GaugeVec
+	gBudget     metrics.GaugeVec
+}
+
+// newRegionPublisher discovers the scenario from seed, attributes every
+// region's embodied budget with Temporal Shapley, registers the region
+// gauge families on reg and publishes the static ones.
+func newRegionPublisher(seed int64, reg *metrics.Registry) (*regionPublisher, error) {
+	sc, err := multiregion.Discover(multiregion.DefaultConfig(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("discovering regions: %w", err)
+	}
+	p := &regionPublisher{
+		scenario: sc,
+		gIntensity: reg.NewGaugeVec(
+			"fairco2_region_grid_intensity_g_per_kwh",
+			"Regional operational grid intensity at the current scenario clock.",
+			"provider", "region"),
+		gAttributed: reg.NewGaugeVec(
+			"fairco2_region_attributed_gco2e",
+			"Embodied carbon attributed to the tenant over the regional scenario window (Temporal Shapley).",
+			"region", "tenant"),
+		gCores: reg.NewGaugeVec(
+			"fairco2_region_fleet_cores",
+			"Schedulable (logical) cores discovered in the regional fleet.",
+			"provider", "region"),
+		gEmbodied: reg.NewGaugeVec(
+			"fairco2_region_embodied_rate_g_per_second",
+			"Amortized embodied emission rate of the regional fleet.",
+			"provider", "region"),
+		gBudget: reg.NewGaugeVec(
+			"fairco2_region_budget_gco2e",
+			"Embodied budget the regional fleet amortizes over the scenario window.",
+			"provider", "region"),
+	}
+	shares, err := sc.Attribute(attribution.TemporalShapley{})
+	if err != nil {
+		return nil, fmt.Errorf("attributing regions: %w", err)
+	}
+	for _, s := range shares {
+		p.gAttributed.With(s.Region, s.Tenant).Set(s.Grams)
+	}
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		p.gCores.With(r.Provider, r.Name).Set(float64(r.FleetLogicalCores()))
+		p.gEmbodied.With(r.Provider, r.Name).Set(r.FleetEmbodiedRate())
+		p.gBudget.With(r.Provider, r.Name).Set(float64(r.Budget))
+	}
+	p.publish(0)
+	return p, nil
+}
+
+// publish republishes the clock-dependent gauges at scenario time now
+// (the trace sources wrap, so any non-negative clock value is valid).
+func (p *regionPublisher) publish(now units.Seconds) {
+	for i := range p.scenario.Regions {
+		r := &p.scenario.Regions[i]
+		span := float64(r.Trace.Duration())
+		t := float64(now)
+		for t >= span {
+			t -= span
+		}
+		p.gIntensity.With(r.Provider, r.Name).Set(r.Trace.Interp(units.Seconds(t)))
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"fairco2/internal/metrics"
+)
+
+func testRegionExporter(t *testing.T, seed int64) (*exporter, *metrics.Registry) {
+	t.Helper()
+	cfg := defaultExporterConfig()
+	cfg.Tenants = 4
+	cfg.VMs = 80
+	cfg.WindowDays = 1
+	cfg.ShapleySamples = 50
+	cfg.Regions = true
+	cfg.RegionSeed = seed
+	reg := metrics.NewRegistry()
+	e, err := newExporter(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, reg
+}
+
+// regionLines returns the exposition's sample lines for one region metric
+// family, sorted for order-independent comparison.
+func regionLines(t *testing.T, reg *metrics.Registry, family string) []string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, family+"{") {
+			lines = append(lines, line)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// The -regions flag must add the region-labeled families next to the
+// single-cluster ones: every discovered region appears in the intensity,
+// fleet and embodied-rate gauges, and every regional tenant appears in
+// the attributed gauge.
+func TestExporterRegionGauges(t *testing.T) {
+	e, reg := testRegionExporter(t, 3)
+
+	for _, family := range []string{
+		"fairco2_region_grid_intensity_g_per_kwh",
+		"fairco2_region_fleet_cores",
+		"fairco2_region_embodied_rate_g_per_second",
+		"fairco2_region_budget_gco2e",
+	} {
+		lines := regionLines(t, reg, family)
+		if len(lines) != len(e.regions.scenario.Regions) {
+			t.Errorf("%s: %d samples, want one per region (%d)",
+				family, len(lines), len(e.regions.scenario.Regions))
+		}
+	}
+	attributed := regionLines(t, reg, "fairco2_region_attributed_gco2e")
+	tenants := 0
+	for i := range e.regions.scenario.Regions {
+		tenants += len(e.regions.scenario.Regions[i].Tenants)
+	}
+	if len(attributed) != tenants {
+		t.Errorf("attributed gauge has %d samples, want one per regional tenant (%d)", len(attributed), tenants)
+	}
+	for _, line := range regionLines(t, reg, "fairco2_region_grid_intensity_g_per_kwh") {
+		if !strings.Contains(line, `provider="`) || !strings.Contains(line, `region="`) {
+			t.Errorf("intensity sample missing provider/region labels: %q", line)
+		}
+	}
+}
+
+// Ticks advance the regional scenario clock, so the per-region intensity
+// gauges must trace the diurnal shapes while the fleet gauges stay fixed.
+func TestExporterRegionClockAdvances(t *testing.T) {
+	e, reg := testRegionExporter(t, 3)
+	before := regionLines(t, reg, "fairco2_region_grid_intensity_g_per_kwh")
+	cores := regionLines(t, reg, "fairco2_region_fleet_cores")
+	// 12 ticks x 300 s = one hour of scenario time: past the next hourly
+	// trace sample, so interpolation must land on different values.
+	for i := 0; i < 12; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := regionLines(t, reg, "fairco2_region_grid_intensity_g_per_kwh")
+	if strings.Join(before, "\n") == strings.Join(after, "\n") {
+		t.Error("region intensity gauges did not move after an hour of ticks")
+	}
+	if got := regionLines(t, reg, "fairco2_region_fleet_cores"); strings.Join(got, "\n") != strings.Join(cores, "\n") {
+		t.Error("fleet gauges changed across ticks; discovery must be static")
+	}
+}
+
+// Equal region seeds must publish identical region gauges; different seeds
+// must not.
+func TestExporterRegionSeedStable(t *testing.T) {
+	_, regA := testRegionExporter(t, 9)
+	_, regB := testRegionExporter(t, 9)
+	_, regC := testRegionExporter(t, 10)
+	for _, family := range []string{
+		"fairco2_region_attributed_gco2e",
+		"fairco2_region_fleet_cores",
+		"fairco2_region_budget_gco2e",
+	} {
+		a := strings.Join(regionLines(t, regA, family), "\n")
+		b := strings.Join(regionLines(t, regB, family), "\n")
+		c := strings.Join(regionLines(t, regC, family), "\n")
+		if a != b {
+			t.Errorf("%s: equal seeds published different gauges", family)
+		}
+		if family != "fairco2_region_fleet_cores" && a == c {
+			t.Errorf("%s: different seeds published identical gauges", family)
+		}
+	}
+}
+
+// Without -regions the exposition must not mention the region families.
+func TestExporterRegionsGated(t *testing.T) {
+	_, reg := testExporter(t)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fairco2_region_") {
+		t.Error("region families published without -regions")
+	}
+}

@@ -8,6 +8,10 @@
 //	optimize -dynamic   Figure 13: one week of dynamic FAISS
 //	                    reconfiguration against live grid and embodied
 //	                    carbon intensity signals under a 2 s SLO
+//	optimize -placement Cross-region placement sweep: the Pareto front of
+//	                    migration count vs total fleet carbon over a
+//	                    discovered multi-region scenario, with per-move
+//	                    deltas against the keep-everything-home baseline
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"fairco2/internal/carbon"
 	"fairco2/internal/grid"
+	"fairco2/internal/multiregion"
 	"fairco2/internal/optimize"
 	"fairco2/internal/temporal"
 	"fairco2/internal/textplot"
@@ -29,13 +34,16 @@ func main() {
 	log.SetPrefix("optimize: ")
 
 	var (
-		summary = flag.Bool("summary", false, "print the Figure 10 batch-workload summary")
-		pareto  = flag.Bool("pareto", false, "print the Figure 12 FAISS Pareto fronts")
-		dynamic = flag.Bool("dynamic", false, "run the Figure 13 dynamic week")
-		slo     = flag.Float64("slo", 2, "tail-latency SLO in seconds for -dynamic")
+		summary   = flag.Bool("summary", false, "print the Figure 10 batch-workload summary")
+		pareto    = flag.Bool("pareto", false, "print the Figure 12 FAISS Pareto fronts")
+		dynamic   = flag.Bool("dynamic", false, "run the Figure 13 dynamic week")
+		slo       = flag.Float64("slo", 2, "tail-latency SLO in seconds for -dynamic")
+		placement = flag.Bool("placement", false, "print the cross-region placement sweep")
+		rgSeed    = flag.Int64("region-seed", 1, "seed reproducing the multi-region scenario for -placement")
+		maxMoves  = flag.Int("max-moves", 16, "migration cap for -placement")
 	)
 	flag.Parse()
-	if !*summary && !*pareto && !*dynamic {
+	if !*summary && !*pareto && !*dynamic && !*placement {
 		*summary, *pareto, *dynamic = true, true, true
 	}
 
@@ -51,6 +59,9 @@ func main() {
 	}
 	if *dynamic {
 		printFigure13(cost, units.Seconds(*slo))
+	}
+	if *placement {
+		printPlacement(*rgSeed, *maxMoves)
 	}
 }
 
@@ -183,4 +194,48 @@ func printFigure13(cost *optimize.CostModel, slo units.Seconds) {
 		}
 		fmt.Printf("  %3d  %13s  %12.0f  %19.2f\n", d+1, algo, ciSum/float64(perDay), scaleSum/float64(perDay))
 	}
+}
+
+// printPlacement discovers the multi-region scenario from seed and prints
+// the placement sweep: where each tenant's carbon price sits per region
+// and how much moving the cheapest-to-fix tenants saves against the
+// keep-everything-home (single-region attribution) baseline. Everything
+// here is deterministic in the seed.
+func printPlacement(seed int64, maxMoves int) {
+	sc, err := multiregion.Discover(multiregion.DefaultConfig(), seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs, err := sc.RegionCosts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cross-region placement sweep (seed %d, %d regions)\n", seed, len(sc.Regions))
+	fmt.Printf("  %-10s %-14s %12s %10s %16s\n", "provider", "region", "mean gCO2e/kWh", "PUE", "gCO2e/core-s")
+	for _, c := range costs {
+		fmt.Printf("  %-10s %-14s %14.0f %10.2f %16.3e\n",
+			c.Provider, c.Region, float64(c.MeanCI), c.PUE, c.CarbonPerCoreSecond())
+	}
+
+	front, err := sc.Placement(maxMoves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := front[0].TotalGrams
+	fmt.Printf("\n  baseline (no moves): %.4g gCO2e over the %0.0f s window\n",
+		baseline, float64(sc.Window))
+	fmt.Printf("  %-6s %16s %14s %9s\n", "moves", "total gCO2e", "saving gCO2e", "saving")
+	for _, p := range front {
+		fmt.Printf("  %6d %16.4g %14.4g %8.2f%%\n",
+			p.Moves, p.TotalGrams, baseline-p.TotalGrams, (baseline-p.TotalGrams)/baseline*100)
+	}
+
+	best := front[len(front)-1]
+	if len(best.Plan) > 0 {
+		fmt.Println("\n  migration plan (greedy order):")
+		for _, m := range best.Plan {
+			fmt.Printf("    %-14s %-14s -> %-14s saves %10.4g gCO2e\n", m.Tenant, m.From, m.To, m.SavingGrams)
+		}
+	}
+	fmt.Println()
 }

@@ -1,0 +1,49 @@
+package attribution
+
+import (
+	"errors"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/schedule"
+	"fairco2/internal/units"
+)
+
+// Regional region-tags an attribution method: attribution is delegated to
+// the wrapped method unchanged (shares are bitwise-identical — the
+// multiregion differential suite depends on that), while run telemetry
+// carries the provider and region labels so per-region dashboards can
+// split the method-level families.
+type Regional struct {
+	// Method is the wrapped attribution method.
+	Method Method
+	// Provider and Region label the runs.
+	Provider string
+	Region   string
+}
+
+// metricRegionRuns counts attribution runs by method and placement — the
+// region-tagged companion of fairco2_attribution_runs_total.
+var metricRegionRuns = metrics.Default().NewCounterVec(
+	"fairco2_attribution_region_runs_total",
+	"Attribution runs, by method name, provider and region.",
+	"method", "provider", "region")
+
+// Name implements Method: the wrapped name suffixed with the region, so
+// mixed-region reports stay unambiguous.
+func (r Regional) Name() string {
+	if r.Method == nil {
+		return "@" + r.Region
+	}
+	return r.Method.Name() + "@" + r.Region
+}
+
+// Attribute implements Method by pure delegation. The wrapped method
+// already records the method-level run and duration families; the wrapper
+// adds only the region-labeled count.
+func (r Regional) Attribute(s *schedule.Schedule, budget units.GramsCO2e) ([]float64, error) {
+	if r.Method == nil {
+		return nil, errors.New("attribution: regional wrapper has no method")
+	}
+	metricRegionRuns.With(r.Method.Name(), r.Provider, r.Region).Inc()
+	return r.Method.Attribute(s, budget)
+}

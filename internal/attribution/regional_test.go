@@ -1,0 +1,69 @@
+package attribution
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/schedule"
+)
+
+func TestRegionalDelegatesBitwise(t *testing.T) {
+	s, err := schedule.Generate(schedule.DefaultGeneratorConfig(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 5e6
+	for _, inner := range []Method{GroundTruth{}, RUPBaseline{}, DemandProportional{}, TemporalShapley{}} {
+		wrapped := Regional{Method: inner, Provider: "aurora", Region: "us-west"}
+		want, err := inner.Attribute(s, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", inner.Name(), err)
+		}
+		got, err := wrapped.Attribute(s, budget)
+		if err != nil {
+			t.Fatalf("%s wrapped: %v", inner.Name(), err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: share %d = %v wrapped, %v direct (must be bitwise-identical)",
+					inner.Name(), i, got[i], want[i])
+			}
+		}
+		if name := wrapped.Name(); name != inner.Name()+"@us-west" {
+			t.Errorf("wrapped name = %q", name)
+		}
+	}
+}
+
+func TestRegionalNilMethod(t *testing.T) {
+	s, err := schedule.Generate(schedule.DefaultGeneratorConfig(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Regional{Region: "us-west"}).Attribute(s, 1); err == nil {
+		t.Error("nil inner method must error")
+	}
+	if name := (Regional{Region: "us-west"}).Name(); name != "@us-west" {
+		t.Errorf("nil-method name = %q", name)
+	}
+}
+
+func TestRegionalRunsMetric(t *testing.T) {
+	s, err := schedule.Generate(schedule.DefaultGeneratorConfig(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Regional{Method: RUPBaseline{}, Provider: "borealis", Region: "eu-north"}
+	if _, err := w.Attribute(s, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := metrics.Default().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `fairco2_attribution_region_runs_total{method="rup-baseline",provider="borealis",region="eu-north"}`) {
+		t.Error("region-labeled run counter not exposed")
+	}
+}

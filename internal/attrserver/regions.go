@@ -1,0 +1,141 @@
+package attrserver
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"fairco2/internal/optimize"
+)
+
+// defaultWhatifMoves caps the placement front when the query does not set
+// max_moves.
+const defaultWhatifMoves = 16
+
+// maxWhatifMoves bounds max_moves so a hostile query cannot request an
+// absurd plan (the front can never exceed the tenant count anyway).
+const maxWhatifMoves = 4096
+
+// handleRegions serves GET /v1/regions: the discovered multi-region
+// scenario — providers, fleets, grid calibration and budgets — in
+// configuration order, so equal seeds yield byte-identical responses.
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	sc := s.cfg.Scenario
+	out := regionsResponse{Seed: sc.Seed, WindowSeconds: float64(sc.Window)}
+	for i := range sc.Regions {
+		reg := &sc.Regions[i]
+		embodied, err := reg.EmbodiedPerCoreSecond()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		rj := regionJSON{
+			Provider:              reg.Provider,
+			Region:                reg.Name,
+			Description:           reg.Profile.Description,
+			PUE:                   reg.PUE,
+			MeanIntensity:         reg.Profile.Mean,
+			LifetimeYears:         reg.LifetimeYears,
+			LogicalCores:          reg.FleetLogicalCores(),
+			EmbodiedRateGPerSec:   reg.FleetEmbodiedRate(),
+			EmbodiedPerCoreSecond: embodied,
+			WattsPerCore:          reg.WattsPerCore(),
+			BudgetGrams:           float64(reg.Budget),
+			Tenants:               len(reg.Tenants),
+		}
+		for _, mc := range reg.Fleet {
+			rj.Fleet = append(rj.Fleet, fleetJSON{Class: mc.Name, Count: mc.Count, Cores: mc.Server.Cores})
+		}
+		out.Regions = append(out.Regions, rj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePlacementWhatif serves GET /v1/placement/whatif?max_moves=N: the
+// Pareto front of migration count versus total fleet carbon over the
+// configured scenario. The sweep is deterministic, so equal seeds yield
+// byte-identical fronts.
+func (s *Server) handlePlacementWhatif(w http.ResponseWriter, r *http.Request) {
+	maxMoves := defaultWhatifMoves
+	if raw := r.URL.Query().Get("max_moves"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("attrserver: invalid max_moves %q", raw))
+			return
+		}
+		if n > maxWhatifMoves {
+			n = maxWhatifMoves
+		}
+		maxMoves = n
+	}
+	front, err := s.cfg.Scenario.Placement(maxMoves)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, renderPlacement(front))
+}
+
+func renderPlacement(front []optimize.PlacementPoint) placementResponse {
+	out := placementResponse{BaselineGrams: front[0].TotalGrams}
+	for _, p := range front {
+		pj := placementPointJSON{Moves: p.Moves, TotalGrams: p.TotalGrams}
+		pj.SavingGrams = out.BaselineGrams - p.TotalGrams
+		for _, m := range p.Plan {
+			pj.Plan = append(pj.Plan, moveJSON{
+				Tenant: m.Tenant, From: m.From, To: m.To, SavingGrams: m.SavingGrams,
+			})
+		}
+		out.Front = append(out.Front, pj)
+	}
+	return out
+}
+
+// Region endpoint response shapes; field names are wire contract.
+
+type regionsResponse struct {
+	Seed          int64        `json:"seed"`
+	WindowSeconds float64      `json:"window_seconds"`
+	Regions       []regionJSON `json:"regions"`
+}
+
+type regionJSON struct {
+	Provider              string      `json:"provider"`
+	Region                string      `json:"region"`
+	Description           string      `json:"description"`
+	PUE                   float64     `json:"pue"`
+	MeanIntensity         float64     `json:"mean_intensity_g_per_kwh"`
+	LifetimeYears         int         `json:"lifetime_years"`
+	LogicalCores          int         `json:"logical_cores"`
+	EmbodiedRateGPerSec   float64     `json:"embodied_rate_g_per_second"`
+	EmbodiedPerCoreSecond float64     `json:"embodied_g_per_core_second"`
+	WattsPerCore          float64     `json:"watts_per_core"`
+	BudgetGrams           float64     `json:"budget_gco2e"`
+	Tenants               int         `json:"tenants"`
+	Fleet                 []fleetJSON `json:"fleet"`
+}
+
+type fleetJSON struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+	Cores int    `json:"cores"`
+}
+
+type placementResponse struct {
+	BaselineGrams float64              `json:"baseline_gco2e"`
+	Front         []placementPointJSON `json:"front"`
+}
+
+type placementPointJSON struct {
+	Moves       int        `json:"moves"`
+	TotalGrams  float64    `json:"total_gco2e"`
+	SavingGrams float64    `json:"saving_gco2e"`
+	Plan        []moveJSON `json:"plan,omitempty"`
+}
+
+type moveJSON struct {
+	Tenant      string  `json:"tenant"`
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	SavingGrams float64 `json:"saving_gco2e"`
+}

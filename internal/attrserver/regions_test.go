@@ -1,0 +1,193 @@
+package attrserver
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/multiregion"
+	"fairco2/internal/schedule"
+)
+
+func newRegionServer(t *testing.T, seed int64) *httptest.Server {
+	t.Helper()
+	mcfg := multiregion.DefaultConfig()
+	mcfg.Schedule.MaxWorkloads = 10
+	sc, err := multiregion.Discover(mcfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.Generate(schedule.DefaultGeneratorConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Schedule = sched
+	cfg.Budget = 1e6
+	cfg.Scenario = sc
+	srv, err := New(cfg, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func fetch(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// Two servers discovered from the same seed must serve byte-identical
+// region and placement answers — the endpoint-level determinism the issue
+// pins down.
+func TestRegionEndpointsSeedStable(t *testing.T) {
+	a := newRegionServer(t, 77)
+	b := newRegionServer(t, 77)
+	for _, path := range []string{"/v1/regions", "/v1/placement/whatif", "/v1/placement/whatif?max_moves=3"} {
+		codeA, bodyA := fetch(t, a.URL+path)
+		codeB, bodyB := fetch(t, b.URL+path)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: status %d / %d", path, codeA, codeB)
+		}
+		if string(bodyA) != string(bodyB) {
+			t.Errorf("%s: responses differ across equal-seed servers", path)
+		}
+	}
+	c := newRegionServer(t, 78)
+	_, bodyA := fetch(t, a.URL+"/v1/regions")
+	_, bodyC := fetch(t, c.URL+"/v1/regions")
+	if string(bodyA) == string(bodyC) {
+		t.Error("different seeds must discover different scenarios")
+	}
+}
+
+func TestRegionsEndpointShape(t *testing.T) {
+	ts := newRegionServer(t, 5)
+	code, body := fetch(t, ts.URL+"/v1/regions")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Seed    int64 `json:"seed"`
+		Regions []struct {
+			Provider     string  `json:"provider"`
+			Region       string  `json:"region"`
+			PUE          float64 `json:"pue"`
+			MeanCI       float64 `json:"mean_intensity_g_per_kwh"`
+			LogicalCores int     `json:"logical_cores"`
+			Budget       float64 `json:"budget_gco2e"`
+			Tenants      int     `json:"tenants"`
+			Fleet        []struct {
+				Class string `json:"class"`
+				Count int    `json:"count"`
+			} `json:"fleet"`
+		} `json:"regions"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seed != 5 {
+		t.Errorf("seed = %d", resp.Seed)
+	}
+	if len(resp.Regions) != 8 {
+		t.Fatalf("%d regions, want 8", len(resp.Regions))
+	}
+	for _, r := range resp.Regions {
+		if r.Provider == "" || r.Region == "" || r.PUE < 1 || r.MeanCI <= 0 ||
+			r.LogicalCores <= 0 || r.Budget <= 0 || r.Tenants == 0 || len(r.Fleet) != 2 {
+			t.Errorf("malformed region entry: %+v", r)
+		}
+	}
+}
+
+func TestPlacementWhatifEndpoint(t *testing.T) {
+	ts := newRegionServer(t, 5)
+	code, body := fetch(t, ts.URL+"/v1/placement/whatif")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Baseline float64 `json:"baseline_gco2e"`
+		Front    []struct {
+			Moves  int     `json:"moves"`
+			Total  float64 `json:"total_gco2e"`
+			Saving float64 `json:"saving_gco2e"`
+			Plan   []struct {
+				Tenant string `json:"tenant"`
+				From   string `json:"from"`
+				To     string `json:"to"`
+			} `json:"plan"`
+		} `json:"front"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Front) < 2 {
+		t.Fatalf("front has %d points", len(resp.Front))
+	}
+	if resp.Front[0].Moves != 0 || resp.Front[0].Total != resp.Baseline {
+		t.Errorf("front must start at the zero-move baseline: %+v", resp.Front[0])
+	}
+	for k := 1; k < len(resp.Front); k++ {
+		p := resp.Front[k]
+		if p.Total >= resp.Front[k-1].Total {
+			t.Errorf("front not strictly improving at %d", k)
+		}
+		if len(p.Plan) != p.Moves {
+			t.Errorf("point %d has %d plan entries", p.Moves, len(p.Plan))
+		}
+	}
+
+	// max_moves caps the front.
+	code, body = fetch(t, ts.URL+"/v1/placement/whatif?max_moves=1")
+	if code != http.StatusOK {
+		t.Fatalf("capped status %d", code)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Front) != 2 {
+		t.Errorf("capped front has %d points, want 2", len(resp.Front))
+	}
+
+	for _, bad := range []string{"max_moves=-1", "max_moves=abc"} {
+		if code, _ := fetch(t, ts.URL+"/v1/placement/whatif?"+bad); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+// Without a scenario the region routes must not exist.
+func TestRegionEndpointsGated(t *testing.T) {
+	sched, err := schedule.Generate(schedule.DefaultGeneratorConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Schedule = sched
+	cfg.Budget = 1e6
+	srv, err := New(cfg, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _ := fetch(t, ts.URL+"/v1/regions"); code != http.StatusNotFound {
+		t.Errorf("/v1/regions without scenario: status %d, want 404", code)
+	}
+}

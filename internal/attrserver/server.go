@@ -13,6 +13,7 @@ import (
 	"fairco2/internal/attribution"
 	"fairco2/internal/livesignal"
 	"fairco2/internal/metrics"
+	"fairco2/internal/multiregion"
 	"fairco2/internal/schedule"
 	"fairco2/internal/stream"
 	"fairco2/internal/units"
@@ -69,6 +70,12 @@ type Config struct {
 	// against a stale sample never outlives what remains of it (default
 	// livesignal.DefaultMaxStale).
 	SignalMaxStale time.Duration
+
+	// Scenario, when set, exposes the multi-region scenario endpoints:
+	// GET /v1/regions (discovered providers, fleets and grid calibration)
+	// and GET /v1/placement/whatif (cross-region placement Pareto front).
+	// Discovery is seeded, so equal seeds serve byte-identical answers.
+	Scenario *multiregion.Scenario
 
 	// Replica labels this server's metric families, so several replicas
 	// of a cluster can share one registry without aliasing counters
@@ -330,6 +337,10 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Stream != nil {
 		mux.Handle("GET /v1/stream/window", s.instrument("stream-window", http.HandlerFunc(s.handleStreamWindow)))
 		mux.Handle("GET /v1/stream/stats", s.instrument("stream-stats", http.HandlerFunc(s.handleStreamStats)))
+	}
+	if s.cfg.Scenario != nil {
+		mux.Handle("GET /v1/regions", s.instrument("regions", http.HandlerFunc(s.handleRegions)))
+		mux.Handle("GET /v1/placement/whatif", s.instrument("placement-whatif", http.HandlerFunc(s.handlePlacementWhatif)))
 	}
 	return mux
 }

@@ -32,6 +32,10 @@ type Accountant struct {
 	// splits is the Temporal Shapley schedule over the period.
 	splits []int
 
+	// provider/region label the period's statements and charge metrics
+	// (empty for the single-datacenter path).
+	provider, region string
+
 	coreUsage map[string]*timeseries.Series
 	memUsage  map[string]*timeseries.Series
 	dynPower  map[string]*timeseries.Series
@@ -53,6 +57,13 @@ type Config struct {
 	// Splits optionally sets the Temporal Shapley hierarchy (product
 	// must equal Samples); nil uses a single level.
 	Splits []int
+	// Provider and Region optionally tag the accountant's placement.
+	// When Region is set, every statement carries the labels and charges
+	// are additionally recorded on the region-labeled charge counter.
+	// Pricing is unaffected: a region-tagged period bills every tenant
+	// bitwise-identically to an untagged one.
+	Provider string
+	Region   string
 }
 
 // NewAccountant opens a billing period.
@@ -86,6 +97,9 @@ func NewAccountant(cfg Config) (*Accountant, error) {
 	if product != cfg.Samples {
 		return nil, fmt.Errorf("billing: splits multiply to %d, want %d samples", product, cfg.Samples)
 	}
+	if cfg.Region == "" && cfg.Provider != "" {
+		return nil, errors.New("billing: provider label requires a region label")
+	}
 	return &Accountant{
 		server:    cfg.Server,
 		grid:      cfg.Grid,
@@ -93,6 +107,8 @@ func NewAccountant(cfg Config) (*Accountant, error) {
 		step:      cfg.Step,
 		samples:   cfg.Samples,
 		splits:    splits,
+		provider:  cfg.Provider,
+		region:    cfg.Region,
 		coreUsage: map[string]*timeseries.Series{},
 		memUsage:  map[string]*timeseries.Series{},
 		dynPower:  map[string]*timeseries.Series{},
@@ -180,6 +196,10 @@ func (a *Accountant) register(tenant string) {
 // Statement is one tenant's carbon bill for the period.
 type Statement struct {
 	Tenant string
+	// Provider and Region carry the accountant's placement labels; empty
+	// on the single-datacenter path.
+	Provider string
+	Region   string
 	// Embodied is the Temporal Shapley share of amortized manufacturing
 	// carbon (EmbodiedCPU + EmbodiedDRAM).
 	Embodied units.GramsCO2e
@@ -272,6 +292,7 @@ func (a *Accountant) Close() ([]Statement, Statement, error) {
 	statements := make([]Statement, 0, len(a.order))
 	var total Statement
 	total.Tenant = "TOTAL"
+	total.Provider, total.Region = a.provider, a.region
 	for _, tenant := range a.order {
 		coreFixed, err := temporal.AttributeUsage(coreSignal, a.coreUsage[tenant])
 		if err != nil {
@@ -279,6 +300,8 @@ func (a *Accountant) Close() ([]Statement, Statement, error) {
 		}
 		st := Statement{
 			Tenant:      tenant,
+			Provider:    a.provider,
+			Region:      a.region,
 			EmbodiedCPU: units.GramsCO2e(float64(coreFixed) * embodiedFracOfCore),
 			Static:      units.GramsCO2e(float64(coreFixed) * (1 - embodiedFracOfCore)),
 			CoreSeconds: units.CoreSeconds(a.coreUsage[tenant].Integral()),
@@ -308,6 +331,11 @@ func (a *Accountant) Close() ([]Statement, Statement, error) {
 		recordCharge(st.Tenant, "embodied", st.Embodied)
 		recordCharge(st.Tenant, "static", st.Static)
 		recordCharge(st.Tenant, "dynamic", st.Dynamic)
+		if a.region != "" {
+			recordRegionCharge(a.region, st.Tenant, "embodied", st.Embodied)
+			recordRegionCharge(a.region, st.Tenant, "static", st.Static)
+			recordRegionCharge(a.region, st.Tenant, "dynamic", st.Dynamic)
+		}
 	}
 	metricPeriodsClosed.Inc()
 	metricCloseSeconds.Observe(time.Since(closeStart).Seconds())

@@ -21,6 +21,13 @@ var (
 		"fairco2_billing_close_seconds",
 		"Wall-clock duration of pricing one billing period.",
 		nil)
+	// The region-labeled companion of the charge counter: only
+	// region-tagged accountants (multi-region scenarios) record here, so
+	// the single-datacenter exposition is unchanged.
+	metricRegionCharged = metrics.Default().NewCounterVec(
+		"fairco2_billing_region_charged_gco2e_total",
+		"Cumulative carbon charged at period close, by region, tenant and component.",
+		"region", "tenant", "component")
 )
 
 // recordCharge adds one statement component to the cumulative charge
@@ -30,5 +37,12 @@ var (
 func recordCharge(tenant, component string, amount units.GramsCO2e) {
 	if amount > 0 {
 		metricCharged.With(tenant, component).Add(float64(amount))
+	}
+}
+
+// recordRegionCharge mirrors recordCharge on the region-labeled counter.
+func recordRegionCharge(region, tenant, component string, amount units.GramsCO2e) {
+	if amount > 0 {
+		metricRegionCharged.With(region, tenant, component).Add(float64(amount))
 	}
 }

@@ -1,0 +1,91 @@
+package billing
+
+import (
+	"strings"
+	"testing"
+
+	"fairco2/internal/metrics"
+	"fairco2/internal/timeseries"
+)
+
+// A region-tagged accountant prices every tenant bitwise-identically to an
+// untagged one; the labels ride along on statements and metrics only.
+func TestRegionalPeriodPricesIdentically(t *testing.T) {
+	record := func(a *Accountant) {
+		steady := timeseries.Zeros(0, 3600, 24)
+		for i := range steady.Values {
+			steady.Values[i] = 16
+		}
+		power := timeseries.Zeros(0, 3600, 24)
+		for i := range power.Values {
+			power.Values[i] = 80
+		}
+		if err := a.RecordUsage("steady", steady, power); err != nil {
+			t.Fatal(err)
+		}
+		burst := timeseries.Zeros(0, 3600, 24)
+		burst.Values[7] = 96
+		if err := a.RecordUsage("burst", burst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plain, err := NewAccountant(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(plain)
+	wantStatements, wantTotal, err := plain.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.Provider = "aurora"
+	cfg.Region = "us-west"
+	tagged, err := NewAccountant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(tagged)
+	gotStatements, gotTotal, err := tagged.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(gotStatements) != len(wantStatements) {
+		t.Fatalf("%d statements vs %d", len(gotStatements), len(wantStatements))
+	}
+	for i, got := range gotStatements {
+		want := wantStatements[i]
+		if got.Provider != "aurora" || got.Region != "us-west" {
+			t.Errorf("statement %s labeled %s/%s", got.Tenant, got.Provider, got.Region)
+		}
+		if got.Embodied != want.Embodied || got.Static != want.Static ||
+			got.Dynamic != want.Dynamic || got.CoreSeconds != want.CoreSeconds {
+			t.Errorf("tenant %s priced differently under region tag: %+v vs %+v", got.Tenant, got, want)
+		}
+	}
+	if gotTotal.Total() != wantTotal.Total() {
+		t.Errorf("total %v tagged vs %v plain", gotTotal.Total(), wantTotal.Total())
+	}
+	if gotTotal.Region != "us-west" {
+		t.Errorf("total labeled region %q", gotTotal.Region)
+	}
+
+	var sb strings.Builder
+	if err := metrics.Default().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `fairco2_billing_region_charged_gco2e_total{region="us-west",tenant="steady",component="embodied"}`) {
+		t.Error("region-labeled charge counter not exposed")
+	}
+}
+
+func TestProviderLabelRequiresRegion(t *testing.T) {
+	cfg := testConfig()
+	cfg.Provider = "aurora"
+	if _, err := NewAccountant(cfg); err == nil {
+		t.Error("provider without region must error")
+	}
+}

@@ -1,0 +1,63 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+// FuzzRegionSignal throws arbitrary coefficients at the regional trace
+// generator. Inputs are folded into the ranges Validate admits; the
+// generator must then always produce a strictly positive, finite trace
+// whose time-average is exactly the requested mean.
+func FuzzRegionSignal(f *testing.F) {
+	for _, p := range Profiles() {
+		f.Add(p.Mean, p.SolarDepth, p.EveningRampHeight, p.NightLift,
+			p.WeekendScale, p.WindAmplitude, p.WindPeriodHours,
+			p.SeasonalAmplitude, p.SeasonalPeakDay)
+	}
+	f.Add(1e-3, 0.999, 10.0, 10.0, 10.0, 0.999, 1e-3, 0.999, 364.0)
+
+	fold := func(v, lo, hi float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return lo
+		}
+		span := hi - lo
+		x := math.Mod(v-lo, span)
+		if x < 0 {
+			x += span
+		}
+		return lo + x
+	}
+
+	f.Fuzz(func(t *testing.T, mean, solar, evening, night, weekend, windAmp, windPeriod, seasAmp, seasPeak float64) {
+		p := RegionProfile{
+			Name:              "fuzz",
+			Mean:              fold(mean, 1e-3, 2000),
+			SolarDepth:        fold(solar, 0, 0.999),
+			EveningRampHeight: fold(evening, 0, 10),
+			NightLift:         fold(night, 0, 10),
+			WeekendScale:      fold(weekend, 1e-3, 10),
+			WindAmplitude:     fold(windAmp, 0, 0.999),
+			WindPeriodHours:   fold(windPeriod, 1e-3, 2000),
+			SeasonalAmplitude: fold(seasAmp, 0, 0.999),
+			SeasonalPeakDay:   fold(seasPeak, 0, 365),
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("folded profile must validate: %v (%+v)", err, p)
+		}
+		s, err := NewSyntheticRegion(p, units.SecondsPerHour, 7)
+		if err != nil {
+			t.Fatalf("generator rejected a valid profile: %v", err)
+		}
+		for i, v := range s.Values {
+			if !(v > 0) || math.IsInf(v, 0) {
+				t.Fatalf("sample %d not strictly positive and finite: %v (%+v)", i, v, p)
+			}
+		}
+		if m := s.Mean(); math.Abs(m-p.Mean)/p.Mean > 1e-9 {
+			t.Fatalf("mean %v, want %v (%+v)", m, p.Mean, p)
+		}
+	})
+}

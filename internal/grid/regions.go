@@ -1,0 +1,218 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// RegionProfile parameterizes a synthetic-but-calibrated regional carbon
+// intensity trace. It generalizes the CAISO duck-curve generator: every
+// region shares the same diurnal structure (solar trough, evening ramp,
+// overnight lift, weekend dip) plus two slower modulations — a multi-day
+// wind oscillation and an annual seasonal swing — with coefficients set
+// from representative 2023 Electricity Maps levels. The generated trace is
+// normalized so its time-average equals Mean exactly, and every sample is
+// strictly positive.
+type RegionProfile struct {
+	// Name is the region identifier used across the scenario engine
+	// (e.g. "us-west").
+	Name string
+	// Description names the grid the profile is calibrated to.
+	Description string
+	// Mean is the average intensity in gCO2e/kWh.
+	Mean float64
+	// SolarDepth is the fractional midday dip (0.5 halves intensity at
+	// the solar peak).
+	SolarDepth float64
+	// EveningRampHeight is the fractional evening-peak rise.
+	EveningRampHeight float64
+	// NightLift is the mild overnight elevation (no solar at all).
+	NightLift float64
+	// WeekendScale multiplies weekend intensity.
+	WeekendScale float64
+	// WindAmplitude is the fractional swing of a slow wind oscillation;
+	// 0 disables it (solar- or baseload-dominated grids).
+	WindAmplitude float64
+	// WindPeriodHours is the wind oscillation period (synoptic weather
+	// systems pass in days, not hours).
+	WindPeriodHours float64
+	// SeasonalAmplitude is the fractional annual swing.
+	SeasonalAmplitude float64
+	// SeasonalPeakDay is the day of year the seasonal factor peaks
+	// (winter-peaking grids near 15, summer-peaking near 200).
+	SeasonalPeakDay float64
+}
+
+// Validate checks the profile's coefficients.
+func (p RegionProfile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("grid: region profile needs a name")
+	case p.Mean <= 0 || math.IsNaN(p.Mean) || math.IsInf(p.Mean, 0):
+		return fmt.Errorf("grid: region %s: mean intensity must be positive and finite, got %v", p.Name, p.Mean)
+	case p.SolarDepth < 0 || p.SolarDepth >= 1:
+		return fmt.Errorf("grid: region %s: solar depth must be in [0, 1), got %v", p.Name, p.SolarDepth)
+	case p.EveningRampHeight < 0 || p.EveningRampHeight > 10 || p.NightLift < 0 || p.NightLift > 10:
+		return fmt.Errorf("grid: region %s: diurnal lifts must be in [0, 10]", p.Name)
+	case p.WeekendScale <= 0 || p.WeekendScale > 10:
+		return fmt.Errorf("grid: region %s: weekend scale must be in (0, 10], got %v", p.Name, p.WeekendScale)
+	case p.WindAmplitude < 0 || p.WindAmplitude >= 1:
+		return fmt.Errorf("grid: region %s: wind amplitude must be in [0, 1), got %v", p.Name, p.WindAmplitude)
+	case p.WindAmplitude > 0 && !(p.WindPeriodHours > 0 && !math.IsInf(p.WindPeriodHours, 0)):
+		return fmt.Errorf("grid: region %s: wind period must be positive and finite, got %v", p.Name, p.WindPeriodHours)
+	case p.SeasonalAmplitude < 0 || p.SeasonalAmplitude >= 1:
+		return fmt.Errorf("grid: region %s: seasonal amplitude must be in [0, 1), got %v", p.Name, p.SeasonalAmplitude)
+	case p.SeasonalAmplitude > 0 && (math.IsNaN(p.SeasonalPeakDay) || math.IsInf(p.SeasonalPeakDay, 0)):
+		return fmt.Errorf("grid: region %s: seasonal peak day must be finite, got %v", p.Name, p.SeasonalPeakDay)
+	}
+	return nil
+}
+
+// shapeFloor is the minimum pre-normalization shape value: no grid ever
+// reaches zero intensity, so the generator clamps here before scaling to
+// the configured mean, guaranteeing strictly positive traces for any
+// coefficient combination Validate admits.
+const shapeFloor = 0.02
+
+// regionShapeAt returns the multiplicative shape of profile p at t seconds
+// from the trace epoch (midnight of a Monday, day 0 of the year).
+func regionShapeAt(p RegionProfile, t float64) float64 {
+	hour := math.Mod(t/units.SecondsPerHour, 24)
+	day := int(t / units.SecondsPerDay)
+
+	shape := 1.0
+	// Solar trough: a Gaussian dip centered at 13:00 with ~3.5 h width.
+	shape -= p.SolarDepth * math.Exp(-sq(hour-13)/(2*sq(3.5)))
+	// Evening ramp: peakers covering the post-sunset demand peak.
+	shape += p.EveningRampHeight * math.Exp(-sq(hour-19.5)/(2*sq(2)))
+	// Mild overnight elevation.
+	shape += p.NightLift * math.Exp(-sq(math.Mod(hour+12, 24)-12)/(2*sq(4)))
+	if dayOfWeek := day % 7; dayOfWeek >= 5 {
+		shape *= p.WeekendScale
+	}
+	// Slow wind oscillation: synoptic systems sweeping through over days.
+	if p.WindAmplitude > 0 {
+		shape *= 1 + p.WindAmplitude*math.Sin(2*math.Pi*t/(p.WindPeriodHours*units.SecondsPerHour))
+	}
+	// Annual seasonal swing, peaking at SeasonalPeakDay.
+	if p.SeasonalAmplitude > 0 {
+		dayOfYear := math.Mod(float64(day), 365)
+		shape *= 1 + p.SeasonalAmplitude*math.Cos(2*math.Pi*(dayOfYear-p.SeasonalPeakDay)/365)
+	}
+	if shape < shapeFloor {
+		shape = shapeFloor
+	}
+	return shape
+}
+
+// NewSyntheticRegion generates a regional intensity trace of the given
+// length, sampled at step, normalized so its time-average equals p.Mean.
+func NewSyntheticRegion(p RegionProfile, step units.Seconds, days int) (*timeseries.Series, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if days < 1 {
+		return nil, fmt.Errorf("grid: region %s: need at least one day, got %d", p.Name, days)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("grid: region %s: step must be positive, got %v", p.Name, step)
+	}
+	n := int(float64(days) * units.SecondsPerDay / float64(step))
+	if n < 1 {
+		return nil, fmt.Errorf("grid: region %s: step %v longer than the %d-day window", p.Name, step, days)
+	}
+	values := make([]float64, n)
+	sum := 0.0
+	for i := range values {
+		values[i] = regionShapeAt(p, float64(step)*float64(i))
+		sum += values[i]
+	}
+	scale := p.Mean * float64(n) / sum
+	for i := range values {
+		values[i] *= scale
+	}
+	return timeseries.New(0, step, values), nil
+}
+
+// Profiles returns the built-in regional profiles, covering the scenario
+// engine's provider fleets: a hydro/nuclear baseload grid, solar- and
+// wind-dominated grids, and coal- or gas-heavy ones, spanning a ~30x
+// spread in mean intensity. Order is fixed (it seeds deterministic fleet
+// discovery).
+func Profiles() []RegionProfile {
+	return []RegionProfile{
+		{
+			Name: "us-west", Description: "CAISO: deep solar trough, evening gas ramp",
+			Mean: 230, SolarDepth: 0.75, EveningRampHeight: 0.35, NightLift: 0.08,
+			WeekendScale: 0.92, WindAmplitude: 0.05, WindPeriodHours: 30,
+			SeasonalAmplitude: 0.10, SeasonalPeakDay: 240,
+		},
+		{
+			Name: "us-midwest", Description: "MISO: coal-heavy baseload, summer AC peak",
+			Mean: 600, SolarDepth: 0.10, EveningRampHeight: 0.15, NightLift: 0.05,
+			WeekendScale: 0.95, WindAmplitude: 0.08, WindPeriodHours: 40,
+			SeasonalAmplitude: 0.08, SeasonalPeakDay: 200,
+		},
+		{
+			Name: "eu-north", Description: "Sweden: hydro/nuclear, nearly flat, winter peak",
+			Mean: 25, SolarDepth: 0.05, EveningRampHeight: 0.05, NightLift: 0.02,
+			WeekendScale: 0.98, WindAmplitude: 0.10, WindPeriodHours: 50,
+			SeasonalAmplitude: 0.15, SeasonalPeakDay: 15,
+		},
+		{
+			Name: "eu-central", Description: "Germany: solar plus strong synoptic wind swings",
+			Mean: 380, SolarDepth: 0.45, EveningRampHeight: 0.30, NightLift: 0.06,
+			WeekendScale: 0.88, WindAmplitude: 0.25, WindPeriodHours: 60,
+			SeasonalAmplitude: 0.12, SeasonalPeakDay: 15,
+		},
+		{
+			Name: "eu-west", Description: "Great Britain: wind-dominated, gas backup",
+			Mean: 210, SolarDepth: 0.20, EveningRampHeight: 0.25, NightLift: 0.05,
+			WeekendScale: 0.90, WindAmplitude: 0.35, WindPeriodHours: 55,
+			SeasonalAmplitude: 0.10, SeasonalPeakDay: 10,
+		},
+		{
+			Name: "ap-southeast", Description: "Singapore: flat gas baseload",
+			Mean: 470, SolarDepth: 0.08, EveningRampHeight: 0.10, NightLift: 0.03,
+			WeekendScale: 0.97, WindAmplitude: 0.03, WindPeriodHours: 45,
+			SeasonalAmplitude: 0.03, SeasonalPeakDay: 120,
+		},
+		{
+			Name: "ap-south", Description: "India: coal-heavy, pre-monsoon peak",
+			Mean: 710, SolarDepth: 0.15, EveningRampHeight: 0.20, NightLift: 0.05,
+			WeekendScale: 0.96, WindAmplitude: 0.05, WindPeriodHours: 35,
+			SeasonalAmplitude: 0.18, SeasonalPeakDay: 130,
+		},
+		{
+			Name: "sa-east", Description: "Brazil: hydro with a dry-season thermal peak",
+			Mean: 100, SolarDepth: 0.10, EveningRampHeight: 0.15, NightLift: 0.03,
+			WeekendScale: 0.94, WindAmplitude: 0.12, WindPeriodHours: 70,
+			SeasonalAmplitude: 0.25, SeasonalPeakDay: 270,
+		},
+	}
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (RegionProfile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return RegionProfile{}, fmt.Errorf("grid: unknown region profile %q", name)
+}
+
+// InterpTrace is a Signal backed by a time series, linearly interpolated
+// between sample midpoints (Series.Interp) instead of stepped. Placement
+// pricing uses it so intensities move continuously across region clocks.
+type InterpTrace struct {
+	Series *timeseries.Series
+}
+
+// At implements Signal.
+func (tr InterpTrace) At(t units.Seconds) units.CarbonIntensity {
+	return units.CarbonIntensity(tr.Series.Interp(t))
+}

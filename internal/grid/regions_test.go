@@ -1,0 +1,227 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func TestProfilesRegistry(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) < 6 {
+		t.Fatalf("registry has %d profiles, the scenario engine needs at least 6", len(profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := ProfileByName(p.Name)
+		if err != nil {
+			t.Errorf("ProfileByName(%s): %v", p.Name, err)
+		}
+		if got != p {
+			t.Errorf("ProfileByName(%s) returned a different profile", p.Name)
+		}
+	}
+	if _, err := ProfileByName("atlantis-1"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+// Property: every regional trace is strictly positive, finite, and its
+// time-average equals the configured mean exactly (up to float rounding).
+func TestRegionTracesPositiveAndCalibrated(t *testing.T) {
+	for _, p := range Profiles() {
+		s, err := NewSyntheticRegion(p, units.SecondsPerHour, 14)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if s.Len() != 14*24 {
+			t.Fatalf("%s: %d samples, want %d", p.Name, s.Len(), 14*24)
+		}
+		for i, v := range s.Values {
+			if !(v > 0) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-positive or non-finite intensity %v at sample %d", p.Name, v, i)
+			}
+		}
+		if mean := s.Mean(); math.Abs(mean-p.Mean)/p.Mean > 1e-9 {
+			t.Errorf("%s: trace mean %v, want %v", p.Name, mean, p.Mean)
+		}
+	}
+}
+
+// Property: with the slow modulations (wind, seasonal) stripped, the shape
+// is exactly periodic — any two weekdays are bitwise-identical, and a
+// weekend day is exactly the weekday shape scaled by WeekendScale.
+func TestRegionTracesPeriodicShape(t *testing.T) {
+	for _, p := range Profiles() {
+		base := p
+		base.WindAmplitude, base.WindPeriodHours = 0, 0
+		base.SeasonalAmplitude = 0
+		s, err := NewSyntheticRegion(base, units.SecondsPerHour, 14)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		day := func(d int) []float64 { return s.Values[d*24 : (d+1)*24] }
+		for h := 0; h < 24; h++ {
+			// Monday of week 1 vs Thursday of week 1 vs Monday of week 2.
+			if day(0)[h] != day(3)[h] || day(0)[h] != day(7)[h] {
+				t.Fatalf("%s: weekday shape not periodic at hour %d: %v %v %v",
+					p.Name, h, day(0)[h], day(3)[h], day(7)[h])
+			}
+			// Saturday is the weekday shape scaled by WeekendScale (the
+			// clamp floor never binds for the registry's coefficients).
+			want := day(0)[h] * p.WeekendScale
+			if math.Abs(day(5)[h]-want) > 1e-9*want {
+				t.Fatalf("%s: weekend hour %d = %v, want weekday x %v = %v",
+					p.Name, h, day(5)[h], p.WeekendScale, want)
+			}
+		}
+	}
+}
+
+// The full us-west profile must keep the duck-curve ordering the CAISO
+// generator pins: midday solar trough below night, night below the
+// evening ramp.
+func TestRegionTraceDuckOrdering(t *testing.T) {
+	p, err := ProfileByName("us-west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSyntheticRegion(p, units.SecondsPerHour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midday, night, evening := s.Values[13], s.Values[3], s.Values[19]
+	if !(midday < night && night < evening) {
+		t.Errorf("duck ordering violated: midday %v, night %v, evening %v", midday, night, evening)
+	}
+}
+
+func TestRegionTraceDeterministic(t *testing.T) {
+	p := Profiles()[3]
+	a, err := NewSyntheticRegion(p, units.SecondsPerHour, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSyntheticRegion(p, units.SecondsPerHour, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("regional generator must be deterministic")
+		}
+	}
+}
+
+func TestNewSyntheticRegionErrors(t *testing.T) {
+	ok := Profiles()[0]
+	bad := []RegionProfile{
+		{},
+		{Name: "x", Mean: 0},
+		{Name: "x", Mean: math.Inf(1)},
+		{Name: "x", Mean: 100, SolarDepth: 1.5},
+		{Name: "x", Mean: 100, EveningRampHeight: 11},
+		{Name: "x", Mean: 100, NightLift: -1},
+		{Name: "x", Mean: 100, WeekendScale: -0.5},
+		{Name: "x", Mean: 100, WeekendScale: 1, WindAmplitude: 1},
+		{Name: "x", Mean: 100, WeekendScale: 1, WindAmplitude: 0.2, WindPeriodHours: 0},
+		{Name: "x", Mean: 100, WeekendScale: 1, SeasonalAmplitude: -0.1},
+		{Name: "x", Mean: 100, WeekendScale: 1, SeasonalAmplitude: 0.1, SeasonalPeakDay: math.NaN()},
+	}
+	for i, p := range bad {
+		if _, err := NewSyntheticRegion(p, units.SecondsPerHour, 7); err == nil {
+			t.Errorf("profile %d: expected error", i)
+		}
+	}
+	if _, err := NewSyntheticRegion(ok, units.SecondsPerHour, 0); err == nil {
+		t.Error("zero days: expected error")
+	}
+	if _, err := NewSyntheticRegion(ok, 0, 7); err == nil {
+		t.Error("zero step: expected error")
+	}
+	if _, err := NewSyntheticRegion(ok, units.Seconds(3*units.SecondsPerDay), 1); err == nil {
+		t.Error("step longer than window: expected error")
+	}
+}
+
+// Property: between two adjacent sample midpoints, the interpolated signal
+// is monotone — it moves from one sample value to the other without
+// overshoot, in the direction the endpoints order.
+func TestInterpMonotoneBetweenSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 1000
+		}
+		step := units.Seconds(1 + rng.Float64()*3600)
+		s := timeseries.New(units.Seconds(rng.Float64()*100), step, values)
+		for i := 0; i < n-1; i++ {
+			m0 := s.TimeAt(i) + step/2
+			lo, hi := values[i], values[i+1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			prev := s.Interp(m0)
+			for k := 1; k <= 8; k++ {
+				at := m0 + units.Seconds(float64(step)*float64(k)/8)
+				v := s.Interp(at)
+				if v < lo-1e-9 || v > hi+1e-9 {
+					t.Fatalf("trial %d: Interp overshoots segment %d: %v outside [%v, %v]", trial, i, v, lo, hi)
+				}
+				if values[i] <= values[i+1] && v < prev-1e-9 {
+					t.Fatalf("trial %d: Interp not monotone increasing on segment %d", trial, i)
+				}
+				if values[i] >= values[i+1] && v > prev+1e-9 {
+					t.Fatalf("trial %d: Interp not monotone decreasing on segment %d", trial, i)
+				}
+				prev = v
+			}
+		}
+		// At every midpoint the interpolation hits the sample exactly.
+		for i := range values {
+			if got := s.Interp(s.TimeAt(i) + step/2); math.Abs(got-values[i]) > 1e-9 {
+				t.Fatalf("trial %d: Interp at midpoint %d = %v, want %v", trial, i, got, values[i])
+			}
+		}
+		// Outside the covered midpoints it clamps, matching At.
+		if got := s.Interp(s.Start - 1e6); got != values[0] {
+			t.Fatalf("trial %d: Interp before start = %v, want %v", trial, got, values[0])
+		}
+		if got := s.Interp(s.End() + 1e6); got != values[n-1] {
+			t.Fatalf("trial %d: Interp past end = %v, want %v", trial, got, values[n-1])
+		}
+	}
+}
+
+func TestInterpTraceSignal(t *testing.T) {
+	s := timeseries.New(0, 3600, []float64{100, 300, 200})
+	var sig Signal = InterpTrace{Series: s}
+	if got := sig.At(1800); got != 100 {
+		t.Errorf("At(midpoint 0) = %v", got)
+	}
+	// Halfway between the first two midpoints: the linear blend.
+	if got := sig.At(3600); got != 200 {
+		t.Errorf("At(3600) = %v, want 200", got)
+	}
+	if got := sig.At(-1); got != 100 {
+		t.Errorf("At(-1) = %v, want clamp to first", got)
+	}
+	if got := sig.At(1e9); got != 200 {
+		t.Errorf("At(big) = %v, want clamp to last", got)
+	}
+	if got := timeseries.Zeros(0, 10, 0).Interp(5); got != 0 {
+		t.Errorf("empty series Interp = %v, want 0", got)
+	}
+}

@@ -1,0 +1,479 @@
+// Package multiregion turns the single-datacenter Fair-CO2 simulator into
+// a multi-cloud scenario engine. A seeded discovery pass enumerates
+// simulated providers, their regions, and the machine fleet in each region
+// (with per-region embodied-carbon amortization horizons), generates a
+// regional tenant schedule and a calibrated regional grid-intensity trace,
+// and derives the region's embodied budget from its fleet. On top of the
+// discovered scenario the package offers region-tagged attribution (every
+// tenant share carries its provider and region end-to-end), per-region
+// livesignal sources, a zero-allocation tenant router, and the pricing
+// inputs for the cross-region placement optimizer in internal/optimize.
+//
+// Everything is a pure function of (Config, seed): discovery, schedules,
+// traces, budgets, attribution and placement fronts are all deterministic
+// and therefore differential-testable against the single-datacenter path
+// region by region.
+package multiregion
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/optimize"
+	"fairco2/internal/schedule"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// ProviderSpec declares one simulated cloud provider: which regional grid
+// profiles it operates in and the facility PUE of its datacenters.
+type ProviderSpec struct {
+	// Name identifies the provider.
+	Name string
+	// Regions lists grid.Profiles() names the provider operates in.
+	Regions []string
+	// PUE is the provider's facility power usage effectiveness.
+	PUE float64
+}
+
+// Config parameterizes scenario discovery. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Providers lists the simulated providers. Region names must be
+	// unique across providers (a region belongs to exactly one).
+	Providers []ProviderSpec
+	// Days is the scenario window length.
+	Days int
+	// TraceStep is the sampling step of the regional intensity traces.
+	TraceStep units.Seconds
+	// Schedule parameterizes the per-region tenant schedule generator.
+	Schedule schedule.GeneratorConfig
+	// MinMachines and MaxMachines bound the per-class fleet size drawn
+	// during discovery.
+	MinMachines, MaxMachines int
+	// LifetimeYearChoices are the per-region embodied amortization
+	// horizons discovery picks from (heterogeneous depreciation
+	// schedules are what make embodied rates differ across regions).
+	LifetimeYearChoices []int
+}
+
+// DefaultConfig covers all eight built-in grid profiles with three
+// providers, a 7-day window, and the paper's schedule generator.
+func DefaultConfig() Config {
+	return Config{
+		Providers: []ProviderSpec{
+			{Name: "aurora", Regions: []string{"us-west", "us-midwest"}, PUE: 1.12},
+			{Name: "borealis", Regions: []string{"eu-north", "eu-central", "eu-west"}, PUE: 1.18},
+			{Name: "cirrus", Regions: []string{"ap-southeast", "ap-south", "sa-east"}, PUE: 1.35},
+		},
+		Days:                7,
+		TraceStep:           units.SecondsPerHour,
+		Schedule:            schedule.DefaultGeneratorConfig(),
+		MinMachines:         40,
+		MaxMachines:         400,
+		LifetimeYearChoices: []int{3, 4, 5, 6},
+	}
+}
+
+// Validate checks the discovery configuration.
+func (c Config) Validate() error {
+	if len(c.Providers) == 0 {
+		return errors.New("multiregion: config needs at least one provider")
+	}
+	seen := map[string]bool{}
+	for _, p := range c.Providers {
+		if p.Name == "" {
+			return errors.New("multiregion: provider needs a name")
+		}
+		if p.PUE < 1 {
+			return fmt.Errorf("multiregion: provider %s: PUE must be >= 1, got %v", p.Name, p.PUE)
+		}
+		if len(p.Regions) == 0 {
+			return fmt.Errorf("multiregion: provider %s has no regions", p.Name)
+		}
+		for _, r := range p.Regions {
+			if seen[r] {
+				return fmt.Errorf("multiregion: region %s claimed by two providers", r)
+			}
+			seen[r] = true
+			if _, err := grid.ProfileByName(r); err != nil {
+				return err
+			}
+		}
+	}
+	if c.Days < 1 {
+		return errors.New("multiregion: window must cover at least one day")
+	}
+	if c.TraceStep <= 0 {
+		return errors.New("multiregion: trace step must be positive")
+	}
+	if c.MinMachines < 1 || c.MaxMachines < c.MinMachines {
+		return fmt.Errorf("multiregion: invalid fleet bounds [%d, %d]", c.MinMachines, c.MaxMachines)
+	}
+	if len(c.LifetimeYearChoices) == 0 {
+		return errors.New("multiregion: no lifetime choices")
+	}
+	for _, y := range c.LifetimeYearChoices {
+		if y < 1 {
+			return errors.New("multiregion: lifetime choices must be positive years")
+		}
+	}
+	return c.Schedule.Validate()
+}
+
+// MachineClass is one homogeneous slice of a regional fleet.
+type MachineClass struct {
+	// Name identifies the class ("standard" reference nodes or "dense"
+	// double-capacity nodes).
+	Name string
+	// Server is the class's embodied and power model, with the region's
+	// amortization horizon applied.
+	Server *carbon.Server
+	// Count is the number of machines of this class in the region.
+	Count int
+}
+
+// Tenant is one schedulable workload with a globally unique identity.
+type Tenant struct {
+	// ID is the global tenant identifier, "<region>/t<NN>".
+	ID string
+	// Provider and Region locate the tenant's current placement.
+	Provider string
+	Region   string
+	// Workload indexes the tenant in its region's schedule.
+	Workload int
+}
+
+// Region is one discovered region: fleet, grid trace, tenant schedule and
+// the embodied budget the fleet amortizes over the window.
+type Region struct {
+	// Provider is the operating provider's name.
+	Provider string
+	// Name is the region (grid profile) name.
+	Name string
+	// PUE is the provider's facility overhead multiplier.
+	PUE float64
+	// Profile is the regional grid calibration.
+	Profile grid.RegionProfile
+	// Trace is the regional operational intensity trace over the window.
+	Trace *timeseries.Series
+	// Fleet is the discovered machine inventory.
+	Fleet []MachineClass
+	// LifetimeYears is the region's embodied amortization horizon.
+	LifetimeYears int
+	// Schedule is the regional tenant schedule.
+	Schedule *schedule.Schedule
+	// Budget is the embodied carbon the fleet amortizes over the
+	// schedule window — the budget every attribution method divides.
+	Budget units.GramsCO2e
+	// Tenants maps schedule workloads to global tenant identities,
+	// index-aligned with Schedule.Workloads.
+	Tenants []Tenant
+}
+
+// Scenario is a discovered multi-region deployment.
+type Scenario struct {
+	// Seed reproduces the scenario via Discover.
+	Seed int64
+	// Window is the schedule window length.
+	Window units.Seconds
+	// Regions is the discovered region set, in configuration order.
+	Regions []Region
+
+	routes map[string]routeEntry
+}
+
+type routeEntry struct {
+	region   int
+	workload int
+}
+
+// subSeed derives the per-region seed: regions must evolve independently
+// (adding a region must not reshuffle the others' fleets or schedules).
+func subSeed(seed int64, provider, region string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(provider))
+	h.Write([]byte{'/'})
+	h.Write([]byte(region))
+	return seed ^ int64(h.Sum64())
+}
+
+// denseClass doubles every capacity and footprint of the reference server:
+// twice the sockets, DRAM and storage in one chassis, drawing twice the
+// power. Platform overhead scales with the doubled TDP, so doubling the
+// reference embodied numbers is consistent with the carbon package's LCA
+// scaling.
+func denseClass(lifetime units.Seconds) *carbon.Server {
+	s := carbon.NewReferenceServer()
+	s.Cores *= 2
+	s.MemoryGB *= 2
+	s.StorageGB *= 2
+	s.CPUEmbodied *= 2
+	s.DRAMEmbodied *= 2
+	s.SSDEmbodied *= 2
+	s.PlatformEmbodied *= 2
+	s.StaticPower *= 2
+	s.MaxDynamicPower *= 2
+	s.Lifetime = lifetime
+	return s
+}
+
+// Discover builds the scenario deterministically from (cfg, seed): each
+// region draws its fleet size, amortization horizon and tenant schedule
+// from a seed derived from the global seed and the region's identity, so
+// any single region is reproducible in isolation — the property the
+// differential suite exploits to compare against the single-datacenter
+// oracle.
+func Discover(cfg Config, seed int64) (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	window := units.Seconds(float64(cfg.Days) * units.SecondsPerDay)
+	sc := &Scenario{
+		Seed:   seed,
+		Window: window,
+		routes: map[string]routeEntry{},
+	}
+	for _, p := range cfg.Providers {
+		for _, name := range p.Regions {
+			profile, err := grid.ProfileByName(name)
+			if err != nil {
+				return nil, err
+			}
+			trace, err := grid.NewSyntheticRegion(profile, cfg.TraceStep, cfg.Days)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(subSeed(seed, p.Name, name)))
+			years := cfg.LifetimeYearChoices[rng.Intn(len(cfg.LifetimeYearChoices))]
+			lifetime := units.Seconds(float64(years) * 365 * units.SecondsPerDay)
+			standard := carbon.NewReferenceServer()
+			standard.Lifetime = lifetime
+			fleet := []MachineClass{
+				{Name: "standard", Server: standard, Count: randBetween(rng, cfg.MinMachines, cfg.MaxMachines)},
+				{Name: "dense", Server: denseClass(lifetime), Count: randBetween(rng, cfg.MinMachines, cfg.MaxMachines)},
+			}
+			sched, err := schedule.Generate(cfg.Schedule, rng)
+			if err != nil {
+				return nil, fmt.Errorf("multiregion: region %s: %w", name, err)
+			}
+			region := Region{
+				Provider:      p.Name,
+				Name:          name,
+				PUE:           p.PUE,
+				Profile:       profile,
+				Trace:         trace,
+				Fleet:         fleet,
+				LifetimeYears: years,
+				Schedule:      sched,
+			}
+			scheduleWindow := units.Seconds(float64(sched.Slices) * float64(sched.SliceDuration))
+			region.Budget = units.GramsCO2e(region.FleetEmbodiedRate() * float64(scheduleWindow))
+			for i := range sched.Workloads {
+				t := Tenant{
+					ID:       fmt.Sprintf("%s/t%02d", name, i),
+					Provider: p.Name,
+					Region:   name,
+					Workload: i,
+				}
+				region.Tenants = append(region.Tenants, t)
+				sc.routes[t.ID] = routeEntry{region: len(sc.Regions), workload: i}
+			}
+			sc.Regions = append(sc.Regions, region)
+		}
+	}
+	return sc, nil
+}
+
+func randBetween(rng *rand.Rand, lo, hi int) int {
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// FleetEmbodiedRate returns the region fleet's total amortized embodied
+// emission rate in gCO2e per second.
+func (r *Region) FleetEmbodiedRate() float64 {
+	rate := 0.0
+	for _, mc := range r.Fleet {
+		rate += mc.Server.EmbodiedRate() * float64(mc.Count)
+	}
+	return rate
+}
+
+// smtThreadsPerCore mirrors the optimize cost model: schedulable cores are
+// logical (SMT-2) threads of the physical cores.
+const smtThreadsPerCore = 2
+
+// FleetLogicalCores returns the region's schedulable core capacity.
+func (r *Region) FleetLogicalCores() int {
+	cores := 0
+	for _, mc := range r.Fleet {
+		cores += mc.Server.Cores * smtThreadsPerCore * mc.Count
+	}
+	return cores
+}
+
+// EmbodiedPerCoreSecond returns the fleet-weighted amortized embodied
+// carbon of one logical core-second, attributing each machine class's
+// CPU-share embodied rate across its logical cores.
+func (r *Region) EmbodiedPerCoreSecond() (float64, error) {
+	totalRate := 0.0
+	totalCores := 0
+	for _, mc := range r.Fleet {
+		perPhysCore, err := mc.Server.EmbodiedRatePerCore()
+		if err != nil {
+			return 0, fmt.Errorf("multiregion: region %s fleet class %s: %w", r.Name, mc.Name, err)
+		}
+		totalRate += perPhysCore * float64(mc.Server.Cores) * float64(mc.Count)
+		totalCores += mc.Server.Cores * smtThreadsPerCore * mc.Count
+	}
+	if totalCores == 0 {
+		return 0, fmt.Errorf("multiregion: region %s has no fleet capacity", r.Name)
+	}
+	return totalRate / float64(totalCores), nil
+}
+
+// WattsPerCore returns the fleet-weighted power draw of one logical core
+// at half dynamic load (the placement price's typical-utilization point),
+// before the facility PUE.
+func (r *Region) WattsPerCore() float64 {
+	watts := 0.0
+	cores := 0
+	for _, mc := range r.Fleet {
+		watts += (float64(mc.Server.StaticPower) + 0.5*float64(mc.Server.MaxDynamicPower)) * float64(mc.Count)
+		cores += mc.Server.Cores * smtThreadsPerCore * mc.Count
+	}
+	if cores == 0 {
+		return 0
+	}
+	return watts / float64(cores)
+}
+
+// TaggedShare is one tenant's attributed carbon with its placement labels.
+type TaggedShare struct {
+	Tenant   string
+	Provider string
+	Region   string
+	Grams    float64
+}
+
+// Attribute runs the attribution method independently in every region —
+// exactly the single-datacenter path on (regional schedule, regional
+// budget) — and tags each share with the tenant's identity. Shares within
+// a region are bitwise-identical to calling m.Attribute directly, which
+// the differential suite asserts.
+func (sc *Scenario) Attribute(m attribution.Method) ([]TaggedShare, error) {
+	if m == nil {
+		return nil, errors.New("multiregion: nil attribution method")
+	}
+	var out []TaggedShare
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		shares, err := m.Attribute(r.Schedule, r.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("multiregion: region %s: %w", r.Name, err)
+		}
+		for w, grams := range shares {
+			out = append(out, TaggedShare{
+				Tenant:   r.Tenants[w].ID,
+				Provider: r.Provider,
+				Region:   r.Name,
+				Grams:    grams,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Route resolves a global tenant ID to its region and workload index. The
+// lookup is a single map access with no allocation — it sits on the
+// serving hot path for every region-tagged query.
+func (sc *Scenario) Route(tenantID string) (region *Region, workload int, ok bool) {
+	e, ok := sc.routes[tenantID]
+	if !ok {
+		return nil, 0, false
+	}
+	return &sc.Regions[e.region], e.workload, true
+}
+
+// Tenants returns every tenant across all regions, in region order.
+func (sc *Scenario) Tenants() []Tenant {
+	var out []Tenant
+	for i := range sc.Regions {
+		out = append(out, sc.Regions[i].Tenants...)
+	}
+	return out
+}
+
+// RegionCosts prices every region for the placement optimizer.
+func (sc *Scenario) RegionCosts() ([]optimize.RegionCost, error) {
+	costs := make([]optimize.RegionCost, 0, len(sc.Regions))
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		embodied, err := r.EmbodiedPerCoreSecond()
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, optimize.RegionCost{
+			Provider:              r.Provider,
+			Region:                r.Name,
+			MeanCI:                units.CarbonIntensity(r.Profile.Mean),
+			WattsPerCore:          r.WattsPerCore(),
+			PUE:                   r.PUE,
+			EmbodiedPerCoreSecond: embodied,
+		})
+	}
+	return costs, nil
+}
+
+// TenantLoads returns every tenant's placed resource-time for the
+// placement optimizer.
+func (sc *Scenario) TenantLoads() []optimize.TenantLoad {
+	var loads []optimize.TenantLoad
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		for _, t := range r.Tenants {
+			loads = append(loads, optimize.TenantLoad{
+				Tenant:      t.ID,
+				Region:      r.Name,
+				CoreSeconds: r.Schedule.CoreSeconds(t.Workload),
+			})
+		}
+	}
+	return loads
+}
+
+// Placement runs the cross-region placement sweep over the scenario and
+// returns the Pareto front of migration count versus total fleet carbon.
+func (sc *Scenario) Placement(maxMoves int) ([]optimize.PlacementPoint, error) {
+	costs, err := sc.RegionCosts()
+	if err != nil {
+		return nil, err
+	}
+	return optimize.PlacementSweep(costs, sc.TenantLoads(), maxMoves)
+}
+
+// RegionNames returns the discovered region names, sorted.
+func (sc *Scenario) RegionNames() []string {
+	names := make([]string, 0, len(sc.Regions))
+	for i := range sc.Regions {
+		names = append(names, sc.Regions[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegionByName returns the discovered region with the given name.
+func (sc *Scenario) RegionByName(name string) (*Region, error) {
+	for i := range sc.Regions {
+		if sc.Regions[i].Name == name {
+			return &sc.Regions[i], nil
+		}
+	}
+	return nil, fmt.Errorf("multiregion: unknown region %q", name)
+}

@@ -1,0 +1,393 @@
+package multiregion
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"fairco2/internal/attribution"
+	"fairco2/internal/carbon"
+	"fairco2/internal/grid"
+	"fairco2/internal/schedule"
+	"fairco2/internal/units"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	// Keep the exact Shapley oracle fast in the differential suite.
+	cfg.Schedule.MaxWorkloads = 10
+	return cfg
+}
+
+// render dereferences a region's pointer fields so string comparison sees
+// content, not addresses.
+func render(r *Region) string {
+	out := fmt.Sprintf("%s/%s pue=%v years=%d budget=%v sched=%+v tenants=%+v trace=%v",
+		r.Provider, r.Name, r.PUE, r.LifetimeYears, r.Budget, *r.Schedule, r.Tenants, r.Trace.Values)
+	for _, mc := range r.Fleet {
+		out += fmt.Sprintf(" fleet{%s x%d %+v}", mc.Name, mc.Count, *mc.Server)
+	}
+	return out
+}
+
+func renderAll(sc *Scenario) string {
+	out := ""
+	for i := range sc.Regions {
+		out += render(&sc.Regions[i]) + "\n"
+	}
+	return out
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, err := Discover(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Discover(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(a) != renderAll(b) {
+		t.Fatal("discovery must be deterministic for a fixed seed")
+	}
+	c, err := Discover(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(a) == renderAll(c) {
+		t.Fatal("different seeds must discover different scenarios")
+	}
+	if len(a.Regions) != 8 {
+		t.Fatalf("default config discovers %d regions, want 8", len(a.Regions))
+	}
+	for i := range a.Regions {
+		r := &a.Regions[i]
+		if r.Budget <= 0 {
+			t.Errorf("region %s has non-positive budget %v", r.Name, r.Budget)
+		}
+		if len(r.Tenants) != len(r.Schedule.Workloads) {
+			t.Errorf("region %s: %d tenants vs %d workloads", r.Name, len(r.Tenants), len(r.Schedule.Workloads))
+		}
+		if r.FleetLogicalCores() <= 0 {
+			t.Errorf("region %s has no fleet capacity", r.Name)
+		}
+	}
+}
+
+// Regions evolve independently: removing every other provider from the
+// config must not change a region's discovered fleet or schedule.
+func TestDiscoverRegionIndependence(t *testing.T) {
+	cfg := testConfig()
+	full, err := Discover(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := cfg
+	solo.Providers = []ProviderSpec{{Name: "borealis", Regions: []string{"eu-west"}, PUE: 1.18}}
+	small, err := Discover(solo, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.RegionByName("eu-west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &small.Regions[0]
+	if render(got) != render(want) {
+		t.Error("region discovery depends on unrelated providers")
+	}
+	if got.Budget != want.Budget {
+		t.Errorf("region budget depends on unrelated providers: %v vs %v", got.Budget, want.Budget)
+	}
+}
+
+// oracleRegion independently reconstructs one region's schedule and budget
+// from the scenario's (config, seed) identity — re-deriving the sub-seed,
+// fleet draws and amortization the same way discovery specifies, without
+// going through Discover.
+func oracleRegion(t *testing.T, cfg Config, seed int64, provider ProviderSpec, name string) (*schedule.Schedule, units.GramsCO2e) {
+	t.Helper()
+	h := fnv.New64a()
+	h.Write([]byte(provider.Name))
+	h.Write([]byte{'/'})
+	h.Write([]byte(name))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+
+	years := cfg.LifetimeYearChoices[rng.Intn(len(cfg.LifetimeYearChoices))]
+	lifetime := units.Seconds(float64(years) * 365 * units.SecondsPerDay)
+	standard := carbon.NewReferenceServer()
+	standard.Lifetime = lifetime
+	dense := carbon.NewReferenceServer()
+	dense.Cores *= 2
+	dense.MemoryGB *= 2
+	dense.StorageGB *= 2
+	dense.CPUEmbodied *= 2
+	dense.DRAMEmbodied *= 2
+	dense.SSDEmbodied *= 2
+	dense.PlatformEmbodied *= 2
+	dense.StaticPower *= 2
+	dense.MaxDynamicPower *= 2
+	dense.Lifetime = lifetime
+	nStandard := cfg.MinMachines + rng.Intn(cfg.MaxMachines-cfg.MinMachines+1)
+	nDense := cfg.MinMachines + rng.Intn(cfg.MaxMachines-cfg.MinMachines+1)
+
+	sched, err := schedule.Generate(cfg.Schedule, rng)
+	if err != nil {
+		t.Fatalf("oracle schedule for %s: %v", name, err)
+	}
+	rate := standard.EmbodiedRate()*float64(nStandard) + dense.EmbodiedRate()*float64(nDense)
+	window := float64(sched.Slices) * float64(sched.SliceDuration)
+	return sched, units.GramsCO2e(rate * window)
+}
+
+// The acceptance differential: for every region and every attribution
+// method, the region-tagged shares from the scenario engine are
+// bitwise-identical to running the single-datacenter path directly on an
+// independently reconstructed (schedule, budget) oracle.
+func TestDifferentialSingleRegionOracle(t *testing.T) {
+	cfg := testConfig()
+	const seed = 1234
+	sc, err := Discover(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []attribution.Method{
+		attribution.GroundTruth{},
+		attribution.RUPBaseline{},
+		attribution.DemandProportional{},
+		attribution.TemporalShapley{},
+	}
+	for _, m := range methods {
+		tagged, err := sc.Attribute(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		byTenant := make(map[string]TaggedShare, len(tagged))
+		for _, s := range tagged {
+			byTenant[s.Tenant] = s
+		}
+		for _, p := range cfg.Providers {
+			for _, name := range p.Regions {
+				oracleSched, oracleBudget := oracleRegion(t, cfg, seed, p, name)
+				oracle, err := m.Attribute(oracleSched, oracleBudget)
+				if err != nil {
+					t.Fatalf("%s/%s oracle: %v", m.Name(), name, err)
+				}
+				for w, want := range oracle {
+					id := fmt.Sprintf("%s/t%02d", name, w)
+					got, ok := byTenant[id]
+					if !ok {
+						t.Fatalf("%s: no tagged share for %s", m.Name(), id)
+					}
+					if got.Grams != want {
+						t.Errorf("%s: %s = %v, oracle %v (must be bitwise-identical)",
+							m.Name(), id, got.Grams, want)
+					}
+					if got.Region != name || got.Provider != p.Name {
+						t.Errorf("%s: %s tagged %s/%s, want %s/%s",
+							m.Name(), id, got.Provider, got.Region, p.Name, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAttributeBudgetConservation(t *testing.T) {
+	sc, err := Discover(testConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := sc.Attribute(attribution.TemporalShapley{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRegion := map[string]float64{}
+	for _, s := range tagged {
+		perRegion[s.Region] += s.Grams
+	}
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		got := perRegion[r.Name]
+		if diff := got - float64(r.Budget); diff > 1e-6*float64(r.Budget) || diff < -1e-6*float64(r.Budget) {
+			t.Errorf("region %s: attributed %v, budget %v", r.Name, got, r.Budget)
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	sc, err := Discover(testConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range sc.Tenants() {
+		r, w, ok := sc.Route(tenant.ID)
+		if !ok {
+			t.Fatalf("route miss for %s", tenant.ID)
+		}
+		if r.Name != tenant.Region || w != tenant.Workload {
+			t.Errorf("route(%s) = %s/%d, want %s/%d", tenant.ID, r.Name, w, tenant.Region, tenant.Workload)
+		}
+	}
+	if _, _, ok := sc.Route("atlantis/t00"); ok {
+		t.Error("unknown tenant must not route")
+	}
+	// The router is on the per-query hot path: no allocations.
+	id := sc.Tenants()[0].ID
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := sc.Route(id); !ok {
+			t.Fatal("route miss")
+		}
+	}); allocs != 0 {
+		t.Errorf("Route allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestPlacementSeedStable(t *testing.T) {
+	sc, err := Discover(testConfig(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Placement(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := Discover(testConfig(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc2.Placement(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("placement front must be seed-stable")
+	}
+	if len(a) < 2 {
+		t.Fatalf("front has %d points; heterogeneous regions must admit at least one saving move", len(a))
+	}
+	for k := 1; k < len(a); k++ {
+		if a[k].TotalGrams >= a[k-1].TotalGrams {
+			t.Errorf("front not strictly improving at %d", k)
+		}
+	}
+	// Moves flow toward cleaner-or-equal mean intensity regions overall;
+	// at minimum, every move must strictly save carbon.
+	for _, m := range a[len(a)-1].Plan {
+		if m.SavingGrams <= 0 {
+			t.Errorf("move %+v does not save carbon", m)
+		}
+	}
+}
+
+func TestRegionCostsAndLoads(t *testing.T) {
+	sc, err := Discover(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := sc.RegionCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != len(sc.Regions) {
+		t.Fatalf("%d costs for %d regions", len(costs), len(sc.Regions))
+	}
+	for _, c := range costs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("region cost invalid: %v", err)
+		}
+		if c.CarbonPerCoreSecond() <= 0 {
+			t.Errorf("region %s has non-positive core-second price", c.Region)
+		}
+	}
+	loads := sc.TenantLoads()
+	if len(loads) != len(sc.Tenants()) {
+		t.Fatalf("%d loads for %d tenants", len(loads), len(sc.Tenants()))
+	}
+	for _, l := range loads {
+		r, w, ok := sc.Route(l.Tenant)
+		if !ok {
+			t.Fatalf("load references unroutable tenant %s", l.Tenant)
+		}
+		if l.CoreSeconds != r.Schedule.CoreSeconds(w) {
+			t.Errorf("tenant %s load %v, schedule says %v", l.Tenant, l.CoreSeconds, r.Schedule.CoreSeconds(w))
+		}
+	}
+}
+
+func TestRegionNamesAndLookup(t *testing.T) {
+	sc, err := Discover(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sc.RegionNames()
+	if len(names) != len(sc.Regions) {
+		t.Fatalf("%d names for %d regions", len(names), len(sc.Regions))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("RegionNames must sort")
+		}
+	}
+	if _, err := sc.RegionByName("atlantis"); err == nil {
+		t.Error("unknown region must error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig()
+	mutate := func(f func(*Config)) Config {
+		c := base
+		c.Providers = append([]ProviderSpec(nil), base.Providers...)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		{},
+		mutate(func(c *Config) { c.Providers = nil }),
+		mutate(func(c *Config) { c.Providers[0].Name = "" }),
+		mutate(func(c *Config) { c.Providers[0].PUE = 0.8 }),
+		mutate(func(c *Config) { c.Providers[0].Regions = nil }),
+		mutate(func(c *Config) { c.Providers[0].Regions = []string{"atlantis"} }),
+		mutate(func(c *Config) { c.Providers[1].Regions = []string{"us-west"} }),
+		mutate(func(c *Config) { c.Days = 0 }),
+		mutate(func(c *Config) { c.TraceStep = 0 }),
+		mutate(func(c *Config) { c.MinMachines = 0 }),
+		mutate(func(c *Config) { c.MaxMachines = c.MinMachines - 1 }),
+		mutate(func(c *Config) { c.LifetimeYearChoices = nil }),
+		mutate(func(c *Config) { c.LifetimeYearChoices = []int{0} }),
+		mutate(func(c *Config) { c.Schedule.MinSlices = 0 }),
+	}
+	for i, c := range bad {
+		if _, err := Discover(c, 1); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+	if err := grid.RegionProfile.Validate(grid.RegionProfile{}); err == nil {
+		t.Error("empty grid profile must not validate")
+	}
+	if _, err := (&Scenario{}).Attribute(nil); err == nil {
+		t.Error("nil method must error")
+	}
+}
+
+func BenchmarkRegionRoute(b *testing.B) {
+	sc, err := Discover(testConfig(), 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := sc.Tenants()
+	ids := make([]string, len(tenants))
+	for i, t := range tenants {
+		ids[i] = t.ID
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := sc.Route(ids[i%len(ids)]); !ok {
+			b.Fatal("route miss")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package multiregion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+// TraceSource adapts a regional intensity trace to the livesignal.Source
+// interface, so each region's trace can sit behind its own degradation
+// ladder (livesignal.Feed). The clock maps wall time onto the trace, and
+// the trace wraps — a 7-day scenario serves indefinitely as a repeating
+// weekly pattern.
+type TraceSource struct {
+	// Trace is the regional intensity trace to serve.
+	Trace *timeseries.Series
+	// Now returns the current scenario time. Daemons advance it with a
+	// rotating clock; tests pin it.
+	Now func() units.Seconds
+}
+
+// NewTraceSource builds a source over a trace.
+func NewTraceSource(trace *timeseries.Series, now func() units.Seconds) (*TraceSource, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, errors.New("multiregion: trace source needs a non-empty trace")
+	}
+	if now == nil {
+		return nil, errors.New("multiregion: trace source needs a clock")
+	}
+	return &TraceSource{Trace: trace, Now: now}, nil
+}
+
+// Current implements livesignal.Source: the interpolated trace value at
+// the clock's current time, wrapped into the trace window.
+func (ts *TraceSource) Current() (float64, error) {
+	span := float64(ts.Trace.Duration())
+	t := math.Mod(float64(ts.Now()-ts.Trace.Start), span)
+	if t < 0 {
+		t += span
+	}
+	return ts.Trace.Interp(ts.Trace.Start + units.Seconds(t)), nil
+}
+
+// NewFeeds builds one livesignal feed per region, each with its own
+// last-known-good cache and degradation ladder, keyed by region name.
+// inst may be nil (no metrics); when non-nil all feeds share it, matching
+// how the attribution server wires a single instrument set.
+func (sc *Scenario) NewFeeds(cfg livesignal.FeedConfig, now func() units.Seconds, inst *livesignal.FeedInstruments) (map[string]*livesignal.Feed, error) {
+	feeds := make(map[string]*livesignal.Feed, len(sc.Regions))
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		src, err := NewTraceSource(r.Trace, now)
+		if err != nil {
+			return nil, fmt.Errorf("multiregion: region %s: %w", r.Name, err)
+		}
+		feeds[r.Name] = livesignal.NewFeed(src, cfg, inst)
+	}
+	return feeds, nil
+}

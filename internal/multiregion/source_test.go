@@ -1,0 +1,92 @@
+package multiregion
+
+import (
+	"testing"
+	"time"
+
+	"fairco2/internal/livesignal"
+	"fairco2/internal/timeseries"
+	"fairco2/internal/units"
+)
+
+func TestTraceSourceServesTrace(t *testing.T) {
+	trace := timeseries.New(0, 3600, []float64{100, 300, 200})
+	now := units.Seconds(1800)
+	src, err := NewTraceSource(trace, func() units.Seconds { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := src.Current()
+	if err != nil || v != 100 {
+		t.Fatalf("Current at first midpoint = %v, %v; want 100", v, err)
+	}
+	now = 3600
+	if v, _ := src.Current(); v != 200 {
+		t.Errorf("Current between midpoints = %v, want 200", v)
+	}
+	// Wrapping: one full trace span later the value repeats.
+	now = 1800 + 3*3600
+	if v, _ := src.Current(); v != 100 {
+		t.Errorf("Current after wrap = %v, want 100", v)
+	}
+	// Negative time wraps backwards into the window.
+	now = 1800 - 3*3600
+	if v, _ := src.Current(); v != 100 {
+		t.Errorf("Current before epoch = %v, want 100", v)
+	}
+}
+
+func TestTraceSourceErrors(t *testing.T) {
+	if _, err := NewTraceSource(nil, func() units.Seconds { return 0 }); err == nil {
+		t.Error("nil trace: expected error")
+	}
+	if _, err := NewTraceSource(timeseries.Zeros(0, 10, 0), func() units.Seconds { return 0 }); err == nil {
+		t.Error("empty trace: expected error")
+	}
+	if _, err := NewTraceSource(timeseries.Zeros(0, 10, 5), nil); err == nil {
+		t.Error("nil clock: expected error")
+	}
+}
+
+func TestNewFeedsPerRegion(t *testing.T) {
+	sc, err := Discover(testConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := units.Seconds(13 * units.SecondsPerHour)
+	feeds, err := sc.NewFeeds(
+		livesignal.FeedConfig{MaxStale: time.Minute},
+		func() units.Seconds { return clock },
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds) != len(sc.Regions) {
+		t.Fatalf("%d feeds for %d regions", len(feeds), len(sc.Regions))
+	}
+	for i := range sc.Regions {
+		r := &sc.Regions[i]
+		feed, ok := feeds[r.Name]
+		if !ok {
+			t.Fatalf("no feed for region %s", r.Name)
+		}
+		sample, err := feed.Intensity()
+		if err != nil {
+			t.Fatalf("region %s: %v", r.Name, err)
+		}
+		if sample.Quality != livesignal.QualityFresh {
+			t.Errorf("region %s: quality %v, want fresh", r.Name, sample.Quality)
+		}
+		if want := r.Trace.Interp(clock); sample.Intensity != want {
+			t.Errorf("region %s: intensity %v, want trace value %v", r.Name, sample.Intensity, want)
+		}
+	}
+	// Midday in us-west sits in the solar trough: its live signal must be
+	// far below coal-heavy ap-south at the same instant.
+	west, _ := feeds["us-west"].Intensity()
+	south, _ := feeds["ap-south"].Intensity()
+	if west.Intensity >= south.Intensity {
+		t.Errorf("midday us-west %v should undercut ap-south %v", west.Intensity, south.Intensity)
+	}
+}

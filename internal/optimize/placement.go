@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fairco2/internal/units"
+)
+
+// RegionCost prices one region for cross-region placement: the carbon a
+// core-second costs there, split into the operational component (regional
+// grid intensity through the fleet's power draw and PUE) and the embodied
+// component (the regional fleet's amortized manufacturing carbon). The
+// multiregion scenario engine derives these from discovered fleets; tests
+// may construct them directly.
+type RegionCost struct {
+	// Provider and Region identify the placement target.
+	Provider string
+	Region   string
+	// MeanCI is the region's mean operational grid intensity.
+	MeanCI units.CarbonIntensity
+	// WattsPerCore is the fleet-weighted power draw per schedulable
+	// (logical) core at typical utilization, before PUE.
+	WattsPerCore float64
+	// PUE is the facility's power usage effectiveness multiplier.
+	PUE float64
+	// EmbodiedPerCoreSecond is the fleet-weighted amortized embodied
+	// carbon per logical core-second, in gCO2e.
+	EmbodiedPerCoreSecond float64
+}
+
+// Validate checks the pricing inputs.
+func (r RegionCost) Validate() error {
+	switch {
+	case r.Region == "":
+		return errors.New("optimize: region cost needs a region name")
+	case r.MeanCI < 0 || math.IsNaN(float64(r.MeanCI)) || math.IsInf(float64(r.MeanCI), 0):
+		return fmt.Errorf("optimize: region %s: invalid mean intensity %v", r.Region, r.MeanCI)
+	case r.WattsPerCore < 0 || math.IsNaN(r.WattsPerCore) || math.IsInf(r.WattsPerCore, 0):
+		return fmt.Errorf("optimize: region %s: invalid watts per core %v", r.Region, r.WattsPerCore)
+	case r.PUE < 1 || math.IsInf(r.PUE, 0):
+		return fmt.Errorf("optimize: region %s: PUE must be >= 1, got %v", r.Region, r.PUE)
+	case r.EmbodiedPerCoreSecond < 0 || math.IsNaN(r.EmbodiedPerCoreSecond) || math.IsInf(r.EmbodiedPerCoreSecond, 0):
+		return fmt.Errorf("optimize: region %s: invalid embodied rate %v", r.Region, r.EmbodiedPerCoreSecond)
+	}
+	return nil
+}
+
+// CarbonPerCoreSecond returns the full (operational + embodied) carbon
+// price of one core-second in the region, in gCO2e.
+func (r RegionCost) CarbonPerCoreSecond() float64 {
+	operational := units.Emissions(units.Energy(units.Watts(r.WattsPerCore*r.PUE), 1), r.MeanCI)
+	return float64(operational) + r.EmbodiedPerCoreSecond
+}
+
+// TenantLoad is one tenant's placed demand: where it currently runs and
+// how much resource-time it consumes over the scenario window.
+type TenantLoad struct {
+	Tenant      string
+	Region      string
+	CoreSeconds units.CoreSeconds
+}
+
+// Move relocates one tenant's load to a cheaper region.
+type Move struct {
+	Tenant string
+	From   string
+	To     string
+	// SavingGrams is the carbon saved over the window by this move alone.
+	SavingGrams float64
+}
+
+// PlacementPoint is one point of the placement Pareto front: the best
+// total fleet carbon achievable with at most Moves relocations.
+type PlacementPoint struct {
+	// Moves is the number of relocations applied.
+	Moves int
+	// TotalGrams is the fleet-wide carbon over the window after applying
+	// the plan.
+	TotalGrams float64
+	// Plan lists the applied moves, best saving first.
+	Plan []Move
+}
+
+// PlacementSweep prices every tenant in every candidate region and returns
+// the Pareto front of migration count versus total fleet carbon: point k
+// is the best achievable total with at most k moves, for k = 0..maxMoves.
+// Moves are chosen greedily by descending saving, which is exact here
+// because tenant savings are independent (regional prices do not depend on
+// placement). The sweep is deterministic: ties in saving break by tenant
+// name, then by target region name, so equal inputs always produce
+// bitwise-identical fronts.
+func PlacementSweep(regions []RegionCost, loads []TenantLoad, maxMoves int) ([]PlacementPoint, error) {
+	if len(regions) == 0 {
+		return nil, errors.New("optimize: placement needs at least one region")
+	}
+	if maxMoves < 0 {
+		return nil, errors.New("optimize: negative move cap")
+	}
+	price := make(map[string]float64, len(regions))
+	for _, r := range regions {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := price[r.Region]; dup {
+			return nil, fmt.Errorf("optimize: duplicate region %s in placement input", r.Region)
+		}
+		price[r.Region] = r.CarbonPerCoreSecond()
+	}
+	// Deterministic candidate order for tie-breaking on equal prices.
+	names := make([]string, 0, len(regions))
+	for _, r := range regions {
+		names = append(names, r.Region)
+	}
+	sort.Strings(names)
+
+	baseline := 0.0
+	var candidates []Move
+	for _, l := range loads {
+		current, ok := price[l.Region]
+		if !ok {
+			return nil, fmt.Errorf("optimize: tenant %s placed in unknown region %s", l.Tenant, l.Region)
+		}
+		if l.CoreSeconds < 0 {
+			return nil, fmt.Errorf("optimize: tenant %s has negative load", l.Tenant)
+		}
+		baseline += current * float64(l.CoreSeconds)
+		best, bestName := current, l.Region
+		for _, name := range names {
+			if p := price[name]; p < best {
+				best, bestName = p, name
+			}
+		}
+		if bestName != l.Region {
+			candidates = append(candidates, Move{
+				Tenant:      l.Tenant,
+				From:        l.Region,
+				To:          bestName,
+				SavingGrams: (current - best) * float64(l.CoreSeconds),
+			})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].SavingGrams != candidates[j].SavingGrams {
+			return candidates[i].SavingGrams > candidates[j].SavingGrams
+		}
+		if candidates[i].Tenant != candidates[j].Tenant {
+			return candidates[i].Tenant < candidates[j].Tenant
+		}
+		return candidates[i].To < candidates[j].To
+	})
+	if len(candidates) > maxMoves {
+		candidates = candidates[:maxMoves]
+	}
+
+	front := make([]PlacementPoint, 0, len(candidates)+1)
+	total := baseline
+	front = append(front, PlacementPoint{Moves: 0, TotalGrams: total})
+	for k, m := range candidates {
+		total -= m.SavingGrams
+		front = append(front, PlacementPoint{
+			Moves:      k + 1,
+			TotalGrams: total,
+			Plan:       append([]Move(nil), candidates[:k+1]...),
+		})
+	}
+	return front, nil
+}

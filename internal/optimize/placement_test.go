@@ -1,0 +1,206 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fairco2/internal/units"
+)
+
+func placementFixture() ([]RegionCost, []TenantLoad) {
+	regions := []RegionCost{
+		{Provider: "aurora", Region: "us-west", MeanCI: 230, WattsPerCore: 4.3, PUE: 1.2, EmbodiedPerCoreSecond: 2e-4},
+		{Provider: "borealis", Region: "eu-north", MeanCI: 25, WattsPerCore: 4.3, PUE: 1.1, EmbodiedPerCoreSecond: 3e-4},
+		{Provider: "cirrus", Region: "ap-south", MeanCI: 710, WattsPerCore: 4.5, PUE: 1.4, EmbodiedPerCoreSecond: 1.5e-4},
+	}
+	loads := []TenantLoad{
+		{Tenant: "t0", Region: "ap-south", CoreSeconds: 4e6},
+		{Tenant: "t1", Region: "us-west", CoreSeconds: 1e6},
+		{Tenant: "t2", Region: "eu-north", CoreSeconds: 9e6},
+		{Tenant: "t3", Region: "ap-south", CoreSeconds: 5e5},
+	}
+	return regions, loads
+}
+
+func TestPlacementSweepFront(t *testing.T) {
+	regions, loads := placementFixture()
+	front, err := PlacementSweep(regions, loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 already sits in the cheapest region; the other three can move.
+	if len(front) != 4 {
+		t.Fatalf("front has %d points, want 4", len(front))
+	}
+	for k, p := range front {
+		if p.Moves != k {
+			t.Errorf("point %d labeled %d moves", k, p.Moves)
+		}
+		if len(p.Plan) != k {
+			t.Errorf("point %d plan has %d moves", k, len(p.Plan))
+		}
+		if k > 0 {
+			if p.TotalGrams >= front[k-1].TotalGrams {
+				t.Errorf("front not strictly improving at %d: %v -> %v", k, front[k-1].TotalGrams, p.TotalGrams)
+			}
+			if k > 1 && p.Plan[k-1].SavingGrams > p.Plan[k-2].SavingGrams {
+				t.Errorf("moves not ordered by descending saving at %d", k)
+			}
+		}
+	}
+	// The greedy order must put the biggest saver first: t0 has 4x the
+	// load of t3 in the same dirty region.
+	if front[1].Plan[0].Tenant != "t0" || front[1].Plan[0].To != "eu-north" {
+		t.Errorf("first move = %+v, want t0 -> eu-north", front[1].Plan[0])
+	}
+	// Every move's saving matches the price difference exactly.
+	price := map[string]float64{}
+	for _, r := range regions {
+		price[r.Region] = r.CarbonPerCoreSecond()
+	}
+	cs := map[string]float64{"t0": 4e6, "t1": 1e6, "t2": 9e6, "t3": 5e5}
+	for _, m := range front[len(front)-1].Plan {
+		want := (price[m.From] - price[m.To]) * cs[m.Tenant]
+		if math.Abs(m.SavingGrams-want) > 1e-9*want {
+			t.Errorf("move %s saving %v, want %v", m.Tenant, m.SavingGrams, want)
+		}
+	}
+}
+
+func TestPlacementSweepDeterministic(t *testing.T) {
+	regions, loads := placementFixture()
+	a, err := PlacementSweep(regions, loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlacementSweep(regions, loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("placement sweep must be deterministic")
+	}
+}
+
+func TestPlacementSweepMoveCap(t *testing.T) {
+	regions, loads := placementFixture()
+	front, err := PlacementSweep(regions, loads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 2 {
+		t.Fatalf("capped front has %d points, want 2", len(front))
+	}
+	full, err := PlacementSweep(regions, loads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capped front is a prefix of the full one.
+	for k := range front {
+		if front[k].TotalGrams != full[k].TotalGrams {
+			t.Errorf("capped point %d total %v, full %v", k, front[k].TotalGrams, full[k].TotalGrams)
+		}
+	}
+	zero, err := PlacementSweep(regions, loads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero) != 1 || len(zero[0].Plan) != 0 {
+		t.Fatalf("maxMoves=0 front = %+v, want baseline only", zero)
+	}
+}
+
+func TestPlacementSweepTieBreaks(t *testing.T) {
+	regions := []RegionCost{
+		{Region: "a", MeanCI: 100, WattsPerCore: 4, PUE: 1.2},
+		{Region: "b", MeanCI: 10, WattsPerCore: 4, PUE: 1.2},
+		// Same price as b: the tie must resolve to b by name.
+		{Region: "c", MeanCI: 10, WattsPerCore: 4, PUE: 1.2},
+	}
+	loads := []TenantLoad{
+		{Tenant: "y", Region: "a", CoreSeconds: 1000},
+		{Tenant: "x", Region: "a", CoreSeconds: 1000},
+	}
+	front, err := PlacementSweep(regions, loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := front[len(front)-1].Plan
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d moves, want 2", len(plan))
+	}
+	// Equal savings: tenant name breaks the tie; equal-price targets
+	// resolve to the lexicographically first region.
+	if plan[0].Tenant != "x" || plan[1].Tenant != "y" {
+		t.Errorf("tie-break order %s, %s; want x, y", plan[0].Tenant, plan[1].Tenant)
+	}
+	for _, m := range plan {
+		if m.To != "b" {
+			t.Errorf("tenant %s moved to %s, want b", m.Tenant, m.To)
+		}
+	}
+}
+
+func TestPlacementSweepErrors(t *testing.T) {
+	regions, loads := placementFixture()
+	if _, err := PlacementSweep(nil, loads, 4); err == nil {
+		t.Error("no regions: expected error")
+	}
+	if _, err := PlacementSweep(regions, loads, -1); err == nil {
+		t.Error("negative cap: expected error")
+	}
+	if _, err := PlacementSweep(append(regions[:2:2], regions[0]), nil, 4); err == nil {
+		t.Error("duplicate region: expected error")
+	}
+	bad := append([]TenantLoad(nil), loads...)
+	bad[0].Region = "atlantis"
+	if _, err := PlacementSweep(regions, bad, 4); err == nil {
+		t.Error("unknown region: expected error")
+	}
+	bad = append([]TenantLoad(nil), loads...)
+	bad[1].CoreSeconds = -1
+	if _, err := PlacementSweep(regions, bad, 4); err == nil {
+		t.Error("negative load: expected error")
+	}
+	for _, r := range []RegionCost{
+		{},
+		{Region: "x", MeanCI: -1, PUE: 1.1},
+		{Region: "x", MeanCI: 10, PUE: 0.9},
+		{Region: "x", MeanCI: 10, PUE: 1.1, WattsPerCore: math.NaN()},
+		{Region: "x", MeanCI: 10, PUE: 1.1, EmbodiedPerCoreSecond: -1},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("region cost %+v: expected error", r)
+		}
+	}
+}
+
+func TestRegionCostCarbonPerCoreSecond(t *testing.T) {
+	r := RegionCost{Region: "x", MeanCI: 360, WattsPerCore: 10, PUE: 1.5, EmbodiedPerCoreSecond: 0.001}
+	// 10 W x 1.5 PUE for 1 s = 15 J = 15/3.6e6 kWh; at 360 g/kWh that is
+	// 0.0015 g operational, plus 0.001 g embodied.
+	want := 15.0/3.6e6*360 + 0.001
+	if got := r.CarbonPerCoreSecond(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CarbonPerCoreSecond = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkPlacementSweep(b *testing.B) {
+	regions, _ := placementFixture()
+	loads := make([]TenantLoad, 200)
+	for i := range loads {
+		loads[i] = TenantLoad{
+			Tenant:      fmt.Sprintf("t%03d", i),
+			Region:      regions[i%len(regions)].Region,
+			CoreSeconds: units.CoreSeconds(1e5 * float64(1+i%7)),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlacementSweep(regions, loads, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -77,6 +77,29 @@ func (s *Series) At(t units.Seconds) float64 {
 	return s.Values[idx]
 }
 
+// Interp returns the piecewise-linear interpolation of the series at time
+// t, treating each value as the sample at its interval midpoint. Between
+// two adjacent midpoints the result moves monotonically from one value to
+// the other; outside the first and last midpoints it clamps, matching At's
+// boundary behaviour. An empty series yields 0.
+func (s *Series) Interp(t units.Seconds) float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return 0
+	}
+	// Position in units of steps from the first midpoint.
+	x := (float64(t-s.Start) - float64(s.Step)/2) / float64(s.Step)
+	if x <= 0 {
+		return s.Values[0]
+	}
+	if x >= float64(n-1) {
+		return s.Values[n-1]
+	}
+	i := int(math.Floor(x))
+	frac := x - float64(i)
+	return s.Values[i] + (s.Values[i+1]-s.Values[i])*frac
+}
+
 // Clone returns a deep copy of the series.
 func (s *Series) Clone() *Series {
 	return New(s.Start, s.Step, append([]float64(nil), s.Values...))

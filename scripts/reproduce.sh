@@ -80,5 +80,12 @@ echo "== Self-healing cluster chaos: kill/flap/restart under load =="
 # answers bitwise-identical to a single-process oracle.
 go run ./cmd/cluster-chaos -duration 3s | tee "$RESULTS/cluster_chaos.txt"
 
+echo "== Multi-region placement: cross-region sweep vs stay-home baseline =="
+# Discovers a three-provider, eight-region fleet from the seed, prices
+# every region's carbon per core-second (regional grid mix x PUE x
+# embodied amortization), and prints the Pareto front of migrations vs
+# total fleet carbon. Deterministic in the seed.
+go run ./cmd/optimize -placement -region-seed 1 | tee "$RESULTS/multiregion_placement.txt"
+
 echo
 echo "All outputs are under $RESULTS/."
